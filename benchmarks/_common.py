@@ -1,0 +1,40 @@
+"""Shared plumbing for the experiment benchmarks.
+
+Each ``bench_eNN_*.py`` regenerates one paper "table/figure" (see
+DESIGN.md's per-experiment index): it times the experiment kernel with
+pytest-benchmark, renders the reproduced rows through
+:class:`repro.verify.Table`, and *asserts the paper's qualitative
+claims* so a regression in any reproduced result fails the bench run.
+
+Tables are printed and also appended to ``benchmarks/results/summary.txt``
+(pytest captures stdout by default; the file keeps the rows available
+either way).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.verify import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _slug(title: str) -> str:
+    import re
+
+    head = title.split(":")[0].strip().lower()
+    return re.sub(r"[^a-z0-9]+", "-", head).strip("-") or "table"
+
+
+def emit(table: Table) -> None:
+    """Print a reproduced table; persist it as text and CSV."""
+    text = table.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "summary.txt", "a") as handle:
+        handle.write(text + "\n\n")
+    with open(RESULTS_DIR / f"{_slug(table.title)}.csv", "w") as handle:
+        handle.write(table.to_csv())

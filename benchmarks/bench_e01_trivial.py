@@ -1,0 +1,61 @@
+"""E01 — Example 3: the two trivial protection mechanisms.
+
+Reproduced table: for each (program, policy), whether Q-as-its-own-
+mechanism and the null mechanism Λ are sound, and their acceptance
+counts.  Paper claims: Λ is sound for *every* policy and accepts
+nothing; Q itself is sound exactly when it already factors through the
+policy.
+"""
+
+from repro.core import (ProductDomain, allow, allow_all, allow_none,
+                        is_sound, null_mechanism, program_as_mechanism)
+from repro.flowchart import library
+from repro.flowchart.interpreter import as_program
+from repro.verify import Table
+
+from _common import emit
+
+GRID = ProductDomain.integer_grid(0, 3, 2)
+POLICIES = [allow_none(2), allow(1, arity=2), allow(2, arity=2),
+            allow_all(2)]
+PROGRAMS = [library.mixer_program(), library.forgetting_program(),
+            library.reconvergence_program()]
+
+
+def run_experiment():
+    rows = []
+    for flowchart in PROGRAMS:
+        q = as_program(flowchart, GRID)
+        own = program_as_mechanism(q)
+        null = null_mechanism(q)
+        for policy in POLICIES:
+            rows.append({
+                "program": flowchart.name,
+                "policy": policy.name,
+                "own_sound": is_sound(own, policy),
+                "null_sound": is_sound(null, policy),
+                "own_accepts": len(own.acceptance_set()),
+                "null_accepts": len(null.acceptance_set()),
+            })
+    return rows
+
+
+def test_e01_trivial_mechanisms(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E01 (Example 3): trivial mechanisms",
+                  ["program", "policy", "own_sound", "null_sound",
+                   "own_accepts", "null_accepts"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    # Λ sound everywhere, accepts nothing.
+    assert all(row["null_sound"] for row in rows)
+    assert all(row["null_accepts"] == 0 for row in rows)
+    # Q-as-M: sound for allow(1,2) always; for allow() only when constant.
+    for row in rows:
+        if row["policy"] == "allow(1, 2)":
+            assert row["own_sound"]
+        if row["policy"] == "allow()":
+            assert row["own_sound"] == (row["program"] == "reconvergence")

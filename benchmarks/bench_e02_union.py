@@ -1,0 +1,57 @@
+"""E02 — Theorem 1: the union of sound mechanisms.
+
+Reproduced table: acceptance counts of two incomparable sound
+mechanisms and of their union, across domain sizes.  Paper claims:
+M1 ∨ M2 is sound, >= M1 and >= M2; acceptance is the set union.
+"""
+
+from repro.core import (Order, ProductDomain, Program, as_complete, compare,
+                        is_sound, allow, mechanism_from_table, union)
+from repro.verify import Table
+
+from _common import emit
+
+
+def build_instance(high):
+    grid = ProductDomain.integer_grid(0, high, 2)
+    q = Program(lambda a, b: b if a == 1 else a, grid, name="mixed")
+    policy = allow(1, arity=2)
+    left = mechanism_from_table(
+        q, {p: q(*p) for p in grid if p[0] == 0}, name="M-x1=0")
+    right = mechanism_from_table(
+        q, {p: q(*p) for p in grid if p[0] >= 2}, name="M-x1>=2")
+    return grid, q, policy, left, right
+
+
+def run_experiment():
+    rows = []
+    for high in (2, 4, 8):
+        grid, q, policy, left, right = build_instance(high)
+        joined = union(left, right)
+        rows.append({
+            "domain": len(grid),
+            "left_accepts": len(left.acceptance_set()),
+            "right_accepts": len(right.acceptance_set()),
+            "union_accepts": len(joined.acceptance_set()),
+            "union_sound": is_sound(joined, policy),
+            "dominates_both": (as_complete(joined, left)
+                               and as_complete(joined, right)),
+        })
+    return rows
+
+
+def test_e02_union(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E02 (Theorem 1): union of sound mechanisms",
+                  ["domain", "left_accepts", "right_accepts",
+                   "union_accepts", "union_sound", "dominates_both"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    for row in rows:
+        assert row["union_sound"]
+        assert row["dominates_both"]
+        assert (row["union_accepts"]
+                == row["left_accepts"] + row["right_accepts"])

@@ -1,0 +1,61 @@
+"""E05 — Theorem 3': surveillance under observable running time.
+
+Reproduced table: per program, soundness of the untimed mechanism M and
+the timed mechanism M' when the program's output is (value, steps).
+Paper claims: M is unsound once time is observable (witnessed on
+programs whose timing varies within a policy class); M' is sound on
+every program and policy.
+"""
+
+from repro.core import (ProductDomain, VALUE_AND_TIME, check_soundness)
+from repro.flowchart import library
+from repro.flowchart.interpreter import as_program
+from repro.surveillance import (surveillance_mechanism,
+                                timed_surveillance_mechanism)
+from repro.verify import Table, all_allow_policies
+
+from _common import emit
+
+PROGRAMS = [library.timing_loop(), library.accumulate_program(),
+            library.parity_program(), library.forgetting_program(),
+            library.example8_program()]
+
+
+def run_experiment():
+    rows = []
+    for flowchart in PROGRAMS:
+        domain = ProductDomain.integer_grid(0, 3, flowchart.arity)
+        q = as_program(flowchart, domain, VALUE_AND_TIME)
+        for policy in all_allow_policies(flowchart.arity):
+            untimed = surveillance_mechanism(
+                flowchart, policy, domain, output_model=VALUE_AND_TIME,
+                program=q)
+            timed = timed_surveillance_mechanism(flowchart, policy, domain,
+                                                 program=q)
+            rows.append({
+                "program": flowchart.name,
+                "policy": policy.name,
+                "untimed_sound": check_soundness(untimed, policy).sound,
+                "timed_sound": check_soundness(timed, policy).sound,
+                "timed_accepts": len(timed.acceptance_set()),
+            })
+    return rows
+
+
+def test_e05_timed_surveillance(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E05 (Theorem 3'): observable time — M vs M'",
+                  ["program", "policy", "untimed_sound", "timed_sound",
+                   "timed_accepts"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    # M' is sound everywhere (Theorem 3').
+    assert all(row["timed_sound"] for row in rows)
+    # M is not: the loop programs leak their input through time.
+    leaky = [row for row in rows
+             if row["program"] in ("timing-loop", "accumulate", "parity")
+             and row["policy"] == "allow()"]
+    assert leaky and all(not row["untimed_sound"] for row in leaky)

@@ -1,0 +1,54 @@
+"""E06 — page 48: surveillance vs high-water mark (forgetting ablation).
+
+Reproduced figure: on the page-48 program (`y := x1; if x2 = 0 then
+y := 0`) with allow(2), per-input verdicts of Ms and Mh, and the
+completeness comparison across domain sizes.  Paper claims: Mh always
+outputs Λ; Ms outputs Λ only when x2 != 0; hence Ms > Mh.
+"""
+
+from repro.core import Order, ProductDomain, allow, compare
+from repro.flowchart import library
+from repro.flowchart.interpreter import as_program
+from repro.surveillance import highwater_mechanism, surveillance_mechanism
+from repro.verify import Table
+
+from _common import emit
+
+
+def run_experiment():
+    rows = []
+    for high in (1, 3, 7):
+        grid = ProductDomain.integer_grid(0, high, 2)
+        flowchart = library.forgetting_program()
+        policy = allow(2, arity=2)
+        q = as_program(flowchart, grid)
+        surveillance = surveillance_mechanism(flowchart, policy, grid,
+                                              program=q)
+        highwater = highwater_mechanism(flowchart, policy, grid, program=q)
+        comparison = compare(surveillance, highwater)
+        rows.append({
+            "domain": len(grid),
+            "Ms_accepts": comparison.first_accepts,
+            "Mh_accepts": comparison.second_accepts,
+            "order": str(comparison.order),
+            "Ms_accepts_only_x2_eq_0": (
+                surveillance.acceptance_set()
+                == frozenset(p for p in grid if p[1] == 0)),
+        })
+    return rows
+
+
+def test_e06_highwater_comparison(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E06 (p.48): surveillance (forgets) vs high-water (doesn't)",
+                  ["domain", "Ms_accepts", "Mh_accepts", "order",
+                   "Ms_accepts_only_x2_eq_0"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    for row in rows:
+        assert row["Mh_accepts"] == 0            # Mh always Λ
+        assert row["Ms_accepts_only_x2_eq_0"]    # Ms rejects iff x2 != 0
+        assert row["order"] == str(Order.FIRST_MORE)  # Ms > Mh

@@ -1,0 +1,55 @@
+"""E07 — page 49: surveillance is not maximal.
+
+Reproduced figure: the constant-1 program reached through a branch on
+x1, policy allow(2).  Paper claims: the surveillance mechanism always
+outputs Λ; Mmax = Q is sound (Q is constant) and strictly more
+complete, so surveillance is not the most complete sound mechanism.
+"""
+
+from repro.core import (Order, ProductDomain, allow, compare, is_sound,
+                        maximal_mechanism, program_as_mechanism)
+from repro.flowchart import library
+from repro.flowchart.interpreter import as_program
+from repro.surveillance import surveillance_mechanism
+from repro.verify import Table
+
+from _common import emit
+
+
+def run_experiment():
+    rows = []
+    for high in (1, 3, 7):
+        grid = ProductDomain.integer_grid(0, high, 2)
+        flowchart = library.reconvergence_program()
+        policy = allow(2, arity=2)
+        q = as_program(flowchart, grid)
+        surveillance = surveillance_mechanism(flowchart, policy, grid,
+                                              program=q)
+        own = program_as_mechanism(q)
+        construction = maximal_mechanism(q, policy, grid)
+        rows.append({
+            "domain": len(grid),
+            "Ms_accepts": len(surveillance.acceptance_set()),
+            "Q_sound": is_sound(own, policy, grid),
+            "Q_accepts": len(own.acceptance_set()),
+            "order_Q_vs_Ms": str(compare(own, surveillance).order),
+            "Mmax_accepts": len(construction.mechanism.acceptance_set()),
+        })
+    return rows
+
+
+def test_e07_surveillance_not_maximal(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E07 (p.49): surveillance is not maximal",
+                  ["domain", "Ms_accepts", "Q_sound", "Q_accepts",
+                   "order_Q_vs_Ms", "Mmax_accepts"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    for row in rows:
+        assert row["Ms_accepts"] == 0
+        assert row["Q_sound"]
+        assert row["Q_accepts"] == row["domain"] == row["Mmax_accepts"]
+        assert row["order_Q_vs_Ms"] == str(Order.FIRST_MORE)

@@ -1,0 +1,53 @@
+"""E08 — Example 7: the if-then-else transform can rescue completeness.
+
+Reproduced figure: Q (page 49's constant-1 program) vs Q' = ite(Q),
+policy allow(2).  Paper claims: surveillance on Q' always gives output
+1 — a maximal mechanism — while on Q it always gave Λ.
+"""
+
+from repro.core import ProductDomain, allow, certify_maximal
+from repro.flowchart import library
+from repro.flowchart.interpreter import as_program
+from repro.flowchart.transforms import (find_ite_regions,
+                                        functionally_equivalent,
+                                        ite_transform)
+from repro.surveillance import surveillance_mechanism
+from repro.verify import Table
+
+from _common import emit
+
+GRID = ProductDomain.integer_grid(0, 3, 2)
+POLICY = allow(2, arity=2)
+
+
+def run_experiment():
+    flowchart = library.example7_program()
+    q = as_program(flowchart, GRID)
+    region = find_ite_regions(flowchart)[0]
+    rewritten = ite_transform(flowchart, region)
+    before = surveillance_mechanism(flowchart, POLICY, GRID, program=q)
+    after = surveillance_mechanism(rewritten, POLICY, GRID, program=q)
+    return {
+        "equivalent": functionally_equivalent(flowchart, rewritten, GRID),
+        "before_accepts": len(before.acceptance_set()),
+        "after_accepts": len(after.acceptance_set()),
+        "after_always_1": all(after(*p) == 1 for p in GRID),
+        "after_is_maximal": certify_maximal(after, q, POLICY, GRID),
+        "domain": len(GRID),
+    }
+
+
+def test_e08_ite_transform_helps(benchmark):
+    row = benchmark(run_experiment)
+
+    table = Table("E08 (Example 7): if-then-else transform on Q",
+                  ["equivalent", "before_accepts", "after_accepts",
+                   "after_always_1", "after_is_maximal", "domain"])
+    table.add_dict(row)
+    emit(table)
+
+    assert row["equivalent"]
+    assert row["before_accepts"] == 0
+    assert row["after_accepts"] == row["domain"]
+    assert row["after_always_1"]
+    assert row["after_is_maximal"]

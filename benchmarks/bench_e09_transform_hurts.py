@@ -1,0 +1,58 @@
+"""E09 — Example 8: the transform can *hurt* — M > M'.
+
+Reproduced figure: `if x2 = 1 then y := 1 else y := x1`, policy
+allow(2).  Paper claims: M' (surveillance after the if-then-else
+transform) always outputs Λ; M (untransformed) outputs Q's value
+exactly when x2 = 1; hence M > M' — "one must assume the worst case".
+"""
+
+from repro.core import Order, ProductDomain, allow, compare
+from repro.flowchart import library
+from repro.flowchart.interpreter import as_program
+from repro.flowchart.transforms import find_ite_regions, ite_transform
+from repro.surveillance import surveillance_mechanism
+from repro.verify import Table
+
+from _common import emit
+
+POLICY = allow(2, arity=2)
+
+
+def run_experiment():
+    rows = []
+    for high in (1, 3, 7):
+        grid = ProductDomain.integer_grid(0, high, 2)
+        flowchart = library.example8_program()
+        q = as_program(flowchart, grid)
+        region = find_ite_regions(flowchart)[0]
+        rewritten = ite_transform(flowchart, region)
+        untransformed = surveillance_mechanism(flowchart, POLICY, grid,
+                                               program=q)
+        transformed = surveillance_mechanism(rewritten, POLICY, grid,
+                                             program=q)
+        rows.append({
+            "domain": len(grid),
+            "M_accepts": len(untransformed.acceptance_set()),
+            "M'_accepts": len(transformed.acceptance_set()),
+            "M_accepts_only_x2_eq_1": (
+                untransformed.acceptance_set()
+                == frozenset(p for p in grid if p[1] == 1)),
+            "order": str(compare(untransformed, transformed).order),
+        })
+    return rows
+
+
+def test_e09_transform_hurts(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E09 (Example 8): the transform can hurt (M > M')",
+                  ["domain", "M_accepts", "M'_accepts",
+                   "M_accepts_only_x2_eq_1", "order"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    for row in rows:
+        assert row["M'_accepts"] == 0
+        assert row["M_accepts_only_x2_eq_1"]
+        assert row["order"] == str(Order.FIRST_MORE)

@@ -1,0 +1,63 @@
+"""E11 — Section 2: the timing channel of the constant-1 loop program.
+
+Reproduced figure: Q(x) = 1 for all x, but steps grow with x.  Paper
+claims: Q as its own mechanism is sound for allow() under value-only
+output, unsound once the output is (value, steps); observing time
+recovers x exactly.  The series charts channel capacity vs domain size.
+"""
+
+from repro.channels.timing import leak_bits, timing_report
+from repro.core import ProductDomain
+from repro.flowchart.library import timing_loop
+from repro.verify import Table
+
+from _common import emit
+
+
+def run_experiment():
+    rows = []
+    for high in (3, 7, 15, 31):
+        row = timing_report(domain_high=high)
+        row["domain_high"] = high
+        rows.append(row)
+    return rows
+
+
+def test_e11_timing_channel(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E11 (Section 2): constant function, observable time",
+                  ["domain_high", "domain_size", "sound_value_only",
+                   "sound_with_time", "leak_bits", "domain_bits",
+                   "exact_recovery"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    for row in rows:
+        assert row["sound_value_only"]
+        assert not row["sound_with_time"]
+        assert row["exact_recovery"]
+        # The channel carries the whole input: capacity = log2 |domain|.
+        assert abs(row["leak_bits"] - row["domain_bits"]) < 1e-9
+
+
+def test_e11b_clock_quantization(benchmark):
+    """The channel under a coarse clock: capacity degrades with the
+    quantum and closes once the quantum exceeds the timing spread."""
+    from repro.channels.timing import quantization_series
+
+    rows = benchmark(lambda: quantization_series(domain_high=31,
+                                                 quanta=(1, 2, 4, 8, 16,
+                                                         64, 1024)))
+
+    table = Table("E11b: timing-channel capacity vs clock quantum",
+                  ["quantum", "leak_bits", "domain_bits"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    capacities = [row["leak_bits"] for row in rows]
+    assert capacities[0] == rows[0]["domain_bits"]   # exact clock: all bits
+    assert capacities == sorted(capacities, reverse=True)
+    assert capacities[-1] == 0.0                     # coarse clock: closed

@@ -1,0 +1,60 @@
+"""E12 — Section 2: the one-way tape and tab(i).
+
+Reproduced figure: reading block 2 under allow(2).  Paper claims: the
+sequential reader cannot be sound (its time encodes len(z1)); constant-
+time tab restores soundness; a tab whose cost depends on skipped cell
+counts re-opens the leak.
+"""
+
+from repro.channels.tape import (per_cell_tab_reader, sequential_reader,
+                                 tab_reader, tape_domain)
+from repro.core import allow, check_soundness, program_as_mechanism
+from repro.verify import Table
+
+from _common import emit
+
+
+def run_experiment():
+    rows = []
+    for block_index, block_count, max_length in ((2, 2, 2), (2, 3, 2),
+                                                 (3, 3, 2)):
+        policy = allow(block_index, arity=block_count)
+        readers = {
+            "sequential": sequential_reader(block_index, block_count,
+                                            max_length),
+            "tab O(1)": tab_reader(block_index, block_count, max_length),
+            "tab O(blocks)": tab_reader(block_index, block_count,
+                                        max_length, constant_time=False),
+            "tab O(cells) broken": per_cell_tab_reader(
+                block_index, block_count, max_length),
+        }
+        for label, q in readers.items():
+            report = check_soundness(program_as_mechanism(q), policy)
+            rows.append({
+                "target_block": block_index,
+                "blocks": block_count,
+                "reader": label,
+                "sound": report.sound,
+                "domain": len(q.domain),
+            })
+    return rows
+
+
+def test_e12_tape(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E12 (Section 2): one-way tape — sequential vs tab(i)",
+                  ["target_block", "blocks", "reader", "sound", "domain"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    for row in rows:
+        if row["reader"] == "sequential":
+            assert not row["sound"]
+        elif row["reader"].startswith("tab O(1)"):
+            assert row["sound"]
+        elif row["reader"] == "tab O(blocks)":
+            assert row["sound"]       # block count is public structure
+        else:
+            assert not row["sound"]   # per-cell cost leaks lengths again

@@ -1,0 +1,84 @@
+"""E15 — Example 1: Fenton's data-mark machine and the halt critique.
+
+Reproduced table: the negative-inference witness programs under both
+halt interpretations.  Paper claims: reading the priv-halt as a
+violation notice is unsound (the message appears iff the priv input is
+zero — negative inference); the no-op reading is sound on the balanced
+program but *undefined* when the halt is the last statement; Fenton's
+own output-mark rule produces distinguishable notices — Example 4's
+leak inside Fenton's machine.
+"""
+
+from repro.core import ProductDomain, allow_none, check_soundness
+from repro.core.errors import UndefinedSemanticsError
+from repro.minsky.fenton import (HaltMode,
+                                 balanced_negative_inference_program,
+                                 fenton_mechanism,
+                                 negative_inference_program,
+                                 undefined_trailing_halt_program)
+from repro.verify import Table
+
+from _common import emit
+
+GRID = ProductDomain.integer_grid(0, 6, 1)
+POLICY = allow_none(1)
+
+
+def run_experiment():
+    rows = []
+    cases = [
+        ("negative-inference", negative_inference_program(HaltMode.NOTICE),
+         False),
+        ("balanced / NOTICE",
+         balanced_negative_inference_program(HaltMode.NOTICE), False),
+        ("balanced / NOOP",
+         balanced_negative_inference_program(HaltMode.NOOP), False),
+        ("negative-inference + output-mark",
+         negative_inference_program(HaltMode.NOTICE), True),
+    ]
+    for label, machine, check_mark in cases:
+        mechanism = fenton_mechanism(machine, GRID, priv_registers=[1],
+                                     check_output_mark=check_mark)
+        report = check_soundness(mechanism, POLICY)
+        notices = sum(1 for point in GRID if not mechanism.passes(*point))
+        rows.append({
+            "machine": label,
+            "halt_mode": str(machine.halt_mode),
+            "sound": report.sound,
+            "notices": notices,
+            "domain": len(GRID),
+        })
+
+    undefined = undefined_trailing_halt_program()
+    mechanism = fenton_mechanism(undefined, GRID, priv_registers=[1])
+    try:
+        mechanism(1)
+        undefined_surfaced = False
+    except UndefinedSemanticsError:
+        undefined_surfaced = True
+    rows.append({
+        "machine": "trailing-halt / NOOP",
+        "halt_mode": "noop",
+        "sound": "UNDEFINED" if undefined_surfaced else "?",
+        "notices": "-",
+        "domain": len(GRID),
+    })
+    return rows
+
+
+def test_e15_fenton(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E15 (Example 1): Fenton halt semantics",
+                  ["machine", "halt_mode", "sound", "notices", "domain"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    by_machine = {row["machine"]: row for row in rows}
+    assert by_machine["negative-inference"]["sound"] is False
+    assert by_machine["negative-inference"]["notices"] == 1  # x = 0 only
+    assert by_machine["balanced / NOTICE"]["sound"] is False
+    assert by_machine["balanced / NOOP"]["sound"] is True
+    assert by_machine["negative-inference + output-mark"]["sound"] is False
+    assert by_machine["trailing-halt / NOOP"]["sound"] == "UNDEFINED"

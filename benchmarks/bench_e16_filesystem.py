@@ -1,0 +1,57 @@
+"""E16 — Example 2 + Example 4: the file system and its monitors.
+
+Reproduced table: for growing file systems, the directory-gated policy
+with (a) the sound reference monitor, (b) the content-leaking monitor,
+(c) the decision-leaking monitor.  Paper claims: the reference monitor
+is sound (its notice decision reads only directories, which the policy
+always allows); mechanisms that leak through violation notices are
+"simply unsound" (Example 4).
+"""
+
+from repro.core import check_soundness, max_leaked_bits
+from repro.filesystem import (content_leaking_monitor,
+                              decision_leaking_monitor,
+                              directory_gated_policy, filesystem_domain,
+                              read_file_program, reference_monitor)
+from repro.verify import Table
+
+from _common import emit
+
+
+def run_experiment():
+    rows = []
+    for file_count, high in ((1, 3), (2, 2), (3, 1)):
+        domain = filesystem_domain(file_count, 0, high)
+        q = read_file_program(1, file_count, domain)
+        policy = directory_gated_policy(file_count)
+        monitors = {
+            "reference": reference_monitor(q, 1),
+            "content-leak": content_leaking_monitor(q, 1),
+            "decision-leak": decision_leaking_monitor(q, 1, threshold=1),
+        }
+        for label, monitor in monitors.items():
+            report = check_soundness(monitor, policy)
+            rows.append({
+                "files": file_count,
+                "states": len(domain),
+                "monitor": label,
+                "sound": report.sound,
+                "leak_bits": max_leaked_bits(monitor, policy),
+            })
+    return rows
+
+
+def test_e16_filesystem(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E16 (Examples 2/4): file-system monitors",
+                  ["files", "states", "monitor", "sound", "leak_bits"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    for row in rows:
+        if row["monitor"] == "reference":
+            assert row["sound"] and row["leak_bits"] == 0.0
+        else:
+            assert not row["sound"] and row["leak_bits"] > 0.0

@@ -1,0 +1,55 @@
+"""E17 — Theorem 4: no effective procedure builds the maximal mechanism.
+
+Reproduced series, the finite shadow of the proof: for the proof's
+program family (r := A(x); output r, policy allow()), (a) certifying
+the maximal mechanism's value at 0 requires examining *every* point of
+the window — cost grows linearly without bound; (b) the verdict
+"M(0) = 0" can flip when the window grows, so no finite check settles
+the (*) equivalence M(0) = 0 <=> forall x. A(x) = 0.
+"""
+
+from repro.core import (ProductDomain, allow_none,
+                        decide_theorem4_output_at_zero, maximal_mechanism,
+                        maximality_cost, theorem4_family)
+from repro.verify import Table
+
+from _common import emit
+
+#: A(x) = 0 up to the horizon, then 1 — indistinguishable from the zero
+#: function on any window below the horizon.
+HORIZON = 60
+
+
+def a_fn(x):
+    return 0 if x < HORIZON else 1
+
+
+def run_experiment():
+    rows = []
+    for high in (15, 31, 63, 127):
+        domain = ProductDomain.integer_grid(0, high, 1)
+        q = theorem4_family(a_fn, domain)
+        construction = maximal_mechanism(q, allow_none(1), domain)
+        rows.append({
+            "window": high + 1,
+            "evaluations": construction.evaluations,
+            "M0_is_zero": decide_theorem4_output_at_zero(construction),
+        })
+    return rows
+
+
+def test_e17_theorem4(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E17 (Theorem 4): maximal-mechanism construction cost",
+                  ["window", "evaluations", "M0_is_zero"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    # Cost is exactly the window size — linear, unbounded in the limit.
+    assert [row["evaluations"] for row in rows] == [row["window"]
+                                                    for row in rows]
+    # The verdict flips when the window first crosses the horizon.
+    verdicts = [row["M0_is_zero"] for row in rows]
+    assert verdicts == [True, True, False, False]

@@ -1,0 +1,69 @@
+"""E20 — Section 2's second question: data security (extension).
+
+The paper asserts without proof that its methods also handle the
+operator/"data security" question (Popek): does the output retain all
+the information it should?  Reproduced table: for the system-table
+program and a range of mechanisms, confinement soundness vs integrity
+preservation — including the tension (suppression helps one, hurts the
+other) and the guarded sweet spot.
+"""
+
+from repro.core import (ProductDomain, Program, ProtectionMechanism,
+                        ViolationNotice, allow, check_guarded,
+                        null_mechanism, program_as_mechanism,
+                        retain_inputs)
+from repro.verify import Table
+
+from _common import emit
+
+GRID = ProductDomain.integer_grid(0, 2, 2)
+
+
+def mechanisms():
+    q = Program(lambda a, b: (a, b), GRID, name="state")
+    slice_q = Program(lambda a, b: a, GRID, name="slice")
+    return [
+        ("identity", program_as_mechanism(q)),
+        ("null", null_mechanism(q)),
+        ("suppress-b>0", ProtectionMechanism(
+            lambda a, b: q(a, b) if b == 0 else ViolationNotice("Λ"), q,
+            name="suppressing")),
+        ("allowed-slice", program_as_mechanism(slice_q)),
+    ]
+
+
+def run_experiment():
+    confinement = allow(1, arity=2)
+    integrity = retain_inputs(1, arity=2)
+    rows = []
+    for label, mechanism in mechanisms():
+        report = check_guarded(mechanism, confinement, integrity)
+        rows.append({
+            "mechanism": label,
+            "confining": report.confinement.sound,
+            "preserving": report.integrity.preserving,
+            "guarded": report.guarded,
+        })
+    return rows
+
+
+def test_e20_data_security(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E20 (Section 2 dual): confinement vs data security",
+                  ["mechanism", "confining", "preserving", "guarded"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    by_label = {row["mechanism"]: row for row in rows}
+    # The tension: each trivial mechanism wins exactly one side.
+    assert by_label["null"]["confining"] and not by_label["null"]["preserving"]
+    assert (by_label["identity"]["preserving"]
+            and not by_label["identity"]["confining"])
+    # Selective suppression fails both: the notice leaks (conditioned on
+    # denied data) AND collapses designated states.
+    assert not by_label["suppress-b>0"]["confining"]
+    assert not by_label["suppress-b>0"]["preserving"]
+    # Outputting exactly the allowed-and-designated slice threads both.
+    assert by_label["allowed-slice"]["guarded"]

@@ -1,0 +1,47 @@
+"""E22 — Section 2's remark: the resource-usage covert channel.
+
+    "a general-purpose operating system in which information can be
+    passed via resource usage patterns"
+
+Reproduced series: a sender/receiver pair sharing only a page pool, at
+several secret widths, with and without background noise, under the
+shared vs partitioned (quota) allocation disciplines.  Claims: the
+shared pool carries the whole secret (unsound for allow(), exact
+recovery); quotas close the channel (the same system becomes sound).
+"""
+
+from repro.osched import channel_report
+from repro.verify import Table
+
+from _common import emit
+
+
+def run_experiment():
+    rows = []
+    for width, noise in ((2, 0), (3, 0), (4, 0), (3, 2)):
+        for row in channel_report(width=width, noise_working_set=noise):
+            row = dict(row)
+            row["noise_pages"] = noise
+            rows.append(row)
+    return rows
+
+
+def test_e22_resource_channel(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E22 (Section 2): resource-usage covert channel",
+                  ["discipline", "secret_bits", "noise_pages",
+                   "sound_for_allow_none", "leaked_bits",
+                   "exact_recovery"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    for row in rows:
+        if row["discipline"] == "shared":
+            assert not row["sound_for_allow_none"]
+            assert row["leaked_bits"] == float(row["secret_bits"])
+            assert row["exact_recovery"]
+        else:
+            assert row["sound_for_allow_none"]
+            assert row["leaked_bits"] == 0.0

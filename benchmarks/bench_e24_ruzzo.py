@@ -1,0 +1,69 @@
+"""E24 — Ruzzo's observations (Section 4), on real Turing machines.
+
+Reproduced table: Q(x1, x2) = "machine x1 halts on its own index after
+exactly x2 steps", policy allow(1).  Paper (Ruzzo): the maximal
+mechanism gives Λ at x1 iff machine x1 halts — the halting problem, so
+the maximal mechanism is not recursive; and soundness of Q for allow()
+is constancy of Q, hence undecidable.
+
+Executable projection: per machine row, the window-bounded maximal
+mechanism's verdict across growing step windows.  Rows of fast halters
+stabilise to Λ; the slow halter's verdict *flips* when the window
+crosses its halting time; the looper's row reads "not yet" at every
+window — and nothing bounded distinguishes that from "never".
+"""
+
+from repro.turing import machine, maximal_rejects, soundness_is_constancy
+from repro.verify import Table
+
+from _common import emit
+
+#: Staggered halting profile under the default enumeration (verified by
+#: the unit tests): steps-to-halt on own index.
+INDICES = {0: 1, 37: 2, 74: 3, 111: 112, 148: None}  # None = never
+WINDOWS = (5, 50, 150)
+
+
+def run_experiment():
+    rows = []
+    for window in WINDOWS:
+        verdicts = maximal_rejects(sorted(INDICES), max_steps=window)
+        for index in sorted(INDICES):
+            rows.append({
+                "window": window,
+                "machine": index,
+                "halts_at": INDICES[index] if INDICES[index] else "never",
+                "Mmax_row_is_violation": verdicts[index],
+            })
+    reductions = [soundness_is_constancy(index, input_range=4,
+                                         max_steps=60)
+                  for index in sorted(INDICES)]
+    return rows, reductions
+
+
+def test_e24_ruzzo(benchmark):
+    rows, reductions = benchmark(run_experiment)
+
+    table = Table("E24 (Ruzzo): the maximal mechanism is a halting oracle",
+                  ["window", "machine", "halts_at",
+                   "Mmax_row_is_violation"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    by_key = {(row["window"], row["machine"]): row for row in rows}
+    # Fast halters: Λ as soon as the window covers their halting time.
+    for window in WINDOWS:
+        for index, halts_at in INDICES.items():
+            expected = halts_at is not None and halts_at <= window
+            assert (by_key[(window, index)]["Mmax_row_is_violation"]
+                    == expected), (window, index)
+    # The slow halter flips between windows 50 and 150 — the verdict is
+    # window-dependent, i.e. not computable from any bounded check.
+    assert not by_key[(50, 111)]["Mmax_row_is_violation"]
+    assert by_key[(150, 111)]["Mmax_row_is_violation"]
+    # The looper never flips.
+    assert all(not by_key[(window, 148)]["Mmax_row_is_violation"]
+               for window in WINDOWS)
+    # Reduction: soundness verdict == constancy verdict on every sample.
+    assert all(constant == sound for constant, sound in reductions)

@@ -1,0 +1,107 @@
+"""E25 — Section 2's database remark: history-dependent enforcement.
+
+Reproduced table: a two-query database session over the Example 2 file
+system, under a query-budget history policy.  Claims made executable:
+the budget gatekeeper (refusals keyed on query *count*) is sound for
+the session policy; a gatekeeper whose lockout is triggered by secret
+*content* leaks through its refusal pattern — negative inference across
+queries — and the ordinary soundness machinery catches it after
+unrolling.
+"""
+
+from repro.core import (SecurityPolicy, budget_gatekeeper, check_soundness,
+                        content_triggered_gatekeeper,
+                        program_as_mechanism, unroll)
+from repro.filesystem import (filesystem_domain, read_file_program,
+                              reference_monitor)
+from repro.verify import Table
+
+from _common import emit
+
+FILE_COUNT = 1
+DOMAIN = filesystem_domain(FILE_COUNT, 0, 1)  # (dir, file) per query
+
+
+def per_query():
+    return read_file_program(1, FILE_COUNT, DOMAIN)
+
+
+def gated_session_policy(length: int, budget: int) -> SecurityPolicy:
+    """Per query within budget: the gated view (dir always, file iff
+    granted); beyond budget: nothing."""
+    arity = 2 * FILE_COUNT
+
+    def filter_fn(*flat):
+        outputs = []
+        for query_index in range(length):
+            chunk = flat[query_index * arity:(query_index + 1) * arity]
+            directory, content = chunk
+            if query_index < budget:
+                outputs.append((directory,
+                                content if directory == "YES" else None))
+            else:
+                outputs.append("exhausted")
+        return tuple(outputs)
+
+    return SecurityPolicy(filter_fn, length * arity,
+                          name=f"I-gated-budget[{budget}]")
+
+
+def run_experiment():
+    length = 2
+    monitor = reference_monitor(per_query(), 1)
+    rows = []
+
+    budget_gate = budget_gatekeeper(monitor, budget=1)
+    budget_unrolled = unroll(budget_gate, per_query(), length)
+    budget_report = check_soundness(budget_unrolled,
+                                    gated_session_policy(length, 1))
+    rows.append({
+        "gatekeeper": "budget[1]",
+        "refusals_keyed_on": "query count",
+        "sound": budget_report.sound,
+        "accepts": len(budget_unrolled.acceptance_set()),
+        "sessions": len(budget_unrolled.domain),
+    })
+
+    generous = budget_gatekeeper(monitor, budget=2)
+    generous_unrolled = unroll(generous, per_query(), length)
+    generous_report = check_soundness(generous_unrolled,
+                                      gated_session_policy(length, 2))
+    rows.append({
+        "gatekeeper": "budget[2]",
+        "refusals_keyed_on": "query count",
+        "sound": generous_report.sound,
+        "accepts": len(generous_unrolled.acceptance_set()),
+        "sessions": len(generous_unrolled.domain),
+    })
+
+    tripwire = content_triggered_gatekeeper(
+        monitor, trip=lambda directory, content: content == 1)
+    tripwire_unrolled = unroll(tripwire, per_query(), length)
+    tripwire_report = check_soundness(tripwire_unrolled,
+                                      gated_session_policy(length, 2))
+    rows.append({
+        "gatekeeper": "tripwire(content=1)",
+        "refusals_keyed_on": "secret content",
+        "sound": tripwire_report.sound,
+        "accepts": len(tripwire_unrolled.acceptance_set()),
+        "sessions": len(tripwire_unrolled.domain),
+    })
+    return rows
+
+
+def test_e25_history_enforcement(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E25 (Section 2): history-dependent sessions",
+                  ["gatekeeper", "refusals_keyed_on", "sound", "accepts",
+                   "sessions"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    by_gate = {row["gatekeeper"]: row for row in rows}
+    assert by_gate["budget[1]"]["sound"]
+    assert by_gate["budget[2]"]["sound"]
+    assert not by_gate["tripwire(content=1)"]["sound"]

@@ -1,0 +1,100 @@
+"""E26 — Section 6: one program, two enforcement models (extension).
+
+    "Not only are these the key questions but our framework is general.
+    It is not biased toward any particular solution for providing
+    security ... it can be used to model capability systems as well as
+    surveillance."
+
+Reproduced table: structured programs compiled to Fenton's data-mark
+machine and enforced there, side by side with flowchart surveillance on
+the same source — same soundness checker, same policies, two models of
+computation.  Ablated across the compiler's three mark disciplines:
+
+- TAINT and PREMARK are sound everywhere; JOIN is **unsound** (the
+  zero-trip-loop negative-inference leak — the machine-level twin of
+  the paper's Example 1 critique);
+- completeness: TAINT ≤ PREMARK, with PREMARK matching flowchart
+  surveillance on straight-through programs and *beating* it on
+  reconvergent branches (Fenton's join restoration = the structured
+  certifier's PC restoration).
+"""
+
+from repro.core import ProductDomain, allow, check_soundness
+from repro.flowchart.parser import parse_program
+from repro.minsky.fcompile import Discipline, compile_to_fenton
+from repro.minsky.fenton import fenton_mechanism
+from repro.surveillance import surveillance_mechanism
+from repro.verify import Table
+
+from _common import emit
+
+GRID = ProductDomain.integer_grid(0, 3, 2)
+
+PROGRAMS = {
+    "guarded-copy": ("program p(x1, x2) "
+                     "{ if x2 == 0 { y := x1 } else { y := 0 } }"),
+    "reconvergence": ("program p(x1, x2) "
+                      "{ if x1 == 0 { r := 1 } else { r := 2 }; "
+                      "y := x2 }"),
+    "countdown": ("program p(x1, x2) { r := x2; "
+                  "while r != 0 { y := y + 1; r := r - 1 } }"),
+}
+
+POLICY = allow(2, arity=2)  # x1 is the denied (priv) input throughout
+
+
+def run_experiment():
+    rows = []
+    for label, source in PROGRAMS.items():
+        program = parse_program(source)
+        surveillance = surveillance_mechanism(program.compile(), POLICY,
+                                              GRID)
+        rows.append({
+            "program": label,
+            "model": "flowchart-surveillance",
+            "sound": check_soundness(surveillance, POLICY).sound,
+            "accepts": len(surveillance.acceptance_set()),
+            "domain": len(GRID),
+        })
+        for discipline in Discipline:
+            machine, registers_map = compile_to_fenton(
+                program, discipline=discipline)
+            mechanism = fenton_mechanism(
+                machine, GRID, priv_registers=[registers_map["x1"]],
+                check_output_mark=True)
+            rows.append({
+                "program": label,
+                "model": f"fenton-{discipline}",
+                "sound": check_soundness(mechanism, POLICY).sound,
+                "accepts": len(mechanism.acceptance_set()),
+                "domain": len(GRID),
+            })
+    return rows
+
+
+def test_e26_cross_model(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E26 (Section 6): one program, two enforcement models",
+                  ["program", "model", "sound", "accepts", "domain"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    by_key = {(row["program"], row["model"]): row for row in rows}
+    for label in PROGRAMS:
+        # Soundness: everything except the JOIN discipline.
+        assert by_key[(label, "flowchart-surveillance")]["sound"]
+        assert by_key[(label, "fenton-taint")]["sound"]
+        assert by_key[(label, "fenton-premark")]["sound"]
+        # Completeness: taint <= premark.
+        assert (by_key[(label, "fenton-taint")]["accepts"]
+                <= by_key[(label, "fenton-premark")]["accepts"])
+    # The JOIN discipline's zero-trip leak shows on guarded-copy.
+    assert not by_key[("guarded-copy", "fenton-join")]["sound"]
+    # PREMARK matches surveillance on the guarded copy...
+    assert (by_key[("guarded-copy", "fenton-premark")]["accepts"]
+            == by_key[("guarded-copy", "flowchart-surveillance")]["accepts"])
+    # ...and beats it on the reconvergent branch.
+    assert (by_key[("reconvergence", "fenton-premark")]["accepts"]
+            > by_key[("reconvergence", "flowchart-surveillance")]["accepts"])

@@ -1,0 +1,84 @@
+"""E27 — Section 6: page faults as the second forgotten observable.
+
+    "Our model is useful for modeling phenomena ignored in other models
+    — such as running time or page faults."
+
+Reproduced table: the fault-channel program (both arms equal in value
+and step count, unequal in memory footprint) under three output models.
+Claim made executable: the Observability Postulate is per-observable —
+enumerating running time is not enough; the same program flips from
+sound to unsound the moment fault counts join the output.  For
+contrast, the timing-loop flips one model earlier, and a
+footprint-balanced variant stays sound under all three.
+"""
+
+from repro.core import (ProductDomain, allow_none, check_soundness,
+                        program_as_mechanism)
+from repro.core.observability import VALUE_AND_TIME, VALUE_ONLY, with_extras
+from repro.flowchart.expr import Const, var
+from repro.flowchart.interpreter import as_program
+from repro.flowchart.library import fault_channel_program, timing_loop
+from repro.flowchart.structured import Assign, If, StructuredProgram
+from repro.verify import Table
+
+from _common import emit
+
+GRID = ProductDomain.integer_grid(0, 5, 1)
+POLICY = allow_none(1)
+MODELS = (("value", VALUE_ONLY),
+          ("value+time", VALUE_AND_TIME),
+          ("value+time+faults", with_extras("faults")))
+
+
+def balanced_program():
+    """Both arms touch the same number of variables: no fault channel.
+
+        if x1 = 0 then a := b else a := c; y := 1
+    """
+    return StructuredProgram(
+        ["x1"],
+        [If(var("x1").eq(0), [Assign("a", var("b"))],
+            [Assign("a", var("c"))]),
+         Assign("y", Const(1))],
+        name="fault-balanced",
+    ).compile()
+
+
+def run_experiment():
+    rows = []
+    programs = (("timing-loop", timing_loop()),
+                ("fault-channel", fault_channel_program()),
+                ("fault-balanced", balanced_program()))
+    for program_name, flowchart in programs:
+        for model_name, model in MODELS:
+            q = as_program(flowchart, GRID, model)
+            sound = check_soundness(program_as_mechanism(q), POLICY).sound
+            rows.append({
+                "program": program_name,
+                "output_model": model_name,
+                "own_mechanism_sound": sound,
+            })
+    return rows
+
+
+def test_e27_page_faults(benchmark):
+    rows = benchmark(run_experiment)
+
+    table = Table("E27 (Section 6): the observable ladder",
+                  ["program", "output_model", "own_mechanism_sound"])
+    for row in rows:
+        table.add_dict(row)
+    emit(table)
+
+    verdict = {(row["program"], row["output_model"]):
+               row["own_mechanism_sound"] for row in rows}
+    # timing-loop: falls at the time rung.
+    assert verdict[("timing-loop", "value")]
+    assert not verdict[("timing-loop", "value+time")]
+    # fault-channel: survives time, falls at the fault rung.
+    assert verdict[("fault-channel", "value")]
+    assert verdict[("fault-channel", "value+time")]
+    assert not verdict[("fault-channel", "value+time+faults")]
+    # balanced footprint: survives all three rungs.
+    assert all(verdict[("fault-balanced", model_name)]
+               for model_name, _ in MODELS)

@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Clears the previous run's reproduced-table file so ``summary.txt``
+always reflects the latest run only.
+"""
+
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results" / "summary.txt"
+
+
+def pytest_sessionstart(session):
+    if RESULTS.exists():
+        RESULTS.unlink()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""History-dependent policies: a query-budgeted database session.
+
+Section 2 notes that real policies can depend "upon a history of the
+user's previous queries".  This script runs a two-query session against
+the Example 2 file store under a budget policy, then demonstrates the
+stateful trap: a gatekeeper whose lockout is triggered by *secret
+content* turns its own refusals into a covert channel — across queries.
+
+Run:  python examples/database_sessions.py
+"""
+
+from repro.core import (SecurityPolicy, budget_gatekeeper, check_soundness,
+                        content_triggered_gatekeeper, is_violation, unroll)
+from repro.filesystem import (filesystem_domain, read_file_program,
+                              reference_monitor)
+
+DOMAIN = filesystem_domain(1, 0, 1)          # one (directory, file) pair
+PER_QUERY = read_file_program(1, 1, DOMAIN)  # READFILE(1)
+MONITOR = reference_monitor(PER_QUERY, 1)
+
+
+def drive_session(gatekeeper, queries):
+    state = gatekeeper.initial_state
+    print(f"   session with {gatekeeper.name}:")
+    for query in queries:
+        output, state = gatekeeper.answer_query(state, query)
+        rendered = (f"notice: {output}" if is_violation(output)
+                    else f"answer: {output}")
+        print(f"     query {query} -> {rendered}")
+    print()
+
+
+def gated_session_policy(length, budget):
+    def filter_fn(*flat):
+        outputs = []
+        for query_index in range(length):
+            directory, content = flat[2 * query_index:2 * query_index + 2]
+            if query_index < budget:
+                outputs.append((directory,
+                                content if directory == "YES" else None))
+            else:
+                outputs.append("exhausted")
+        return tuple(outputs)
+
+    return SecurityPolicy(filter_fn, 2 * length,
+                          name=f"I-gated-budget[{budget}]")
+
+
+def main():
+    print("== the budget gatekeeper (refusals keyed on query count)")
+    gate = budget_gatekeeper(MONITOR, budget=1)
+    drive_session(gate, [("YES", 1), ("YES", 0)])
+
+    unrolled = unroll(gate, PER_QUERY, length=2)
+    policy = gated_session_policy(2, 1)
+    report = check_soundness(unrolled, policy)
+    print(f"   unrolled over all {len(unrolled.domain)} two-query"
+          f" sessions: sound = {report.sound}\n")
+
+    print("== the tripwire gatekeeper (lockout keyed on secret content)")
+    tripwire = content_triggered_gatekeeper(
+        MONITOR, trip=lambda directory, content: content == 1)
+    drive_session(tripwire, [("NO", 1), ("YES", 0)])
+    drive_session(tripwire, [("NO", 0), ("YES", 0)])
+    print("   same policy view for both sessions (the denied file is"
+          " filtered),")
+    print("   different answers to query 2 — the lockout *is* the leak.\n")
+
+    unrolled_trip = unroll(tripwire, PER_QUERY, length=2)
+    report = check_soundness(unrolled_trip, gated_session_policy(2, 2))
+    print(f"   unrolled: sound = {report.sound}")
+    print(f"   witness:  {report.witness}")
+
+
+if __name__ == "__main__":
+    main()

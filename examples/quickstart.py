@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's core concepts in ~5 minutes.
+
+Walks the Section 2 pipeline end to end on the paper's own programs:
+define a program, pick a policy, build mechanisms, decide soundness,
+compare completeness, take unions, and construct the maximal mechanism.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (ProductDomain, allow, check_soundness, compare,
+                   maximal_mechanism, null_mechanism, program_as_mechanism,
+                   surveillance_mechanism, union)
+from repro.core import mechanism_from_table
+from repro.flowchart import library
+from repro.flowchart.interpreter import as_program
+
+
+def main():
+    # -- 1. A program is a total function Q : D1 x ... x Dk -> E --------
+    # The page-48 flowchart:  y := x1; if x2 = 0 then y := 0
+    flowchart = library.forgetting_program()
+    print(flowchart.pretty())
+
+    domain = ProductDomain.integer_grid(0, 3, 2)
+    q = as_program(flowchart, domain)
+    print(f"\nQ(5-ish inputs): Q(1, 0) = {q(1, 0)}, Q(1, 2) = {q(1, 2)}")
+
+    # -- 2. A policy is an information filter ---------------------------
+    # allow(2): the user may learn x2 and *nothing* about x1.
+    policy = allow(2, arity=2)
+    print(f"\npolicy {policy.name}: I(1, 0) = {policy(1, 0)}")
+
+    # -- 3. Mechanisms are gatekeepers -----------------------------------
+    own = program_as_mechanism(q)          # "no protection at all"
+    plug = null_mechanism(q)               # "pulling the plug"
+    surveillance = surveillance_mechanism(flowchart, policy, domain,
+                                          program=q)
+
+    # -- 4. Soundness = factoring through the policy ---------------------
+    for mechanism in (own, plug, surveillance):
+        report = check_soundness(mechanism, policy)
+        verdict = "sound" if report.sound else f"UNSOUND ({report.witness})"
+        accepted = len(mechanism.acceptance_set())
+        print(f"{mechanism.name:30s} {verdict:12s} accepts {accepted}"
+              f"/{len(domain)}")
+
+    # -- 5. Completeness orders sound mechanisms -------------------------
+    comparison = compare(surveillance, plug)
+    print(f"\nsurveillance vs plug-puller: {comparison.order}"
+          f" (|A| = {comparison.first_accepts} vs"
+          f" {comparison.second_accepts})")
+
+    # -- 6. Theorem 1: union --------------------------------------------
+    partial = mechanism_from_table(
+        q, {point: q(*point) for point in domain if point[1] == 0},
+        name="M-by-hand")
+    joined = union(surveillance, partial)
+    print(f"union accepts {len(joined.acceptance_set())} inputs, sound:"
+          f" {check_soundness(joined, policy).sound}")
+
+    # -- 7. Theorem 2: the maximal mechanism ------------------------------
+    construction = maximal_mechanism(q, policy)
+    print(f"maximal mechanism accepts"
+          f" {len(construction.mechanism.acceptance_set())}/{len(domain)}"
+          f" ({construction.constant_classes} constant policy classes,"
+          f" {construction.evaluations} program evaluations)")
+
+
+if __name__ == "__main__":
+    main()

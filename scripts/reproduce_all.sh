@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate every reproduction artifact: tests, experiment benches, and
+# the reproduced tables (benchmarks/results/summary.txt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== installing (offline-safe) =="
+python setup.py develop >/dev/null 2>&1 || pip install -e . >/dev/null
+
+echo "== test suite =="
+pytest tests/ 2>&1 | tee test_output.txt | tail -2
+
+echo "== experiment benches (E01-E27 + micro) =="
+pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt | tail -2
+
+echo "== reproduced tables =="
+echo "   benchmarks/results/summary.txt ($(grep -c '^E' benchmarks/results/summary.txt 2>/dev/null || echo '?') tables)"
+echo "done."

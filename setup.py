@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package installs in offline environments lacking the ``wheel`` module
+(``pip install -e . --no-build-isolation`` falls back to setup.py
+develop via --no-use-pep517).
+"""
+
+from setuptools import setup
+
+setup()

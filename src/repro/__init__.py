@@ -1,0 +1,75 @@
+"""repro — Jones & Lipton, "The Enforcement of Security Policies for
+Computation" (SOSP 1975 / JCSS 17, 1978), as a runnable Python library.
+
+The package mirrors the paper's structure:
+
+- :mod:`repro.core` — Section 2: programs, security policies, protection
+  mechanisms, violation notices, soundness (factorization through the
+  policy), the completeness order, Theorem 1's union, Theorem 2's
+  maximal mechanism, Theorem 4's non-effectiveness, the observability
+  postulate.
+- :mod:`repro.flowchart` — Section 3's flowchart language: boxes,
+  expressions, step-counted interpreter, structured front-end, CFG
+  analysis, the Section 4/5 transforms, and every figure program.
+- :mod:`repro.surveillance` — the surveillance protection mechanism
+  (dynamic and as the literal flowchart instrumentation), the timed
+  variant of Theorem 3′, and the high-water-mark baseline.
+- :mod:`repro.staticflow` — Section 5: Denning-style certification and
+  the policy-specialising transforming compiler.
+- :mod:`repro.minsky` — Example 1: Minsky machines and Fenton's
+  data-mark machine, including the halt-semantics critique.
+- :mod:`repro.filesystem` — Example 2: directories, files, gated
+  policies, sound and notice-leaking reference monitors.
+- :mod:`repro.channels` — Section 2's covert channels: timing, the
+  one-way tape and tab(i), the logon program and the n·k page-boundary
+  password attack, negative inference.
+- :mod:`repro.verify` — sweep and reporting harness for the experiment
+  suite (see EXPERIMENTS.md).
+
+Quick start::
+
+    from repro import (allow, check_soundness, surveillance_mechanism,
+                       ProductDomain)
+    from repro.flowchart import library
+
+    flowchart = library.forgetting_program()
+    domain = ProductDomain.integer_grid(0, 3, 2)
+    policy = allow(2, arity=2)
+    mechanism = surveillance_mechanism(flowchart, policy, domain)
+    assert check_soundness(mechanism, policy).sound
+"""
+
+from .core import (LAMBDA, AllowPolicy, Comparison, Domain,
+                   MaximalConstruction, Observation, Order, ProductDomain,
+                   Program, ProtectionMechanism, SecurityPolicy,
+                   SoundnessReport, SoundnessWitness, ViolationNotice,
+                   VALUE_AND_TIME, VALUE_ONLY, allow, allow_all, allow_none,
+                   as_complete, check_soundness, compare, is_sound,
+                   is_violation, join, leakage_profile, maximal_mechanism,
+                   more_complete, null_mechanism, program,
+                   program_as_mechanism, union)
+from .surveillance import (highwater_mechanism, instrument,
+                           instrumented_mechanism, surveil,
+                           surveillance_mechanism,
+                           timed_surveillance_mechanism)
+from .staticflow import certify, compile_with_transforms
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core re-exports
+    "Domain", "ProductDomain", "Program", "program",
+    "SecurityPolicy", "AllowPolicy", "allow", "allow_all", "allow_none",
+    "ProtectionMechanism", "ViolationNotice", "LAMBDA", "is_violation",
+    "null_mechanism", "program_as_mechanism", "union", "join",
+    "SoundnessReport", "SoundnessWitness", "check_soundness", "is_sound",
+    "Comparison", "Order", "compare", "as_complete", "more_complete",
+    "MaximalConstruction", "maximal_mechanism",
+    "Observation", "VALUE_ONLY", "VALUE_AND_TIME", "leakage_profile",
+    # surveillance re-exports
+    "surveil", "surveillance_mechanism", "timed_surveillance_mechanism",
+    "highwater_mechanism", "instrument", "instrumented_mechanism",
+    # staticflow re-exports
+    "certify", "compile_with_transforms",
+]

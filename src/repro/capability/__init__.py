@@ -1,0 +1,14 @@
+"""Capability systems in the paper's framework (Section 6, Example 6)."""
+
+from .model import (READ, RIGHTS, STAT, WRITE, Capability, CList, ConstOp,
+                    Operation, ReadOp, Script, StatOp, SumOp)
+from .mechanism import (capability_monitor, information_audit,
+                        intended_policy, object_domain, script_program)
+
+__all__ = [
+    "READ", "WRITE", "STAT", "RIGHTS",
+    "Capability", "CList", "Operation", "ReadOp", "StatOp", "SumOp",
+    "ConstOp", "Script",
+    "object_domain", "script_program", "capability_monitor",
+    "intended_policy", "information_audit",
+]

@@ -1,0 +1,145 @@
+"""The capability reference monitor as a formal protection mechanism.
+
+Bridges the capability system into Section 2: the object contents are
+the program's inputs, a :class:`~repro.capability.model.Script` is the
+program, and the monitor — refuse any operation whose required rights
+the C-list lacks — is a :class:`~repro.core.mechanism.ProtectionMechanism`.
+
+Two policies matter:
+
+- the **intended information policy** of a C-list
+  (:func:`intended_policy`): allow exactly the objects the process
+  holds *any* right on that reveals contents (``read``) — what a user
+  granting capabilities believes they granted;
+- the access-control mechanism's **actual** enforcement, which
+  :func:`repro.core.soundness.check_soundness` compares against it.
+
+Example 6 falls out: deny ``read`` on the secret but leave ``stat``,
+and the monitor passes a script whose value depends on the secret — the
+mechanism is a perfectly correct *access* monitor and an unsound
+*information* mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.domains import Domain, ProductDomain
+from ..core.errors import DomainError
+from ..core.mechanism import ProtectionMechanism, ViolationNotice
+from ..core.policy import AllowPolicy, allow
+from ..core.program import Program
+from .model import READ, CList, Script
+
+
+def object_domain(object_names: Sequence[str], low: int = 0,
+                  high: int = 2) -> ProductDomain:
+    """One integer domain per object, in the given (1-based) order."""
+    if not object_names:
+        raise DomainError("need at least one object")
+    return ProductDomain.uniform(Domain.integers(low, high, name="Obj"),
+                                 len(object_names))
+
+
+def script_program(script: Script, object_names: Sequence[str],
+                   domain: Optional[ProductDomain] = None) -> Program:
+    """The script as a Section 2 program over object contents."""
+    names = tuple(object_names)
+    domain = domain if domain is not None else object_domain(names)
+    unknown = script.reads() - set(names)
+    if unknown:
+        raise DomainError(f"script reads unknown objects {sorted(unknown)}")
+
+    def run(*contents):
+        store = dict(zip(names, contents))
+        return script.evaluate(store)
+
+    return Program(run, domain, name=f"Q[{script.name}]")
+
+
+def capability_monitor(script: Script, clist: CList,
+                       object_names: Sequence[str],
+                       domain: Optional[ProductDomain] = None,
+                       program: Optional[Program] = None) -> ProtectionMechanism:
+    """The access-control mechanism: run the script iff every operation's
+    required rights are held; otherwise a violation notice naming the
+    first missing right.
+
+    The monitor's decision depends only on the (static) C-list and the
+    script — never on object contents — so it cannot leak through its
+    *notices*; whether it leaks through *permitted results* is exactly
+    the soundness question.
+    """
+    names = tuple(object_names)
+    protected = program if program is not None else script_program(
+        script, names, domain)
+
+    missing: Optional[Tuple[str, str]] = None
+    for operation in script.operations:
+        for object_name, right in operation.required():
+            if not clist.permits(object_name, right):
+                missing = (object_name, right)
+                break
+        if missing:
+            break
+
+    def monitor(*contents):
+        if missing is not None:
+            return ViolationNotice(
+                f"capability violation: need {missing[1]} on "
+                f"{missing[0]}")
+        return protected(*contents)
+
+    return ProtectionMechanism(monitor, protected,
+                               name=f"M-cap[{script.name}]")
+
+
+def intended_policy(clist: CList,
+                    object_names: Sequence[str]) -> AllowPolicy:
+    """The information policy a C-list *intends*: allow exactly the
+    objects the process may ``read``.
+
+    (Granting ``stat`` is commonly believed not to grant contents;
+    Example 6 is the demonstration that this belief needs checking.)
+    """
+    names = tuple(object_names)
+    indices = tuple(position for position, name in enumerate(names, 1)
+                    if clist.permits(name, READ))
+    return allow(*indices, arity=len(names))
+
+
+def information_audit(script: Script, clist: CList,
+                      object_names: Sequence[str],
+                      domain: Optional[ProductDomain] = None) -> Dict[str, object]:
+    """One-call audit: does the monitor enforce the intended policy?
+
+    Returns the access verdict (does the script run at all?), the
+    soundness verdict against :func:`intended_policy`, and — when
+    unsound — the objects whose contents escape despite lacking
+    ``read``.
+    """
+    from ..core.soundness import check_soundness
+
+    names = tuple(object_names)
+    domain = domain if domain is not None else object_domain(names)
+    program = script_program(script, names, domain)
+    monitor = capability_monitor(script, clist, names, domain,
+                                 program=program)
+    policy = intended_policy(clist, names)
+    report = check_soundness(monitor, policy, domain)
+
+    escaping = []
+    if not report.sound:
+        allowed_positions = set(policy.indices)
+        for position, name in enumerate(names, 1):
+            if position not in allowed_positions and name in script.reads():
+                escaping.append(name)
+    runs = monitor.passes(*next(iter(domain)))
+    return {
+        "script": script.name,
+        "clist": repr(clist),
+        "access_granted": runs,
+        "intended_policy": policy.name,
+        "sound": report.sound,
+        "escaping_objects": escaping,
+    }

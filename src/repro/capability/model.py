@@ -1,0 +1,233 @@
+"""A capability system in the paper's framework (Section 6, Example 6).
+
+Section 6 closes: *"Our model ... can be used to model capability
+systems as well as surveillance."*  This package does so, in the style
+of HYDRA [17]: objects with integer contents, processes holding
+capability lists (C-lists), and operations that execute only when the
+C-list holds the required right.
+
+The point the model makes executable is **Example 6**:
+
+    *Enforcing an access control policy that specifies that the
+    operation READFILE cannot be performed is not the same as ensuring
+    that information about A is not extracted.  The operating system
+    may have a sequence of operations excluding READFILE that has the
+    same effect.*
+
+Here, a process denied ``read`` on a secret object may still hold an
+innocuous-looking aggregate right (``stat``) whose result depends on the
+secret — and the soundness checker duly convicts the access-control
+mechanism (see :mod:`repro.capability.mechanism`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import DomainError
+
+#: The rights a capability may carry.
+READ = "read"
+WRITE = "write"
+STAT = "stat"
+
+RIGHTS = frozenset((READ, WRITE, STAT))
+
+
+class Capability:
+    """A transferable (object, rights) token."""
+
+    __slots__ = ("object_name", "rights")
+
+    def __init__(self, object_name: str, rights: Iterable[str]) -> None:
+        rights = frozenset(rights)
+        unknown = rights - RIGHTS
+        if unknown:
+            raise DomainError(f"unknown rights {sorted(unknown)}")
+        self.object_name = object_name
+        self.rights: FrozenSet[str] = rights
+
+    def __repr__(self) -> str:
+        return f"Capability({self.object_name}, {sorted(self.rights)})"
+
+
+class CList:
+    """A process's capability list.
+
+    ``permits(obj, right)`` is the reference monitor's single question.
+    ``restrict``/``grant`` return new C-lists (C-lists are immutable so
+    experiments can compare configurations safely).
+    """
+
+    def __init__(self, capabilities: Iterable[Capability] = ()) -> None:
+        self._rights: Dict[str, FrozenSet[str]] = {}
+        for capability in capabilities:
+            existing = self._rights.get(capability.object_name, frozenset())
+            self._rights[capability.object_name] = existing | capability.rights
+
+    def permits(self, object_name: str, right: str) -> bool:
+        return right in self._rights.get(object_name, frozenset())
+
+    def rights_on(self, object_name: str) -> FrozenSet[str]:
+        return self._rights.get(object_name, frozenset())
+
+    def objects(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._rights))
+
+    def grant(self, capability: Capability) -> "CList":
+        new = CList()
+        new._rights = dict(self._rights)
+        existing = new._rights.get(capability.object_name, frozenset())
+        new._rights[capability.object_name] = existing | capability.rights
+        return new
+
+    def restrict(self, object_name: str,
+                 remove: Iterable[str]) -> "CList":
+        """Return a C-list with the listed rights removed."""
+        new = CList()
+        new._rights = dict(self._rights)
+        remaining = new._rights.get(object_name, frozenset()) - frozenset(remove)
+        if remaining:
+            new._rights[object_name] = remaining
+        else:
+            new._rights.pop(object_name, None)
+        return new
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{obj}:{''.join(sorted(r[0] for r in rights))}"
+                             for obj, rights in sorted(self._rights.items()))
+        return f"CList({{{rendered}}})"
+
+
+class Operation:
+    """Base class for capability-system operations.
+
+    Each operation declares the rights it requires and computes a value
+    over the object store.  The *declared requirement* vs the *actual
+    information dependence* is exactly the access-vs-information gap
+    of Example 6.
+    """
+
+    def required(self) -> Tuple[Tuple[str, str], ...]:
+        """(object, right) pairs the monitor must check."""
+        raise NotImplementedError
+
+    def reads(self) -> Tuple[str, ...]:
+        """Objects whose contents influence the result."""
+        raise NotImplementedError
+
+    def evaluate(self, store: Dict[str, int]) -> int:
+        raise NotImplementedError
+
+
+class ReadOp(Operation):
+    """READFILE: requires ``read``, returns the object's contents."""
+
+    __slots__ = ("object_name",)
+
+    def __init__(self, object_name: str) -> None:
+        self.object_name = object_name
+
+    def required(self):
+        return ((self.object_name, READ),)
+
+    def reads(self):
+        return (self.object_name,)
+
+    def evaluate(self, store):
+        return store[self.object_name]
+
+    def __repr__(self):
+        return f"ReadOp({self.object_name})"
+
+
+class StatOp(Operation):
+    """A 'harmless' metadata operation: requires only ``stat``...
+
+    ...but its result (here: whether the object is non-empty) depends on
+    the contents.  This is the Example 6 trap in one operation.
+    """
+
+    __slots__ = ("object_name",)
+
+    def __init__(self, object_name: str) -> None:
+        self.object_name = object_name
+
+    def required(self):
+        return ((self.object_name, STAT),)
+
+    def reads(self):
+        return (self.object_name,)
+
+    def evaluate(self, store):
+        return 1 if store[self.object_name] != 0 else 0
+
+    def __repr__(self):
+        return f"StatOp({self.object_name})"
+
+
+class SumOp(Operation):
+    """An aggregate over several objects; requires ``stat`` on each."""
+
+    __slots__ = ("object_names",)
+
+    def __init__(self, object_names: Sequence[str]) -> None:
+        self.object_names = tuple(object_names)
+
+    def required(self):
+        return tuple((name, STAT) for name in self.object_names)
+
+    def reads(self):
+        return self.object_names
+
+    def evaluate(self, store):
+        return sum(store[name] for name in self.object_names)
+
+    def __repr__(self):
+        return f"SumOp({list(self.object_names)})"
+
+
+class ConstOp(Operation):
+    """A pure computation touching no objects (always permitted)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def required(self):
+        return ()
+
+    def reads(self):
+        return ()
+
+    def evaluate(self, store):
+        return self.value
+
+    def __repr__(self):
+        return f"ConstOp({self.value})"
+
+
+class Script:
+    """A fixed sequence of operations; the script's value is the sum of
+    its operations' results (a single-output view function)."""
+
+    def __init__(self, operations: Sequence[Operation],
+                 name: str = "script") -> None:
+        if not operations:
+            raise DomainError("a script needs at least one operation")
+        self.operations = tuple(operations)
+        self.name = name
+
+    def reads(self) -> FrozenSet[str]:
+        result: set = set()
+        for operation in self.operations:
+            result |= set(operation.reads())
+        return frozenset(result)
+
+    def evaluate(self, store: Dict[str, int]) -> int:
+        return sum(operation.evaluate(store)
+                   for operation in self.operations)
+
+    def __repr__(self) -> str:
+        return f"Script({self.name}: {list(self.operations)})"

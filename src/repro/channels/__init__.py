@@ -1,0 +1,27 @@
+"""Covert channels from Section 2: timing, tape, passwords, inference."""
+
+from .timing import (leak_bits, step_count_table, timing_attack,
+                     timing_report)
+from .tape import (block_domain, per_cell_tab_reader, sequential_reader,
+                   tab_reader, tape_domain)
+from .password import (AttackResult, PagedComparator, brute_force_attack,
+                       constant_time_logon_program, logon_leak_bits,
+                       logon_policy, logon_program, page_boundary_attack,
+                       paged_logon_program, per_query_leak_comparison,
+                       table_domain, work_factor_row)
+from .inference import (HOLMES_QUOTE, InferenceAnalysis,
+                        analyse_notice_channel,
+                        conditional_notice_mechanism,
+                        fenton_halt_mechanism)
+
+__all__ = [
+    "step_count_table", "timing_attack", "leak_bits", "timing_report",
+    "block_domain", "tape_domain", "sequential_reader", "tab_reader",
+    "per_cell_tab_reader",
+    "logon_program", "logon_policy", "logon_leak_bits", "table_domain",
+    "PagedComparator", "AttackResult", "brute_force_attack",
+    "page_boundary_attack", "work_factor_row", "paged_logon_program",
+    "constant_time_logon_program", "per_query_leak_comparison",
+    "HOLMES_QUOTE", "conditional_notice_mechanism",
+    "fenton_halt_mechanism", "InferenceAnalysis", "analyse_notice_channel",
+]

@@ -1,0 +1,110 @@
+"""Negative inference: learning from what *didn't* happen (Example 1).
+
+    Inspector: "Is there any other point to which you would wish to draw
+    my attention?"
+    Holmes: "To the curious incident of the dog in the night-time."
+    Inspector: "The dog did nothing in the night-time."
+    Holmes: "That was the curious incident."
+
+A mechanism whose *silences* are informative is unsound even if every
+individual message looks harmless.  This module provides generic
+constructors for notice-channel mechanisms and their analysis, tying
+together Example 1 (Fenton's halt), Example 4 (notice leaks), and the
+paper's Holmes illustration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.domains import ProductDomain
+from ..core.mechanism import LAMBDA, ProtectionMechanism, ViolationNotice
+from ..core.policy import SecurityPolicy
+from ..core.program import Program
+from ..core.soundness import check_soundness
+
+#: The paper's Doyle citation, for docs and demo output.
+HOLMES_QUOTE = (
+    'Holmes: "To the curious incident of the dog in the nighttime." / '
+    'Inspector: "The dog did nothing in the nighttime." / '
+    'Holmes: "That was the curious incident."'
+)
+
+
+def conditional_notice_mechanism(program: Program,
+                                 warn_when: Callable[..., bool],
+                                 notice: ViolationNotice = LAMBDA,
+                                 name: str = "M-conditional") -> ProtectionMechanism:
+    """A gatekeeper that warns exactly when ``warn_when(*inputs)`` holds.
+
+    The shape of every negative-inference bug: whether the notice
+    appears is itself a predicate of the inputs.  If that predicate is
+    not a function of the *policy-filtered* inputs, the mechanism is
+    unsound — the absence of the message tells the user ``not
+    warn_when(inputs)``.
+    """
+
+    def mechanism_fn(*inputs):
+        if warn_when(*inputs):
+            return notice
+        return program(*inputs)
+
+    return ProtectionMechanism(mechanism_fn, program, name=name)
+
+
+def fenton_halt_mechanism(program: Program,
+                          secret_is_zero_index: int = 1) -> ProtectionMechanism:
+    """The Example 1 shape: an error message iff the secret input is 0.
+
+    "a program can be written that will output an error message if and
+    only if x = 0 ... the absence of an error message would indicate
+    that x != 0."
+    """
+    position = secret_is_zero_index - 1
+
+    def zero_secret(*inputs):
+        return inputs[position] == 0
+
+    return conditional_notice_mechanism(
+        program, zero_secret,
+        notice=ViolationNotice("error"),
+        name="M-fenton-halt")
+
+
+class InferenceAnalysis:
+    """What the presence/absence of a notice reveals, over a domain."""
+
+    def __init__(self, sound: bool, notice_inputs: int, quiet_inputs: int,
+                 revealed_predicate: Optional[str]) -> None:
+        self.sound = sound
+        self.notice_inputs = notice_inputs
+        self.quiet_inputs = quiet_inputs
+        self.revealed_predicate = revealed_predicate
+
+    def __repr__(self) -> str:
+        return (f"InferenceAnalysis(sound={self.sound}, "
+                f"notice_on={self.notice_inputs}, quiet_on={self.quiet_inputs})")
+
+
+def analyse_notice_channel(mechanism: ProtectionMechanism,
+                           policy: SecurityPolicy,
+                           domain: Optional[ProductDomain] = None) -> InferenceAnalysis:
+    """Quantify a mechanism's notice channel.
+
+    Sound mechanisms partition each policy class wholly into "notice"
+    or "quiet"; an unsound one splits some class, and the split *is*
+    the leaked predicate.
+    """
+    domain = domain if domain is not None else mechanism.domain
+    report = check_soundness(mechanism, policy, domain)
+    notice_inputs = sum(1 for point in domain if not mechanism.passes(*point))
+    quiet_inputs = len(domain) - notice_inputs
+    revealed = None
+    if not report.sound and report.witness is not None:
+        revealed = (
+            f"distinguishes {report.witness.first!r} from "
+            f"{report.witness.second!r} within policy class "
+            f"{report.witness.policy_value!r}"
+        )
+    return InferenceAnalysis(report.sound, notice_inputs, quiet_inputs,
+                             revealed)

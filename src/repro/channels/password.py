@@ -1,0 +1,274 @@
+"""The logon program (Example 5) and the password work-factor attack.
+
+Example 5: ``Q(userid, table, password) -> {true, false}`` is **unsound**
+as its own mechanism for ``allow(1, 3)`` (deny the password table): a
+correct guess distinguishes tables.  "The reason this program is
+workable in practice is that the amount of information obtained by the
+user is 'small'" — :func:`logon_leak_bits` measures it (1 bit/query).
+
+Section 2's classic work-factor story: passwords of exactly k characters
+over an n-character alphabet.  Guessing costs n^k attempts — unless the
+system compares character by character across *page boundaries*, in
+which case observable page movement tells the attacker how many leading
+characters matched, and the work factor collapses to n·k:
+
+    *the work factor can be reduced to n · k by appropriately placing
+    candidate passwords across page boundaries and observing page
+    movement resulting from "guessing" password values.*
+
+:class:`PagedComparator` simulates the paged memory; the two attacks
+return exact guess counts so bench E14 can chart n^k vs n·k.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.domains import Domain, ProductDomain
+from ..core.errors import DomainError
+from ..core.program import Program
+from ..core.soundness import max_leaked_bits
+from ..core.mechanism import program_as_mechanism
+from ..core.policy import allow
+
+
+# -- Example 5: the logon program ----------------------------------------
+
+def table_domain(userids: Sequence[str],
+                 passwords: Sequence[str]) -> Domain:
+    """All password tables: one (userid, password) pair per userid."""
+    assignments = itertools.product(passwords, repeat=len(userids))
+    tables = [frozenset(zip(userids, chosen)) for chosen in assignments]
+    return Domain(tables, name="Tables")
+
+
+def logon_program(userids: Sequence[str],
+                  passwords: Sequence[str]) -> Program:
+    """Example 5's Q: true iff (userid, password) is in the table."""
+    domain = ProductDomain(
+        Domain(userids, name="Userids"),
+        table_domain(userids, passwords),
+        Domain(passwords, name="Passwords"),
+    )
+
+    def logon(userid, table, password):
+        return (userid, password) in table
+
+    return Program(logon, domain, name="logon")
+
+
+def logon_policy(arity: int = 3):
+    """``allow(1, 3)`` — deny everything about the password table."""
+    return allow(1, 3, arity=arity)
+
+
+def logon_leak_bits(userids: Sequence[str],
+                    passwords: Sequence[str]) -> float:
+    """Bits leaked per query by Q-as-its-own-mechanism (expected: 1.0).
+
+    The policy class fixes (userid, password); across tables the output
+    splits into {true, false} — a single bit, which is why password
+    systems are tolerable despite being unsound.
+    """
+    program = logon_program(userids, passwords)
+    return max_leaked_bits(program_as_mechanism(program), logon_policy())
+
+
+# -- Section 2: the work-factor attack ------------------------------------
+
+class PagedComparator:
+    """A password check running over simulated paged memory.
+
+    The candidate is laid out so a page boundary falls after its
+    ``boundary_after``-th character; comparison proceeds left to right
+    and *faults in the next page* only if comparison gets that far.
+    Observable output: (accepted, page_faults) — the paper's "page
+    movement".
+    """
+
+    def __init__(self, secret: str, page_size: int = 1) -> None:
+        if not secret:
+            raise DomainError("secret password must be non-empty")
+        if page_size < 1:
+            raise DomainError("page size must be >= 1")
+        self.secret = secret
+        self.page_size = page_size
+        self.comparisons = 0
+
+    def attempt(self, candidate: str, boundary_after: int) -> Tuple[bool, int]:
+        """Try a candidate with a page boundary after the given prefix.
+
+        Returns (accepted, observed page faults).  Characters strictly
+        beyond ``boundary_after`` live on later pages; each page is
+        faulted in only when the comparator's scan first touches it.
+        """
+        self.comparisons += 1
+        faults = 0
+        matched = 0
+        for position, (expected, got) in enumerate(zip(self.secret, candidate)):
+            if position >= boundary_after and (
+                    (position - boundary_after) % self.page_size == 0):
+                faults += 1  # scan crossed into a new page
+            if expected != got:
+                return (False, faults)
+            matched += 1
+        accepted = (matched == len(self.secret)
+                    and len(candidate) == len(self.secret))
+        return (accepted, faults)
+
+
+class AttackResult:
+    """Outcome of a password-recovery attack."""
+
+    def __init__(self, recovered: Optional[str], guesses: int,
+                 strategy: str) -> None:
+        self.recovered = recovered
+        self.guesses = guesses
+        self.strategy = strategy
+
+    @property
+    def succeeded(self) -> bool:
+        return self.recovered is not None
+
+    def __repr__(self) -> str:
+        return (f"AttackResult({self.strategy}: {self.recovered!r} "
+                f"in {self.guesses} guesses)")
+
+
+def brute_force_attack(secret: str, alphabet: Sequence[str]) -> AttackResult:
+    """Enumerate all n^k candidates against a constant-time comparator.
+
+    The comparator reveals only accept/reject (no page faults): the
+    attacker must in the worst case try every length-k string.
+    """
+    length = len(secret)
+    guesses = 0
+    for candidate_chars in itertools.product(alphabet, repeat=length):
+        candidate = "".join(candidate_chars)
+        guesses += 1
+        if candidate == secret:
+            return AttackResult(candidate, guesses, "brute-force")
+    return AttackResult(None, guesses, "brute-force")
+
+
+def page_boundary_attack(secret: str,
+                         alphabet: Sequence[str]) -> AttackResult:
+    """The paper's n·k attack via observable page movement.
+
+    Recover the password one character at a time: place the boundary
+    right after the position under attack; a guess whose observed fault
+    count shows the scan crossed the boundary had the whole prefix
+    right.  Worst case ``n`` guesses per character — ``n · k`` total.
+    """
+    comparator = PagedComparator(secret)
+    length = len(secret)
+    known = ""
+    guesses = 0
+    padding = alphabet[0]
+    for position in range(length):
+        found = None
+        for symbol in alphabet:
+            candidate = (known + symbol).ljust(length, padding)
+            guesses += 1
+            accepted, faults = comparator.attempt(
+                candidate, boundary_after=position + 1)
+            if accepted:
+                return AttackResult(candidate, guesses, "page-boundary")
+            if faults > 0:
+                # The scan crossed the boundary: positions 0..position
+                # all matched, so `symbol` is correct at `position`.
+                found = symbol
+                break
+        if found is None:
+            return AttackResult(None, guesses, "page-boundary")
+        known += found
+    # All characters known; one confirming guess.
+    guesses += 1
+    accepted, _ = comparator.attempt(known, boundary_after=length)
+    return AttackResult(known if accepted else None, guesses,
+                        "page-boundary")
+
+
+def work_factor_row(alphabet_size: int, length: int,
+                    secret: Optional[str] = None) -> Dict[str, object]:
+    """One row of the E14 table: measured guesses vs the paper's bounds.
+
+    The worst-case secret (last in enumeration order) is used unless a
+    specific one is given.
+    """
+    alphabet = [chr(ord("a") + offset) for offset in range(alphabet_size)]
+    if secret is None:
+        secret = alphabet[-1] * length  # worst case for both attacks
+    if len(secret) != length or any(ch not in alphabet for ch in secret):
+        raise DomainError("secret must be length-k over the alphabet")
+    brute = brute_force_attack(secret, alphabet)
+    paged = page_boundary_attack(secret, alphabet)
+    return {
+        "n": alphabet_size,
+        "k": length,
+        "brute_guesses": brute.guesses,
+        "brute_bound": alphabet_size ** length,
+        "paged_guesses": paged.guesses,
+        "paged_bound": alphabet_size * length + 1,
+        "brute_ok": brute.succeeded,
+        "paged_ok": paged.succeeded,
+    }
+
+
+# -- the paged comparator inside the formal framework ---------------------
+
+def paged_logon_program(alphabet: Sequence[str], length: int,
+                        boundary_after: int = 1) -> Program:
+    """The paged password check as a Section 2 program.
+
+    ``Q(secret, candidate) = (accepted, page_faults)`` — the
+    Observability Postulate applied to Section 2's attack: page movement
+    is an output, so it must appear in Q's range.  Domains are all
+    length-k strings over the alphabet for both positions.
+    """
+    candidates = ["".join(chars) for chars in
+                  itertools.product(alphabet, repeat=length)]
+    domain = ProductDomain(Domain(candidates, name="Secret"),
+                           Domain(candidates, name="Guess"))
+
+    def check(secret: str, candidate: str):
+        comparator = PagedComparator(secret)
+        return comparator.attempt(candidate, boundary_after)
+
+    return Program(check, domain, name=f"logon-paged[{boundary_after}]")
+
+
+def constant_time_logon_program(alphabet: Sequence[str],
+                                length: int) -> Program:
+    """The fixed comparator: accept/reject only, no observable faults."""
+    candidates = ["".join(chars) for chars in
+                  itertools.product(alphabet, repeat=length)]
+    domain = ProductDomain(Domain(candidates, name="Secret"),
+                           Domain(candidates, name="Guess"))
+
+    def check(secret: str, candidate: str):
+        return secret == candidate
+
+    return Program(check, domain, name="logon-const")
+
+
+def per_query_leak_comparison(alphabet: Sequence[str],
+                              length: int) -> Dict[str, float]:
+    """Bits leaked per guess, constant-time vs paged comparator.
+
+    The formal root of the work-factor collapse: under ``allow(2)``
+    (the guess is the user's own; the secret is denied), the constant-
+    time check leaks at most 1 bit per query while the paged check's
+    (accepted, faults) output leaks more — which compounds into the
+    n·k attack of :func:`page_boundary_attack`.
+    """
+    policy = allow(2, arity=2)
+    constant = program_as_mechanism(
+        constant_time_logon_program(alphabet, length))
+    paged = program_as_mechanism(
+        paged_logon_program(alphabet, length, boundary_after=1))
+    return {
+        "constant_time_bits": max_leaked_bits(constant, policy),
+        "paged_bits": max_leaked_bits(paged, policy),
+    }

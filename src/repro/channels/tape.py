@@ -1,0 +1,122 @@
+"""The one-way tape and the ``tab(i)`` operation (Section 2).
+
+    *Let programs have inputs placed on a linear one-way read-only tape
+    ... Consider a security policy allow(2).  Then no program Q can read
+    z2 and also be sound, provided running time is observable ... it
+    must move across z1 ... hence Q will not be sound.  One answer is to
+    add a new operation, say tab(i).  This operation in one step causes
+    the read head to jump directly to the i-th block ... Perhaps tab(i)
+    takes time dependent on the length of z1, ..., z_{i-1}?  ... one
+    solution is to program tab(i) so that it runs in constant time.*
+
+We model the tape as a sequence of blocks (tuples of symbols).  Three
+readers of block i are provided, differing only in how the head reaches
+the block — each is a Program whose output is ``(block_value, steps)``:
+
+- :func:`sequential_reader` walks cell by cell: steps include
+  ``len(z1) + ... + len(z_{i-1})`` — unsound for ``allow(i)``;
+- :func:`tab_reader` with ``constant_time=True`` jumps in one step —
+  sound;
+- :func:`tab_reader` with ``constant_time=False`` is the "broken tab"
+  whose jump costs one step per *block* skipped... still fine — and
+  ``per_cell_tab`` costs one step per cell skipped, which re-opens the
+  leak exactly as the paper warns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.domains import Domain, ProductDomain
+from ..core.errors import DomainError
+from ..core.program import Program
+
+
+def block_domain(max_length: int, symbols: Tuple[int, ...] = (0, 1),
+                 name: str = "Block") -> Domain:
+    """All blocks (tuples over ``symbols``) of length 1..max_length.
+
+    Varying-*length* blocks are the point: the leak is the length of
+    the blocks the head crosses, not their contents.
+    """
+    if max_length < 1:
+        raise DomainError("blocks need length >= 1")
+    blocks = []
+    frontier: list = [()]
+    for _ in range(max_length):
+        frontier = [block + (symbol,) for block in frontier
+                    for symbol in symbols]
+        blocks.extend(frontier)
+    return Domain(blocks, name=name)
+
+
+def tape_domain(block_count: int, max_length: int = 2) -> ProductDomain:
+    """A tape of ``block_count`` independent blocks."""
+    return ProductDomain.uniform(block_domain(max_length), block_count)
+
+
+def _decode(block: Tuple[int, ...]) -> int:
+    """A block's value as an integer (binary, MSB first)."""
+    value = 0
+    for symbol in block:
+        value = value * 2 + symbol
+    return value
+
+
+def sequential_reader(block_index: int, block_count: int,
+                      max_length: int = 2) -> Program:
+    """Read block i by walking the head across every earlier cell.
+
+    steps = cells crossed before the block + cells of the block itself,
+    so the step count encodes ``sum(len(z_j) for j < i)`` — the lengths
+    of data the policy may deny.
+    """
+    domain = tape_domain(block_count, max_length)
+
+    def read(*blocks):
+        steps = 0
+        for block in blocks[:block_index - 1]:
+            steps += len(block)          # crossing z1 ... z_{i-1}
+        target = blocks[block_index - 1]
+        steps += len(target)             # reading z_i itself
+        return (_decode(target), steps)
+
+    return Program(read, domain, name=f"tape-seq({block_index})")
+
+
+def tab_reader(block_index: int, block_count: int, max_length: int = 2,
+               constant_time: bool = True) -> Program:
+    """Read block i after a ``tab(i)`` jump.
+
+    ``constant_time=True`` is the paper's fix: the jump costs exactly
+    one step.  ``constant_time=False`` models a tab microcoded as "skip
+    i-1 blocks", costing one step per skipped *block* — still sound,
+    since the block count is public structure, not data.
+    """
+    domain = tape_domain(block_count, max_length)
+    jump_cost = 1 if constant_time else block_index
+
+    def read(*blocks):
+        target = blocks[block_index - 1]
+        return (_decode(target), jump_cost + len(target))
+
+    return Program(read, domain,
+                   name=f"tape-tab({block_index}, "
+                        f"{'O(1)' if constant_time else 'O(blocks)'})")
+
+
+def per_cell_tab_reader(block_index: int, block_count: int,
+                        max_length: int = 2) -> Program:
+    """The *broken* tab the paper warns about: cost ∝ skipped cells.
+
+    "Perhaps tab(i) takes time dependent on the length of z1,...,z_{i-1}?"
+    — then the tab's time is exactly the sequential reader's leak again.
+    """
+    domain = tape_domain(block_count, max_length)
+
+    def read(*blocks):
+        skipped = sum(len(block) for block in blocks[:block_index - 1])
+        target = blocks[block_index - 1]
+        return (_decode(target), skipped + len(target))
+
+    return Program(read, domain, name=f"tape-tab-broken({block_index})")

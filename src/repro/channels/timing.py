@@ -1,0 +1,125 @@
+"""Timing channels (Section 2's observability discussion).
+
+The paper's constant-function program — ``Q(x) = 1`` for every x, via a
+loop that decrements x to zero — is the canonical demonstration that a
+"sound-looking" mechanism breaks when running time is an unstated
+observable.  This module packages:
+
+- the program itself (from the figure library),
+- :func:`timing_attack`: given only ``(value, steps)`` observations,
+  reconstruct the secret input exactly,
+- :func:`leak_bits`: how many bits the timing channel carries over a
+  domain (log2 of the number of distinguishable step counts),
+- :func:`timing_report`: the E11 experiment row.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..core.domains import ProductDomain
+from ..core.mechanism import program_as_mechanism
+from ..core.observability import VALUE_AND_TIME, VALUE_ONLY
+from ..core.policy import allow_none
+from ..core.soundness import check_soundness
+from ..flowchart.interpreter import as_program, execute
+from ..flowchart.library import timing_loop
+from ..flowchart.program import Flowchart
+
+
+def step_count_table(flowchart: Flowchart,
+                     domain: ProductDomain) -> Dict[Tuple, int]:
+    """Map each input to its step count — the attacker's codebook."""
+    return {point: execute(flowchart, point).steps for point in domain}
+
+
+def timing_attack(flowchart: Flowchart, domain: ProductDomain,
+                  observed_steps: int) -> List[Tuple]:
+    """Invert the timing channel: which inputs produce this step count?
+
+    A singleton result means the step count identifies the secret input
+    exactly (full recovery); the paper's loop program has this property
+    on any integer interval.
+    """
+    table = step_count_table(flowchart, domain)
+    return [point for point, steps in table.items()
+            if steps == observed_steps]
+
+
+def leak_bits(flowchart: Flowchart, domain: ProductDomain) -> float:
+    """Bits carried by the timing channel over the domain.
+
+    log2 of the number of distinct step counts: the channel partitions
+    the domain into that many distinguishable cells.
+    """
+    distinct = set(step_count_table(flowchart, domain).values())
+    return math.log2(len(distinct)) if distinct else 0.0
+
+
+def timing_report(domain_high: int = 15) -> dict:
+    """Experiment E11: the paper's constant-function timing leak.
+
+    Returns the row for EXPERIMENTS.md: sound without time, unsound
+    with time, and the channel capacity (full recovery of x).
+    """
+    flowchart = timing_loop()
+    domain = ProductDomain.integer_grid(0, domain_high, 1)
+    policy = allow_none(1)
+
+    value_program = as_program(flowchart, domain, VALUE_ONLY)
+    timed_program = as_program(flowchart, domain, VALUE_AND_TIME)
+    sound_without_time = check_soundness(
+        program_as_mechanism(value_program), policy).sound
+    sound_with_time = check_soundness(
+        program_as_mechanism(timed_program), policy).sound
+
+    bits = leak_bits(flowchart, domain)
+    full_domain_bits = math.log2(len(domain))
+    # Full recovery check: every observed step count pins down one input.
+    recoveries = [timing_attack(flowchart, domain,
+                                execute(flowchart, point).steps)
+                  for point in domain]
+    exact = all(len(candidates) == 1 for candidates in recoveries)
+
+    return {
+        "program": flowchart.name,
+        "domain_size": len(domain),
+        "sound_value_only": sound_without_time,
+        "sound_with_time": sound_with_time,
+        "leak_bits": bits,
+        "domain_bits": full_domain_bits,
+        "exact_recovery": exact,
+    }
+
+
+def quantized_leak_bits(flowchart: Flowchart, domain: ProductDomain,
+                        quantum: int) -> float:
+    """Channel capacity when the attacker's clock ticks every ``quantum``
+    steps.
+
+    Real observers rarely see exact step counts; a coarser clock
+    partitions the domain into fewer distinguishable cells.  At
+    ``quantum = 1`` this is :func:`leak_bits`; as the quantum grows past
+    the program's timing spread the channel closes.
+    """
+    if quantum < 1:
+        raise ValueError("clock quantum must be >= 1")
+    buckets = {steps // quantum
+               for steps in step_count_table(flowchart, domain).values()}
+    return math.log2(len(buckets)) if buckets else 0.0
+
+
+def quantization_series(domain_high: int = 15,
+                        quanta=(1, 2, 4, 8, 16, 32)) -> List[dict]:
+    """E11's degradation series: capacity vs clock coarseness."""
+    flowchart = timing_loop()
+    domain = ProductDomain.integer_grid(0, domain_high, 1)
+    rows = []
+    for quantum in quanta:
+        rows.append({
+            "quantum": quantum,
+            "leak_bits": quantized_leak_bits(flowchart, domain, quantum),
+            "domain_bits": math.log2(len(domain)),
+        })
+    return rows

@@ -1,0 +1,382 @@
+"""Command-line interface: analyse programs for policies from a shell.
+
+Subcommands:
+
+- ``run``         — execute a program on given inputs, print value + steps;
+- ``analyze``     — build a protection mechanism for (program, policy) and
+  report soundness, acceptance, and per-input verdicts;
+- ``certify``     — static certification verdict with the flow analysis;
+- ``transform``   — apply a Section 4/5 transform and print the result;
+- ``dot``         — render a flowchart (optionally its surveillance
+  instrumentation) as Graphviz DOT;
+- ``library``     — list the paper's built-in figure programs;
+- ``experiments`` — list the experiment index E01–E27.
+
+Programs come from a file / literal source in the concrete syntax
+(see :mod:`repro.flowchart.parser`) or from the figure library::
+
+    python -m repro analyze --library forgetting --policy "allow(2)" \
+        --low 0 --high 3
+    python -m repro run --source "program p(x1) { y := x1 * 2 }" -- 21
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import ProductDomain, VALUE_AND_TIME, VALUE_ONLY, check_soundness
+from .core.errors import ReproError
+from .flowchart import library as figure_library
+from .flowchart.interpreter import as_program, execute
+from .flowchart.parser import parse_policy, parse_program
+from .flowchart.program import Flowchart
+from .verify import Table
+
+#: Library programs addressable from the command line.
+LIBRARY = {
+    "timing-loop": figure_library.timing_loop,
+    "forgetting": figure_library.forgetting_program,
+    "reconvergence": figure_library.reconvergence_program,
+    "example7": figure_library.example7_program,
+    "example8": figure_library.example8_program,
+    "example9": figure_library.example9_program,
+    "parity": figure_library.parity_program,
+    "guarded-copy": figure_library.guarded_copy_program,
+    "mixer": figure_library.mixer_program,
+    "max": figure_library.max_program,
+    "nested-branch": figure_library.nested_branch_program,
+    "accumulate": figure_library.accumulate_program,
+    "fault-channel": figure_library.fault_channel_program,
+    "gcd": figure_library.gcd_program,
+    "min": figure_library.min_program,
+    "countdown-pair": figure_library.countdown_pair_program,
+}
+
+MECHANISMS = ("surveillance", "timed", "highwater", "maximal", "none")
+
+
+def _load_flowchart(args) -> Flowchart:
+    sources = [bool(args.library), bool(args.source), bool(args.file)]
+    if sum(sources) != 1:
+        raise ReproError(
+            "provide exactly one of --library, --source, --file")
+    if args.library:
+        try:
+            return LIBRARY[args.library]()
+        except KeyError:
+            known = ", ".join(sorted(LIBRARY))
+            raise ReproError(
+                f"unknown library program {args.library!r}; "
+                f"known: {known}") from None
+    if args.file:
+        with open(args.file) as handle:
+            source = handle.read()
+    else:
+        source = args.source
+    return parse_program(source).compile()
+
+
+def _add_program_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--library", help="a built-in figure program")
+    parser.add_argument("--source", help="program text (concrete syntax)")
+    parser.add_argument("--file", help="path to a program file")
+
+
+def _build_mechanism(kind: str, flowchart, policy, domain, output_model):
+    from .core import maximal_mechanism, program_as_mechanism
+    from .surveillance import (highwater_mechanism, surveillance_mechanism,
+                               timed_surveillance_mechanism)
+
+    program = as_program(flowchart, domain, output_model)
+    if kind == "surveillance":
+        return surveillance_mechanism(flowchart, policy, domain,
+                                      output_model=output_model,
+                                      program=program)
+    if kind == "timed":
+        return timed_surveillance_mechanism(flowchart, policy, domain,
+                                            output_model=output_model,
+                                            program=program)
+    if kind == "highwater":
+        return highwater_mechanism(flowchart, policy, domain,
+                                   output_model=output_model,
+                                   program=program)
+    if kind == "maximal":
+        return maximal_mechanism(program, policy, domain).mechanism
+    return program_as_mechanism(program)
+
+
+def command_run(args) -> int:
+    flowchart = _load_flowchart(args)
+    inputs = tuple(int(value) for value in args.inputs)
+    result = execute(flowchart, inputs, fuel=args.fuel)
+    print(f"value: {result.value}")
+    print(f"steps: {result.steps}")
+    return 0
+
+
+def command_analyze(args) -> int:
+    flowchart = _load_flowchart(args)
+    domain = ProductDomain.integer_grid(args.low, args.high,
+                                        flowchart.arity)
+    policy = parse_policy(args.policy, arity=flowchart.arity)
+    output_model = VALUE_AND_TIME if args.time else VALUE_ONLY
+    mechanism = _build_mechanism(args.mechanism, flowchart, policy, domain,
+                                 output_model)
+
+    report = check_soundness(mechanism, policy, domain)
+    accepted = sum(1 for point in domain if mechanism.passes(*point))
+    print(f"program:   {flowchart.name} (arity {flowchart.arity})")
+    print(f"policy:    {policy.name}")
+    print(f"mechanism: {mechanism.name}")
+    print(f"domain:    [{args.low}..{args.high}]^{flowchart.arity}"
+          f" = {len(domain)} inputs")
+    print(f"sound:     {report.sound}")
+    if not report.sound:
+        print(f"witness:   {report.witness}")
+    print(f"accepts:   {accepted}/{len(domain)}")
+
+    if args.verbose:
+        table = Table("per-input verdicts", ["input", "output"])
+        for point in domain:
+            table.add_row(str(point), str(mechanism(*point)))
+        table.show()
+    return 0 if report.sound else 1
+
+
+def command_certify(args) -> int:
+    if args.library:
+        # Library programs are flowcharts: use the CFG-level certifier.
+        from .staticflow import certify_flowchart
+
+        flowchart = _load_flowchart(args)
+        policy = parse_policy(args.policy, arity=flowchart.arity)
+        certificate = certify_flowchart(flowchart, policy)
+        print(f"program: {flowchart.name} (flowchart, CFG certifier)")
+        print(f"policy:  {policy.name}")
+        verdict = "CERTIFIED" if certificate.certified else "REJECTED"
+        print(f"verdict: {verdict} "
+              f"(ȳ = {sorted(certificate.output_label)}, "
+              f"J = {sorted(certificate.allowed)})")
+        return 0 if certificate.certified else 1
+
+    sources = [bool(args.source), bool(args.file)]
+    if sum(sources) != 1:
+        raise ReproError(
+            "provide exactly one of --library, --source, --file")
+    if args.file:
+        with open(args.file) as handle:
+            text = handle.read()
+    else:
+        text = args.source
+    program = parse_program(text)
+
+    from .staticflow import analyse, certify
+
+    policy = parse_policy(args.policy,
+                          arity=len(program.input_variables))
+    certificate = certify(program, policy)
+    analysis = analyse(program)
+    print(f"program: {program.name}")
+    print(f"policy:  {policy.name}")
+    for variable, label in sorted(analysis.labels.items()):
+        print(f"  label({variable}) = {sorted(label)}")
+    verdict = "CERTIFIED" if certificate.certified else "REJECTED"
+    print(f"verdict: {verdict} "
+          f"(ȳ = {sorted(certificate.output_label)}, "
+          f"J = {sorted(certificate.allowed)})")
+    return 0 if certificate.certified else 1
+
+
+def command_transform(args) -> int:
+    flowchart = _load_flowchart(args)
+    from .flowchart.analysis import find_ite_regions, find_while_regions
+    from .flowchart.transforms import (duplicate_assignment_transform,
+                                       ite_transform, while_transform)
+
+    if args.transform == "ite":
+        regions = find_ite_regions(flowchart)
+        if not regions:
+            raise ReproError("no if-then-else region found")
+        result = ite_transform(flowchart, regions[0],
+                               detect_identical_arms=args.smart)
+    elif args.transform == "while":
+        regions = find_while_regions(flowchart)
+        if not regions:
+            raise ReproError("no while region found")
+        result = while_transform(flowchart, regions[0])
+    else:
+        regions = find_ite_regions(flowchart)
+        if not regions:
+            raise ReproError("no if-then-else region found")
+        result = duplicate_assignment_transform(flowchart, regions[0])
+
+    print(result.pretty())
+    if args.check:
+        from .flowchart.transforms import functionally_equivalent
+
+        domain = ProductDomain.integer_grid(args.low, args.high,
+                                            flowchart.arity)
+        equivalent = functionally_equivalent(flowchart, result, domain)
+        print(f"\nfunctionally equivalent on "
+              f"[{args.low}..{args.high}]^{flowchart.arity}: {equivalent}")
+        return 0 if equivalent else 1
+    return 0
+
+
+def command_dot(args) -> int:
+    from .flowchart.dot import to_dot
+
+    flowchart = _load_flowchart(args)
+    if args.instrument:
+        from .surveillance import instrument
+
+        policy = parse_policy(args.instrument, arity=flowchart.arity)
+        flowchart = instrument(flowchart, policy)
+    print(to_dot(flowchart))
+    return 0
+
+
+#: The experiment index (see DESIGN.md / EXPERIMENTS.md).
+EXPERIMENTS = (
+    ("E01", "Example 3", "trivial mechanisms", "bench_e01_trivial.py"),
+    ("E02", "Theorem 1", "union of sound mechanisms", "bench_e02_union.py"),
+    ("E03", "Theorem 2", "maximal mechanism", "bench_e03_maximal.py"),
+    ("E04", "Theorem 3", "surveillance soundness + instrumentation",
+     "bench_e04_surveillance.py"),
+    ("E05", "Theorem 3'", "observable time: M vs M'", "bench_e05_timed.py"),
+    ("E06", "p.48", "surveillance vs high-water", "bench_e06_highwater.py"),
+    ("E07", "p.49", "surveillance not maximal", "bench_e07_not_maximal.py"),
+    ("E08", "Example 7", "ite transform helps", "bench_e08_ite_transform.py"),
+    ("E09", "Example 8", "transform hurts", "bench_e09_transform_hurts.py"),
+    ("E10", "Example 9", "assignment duplication", "bench_e10_duplication.py"),
+    ("E11", "Section 2", "timing channel", "bench_e11_timing.py"),
+    ("E12", "Section 2", "tape + tab(i)", "bench_e12_tape.py"),
+    ("E13", "Example 5", "logon program", "bench_e13_logon.py"),
+    ("E14", "Section 2", "password work factor", "bench_e14_workfactor.py"),
+    ("E15", "Example 1", "Fenton halt semantics", "bench_e15_fenton.py"),
+    ("E16", "Examples 2/4", "file-system monitors",
+     "bench_e16_filesystem.py"),
+    ("E17", "Theorem 4", "non-effectiveness", "bench_e17_undecidable.py"),
+    ("E18", "Section 5", "static vs dynamic", "bench_e18_static.py"),
+    ("E19", "Section 2", "lattice of sound mechanisms",
+     "bench_e19_lattice.py"),
+    ("E20", "Section 2 dual", "data security", "bench_e20_integrity.py"),
+    ("E21", "Example 6/§6", "capability systems",
+     "bench_e21_capability.py"),
+    ("E22", "Section 2", "resource-usage channel",
+     "bench_e22_resource_channel.py"),
+    ("E23", "Section 5", "efficient enforcement",
+     "bench_e23_efficiency.py"),
+    ("E24", "§4 Ruzzo", "halting-oracle maximal mechanism",
+     "bench_e24_ruzzo.py"),
+    ("E25", "Section 2", "history-dependent sessions",
+     "bench_e25_history.py"),
+    ("E26", "Section 6", "cross-model enforcement (Fenton compiler)",
+     "bench_e26_cross_model.py"),
+    ("E27", "Section 6", "page-fault observable ladder",
+     "bench_e27_page_faults.py"),
+)
+
+
+def command_experiments(args) -> int:
+    table = Table("experiment index (EXPERIMENTS.md has paper-vs-measured)",
+                  ["id", "paper anchor", "claim", "bench"])
+    for row in EXPERIMENTS:
+        table.add_row(*row)
+    print(table.render())
+    return 0
+
+
+def command_library(args) -> int:
+    table = Table("built-in figure programs", ["name", "inputs", "boxes"])
+    for name in sorted(LIBRARY):
+        flowchart = LIBRARY[name]()
+        table.add_row(name, ", ".join(flowchart.input_variables),
+                      len(flowchart.boxes))
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Jones & Lipton (1975) policy-enforcement toolkit")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="execute a program")
+    _add_program_arguments(run_parser)
+    run_parser.add_argument("--fuel", type=int, default=100_000)
+    run_parser.add_argument("inputs", nargs="+",
+                            help="integer inputs, in order")
+    run_parser.set_defaults(handler=command_run)
+
+    analyze_parser = commands.add_parser(
+        "analyze", help="soundness/acceptance of a mechanism")
+    _add_program_arguments(analyze_parser)
+    analyze_parser.add_argument("--policy", required=True,
+                                help='e.g. "allow(2)"')
+    analyze_parser.add_argument("--mechanism", choices=MECHANISMS,
+                                default="surveillance")
+    analyze_parser.add_argument("--low", type=int, default=0)
+    analyze_parser.add_argument("--high", type=int, default=3)
+    analyze_parser.add_argument("--time", action="store_true",
+                                help="make running time observable")
+    analyze_parser.add_argument("--verbose", action="store_true",
+                                help="print per-input verdicts")
+    analyze_parser.set_defaults(handler=command_analyze)
+
+    certify_parser = commands.add_parser(
+        "certify", help="static certification (structured source only)")
+    certify_parser.add_argument("--library",
+                                help="a built-in figure program "
+                                     "(CFG-level certifier)")
+    certify_parser.add_argument("--source")
+    certify_parser.add_argument("--file")
+    certify_parser.add_argument("--policy", required=True)
+    certify_parser.set_defaults(handler=command_certify)
+
+    library_parser = commands.add_parser(
+        "library", help="list built-in figure programs")
+    library_parser.set_defaults(handler=command_library)
+
+    transform_parser = commands.add_parser(
+        "transform", help="apply a Section 4/5 transform")
+    _add_program_arguments(transform_parser)
+    transform_parser.add_argument("--transform", required=True,
+                                  choices=("ite", "while", "duplicate"))
+    transform_parser.add_argument("--smart", action="store_true",
+                                  help="detect identical arms (ite only)")
+    transform_parser.add_argument("--check", action="store_true",
+                                  help="verify functional equivalence")
+    transform_parser.add_argument("--low", type=int, default=0)
+    transform_parser.add_argument("--high", type=int, default=3)
+    transform_parser.set_defaults(handler=command_transform)
+
+    dot_parser = commands.add_parser(
+        "dot", help="render a flowchart as Graphviz DOT")
+    _add_program_arguments(dot_parser)
+    dot_parser.add_argument("--instrument", metavar="POLICY",
+                            help="render the surveillance instrumentation "
+                                 'for a policy, e.g. "allow(2)"')
+    dot_parser.set_defaults(handler=command_dot)
+
+    experiments_parser = commands.add_parser(
+        "experiments", help="list the experiment index E01-E27")
+    experiments_parser.set_defaults(handler=command_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""The paper's primary contribution: policies, mechanisms, soundness.
+
+Public surface of :mod:`repro.core` — everything Section 2 defines:
+
+- programs as total functions (:class:`Program`),
+- security policies (:class:`SecurityPolicy`, :func:`allow`),
+- protection mechanisms (:class:`ProtectionMechanism`, violation
+  notices, the trivial mechanisms, Theorem 1's union),
+- soundness as factorization (:func:`check_soundness`),
+- the completeness order (:func:`compare`),
+- the maximal mechanism (Theorem 2 / Theorem 4,
+  :func:`maximal_mechanism`),
+- the observability postulate (:data:`VALUE_ONLY`,
+  :data:`VALUE_AND_TIME`).
+"""
+
+from .domains import Domain, ProductDomain
+from .errors import (ArityMismatchError, DomainError, ExecutionError,
+                     FlowchartError, FuelExhaustedError,
+                     MechanismContractError, PolicyError, ProgramError,
+                     ReproError, UndefinedSemanticsError)
+from .observability import (VALUE_AND_TIME, VALUE_ONLY, Observation,
+                            OutputModel, with_extras)
+from .program import Program, program
+from .policy import (AllowPolicy, HistoryPolicy, SecurityPolicy, allow,
+                     allow_all, allow_none, content_dependent)
+from .mechanism import (LAMBDA, ProtectionMechanism, ViolationNotice,
+                        is_violation, join, mechanism_from_table,
+                        null_mechanism, program_as_mechanism, union)
+from .soundness import (SoundnessReport, SoundnessWitness, check_soundness,
+                        distinguishable_pairs, is_sound,
+                        leak_partition_sizes, max_leaked_bits)
+from .completeness import (Comparison, Order, as_complete, compare,
+                           is_maximal_among, more_complete, utility_row)
+from .maximal import (MaximalConstruction, certify_maximal,
+                      decide_theorem4_output_at_zero, maximal_mechanism,
+                      maximality_cost, theorem4_family)
+from .integrity import (GuardReport, IntegrityPolicy, PreservationReport,
+                        PreservationWitness, check_guarded,
+                        check_preservation, must_retain, preserves,
+                        retain_inputs, system_table_program)
+from .lattice import SoundMechanismLattice
+from .leakage import (LeakageProfile, leakage_profile, min_entropy_leakage,
+                      shannon_leakage, worst_class_leakage)
+from .session import (SessionMechanism, budget_gatekeeper,
+                      content_triggered_gatekeeper, session_program,
+                      unroll)
+
+__all__ = [
+    # domains
+    "Domain", "ProductDomain",
+    # errors
+    "ReproError", "DomainError", "ProgramError", "ArityMismatchError",
+    "FlowchartError", "ExecutionError", "FuelExhaustedError",
+    "MechanismContractError", "PolicyError", "UndefinedSemanticsError",
+    # observability
+    "OutputModel", "Observation", "VALUE_ONLY", "VALUE_AND_TIME",
+    "with_extras",
+    # programs
+    "Program", "program",
+    # policies
+    "SecurityPolicy", "AllowPolicy", "HistoryPolicy", "allow", "allow_all",
+    "allow_none", "content_dependent",
+    # mechanisms
+    "ProtectionMechanism", "ViolationNotice", "LAMBDA", "is_violation",
+    "null_mechanism", "program_as_mechanism", "mechanism_from_table",
+    "union", "join",
+    # soundness
+    "SoundnessReport", "SoundnessWitness", "check_soundness", "is_sound",
+    "distinguishable_pairs", "leak_partition_sizes", "max_leaked_bits",
+    # completeness
+    "Comparison", "Order", "compare", "as_complete", "more_complete",
+    "is_maximal_among", "utility_row",
+    # maximal
+    "MaximalConstruction", "maximal_mechanism", "maximality_cost",
+    "certify_maximal", "theorem4_family", "decide_theorem4_output_at_zero",
+    # lattice
+    "SoundMechanismLattice",
+    # integrity (the data-security dual)
+    "IntegrityPolicy", "must_retain", "retain_inputs",
+    "PreservationWitness", "PreservationReport", "check_preservation",
+    "preserves", "GuardReport", "check_guarded", "system_table_program",
+    # history-dependent enforcement
+    "SessionMechanism", "session_program", "unroll", "budget_gatekeeper",
+    "content_triggered_gatekeeper",
+    # quantitative leakage
+    "LeakageProfile", "leakage_profile", "shannon_leakage",
+    "min_entropy_leakage", "worst_class_leakage",
+]

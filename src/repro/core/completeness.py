@@ -1,0 +1,148 @@
+"""The completeness order on protection mechanisms (Section 2).
+
+    *M1 is as complete as M2 (M1 >= M2) provided, for all inputs a, if
+    M2(a) = Q(a) then M1(a) = Q(a).  M1 is more complete than M2
+    (M1 > M2) provided M1 >= M2 and, for some a, M1(a) = Q(a) and
+    M2(a) != Q(a).*
+
+Soundness alone is not enough — "pulling the plug" is sound and useless.
+Completeness is the practically motivated order: a more complete
+mechanism never gives a violation notice where a less complete one does
+not.  Different violation notices are deliberately *not* distinguished.
+
+On finite domains the order is just set inclusion of acceptance sets,
+which is what :func:`compare` computes, together with witnesses in both
+directions when the mechanisms are incomparable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from .errors import ProgramError
+from .mechanism import ProtectionMechanism
+
+
+class Order(enum.Enum):
+    """Possible relationships of two mechanisms in the completeness order."""
+
+    EQUAL = "equal"                    # same acceptance set
+    FIRST_MORE = "first-more"          # M1 > M2
+    SECOND_MORE = "second-more"        # M2 > M1
+    INCOMPARABLE = "incomparable"      # neither >= the other
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Comparison:
+    """Result of comparing two mechanisms over a finite domain.
+
+    ``first_only`` / ``second_only`` are example inputs accepted by
+    exactly one mechanism (None when no such input exists); acceptance
+    counts give the magnitude of the gap — the "by roughly what factor"
+    of the paper's qualitative claims.
+    """
+
+    def __init__(self, order: Order,
+                 first_accepts: int, second_accepts: int, domain_size: int,
+                 first_only: Optional[Tuple], second_only: Optional[Tuple]) -> None:
+        self.order = order
+        self.first_accepts = first_accepts
+        self.second_accepts = second_accepts
+        self.domain_size = domain_size
+        self.first_only = first_only
+        self.second_only = second_only
+
+    def __repr__(self) -> str:
+        return (
+            f"Comparison({self.order}, |A(M1)|={self.first_accepts}, "
+            f"|A(M2)|={self.second_accepts}, |D|={self.domain_size})"
+        )
+
+    @property
+    def first_as_complete(self) -> bool:
+        """M1 >= M2 (non-strict)."""
+        return self.order in (Order.EQUAL, Order.FIRST_MORE)
+
+    @property
+    def second_as_complete(self) -> bool:
+        """M2 >= M1 (non-strict)."""
+        return self.order in (Order.EQUAL, Order.SECOND_MORE)
+
+
+def compare(first: ProtectionMechanism, second: ProtectionMechanism,
+            domain=None) -> Comparison:
+    """Place two mechanisms for the same program in the completeness order.
+
+    Walks the (finite) domain once, classifying each input by which
+    mechanisms pass the program output through at it.
+    """
+    if first.program.domain != second.program.domain:
+        raise ProgramError("compare(): mechanisms protect different domains")
+    domain = domain if domain is not None else first.domain
+
+    first_accepts = 0
+    second_accepts = 0
+    domain_size = 0
+    first_only: Optional[Tuple] = None
+    second_only: Optional[Tuple] = None
+
+    for point in domain:
+        domain_size += 1
+        first_pass = first.passes(*point)
+        second_pass = second.passes(*point)
+        if first_pass:
+            first_accepts += 1
+        if second_pass:
+            second_accepts += 1
+        if first_pass and not second_pass and first_only is None:
+            first_only = point
+        if second_pass and not first_pass and second_only is None:
+            second_only = point
+
+    if first_only is None and second_only is None:
+        order = Order.EQUAL
+    elif second_only is None:
+        order = Order.FIRST_MORE
+    elif first_only is None:
+        order = Order.SECOND_MORE
+    else:
+        order = Order.INCOMPARABLE
+    return Comparison(order, first_accepts, second_accepts, domain_size,
+                      first_only, second_only)
+
+
+def as_complete(first: ProtectionMechanism, second: ProtectionMechanism,
+                domain=None) -> bool:
+    """``first >= second`` in the completeness order."""
+    return compare(first, second, domain).first_as_complete
+
+
+def more_complete(first: ProtectionMechanism, second: ProtectionMechanism,
+                  domain=None) -> bool:
+    """``first > second`` (strict)."""
+    return compare(first, second, domain).order is Order.FIRST_MORE
+
+
+def is_maximal_among(candidate: ProtectionMechanism,
+                     others, domain=None) -> bool:
+    """True iff ``candidate >= m`` for every mechanism in ``others``."""
+    return all(as_complete(candidate, other, domain) for other in others)
+
+
+def utility_row(mechanism: ProtectionMechanism, domain=None) -> dict:
+    """A report row: acceptance count/rate for one mechanism.
+
+    Shared by several benches so their tables have a uniform shape.
+    """
+    domain = domain if domain is not None else mechanism.domain
+    accepted = sum(1 for point in domain if mechanism.passes(*point))
+    total = len(domain)
+    return {
+        "mechanism": mechanism.name,
+        "accepts": accepted,
+        "domain": total,
+        "acceptance_rate": accepted / total if total else 0.0,
+    }

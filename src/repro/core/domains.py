@@ -1,0 +1,165 @@
+"""Input domains for programs, policies, and mechanisms.
+
+The paper treats a program as a total function ``Q : D1 x ... x Dk -> E``.
+Soundness and completeness are universally quantified statements over
+``D1 x ... x Dk``; on *finite* domains they are decidable by enumeration.
+This module provides the finite-domain machinery used throughout:
+:class:`Domain` (one input position) and :class:`ProductDomain`
+(``D1 x ... x Dk``), both enumerable and sized.
+
+Theorem 4 of the paper shows that over unbounded domains the maximal
+sound mechanism cannot be effectively constructed; our checkers are
+therefore exact on finite restrictions and sampled (via ``hypothesis``
+in the test suite) beyond them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from .errors import DomainError
+
+
+class Domain:
+    """A finite, ordered set of values for one input position.
+
+    Values must be hashable.  Order is preserved from construction so
+    enumeration is deterministic (important for reproducible benches).
+    """
+
+    def __init__(self, values: Iterable, name: str = "D") -> None:
+        seen = set()
+        ordered = []
+        for value in values:
+            if value not in seen:
+                seen.add(value)
+                ordered.append(value)
+        if not ordered:
+            raise DomainError(f"domain {name!r} must be non-empty")
+        self._values: Tuple = tuple(ordered)
+        self._set = seen
+        self.name = name
+
+    @classmethod
+    def integers(cls, low: int, high: int, name: str = "Z") -> "Domain":
+        """The integer interval ``[low, high]`` (inclusive both ends)."""
+        if low > high:
+            raise DomainError(f"empty integer interval [{low}, {high}]")
+        return cls(range(low, high + 1), name=name)
+
+    @classmethod
+    def booleans(cls, name: str = "B") -> "Domain":
+        return cls((False, True), name=name)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value) -> bool:
+        return value in self._set
+
+    def __getitem__(self, index: int):
+        return self._values[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Domain):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self._values[:4])
+        if len(self._values) > 4:
+            preview += ", ..."
+        return f"Domain({self.name}: {{{preview}}}, size={len(self)})"
+
+    @property
+    def values(self) -> Tuple:
+        return self._values
+
+
+class ProductDomain:
+    """The cartesian product ``D1 x ... x Dk`` of input domains.
+
+    Iterating yields input tuples ``(d1, ..., dk)`` in row-major order.
+    """
+
+    def __init__(self, *components: Domain) -> None:
+        if not components:
+            raise DomainError("a product domain needs at least one component")
+        for component in components:
+            if not isinstance(component, Domain):
+                raise DomainError(
+                    f"product components must be Domain, got {type(component).__name__}"
+                )
+        self.components: Tuple[Domain, ...] = tuple(components)
+
+    @classmethod
+    def uniform(cls, component: Domain, arity: int) -> "ProductDomain":
+        """``component ** arity`` — the same domain at every position."""
+        if arity < 1:
+            raise DomainError(f"arity must be >= 1, got {arity}")
+        return cls(*([component] * arity))
+
+    @classmethod
+    def integer_grid(cls, low: int, high: int, arity: int) -> "ProductDomain":
+        """``[low, high] ** arity`` — the workhorse for exhaustive checks."""
+        return cls.uniform(Domain.integers(low, high), arity)
+
+    @property
+    def arity(self) -> int:
+        return len(self.components)
+
+    def __len__(self) -> int:
+        size = 1
+        for component in self.components:
+            size *= len(component)
+        return size
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return itertools.product(*self.components)
+
+    def __contains__(self, point) -> bool:
+        if not isinstance(point, tuple) or len(point) != self.arity:
+            return False
+        return all(value in dom for value, dom in zip(point, self.components))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ProductDomain):
+            return NotImplemented
+        return self.components == other.components
+
+    def __repr__(self) -> str:
+        names = " x ".join(c.name for c in self.components)
+        return f"ProductDomain({names}, size={len(self)})"
+
+    def validate(self, point: Sequence) -> Tuple:
+        """Check ``point`` lies in the product; return it as a tuple."""
+        point = tuple(point)
+        if len(point) != self.arity:
+            raise DomainError(
+                f"expected {self.arity} inputs, got {len(point)}: {point!r}"
+            )
+        for position, (value, domain) in enumerate(zip(point, self.components), 1):
+            if value not in domain:
+                raise DomainError(
+                    f"input {position} value {value!r} is outside domain {domain.name}"
+                )
+        return point
+
+    def sample(self, count: int, seed: int = 0) -> Iterator[Tuple]:
+        """Yield ``count`` pseudo-random points (with replacement).
+
+        Deterministic for a given seed, so sampled soundness checks in
+        benches are reproducible.
+        """
+        import random
+
+        rng = random.Random(seed)
+        for _ in range(count):
+            yield tuple(dom[rng.randrange(len(dom))] for dom in self.components)

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the Jones & Lipton reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DomainError(ReproError):
+    """An input value lies outside a declared domain, or a domain is misused."""
+
+
+class ProgramError(ReproError):
+    """A program object is malformed or was applied to bad inputs."""
+
+
+class ArityMismatchError(ProgramError):
+    """A program, policy, or mechanism was applied with the wrong arity."""
+
+
+class FlowchartError(ReproError):
+    """A flowchart violates the wellformedness rules of Section 3."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a flowchart or machine program."""
+
+
+class FuelExhaustedError(ExecutionError):
+    """Execution exceeded its step budget.
+
+    The paper's programs are total functions; a fuel bound turns our
+    interpreters into total functions too.  Hitting the bound signals
+    either a diverging program or a budget that is too small.
+    """
+
+    def __init__(self, fuel: int, message: str = "") -> None:
+        detail = message or f"execution exceeded the fuel budget of {fuel} steps"
+        super().__init__(detail)
+        self.fuel = fuel
+
+
+class MechanismContractError(ReproError):
+    """A claimed protection mechanism violated its defining contract.
+
+    By definition (Section 2), for every input ``a`` a protection
+    mechanism ``M`` for ``Q`` must satisfy ``M(a) == Q(a)`` or
+    ``M(a) in F`` (a violation notice).  This error reports a witness
+    input where neither held.
+    """
+
+    def __init__(self, witness, got, expected) -> None:
+        super().__init__(
+            f"mechanism contract violated at input {witness!r}: "
+            f"returned {got!r}, program returned {expected!r}, "
+            "and the returned value is not a violation notice"
+        )
+        self.witness = witness
+        self.got = got
+        self.expected = expected
+
+
+class PolicyError(ReproError):
+    """A security policy is malformed (e.g. bad allow() indices)."""
+
+
+class UndefinedSemanticsError(ReproError):
+    """Execution reached a point the modelled semantics leaves undefined.
+
+    Used by the Fenton data-mark machine (Example 1): the behaviour of a
+    ``halt`` statement whose program counter is ``priv`` and which is the
+    last program statement is undefined in Fenton's model.
+    """

@@ -1,0 +1,247 @@
+"""The second security question: data security (Section 2).
+
+    *If Q is used as an operator function, then the security question
+    is: does the value of Q(d1, ..., dk) contain ALL the information
+    that it should?  This second question has sometimes been called
+    "data security" (Popek).  It concerns itself with whether or not
+    information, such as a system table, has been illegally altered and
+    hence lost.  We do, however, assert without proof that the same
+    methods used here to study this case can also be used to study the
+    second case.*
+
+This module carries out that assertion.  Where confinement asks that a
+mechanism reveal *no more* than the policy value (M factors **through**
+I), data security asks that the output *retain* everything an integrity
+policy designates (I factors **through** M):
+
+    M preserves R  iff  there is G with  G(M(d1..dk)) = R(d1..dk).
+
+On finite domains this is the mirror-image check: partition the domain
+by M's outputs and require R constant on each class.  Everything else
+dualises too — the trivial preserving mechanism is the *identity*
+(where "pull the plug" was the trivial confining one), preservation is
+*anti*-monotone in suppression, and the two questions meet in
+:func:`check_guarded`: a mechanism that is simultaneously sound for a
+confinement policy and preserving for an integrity policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from .errors import ArityMismatchError
+from .mechanism import ProtectionMechanism
+from .policy import SecurityPolicy
+from .program import Program
+from .soundness import SoundnessReport, check_soundness
+
+
+class IntegrityPolicy(SecurityPolicy):
+    """A designation of the information the output must *retain*.
+
+    Formally identical to a :class:`SecurityPolicy` — a function
+    ``R : D1 x ... x Dk -> 𝔍`` — but used in the opposite direction:
+    ``R(a)`` is what a downstream consumer must still be able to
+    recover from the mechanism's output.
+    """
+
+    def __repr__(self) -> str:
+        return f"IntegrityPolicy({self.name}, arity={self.arity})"
+
+
+def must_retain(fn: Callable, arity: int,
+                name: str = "R") -> IntegrityPolicy:
+    """Construct an integrity policy from a designation function."""
+    return IntegrityPolicy(fn, arity, name=name)
+
+
+def retain_inputs(*indices: int, arity: int) -> IntegrityPolicy:
+    """The integrity analogue of allow(): the output must determine the
+    listed (1-based) input positions.
+
+    ``retain_inputs(2, arity=3)`` demands that d2 be recoverable from
+    the output — e.g. "the system table must not be lost".
+    """
+    for index in indices:
+        if not (1 <= index <= arity):
+            raise ArityMismatchError(
+                f"retain index {index} out of range 1..{arity}")
+    label = ", ".join(str(index) for index in indices)
+    return IntegrityPolicy(
+        lambda *inputs: tuple(inputs[i - 1] for i in indices),
+        arity, name=f"retain({label})")
+
+
+class PreservationWitness:
+    """A counterexample to preservation: two inputs with distinct
+    designated information that M maps to the same output — the
+    information is *lost*."""
+
+    __slots__ = ("first", "second", "output", "first_designation",
+                 "second_designation")
+
+    def __init__(self, first: Tuple, second: Tuple, output,
+                 first_designation, second_designation) -> None:
+        self.first = first
+        self.second = second
+        self.output = output
+        self.first_designation = first_designation
+        self.second_designation = second_designation
+
+    def __repr__(self) -> str:
+        return (
+            f"PreservationWitness(M{self.first!r} == M{self.second!r} == "
+            f"{self.output!r}, but R values {self.first_designation!r} != "
+            f"{self.second_designation!r} — information lost)"
+        )
+
+
+class PreservationReport:
+    """Outcome of a finite-domain preservation check.
+
+    When preserving, ``recovery`` is the reconstructed
+    ``G : outputs -> 𝔍`` whose existence is the definition.
+    """
+
+    def __init__(self, preserving: bool,
+                 witness: Optional[PreservationWitness],
+                 recovery: Optional[dict], outputs_seen: int,
+                 inputs_checked: int) -> None:
+        self.preserving = preserving
+        self.witness = witness
+        self.recovery = recovery
+        self.outputs_seen = outputs_seen
+        self.inputs_checked = inputs_checked
+
+    def __bool__(self) -> bool:
+        return self.preserving
+
+    def __repr__(self) -> str:
+        verdict = ("preserving" if self.preserving
+                   else f"LOSSY ({self.witness!r})")
+        return (f"PreservationReport({verdict}, outputs={self.outputs_seen},"
+                f" inputs={self.inputs_checked})")
+
+    def recovery_function(self) -> Callable:
+        """The recovery map G (only when preserving)."""
+        if not self.preserving or self.recovery is None:
+            raise ValueError("no recovery function: information is lost")
+        table = dict(self.recovery)
+
+        def recover(output):
+            return table[output]
+
+        return recover
+
+
+def check_preservation(mechanism: ProtectionMechanism,
+                       policy: IntegrityPolicy,
+                       domain=None,
+                       stop_at_first_witness: bool = True) -> PreservationReport:
+    """Decide whether ``mechanism`` preserves ``policy`` over a domain.
+
+    The mirror image of :func:`repro.core.soundness.check_soundness`:
+    map each mechanism output to the designation first seen with it;
+    any input producing the same output with a different designation
+    witnesses information loss.  Violation notices are outputs like any
+    other — a mechanism that collapses distinct system tables into one
+    notice has lost them.
+    """
+    if policy.arity != mechanism.arity:
+        raise ArityMismatchError(
+            f"integrity-policy arity {policy.arity} != mechanism arity "
+            f"{mechanism.arity}")
+    domain = domain if domain is not None else mechanism.domain
+
+    recovery: dict = {}
+    representative: dict = {}
+    witness: Optional[PreservationWitness] = None
+    inputs_checked = 0
+
+    for point in domain:
+        inputs_checked += 1
+        output = mechanism(*point)
+        designation = policy(*point)
+        if output not in recovery:
+            recovery[output] = designation
+            representative[output] = point
+            continue
+        if recovery[output] != designation and witness is None:
+            witness = PreservationWitness(
+                representative[output], point, output,
+                recovery[output], designation)
+            if stop_at_first_witness:
+                break
+
+    if witness is not None:
+        return PreservationReport(False, witness, None, len(recovery),
+                                  inputs_checked)
+    return PreservationReport(True, None, recovery, len(recovery),
+                              inputs_checked)
+
+
+def preserves(mechanism: ProtectionMechanism, policy: IntegrityPolicy,
+              domain=None) -> bool:
+    """Convenience wrapper returning only the verdict."""
+    return check_preservation(mechanism, policy, domain).preserving
+
+
+class GuardReport:
+    """Joint verdict for the two security questions on one mechanism."""
+
+    def __init__(self, confinement: SoundnessReport,
+                 integrity: PreservationReport) -> None:
+        self.confinement = confinement
+        self.integrity = integrity
+
+    @property
+    def guarded(self) -> bool:
+        """Sound for the confinement policy AND preserving for the
+        integrity policy."""
+        return self.confinement.sound and self.integrity.preserving
+
+    def __repr__(self) -> str:
+        return (f"GuardReport(sound={self.confinement.sound}, "
+                f"preserving={self.integrity.preserving})")
+
+
+def check_guarded(mechanism: ProtectionMechanism,
+                  confinement_policy: SecurityPolicy,
+                  integrity_policy: IntegrityPolicy,
+                  domain=None) -> GuardReport:
+    """Check both Section 2 questions at once.
+
+    The interesting tension: confinement rewards suppressing outputs,
+    integrity punishes it.  ``check_guarded`` makes the trade explicit —
+    e.g. the null mechanism is maximally confining and maximally lossy;
+    the identity is the reverse; a *guarded* mechanism threads both,
+    which is possible exactly when the designated information is itself
+    allowed (R factors through I on the domain).
+    """
+    return GuardReport(
+        check_soundness(mechanism, confinement_policy, domain),
+        check_preservation(mechanism, integrity_policy, domain),
+    )
+
+
+def system_table_program(table_count: int, domain,
+                         name: str = "Q-table-update") -> Program:
+    """The paper's motivating data-security scenario, as a program.
+
+    Popek's concern: "whether or not information, such as a system
+    table, has been illegally altered and hence lost".  The program
+    models an OS call that rewrites system state: inputs are
+    ``table_count`` table entries followed by one user request; the
+    output is the updated table tuple.  A buggy/hostile mechanism that
+    suppresses or collapses outputs loses table state — which
+    :func:`check_preservation` detects.
+    """
+
+    def update(*state):
+        tables = state[:table_count]
+        request = state[table_count]
+        # The request may update table 1; others pass through.
+        updated = (request,) + tuple(tables[1:])
+        return updated + (request,)
+
+    return Program(update, domain, name=name)

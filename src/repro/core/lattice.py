@@ -1,0 +1,126 @@
+"""The lattice of sound protection mechanisms (Section 2 remark).
+
+    *Indeed, if we assume only a single violation notice, it can easily
+    be shown that the sound protection mechanisms form a lattice.*
+
+With a single notice Λ, a sound mechanism for (Q, I) over a finite
+domain is determined by its acceptance set A(M) = {a : M(a) = Q(a)}, and
+the sets that arise are exactly the unions of *good* policy classes —
+classes on which Q is constant.  Hence the sound mechanisms form a
+(finite, Boolean) lattice isomorphic to the powerset of good classes:
+
+- bottom: the null mechanism (accept nothing — pull the plug),
+- top: the maximal mechanism of Theorem 2 (accept every good class),
+- join: the ∨ of Theorem 1 (union of acceptance sets),
+- meet: intersection of acceptance sets.
+
+This module materialises that lattice for small instances so the E19
+bench can verify the lattice laws by enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, List, Tuple
+
+from .mechanism import LAMBDA, ProtectionMechanism
+from .policy import SecurityPolicy
+from .program import Program
+
+
+class SoundMechanismLattice:
+    """All sound single-notice mechanisms for (Q, I) over a finite domain.
+
+    Elements are represented canonically by frozensets of accepted
+    *class keys* (policy values of good classes).  ``realise`` turns an
+    element back into a concrete :class:`ProtectionMechanism`.
+    """
+
+    def __init__(self, program: Program, policy: SecurityPolicy,
+                 domain=None) -> None:
+        self.program = program
+        self.policy = policy
+        self.domain = domain if domain is not None else program.domain
+        self._classes = policy.classes(self.domain)
+        self._good_classes = {}
+        for policy_value, members in self._classes.items():
+            outputs = {program(*point) for point in members}
+            if len(outputs) == 1:
+                self._good_classes[policy_value] = (tuple(members), outputs.pop())
+
+    @property
+    def good_class_keys(self) -> Tuple:
+        """Policy values of classes on which Q is constant."""
+        return tuple(self._good_classes)
+
+    def elements(self) -> List[FrozenSet]:
+        """Every lattice element (exponential — intended for small cases)."""
+        keys = self.good_class_keys
+        result = []
+        for size in range(len(keys) + 1):
+            for subset in itertools.combinations(keys, size):
+                result.append(frozenset(subset))
+        return result
+
+    def __len__(self) -> int:
+        return 2 ** len(self._good_classes)
+
+    @property
+    def bottom(self) -> FrozenSet:
+        return frozenset()
+
+    @property
+    def top(self) -> FrozenSet:
+        return frozenset(self._good_classes)
+
+    @staticmethod
+    def join(first: FrozenSet, second: FrozenSet) -> FrozenSet:
+        return first | second
+
+    @staticmethod
+    def meet(first: FrozenSet, second: FrozenSet) -> FrozenSet:
+        return first & second
+
+    @staticmethod
+    def leq(first: FrozenSet, second: FrozenSet) -> bool:
+        """first <= second in the completeness order."""
+        return first <= second
+
+    def realise(self, element: FrozenSet,
+                name: str = "M-lattice") -> ProtectionMechanism:
+        """Materialise a lattice element as a concrete mechanism."""
+        unknown = element - set(self._good_classes)
+        if unknown:
+            raise ValueError(f"not good classes of this instance: {unknown!r}")
+        table = {}
+        for policy_value in element:
+            members, output = self._good_classes[policy_value]
+            for point in members:
+                table[point] = output
+
+        def lookup(*inputs):
+            return table.get(inputs, LAMBDA)
+
+        return ProtectionMechanism(lookup, self.program, name=name)
+
+    def canonical(self, mechanism: ProtectionMechanism) -> FrozenSet:
+        """Map a sound single-notice mechanism to its lattice element.
+
+        Raises ``ValueError`` if the mechanism accepts part of a class
+        (then it is not sound) or accepts a non-constant class (then it
+        cannot equal Q on all of it).
+        """
+        accepted = set()
+        for policy_value, members in self._classes.items():
+            passes = [mechanism.passes(*point) for point in members]
+            if any(passes) and not all(passes):
+                raise ValueError(
+                    f"mechanism splits policy class {policy_value!r}: not sound"
+                )
+            if all(passes):
+                if policy_value not in self._good_classes:
+                    raise ValueError(
+                        f"mechanism accepts non-constant class {policy_value!r}"
+                    )
+                accepted.add(policy_value)
+        return frozenset(accepted)

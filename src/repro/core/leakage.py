@@ -1,0 +1,125 @@
+"""Quantifying "small" leaks (Example 5's hand-wave, made precise).
+
+    *The reason this program is workable in practice is that the amount
+    of information obtained by the user is "small".*
+
+Soundness is all-or-nothing; practice tolerates unsound mechanisms whose
+leaks are tiny (passwords!).  This module quantifies the leak of an
+arbitrary mechanism against a policy, over a finite domain with a
+uniform prior, using the measures later literature standardised:
+
+- :func:`shannon_leakage` — expected Shannon leakage: the average over
+  policy classes of the entropy of the mechanism's output within the
+  class.  (The output is a deterministic function of the input, so
+  within a class this entropy *is* the mutual information between the
+  denied information and the observation.)
+- :func:`min_entropy_leakage` — Smith-style min-entropy leakage:
+  ``log2`` of the factor by which one observation multiplies an
+  attacker's chance of guessing the full input in one try.
+- :func:`worst_class_leakage` — the max-partition bound
+  (:func:`~repro.core.soundness.max_leaked_bits` under a new name, for
+  comparison): what the *luckiest* query can reveal.
+
+All three are 0 exactly when the mechanism is sound; they differ in how
+they weigh rare-but-revealing outputs — the logon program is the
+canonical spread (worst-case 1 bit, expected ≪ 1 bit).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from .mechanism import ProtectionMechanism
+from .policy import SecurityPolicy
+from .soundness import max_leaked_bits
+
+
+def _class_partition(mechanism: ProtectionMechanism,
+                     policy: SecurityPolicy, domain) -> Dict:
+    """{policy_value: {output: count}} over the domain."""
+    partition: Dict = {}
+    for point in domain:
+        outputs = partition.setdefault(policy(*point), {})
+        output = mechanism(*point)
+        outputs[output] = outputs.get(output, 0) + 1
+    return partition
+
+
+def shannon_leakage(mechanism: ProtectionMechanism, policy: SecurityPolicy,
+                    domain=None) -> float:
+    """Expected Shannon leakage in bits (uniform prior).
+
+    ``Σ_class p(class) · H(M's output within the class)`` — zero iff
+    sound; at most ``log2(max class size)``.
+    """
+    domain = domain if domain is not None else mechanism.domain
+    partition = _class_partition(mechanism, policy, domain)
+    total = sum(sum(outputs.values()) for outputs in partition.values())
+    leakage = 0.0
+    for outputs in partition.values():
+        class_size = sum(outputs.values())
+        class_weight = class_size / total
+        entropy = 0.0
+        for count in outputs.values():
+            probability = count / class_size
+            entropy -= probability * math.log2(probability)
+        leakage += class_weight * entropy
+    return leakage
+
+
+def min_entropy_leakage(mechanism: ProtectionMechanism,
+                        policy: SecurityPolicy, domain=None) -> float:
+    """Smith's min-entropy leakage in bits, *beyond the policy*.
+
+    The attacker legitimately sees the policy value, so the prior is
+    the one-guess vulnerability given the policy value alone
+    (``#classes / |D|`` under a uniform prior); the posterior adds the
+    mechanism's output (``#(class, output) cells / |D|``).  Leakage is
+    ``log2(V_post / V_prior) = log2(#cells / #classes)`` — zero exactly
+    when the mechanism is sound (outputs refine nothing).
+    """
+    domain = domain if domain is not None else mechanism.domain
+    classes = set()
+    cells = set()
+    for point in domain:
+        policy_value = policy(*point)
+        classes.add(policy_value)
+        cells.add((policy_value, mechanism(*point)))
+    return math.log2(len(cells) / len(classes))
+
+
+def worst_class_leakage(mechanism: ProtectionMechanism,
+                        policy: SecurityPolicy, domain=None) -> float:
+    """The max-partition bound: bits the luckiest observation reveals."""
+    return max_leaked_bits(mechanism, policy, domain)
+
+
+class LeakageProfile:
+    """All three measures for one mechanism, for reports and benches."""
+
+    def __init__(self, shannon: float, min_entropy: float,
+                 worst_class: float) -> None:
+        self.shannon = shannon
+        self.min_entropy = min_entropy
+        self.worst_class = worst_class
+
+    @property
+    def sound(self) -> bool:
+        return self.worst_class == 0.0
+
+    def __repr__(self) -> str:
+        return (f"LeakageProfile(shannon={self.shannon:.4f}, "
+                f"min_entropy={self.min_entropy:.4f}, "
+                f"worst={self.worst_class:.4f})")
+
+
+def leakage_profile(mechanism: ProtectionMechanism,
+                    policy: SecurityPolicy,
+                    domain=None) -> LeakageProfile:
+    """Compute all three leakage measures at once."""
+    return LeakageProfile(
+        shannon_leakage(mechanism, policy, domain),
+        min_entropy_leakage(mechanism, policy, domain),
+        worst_class_leakage(mechanism, policy, domain),
+    )

@@ -1,0 +1,175 @@
+"""The maximal sound protection mechanism (Theorems 2 and 4).
+
+Theorem 2: for any program Q and policy I there *exists* a maximal sound
+mechanism — the join of all sound mechanisms.  Theorem 4: there is *no
+effective procedure* that constructs it from (Q, I); indeed (Ruzzo) the
+maximal mechanism need not even be recursive.
+
+On a **finite** domain, however, the maximal mechanism is directly
+constructible, and its construction makes Theorem 4 vivid:
+
+    For each policy-equivalence class C of the domain, output Q(a) on C
+    iff Q is constant on C; otherwise output Λ on C.
+
+Correctness: a sound mechanism is constant on each class, so on a class
+where Q is non-constant it can never equal Q everywhere — Λ everywhere
+on that class dominates.  On a class where Q *is* constant, passing that
+constant through is sound and accepts the whole class.  Hence the
+construction pointwise dominates every sound mechanism.
+
+The construction must examine **every** point of every class to certify
+constancy — this is exactly the ``∀x. A(x) = 0`` question of the
+Theorem 4 proof, which is why no finite procedure settles it over an
+unbounded domain.  :func:`maximality_cost` exposes the work so
+experiment E17 can chart its growth, and :func:`theorem4_family`
+packages the paper's reduction program family.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .mechanism import (LAMBDA, ProtectionMechanism, ViolationNotice,
+                        mechanism_from_table)
+from .policy import SecurityPolicy
+from .program import Program
+
+
+class MaximalConstruction:
+    """The finite-domain maximal mechanism plus its cost accounting.
+
+    Attributes
+    ----------
+    mechanism:
+        The maximal sound mechanism, materialised as a table.
+    classes:
+        Number of policy-equivalence classes examined.
+    constant_classes:
+        Classes on which Q was constant (these are accepted).
+    evaluations:
+        Total program evaluations performed — the "work" whose
+        unboundedness in the general case is Theorem 4's content.
+    """
+
+    def __init__(self, mechanism: ProtectionMechanism, classes: int,
+                 constant_classes: int, evaluations: int) -> None:
+        self.mechanism = mechanism
+        self.classes = classes
+        self.constant_classes = constant_classes
+        self.evaluations = evaluations
+
+    def __repr__(self) -> str:
+        return (
+            f"MaximalConstruction(classes={self.classes}, "
+            f"constant={self.constant_classes}, evaluations={self.evaluations})"
+        )
+
+
+def maximal_mechanism(program: Program, policy: SecurityPolicy,
+                      domain=None,
+                      notice: ViolationNotice = LAMBDA) -> MaximalConstruction:
+    """Construct the maximal sound mechanism for (Q, I) on a finite domain.
+
+    Returns a :class:`MaximalConstruction`; its ``mechanism`` satisfies,
+    for every sound mechanism M' on the same domain, ``Mmax >= M'``
+    (verified exhaustively in the test suite, Theorem 2's claim).
+    """
+    domain = domain if domain is not None else program.domain
+    classes = policy.classes(domain)
+
+    table: dict = {}
+    constant_classes = 0
+    evaluations = 0
+    for members in classes.values():
+        outputs = []
+        for point in members:
+            outputs.append(program(*point))
+            evaluations += 1
+        first = outputs[0]
+        if all(output == first for output in outputs[1:]):
+            constant_classes += 1
+            for point in members:
+                table[point] = first
+        # Non-constant class: leave out of the table -> Λ.
+
+    mechanism = mechanism_from_table(program, table, name="M-max")
+    # Replace the default Λ with the requested notice if different.
+    if notice != LAMBDA:
+        inner = mechanism
+
+        def with_notice(*inputs):
+            value = inner(*inputs)
+            return notice if isinstance(value, ViolationNotice) else value
+
+        mechanism = ProtectionMechanism(with_notice, program, name="M-max")
+    return MaximalConstruction(mechanism, len(classes), constant_classes,
+                               evaluations)
+
+
+def maximality_cost(program: Program, policy: SecurityPolicy,
+                    domain=None) -> int:
+    """Program evaluations needed by the maximal construction.
+
+    Grows linearly with the domain restriction — with no finite bound as
+    the domain grows, which is the effective-procedure obstruction of
+    Theorem 4 seen from the finite side.
+    """
+    return maximal_mechanism(program, policy, domain).evaluations
+
+
+def theorem4_family(arbitrary_total_function: Callable[[int], int],
+                    domain) -> Program:
+    """The program family from the proof of Theorem 4.
+
+    The proof considers a recursive program that, on input x, runs a
+    flowchart fragment P assigning ``r := A(x)`` (A an arbitrary total
+    function with A(0) = 0) and outputs r.  Under ``allow()`` a maximal
+    sound mechanism M must be constant, and::
+
+        M(0) = 0  iff  ∀x. A(x) = 0
+
+    so effectively constructing M would decide a Π1-complete question.
+    This helper builds Q for a given A; the E17 bench instantiates A
+    with step-bounded halting predicates to chart how certifying
+    ``M(0) = 0`` requires examining unboundedly many inputs.
+    """
+
+    def body(x: int) -> int:
+        return arbitrary_total_function(x)
+
+    return Program(body, domain, name="Q-thm4")
+
+
+def decide_theorem4_output_at_zero(construction: MaximalConstruction,
+                                   zero_point=(0,)) -> bool:
+    """Did the (finite-domain) maximal mechanism put M(0) = 0?
+
+    True iff A was identically 0 on the examined domain — the (*)
+    equivalence of the Theorem 4 proof, restricted to the finite
+    window.  Extending the window can flip this verdict, which is the
+    whole point: no finite amount of checking settles it.
+    """
+    value = construction.mechanism(*zero_point)
+    return value == 0
+
+
+def certify_maximal(candidate: ProtectionMechanism, program: Program,
+                    policy: SecurityPolicy, domain=None) -> bool:
+    """Check a candidate equals the maximal mechanism on a finite domain.
+
+    Equality is extensional, identifying all violation notices — the
+    same convention the completeness order uses.
+    """
+    domain = domain if domain is not None else program.domain
+    construction = maximal_mechanism(program, policy, domain)
+    maximal = construction.mechanism
+    for point in domain:
+        candidate_output = candidate(*point)
+        maximal_output = maximal(*point)
+        candidate_violates = isinstance(candidate_output, ViolationNotice)
+        maximal_violates = isinstance(maximal_output, ViolationNotice)
+        if candidate_violates != maximal_violates:
+            return False
+        if not candidate_violates and candidate_output != maximal_output:
+            return False
+    return True

@@ -1,0 +1,111 @@
+"""The Observability Postulate, as code.
+
+    *The output value Q(d1, ..., dk) must be assumed to encode all
+    information available about the input value (d1, ..., dk).*
+
+Section 2 of the paper shows that "forgotten" observables — running
+time, page movement, resource usage — are exactly the covert channels
+that break otherwise-plausible soundness arguments.  The framework
+therefore lets a program declare *what its output is*: just the computed
+value, or the value together with observable attributes such as the
+number of steps executed.
+
+Two output models from Section 3 are built in:
+
+- :data:`VALUE_ONLY` — the range of ``Q`` is ``Z``; running time is not
+  observable by the user.
+- :data:`VALUE_AND_TIME` — the range of ``Q`` is ``Z x Z``: the computed
+  value together with the number of steps executed ("we will be encoding
+  the running time of our flowcharts").
+
+:class:`Observation` is the concrete output record; extra observables
+(e.g. page-fault counts for the password attack of Section 2) ride in
+``attributes``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+
+class OutputModel:
+    """Declares which attributes of an execution are user-observable."""
+
+    def __init__(self, name: str, time_observable: bool,
+                 extra_observables: Tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.time_observable = time_observable
+        self.extra_observables = tuple(extra_observables)
+
+    def __repr__(self) -> str:
+        extras = f", extras={list(self.extra_observables)}" if self.extra_observables else ""
+        return f"OutputModel({self.name}, time_observable={self.time_observable}{extras})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, OutputModel):
+            return NotImplemented
+        return (self.name == other.name
+                and self.time_observable == other.time_observable
+                and self.extra_observables == other.extra_observables)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.time_observable, self.extra_observables))
+
+    def project(self, observation: "Observation"):
+        """Reduce a full execution record to what this model lets a user see.
+
+        The projection *is* the output of ``Q`` under this model: two
+        executions are user-distinguishable iff their projections differ.
+        """
+        visible = [observation.value]
+        if self.time_observable:
+            visible.append(observation.steps)
+        for attribute in self.extra_observables:
+            visible.append(observation.attributes.get(attribute))
+        if len(visible) == 1:
+            return visible[0]
+        return tuple(visible)
+
+
+#: Range of Q is Z: only the computed value is observable.
+VALUE_ONLY = OutputModel("value-only", time_observable=False)
+
+#: Range of Q is Z x Z: (value, number of steps executed).
+VALUE_AND_TIME = OutputModel("value-and-time", time_observable=True)
+
+
+def with_extras(*extra_observables: str, time_observable: bool = True) -> OutputModel:
+    """An output model that also exposes named attributes (e.g. page faults)."""
+    label = "+".join(("time",) + extra_observables if time_observable else extra_observables)
+    return OutputModel(f"value+{label}", time_observable, extra_observables)
+
+
+class Observation:
+    """Everything a single execution produced, before projection.
+
+    ``value`` is the computed output; ``steps`` the number of steps
+    executed; ``attributes`` any further measurable side effects
+    (page faults, tape-head movement, ...).
+    """
+
+    __slots__ = ("value", "steps", "attributes")
+
+    def __init__(self, value, steps: int = 0,
+                 attributes: Optional[Mapping[str, object]] = None) -> None:
+        self.value = value
+        self.steps = steps
+        self.attributes = dict(attributes) if attributes else {}
+
+    def __repr__(self) -> str:
+        extra = f", attributes={self.attributes}" if self.attributes else ""
+        return f"Observation(value={self.value!r}, steps={self.steps}{extra})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Observation):
+            return NotImplemented
+        return (self.value == other.value
+                and self.steps == other.steps
+                and self.attributes == other.attributes)
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.steps, tuple(sorted(self.attributes.items()))))

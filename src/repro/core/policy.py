@@ -1,0 +1,189 @@
+"""Security policies (Section 2).
+
+    *A security policy I for the program Q : D1 x ... x Dk -> E is a
+    function from D1 x ... x Dk to* 𝔍 *where* 𝔍 *is a new set.*
+
+A policy is an **information filter**: ``I(d1, ..., dk)`` has filtered
+out everything the user must not learn.  The policy's value set is
+arbitrary, which is what lets the definition cover:
+
+- the ``allow(i1, ..., im)`` family the paper studies in detail
+  (:func:`allow`),
+- content-dependent policies such as the directory-gated file-system
+  policy of Example 2 (:func:`content_dependent`), and
+- history-dependent policies, where what may be seen depends on the
+  user's earlier queries (:class:`HistoryPolicy`).
+
+Input positions are **1-based**, following the paper (``allow(1, 3)``
+allows inputs ``d1`` and ``d3``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Sequence, Tuple
+
+from .errors import ArityMismatchError, PolicyError
+
+
+class SecurityPolicy:
+    """A function ``I : D1 x ... x Dk -> 𝔍`` used as an information filter.
+
+    Two inputs with equal policy values are *indistinguishable to the
+    user under the policy*: a sound mechanism must treat them alike.
+    """
+
+    def __init__(self, fn: Callable, arity: int, name: str = "I") -> None:
+        if arity < 0:
+            raise PolicyError(f"policy arity must be >= 0, got {arity}")
+        self._fn = fn
+        self.arity = arity
+        self.name = name
+
+    def __call__(self, *inputs):
+        if len(inputs) != self.arity:
+            raise ArityMismatchError(
+                f"policy {self.name} takes {self.arity} inputs, got {len(inputs)}"
+            )
+        return self._fn(*inputs)
+
+    def __repr__(self) -> str:
+        return f"SecurityPolicy({self.name}, arity={self.arity})"
+
+    def classes(self, domain) -> dict:
+        """Partition a finite domain into policy-equivalence classes.
+
+        Returns ``{policy_value: [inputs...]}``.  Soundness of ``M`` is
+        exactly the statement that ``M`` is constant on every class.
+        """
+        partition: dict = {}
+        for point in domain:
+            partition.setdefault(self(*point), []).append(point)
+        return partition
+
+
+class AllowPolicy(SecurityPolicy):
+    """The shorthand ``allow(i1, ..., im)`` policy (Section 2).
+
+    ``I(d1, ..., dk) = (d_i1, ..., d_im)`` — the user may learn the
+    listed input positions, and *nothing* about the others.
+    """
+
+    def __init__(self, indices: Sequence[int], arity: int) -> None:
+        indices = tuple(indices)
+        seen = set()
+        for index in indices:
+            if not isinstance(index, int) or index < 1 or index > arity:
+                raise PolicyError(
+                    f"allow(): index {index!r} out of range 1..{arity} "
+                    "(the paper's indices are 1-based)"
+                )
+            if index in seen:
+                raise PolicyError(f"allow(): duplicate index {index}")
+            seen.add(index)
+        self.indices: Tuple[int, ...] = indices
+        self.allowed: FrozenSet[int] = frozenset(indices)
+        label = ", ".join(str(i) for i in indices)
+        super().__init__(
+            lambda *inputs: tuple(inputs[i - 1] for i in indices),
+            arity,
+            name=f"allow({label})",
+        )
+
+    def permits(self, index: int) -> bool:
+        """True iff input position ``index`` (1-based) is allowed."""
+        return index in self.allowed
+
+    def permits_all(self, indices: Iterable[int]) -> bool:
+        """True iff every listed input position is allowed.
+
+        This is the subset test the surveillance mechanism performs at
+        its halt boxes: ``v̄ ⊆ J``.
+        """
+        return self.allowed.issuperset(indices)
+
+    def __repr__(self) -> str:
+        return f"AllowPolicy({self.name}, arity={self.arity})"
+
+
+def allow(*indices: int, arity: int) -> AllowPolicy:
+    """Construct ``allow(i1, ..., im)`` for a k-ary program.
+
+    >>> policy = allow(2, arity=3)
+    >>> policy(10, 20, 30)
+    (20,)
+    >>> allow(arity=2)(5, 7)     # allow(): no information at all
+    ()
+    >>> allow(1, 2, arity=2)(5, 7)  # allow(1, 2): everything
+    (5, 7)
+    """
+    return AllowPolicy(indices, arity)
+
+
+def allow_all(arity: int) -> AllowPolicy:
+    """``allow(1, ..., k)`` — "allow the user any information he wants"."""
+    return AllowPolicy(tuple(range(1, arity + 1)), arity)
+
+
+def allow_none(arity: int) -> AllowPolicy:
+    """``allow()`` — "allow the user no information"."""
+    return AllowPolicy((), arity)
+
+
+def content_dependent(fn: Callable, arity: int, name: str = "I_content") -> SecurityPolicy:
+    """A policy whose filtering depends on input *values*.
+
+    Example 2's file-system policy is the canonical instance:
+
+        ``I(d1..dk, f1..fk) = (d1..dk, f1'..fk')`` where ``fi' = fi`` if
+        ``di == "YES"`` and ``0`` otherwise.
+
+    Such policies are *not* of the ``allow(...)`` form, but the general
+    soundness machinery applies unchanged.
+    """
+    return SecurityPolicy(fn, arity, name=name)
+
+
+class HistoryPolicy:
+    """A history-dependent policy (Section 2's database remark).
+
+    What the user may see depends on their previous queries.  We model a
+    session as a fold: the policy carries a state, and each query both
+    filters and advances the state.  :meth:`session` turns a sequence of
+    queries into a plain :class:`SecurityPolicy` over the *whole*
+    sequence, so the stateless soundness machinery still applies.
+    """
+
+    def __init__(self, initial_state, step: Callable, arity: int,
+                 name: str = "I_history") -> None:
+        self.initial_state = initial_state
+        self._step = step
+        self.arity = arity
+        self.name = name
+
+    def filter_query(self, state, inputs: Tuple):
+        """Apply one query: returns ``(filtered_value, next_state)``."""
+        return self._step(state, inputs)
+
+    def session(self, length: int) -> SecurityPolicy:
+        """The induced policy over a length-``length`` query sequence.
+
+        The resulting policy takes ``length * arity`` inputs (the
+        queries, concatenated) and returns the tuple of per-query
+        filtered values.
+        """
+        per_query = self.arity
+
+        def run(*flat_inputs):
+            state = self.initial_state
+            outputs = []
+            for query_index in range(length):
+                chunk = flat_inputs[query_index * per_query:(query_index + 1) * per_query]
+                filtered, state = self.filter_query(state, tuple(chunk))
+                outputs.append(filtered)
+            return tuple(outputs)
+
+        return SecurityPolicy(run, length * per_query,
+                              name=f"{self.name}^{length}")
+
+    def __repr__(self) -> str:
+        return f"HistoryPolicy({self.name}, arity={self.arity})"

@@ -1,0 +1,108 @@
+"""Programs as total functions (Section 2, first definition).
+
+    *Define Q to be a program provided Q : D1 x ... x Dk -> E where Q is
+    a total function and Di is the range of the i-th input and E is the
+    range of the output.*
+
+A :class:`Program` wraps a Python callable together with its declared
+input domains.  Used as a *view function* (the confinement question the
+paper studies), the only thing that matters about ``Q`` is its
+input/output behaviour — so any callable qualifies, including the
+flowchart interpreter, the Minsky machine, and the file-system model.
+
+Programs are memoised: soundness and completeness checks evaluate the
+same inputs repeatedly, and the paper's programs are pure functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from .domains import ProductDomain
+from .errors import ArityMismatchError, ProgramError
+
+
+class Program:
+    """A total function ``Q : D1 x ... x Dk -> E`` with declared domains.
+
+    Parameters
+    ----------
+    fn:
+        The underlying callable.  It must be total on the declared
+        domain (the interpreters in this library guarantee totality via
+        fuel bounds).
+    domain:
+        The :class:`~repro.core.domains.ProductDomain` the function is
+        studied over.  Universal statements (soundness, completeness)
+        are checked against this domain.
+    name:
+        Used in reports and reprs.
+    """
+
+    def __init__(self, fn: Callable, domain: ProductDomain,
+                 name: str = "Q") -> None:
+        if not callable(fn):
+            raise ProgramError(f"program body must be callable, got {type(fn).__name__}")
+        self._fn = fn
+        self.domain = domain
+        self.name = name
+        self._cache: dict = {}
+
+    @property
+    def arity(self) -> int:
+        return self.domain.arity
+
+    def __call__(self, *inputs):
+        if len(inputs) != self.arity:
+            raise ArityMismatchError(
+                f"program {self.name} takes {self.arity} inputs, got {len(inputs)}"
+            )
+        key = inputs
+        try:
+            return self._cache[key]
+        except KeyError:
+            pass
+        except TypeError:
+            # Unhashable inputs: evaluate without caching.
+            return self._fn(*inputs)
+        value = self._fn(*inputs)
+        self._cache[key] = value
+        return value
+
+    def on(self, domain: ProductDomain, name: Optional[str] = None) -> "Program":
+        """The same function restricted/extended to another domain."""
+        if domain.arity != self.arity:
+            raise ArityMismatchError(
+                f"cannot re-domain {self.name}: arity {self.arity} vs {domain.arity}"
+            )
+        return Program(self._fn, domain, name or self.name)
+
+    def table(self) -> Tuple[Tuple[Tuple, object], ...]:
+        """The full graph of the function over its domain, as (input, output) pairs."""
+        return tuple((point, self(*point)) for point in self.domain)
+
+    def is_constant(self) -> bool:
+        """True iff Q takes one value on its whole (finite) domain."""
+        iterator = iter(self.domain)
+        first = self(*next(iterator))
+        return all(self(*point) == first for point in iterator)
+
+    def __repr__(self) -> str:
+        return f"Program({self.name}: {self.domain!r})"
+
+
+def program(domain: ProductDomain, name: str = "Q") -> Callable[[Callable], Program]:
+    """Decorator form: ``@program(domain)`` over a plain function.
+
+    >>> from repro.core.domains import ProductDomain
+    >>> @program(ProductDomain.integer_grid(0, 3, 2), name="add")
+    ... def add(x1, x2):
+    ...     return x1 + x2
+    >>> add(1, 2)
+    3
+    """
+
+    def wrap(fn: Callable) -> Program:
+        return Program(fn, domain, name=name if name != "Q" else fn.__name__)
+
+    return wrap

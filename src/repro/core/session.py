@@ -1,0 +1,152 @@
+"""Enforcing history-dependent policies (Section 2's database remark).
+
+    *We also include policies (such as might be found in a data base
+    system) where what a user is permitted to view is dependent upon a
+    history of the user's previous queries.*
+
+:class:`~repro.core.policy.HistoryPolicy` gave such policies a
+denotation: a session of n queries is one big program, and the policy
+filters the whole query sequence.  This module supplies the matching
+*mechanism* side:
+
+- :class:`SessionMechanism` — a stateful gatekeeper: per query it
+  either answers or issues a notice, and advances its state;
+- :func:`unroll` — flatten a stateful mechanism over length-n sessions
+  into an ordinary :class:`~repro.core.mechanism.ProtectionMechanism`
+  on the session program, so the *stateless* soundness machinery
+  decides whether the stateful gatekeeper enforces the history policy;
+- :func:`budget_gatekeeper` — the canonical instance: answer the first
+  k queries through a per-query mechanism, refuse the rest.
+
+The subtlety the framework exposes: a session mechanism's *state
+updates* are part of its behaviour.  A gatekeeper whose remaining
+budget depends on secret data leaks through later answers — unrolling
+makes that an ordinary soundness failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from .domains import ProductDomain
+from .errors import ArityMismatchError
+from .mechanism import ProtectionMechanism, ViolationNotice
+from .program import Program
+
+
+class SessionMechanism:
+    """A stateful per-query gatekeeper.
+
+    ``step(state, inputs) -> (output, next_state)`` where ``output`` is
+    a query answer or a :class:`ViolationNotice`.
+    """
+
+    def __init__(self, initial_state, step: Callable, arity: int,
+                 name: str = "M-session") -> None:
+        self.initial_state = initial_state
+        self._step = step
+        self.arity = arity
+        self.name = name
+
+    def answer_query(self, state, inputs: Tuple):
+        """One query: returns ``(answer_or_notice, next_state)``."""
+        if len(inputs) != self.arity:
+            raise ArityMismatchError(
+                f"session mechanism {self.name} takes {self.arity} inputs "
+                f"per query, got {len(inputs)}")
+        return self._step(state, inputs)
+
+    def __repr__(self) -> str:
+        return f"SessionMechanism({self.name}, arity={self.arity})"
+
+
+def session_program(per_query: Program, length: int) -> Program:
+    """The n-query session as one program: the tuple of per-query answers."""
+    arity = per_query.arity
+
+    def run(*flat_inputs):
+        outputs = []
+        for query_index in range(length):
+            chunk = flat_inputs[query_index * arity:(query_index + 1) * arity]
+            outputs.append(per_query(*chunk))
+        return tuple(outputs)
+
+    domain = ProductDomain(*(per_query.domain.components * length))
+    return Program(run, domain, name=f"{per_query.name}^{length}")
+
+
+def unroll(mechanism: SessionMechanism, per_query: Program,
+           length: int) -> ProtectionMechanism:
+    """Flatten a stateful gatekeeper over length-n sessions.
+
+    The result protects :func:`session_program`'s program; its output is
+    the tuple of per-query outputs (answers and notices mixed).  The
+    Section 2 contract is kept by treating any session containing a
+    notice as a violation-notice output whose message is the rendered
+    tuple — distinct notice patterns stay distinguishable, so leaks
+    through *which queries got refused* are visible to the checker.
+    """
+    protected = session_program(per_query, length)
+    arity = per_query.arity
+
+    def run_session(*flat_inputs):
+        state = mechanism.initial_state
+        outputs = []
+        any_notice = False
+        for query_index in range(length):
+            chunk = flat_inputs[query_index * arity:(query_index + 1) * arity]
+            output, state = mechanism.answer_query(state, tuple(chunk))
+            if isinstance(output, ViolationNotice):
+                any_notice = True
+            outputs.append(output)
+        if any_notice:
+            rendered = ", ".join(str(output) for output in outputs)
+            return ViolationNotice(f"({rendered})")
+        return tuple(outputs)
+
+    return ProtectionMechanism(run_session, protected,
+                               name=f"{mechanism.name}^{length}")
+
+
+def budget_gatekeeper(per_query_mechanism: ProtectionMechanism,
+                      budget: int,
+                      name: Optional[str] = None) -> SessionMechanism:
+    """Answer the first ``budget`` queries via the per-query mechanism,
+    refuse everything after — the enforcement of
+    :class:`HistoryPolicy`-style query budgets.
+
+    The state (queries used so far) advances on *every* query, answered
+    or refused, so the budget consumption never depends on query
+    contents — keeping the gatekeeper's refusal pattern a function of
+    query count alone.
+    """
+
+    def step(queries_so_far, inputs):
+        if queries_so_far < budget:
+            return (per_query_mechanism(*inputs), queries_so_far + 1)
+        return (ViolationNotice("budget exhausted"), queries_so_far + 1)
+
+    return SessionMechanism(
+        0, step, per_query_mechanism.arity,
+        name=name or f"M-budget[{budget}]({per_query_mechanism.name})")
+
+
+def content_triggered_gatekeeper(per_query_mechanism: ProtectionMechanism,
+                                 trip: Callable[..., bool],
+                                 name: str = "M-tripwire") -> SessionMechanism:
+    """A *deliberately risky* gatekeeper: refuse everything after any
+    query satisfies ``trip(*inputs)``.
+
+    If ``trip`` reads information the policy denies, the refusal
+    pattern of later queries encodes it — a stateful negative-inference
+    channel that :func:`unroll` + soundness checking exposes.  Provided
+    as the canonical counterexample (tested, and used in bench E25).
+    """
+
+    def step(tripped, inputs):
+        if tripped:
+            return (ViolationNotice("session locked"), True)
+        return (per_query_mechanism(*inputs), bool(trip(*inputs)))
+
+    return SessionMechanism(False, step, per_query_mechanism.arity,
+                            name=name)

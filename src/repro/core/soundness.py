@@ -1,0 +1,206 @@
+"""Soundness: the bridge between policy and mechanism (Section 2).
+
+    *M is sound provided there is a function M' : 𝔍 -> E ∪ F such that
+    for all (d1, ..., dk), M(d1,...,dk) = M'(I(d1,...,dk)).*
+
+Equivalently: **M factors through I** — M behaves as if it received not
+the raw input but only the policy-filtered value.  On a finite domain
+this is decidable: partition the domain into policy-equivalence classes
+and check M is constant on each class.  That check, witness extraction
+when it fails, and reconstruction of the factor ``M'`` when it holds,
+live here.
+
+Ruzzo's observation (Section 4) — that soundness of a given mechanism is
+undecidable in general — is why these are *finite-domain* procedures;
+the library demonstrates the undecidability flavour in
+:mod:`repro.core.maximal` and experiment E17.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from .errors import ArityMismatchError
+from .mechanism import ProtectionMechanism
+from .policy import SecurityPolicy
+
+
+class SoundnessWitness:
+    """A counterexample to soundness: two policy-equal inputs M separates.
+
+    ``I(first) == I(second) == policy_value`` but
+    ``M(first) != M(second)`` — so M's output reveals information the
+    policy filtered out.
+    """
+
+    __slots__ = ("first", "second", "policy_value", "first_output", "second_output")
+
+    def __init__(self, first: Tuple, second: Tuple, policy_value,
+                 first_output, second_output) -> None:
+        self.first = first
+        self.second = second
+        self.policy_value = policy_value
+        self.first_output = first_output
+        self.second_output = second_output
+
+    def __repr__(self) -> str:
+        return (
+            f"SoundnessWitness(I{self.first!r} == I{self.second!r} == "
+            f"{self.policy_value!r}, but M{self.first!r} = {self.first_output!r} "
+            f"!= M{self.second!r} = {self.second_output!r})"
+        )
+
+    def leaked_bits(self) -> float:
+        """At least one bit: the user distinguishes two filtered-equal inputs."""
+        return 1.0
+
+
+class SoundnessReport:
+    """Outcome of a finite-domain soundness check.
+
+    Attributes
+    ----------
+    sound:
+        Whether M factored through I on the checked domain.
+    witness:
+        A :class:`SoundnessWitness` when unsound, else None.
+    factor:
+        When sound, the reconstructed ``M' : 𝔍 -> E ∪ F`` as a dict
+        ``{policy_value: output}`` — the object whose *existence* is the
+        definition of soundness.
+    classes_checked / inputs_checked:
+        Work accounting (drives the Theorem 4 cost experiment).
+    """
+
+    def __init__(self, sound: bool, witness: Optional[SoundnessWitness],
+                 factor: Optional[dict], classes_checked: int,
+                 inputs_checked: int) -> None:
+        self.sound = sound
+        self.witness = witness
+        self.factor = factor
+        self.classes_checked = classes_checked
+        self.inputs_checked = inputs_checked
+
+    def __bool__(self) -> bool:
+        return self.sound
+
+    def __repr__(self) -> str:
+        verdict = "sound" if self.sound else f"UNSOUND ({self.witness!r})"
+        return (
+            f"SoundnessReport({verdict}, classes={self.classes_checked}, "
+            f"inputs={self.inputs_checked})"
+        )
+
+    def factor_function(self) -> Callable:
+        """The factor M' as a callable (only when sound)."""
+        if not self.sound or self.factor is None:
+            raise ValueError("no factor function: the mechanism is not sound")
+        factor = dict(self.factor)
+
+        def m_prime(policy_value):
+            return factor[policy_value]
+
+        return m_prime
+
+
+def check_soundness(mechanism: ProtectionMechanism, policy: SecurityPolicy,
+                    domain=None, stop_at_first_witness: bool = True) -> SoundnessReport:
+    """Decide soundness of ``mechanism`` for ``policy`` over a finite domain.
+
+    Procedure: walk the domain once, mapping each policy value to the
+    mechanism output first seen for it.  Any later input in the same
+    policy class with a different output is a witness of unsoundness.
+
+    With ``stop_at_first_witness=False`` the walk completes regardless,
+    so ``inputs_checked`` equals the domain size (useful for cost
+    accounting in benches).
+    """
+    if policy.arity != mechanism.arity:
+        raise ArityMismatchError(
+            f"policy arity {policy.arity} != mechanism arity {mechanism.arity}"
+        )
+    domain = domain if domain is not None else mechanism.domain
+
+    factor: dict = {}
+    representative: dict = {}
+    witness: Optional[SoundnessWitness] = None
+    inputs_checked = 0
+
+    for point in domain:
+        inputs_checked += 1
+        policy_value = policy(*point)
+        output = mechanism(*point)
+        if policy_value not in factor:
+            factor[policy_value] = output
+            representative[policy_value] = point
+            continue
+        if factor[policy_value] != output and witness is None:
+            witness = SoundnessWitness(
+                representative[policy_value], point, policy_value,
+                factor[policy_value], output,
+            )
+            if stop_at_first_witness:
+                break
+
+    if witness is not None:
+        return SoundnessReport(False, witness, None, len(factor), inputs_checked)
+    return SoundnessReport(True, None, factor, len(factor), inputs_checked)
+
+
+def is_sound(mechanism: ProtectionMechanism, policy: SecurityPolicy,
+             domain=None) -> bool:
+    """Convenience wrapper returning only the verdict."""
+    return check_soundness(mechanism, policy, domain).sound
+
+
+def distinguishable_pairs(mechanism: ProtectionMechanism,
+                          policy: SecurityPolicy, domain=None,
+                          limit: Optional[int] = None):
+    """Yield *all* soundness witnesses (up to ``limit``).
+
+    Each yielded pair is one concrete leak: the user, seeing only M's
+    output, can tell apart two inputs the policy says must look alike.
+    The number of such pairs is a crude leak-surface measure used by the
+    covert-channel experiments.
+    """
+    domain = domain if domain is not None else mechanism.domain
+    by_class: dict = {}
+    found = 0
+    for point in domain:
+        by_class.setdefault(policy(*point), []).append(point)
+    for policy_value, points in by_class.items():
+        outputs = [(point, mechanism(*point)) for point in points]
+        for i, (first, first_output) in enumerate(outputs):
+            for second, second_output in outputs[i + 1:]:
+                if first_output != second_output:
+                    yield SoundnessWitness(first, second, policy_value,
+                                           first_output, second_output)
+                    found += 1
+                    if limit is not None and found >= limit:
+                        return
+
+
+def leak_partition_sizes(mechanism: ProtectionMechanism,
+                         policy: SecurityPolicy, domain=None) -> dict:
+    """For each policy class: how many distinct M-outputs it splits into.
+
+    A sound mechanism maps every class to exactly 1 output.  The
+    maximum over classes, log2'd, bounds the bits a single query leaks
+    beyond the policy — the quantity Example 5 calls "small" for the
+    logon program.
+    """
+    domain = domain if domain is not None else mechanism.domain
+    by_class: dict = {}
+    for point in domain:
+        by_class.setdefault(policy(*point), set()).add(mechanism(*point))
+    return {policy_value: len(outputs) for policy_value, outputs in by_class.items()}
+
+
+def max_leaked_bits(mechanism: ProtectionMechanism, policy: SecurityPolicy,
+                    domain=None) -> float:
+    """log2 of the worst-case class split — 0.0 iff sound."""
+    import math
+
+    sizes = leak_partition_sizes(mechanism, policy, domain)
+    worst = max(sizes.values()) if sizes else 1
+    return math.log2(worst)

@@ -1,0 +1,19 @@
+"""Example 2's file system: directories + files, gated policies, monitors."""
+
+from .model import (DENY, DIRECTORY_DOMAIN, GRANT, directory_index,
+                    file_index, filesystem_domain, read_file_program,
+                    search_program, split_state, sum_readable_program)
+from .policy import (directories_only_policy, directory_gated_policy,
+                     query_budget_policy)
+from .mechanism import (content_leaking_monitor, decision_leaking_monitor,
+                        plug_puller, reference_monitor)
+
+__all__ = [
+    "GRANT", "DENY", "DIRECTORY_DOMAIN", "filesystem_domain", "split_state",
+    "directory_index", "file_index", "read_file_program",
+    "sum_readable_program", "search_program",
+    "directory_gated_policy", "directories_only_policy",
+    "query_budget_policy",
+    "reference_monitor", "content_leaking_monitor",
+    "decision_leaking_monitor", "plug_puller",
+]

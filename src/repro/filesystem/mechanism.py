@@ -1,0 +1,110 @@
+"""Reference monitors for the Example 2 file system — sound and leaky.
+
+The sound monitor checks the directory before releasing the file; its
+decision depends only on allowed information, so it factors through the
+gated policy.  The two leaky monitors reproduce Example 4 (Denning's and
+Rotenberg's observation that violation *notices* can leak):
+
+- :func:`content_leaking_monitor` embeds the denied file's value in the
+  notice text — flagrant, and caught immediately by the soundness
+  checker;
+- :func:`decision_leaking_monitor` decides whether to warn based on the
+  *denied file's content* (warn only when the secret is "interesting"),
+  so the mere presence of a notice is one bit of the secret.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import DomainError
+from ..core.mechanism import ProtectionMechanism, ViolationNotice
+from ..core.program import Program
+from .model import GRANT, split_state
+
+
+def _file_count_of(program: Program) -> int:
+    if program.arity % 2 != 0:
+        raise DomainError("file-system programs have even arity (dirs + files)")
+    return program.arity // 2
+
+
+def reference_monitor(program: Program, file_index: int) -> ProtectionMechanism:
+    """The sound gatekeeper for ``READFILE(i)``.
+
+        "Illegal access attempted, run aborted."  (Example 2)
+
+    Releases the file iff its directory grants; the branch reads only
+    directory values, which the gated policy always allows, so the
+    mechanism is sound (the test suite checks the factorization).
+    """
+    file_count = _file_count_of(program)
+    if not (1 <= file_index <= file_count):
+        raise DomainError(f"file index {file_index} out of range")
+
+    def monitor(*state):
+        directories, _ = split_state(state, file_count)
+        if directories[file_index - 1] == GRANT:
+            return program(*state)
+        return ViolationNotice("Illegal access attempted, run aborted.")
+
+    return ProtectionMechanism(monitor, program,
+                               name=f"M-monitor(f{file_index})")
+
+
+def content_leaking_monitor(program: Program,
+                            file_index: int) -> ProtectionMechanism:
+    """Example 4, variant 1: the notice embeds the denied file's value.
+
+    Unsound: two states equal under the policy (same directories, same
+    granted files) but with different denied-file contents receive
+    different notices.
+    """
+    file_count = _file_count_of(program)
+
+    def monitor(*state):
+        directories, files = split_state(state, file_count)
+        if directories[file_index - 1] == GRANT:
+            return program(*state)
+        return ViolationNotice(
+            f"Illegal access to file {file_index} "
+            f"(content {files[file_index - 1]}), run aborted."
+        )
+
+    return ProtectionMechanism(monitor, program,
+                               name=f"M-leaky-content(f{file_index})")
+
+
+def decision_leaking_monitor(program: Program, file_index: int,
+                             threshold: int = 2) -> ProtectionMechanism:
+    """Example 4, variant 2: the *decision to warn* depends on the secret.
+
+    On denial, a notice is produced only when the denied file's content
+    is at least ``threshold`` (the "interesting" secrets); boring
+    secrets quietly return 0.  The presence of the notice is then one
+    bit about the denied file — unsound, and subtler than variant 1
+    because every individual output looks innocuous.
+
+    (The quiet ``return 0`` also violates the mechanism *contract*
+    whenever the true file value differs from 0, which
+    ``check_contract`` reports; both defects are real and distinct.)
+    """
+    file_count = _file_count_of(program)
+
+    def monitor(*state):
+        directories, files = split_state(state, file_count)
+        if directories[file_index - 1] == GRANT:
+            return program(*state)
+        if files[file_index - 1] >= threshold:
+            return ViolationNotice("Illegal access attempted, run aborted.")
+        return 0
+
+    return ProtectionMechanism(monitor, program,
+                               name=f"M-leaky-decision(f{file_index})")
+
+
+def plug_puller(program: Program) -> ProtectionMechanism:
+    """The always-abort monitor — sound for anything, useful for nothing."""
+
+    def monitor(*state):
+        return ViolationNotice("System unavailable.")
+
+    return ProtectionMechanism(monitor, program, name="M-plug")

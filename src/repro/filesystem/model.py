@@ -1,0 +1,121 @@
+"""The simple file system of Example 2.
+
+    *Q : D1 x ... x Dk x F1 x ... x Fk -> E.  Here Di is the set of
+    possible values for the i-th "directory"; Fi is the set of values
+    for the i-th "file" ... the i-th directory will contain information
+    about who can access the i-th file.*
+
+The state is k directories (each granting or denying access to its
+file) and k files (integer contents).  A *file-manipulation program* is
+any view function over the full state; the canonical ones — read one
+file, sum readable files, search — are provided.
+
+Input convention: a k-file system is a 2k-ary program; positions
+1..k are the directories, positions k+1..2k the files.  (1-based, as
+everywhere in this library.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from ..core.domains import Domain, ProductDomain
+from ..core.errors import DomainError
+from ..core.program import Program
+
+#: Directory values: the i-th directory says whether the user may see file i.
+GRANT = "YES"
+DENY = "NO"
+
+DIRECTORY_DOMAIN = Domain((GRANT, DENY), name="Dir")
+
+
+def filesystem_domain(file_count: int, file_low: int = 0,
+                      file_high: int = 3) -> ProductDomain:
+    """The product domain of a k-file system state.
+
+    Directories first (positions 1..k), then files (k+1..2k).
+    """
+    if file_count < 1:
+        raise DomainError("a file system needs at least one file")
+    file_domain = Domain.integers(file_low, file_high, name="File")
+    return ProductDomain(*([DIRECTORY_DOMAIN] * file_count
+                           + [file_domain] * file_count))
+
+
+def split_state(state: Sequence, file_count: int) -> Tuple[Tuple, Tuple]:
+    """Split a flat input tuple into (directories, files)."""
+    state = tuple(state)
+    if len(state) != 2 * file_count:
+        raise DomainError(
+            f"state of a {file_count}-file system has {2 * file_count} "
+            f"components, got {len(state)}"
+        )
+    return state[:file_count], state[file_count:]
+
+
+def directory_index(i: int) -> int:
+    """1-based input position of directory i."""
+    return i
+
+
+def file_index(i: int, file_count: int) -> int:
+    """1-based input position of file i."""
+    return file_count + i
+
+
+def read_file_program(i: int, file_count: int,
+                      domain: ProductDomain = None) -> Program:
+    """The view function "read file i": Q(d, f) = f_i.
+
+    This is the program Example 2's reference monitor protects.
+    """
+    if not (1 <= i <= file_count):
+        raise DomainError(f"file index {i} out of range 1..{file_count}")
+    domain = domain if domain is not None else filesystem_domain(file_count)
+
+    def read(*state):
+        _, files = split_state(state, file_count)
+        return files[i - 1]
+
+    return Program(read, domain, name=f"READFILE({i})")
+
+
+def sum_readable_program(file_count: int,
+                         domain: ProductDomain = None) -> Program:
+    """Sum of the files whose directories grant access.
+
+    A content-dependent view function: its value legitimately depends
+    on directories and granted files, and on nothing else — so it is
+    sound as its own mechanism for the directory-gated policy.
+    """
+    domain = domain if domain is not None else filesystem_domain(file_count)
+
+    def total(*state):
+        directories, files = split_state(state, file_count)
+        return sum(value for grant, value in zip(directories, files)
+                   if grant == GRANT)
+
+    return Program(total, domain, name="SUM-READABLE")
+
+
+def search_program(needle: int, file_count: int,
+                   domain: ProductDomain = None) -> Program:
+    """Index of the first file equal to ``needle`` (0 if none) — over ALL files.
+
+    Deliberately ignores directories: a classic confinement bug.  The
+    result depends on denied files, so no gatekeeper that sometimes
+    returns its value can be sound for the gated policy — Example 6's
+    point that access control (blocking READFILE) is weaker than
+    information control.
+    """
+    domain = domain if domain is not None else filesystem_domain(file_count)
+
+    def search(*state):
+        _, files = split_state(state, file_count)
+        for position, value in enumerate(files, 1):
+            if value == needle:
+                return position
+        return 0
+
+    return Program(search, domain, name=f"SEARCH({needle})")

@@ -1,0 +1,61 @@
+"""Example 2's security policies for the file system.
+
+The interesting one is content-dependent:
+
+    *I(d1,...,dk, f1,...,fk) = (d1,...,dk, f1',...,fk') where fi' = fi
+    if di = "YES" and 0 otherwise.  This security policy allows the user
+    information about the i-th file only in the case that the i-th
+    directory permits it.  Note that the user can always obtain the
+    value of all the directories.  Note also that this security policy
+    is not of the form allow(...).*
+
+A history-dependent variant (the paper's database remark) is also
+provided: a query budget after which everything is filtered.
+"""
+
+from __future__ import annotations
+
+from ..core.policy import HistoryPolicy, SecurityPolicy, content_dependent
+from .model import GRANT, split_state
+
+
+def directory_gated_policy(file_count: int) -> SecurityPolicy:
+    """The Example 2 policy: files visible only where directories grant."""
+
+    def gate(*state):
+        directories, files = split_state(state, file_count)
+        filtered = tuple(value if grant == GRANT else 0
+                         for grant, value in zip(directories, files))
+        return directories + filtered
+
+    return content_dependent(gate, 2 * file_count,
+                             name=f"I-gated[{file_count}]")
+
+
+def directories_only_policy(file_count: int) -> SecurityPolicy:
+    """Allow the directories, deny every file (an allow(...)-style policy)."""
+
+    def gate(*state):
+        directories, _ = split_state(state, file_count)
+        return directories
+
+    return content_dependent(gate, 2 * file_count,
+                             name=f"I-dirs[{file_count}]")
+
+
+def query_budget_policy(file_count: int, budget: int) -> HistoryPolicy:
+    """History-dependent: the gated policy, but only for the first
+    ``budget`` queries of a session; afterwards everything is filtered.
+
+    Each query's input is one full file-system state (2k values); the
+    state carried across queries is the number of queries made so far.
+    """
+    gated = directory_gated_policy(file_count)
+
+    def step(queries_so_far, inputs):
+        if queries_so_far < budget:
+            return gated(*inputs), queries_so_far + 1
+        return ("budget-exhausted",), queries_so_far + 1
+
+    return HistoryPolicy(0, step, 2 * file_count,
+                         name=f"I-budget[{file_count},{budget}]")

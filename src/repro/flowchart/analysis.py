@@ -1,0 +1,227 @@
+"""Control-flow analyses over flowcharts.
+
+Section 4's transforms operate on "single-entry and single-exit
+structures" recognised inside a flowchart.  This module provides the
+graph machinery to find them:
+
+- dominators and postdominators (iterative dataflow),
+- if-then-else region discovery (:func:`find_ite_regions`): a decision
+  whose two arms are straight-line assignment chains reconverging at a
+  common join,
+- while region discovery (:func:`find_while_regions`): a decision with a
+  straight-line assignment chain looping back to it.
+
+The region classes carry exactly the information the transforms in
+:mod:`repro.flowchart.transforms` need: the decision id, the arm chains
+(lists of assignment-box ids), and the join/exit node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .boxes import AssignBox, DecisionBox, NodeId
+from .program import Flowchart
+
+
+def dominators(flowchart: Flowchart) -> Dict[NodeId, FrozenSet[NodeId]]:
+    """Classic iterative dominator analysis.
+
+    ``dominators(fc)[n]`` is the set of nodes on every path from the
+    start box to ``n`` (including ``n`` itself).
+    """
+    nodes = flowchart.reachable_from(flowchart.start_id)
+    all_nodes = frozenset(nodes)
+    preds = flowchart.predecessors()
+    dom: Dict[NodeId, FrozenSet[NodeId]] = {n: all_nodes for n in nodes}
+    dom[flowchart.start_id] = frozenset((flowchart.start_id,))
+
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node == flowchart.start_id:
+                continue
+            incoming = [dom[p] for p in preds[node] if p in dom]
+            if incoming:
+                new = frozenset.intersection(*incoming) | {node}
+            else:  # pragma: no cover - unreachable filtered by validation
+                new = frozenset((node,))
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return dom
+
+
+def postdominators(flowchart: Flowchart) -> Dict[NodeId, FrozenSet[NodeId]]:
+    """Postdominators w.r.t. the set of halt boxes.
+
+    ``postdominators(fc)[n]`` is the set of nodes on every path from
+    ``n`` to any halt box.  With multiple halt boxes we use a virtual
+    exit, which never appears in results.
+    """
+    nodes = flowchart.reachable_from(flowchart.start_id)
+    all_nodes = frozenset(nodes)
+    halts = set(flowchart.halt_ids())
+    successors = {n: tuple(flowchart.boxes[n].successors()) for n in nodes}
+
+    pdom: Dict[NodeId, FrozenSet[NodeId]] = {}
+    for node in nodes:
+        pdom[node] = frozenset((node,)) if node in halts else all_nodes
+
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node in halts:
+                continue
+            outgoing = [pdom[s] for s in successors[node]]
+            if outgoing:
+                new = frozenset.intersection(*outgoing) | {node}
+            else:  # pragma: no cover - only halts lack successors
+                new = frozenset((node,))
+            if new != pdom[node]:
+                pdom[node] = new
+                changed = True
+    return pdom
+
+
+def immediate_postdominator(flowchart: Flowchart, node: NodeId,
+                            pdom: Optional[Dict[NodeId, FrozenSet[NodeId]]] = None
+                            ) -> Optional[NodeId]:
+    """The closest strict postdominator of ``node`` (None for halts).
+
+    ``pdom`` may supply a precomputed :func:`postdominators` result so
+    callers iterating over many nodes avoid recomputing the fixpoint.
+    """
+    if pdom is None:
+        pdom = postdominators(flowchart)
+    candidates = pdom[node] - {node}
+    if not candidates:
+        return None
+    # The immediate postdominator is the closest strict postdominator:
+    # the candidate that every other candidate postdominates.
+    for candidate in candidates:
+        if all(other in pdom[candidate] or candidate == other
+               for other in candidates):
+            return candidate
+    return None  # pragma: no cover - exists for reducible graphs
+
+
+def _follow_assignment_chain(flowchart: Flowchart, start: NodeId,
+                             stop_nodes: Set[NodeId],
+                             limit: int = 1000) -> Optional[Tuple[List[NodeId], NodeId]]:
+    """Walk a straight-line chain of assignment boxes from ``start``.
+
+    Returns ``(chain, terminator)`` where ``terminator`` is the first
+    non-assignment node or a node in ``stop_nodes``; None if the walk
+    leaves straight-line territory (hits a decision inside the chain) or
+    exceeds ``limit``.
+    """
+    chain: List[NodeId] = []
+    current = start
+    for _ in range(limit):
+        if current in stop_nodes:
+            return chain, current
+        box = flowchart.boxes[current]
+        if isinstance(box, AssignBox):
+            chain.append(current)
+            current = box.next
+            continue
+        # Decision/halt terminates the chain.
+        return chain, current
+    return None
+
+
+class IteRegion:
+    """An if-then-else structure: decision + two assignment arms + join."""
+
+    def __init__(self, decision: NodeId, then_chain: List[NodeId],
+                 else_chain: List[NodeId], join: NodeId) -> None:
+        self.decision = decision
+        self.then_chain = list(then_chain)
+        self.else_chain = list(else_chain)
+        self.join = join
+
+    def __repr__(self) -> str:
+        return (f"IteRegion(decision={self.decision}, "
+                f"then={self.then_chain}, else={self.else_chain}, "
+                f"join={self.join})")
+
+    def interior(self) -> Set[NodeId]:
+        return {self.decision, *self.then_chain, *self.else_chain}
+
+
+class WhileRegion:
+    """A while structure: decision + assignment body looping back + exit."""
+
+    def __init__(self, decision: NodeId, body_chain: List[NodeId],
+                 exit: NodeId) -> None:
+        self.decision = decision
+        self.body_chain = list(body_chain)
+        self.exit = exit
+
+    def __repr__(self) -> str:
+        return (f"WhileRegion(decision={self.decision}, "
+                f"body={self.body_chain}, exit={self.exit})")
+
+    def interior(self) -> Set[NodeId]:
+        return {self.decision, *self.body_chain}
+
+
+def find_ite_regions(flowchart: Flowchart) -> List[IteRegion]:
+    """All decisions whose arms are straight-line chains meeting at a join.
+
+    The join may be any node (assignment, decision, or halt); the arms
+    must contain assignments only.  Decisions that are loop headers are
+    excluded (they are :class:`WhileRegion` material).
+    """
+    regions: List[IteRegion] = []
+    pdom = postdominators(flowchart)
+    for decision_id in flowchart.decision_ids():
+        box = flowchart.boxes[decision_id]
+        assert isinstance(box, DecisionBox)
+        join = immediate_postdominator(flowchart, decision_id, pdom)
+        if join is None:
+            continue
+        stop = {decision_id, join}
+        walked_true = _follow_assignment_chain(flowchart, box.true_next, stop)
+        walked_false = _follow_assignment_chain(flowchart, box.false_next, stop)
+        if walked_true is None or walked_false is None:
+            continue
+        then_chain, then_end = walked_true
+        else_chain, else_end = walked_false
+        if then_end != join or else_end != join:
+            continue  # a loop back-edge or non-assignment interior
+        if set(then_chain) & set(else_chain):
+            continue  # arms share boxes — not a diamond
+        regions.append(IteRegion(decision_id, then_chain, else_chain, join))
+    return regions
+
+
+def find_while_regions(flowchart: Flowchart) -> List[WhileRegion]:
+    """All decisions with an assignment-only body that loops straight back."""
+    regions: List[WhileRegion] = []
+    for decision_id in flowchart.decision_ids():
+        box = flowchart.boxes[decision_id]
+        assert isinstance(box, DecisionBox)
+        walked = _follow_assignment_chain(flowchart, box.true_next,
+                                          {decision_id})
+        if walked is not None:
+            body, end = walked
+            if end == decision_id and body:
+                regions.append(WhileRegion(decision_id, body, box.false_next))
+                continue
+        # Also recognise loops whose body hangs off the false arm.
+        walked = _follow_assignment_chain(flowchart, box.false_next,
+                                          {decision_id})
+        if walked is not None:
+            body, end = walked
+            if end == decision_id and body:
+                regions.append(WhileRegion(decision_id, body, box.true_next))
+    return regions
+
+
+def is_straight_line(flowchart: Flowchart) -> bool:
+    """True iff the flowchart has no decision boxes (pure data flow)."""
+    return not flowchart.decision_ids()

@@ -1,0 +1,120 @@
+"""The four box kinds of Section 3 flowcharts.
+
+    *A flowchart F is a finite connected directed graph whose nodes are
+    boxes of the forms: (1) Start box, (2) Decision box, (3) Assignment
+    box, (4) Halt box.*
+
+Boxes are immutable records; the graph structure (which box follows
+which) lives in the box's successor ids, and wellformedness is enforced
+by :class:`repro.flowchart.program.Flowchart`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from ..core.errors import FlowchartError
+from .expr import Expr, Pred
+
+NodeId = str
+
+
+class Box:
+    """Base class for flowchart boxes."""
+
+    def successors(self) -> Tuple[NodeId, ...]:
+        raise NotImplementedError
+
+    def read_variables(self) -> FrozenSet[str]:
+        """Variables this box reads (empty for start/halt)."""
+        return frozenset()
+
+    def written_variable(self) -> Optional[str]:
+        """The variable this box writes, if any."""
+        return None
+
+
+class StartBox(Box):
+    """The unique entry box; execution begins here.
+
+    Initialises program and output variables to 0 and each input
+    variable ``x_i`` to the i-th input value.
+    """
+
+    __slots__ = ("next",)
+
+    def __init__(self, next: NodeId) -> None:
+        self.next = next
+
+    def successors(self) -> Tuple[NodeId, ...]:
+        return (self.next,)
+
+    def __repr__(self) -> str:
+        return f"StartBox(-> {self.next})"
+
+
+class DecisionBox(Box):
+    """A two-way branch on a predicate ``B(w1, ..., wp)``."""
+
+    __slots__ = ("predicate", "true_next", "false_next")
+
+    def __init__(self, predicate: Pred, true_next: NodeId,
+                 false_next: NodeId) -> None:
+        if not isinstance(predicate, Pred):
+            raise FlowchartError(
+                f"decision box needs a Pred, got {type(predicate).__name__}"
+            )
+        self.predicate = predicate
+        self.true_next = true_next
+        self.false_next = false_next
+
+    def successors(self) -> Tuple[NodeId, ...]:
+        return (self.true_next, self.false_next)
+
+    def read_variables(self) -> FrozenSet[str]:
+        return self.predicate.variables()
+
+    def __repr__(self) -> str:
+        return (f"DecisionBox({self.predicate!r} ? -> {self.true_next} "
+                f": -> {self.false_next})")
+
+
+class AssignBox(Box):
+    """An assignment ``v <- E(w1, ..., wp)``."""
+
+    __slots__ = ("target", "expression", "next")
+
+    def __init__(self, target: str, expression: Expr, next: NodeId) -> None:
+        if not isinstance(expression, Expr):
+            raise FlowchartError(
+                f"assignment box needs an Expr, got {type(expression).__name__}"
+            )
+        if not target or not isinstance(target, str):
+            raise FlowchartError(f"bad assignment target {target!r}")
+        self.target = target
+        self.expression = expression
+        self.next = next
+
+    def successors(self) -> Tuple[NodeId, ...]:
+        return (self.next,)
+
+    def read_variables(self) -> FrozenSet[str]:
+        return self.expression.variables()
+
+    def written_variable(self) -> Optional[str]:
+        return self.target
+
+    def __repr__(self) -> str:
+        return f"AssignBox({self.target} <- {self.expression!r} -> {self.next})"
+
+
+class HaltBox(Box):
+    """Terminates execution; the program's value is the output variable."""
+
+    __slots__ = ()
+
+    def successors(self) -> Tuple[NodeId, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return "HaltBox()"

@@ -1,0 +1,153 @@
+"""An imperative builder for flowchart graphs.
+
+Writing box dictionaries by hand is error-prone; the builder allocates
+node ids, wires successors, and supports forward references (labels used
+before they are defined), which loops need.
+
+>>> from repro.flowchart.builder import FlowchartBuilder
+>>> from repro.flowchart.expr import var
+>>> b = FlowchartBuilder(["x1"], name="decrement-loop")
+>>> loop = b.label()
+>>> b.define(loop)
+>>> b.decide(var("x1").ne(0), then_to=None, else_to=None)  # doctest: +SKIP
+
+Most callers use the higher-level structured front-end
+(:mod:`repro.flowchart.structured`); the builder exists for flowcharts
+with irreducible control flow and for the instrumentation pass, which
+must splice boxes into an arbitrary graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional
+
+from ..core.errors import FlowchartError
+from .boxes import (AssignBox, Box, DecisionBox, HaltBox, NodeId, StartBox)
+from .expr import Expr, Pred
+from .program import Flowchart
+
+
+class Label:
+    """A forward-referencable node id."""
+
+    _counter = itertools.count()
+
+    def __init__(self, hint: str = "L") -> None:
+        self.id: NodeId = f"{hint}{next(Label._counter)}"
+
+    def __repr__(self) -> str:
+        return f"Label({self.id})"
+
+
+class FlowchartBuilder:
+    """Accumulates boxes; :meth:`build` validates and returns a Flowchart.
+
+    Sequential style: each ``assign``/``halt``/``decide`` appends a box
+    and wires the *previous* sequential box to it.  ``define(label)``
+    makes the next appended box carry that label's id, resolving forward
+    references.
+    """
+
+    def __init__(self, input_variables: Iterable[str],
+                 output_variable: str = "y", name: str = "F") -> None:
+        self.input_variables = tuple(input_variables)
+        self.output_variable = output_variable
+        self.name = name
+        self._boxes: Dict[NodeId, Box] = {}
+        self._ids = itertools.count()
+        self._pending_labels: List[NodeId] = []
+        # Node ids whose single successor slot should be patched to the
+        # next appended box (sequential flow).
+        self._dangling: List[NodeId] = []
+        self._start_id: Optional[NodeId] = None
+
+    # -- id management ---------------------------------------------------
+
+    def label(self, hint: str = "L") -> Label:
+        """Allocate a label for a forward jump target."""
+        return Label(hint)
+
+    def define(self, label: Label) -> None:
+        """The next appended box will have this label's id."""
+        self._pending_labels.append(label.id)
+
+    def _next_id(self) -> NodeId:
+        if self._pending_labels:
+            return self._pending_labels.pop(0)
+        return f"n{next(self._ids)}"
+
+    # -- appending boxes ---------------------------------------------------
+
+    def _append(self, node_id: NodeId, box: Box) -> NodeId:
+        if node_id in self._boxes:
+            raise FlowchartError(f"duplicate node id {node_id!r}")
+        self._boxes[node_id] = box
+        return node_id
+
+    def _wire_dangling(self, target: NodeId) -> None:
+        for node_id in self._dangling:
+            box = self._boxes[node_id]
+            if isinstance(box, StartBox):
+                self._boxes[node_id] = StartBox(target)
+            elif isinstance(box, AssignBox):
+                self._boxes[node_id] = AssignBox(box.target, box.expression, target)
+            else:  # pragma: no cover - only single-successor boxes dangle
+                raise FlowchartError(f"cannot wire {box!r}")
+        self._dangling.clear()
+
+    def start(self) -> NodeId:
+        """Append the start box (call first, exactly once)."""
+        if self._start_id is not None:
+            raise FlowchartError("start() called twice")
+        node_id = self._next_id()
+        self._append(node_id, StartBox("__unwired__"))
+        self._start_id = node_id
+        self._dangling.append(node_id)
+        return node_id
+
+    def assign(self, target: str, expression: Expr) -> NodeId:
+        node_id = self._next_id()
+        self._wire_dangling(node_id)
+        self._append(node_id, AssignBox(target, expression, "__unwired__"))
+        self._dangling.append(node_id)
+        return node_id
+
+    def decide(self, predicate: Pred, then_to: Label,
+               else_to: Label) -> NodeId:
+        """Append a decision whose both arms are explicit labels."""
+        node_id = self._next_id()
+        self._wire_dangling(node_id)
+        self._append(node_id, DecisionBox(predicate, then_to.id, else_to.id))
+        return node_id
+
+    def halt(self) -> NodeId:
+        node_id = self._next_id()
+        self._wire_dangling(node_id)
+        self._append(node_id, HaltBox())
+        return node_id
+
+    def goto(self, label: Label) -> None:
+        """Wire the current dangling flow to an existing/forward label."""
+        self._wire_dangling(label.id)
+
+    # -- direct graph construction ---------------------------------------
+
+    def raw(self, node_id: NodeId, box: Box) -> NodeId:
+        """Insert a box verbatim (for the instrumentation pass)."""
+        return self._append(node_id, box)
+
+    def build(self) -> Flowchart:
+        if self._start_id is None:
+            raise FlowchartError("build() before start()")
+        if self._dangling:
+            raise FlowchartError(
+                f"unwired sequential flow from nodes {self._dangling!r}; "
+                "end with halt() or goto()"
+            )
+        if self._pending_labels:
+            raise FlowchartError(
+                f"labels defined but never given a box: {self._pending_labels!r}"
+            )
+        return Flowchart(self._boxes, self.input_variables,
+                         self.output_variable, name=self.name)

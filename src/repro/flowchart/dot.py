@@ -1,0 +1,64 @@
+"""Graphviz/DOT export — the paper's figures, regenerable.
+
+The paper presents its programs as flowchart drawings; :func:`to_dot`
+renders any :class:`~repro.flowchart.program.Flowchart` (including
+instrumented ones) as DOT text, with the paper's visual conventions:
+ovals for start/halt, diamonds for decisions, boxes for assignments,
+and labelled TRUE/FALSE arcs.  No graphviz binary is required — the
+output is plain text, suitable for committing alongside docs or piping
+to ``dot -Tsvg`` where available.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .boxes import AssignBox, DecisionBox, HaltBox, StartBox
+from .program import Flowchart
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(flowchart: Flowchart, include_name: bool = True) -> str:
+    """Render a flowchart as a DOT digraph.
+
+    Nodes are emitted in a deterministic order (reachability order from
+    the start box) so diffs are stable.
+    """
+    lines: List[str] = ["digraph {"]
+    if include_name:
+        lines.append(f'    label="{_escape(flowchart.name)}";')
+        lines.append("    labelloc=t;")
+    lines.append("    node [fontname=monospace];")
+
+    order = flowchart.reachable_from(flowchart.start_id)
+    for node_id in order:
+        box = flowchart.boxes[node_id]
+        safe = _escape(str(node_id))
+        if isinstance(box, StartBox):
+            lines.append(f'    "{safe}" [shape=oval, label="START"];')
+        elif isinstance(box, HaltBox):
+            lines.append(f'    "{safe}" [shape=oval, label="HALT"];')
+        elif isinstance(box, DecisionBox):
+            label = _escape(repr(box.predicate))
+            lines.append(f'    "{safe}" [shape=diamond, label="{label}"];')
+        elif isinstance(box, AssignBox):
+            label = _escape(f"{box.target} := {box.expression!r}")
+            lines.append(f'    "{safe}" [shape=box, label="{label}"];')
+
+    for node_id in order:
+        box = flowchart.boxes[node_id]
+        safe = _escape(str(node_id))
+        if isinstance(box, DecisionBox):
+            lines.append(f'    "{safe}" -> "{_escape(str(box.true_next))}"'
+                         ' [label="TRUE"];')
+            lines.append(f'    "{safe}" -> "{_escape(str(box.false_next))}"'
+                         ' [label="FALSE"];')
+        else:
+            for successor in box.successors():
+                lines.append(
+                    f'    "{safe}" -> "{_escape(str(successor))}";')
+    lines.append("}")
+    return "\n".join(lines)

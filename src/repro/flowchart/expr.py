@@ -1,0 +1,494 @@
+"""Expressions and predicates for flowchart programs (Section 3).
+
+The paper's flowcharts label assignment boxes with expressions
+``E(w1, ..., wp)`` and decision boxes with predicates ``B(w1, ..., wp)``
+over integer variables, with "no specific assumptions ... about what
+predicates or expressions are allowed: any reasonable choice" (any
+recursive ones).  We supply a small total expression language over the
+integers:
+
+- constants, variables,
+- arithmetic: ``+ - * // % min max`` and unary negation (division and
+  modulus by zero are *defined* — they yield 0 — to keep every
+  expression total, as the paper's programs must be),
+- bitwise ``| & ^ ~`` (used by the literal surveillance instrumentation,
+  which encodes label sets as bitmasks),
+- predicates: comparisons, boolean connectives, and constants.
+
+The one piece of static information the surveillance mechanism needs is
+:meth:`Expr.variables` — the ``w1, ..., wp`` appearing in a box — which
+every node exposes.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Mapping, Tuple, Union
+
+from ..core.errors import ExecutionError
+
+
+class Expr:
+    """Base class for integer-valued expressions."""
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        """The variables ``w1, ..., wp`` this expression reads."""
+        raise NotImplementedError
+
+    # Operator sugar so programs read naturally in builder code.
+    def __add__(self, other): return BinOp("+", self, _lift(other))
+    def __radd__(self, other): return BinOp("+", _lift(other), self)
+    def __sub__(self, other): return BinOp("-", self, _lift(other))
+    def __rsub__(self, other): return BinOp("-", _lift(other), self)
+    def __mul__(self, other): return BinOp("*", self, _lift(other))
+    def __rmul__(self, other): return BinOp("*", _lift(other), self)
+    def __floordiv__(self, other): return BinOp("//", self, _lift(other))
+    def __mod__(self, other): return BinOp("%", self, _lift(other))
+    def __or__(self, other): return BinOp("|", self, _lift(other))
+    def __and__(self, other): return BinOp("&", self, _lift(other))
+    def __xor__(self, other): return BinOp("^", self, _lift(other))
+    def __neg__(self): return Neg(self)
+
+    # Comparison sugar produces predicates.
+    def eq(self, other): return Compare("==", self, _lift(other))
+    def ne(self, other): return Compare("!=", self, _lift(other))
+    def lt(self, other): return Compare("<", self, _lift(other))
+    def le(self, other): return Compare("<=", self, _lift(other))
+    def gt(self, other): return Compare(">", self, _lift(other))
+    def ge(self, other): return Compare(">=", self, _lift(other))
+
+
+def _lift(value: Union[int, Expr]) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ExecutionError(f"cannot lift {value!r} into an integer expression")
+    return Const(value)
+
+
+class Const(Expr):
+    """An integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ExecutionError(f"Const requires an int, got {value!r}")
+        self.value = value
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class Var(Expr):
+    """A variable reference (input ``x_i``, program ``r_j``, or output ``y``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise ExecutionError(f"variable name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise ExecutionError(f"unbound variable {self.name!r}") from None
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    # Total by definition: division/modulus by zero yields 0.
+    "//": lambda a, b: a // b if b != 0 else 0,
+    "%": lambda a, b: a % b if b != 0 else 0,
+    "min": min,
+    "max": max,
+    "|": lambda a, b: a | b,
+    "&": lambda a, b: a & b,
+    "^": lambda a, b: a ^ b,
+}
+
+
+class BinOp(Expr):
+    """A binary arithmetic/bitwise operation."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _BINOPS:
+            raise ExecutionError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = _lift(left)
+        self.right = _lift(right)
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        return _BINOPS[self.op](self.left.eval(env), self.right.eval(env))
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        if self.op in ("min", "max"):
+            return f"{self.op}({self.left!r}, {self.right!r})"
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Neg(Expr):
+    """Unary negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = _lift(operand)
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        return -self.operand.eval(env)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def __repr__(self) -> str:
+        return f"(-{self.operand!r})"
+
+
+class Pred:
+    """Base class for boolean-valued predicates (decision-box labels)."""
+
+    def eval(self, env: Mapping[str, int]) -> bool:
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def __invert__(self) -> "Pred":
+        return Not(self)
+
+    def and_(self, other: "Pred") -> "Pred":
+        return And(self, other)
+
+    def or_(self, other: "Pred") -> "Pred":
+        return Or(self, other)
+
+
+_COMPARISONS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Compare(Pred):
+    """An integer comparison predicate."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _COMPARISONS:
+            raise ExecutionError(f"unknown comparison {op!r}")
+        self.op = op
+        self.left = _lift(left)
+        self.right = _lift(right)
+
+    def eval(self, env: Mapping[str, int]) -> bool:
+        return _COMPARISONS[self.op](self.left.eval(env), self.right.eval(env))
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class BoolConst(Pred):
+    """A constant predicate (used by degenerate decisions in transforms)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def eval(self, env: Mapping[str, int]) -> bool:
+        return self.value
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+class Not(Pred):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Pred) -> None:
+        self.operand = operand
+
+    def eval(self, env: Mapping[str, int]) -> bool:
+        return not self.operand.eval(env)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def __repr__(self) -> str:
+        return f"(not {self.operand!r})"
+
+
+class And(Pred):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Pred, right: Pred) -> None:
+        self.left = left
+        self.right = right
+
+    def eval(self, env: Mapping[str, int]) -> bool:
+        return self.left.eval(env) and self.right.eval(env)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} and {self.right!r})"
+
+
+class Or(Pred):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Pred, right: Pred) -> None:
+        self.left = left
+        self.right = right
+
+    def eval(self, env: Mapping[str, int]) -> bool:
+        return self.left.eval(env) or self.right.eval(env)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} or {self.right!r})"
+
+
+def var(name: str) -> Var:
+    """Shorthand constructor: ``var("x1") + 2`` etc."""
+    return Var(name)
+
+
+def const(value: int) -> Const:
+    return Const(value)
+
+
+def variables_of(node: Union[Expr, Pred]) -> Tuple[str, ...]:
+    """Sorted tuple of the variables a node reads (stable for tests)."""
+    return tuple(sorted(node.variables()))
+
+
+class Ite(Expr):
+    """A conditional *expression* — Example 7's ``f(x1)``.
+
+    ``Ite(p, a, b)`` evaluates ``a`` if ``p`` holds, else ``b`` — in a
+    single step, as ordinary data flow.  This is exactly what the
+    if-then-else transform of Section 4 produces: the branch's control
+    dependence becomes data dependence of one expression, so
+    :meth:`variables` reports *all* variables of the predicate and both
+    arms ("one must assume the worst case", Example 8).
+    """
+
+    __slots__ = ("predicate", "then_value", "else_value")
+
+    def __init__(self, predicate: "Pred", then_value: Expr,
+                 else_value: Expr) -> None:
+        if not isinstance(predicate, Pred):
+            raise ExecutionError(
+                f"Ite requires a Pred, got {type(predicate).__name__}")
+        self.predicate = predicate
+        self.then_value = _lift(then_value)
+        self.else_value = _lift(else_value)
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        if self.predicate.eval(env):
+            return self.then_value.eval(env)
+        return self.else_value.eval(env)
+
+    def variables(self) -> FrozenSet[str]:
+        return (self.predicate.variables()
+                | self.then_value.variables()
+                | self.else_value.variables())
+
+    def __repr__(self) -> str:
+        return (f"Ite({self.predicate!r}, {self.then_value!r}, "
+                f"{self.else_value!r})")
+
+
+class LoopExpr(Expr):
+    """A whole while-loop folded into one expression (the while transform).
+
+    Section 4: "we could create a *while* transform that operates
+    [analogously to the if-then-else transform]".  The loop
+
+        ``while B do {v1 := E1; ...; vn := En}``
+
+    is functionally equivalent to a single simultaneous update computing
+    each variable's final value.  ``LoopExpr(B, updates, result)``
+    iterates the simultaneous updates until ``B`` fails and yields the
+    final value of ``result`` — in *one* expression-evaluation step, so
+    the surveillance mechanism sees pure data flow over
+    ``vars(B) ∪ vars(E1..En)``.  The paper allows this: "so long as
+    predicates and expressions are recursive there is no difficulty".
+
+    A ``fuel`` bound keeps the expression total; exceeding it raises
+    :class:`~repro.core.errors.ExecutionError`.
+    """
+
+    __slots__ = ("predicate", "updates", "result", "fuel")
+
+    def __init__(self, predicate: "Pred", updates: Mapping[str, Expr],
+                 result: str, fuel: int = 100_000) -> None:
+        if not isinstance(predicate, Pred):
+            raise ExecutionError(
+                f"LoopExpr requires a Pred, got {type(predicate).__name__}")
+        if result not in updates:
+            # The result variable need not be updated, but must at least
+            # be readable; allow either.
+            pass
+        self.predicate = predicate
+        self.updates = {name: _lift(expr) for name, expr in updates.items()}
+        self.result = result
+        self.fuel = fuel
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        local = dict(env)
+        iterations = 0
+        while self.predicate.eval(local):
+            iterations += 1
+            if iterations > self.fuel:
+                raise ExecutionError(
+                    f"LoopExpr exceeded fuel {self.fuel}")
+            # Simultaneous update, matching straight-line bodies whose
+            # reads precede writes per iteration.
+            snapshot = dict(local)
+            for name, expression in self.updates.items():
+                local[name] = expression.eval(snapshot)
+        try:
+            return local[self.result]
+        except KeyError:
+            raise ExecutionError(
+                f"LoopExpr result variable {self.result!r} unbound") from None
+
+    def variables(self) -> FrozenSet[str]:
+        names: set = set(self.predicate.variables())
+        names.add(self.result)
+        for target, expression in self.updates.items():
+            names.add(target)
+            names |= expression.variables()
+        return frozenset(names)
+
+    def __repr__(self) -> str:
+        updates = ", ".join(f"{k} := {v!r}" for k, v in self.updates.items())
+        return f"LoopExpr(while {self.predicate!r} do [{updates}] yield {self.result})"
+
+
+def substitute(node, mapping: Mapping[str, Expr]):
+    """Capture-avoiding substitution of variables by expressions.
+
+    Works over both expressions and predicates; used by the transforms
+    to compose straight-line assignment chains symbolically.
+    """
+    if isinstance(node, Const):
+        return node
+    if isinstance(node, Var):
+        return mapping.get(node.name, node)
+    if isinstance(node, BinOp):
+        return BinOp(node.op, substitute(node.left, mapping),
+                     substitute(node.right, mapping))
+    if isinstance(node, Neg):
+        return Neg(substitute(node.operand, mapping))
+    if isinstance(node, Ite):
+        return Ite(substitute(node.predicate, mapping),
+                   substitute(node.then_value, mapping),
+                   substitute(node.else_value, mapping))
+    if isinstance(node, LoopExpr):
+        # Loop-bound variables shadow the mapping.
+        outer = {name: expr for name, expr in mapping.items()
+                 if name not in node.updates}
+        return LoopExpr(substitute(node.predicate, outer),
+                        {name: substitute(expr, outer)
+                         for name, expr in node.updates.items()},
+                        node.result, node.fuel)
+    if isinstance(node, Compare):
+        return Compare(node.op, substitute(node.left, mapping),
+                       substitute(node.right, mapping))
+    if isinstance(node, BoolConst):
+        return node
+    if isinstance(node, Not):
+        return Not(substitute(node.operand, mapping))
+    if isinstance(node, And):
+        return And(substitute(node.left, mapping),
+                   substitute(node.right, mapping))
+    if isinstance(node, Or):
+        return Or(substitute(node.left, mapping),
+                  substitute(node.right, mapping))
+    raise ExecutionError(f"cannot substitute into {type(node).__name__}")
+
+
+def structurally_equal(first, second) -> bool:
+    """Structural equality of expressions/predicates.
+
+    Used by the transforms to recognise identical branch effects (so
+    Example 7's common ``y := 1`` is emitted clean rather than merged
+    into a tainting :class:`Ite`).
+    """
+    if type(first) is not type(second):
+        return False
+    if isinstance(first, Const):
+        return first.value == second.value
+    if isinstance(first, Var):
+        return first.name == second.name
+    if isinstance(first, BinOp):
+        return (first.op == second.op
+                and structurally_equal(first.left, second.left)
+                and structurally_equal(first.right, second.right))
+    if isinstance(first, Neg):
+        return structurally_equal(first.operand, second.operand)
+    if isinstance(first, Ite):
+        return (structurally_equal(first.predicate, second.predicate)
+                and structurally_equal(first.then_value, second.then_value)
+                and structurally_equal(first.else_value, second.else_value))
+    if isinstance(first, LoopExpr):
+        if first.result != second.result:
+            return False
+        if set(first.updates) != set(second.updates):
+            return False
+        return (structurally_equal(first.predicate, second.predicate)
+                and all(structurally_equal(first.updates[k], second.updates[k])
+                        for k in first.updates))
+    if isinstance(first, Compare):
+        return (first.op == second.op
+                and structurally_equal(first.left, second.left)
+                and structurally_equal(first.right, second.right))
+    if isinstance(first, BoolConst):
+        return first.value == second.value
+    if isinstance(first, Not):
+        return structurally_equal(first.operand, second.operand)
+    if isinstance(first, (And, Or)):
+        return (structurally_equal(first.left, second.left)
+                and structurally_equal(first.right, second.right))
+    return False

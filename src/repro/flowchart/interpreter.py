@@ -1,0 +1,165 @@
+"""Step-counted execution of flowchart programs.
+
+The paper's observability discussion (Sections 2-3) requires that
+"running time" be a first-class, exactly reproducible quantity; we
+define it as the **number of boxes executed after the start box**
+(decision and assignment boxes count 1 each, the final halt box counts
+1).  The start box's variable initialisation is free.  Any such
+convention works, as the paper notes — what matters is that it is fixed
+and deterministic.
+
+Because the theory requires *total* functions, the interpreter takes a
+``fuel`` bound and raises :class:`~repro.core.errors.FuelExhaustedError`
+when exceeded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ArityMismatchError, FuelExhaustedError
+from ..core.observability import (VALUE_AND_TIME, VALUE_ONLY, Observation,
+                                  OutputModel)
+from ..core.domains import ProductDomain
+from ..core.program import Program
+from .boxes import AssignBox, DecisionBox, HaltBox, NodeId, StartBox
+from .program import Flowchart
+
+DEFAULT_FUEL = 100_000
+
+
+class ExecutionResult:
+    """One complete run: value, step count, memory footprint, trace.
+
+    ``touched`` is the set of variables the run read or wrote — the
+    interpreter's "page" footprint.  The paper names page faults as
+    exactly the kind of observable other models forget; ``faults``
+    (= number of distinct variables touched) is the attribute the
+    :func:`~repro.core.observability.with_extras` output models expose.
+    """
+
+    __slots__ = ("value", "steps", "trace", "env", "touched")
+
+    def __init__(self, value: int, steps: int,
+                 trace: Optional[Tuple[NodeId, ...]] = None,
+                 env: Optional[Dict[str, int]] = None,
+                 touched: Optional[frozenset] = None) -> None:
+        self.value = value
+        self.steps = steps
+        self.trace = trace
+        self.env = env
+        self.touched = touched if touched is not None else frozenset()
+
+    @property
+    def faults(self) -> int:
+        """Distinct variables touched — the page-fault count proxy."""
+        return len(self.touched)
+
+    def observation(self) -> Observation:
+        return Observation(self.value, self.steps,
+                           attributes={"faults": self.faults})
+
+    def __repr__(self) -> str:
+        return f"ExecutionResult(value={self.value}, steps={self.steps})"
+
+
+def initial_environment(flowchart: Flowchart,
+                        inputs: Sequence[int]) -> Dict[str, int]:
+    """The start-box initialisation: inputs bound, everything else 0."""
+    if len(inputs) != flowchart.arity:
+        raise ArityMismatchError(
+            f"flowchart {flowchart.name} takes {flowchart.arity} inputs, "
+            f"got {len(inputs)}"
+        )
+    env: Dict[str, int] = {name: 0 for name in flowchart.program_variables()}
+    # Variables that are read but never assigned are program variables
+    # too — the start box initialises them to 0 like any other.
+    for name in flowchart.read_variables():
+        if name not in flowchart.input_variables:
+            env.setdefault(name, 0)
+    env[flowchart.output_variable] = 0
+    for name, value in zip(flowchart.input_variables, inputs):
+        env[name] = int(value)
+    return env
+
+
+def execute(flowchart: Flowchart, inputs: Sequence[int],
+            fuel: int = DEFAULT_FUEL,
+            record_trace: bool = False) -> ExecutionResult:
+    """Run a flowchart to its halt box.
+
+    Returns an :class:`ExecutionResult`; raises
+    :class:`FuelExhaustedError` if the run exceeds ``fuel`` steps.
+    """
+    env = initial_environment(flowchart, inputs)
+    trace: List[NodeId] = []
+    touched: set = set()
+    steps = 0
+    current: NodeId = flowchart.boxes[flowchart.start_id].successors()[0]
+
+    while True:
+        if steps >= fuel:
+            raise FuelExhaustedError(fuel,
+                                     f"flowchart {flowchart.name} exceeded "
+                                     f"{fuel} steps on input {tuple(inputs)!r}")
+        box = flowchart.boxes[current]
+        if record_trace:
+            trace.append(current)
+        steps += 1
+        if isinstance(box, HaltBox):
+            touched.add(flowchart.output_variable)
+            return ExecutionResult(
+                env[flowchart.output_variable], steps,
+                tuple(trace) if record_trace else None,
+                dict(env),
+                frozenset(touched),
+            )
+        if isinstance(box, AssignBox):
+            touched.add(box.target)
+            touched.update(box.expression.variables())
+            env[box.target] = box.expression.eval(env)
+            current = box.next
+        elif isinstance(box, DecisionBox):
+            touched.update(box.predicate.variables())
+            current = box.true_next if box.predicate.eval(env) else box.false_next
+        elif isinstance(box, StartBox):  # pragma: no cover - validation forbids
+            current = box.next
+        else:  # pragma: no cover - closed box hierarchy
+            raise TypeError(f"unknown box type {type(box).__name__}")
+
+
+def as_program(flowchart: Flowchart, domain: ProductDomain,
+               output_model: OutputModel = VALUE_ONLY,
+               fuel: int = DEFAULT_FUEL,
+               name: Optional[str] = None) -> Program:
+    """Wrap a flowchart as a Section 2 :class:`Program`.
+
+    The output depends on the declared :class:`OutputModel` — the
+    Observability Postulate in action:
+
+    - :data:`VALUE_ONLY`: range is Z, output is ``y``.
+    - :data:`VALUE_AND_TIME`: range is Z x Z, output is ``(y, steps)``.
+    - models with extra observables project the full
+      :class:`Observation` accordingly.
+    """
+    if domain.arity != flowchart.arity:
+        raise ArityMismatchError(
+            f"domain arity {domain.arity} != flowchart arity {flowchart.arity}"
+        )
+
+    def run(*inputs):
+        result = execute(flowchart, inputs, fuel=fuel)
+        return output_model.project(result.observation())
+
+    label = name or flowchart.name
+    if output_model is VALUE_AND_TIME:
+        label = f"{label}+time"
+    elif output_model is not VALUE_ONLY:
+        label = f"{label}+{output_model.name}"
+    return Program(run, domain, name=label)
+
+
+def running_time(flowchart: Flowchart, inputs: Sequence[int],
+                 fuel: int = DEFAULT_FUEL) -> int:
+    """Just the step count (the paper's implicit output)."""
+    return execute(flowchart, inputs, fuel=fuel).steps

@@ -1,0 +1,360 @@
+"""Every flowchart that appears as a figure in the paper, by name.
+
+The journal scan loses the inline figures, so each program here is a
+documented reconstruction; the docstring of each constructor states the
+paper anchor and the behavioural claims the reconstruction must satisfy
+(and the test suite checks them).  EXPERIMENTS.md records the
+correspondence.
+
+All constructors return a fresh :class:`~repro.flowchart.program.Flowchart`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .expr import Const, var
+from .program import Flowchart
+from .structured import Assign, If, Skip, StructuredProgram, While
+
+
+def timing_loop() -> Flowchart:
+    """The Section 2 observability program: ``y = 1`` but time reveals x.
+
+    Reconstruction of the while-loop figure discussed under "We next
+    relate the observability postulate and the concept of soundness":
+    for any x, Q(x) = 1, yet the running time is monotone in x, so with
+    time observable Q as its own mechanism is unsound for ``allow()``.
+
+        r := x1; while r != 0 do r := r - 1; y := 1
+    """
+    return StructuredProgram(
+        ["x1"],
+        [
+            Assign("r", var("x1")),
+            While(var("r").ne(0), [Assign("r", var("r") - 1)]),
+            Assign("y", Const(1)),
+        ],
+        name="timing-loop",
+    ).compile()
+
+
+def forgetting_program() -> Flowchart:
+    """The page-48 figure: surveillance beats high-water mark.
+
+    Claims (policy ``allow(2)``): the high-water mechanism always
+    outputs Λ; surveillance outputs Λ only when ``x2 != 0``.
+
+        y := x1; if x2 = 0 then y := 0
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            Assign("y", var("x1")),
+            If(var("x2").eq(0), [Assign("y", Const(0))], [Skip()]),
+        ],
+        name="forgetting",
+    ).compile()
+
+
+def reconvergence_program() -> Flowchart:
+    """The page-49 figure: surveillance is not maximal.
+
+    Q is the constant function 1, but reaches ``y := 1`` through a
+    branch on ``x1``.  Claims (policy ``allow(2)``): the surveillance
+    mechanism always outputs Λ, while ``Mmax = Q`` is sound (Q is
+    constant), so surveillance is not maximal.
+
+        if x1 = 1 then r := 1 else r := 2; y := 1
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            If(var("x1").eq(1), [Assign("r", Const(1))],
+               [Assign("r", Const(2))]),
+            Assign("y", Const(1)),
+        ],
+        name="reconvergence",
+    ).compile()
+
+
+def example7_program() -> Flowchart:
+    """Example 7's Q: the program whose last if-then-else gets transformed.
+
+    Identical to :func:`reconvergence_program` (the paper transforms
+    "the last use of the if then else construct in program Q" of
+    page 49).  After the if-then-else transform, surveillance for
+    ``allow(2)`` always outputs 1 — a maximal mechanism.
+    """
+    flowchart = reconvergence_program()
+    return Flowchart(flowchart.boxes, flowchart.input_variables,
+                     flowchart.output_variable, name="example7")
+
+
+def example8_program() -> Flowchart:
+    """Example 8's Q: the program where the transform *hurts*.
+
+    Claims (policy ``allow(2)``): untransformed surveillance outputs
+    Q's value exactly when ``x2 = 1``; the if-then-else transform's
+    mechanism always outputs Λ, hence M > M'.
+
+        if x2 = 1 then y := 1 else y := x1
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            If(var("x2").eq(1), [Assign("y", Const(1))],
+               [Assign("y", var("x1"))]),
+        ],
+        name="example8",
+    ).compile()
+
+
+def example9_program() -> Flowchart:
+    """Example 9's Q (Section 5): compile-time assignment duplication.
+
+    Reconstruction anchored on the example's stated outcomes (the scan
+    loses the figures; "X, ≠ 0" reads as x1, which the OCR renders the
+    same way in Theorem 4's ``A(x,)``):
+
+    Policy ``allow(1)``.  Claims: applying the if-then-else transform
+    yields a mechanism that *always* outputs a violation notice; in
+    contrast, duplicating the assignment to y — hoisting the then-arm's
+    ``y := 0`` above the test — yields a functionally equivalent program
+    whose mechanism "need only give a violation notice in case x1 ≠ 0".
+    Note the test variable x1 is *allowed*, so a notice decision keyed
+    on it is sound.
+
+        if x1 = 0 then y := 0 else y := x2
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            If(var("x1").eq(0), [Assign("y", Const(0))],
+               [Assign("y", var("x2"))]),
+        ],
+        name="example9",
+    ).compile()
+
+
+def theorem4_flowchart(modulus: int = 0) -> Flowchart:
+    """A flowchart in the shape of the Theorem 4 proof.
+
+    The proof's program assigns ``r := A(x1)`` (A total, A(0)=0) and
+    outputs r; the maximal mechanism for ``allow()`` is constant 0 iff
+    A is identically zero.  ``modulus = 0`` instantiates ``A = 0``;
+    ``modulus = m > 0`` instantiates ``A(x) = x mod m`` (zero exactly on
+    multiples of m — identically zero on no sufficiently large domain).
+
+        r := A(x1); y := r
+    """
+    if modulus == 0:
+        body_expr = Const(0)
+    else:
+        body_expr = var("x1") % modulus
+    return StructuredProgram(
+        ["x1"],
+        [Assign("r", body_expr), Assign("y", var("r"))],
+        name=f"theorem4-A{modulus}",
+    ).compile()
+
+
+def parity_program() -> Flowchart:
+    """Loop-based parity of x1 (extra suite member: data + control flow).
+
+        r := x1; while r > 1 do r := r - 2; y := r
+    """
+    return StructuredProgram(
+        ["x1"],
+        [
+            Assign("r", var("x1")),
+            While(var("r").gt(1), [Assign("r", var("r") - 2)]),
+            Assign("y", var("r")),
+        ],
+        name="parity",
+    ).compile()
+
+
+def guarded_copy_program() -> Flowchart:
+    """Copy x1 to y only when x2 is the password 7 (extra suite member).
+
+        if x2 = 7 then y := x1 else y := -1
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            If(var("x2").eq(7), [Assign("y", var("x1"))],
+               [Assign("y", Const(-1))]),
+        ],
+        name="guarded-copy",
+    ).compile()
+
+
+def mixer_program() -> Flowchart:
+    """Arithmetic over both inputs, no control flow (extra suite member).
+
+        y := (x1 + x2) * 2
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [Assign("y", (var("x1") + var("x2")) * 2)],
+        name="mixer",
+    ).compile()
+
+
+def max_program() -> Flowchart:
+    """Branching max of two inputs (extra suite member).
+
+        if x1 >= x2 then y := x1 else y := x2
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            If(var("x1").ge(var("x2")), [Assign("y", var("x1"))],
+               [Assign("y", var("x2"))]),
+        ],
+        name="max",
+    ).compile()
+
+
+def nested_branch_program() -> Flowchart:
+    """Nested control flow over three inputs (extra suite member).
+
+        if x1 > 0 then { if x2 > 0 then y := x3 else y := 0 } else y := x3
+    """
+    return StructuredProgram(
+        ["x1", "x2", "x3"],
+        [
+            If(var("x1").gt(0),
+               [If(var("x2").gt(0), [Assign("y", var("x3"))],
+                   [Assign("y", Const(0))])],
+               [Assign("y", var("x3"))]),
+        ],
+        name="nested-branch",
+    ).compile()
+
+
+def accumulate_program() -> Flowchart:
+    """Triangular-number loop reading x1 (extra suite member).
+
+        r := x1; while r != 0 do { y := y + r; r := r - 1 }
+    """
+    return StructuredProgram(
+        ["x1"],
+        [
+            Assign("r", var("x1")),
+            While(var("r").ne(0),
+                  [Assign("y", var("y") + var("r")),
+                   Assign("r", var("r") - 1)]),
+        ],
+        name="accumulate",
+    ).compile()
+
+
+def gcd_program() -> Flowchart:
+    """Euclid by repeated subtraction (extra suite member: nested data
+    and control flow over two inputs; gcd(x, 0) = x by convention).
+
+        a := x1; b := x2;
+        while b != 0 { while a >= b { a := a - b }; t := a; a := b; b := t }
+        y := a
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            Assign("a", var("x1")),
+            Assign("b", var("x2")),
+            While(var("b").ne(0),
+                  [While(var("a").ge(var("b")),
+                         [Assign("a", var("a") - var("b"))]),
+                   Assign("t", var("a")),
+                   Assign("a", var("b")),
+                   Assign("b", var("t"))]),
+            Assign("y", var("a")),
+        ],
+        name="gcd",
+    ).compile()
+
+
+def min_program() -> Flowchart:
+    """Branching min of two inputs (dual of :func:`max_program`)."""
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            If(var("x1").le(var("x2")), [Assign("y", var("x1"))],
+               [Assign("y", var("x2"))]),
+        ],
+        name="min",
+    ).compile()
+
+
+def countdown_pair_program() -> Flowchart:
+    """Two sequential loops, one per input (distinct timing signatures).
+
+        r := x1; while r != 0 { r := r - 1 };
+        s := x2; while s != 0 { s := s - 1; y := y + 1 }
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            Assign("r", var("x1")),
+            While(var("r").ne(0), [Assign("r", var("r") - 1)]),
+            Assign("s", var("x2")),
+            While(var("s").ne(0),
+                  [Assign("s", var("s") - 1),
+                   Assign("y", var("y") + 1)]),
+        ],
+        name="countdown-pair",
+    ).compile()
+
+
+def fault_channel_program() -> Flowchart:
+    """Equal value, equal time — unequal memory footprint.
+
+    Section 6: the model covers "phenomena ignored in other models —
+    such as running time or page faults".  This program is the sharp
+    case for the second observable: both arms take the same number of
+    steps and leave y = 1, so Q is sound as its own mechanism for
+    ``allow()`` even with running time in the output — yet the arms
+    touch different *numbers of variables*, so the fault-count
+    observable still reveals whether x1 = 0.
+
+        if x1 = 0 then a := 1 else a := b; y := 1
+    """
+    return StructuredProgram(
+        ["x1"],
+        [
+            If(var("x1").eq(0), [Assign("a", Const(1))],
+               [Assign("a", var("b"))]),
+            Assign("y", Const(1)),
+        ],
+        name="fault-channel",
+    ).compile()
+
+
+def paper_figures() -> List[Flowchart]:
+    """The programs that appear as figures in the paper."""
+    return [
+        timing_loop(),
+        forgetting_program(),
+        reconvergence_program(),
+        example8_program(),
+        example9_program(),
+        theorem4_flowchart(0),
+        theorem4_flowchart(3),
+    ]
+
+
+def extended_suite() -> List[Flowchart]:
+    """Paper figures plus extra programs for soundness sweeps."""
+    return paper_figures() + [
+        parity_program(),
+        guarded_copy_program(),
+        mixer_program(),
+        max_program(),
+        min_program(),
+        nested_branch_program(),
+        accumulate_program(),
+        gcd_program(),
+        countdown_pair_program(),
+    ]

@@ -1,0 +1,381 @@
+"""A textual front-end for structured programs.
+
+The paper writes its programs as flowchart figures; authoring them in
+Python AST constructors is precise but noisy.  This module adds a small
+concrete syntax so programs read like the paper's prose:
+
+.. code-block:: text
+
+    program forgetting(x1, x2) {
+        y := x1;
+        if x2 == 0 { y := 0 }
+    }
+
+Grammar (recursive descent, no ambiguity):
+
+.. code-block:: text
+
+    program   ::= "program" IDENT "(" ident ("," ident)* ")"
+                  ["->" IDENT] "{" stmts "}"
+    stmts     ::= [stmt (";" stmt)* [";"]]
+    stmt      ::= IDENT ":=" expr
+                | "if" pred "{" stmts "}" ["else" "{" stmts "}"]
+                | "while" pred "{" stmts "}"
+                | "skip"
+    pred      ::= conj ("or" conj)*
+    conj      ::= atom ("and" atom)*
+    atom      ::= "not" atom | "true" | "false"
+                | expr ("==" | "!=" | "<" | "<=" | ">" | ">=") expr
+    expr      ::= term (("+" | "-") term)*
+    term      ::= factor (("*" | "//" | "%") factor)*
+    factor    ::= INT | IDENT | "-" factor | "(" expr ")"
+
+Semicolons between statements are optional before a closing brace.
+:func:`parse_program` yields a
+:class:`~repro.flowchart.structured.StructuredProgram`;
+:func:`parse_policy` parses the paper's ``allow(i, j)`` notation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..core.errors import ReproError
+from ..core.policy import AllowPolicy, allow
+from .expr import (And, BoolConst, Compare, Const, Expr, Neg, Not, Or,
+                   Pred, Var)
+from .structured import Assign, If, Skip, Stmt, StructuredProgram, While
+
+
+class ParseError(ReproError):
+    """Syntax error, with position information."""
+
+    def __init__(self, message: str, position: int, source: str) -> None:
+        line = source.count("\n", 0, position) + 1
+        column = position - (source.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>:=|->|==|!=|<=|>=|//|[-+*%<>(){},;])
+""", re.VERBOSE)
+
+_KEYWORDS = frozenset(("program", "if", "else", "while", "skip", "and",
+                       "or", "not", "true", "false"))
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(f"unexpected character {source[position]!r}",
+                             position, source)
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "ident" and text in _KEYWORDS:
+            tokens.append(_Token("kw", text, match.start()))
+        else:
+            tokens.append(_Token(match.lastgroup, text, match.start()))
+    tokens.append(_Token("eof", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = _tokenize(source)
+        self.index = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> _Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        if not self._check(kind, text):
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted!r}, found {self.current.text or 'end of input'!r}",
+                self.current.position, self.source)
+        return self._advance()
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_program(self) -> StructuredProgram:
+        self._expect("kw", "program")
+        name = self._expect("ident").text
+        self._expect("op", "(")
+        inputs = [self._expect("ident").text]
+        while self._accept("op", ","):
+            inputs.append(self._expect("ident").text)
+        self._expect("op", ")")
+        output = "y"
+        if self._accept("op", "->"):
+            output = self._expect("ident").text
+        self._expect("op", "{")
+        body = self._parse_stmts()
+        self._expect("op", "}")
+        self._expect("eof")
+        return StructuredProgram(inputs, body, output_variable=output,
+                                 name=name)
+
+    def _parse_stmts(self) -> List[Stmt]:
+        statements: List[Stmt] = []
+        while not self._check("op", "}") and not self._check("eof"):
+            statements.append(self._parse_stmt())
+            if not self._accept("op", ";"):
+                break
+        return statements
+
+    def _parse_stmt(self) -> Stmt:
+        if self._accept("kw", "skip"):
+            return Skip()
+        if self._accept("kw", "if"):
+            predicate = self._parse_pred()
+            self._expect("op", "{")
+            then_body = self._parse_stmts()
+            self._expect("op", "}")
+            else_body: List[Stmt] = []
+            if self._accept("kw", "else"):
+                self._expect("op", "{")
+                else_body = self._parse_stmts()
+                self._expect("op", "}")
+            return If(predicate, then_body, else_body)
+        if self._accept("kw", "while"):
+            predicate = self._parse_pred()
+            self._expect("op", "{")
+            body = self._parse_stmts()
+            self._expect("op", "}")
+            return While(predicate, body)
+        target = self._expect("ident").text
+        self._expect("op", ":=")
+        return Assign(target, self._parse_expr())
+
+    def _parse_pred(self) -> Pred:
+        left = self._parse_conj()
+        while self._accept("kw", "or"):
+            left = Or(left, self._parse_conj())
+        return left
+
+    def _parse_conj(self) -> Pred:
+        left = self._parse_pred_atom()
+        while self._accept("kw", "and"):
+            left = And(left, self._parse_pred_atom())
+        return left
+
+    def _parse_pred_atom(self) -> Pred:
+        if self._accept("kw", "not"):
+            return Not(self._parse_pred_atom())
+        if self._accept("kw", "true"):
+            return BoolConst(True)
+        if self._accept("kw", "false"):
+            return BoolConst(False)
+        left = self._parse_expr()
+        operator = self.current
+        if operator.kind == "op" and operator.text in ("==", "!=", "<",
+                                                       "<=", ">", ">="):
+            self._advance()
+            return Compare(operator.text, left, self._parse_expr())
+        raise ParseError("expected a comparison operator",
+                         operator.position, self.source)
+
+    def _parse_expr(self) -> Expr:
+        left = self._parse_term()
+        while True:
+            if self._accept("op", "+"):
+                left = left + self._parse_term()
+            elif self._accept("op", "-"):
+                left = left - self._parse_term()
+            else:
+                return left
+
+    def _parse_term(self) -> Expr:
+        left = self._parse_factor()
+        while True:
+            if self._accept("op", "*"):
+                left = left * self._parse_factor()
+            elif self._accept("op", "//"):
+                left = left // self._parse_factor()
+            elif self._accept("op", "%"):
+                left = left % self._parse_factor()
+            else:
+                return left
+
+    def _parse_factor(self) -> Expr:
+        if self._accept("op", "-"):
+            return Neg(self._parse_factor())
+        if self._check("int"):
+            return Const(int(self._advance().text))
+        if self._check("ident"):
+            return Var(self._advance().text)
+        if self._accept("op", "("):
+            inner = self._parse_expr()
+            self._expect("op", ")")
+            return inner
+        raise ParseError(
+            f"expected a value, found {self.current.text or 'end of input'!r}",
+            self.current.position, self.source)
+
+
+def parse_program(source: str) -> StructuredProgram:
+    """Parse the concrete syntax into a StructuredProgram.
+
+    >>> program = parse_program('''
+    ...     program double(x1) {
+    ...         y := x1 * 2
+    ...     }
+    ... ''')
+    >>> program.name
+    'double'
+    """
+    return _Parser(source).parse_program()
+
+
+_POLICY_RE = re.compile(r"^\s*allow\s*\(\s*(?P<indices>[\d\s,]*)\s*\)\s*$")
+
+
+def parse_policy(text: str, arity: int) -> AllowPolicy:
+    """Parse the paper's ``allow(i1, ..., im)`` notation.
+
+    >>> parse_policy("allow(1, 3)", arity=3).name
+    'allow(1, 3)'
+    >>> parse_policy("allow()", arity=2).name
+    'allow()'
+    """
+    match = _POLICY_RE.match(text)
+    if match is None:
+        raise ParseError(f"not an allow(...) policy: {text!r}", 0, text)
+    indices_text = match.group("indices").strip()
+    if not indices_text:
+        return allow(arity=arity)
+    indices = tuple(int(part) for part in indices_text.split(","))
+    return allow(*indices, arity=arity)
+
+
+# -- unparsing ---------------------------------------------------------------
+
+def _unparse_expr(node: Expr) -> str:
+    from .expr import BinOp, Neg
+
+    if isinstance(node, Const):
+        return str(node.value)
+    if isinstance(node, Var):
+        return node.name
+    if isinstance(node, BinOp):
+        if node.op in ("min", "max"):
+            raise ParseError(
+                f"{node.op} has no concrete syntax", 0, repr(node))
+        return (f"({_unparse_expr(node.left)} {node.op} "
+                f"{_unparse_expr(node.right)})")
+    if isinstance(node, Neg):
+        return f"(-{_unparse_expr(node.operand)})"
+    raise ParseError(f"{type(node).__name__} has no concrete syntax", 0,
+                     repr(node))
+
+
+def _unparse_pred(node: Pred) -> str:
+    from .expr import Compare
+
+    if isinstance(node, Compare):
+        return (f"{_unparse_expr(node.left)} {node.op} "
+                f"{_unparse_expr(node.right)}")
+    if isinstance(node, BoolConst):
+        return "true" if node.value else "false"
+    if isinstance(node, Not):
+        return f"not {_unparse_pred(node.operand)}"
+    if isinstance(node, And):
+        return f"{_unparse_pred(node.left)} and {_unparse_pred(node.right)}"
+    if isinstance(node, Or):
+        return f"{_unparse_pred(node.left)} or {_unparse_pred(node.right)}"
+    raise ParseError(f"{type(node).__name__} has no concrete syntax", 0,
+                     repr(node))
+
+
+def _unparse_stmts(statements, indent: str) -> List[str]:
+    lines: List[str] = []
+    for statement in statements:
+        if isinstance(statement, Skip):
+            lines.append(f"{indent}skip;")
+        elif isinstance(statement, Assign):
+            lines.append(f"{indent}{statement.target} := "
+                         f"{_unparse_expr(statement.expression)};")
+        elif isinstance(statement, If):
+            lines.append(f"{indent}if {_unparse_pred(statement.predicate)}"
+                         " {")
+            lines.extend(_unparse_stmts(statement.then_body,
+                                        indent + "    "))
+            if statement.else_body:
+                lines.append(f"{indent}}} else {{")
+                lines.extend(_unparse_stmts(statement.else_body,
+                                            indent + "    "))
+            lines.append(f"{indent}}};")
+        elif isinstance(statement, While):
+            lines.append(f"{indent}while "
+                         f"{_unparse_pred(statement.predicate)} {{")
+            lines.extend(_unparse_stmts(statement.body, indent + "    "))
+            lines.append(f"{indent}}};")
+        else:
+            raise ParseError(
+                f"{type(statement).__name__} has no concrete syntax", 0,
+                repr(statement))
+    return lines
+
+
+def unparse_program(program: StructuredProgram) -> str:
+    """Render a StructuredProgram in the concrete syntax.
+
+    Inverse of :func:`parse_program` up to formatting:
+    ``parse_program(unparse_program(p))`` is functionally equivalent to
+    ``p`` (a hypothesis property in the test suite).  Raises
+    :class:`ParseError` on nodes the grammar cannot express
+    (``Ite``, ``LoopExpr``, ``min``/``max``).
+    """
+    # Program names are free-form in the AST; the grammar needs an
+    # identifier, so sanitise (e.g. "random-loops" -> "random_loops").
+    name = re.sub(r"[^A-Za-z0-9_]", "_", program.name) or "p"
+    if name[0].isdigit():
+        name = f"p_{name}"
+    header = (f"program {name}("
+              f"{', '.join(program.input_variables)})")
+    if program.output_variable != "y":
+        header += f" -> {program.output_variable}"
+    lines = [header + " {"]
+    lines.extend(_unparse_stmts(program.body, "    "))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""A structured front-end: if/while programs that compile to flowcharts.
+
+Section 4's transforms are stated on "higher level language constructs"
+(*if then else*, *while*) recognised inside flowcharts.  Authoring those
+examples is far easier in a structured AST, so we provide one —
+``Assign``, ``If``, ``While``, ``Skip`` — and a compiler to the box
+graph.  The compiler is also what the static certifier
+(:mod:`repro.staticflow.certify`) analyses, since Denning-style
+certification is defined on structured programs.
+
+Compilation is the classic backwards scheme: each statement is compiled
+against the node id of its continuation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import FlowchartError
+from .boxes import AssignBox, Box, DecisionBox, HaltBox, NodeId, StartBox
+from .expr import Expr, Pred
+from .program import Flowchart
+
+
+class Stmt:
+    """Base class for structured statements."""
+
+
+class Skip(Stmt):
+    """No operation (compiles to nothing)."""
+
+    def __repr__(self) -> str:
+        return "Skip()"
+
+
+class Assign(Stmt):
+    """``target := expression``."""
+
+    __slots__ = ("target", "expression")
+
+    def __init__(self, target: str, expression: Expr) -> None:
+        self.target = target
+        self.expression = expression
+
+    def __repr__(self) -> str:
+        return f"Assign({self.target} := {self.expression!r})"
+
+
+class If(Stmt):
+    """``if predicate then then_body else else_body``."""
+
+    __slots__ = ("predicate", "then_body", "else_body")
+
+    def __init__(self, predicate: Pred, then_body: Sequence[Stmt],
+                 else_body: Sequence[Stmt] = ()) -> None:
+        self.predicate = predicate
+        self.then_body = tuple(then_body)
+        self.else_body = tuple(else_body)
+
+    def __repr__(self) -> str:
+        return (f"If({self.predicate!r}, then={list(self.then_body)}, "
+                f"else={list(self.else_body)})")
+
+
+class While(Stmt):
+    """``while predicate do body``."""
+
+    __slots__ = ("predicate", "body")
+
+    def __init__(self, predicate: Pred, body: Sequence[Stmt]) -> None:
+        self.predicate = predicate
+        self.body = tuple(body)
+
+    def __repr__(self) -> str:
+        return f"While({self.predicate!r}, body={list(self.body)})"
+
+
+Body = Sequence[Stmt]
+
+
+class StructuredProgram:
+    """A structured program: a statement list plus variable declarations.
+
+    The program's value is the output variable when the statement list
+    finishes (an implicit halt).
+    """
+
+    def __init__(self, input_variables: Sequence[str], body: Body,
+                 output_variable: str = "y", name: str = "P") -> None:
+        self.input_variables = tuple(input_variables)
+        self.body = tuple(body)
+        self.output_variable = output_variable
+        self.name = name
+
+    def __repr__(self) -> str:
+        return (f"StructuredProgram({self.name}, inputs="
+                f"{list(self.input_variables)}, {len(self.body)} stmts)")
+
+    def compile(self) -> Flowchart:
+        """Lower to a Section 3 flowchart."""
+        return compile_structured(self)
+
+
+def compile_structured(program: StructuredProgram) -> Flowchart:
+    """Compile a structured program to a flowchart.
+
+    Node ids are deterministic (``s0``, ``s1``, ...) so compiled
+    flowcharts are stable across runs — tests rely on this.
+    """
+    counter = itertools.count()
+    boxes: Dict[NodeId, Box] = {}
+
+    def fresh() -> NodeId:
+        return f"s{next(counter)}"
+
+    halt_id = fresh()
+    boxes[halt_id] = HaltBox()
+
+    def compile_body(body: Tuple[Stmt, ...], continuation: NodeId) -> NodeId:
+        """Entry node id of ``body`` wired to ``continuation``."""
+        entry = continuation
+        for statement in reversed(body):
+            entry = compile_stmt(statement, entry)
+        return entry
+
+    def compile_stmt(statement: Stmt, continuation: NodeId) -> NodeId:
+        if isinstance(statement, Skip):
+            return continuation
+        if isinstance(statement, Assign):
+            node_id = fresh()
+            boxes[node_id] = AssignBox(statement.target, statement.expression,
+                                       continuation)
+            return node_id
+        if isinstance(statement, If):
+            then_entry = compile_body(statement.then_body, continuation)
+            else_entry = compile_body(statement.else_body, continuation)
+            node_id = fresh()
+            boxes[node_id] = DecisionBox(statement.predicate, then_entry,
+                                         else_entry)
+            return node_id
+        if isinstance(statement, While):
+            # The decision box must exist before the body can jump back
+            # to it; allocate its id first and patch after.
+            decision_id = fresh()
+            body_entry = compile_body(statement.body, decision_id)
+            boxes[decision_id] = DecisionBox(statement.predicate, body_entry,
+                                             continuation)
+            return decision_id
+        raise FlowchartError(f"unknown statement {statement!r}")
+
+    first = compile_body(program.body, halt_id)
+    start_id = fresh()
+    boxes[start_id] = StartBox(first)
+    return Flowchart(boxes, program.input_variables,
+                     program.output_variable, name=program.name)
+
+
+def seq(*statements: Union[Stmt, Sequence[Stmt]]) -> List[Stmt]:
+    """Flatten nested statement sequences (authoring convenience)."""
+    result: List[Stmt] = []
+    for statement in statements:
+        if isinstance(statement, Stmt):
+            result.append(statement)
+        else:
+            result.extend(seq(*statement))
+    return result

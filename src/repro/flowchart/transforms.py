@@ -1,0 +1,341 @@
+"""Program transforms (Sections 4 and 5).
+
+Section 4: *"Given a program Q, transform it to Q' where Q and Q' are
+functionally equivalent.  Then apply the surveillance protection
+mechanism to Q' to yield a sound protection mechanism for Q."*
+
+Three transforms from the paper:
+
+- :func:`ite_transform` — Example 7's if-then-else transform.  A
+  diamond ``if B then {assignments} else {assignments}`` is replaced by
+  straight-line merged assignments ``v := Ite(B, E_then, E_else)``;
+  control dependence becomes data dependence.  Arms with *identical*
+  effects on a variable merge to a clean (untainted) assignment, which
+  is what makes the transform profitable in Example 7 — and the absence
+  of any cleverness beyond that is what makes it *harmful* in Example 8
+  ("one must assume the worst case").
+- :func:`while_transform` — the analogous while transform, folding an
+  assignment-body loop into a single :class:`~repro.flowchart.expr.LoopExpr`
+  assignment per variable.
+- :func:`duplicate_assignment_transform` — Example 9's compile-time
+  transform: duplicate the then-arm's trailing assignment above the
+  decision (the else arm's own trailing assignment makes the duplicate
+  dead on that path).  The then path then computes its output before
+  any tainting branch, so the transformed program's mechanism issues a
+  violation notice only on the else path — Example 9's "only in case
+  x1 ≠ 0".
+
+All transforms preserve the computed *value* on every input
+(:func:`functionally_equivalent` checks this exhaustively); they do not
+preserve running time, which is why Section 4 studies them under the
+time-unobservable model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from ..core.domains import ProductDomain
+from ..core.errors import FlowchartError
+from .analysis import IteRegion, WhileRegion, find_ite_regions, find_while_regions
+from .boxes import AssignBox, Box, DecisionBox, NodeId, StartBox
+from .expr import Expr, Ite, LoopExpr, Var, structurally_equal, substitute
+from .interpreter import DEFAULT_FUEL, execute
+from .program import Flowchart
+
+_fresh_counter = itertools.count()
+
+
+def _fresh_id(hint: str) -> NodeId:
+    return f"__{hint}{next(_fresh_counter)}"
+
+
+def symbolic_effect(flowchart: Flowchart,
+                    chain: List[NodeId]) -> Dict[str, Expr]:
+    """The net effect of a straight-line assignment chain.
+
+    Returns ``{variable: expression}`` where each expression is in terms
+    of the values *before* the chain ran (classic symbolic composition
+    by substitution).
+    """
+    effect: Dict[str, Expr] = {}
+    for node_id in chain:
+        box = flowchart.boxes[node_id]
+        if not isinstance(box, AssignBox):
+            raise FlowchartError(f"chain node {node_id!r} is not an assignment")
+        effect[box.target] = substitute(box.expression, effect)
+    return effect
+
+
+def _repoint(boxes: Dict[NodeId, Box], old: NodeId, new: NodeId) -> None:
+    """Rewrite every successor reference ``old`` -> ``new`` in place."""
+    for node_id, box in list(boxes.items()):
+        if isinstance(box, StartBox) and box.next == old:
+            boxes[node_id] = StartBox(new)
+        elif isinstance(box, AssignBox) and box.next == old:
+            boxes[node_id] = AssignBox(box.target, box.expression, new)
+        elif isinstance(box, DecisionBox):
+            true_next = new if box.true_next == old else box.true_next
+            false_next = new if box.false_next == old else box.false_next
+            if (true_next, false_next) != (box.true_next, box.false_next):
+                boxes[node_id] = DecisionBox(box.predicate, true_next,
+                                             false_next)
+
+
+def _emit_assignment_sequence(boxes: Dict[NodeId, Box],
+                              merged: Dict[str, Expr],
+                              entry_id: NodeId, join: NodeId) -> None:
+    """Splice ``merged`` simultaneous assignments as a sequential chain.
+
+    Simultaneous semantics is preserved by assigning to temporaries
+    first when a merged expression reads another merged variable.
+    """
+    targets = sorted(merged)
+    read_by_others = set()
+    for expression in merged.values():
+        read_by_others |= expression.variables()
+    hazard = any(target in read_by_others for target in targets) and len(targets) > 1
+
+    steps: List[tuple] = []
+    if hazard:
+        temp_names = {target: f"_t_{target}_{next(_fresh_counter)}"
+                      for target in targets}
+        for target in targets:
+            steps.append((temp_names[target], merged[target]))
+        for target in targets:
+            steps.append((target, Var(temp_names[target])))
+    else:
+        for target in targets:
+            steps.append((target, merged[target]))
+
+    current_id = entry_id
+    for index, (target, expression) in enumerate(steps):
+        next_id = join if index == len(steps) - 1 else _fresh_id("t")
+        boxes[current_id] = AssignBox(target, expression, next_id)
+        current_id = next_id
+
+
+def ite_transform(flowchart: Flowchart, region: IteRegion,
+                  detect_identical_arms: bool = False,
+                  name: Optional[str] = None) -> Flowchart:
+    """Apply the if-then-else transform to one region (Example 7).
+
+    The decision and both arm chains are replaced by merged assignments
+    ``v := Ite(B, then_effect, else_effect)`` — every merged variable
+    becomes data-dependent on the test, because "since one does not know
+    which branch is to be taken one must assume the worst case"
+    (Example 8).  That blindness is the paper's transform, and it is
+    what makes the transform *always* produce a violation notice on
+    Example 9's program.
+
+    ``detect_identical_arms=True`` enables the smarter-compiler
+    extension: a variable whose two arm-effects are structurally equal
+    gets a plain assignment, independent of the test.  This is an
+    ablation, not the paper's transform (bench E09/E10 compare both).
+    """
+    decision = flowchart.boxes[region.decision]
+    if not isinstance(decision, DecisionBox):
+        raise FlowchartError(f"{region.decision!r} is not a decision box")
+
+    then_effect = symbolic_effect(flowchart, region.then_chain)
+    else_effect = symbolic_effect(flowchart, region.else_chain)
+
+    merged: Dict[str, Expr] = {}
+    for target in sorted(set(then_effect) | set(else_effect)):
+        then_expr = then_effect.get(target, Var(target))
+        else_expr = else_effect.get(target, Var(target))
+        if detect_identical_arms and structurally_equal(then_expr, else_expr):
+            merged[target] = then_expr
+        else:
+            merged[target] = Ite(decision.predicate, then_expr, else_expr)
+
+    boxes: Dict[NodeId, Box] = {
+        node_id: box for node_id, box in flowchart.boxes.items()
+        if node_id not in region.interior()
+    }
+    if merged:
+        # Reuse the decision's id as the entry so predecessors stay wired.
+        _emit_assignment_sequence(boxes, merged, region.decision, region.join)
+    else:
+        _repoint(boxes, region.decision, region.join)
+
+    return Flowchart(boxes, flowchart.input_variables,
+                     flowchart.output_variable,
+                     name=name or f"{flowchart.name}-ite")
+
+
+def ite_transform_all(flowchart: Flowchart,
+                      detect_identical_arms: bool = False,
+                      name: Optional[str] = None) -> Flowchart:
+    """Apply :func:`ite_transform` until no if-then-else regions remain."""
+    result = flowchart
+    while True:
+        regions = find_ite_regions(result)
+        if not regions:
+            break
+        result = ite_transform(result, regions[0],
+                               detect_identical_arms=detect_identical_arms)
+    if name:
+        result = Flowchart(result.boxes, result.input_variables,
+                           result.output_variable, name=name)
+    return result
+
+
+def while_transform(flowchart: Flowchart, region: WhileRegion,
+                    fuel: int = DEFAULT_FUEL,
+                    name: Optional[str] = None) -> Flowchart:
+    """Fold a while loop into straight-line LoopExpr assignments.
+
+    Every variable updated by the body receives
+    ``v := LoopExpr(B, body_updates, v)``: its exact final value, in a
+    single expression-evaluation step whose data dependence covers the
+    test and the whole body.
+    """
+    decision = flowchart.boxes[region.decision]
+    if not isinstance(decision, DecisionBox):
+        raise FlowchartError(f"{region.decision!r} is not a decision box")
+    # Orient the predicate: the loop continues on whichever arm the
+    # body hangs off.
+    body_first = region.body_chain[0]
+    if decision.true_next == body_first:
+        continue_pred = decision.predicate
+    else:
+        from .expr import Not
+
+        continue_pred = Not(decision.predicate)
+
+    updates = symbolic_effect(flowchart, region.body_chain)
+    merged: Dict[str, Expr] = {
+        target: LoopExpr(continue_pred, updates, target, fuel=fuel)
+        for target in sorted(updates)
+    }
+
+    boxes: Dict[NodeId, Box] = {
+        node_id: box for node_id, box in flowchart.boxes.items()
+        if node_id not in region.interior()
+    }
+    _emit_assignment_sequence(boxes, merged, region.decision, region.exit)
+    return Flowchart(boxes, flowchart.input_variables,
+                     flowchart.output_variable,
+                     name=name or f"{flowchart.name}-while")
+
+
+def while_transform_all(flowchart: Flowchart,
+                        name: Optional[str] = None) -> Flowchart:
+    """Apply :func:`while_transform` until no while regions remain."""
+    result = flowchart
+    while True:
+        regions = find_while_regions(result)
+        if not regions:
+            break
+        result = while_transform(result, regions[0])
+    if name:
+        result = Flowchart(result.boxes, result.input_variables,
+                           result.output_variable, name=name)
+    return result
+
+
+def duplicate_assignment_transform(flowchart: Flowchart, region: IteRegion,
+                                   drop_both: bool = False,
+                                   name: Optional[str] = None) -> Flowchart:
+    """Example 9's transform: duplicate an arm's trailing assignment
+    above the decision.
+
+    The then-arm's trailing assignment ``T := E`` is copied in front of
+    the test and removed from the arm; on the else path the duplicate is
+    dead (the else arm's own trailing assignment to ``T`` overwrites
+    it), so the result is functionally equivalent — but the then path
+    now computes ``T`` *before* any branch on the test, which is what
+    lets the transformed program's surveillance mechanism accept it
+    (Example 9: a violation notice only when x1 ≠ 0).
+
+    Safety conditions (checked, :class:`FlowchartError` otherwise):
+
+    - both arms end with an assignment to the same variable ``T``
+      (the else copy guarantees the overwrite);
+    - ``E`` reads no variable written earlier in the then-arm (it is
+      evaluated earlier now);
+    - ``T`` is read nowhere in the region (decision predicate or either
+      arm), so the early write cannot be observed before the overwrite.
+
+    ``drop_both=True`` additionally removes the else copy; that is only
+    equivalence-preserving when the two trailing expressions are
+    structurally equal (the identical-arms special case), and is
+    rejected otherwise.
+    """
+    if not region.then_chain or not region.else_chain:
+        raise FlowchartError("duplicate transform needs non-empty arms")
+    decision = flowchart.boxes[region.decision]
+    assert isinstance(decision, DecisionBox)
+    then_last = flowchart.boxes[region.then_chain[-1]]
+    else_last = flowchart.boxes[region.else_chain[-1]]
+    assert isinstance(then_last, AssignBox) and isinstance(else_last, AssignBox)
+    if then_last.target != else_last.target:
+        raise FlowchartError("arms end with assignments to different variables")
+    target = then_last.target
+    hoisted = then_last.expression
+
+    then_earlier_writes = set()
+    for node_id in region.then_chain[:-1]:
+        box = flowchart.boxes[node_id]
+        assert isinstance(box, AssignBox)
+        then_earlier_writes.add(box.target)
+    if hoisted.variables() & then_earlier_writes:
+        raise FlowchartError(
+            "trailing assignment reads arm-local values; cannot hoist")
+    if target in hoisted.variables():
+        raise FlowchartError("trailing assignment reads its own target")
+
+    region_reads = set(decision.predicate.variables())
+    for node_id in region.then_chain[:-1] + region.else_chain:
+        region_reads |= flowchart.boxes[node_id].read_variables()
+    if target in region_reads:
+        raise FlowchartError(
+            f"{target!r} is read inside the region; hoisting would be "
+            "observable before the overwrite")
+
+    if drop_both and not structurally_equal(then_last.expression,
+                                            else_last.expression):
+        raise FlowchartError(
+            "drop_both requires identical trailing assignments")
+
+    boxes: Dict[NodeId, Box] = dict(flowchart.boxes)
+
+    # Hoist: a new assignment box takes over the decision's id, followed
+    # by the decision under a fresh id.
+    new_decision_id = _fresh_id("d")
+    boxes.pop(region.decision)
+    boxes[region.decision] = AssignBox(target, hoisted, new_decision_id)
+    boxes[new_decision_id] = decision
+
+    def drop_trailing(chain: List[NodeId]) -> None:
+        last_id = chain[-1]
+        last_box = boxes.pop(last_id)
+        assert isinstance(last_box, AssignBox)
+        _repoint(boxes, last_id, last_box.next)
+
+    drop_trailing(region.then_chain)
+    if drop_both:
+        drop_trailing(region.else_chain)
+
+    return Flowchart(boxes, flowchart.input_variables,
+                     flowchart.output_variable,
+                     name=name or f"{flowchart.name}-dup")
+
+
+def functionally_equivalent(first: Flowchart, second: Flowchart,
+                            domain: ProductDomain,
+                            fuel: int = DEFAULT_FUEL) -> bool:
+    """Exhaustively check two flowcharts compute the same *value*.
+
+    Equivalence is on values only — transforms deliberately change
+    running time, which is why Section 4 studies them under the
+    time-unobservable output model.
+    """
+    if first.arity != second.arity or domain.arity != first.arity:
+        raise FlowchartError("arity mismatch in equivalence check")
+    for point in domain:
+        if execute(first, point, fuel=fuel).value != execute(second, point, fuel=fuel).value:
+            return False
+    return True

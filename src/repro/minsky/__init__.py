@@ -1,0 +1,27 @@
+"""Fenton's model of computation (Example 1): Minsky machines + data marks."""
+
+from .machine import (DEFAULT_FUEL, DecJz, Halt, Inc, Instruction,
+                      MinskyMachine, MinskyResult, as_program)
+from .compile import MacroAssembler, adder_machine, doubler_machine
+from .fenton import (NULL, PRIV, DataMarkMachine, FDecJz, FHalt, FInc,
+                     FentonResult, HaltMode,
+                     balanced_negative_inference_program, fenton_mechanism,
+                     negative_inference_program,
+                     undefined_trailing_halt_program)
+
+__all__ = [
+    "Instruction", "Inc", "DecJz", "Halt", "MinskyMachine", "MinskyResult",
+    "as_program", "DEFAULT_FUEL",
+    "MacroAssembler", "adder_machine", "doubler_machine",
+    "NULL", "PRIV", "HaltMode", "FInstruction", "FInc", "FDecJz", "FHalt",
+    "DataMarkMachine", "FentonResult", "fenton_mechanism",
+    "negative_inference_program", "balanced_negative_inference_program",
+    "undefined_trailing_halt_program",
+]
+
+from .fenton import FInstruction, FMarkFrom  # noqa: E402
+from .fcompile import (CompileError, Discipline, compilable,  # noqa: E402
+                       compile_to_fenton)
+
+__all__ += ["FMarkFrom", "CompileError", "Discipline", "compilable",
+            "compile_to_fenton"]

@@ -1,0 +1,162 @@
+"""Small macro-assembler for Minsky machines.
+
+Writing raw two-instruction programs is painful; these combinators
+emit common idioms (clear, move, copy, add, constant) so Example 1
+programs and tests stay readable.  Each macro appends instructions to a
+:class:`MacroAssembler` and returns the entry address.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.errors import ExecutionError
+from .machine import DecJz, Halt, Inc, Instruction, MinskyMachine
+
+
+class MacroAssembler:
+    """Accumulates instructions with forward-patchable jump targets."""
+
+    def __init__(self, register_count: int, output_register: int = 0,
+                 name: str = "minsky") -> None:
+        self.register_count = register_count
+        self.output_register = output_register
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._patches: Dict[int, str] = {}
+        self._labels: Dict[str, int] = {}
+
+    @property
+    def here(self) -> int:
+        """Address of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    def label(self, name: str) -> None:
+        """Bind ``name`` to the current address."""
+        if name in self._labels:
+            raise ExecutionError(f"duplicate label {name!r}")
+        self._labels[name] = self.here
+
+    def _emit(self, instruction: Instruction) -> int:
+        address = self.here
+        self._instructions.append(instruction)
+        return address
+
+    # -- primitives -----------------------------------------------------
+
+    def inc(self, register: int) -> int:
+        """r += 1, fall through."""
+        return self._emit(Inc(register, self.here + 1))
+
+    def dec_jz(self, register: int, zero_label: str) -> int:
+        """If r == 0 jump to label; else r -= 1 and fall through."""
+        address = self._emit(DecJz(register, self.here + 1, -1))
+        self._patches[address] = zero_label
+        return address
+
+    def halt(self) -> int:
+        return self._emit(Halt())
+
+    def clear_loop(self, register: int) -> int:
+        """r := 0 — canonical tight loop."""
+        entry = self.here
+        done = f"__cl_done{entry}"
+        # while r != 0: r -= 1  (DecJz falls through on nonzero, so loop
+        # back to itself until the zero arm fires).
+        address = self._emit(DecJz(register, entry, -1))
+        self._patches[address] = done
+        self.label(done)
+        return entry
+
+    def move(self, source: int, target: int) -> int:
+        """target += source; source := 0."""
+        entry = self.here
+        done = f"__mv_done{entry}"
+        address = self._emit(DecJz(source, self.here + 1, -1))
+        self._patches[address] = done
+        self.inc(target)
+        self.jump_to_address(entry, scratch=None)
+        self.label(done)
+        return entry
+
+    def jump_to_address(self, address: int, scratch: Optional[int]) -> int:
+        """Unconditional backwards jump to a known address.
+
+        Implemented as a DecJz on a register guaranteed zero at this
+        point; when ``scratch`` is None a dedicated always-zero register
+        is required — by convention the *last* register, which no macro
+        touches.
+        """
+        register = scratch if scratch is not None else self.register_count - 1
+        return self._emit(DecJz(register, address, address))
+
+    def copy(self, source: int, target: int, scratch: int) -> int:
+        """target += source, preserving source (via a scratch register)."""
+        entry = self.move(source, scratch)
+        # scratch -> source and target simultaneously
+        loop = self.here
+        done = f"__cp_done{loop}"
+        address = self._emit(DecJz(scratch, self.here + 1, -1))
+        self._patches[address] = done
+        self.inc(source)
+        self.inc(target)
+        self.jump_to_address(loop, scratch=None)
+        self.label(done)
+        return entry
+
+    def constant(self, register: int, value: int) -> int:
+        """register += value (a run of Incs)."""
+        entry = self.here
+        for _ in range(value):
+            self.inc(register)
+        return entry
+
+    # -- assembly ---------------------------------------------------------
+
+    def assemble(self) -> MinskyMachine:
+        """Patch labels and build the machine."""
+        instructions = list(self._instructions)
+        for address, label in self._patches.items():
+            if label not in self._labels:
+                raise ExecutionError(f"undefined label {label!r}")
+            target = self._labels[label]
+            instruction = instructions[address]
+            assert isinstance(instruction, DecJz)
+            instructions[address] = DecJz(instruction.register,
+                                          instruction.next
+                                          if instruction.next != -1 else target,
+                                          target
+                                          if instruction.zero == -1
+                                          else instruction.zero)
+        return MinskyMachine(instructions, self.register_count,
+                             self.output_register, name=self.name)
+
+
+def adder_machine() -> MinskyMachine:
+    """``r0 := r1 + r2`` — the canonical worked example.
+
+    Registers: 0 output, 1 and 2 inputs, 3 reserved always-zero.
+    """
+    assembler = MacroAssembler(register_count=4, name="adder")
+    assembler.move(1, 0)
+    assembler.move(2, 0)
+    assembler.halt()
+    return assembler.assemble()
+
+
+def doubler_machine() -> MinskyMachine:
+    """``r0 := 2 * r1`` (two Incs per Dec).
+
+    Registers: 0 output, 1 input, 2 reserved always-zero.
+    """
+    assembler = MacroAssembler(register_count=3, name="doubler")
+    entry = assembler.here
+    done = "__done"
+    address = assembler._emit(DecJz(1, assembler.here + 1, -1))
+    assembler._patches[address] = done
+    assembler.inc(0)
+    assembler.inc(0)
+    assembler.jump_to_address(entry, scratch=None)
+    assembler.label(done)
+    assembler.halt()
+    return assembler.assemble()

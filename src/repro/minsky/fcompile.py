@@ -1,0 +1,431 @@
+"""Compiling structured programs to Fenton's data-mark machine.
+
+Section 6 claims the framework "is not biased toward any particular
+solution for providing security" — the same policy questions make sense
+for flowchart surveillance and for Fenton's machine alike.  This
+compiler makes that claim testable: a (restricted) structured program
+is lowered to data-mark-machine code, so one source program can be
+enforced *dynamically in two different models* and the verdicts
+compared (experiment E26).
+
+Supported source language (register-machine-friendly subset):
+
+- ``v := c``, ``v := w``, ``v := v + c``, ``v := v - c`` (saturating at
+  0 — registers are naturals), ``v := v + w``;
+- ``if w == 0 { ... } else { ... }`` and ``if w != 0 ...``;
+- ``while w != 0 { ... }``;
+- ``skip``.
+
+Semantics note: the machine computes over ℕ, the flowchart over ℤ; the
+compiler is exact for programs whose values stay non-negative, which
+the cross-model tests verify exhaustively on their domains.
+
+**Mark disciplines.**  How the emitted code handles Fenton's PC mark is
+a security design decision, and getting it wrong is instructive — so
+the compiler exposes all three variants as an ablation
+(:class:`Discipline`):
+
+- ``TAINT`` — no mark restoration: any branch on priv data leaves P
+  priv forever.  Sound and brutally incomplete (data movement on a
+  register machine *is* branching).
+- ``JOIN`` — restore P at every branch/loop join, nothing more.
+  **Unsound**: a loop whose trip count is priv writes its targets on
+  some trips and not on zero trips; the still-null mark of the untaken
+  write is a negative-inference channel.  (The machine-level twin of
+  the paper's Example 1 critique; the test suite carries the witness.)
+- ``PREMARK`` — restore at joins *and* pre-mark the static write set of
+  every region from the tested register (:class:`FMarkFrom`), Fenton's
+  well-formedness discipline.  Sound, with completeness approaching
+  flowchart surveillance.
+
+Each copy site gets its own scratch register so stale marks never
+bleed between unrelated data movements.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core.errors import ExecutionError
+from ..flowchart.expr import BinOp, Compare, Const, Var
+from ..flowchart.structured import (Assign, If, Skip, Stmt,
+                                    StructuredProgram, While)
+from .fenton import (DataMarkMachine, FDecJz, FHalt, FInc, FInstruction,
+                     FMarkFrom, HaltMode)
+
+
+class CompileError(ExecutionError):
+    """The statement is outside the compilable subset."""
+
+
+class Discipline(enum.Enum):
+    """How the compiled code treats Fenton's PC mark (see module doc)."""
+
+    TAINT = "taint"
+    JOIN = "join"
+    PREMARK = "premark"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class _Assembler:
+    """F-instruction emitter with label patching."""
+
+    def __init__(self) -> None:
+        self.instructions: List[FInstruction] = []
+        self._patches: List[Tuple[int, str, str]] = []
+        self._labels: Dict[str, int] = {}
+        self._label_counter = 0
+
+    @property
+    def here(self) -> int:
+        return len(self.instructions)
+
+    def fresh_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"{hint}{self._label_counter}"
+
+    def bind(self, label: str) -> None:
+        if label in self._labels:
+            raise CompileError(f"label {label!r} bound twice")
+        self._labels[label] = self.here
+
+    def emit(self, instruction: FInstruction) -> int:
+        self.instructions.append(instruction)
+        return self.here - 1
+
+    def emit_inc(self, register: int) -> int:
+        """FInc falling through to the next instruction."""
+        return self.emit(FInc(register, self.here + 1))
+
+    def emit_mark_from(self, target: int, source: int) -> int:
+        return self.emit(FMarkFrom(target, source, self.here + 1))
+
+    def emit_decjz(self, register: int, next_label: Optional[str],
+                   zero_label: Optional[str],
+                   join_label: Optional[str] = None) -> int:
+        """DecJz with any operand as a label (None = fall through)."""
+        address = self.emit(FDecJz(register, -1, -1))
+        self._patches.append((address, "next",
+                              next_label or f"@{address + 1}"))
+        self._patches.append((address, "zero",
+                              zero_label or f"@{address + 1}"))
+        if join_label is not None:
+            self._patches.append((address, "join", join_label))
+        return address
+
+    def emit_jump(self, target_label: str, zero_register: int) -> int:
+        """Unconditional jump via the reserved always-zero register."""
+        address = self.emit(FDecJz(zero_register, -1, -1))
+        self._patches.append((address, "next", target_label))
+        self._patches.append((address, "zero", target_label))
+        return address
+
+    def assemble(self, register_count: int, output_register: int,
+                 halt_mode: HaltMode, name: str) -> DataMarkMachine:
+        resolved: List[FInstruction] = list(self.instructions)
+
+        def resolve(label: str) -> int:
+            if label.startswith("@"):
+                return int(label[1:])
+            if label not in self._labels:
+                raise CompileError(f"unbound label {label!r}")
+            return self._labels[label]
+
+        fields: Dict[int, Dict[str, int]] = {}
+        for address, field, label in self._patches:
+            fields.setdefault(address, {})[field] = resolve(label)
+        for address, updates in fields.items():
+            instruction = resolved[address]
+            assert isinstance(instruction, FDecJz)
+            resolved[address] = FDecJz(
+                instruction.register,
+                updates.get("next", instruction.next),
+                updates.get("zero", instruction.zero),
+                updates.get("join", instruction.join),
+            )
+        return DataMarkMachine(resolved, register_count, output_register,
+                               halt_mode=halt_mode, name=name)
+
+
+def _write_set(body) -> FrozenSet[str]:
+    """Variables a statement list may modify (marks included).
+
+    Copies restore their source's *value* but touch its mark, so copy
+    sources count as written; tested variables are decremented and
+    re-incremented, so they count too.
+    """
+    written: Set[str] = set()
+    for statement in body:
+        if isinstance(statement, Skip):
+            continue
+        if isinstance(statement, Assign):
+            written.add(statement.target)
+            expression = statement.expression
+            if isinstance(expression, Var):
+                written.add(expression.name)
+            elif (isinstance(expression, BinOp)
+                  and isinstance(expression.right, Var)):
+                written.add(expression.right.name)
+        elif isinstance(statement, If):
+            written |= set(statement.predicate.variables())
+            written |= _write_set(statement.then_body)
+            written |= _write_set(statement.else_body)
+        elif isinstance(statement, While):
+            written |= set(statement.predicate.variables())
+            written |= _write_set(statement.body)
+    return frozenset(written)
+
+
+class FentonCompiler:
+    """One-shot compiler; use :func:`compile_to_fenton`."""
+
+    def __init__(self, program: StructuredProgram, halt_mode: HaltMode,
+                 discipline: Discipline) -> None:
+        self.program = program
+        self.halt_mode = halt_mode
+        self.discipline = discipline
+        self.assembler = _Assembler()
+        # Register allocation: output first, inputs next (1..k), then
+        # locals; per-site scratches are allocated on demand.
+        self.registers: Dict[str, int] = {program.output_variable: 0}
+        for name in program.input_variables:
+            self._allocate(name)
+        self._collect_locals(program.body)
+        self.zero = self._allocate("__zero")
+        self._scratch_counter = 0
+
+    def _allocate(self, name: str) -> int:
+        if name not in self.registers:
+            self.registers[name] = len(self.registers)
+        return self.registers[name]
+
+    def _fresh_scratch(self) -> int:
+        """A dedicated scratch per copy site: stale marks never bleed
+        between unrelated data movements."""
+        self._scratch_counter += 1
+        return self._allocate(f"__scratch{self._scratch_counter}")
+
+    def _collect_locals(self, body) -> None:
+        for statement in body:
+            if isinstance(statement, Assign):
+                self._allocate(statement.target)
+                for name in statement.expression.variables():
+                    self._allocate(name)
+            elif isinstance(statement, If):
+                for name in statement.predicate.variables():
+                    self._allocate(name)
+                self._collect_locals(statement.then_body)
+                self._collect_locals(statement.else_body)
+            elif isinstance(statement, While):
+                for name in statement.predicate.variables():
+                    self._allocate(name)
+                self._collect_locals(statement.body)
+
+    # -- mark plumbing ----------------------------------------------------
+
+    def _join_label_or_none(self, label: str) -> Optional[str]:
+        return None if self.discipline is Discipline.TAINT else label
+
+    def _premark(self, target: int, source: int) -> None:
+        if self.discipline is Discipline.PREMARK and target != source:
+            self.assembler.emit_mark_from(target, source)
+
+    def _premark_region(self, body, tested: int) -> None:
+        if self.discipline is not Discipline.PREMARK:
+            return
+        for name in sorted(_write_set(body)):
+            self._premark(self.registers[name], tested)
+
+    # -- primitives --------------------------------------------------------
+
+    def _clear(self, register: int) -> None:
+        """register := 0 (its own mark already dominates the test)."""
+        top = self.assembler.fresh_label("clr")
+        done = self.assembler.fresh_label("clrdone")
+        self.assembler.bind(top)
+        self.assembler.emit_decjz(register, next_label=top,
+                                  zero_label=done,
+                                  join_label=self._join_label_or_none(done))
+        self.assembler.bind(done)
+
+    def _add_constant(self, register: int, amount: int) -> None:
+        for _ in range(amount):
+            self.assembler.emit_inc(register)
+
+    def _subtract_constant(self, register: int, amount: int) -> None:
+        """register := max(0, register - amount) — saturating."""
+        for _ in range(amount):
+            skip = self.assembler.fresh_label("subz")
+            self.assembler.emit_decjz(
+                register, next_label=None, zero_label=skip,
+                join_label=self._join_label_or_none(skip))
+            self.assembler.bind(skip)
+
+    def _move(self, source: int, target: int) -> None:
+        """target += source; source := 0."""
+        self._premark(target, source)
+        top = self.assembler.fresh_label("mv")
+        done = self.assembler.fresh_label("mvdone")
+        self.assembler.bind(top)
+        self.assembler.emit_decjz(source, next_label=None, zero_label=done,
+                                  join_label=self._join_label_or_none(done))
+        self.assembler.emit_inc(target)
+        self.assembler.emit_jump(top, self.zero)
+        self.assembler.bind(done)
+
+    def _copy(self, source: int, target: int) -> None:
+        """target += source, preserving source (via a fresh scratch)."""
+        scratch = self._fresh_scratch()
+        self._premark(target, source)
+        self._move(source, scratch)
+        top = self.assembler.fresh_label("cp")
+        done = self.assembler.fresh_label("cpdone")
+        self.assembler.bind(top)
+        self.assembler.emit_decjz(scratch, next_label=None, zero_label=done,
+                                  join_label=self._join_label_or_none(done))
+        self.assembler.emit_inc(source)
+        self.assembler.emit_inc(target)
+        self.assembler.emit_jump(top, self.zero)
+        self.assembler.bind(done)
+
+    def _test_zero(self, register: int, zero_label: str,
+                   join_label: Optional[str]) -> None:
+        """Branch on register == 0 without changing its value
+        (falls through on nonzero after re-incrementing)."""
+        self.assembler.emit_decjz(register, next_label=None,
+                                  zero_label=zero_label,
+                                  join_label=join_label)
+        self.assembler.emit_inc(register)
+
+    # -- statements ---------------------------------------------------------
+
+    def compile_body(self, body) -> None:
+        for statement in body:
+            self.compile_stmt(statement)
+
+    def compile_stmt(self, statement: Stmt) -> None:
+        if isinstance(statement, Skip):
+            return
+        if isinstance(statement, Assign):
+            self._compile_assign(statement)
+            return
+        if isinstance(statement, If):
+            self._compile_if(statement)
+            return
+        if isinstance(statement, While):
+            self._compile_while(statement)
+            return
+        raise CompileError(f"cannot compile {statement!r}")
+
+    def _compile_assign(self, statement: Assign) -> None:
+        target = self.registers[statement.target]
+        expression = statement.expression
+        if isinstance(expression, Const):
+            if expression.value < 0:
+                raise CompileError("negative constants are not ℕ")
+            self._clear(target)
+            self._add_constant(target, expression.value)
+            return
+        if isinstance(expression, Var):
+            source = self.registers[expression.name]
+            if source == target:
+                return
+            self._clear(target)
+            self._copy(source, target)
+            return
+        if isinstance(expression, BinOp) and isinstance(expression.left, Var):
+            left = self.registers[expression.left.name]
+            if left != target:
+                raise CompileError(
+                    "compound assignments must update their own target "
+                    f"({statement!r})")
+            if expression.op == "+" and isinstance(expression.right, Const):
+                self._add_constant(target, expression.right.value)
+                return
+            if expression.op == "-" and isinstance(expression.right, Const):
+                self._subtract_constant(target, expression.right.value)
+                return
+            if expression.op == "+" and isinstance(expression.right, Var):
+                self._copy(self.registers[expression.right.name], target)
+                return
+        raise CompileError(f"expression not compilable: {expression!r}")
+
+    def _tested_register(self, predicate) -> Tuple[int, bool]:
+        """(register, true_means_zero) for w == 0 / w != 0 tests."""
+        if (isinstance(predicate, Compare)
+                and isinstance(predicate.left, Var)
+                and isinstance(predicate.right, Const)
+                and predicate.right.value == 0
+                and predicate.op in ("==", "!=")):
+            return (self.registers[predicate.left.name],
+                    predicate.op == "==")
+        raise CompileError(
+            f"only `w == 0` / `w != 0` tests compile; got {predicate!r}")
+
+    def _compile_if(self, statement: If) -> None:
+        register, true_means_zero = self._tested_register(
+            statement.predicate)
+        zero_arm = statement.then_body if true_means_zero \
+            else statement.else_body
+        nonzero_arm = statement.else_body if true_means_zero \
+            else statement.then_body
+        self._premark_region(list(statement.then_body)
+                             + list(statement.else_body), register)
+        zero_label = self.assembler.fresh_label("ifz")
+        join_label = self.assembler.fresh_label("ifjoin")
+        self._test_zero(register, zero_label,
+                        self._join_label_or_none(join_label))
+        self.compile_body(nonzero_arm)          # fall-through arm
+        self.assembler.emit_jump(join_label, self.zero)
+        self.assembler.bind(zero_label)
+        self.compile_body(zero_arm)
+        self.assembler.bind(join_label)
+
+    def _compile_while(self, statement: While) -> None:
+        register, true_means_zero = self._tested_register(
+            statement.predicate)
+        if true_means_zero:
+            raise CompileError("while w == 0 does not terminate usefully "
+                               "on naturals; use while w != 0")
+        self._premark_region(statement.body, register)
+        top = self.assembler.fresh_label("wtop")
+        exit_label = self.assembler.fresh_label("wexit")
+        self.assembler.bind(top)
+        self._test_zero(register, exit_label,
+                        self._join_label_or_none(exit_label))
+        self.compile_body(statement.body)
+        self.assembler.emit_jump(top, self.zero)
+        self.assembler.bind(exit_label)
+
+    def finish(self, name: str) -> DataMarkMachine:
+        self.assembler.emit(FHalt())
+        return self.assembler.assemble(len(self.registers), 0,
+                                       self.halt_mode, name=name)
+
+
+def compile_to_fenton(program: StructuredProgram,
+                      halt_mode: HaltMode = HaltMode.NOTICE,
+                      discipline: Discipline = Discipline.PREMARK
+                      ) -> Tuple[DataMarkMachine, Dict[str, int]]:
+    """Compile a structured program; returns (machine, register map).
+
+    Inputs occupy registers 1..k in declaration order; the output
+    variable is register 0.
+    """
+    compiler = FentonCompiler(program, halt_mode, discipline)
+    compiler.compile_body(program.body)
+    machine = compiler.finish(
+        name=f"fenton[{program.name}, {discipline}]")
+    return machine, dict(compiler.registers)
+
+
+def compilable(program: StructuredProgram) -> bool:
+    """Conservative check: does the program fit the compilable subset?"""
+    try:
+        compile_to_fenton(program)
+        return True
+    except CompileError:
+        return False

@@ -1,0 +1,404 @@
+"""Fenton's data-mark machine and the paper's critique (Example 1).
+
+Fenton [5] equips a Minsky machine with *data marks*: each register has
+a security attribute, ``null`` or ``priv``, and so does the program
+counter P.  Branching on a ``priv`` register marks P ``priv``; marks
+restore when control returns to the join point of the branch (this is
+the structure that makes Fenton's subsystems "memoryless").  The halt
+statement is::
+
+    if P = null then halt
+
+and the paper's Example 1 critique is that the semantics when
+``P != null`` is *not completely defined*, and one reasonable reading is
+**unsound**:
+
+- ``HaltMode.NOTICE`` — emit an error message (violation notice).  A
+  program can then emit the message *iff some priv value is zero*: the
+  presence/absence of the message is a negative-inference channel
+  (:func:`negative_inference_program` constructs the paper's witness).
+- ``HaltMode.NOOP`` — treat the halt as a no-op and fall through; but
+  if the halt is the *last* statement the behaviour is undefined, which
+  we surface as :class:`~repro.core.errors.UndefinedSemanticsError`
+  (:func:`undefined_trailing_halt_program` constructs that witness).
+
+Data-mark rules implemented (following Fenton's machine):
+
+- ``Inc r`` / ``Dec r``: ``mark(r) := mark(r) ⊔ mark(P)`` — a value
+  changed under priv control is priv;
+- ``DecJz r``: before branching, ``mark(P) := mark(P) ⊔ mark(r)``; the
+  pre-branch mark of P is restored when control reaches the branch's
+  declared join address;
+- ``Halt``: if ``mark(P) = null`` stop normally, else apply the chosen
+  interpretation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.domains import ProductDomain
+from ..core.errors import ExecutionError, FuelExhaustedError, UndefinedSemanticsError
+from ..core.mechanism import ProtectionMechanism, ViolationNotice
+from ..core.program import Program
+
+DEFAULT_FUEL = 100_000
+
+NULL = "null"
+PRIV = "priv"
+
+
+def _join_marks(first: str, second: str) -> str:
+    return PRIV if PRIV in (first, second) else NULL
+
+
+class HaltMode(enum.Enum):
+    """The two readings of ``if P = null then halt`` when P is priv."""
+
+    NOTICE = "notice"   # emit an error message — the unsound reading
+    NOOP = "noop"       # skip the halt — undefined if it is the last statement
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class FInstruction:
+    """Base class for data-mark-machine instructions."""
+
+
+class FInc(FInstruction):
+    """Increment ``register``; its mark absorbs the PC mark."""
+
+    __slots__ = ("register", "next")
+
+    def __init__(self, register: int, next: int) -> None:
+        self.register = register
+        self.next = next
+
+    def __repr__(self) -> str:
+        return f"FInc(r{self.register} -> {self.next})"
+
+
+class FDecJz(FInstruction):
+    """Branch on ``register``; PC mark absorbs the register mark.
+
+    ``join`` (optional) is the address where the two arms of this branch
+    reconverge; on reaching it the PC mark is restored to its value
+    before the branch — Fenton's mark-restoration discipline.
+    """
+
+    __slots__ = ("register", "next", "zero", "join")
+
+    def __init__(self, register: int, next: int, zero: int,
+                 join: Optional[int] = None) -> None:
+        self.register = register
+        self.next = next
+        self.zero = zero
+        self.join = join
+
+    def __repr__(self) -> str:
+        return (f"FDecJz(r{self.register} -> {self.next} / z:{self.zero}"
+                f"{f' join:{self.join}' if self.join is not None else ''})")
+
+
+class FHalt(FInstruction):
+    """``if P = null then halt`` — Example 1's problematic statement."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "FHalt()"
+
+
+class FMarkFrom(FInstruction):
+    """Pre-marking: ``mark(target) := mark(target) ⊔ mark(source) ⊔ P``.
+
+    Fenton's well-formedness discipline: before branching on sensitive
+    data, a program must raise the marks of every register either arm
+    may write — otherwise the *absence* of a write (the untaken arm, a
+    zero-trip loop) leaks through a register's still-null mark.  The
+    instruction changes no register value; it only joins marks.
+    """
+
+    __slots__ = ("target", "source", "next")
+
+    def __init__(self, target: int, source: int, next: int) -> None:
+        self.target = target
+        self.source = source
+        self.next = next
+
+    def __repr__(self) -> str:
+        return f"FMarkFrom(r{self.target} ⊔= r{self.source} -> {self.next})"
+
+
+class FentonResult:
+    """One run of the data-mark machine."""
+
+    __slots__ = ("outcome", "steps", "marks", "registers")
+
+    def __init__(self, outcome: Union[int, ViolationNotice], steps: int,
+                 marks: Tuple[str, ...], registers: Tuple[int, ...]) -> None:
+        self.outcome = outcome
+        self.steps = steps
+        self.marks = marks
+        self.registers = registers
+
+    @property
+    def violated(self) -> bool:
+        return isinstance(self.outcome, ViolationNotice)
+
+    def __repr__(self) -> str:
+        return f"FentonResult(outcome={self.outcome!r}, steps={self.steps})"
+
+
+class DataMarkMachine:
+    """Fenton's machine: a Minsky machine with null/priv data marks."""
+
+    def __init__(self, instructions: Sequence[FInstruction],
+                 register_count: int, output_register: int = 0,
+                 halt_mode: HaltMode = HaltMode.NOTICE,
+                 name: str = "fenton") -> None:
+        self.instructions: Tuple[FInstruction, ...] = tuple(instructions)
+        self.register_count = register_count
+        self.output_register = output_register
+        self.halt_mode = halt_mode
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.instructions:
+            raise ExecutionError(f"machine {self.name!r} has no instructions")
+        size = len(self.instructions)
+        for address, instruction in enumerate(self.instructions):
+            if isinstance(instruction, FInc):
+                targets = (instruction.next,)
+            elif isinstance(instruction, FDecJz):
+                targets = (instruction.next, instruction.zero)
+                if instruction.join is not None and not (0 <= instruction.join < size):
+                    raise ExecutionError(
+                        f"instruction {address} has bad join {instruction.join}")
+            elif isinstance(instruction, FMarkFrom):
+                targets = (instruction.next,)
+                if not (0 <= instruction.target < self.register_count
+                        and 0 <= instruction.source < self.register_count):
+                    raise ExecutionError(
+                        f"instruction {address} marks bad registers")
+            elif isinstance(instruction, FHalt):
+                targets = ()
+            else:
+                raise ExecutionError(
+                    f"unknown instruction {instruction!r} at {address}")
+            for target in targets:
+                if not (0 <= target < size):
+                    raise ExecutionError(
+                        f"instruction {address} jumps to bad address {target}")
+
+    def run(self, registers: Sequence[int], marks: Sequence[str],
+            fuel: int = DEFAULT_FUEL) -> FentonResult:
+        """Execute with initial register values and data marks.
+
+        The outcome is the output register's value on a normal halt
+        (with its final mark reported alongside), a
+        :class:`ViolationNotice` under ``HaltMode.NOTICE`` when a priv
+        halt is attempted, or :class:`UndefinedSemanticsError` raised
+        under ``HaltMode.NOOP`` when the skipped halt is the last
+        statement.
+        """
+        if len(registers) != self.register_count:
+            raise ExecutionError(
+                f"expected {self.register_count} registers, got {len(registers)}")
+        if len(marks) != self.register_count:
+            raise ExecutionError(
+                f"expected {self.register_count} marks, got {len(marks)}")
+        for mark in marks:
+            if mark not in (NULL, PRIV):
+                raise ExecutionError(f"bad mark {mark!r}")
+
+        state: List[int] = [max(0, int(value)) for value in registers]
+        state_marks: List[str] = list(marks)
+        pc = 0
+        pc_mark = NULL
+        # Stack of (join_address, saved_pc_mark) — Fenton's restoration.
+        restore_stack: List[Tuple[int, str]] = []
+        steps = 0
+
+        while True:
+            if steps >= fuel:
+                raise FuelExhaustedError(
+                    fuel, f"machine {self.name!r} exceeded {fuel} steps")
+            while restore_stack and restore_stack[-1][0] == pc:
+                _, saved = restore_stack.pop()
+                pc_mark = saved
+            instruction = self.instructions[pc]
+            steps += 1
+            if isinstance(instruction, FHalt):
+                if pc_mark == NULL:
+                    return FentonResult(state[self.output_register], steps,
+                                        tuple(state_marks), tuple(state))
+                if self.halt_mode is HaltMode.NOTICE:
+                    return FentonResult(
+                        ViolationNotice("error: halt with priv P"),
+                        steps, tuple(state_marks), tuple(state))
+                # HaltMode.NOOP: skip to the next statement.
+                if pc + 1 >= len(self.instructions):
+                    raise UndefinedSemanticsError(
+                        "halt with priv P is a no-op, but it is the last "
+                        "program statement — semantics undefined (Example 1)")
+                pc += 1
+            elif isinstance(instruction, FInc):
+                state[instruction.register] += 1
+                state_marks[instruction.register] = _join_marks(
+                    state_marks[instruction.register], pc_mark)
+                pc = instruction.next
+            elif isinstance(instruction, FMarkFrom):
+                state_marks[instruction.target] = _join_marks(
+                    _join_marks(state_marks[instruction.target],
+                                state_marks[instruction.source]),
+                    pc_mark)
+                pc = instruction.next
+            else:
+                assert isinstance(instruction, FDecJz)
+                if instruction.join is not None:
+                    restore_stack.append((instruction.join, pc_mark))
+                pc_mark = _join_marks(pc_mark,
+                                      state_marks[instruction.register])
+                if state[instruction.register] == 0:
+                    pc = instruction.zero
+                else:
+                    state[instruction.register] -= 1
+                    state_marks[instruction.register] = _join_marks(
+                        state_marks[instruction.register], pc_mark)
+                    pc = instruction.next
+
+    def __repr__(self) -> str:
+        return (f"DataMarkMachine({self.name}: "
+                f"{len(self.instructions)} instructions, "
+                f"halt_mode={self.halt_mode})")
+
+
+def negative_inference_program(halt_mode: HaltMode) -> DataMarkMachine:
+    """The Example 1 witness: an error message iff the priv input is zero.
+
+    Register 1 holds the priv input x; register 0 (null) is the output.
+
+    Layout::
+
+        0: DecJz r1 -> 1 / zero: 2   (join = 3)
+        1: (x != 0 arm) Inc r0 -> 3
+        2: (x == 0 arm) FHalt        <- attempted halt inside priv region
+        3: FHalt                     <- normal halt at the join (P restored)
+
+    With ``HaltMode.NOTICE``: x = 0 reaches address 2 with P = priv and
+    emits the error message; x != 0 reaches the join, where P is
+    restored to null, and halts normally with output 1.  The message's
+    presence reveals x = 0 — the negative-inference leak ("the absence
+    of an error message would indicate that x != 0").
+
+    With ``HaltMode.NOOP``: the priv halt at 2 falls through to 3,
+    where P has been restored, so both paths halt normally — but the
+    two paths now disagree on r0 (0 vs 1), so the *value* leaks instead
+    unless the program is fixed to equalise the arms; the test suite
+    explores both readings.
+    """
+    program = (
+        FDecJz(1, 1, 2, join=3),
+        FInc(0, 3),
+        FHalt(),
+        FHalt(),
+    )
+    return DataMarkMachine(program, register_count=2, output_register=0,
+                           halt_mode=halt_mode,
+                           name=f"negative-inference[{halt_mode}]")
+
+
+def balanced_negative_inference_program(halt_mode: HaltMode) -> DataMarkMachine:
+    """Like :func:`negative_inference_program` but with equal-value arms.
+
+    Both arms leave r0 = 0, so under ``HaltMode.NOOP`` the program is a
+    constant function (sound for ``allow()``), while under
+    ``HaltMode.NOTICE`` the error message still leaks ``x = 0`` — the
+    sharpest form of the Example 1 critique: the *only* difference
+    between sound and unsound is the halt interpretation.
+
+    Layout::
+
+        0: DecJz r1 -> 2 / zero: 1   (join = 2)
+        1: FHalt                     <- priv halt attempt on the x == 0 arm
+        2: FHalt                     <- join; P restored; normal halt, r0 = 0
+    """
+    program = (
+        FDecJz(1, 2, 1, join=2),
+        FHalt(),
+        FHalt(),
+    )
+    return DataMarkMachine(program, register_count=2, output_register=0,
+                           halt_mode=halt_mode,
+                           name=f"balanced-negative-inference[{halt_mode}]")
+
+
+def undefined_trailing_halt_program() -> DataMarkMachine:
+    """A priv halt as the *last* statement — the undefined case.
+
+    ``0: DecJz r1 -> 1 / zero: 1`` (no join — P stays priv), ``1: FHalt``.
+    Under ``HaltMode.NOOP`` every run reaches the trailing halt with
+    P = priv and raises :class:`UndefinedSemanticsError`.
+    """
+    program = (
+        FDecJz(1, 1, 1),
+        FHalt(),
+    )
+    return DataMarkMachine(program, register_count=2, output_register=0,
+                           halt_mode=HaltMode.NOOP,
+                           name="undefined-trailing-halt")
+
+
+def fenton_mechanism(machine: DataMarkMachine, domain: ProductDomain,
+                     priv_registers: Sequence[int],
+                     check_output_mark: bool = False,
+                     fuel: int = DEFAULT_FUEL) -> ProtectionMechanism:
+    """Wrap a data-mark machine as a protection mechanism.
+
+    Inputs fill registers 1..k (register 0 is the null output register);
+    registers listed in ``priv_registers`` are marked priv, the rest
+    null.  The protected Program is the *un-marked* machine semantics
+    (marks ignored, halting at the first FHalt regardless of P) — the
+    function Q that Fenton's mechanism gatekeeps.
+
+    ``check_output_mark=True`` adds Fenton's output rule ("objects may
+    only encode information from sources having the null attribute"): a
+    normal halt whose output register is marked priv also yields a
+    violation notice.  Note the notice *differs* from the priv-halt
+    notice — distinguishable notices are themselves a leak (Example 4),
+    which the soundness checker duly reports.
+    """
+    priv_set = set(priv_registers)
+
+    def q_semantics(*inputs):
+        # Q ignores marks: run with everything null and halt-at-first-halt.
+        plain = DataMarkMachine(machine.instructions, machine.register_count,
+                                machine.output_register,
+                                halt_mode=machine.halt_mode,
+                                name=machine.name)
+        registers = [0] * machine.register_count
+        for offset, value in enumerate(inputs, 1):
+            registers[offset] = value
+        result = plain.run(registers, [NULL] * machine.register_count,
+                           fuel=fuel)
+        return result.outcome
+
+    def mechanism_fn(*inputs):
+        registers = [0] * machine.register_count
+        for offset, value in enumerate(inputs, 1):
+            registers[offset] = value
+        marks = [PRIV if index in priv_set else NULL
+                 for index in range(machine.register_count)]
+        result = machine.run(registers, marks, fuel=fuel)
+        if (check_output_mark and not result.violated
+                and result.marks[machine.output_register] == PRIV):
+            return ViolationNotice("error: output register is priv")
+        return result.outcome
+
+    program = Program(q_semantics, domain, name=f"Q[{machine.name}]")
+    return ProtectionMechanism(mechanism_fn, program,
+                               name=f"M-fenton[{machine.name}]")

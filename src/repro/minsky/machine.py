@@ -1,0 +1,189 @@
+"""A Minsky register machine (Example 1's model of computation).
+
+    *The value Q(d1, ..., dk) is the value obtained by the computation
+    of some given Minsky-machine that was started with its i-th register
+    containing di.*
+
+The classic two-instruction machine over unbounded non-negative
+registers:
+
+- ``Inc(r, next)`` — increment register ``r``, go to ``next``;
+- ``DecJz(r, next, zero)`` — if register ``r`` is zero go to ``zero``,
+  otherwise decrement it and go to ``next``;
+- ``Halt()`` — stop; the output is register 0 by convention (overridable).
+
+Programs are tuples of instructions addressed by index.  The interpreter
+counts executed instructions, so Minsky programs obey the same
+observability discipline as flowcharts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.domains import ProductDomain
+from ..core.errors import ExecutionError, FuelExhaustedError
+from ..core.observability import VALUE_ONLY, Observation, OutputModel
+from ..core.program import Program
+
+DEFAULT_FUEL = 100_000
+
+
+class Instruction:
+    """Base class for Minsky-machine instructions."""
+
+
+class Inc(Instruction):
+    """Increment register ``register`` then jump to ``next``."""
+
+    __slots__ = ("register", "next")
+
+    def __init__(self, register: int, next: int) -> None:
+        self.register = register
+        self.next = next
+
+    def __repr__(self) -> str:
+        return f"Inc(r{self.register} -> {self.next})"
+
+
+class DecJz(Instruction):
+    """If ``register`` is zero jump to ``zero``; else decrement, go ``next``."""
+
+    __slots__ = ("register", "next", "zero")
+
+    def __init__(self, register: int, next: int, zero: int) -> None:
+        self.register = register
+        self.next = next
+        self.zero = zero
+
+    def __repr__(self) -> str:
+        return f"DecJz(r{self.register} -> {self.next} / z:{self.zero})"
+
+
+class Halt(Instruction):
+    """Stop the machine."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Halt()"
+
+
+class MinskyMachine:
+    """A validated Minsky-machine program."""
+
+    def __init__(self, instructions: Sequence[Instruction],
+                 register_count: int, output_register: int = 0,
+                 name: str = "minsky") -> None:
+        self.instructions: Tuple[Instruction, ...] = tuple(instructions)
+        self.register_count = register_count
+        self.output_register = output_register
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.instructions:
+            raise ExecutionError(f"machine {self.name!r} has no instructions")
+        if not (0 <= self.output_register < self.register_count):
+            raise ExecutionError(
+                f"output register {self.output_register} out of range")
+        size = len(self.instructions)
+        for address, instruction in enumerate(self.instructions):
+            if isinstance(instruction, Inc):
+                targets = (instruction.next,)
+                registers = (instruction.register,)
+            elif isinstance(instruction, DecJz):
+                targets = (instruction.next, instruction.zero)
+                registers = (instruction.register,)
+            elif isinstance(instruction, Halt):
+                targets = ()
+                registers = ()
+            else:
+                raise ExecutionError(
+                    f"unknown instruction {instruction!r} at {address}")
+            for target in targets:
+                if not (0 <= target < size):
+                    raise ExecutionError(
+                        f"instruction {address} jumps to bad address {target}")
+            for register in registers:
+                if not (0 <= register < self.register_count):
+                    raise ExecutionError(
+                        f"instruction {address} uses bad register {register}")
+
+    def run(self, registers: Sequence[int],
+            fuel: int = DEFAULT_FUEL) -> "MinskyResult":
+        """Execute from address 0 with the given initial registers."""
+        if len(registers) != self.register_count:
+            raise ExecutionError(
+                f"machine {self.name!r} has {self.register_count} registers, "
+                f"got {len(registers)} initial values")
+        state: List[int] = [max(0, int(value)) for value in registers]
+        pc = 0
+        steps = 0
+        while True:
+            if steps >= fuel:
+                raise FuelExhaustedError(
+                    fuel, f"machine {self.name!r} exceeded {fuel} steps")
+            instruction = self.instructions[pc]
+            steps += 1
+            if isinstance(instruction, Halt):
+                return MinskyResult(state[self.output_register], steps,
+                                    tuple(state))
+            if isinstance(instruction, Inc):
+                state[instruction.register] += 1
+                pc = instruction.next
+            else:
+                assert isinstance(instruction, DecJz)
+                if state[instruction.register] == 0:
+                    pc = instruction.zero
+                else:
+                    state[instruction.register] -= 1
+                    pc = instruction.next
+
+    def __repr__(self) -> str:
+        return (f"MinskyMachine({self.name}: {len(self.instructions)} "
+                f"instructions, {self.register_count} registers)")
+
+
+class MinskyResult:
+    """One run: output-register value, step count, final registers."""
+
+    __slots__ = ("value", "steps", "registers")
+
+    def __init__(self, value: int, steps: int,
+                 registers: Tuple[int, ...]) -> None:
+        self.value = value
+        self.steps = steps
+        self.registers = registers
+
+    def observation(self) -> Observation:
+        return Observation(self.value, self.steps)
+
+    def __repr__(self) -> str:
+        return f"MinskyResult(value={self.value}, steps={self.steps})"
+
+
+def as_program(machine: MinskyMachine, domain: ProductDomain,
+               input_registers: Optional[Sequence[int]] = None,
+               output_model: OutputModel = VALUE_ONLY,
+               fuel: int = DEFAULT_FUEL,
+               name: Optional[str] = None) -> Program:
+    """Wrap a Minsky machine as a Section 2 Program.
+
+    ``input_registers`` names which registers receive the program
+    inputs (default: registers 0..k-1); all other registers start 0.
+    """
+    positions = (tuple(input_registers) if input_registers is not None
+                 else tuple(range(domain.arity)))
+    if len(positions) != domain.arity:
+        raise ExecutionError(
+            f"{len(positions)} input registers for arity {domain.arity}")
+
+    def run(*inputs):
+        registers = [0] * machine.register_count
+        for register, value in zip(positions, inputs):
+            registers[register] = value
+        result = machine.run(registers, fuel=fuel)
+        return output_model.project(result.observation())
+
+    return Program(run, domain, name=name or machine.name)

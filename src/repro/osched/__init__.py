@@ -1,0 +1,21 @@
+"""A miniature multiprogrammed OS: the resource-usage covert channel.
+
+Section 2's remark — "a general-purpose operating system in which
+information can be passed via resource usage patterns" — made runnable:
+a deterministic round-robin scheduler (:mod:`~repro.osched.scheduler`),
+a shared/partitioned page pool (:mod:`~repro.osched.pool`), and the
+sender/receiver channel with its quota mitigation
+(:mod:`~repro.osched.channel`).
+"""
+
+from .pool import PagePool
+from .scheduler import ComputeProcess, Process, System
+from .channel import (ReceiverProcess, SenderProcess, bits_to_secret,
+                      channel_report, decode, run_transmission,
+                      secret_to_bits, system_program)
+
+__all__ = [
+    "PagePool", "Process", "System", "ComputeProcess",
+    "SenderProcess", "ReceiverProcess", "secret_to_bits", "bits_to_secret",
+    "run_transmission", "decode", "system_program", "channel_report",
+]

@@ -1,0 +1,160 @@
+"""The resource-usage covert channel, end to end (Section 2's remark).
+
+A confined *sender* process knows a secret; a *receiver* process may
+not learn it.  No file, pipe, or message connects them — only the
+shared page pool.  The sender modulates its memory footprint (hoard the
+pool for a 1 bit, release for a 0); the receiver probes the pool each
+round and reads the secret out of its own allocation failures.
+
+Formally: the whole system is a program
+``Q_system(secret) = receiver's observations``, and the "mechanism"
+under audit is the operating system itself.  Under the shared
+discipline the observations determine the secret —
+:func:`channel_report` shows Q is unsound for ``allow()`` and measures
+the recovered bits.  Under per-process quotas the receiver's
+observations are a constant function of the secret — the channel closes
+and the same Q becomes sound.  One allocation-discipline switch flips
+the verdict: the paper's point that forgotten observables are policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.domains import Domain, ProductDomain
+from ..core.errors import DomainError
+from ..core.mechanism import program_as_mechanism
+from ..core.policy import allow_none
+from ..core.program import Program
+from ..core.soundness import check_soundness, max_leaked_bits
+from .pool import PagePool
+from .scheduler import ComputeProcess, Process, System
+
+
+class SenderProcess(Process):
+    """Encodes the secret, one bit per round: hoard for 1, release for 0."""
+
+    def __init__(self, name: str, secret_bits: Tuple[int, ...],
+                 hoard: int) -> None:
+        super().__init__(name)
+        self.secret_bits = tuple(secret_bits)
+        self.hoard = hoard
+
+    def step(self, system: System, round_index: int) -> None:
+        if round_index >= len(self.secret_bits):
+            system.pool.release(self.name)
+            return
+        if self.secret_bits[round_index]:
+            deficit = self.hoard - system.pool.held_by(self.name)
+            if deficit > 0:
+                system.pool.acquire(self.name, deficit)
+        else:
+            system.pool.release(self.name)
+
+
+class ReceiverProcess(Process):
+    """Probes the pool each round; records whether the probe succeeded."""
+
+    def __init__(self, name: str, probe: int) -> None:
+        super().__init__(name)
+        self.probe = probe
+        self.observations: List[int] = []
+
+    def step(self, system: System, round_index: int) -> None:
+        got = system.pool.acquire(self.name, self.probe)
+        self.observations.append(1 if got else 0)
+        if got:
+            system.pool.release(self.name, self.probe)
+
+
+def secret_to_bits(secret: int, width: int) -> Tuple[int, ...]:
+    """Big-endian fixed-width bit vector of a non-negative secret."""
+    if secret < 0 or secret >= (1 << width):
+        raise DomainError(f"secret {secret} does not fit in {width} bits")
+    return tuple((secret >> (width - 1 - position)) & 1
+                 for position in range(width))
+
+
+def bits_to_secret(bits) -> int:
+    value = 0
+    for bit in bits:
+        value = (value << 1) | (1 if bit else 0)
+    return value
+
+
+def run_transmission(secret: int, width: int, partitioned: bool,
+                     capacity: int = 8, noise_working_set: int = 0) -> Tuple[int, ...]:
+    """One full transmission; returns the receiver's observation vector.
+
+    ``partitioned=True`` gives sender/receiver/noise fixed quotas (the
+    mitigation); ``noise_working_set`` adds a background process that
+    permanently holds that many frames (imperfect-channel realism).
+    """
+    bits = secret_to_bits(secret, width)
+    hoard = capacity - noise_working_set  # enough to starve the probe
+    quotas = None
+    if partitioned:
+        quotas = {"sender": capacity // 2 - 1,
+                  "receiver": 2,
+                  "noise": noise_working_set}
+    pool = PagePool(capacity, quotas=quotas)
+    processes: List[Process] = []
+    if noise_working_set:
+        processes.append(ComputeProcess("noise", noise_working_set))
+    processes.append(SenderProcess("sender", bits,
+                                   hoard if not partitioned
+                                   else capacity // 2 - 1))
+    processes.append(ReceiverProcess("receiver", probe=2))
+    system = System(pool, processes)
+    system.run(width)
+    receiver = processes[-1]
+    assert isinstance(receiver, ReceiverProcess)
+    return tuple(receiver.observations)
+
+
+def decode(observations: Tuple[int, ...]) -> int:
+    """The attacker's decoder: failed probe = hoarded pool = bit 1."""
+    return bits_to_secret(1 - observed for observed in observations)
+
+
+def system_program(width: int, partitioned: bool, capacity: int = 8,
+                   noise_working_set: int = 0) -> Program:
+    """The whole OS run as a view function of the secret."""
+    domain = ProductDomain(Domain.integers(0, (1 << width) - 1,
+                                           name="Secret"))
+
+    def observe(secret):
+        return run_transmission(secret, width, partitioned, capacity,
+                                noise_working_set)
+
+    discipline = "quota" if partitioned else "shared"
+    return Program(observe, domain,
+                   name=f"Q-os[{discipline}, w={width}]")
+
+
+def channel_report(width: int = 4, capacity: int = 8,
+                   noise_working_set: int = 0) -> List[Dict[str, object]]:
+    """The E22 rows: shared vs partitioned pool, same sender/receiver.
+
+    Per discipline: soundness of the system for allow() (deny the
+    secret entirely), bits recoverable from the receiver's observations,
+    and whether the decoder recovers every secret exactly.
+    """
+    rows = []
+    policy = allow_none(1)
+    for partitioned in (False, True):
+        q = system_program(width, partitioned, capacity, noise_working_set)
+        mechanism = program_as_mechanism(q)
+        report = check_soundness(mechanism, policy)
+        recovered = all(
+            decode(run_transmission(secret, width, partitioned, capacity,
+                                    noise_working_set)) == secret
+            for (secret,) in q.domain)
+        rows.append({
+            "discipline": "partitioned" if partitioned else "shared",
+            "secret_bits": width,
+            "sound_for_allow_none": report.sound,
+            "leaked_bits": max_leaked_bits(mechanism, policy),
+            "exact_recovery": recovered,
+        })
+    return rows

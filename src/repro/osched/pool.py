@@ -1,0 +1,83 @@
+"""A shared page pool — the contended resource of Section 2's remark.
+
+    *Such is the case for a general-purpose operating system in which
+    information can be passed via resource usage patterns.*
+
+The pool hands out page frames up to a capacity.  Two allocation
+disciplines are provided, because the discipline *is* the security
+design decision experiment E22 ablates:
+
+- **shared** — first come, first served from one global pool: one
+  process's holdings are visible to every other process as allocation
+  failures (the covert channel);
+- **partitioned** — each process gets a fixed private quota: no
+  process's behaviour can affect another's allocations (the channel
+  closes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.errors import DomainError
+
+
+class PagePool:
+    """A pool of identical page frames with optional per-process quotas."""
+
+    def __init__(self, capacity: int,
+                 quotas: Optional[Dict[str, int]] = None) -> None:
+        if capacity < 1:
+            raise DomainError("pool capacity must be >= 1")
+        self.capacity = capacity
+        self.quotas = dict(quotas) if quotas else None
+        if self.quotas is not None:
+            total = sum(self.quotas.values())
+            if total > capacity:
+                raise DomainError(
+                    f"quotas total {total} exceed capacity {capacity}")
+        self._held: Dict[str, int] = {}
+
+    @property
+    def partitioned(self) -> bool:
+        return self.quotas is not None
+
+    def held_by(self, process: str) -> int:
+        return self._held.get(process, 0)
+
+    @property
+    def total_held(self) -> int:
+        return sum(self._held.values())
+
+    def _limit_for(self, process: str) -> int:
+        if self.quotas is None:
+            return self.capacity
+        return self.quotas.get(process, 0)
+
+    def acquire(self, process: str, count: int = 1) -> bool:
+        """Try to take ``count`` frames; all-or-nothing.
+
+        Under the shared discipline, success depends on *everyone's*
+        holdings — that global dependence is the channel.  Under
+        quotas, success depends only on the caller's own holdings.
+        """
+        if count < 0:
+            raise DomainError("cannot acquire a negative count")
+        if self.held_by(process) + count > self._limit_for(process):
+            return False
+        if self.quotas is None and self.total_held + count > self.capacity:
+            return False
+        self._held[process] = self.held_by(process) + count
+        return True
+
+    def release(self, process: str, count: Optional[int] = None) -> int:
+        """Release ``count`` frames (default: all); returns released count."""
+        held = self.held_by(process)
+        count = held if count is None else min(count, held)
+        self._held[process] = held - count
+        return count
+
+    def __repr__(self) -> str:
+        discipline = "partitioned" if self.partitioned else "shared"
+        return (f"PagePool({discipline}, capacity={self.capacity}, "
+                f"held={self.total_held})")

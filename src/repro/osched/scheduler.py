@@ -1,0 +1,70 @@
+"""A deterministic round-robin scheduler over cooperating processes.
+
+The minimal general-purpose-OS substrate Section 2's resource-channel
+remark needs: several processes share a machine; each scheduler round
+gives every process one step, in a fixed order; processes interact only
+through shared resources (the page pool).  Everything is deterministic,
+so channel experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import DomainError
+from .pool import PagePool
+
+
+class Process:
+    """Base class: override :meth:`step`.
+
+    ``step(system, round_index)`` runs one quantum; the process may use
+    ``system.pool`` and record observations on itself.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def step(self, system: "System", round_index: int) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class System:
+    """The machine: a page pool plus a process table."""
+
+    def __init__(self, pool: PagePool, processes: Sequence[Process]) -> None:
+        names = [process.name for process in processes]
+        if len(set(names)) != len(names):
+            raise DomainError("process names must be unique")
+        self.pool = pool
+        self.processes: List[Process] = list(processes)
+
+    def run(self, rounds: int) -> None:
+        """Round-robin: every process gets one step per round."""
+        if rounds < 0:
+            raise DomainError("cannot run a negative number of rounds")
+        for round_index in range(rounds):
+            for process in self.processes:
+                process.step(self, round_index)
+
+    def __repr__(self) -> str:
+        return f"System({self.pool!r}, {self.processes!r})"
+
+
+class ComputeProcess(Process):
+    """Background noise: holds a fixed working set, computes."""
+
+    def __init__(self, name: str, working_set: int = 0) -> None:
+        super().__init__(name)
+        self.working_set = working_set
+        self.work_done = 0
+
+    def step(self, system: System, round_index: int) -> None:
+        if system.pool.held_by(self.name) < self.working_set:
+            system.pool.acquire(
+                self.name,
+                self.working_set - system.pool.held_by(self.name))
+        self.work_done += 1

@@ -1,0 +1,33 @@
+"""Static (compile-time) enforcement — Section 5.
+
+Denning-style certification (:mod:`~repro.staticflow.certify`) over
+security-class lattices (:mod:`~repro.staticflow.classes`), and the
+policy-specialising, transform-assisted compiler
+(:mod:`~repro.staticflow.compile`).
+"""
+
+from .classes import (SecurityLattice, chain_lattice, label_of_indices,
+                      powerset_lattice)
+from .certify import Certificate, FlowAnalysis, analyse, certify
+from .compile import (CompilationOutcome, compile_per_policy,
+                      compile_with_transforms, static_mechanism)
+from .hybrid import (HybridOutcome, eliminate_dead_surveillance,
+                     hybrid_mechanism, instrumentation_overhead,
+                     label_dependence_closure)
+from .denning import (ClassAssignment, DenningAnalysis, certify_lattice,
+                      military_assignment)
+from .cfgcertify import (CfgCertificate, certify_flowchart,
+                         control_dependencies)
+
+__all__ = [
+    "SecurityLattice", "powerset_lattice", "chain_lattice",
+    "label_of_indices",
+    "FlowAnalysis", "Certificate", "analyse", "certify",
+    "static_mechanism", "CompilationOutcome", "compile_with_transforms",
+    "compile_per_policy",
+    "HybridOutcome", "hybrid_mechanism", "label_dependence_closure",
+    "eliminate_dead_surveillance", "instrumentation_overhead",
+    "ClassAssignment", "DenningAnalysis", "certify_lattice",
+    "military_assignment",
+    "CfgCertificate", "certify_flowchart", "control_dependencies",
+]

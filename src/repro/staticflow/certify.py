@@ -1,0 +1,154 @@
+"""Static (compile-time) certification of information flow (Section 5).
+
+    *Static information flow analysis techniques can be used to
+    determine the flow of information that will occur at the time a
+    program is executed ... Flow analysis must take into account not
+    merely the flow of information through data variables (as compilers
+    do now), but also flow through the program counter in order to avoid
+    difficulties such as transmitting disallowed information via
+    negative inference.*
+
+This is the Denning & Denning-style certifier the paper sketches: an
+abstract interpretation of a structured program over the label lattice.
+Each variable gets the join of (a) the labels of everything assigned
+into it, and (b) the labels of every guard governing the assignment
+(the program-counter flow).  Branches merge by pointwise join; loops
+iterate to a fixpoint (which exists — the lattice is finite and the
+transfer functions are monotone).
+
+Certification is per-*program*: the whole program is certified for a
+policy or rejected.  That is the essential contrast with the dynamic
+surveillance mechanism, which decides per-*run* — experiment E18
+measures the completeness gap between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from ..core.errors import PolicyError
+from ..core.policy import AllowPolicy
+from ..flowchart.structured import (Assign, If, Skip, Stmt,
+                                    StructuredProgram, While)
+
+Label = FrozenSet[int]
+
+
+class FlowAnalysis:
+    """Result of the static analysis: final label of every variable.
+
+    ``labels[v]`` over-approximates the set of input indices whose
+    values may flow into ``v`` on *some* execution (data or control).
+    """
+
+    def __init__(self, labels: Dict[str, Label], iterations: int) -> None:
+        self.labels = dict(labels)
+        self.iterations = iterations
+
+    def output_label(self, program: StructuredProgram) -> Label:
+        return self.labels.get(program.output_variable, frozenset())
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{v}:{sorted(l)}" for v, l in sorted(self.labels.items()))
+        return f"FlowAnalysis({{{rendered}}}, iterations={self.iterations})"
+
+
+def analyse(program: StructuredProgram) -> FlowAnalysis:
+    """Run the static flow analysis on a structured program."""
+    labels: Dict[str, Label] = {}
+    for position, name in enumerate(program.input_variables, 1):
+        labels[name] = frozenset((position,))
+    labels.setdefault(program.output_variable, frozenset())
+
+    iterations = [0]
+
+    def transfer(body: Tuple[Stmt, ...], env: Dict[str, Label],
+                 pc: Label) -> Dict[str, Label]:
+        for statement in body:
+            env = transfer_stmt(statement, env, pc)
+        return env
+
+    def read_label(env: Dict[str, Label], names) -> Label:
+        result: Label = frozenset()
+        for name in names:
+            result |= env.get(name, frozenset())
+        return result
+
+    def merge(first: Dict[str, Label], second: Dict[str, Label]) -> Dict[str, Label]:
+        merged = dict(first)
+        for name, label in second.items():
+            merged[name] = merged.get(name, frozenset()) | label
+        return merged
+
+    def transfer_stmt(statement: Stmt, env: Dict[str, Label],
+                      pc: Label) -> Dict[str, Label]:
+        if isinstance(statement, Skip):
+            return env
+        if isinstance(statement, Assign):
+            out = dict(env)
+            out[statement.target] = (
+                read_label(env, statement.expression.variables()) | pc)
+            return out
+        if isinstance(statement, If):
+            guard = read_label(env, statement.predicate.variables())
+            inner_pc = pc | guard
+            then_env = transfer(statement.then_body, dict(env), inner_pc)
+            else_env = transfer(statement.else_body, dict(env), inner_pc)
+            return merge(then_env, else_env)
+        if isinstance(statement, While):
+            # Fixpoint: the guard label itself can grow as body
+            # assignments feed the tested variables.
+            current = dict(env)
+            while True:
+                iterations[0] += 1
+                guard = read_label(current, statement.predicate.variables())
+                body_env = transfer(statement.body, dict(current), pc | guard)
+                merged = merge(current, body_env)
+                if merged == current:
+                    return merged
+                current = merged
+        raise TypeError(f"unknown statement {statement!r}")
+
+    final = transfer(program.body, labels, frozenset())
+    return FlowAnalysis(final, iterations[0])
+
+
+class Certificate:
+    """The certifier's verdict for one (program, policy) pair."""
+
+    def __init__(self, certified: bool, output_label: Label,
+                 allowed: Label, analysis: FlowAnalysis) -> None:
+        self.certified = certified
+        self.output_label = output_label
+        self.allowed = allowed
+        self.analysis = analysis
+
+    def __bool__(self) -> bool:
+        return self.certified
+
+    def __repr__(self) -> str:
+        verdict = "CERTIFIED" if self.certified else "REJECTED"
+        return (f"Certificate({verdict}: ȳ={sorted(self.output_label)} "
+                f"vs J={sorted(self.allowed)})")
+
+
+def certify(program: StructuredProgram, policy: AllowPolicy) -> Certificate:
+    """Certify a structured program for an allow(...) policy.
+
+    Certified means: on *every* execution, the output's value is a
+    function of allowed inputs only — so the program may run unmodified
+    for users holding this policy.  Rejection is conservative: some
+    rejected programs have runs (or are even globally) policy-compliant,
+    which is exactly Theorem 4's shadow over static analysis.
+    """
+    if not isinstance(policy, AllowPolicy):
+        raise PolicyError("static certification is defined for allow(...) policies")
+    if policy.arity != len(program.input_variables):
+        raise PolicyError(
+            f"policy arity {policy.arity} != program arity "
+            f"{len(program.input_variables)}"
+        )
+    analysis = analyse(program)
+    output_label = analysis.output_label(program)
+    certified = output_label <= policy.allowed
+    return Certificate(certified, output_label, policy.allowed, analysis)

@@ -1,0 +1,190 @@
+"""Static certification of arbitrary flowcharts (Section 5, CFG-level).
+
+The structured certifier (:mod:`repro.staticflow.certify`) needs if/
+while syntax; Moore's technique — which the paper cites for "Algol-like
+programs" — generalises to arbitrary control-flow graphs once *control
+dependence* replaces syntactic nesting:
+
+- a node is control-dependent on a decision ``d`` iff one of ``d``'s
+  branches always reaches it while the other may avoid it (the classic
+  Ferrante–Ottenstein–Warren criterion, computed from postdominators);
+- an assignment's static label is the join of its operands' labels and
+  the *test labels of the decisions it is control-dependent on* — the
+  region-scoped PC flow, which forgets a branch once its arms
+  reconverge (unlike dynamic surveillance's monotone C̄);
+- everything iterates to a fixpoint over the finite label lattice, with
+  merge-point join.
+
+A flowchart is certified for ``allow(J)`` iff at every halt node the
+output label (plus the halt's own control-dependence labels — which
+halt is reached is information too) is within J.
+
+Differential guarantee, tested: on flowcharts compiled from structured
+programs, this certifier and the structured one agree *by construction
+of control dependence*; on irreducible graphs only this one applies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from ..core.errors import PolicyError
+from ..core.policy import AllowPolicy
+from ..flowchart.analysis import postdominators
+from ..flowchart.boxes import AssignBox, DecisionBox, HaltBox, NodeId
+from ..flowchart.program import Flowchart
+
+Label = FrozenSet[int]
+
+
+def control_dependencies(flowchart: Flowchart) -> Dict[NodeId, FrozenSet[NodeId]]:
+    """FOW control dependence: node -> decisions it depends on.
+
+    ``n`` is control-dependent on decision ``d`` iff ``n``
+    postdominates some successor of ``d`` but does not strictly
+    postdominate ``d`` itself.
+    """
+    pdom = postdominators(flowchart)
+    dependencies: Dict[NodeId, Set[NodeId]] = {
+        node_id: set() for node_id in flowchart.boxes}
+    for decision_id in flowchart.decision_ids():
+        box = flowchart.boxes[decision_id]
+        assert isinstance(box, DecisionBox)
+        for successor in box.successors():
+            for node_id in flowchart.boxes:
+                if node_id == decision_id:
+                    continue
+                # n postdominates this successor of d, but does not
+                # strictly postdominate d itself.
+                if (node_id in pdom[successor]
+                        and node_id not in pdom[decision_id] - {decision_id}):
+                    dependencies[node_id].add(decision_id)
+
+    # Transitive closure: a node governed by an inner decision is also
+    # governed by whatever governs that decision (nested guards) — the
+    # CFG counterpart of the structured certifier's pc nesting.
+    changed = True
+    while changed:
+        changed = False
+        for node_id, direct in dependencies.items():
+            expanded = set(direct)
+            for decision_id in direct:
+                expanded |= dependencies[decision_id]
+            if expanded != direct:
+                dependencies[node_id] = expanded
+                changed = True
+    return {node_id: frozenset(deps)
+            for node_id, deps in dependencies.items()}
+
+
+class CfgCertificate:
+    """Verdict of the CFG-level certifier."""
+
+    def __init__(self, certified: bool, output_label: Label,
+                 allowed: Label, iterations: int,
+                 labels: Dict[NodeId, Dict[str, Label]]) -> None:
+        self.certified = certified
+        self.output_label = output_label
+        self.allowed = allowed
+        self.iterations = iterations
+        self.labels = labels
+
+    def __bool__(self) -> bool:
+        return self.certified
+
+    def __repr__(self) -> str:
+        verdict = "CERTIFIED" if self.certified else "REJECTED"
+        return (f"CfgCertificate({verdict}: ȳ={sorted(self.output_label)} "
+                f"vs J={sorted(self.allowed)}, "
+                f"iterations={self.iterations})")
+
+
+def certify_flowchart(flowchart: Flowchart,
+                      policy: AllowPolicy) -> CfgCertificate:
+    """Certify an arbitrary flowchart for an allow(...) policy.
+
+    Forward dataflow over the CFG: each node carries a variable→label
+    map; predecessors merge by pointwise union; an assignment joins its
+    operand labels with the labels of every controlling decision's test
+    (evaluated at that decision's own state).  Monotone over a finite
+    lattice, so the fixpoint terminates.
+    """
+    if not isinstance(policy, AllowPolicy):
+        raise PolicyError(
+            "flowchart certification is defined for allow(...) policies")
+    if policy.arity != flowchart.arity:
+        raise PolicyError(
+            f"policy arity {policy.arity} != flowchart arity "
+            f"{flowchart.arity}")
+
+    dependencies = control_dependencies(flowchart)
+    order = flowchart.reachable_from(flowchart.start_id)
+    predecessors = flowchart.predecessors()
+
+    initial: Dict[str, Label] = {}
+    for position, name in enumerate(flowchart.input_variables, 1):
+        initial[name] = frozenset((position,))
+
+    # in_state[node] = variable labels on entry to the node.
+    in_state: Dict[NodeId, Dict[str, Label]] = {
+        node_id: {} for node_id in order}
+    in_state[flowchart.start_id] = dict(initial)
+
+    def merge(target: Dict[str, Label], source: Dict[str, Label]) -> bool:
+        changed = False
+        for name, label in source.items():
+            combined = target.get(name, frozenset()) | label
+            if combined != target.get(name):
+                target[name] = combined
+                changed = True
+        return changed
+
+    def read_label(state: Dict[str, Label], names) -> Label:
+        result: Label = frozenset()
+        for name in names:
+            result |= state.get(name, frozenset())
+        return result
+
+    def pc_label(node_id: NodeId) -> Label:
+        label: Label = frozenset()
+        for decision_id in dependencies[node_id]:
+            decision = flowchart.boxes[decision_id]
+            assert isinstance(decision, DecisionBox)
+            label |= read_label(in_state[decision_id],
+                                decision.predicate.variables())
+        return label
+
+    def out_state(node_id: NodeId) -> Dict[str, Label]:
+        state = dict(in_state[node_id])
+        box = flowchart.boxes[node_id]
+        if isinstance(box, AssignBox):
+            state[box.target] = (
+                read_label(state, box.expression.variables())
+                | pc_label(node_id))
+        return state
+
+    iterations = 0
+    changed = True
+    while changed:
+        iterations += 1
+        changed = False
+        for node_id in order:
+            if node_id == flowchart.start_id:
+                computed = dict(initial)
+            else:
+                computed = {}
+                for predecessor in predecessors[node_id]:
+                    merge(computed, out_state(predecessor))
+            if merge(in_state[node_id], computed):
+                changed = True
+
+    output_label: Label = frozenset()
+    for halt_id in flowchart.halt_ids():
+        state = in_state[halt_id]
+        output_label |= state.get(flowchart.output_variable, frozenset())
+        # Which halt is reached is information too.
+        output_label |= pc_label(halt_id)
+
+    certified = output_label <= policy.allowed
+    return CfgCertificate(certified, output_label, policy.allowed,
+                          iterations, in_state)

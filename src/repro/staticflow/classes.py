@@ -1,0 +1,75 @@
+"""Security-class lattices for static certification (Section 5).
+
+Section 5 points to Denning-style static information-flow analysis
+(Denning & Denning [3]); its security classes form a lattice.  For
+``allow(...)`` policies the natural lattice is the powerset of input
+indices ordered by inclusion — the same label algebra the surveillance
+mechanism tracks dynamically — but the certifier is written against the
+tiny :class:`SecurityLattice` interface so other lattices (e.g. the
+classic ``unclassified < secret < top-secret`` chain) plug in too.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Sequence, Tuple
+
+
+class SecurityLattice:
+    """A finite join-semilattice of security classes."""
+
+    def __init__(self, elements: Iterable, leq: Callable, join: Callable,
+                 bottom, name: str = "L") -> None:
+        self.elements = tuple(elements)
+        self._leq = leq
+        self._join = join
+        self.bottom = bottom
+        self.name = name
+
+    def leq(self, first, second) -> bool:
+        return self._leq(first, second)
+
+    def join(self, *items):
+        result = self.bottom
+        for item in items:
+            result = self._join(result, item)
+        return result
+
+    def __repr__(self) -> str:
+        return f"SecurityLattice({self.name}, {len(self.elements)} classes)"
+
+
+def powerset_lattice(arity: int) -> SecurityLattice:
+    """The powerset of {1..arity} under inclusion — labels as classes."""
+    import itertools
+
+    universe = range(1, arity + 1)
+    elements = [frozenset(c) for size in range(arity + 1)
+                for c in itertools.combinations(universe, size)]
+    return SecurityLattice(
+        elements,
+        leq=lambda a, b: a <= b,
+        join=lambda a, b: a | b,
+        bottom=frozenset(),
+        name=f"P({{1..{arity}}})",
+    )
+
+
+def chain_lattice(levels: Sequence[str]) -> SecurityLattice:
+    """A totally ordered lattice, e.g. ["unclassified", "secret", "top-secret"].
+
+    Fenton's two-point ``null < priv`` chain is ``chain_lattice(["null",
+    "priv"])``.
+    """
+    index = {level: i for i, level in enumerate(levels)}
+    return SecurityLattice(
+        levels,
+        leq=lambda a, b: index[a] <= index[b],
+        join=lambda a, b: a if index[a] >= index[b] else b,
+        bottom=levels[0],
+        name="<".join(levels),
+    )
+
+
+def label_of_indices(indices: Iterable[int]) -> FrozenSet[int]:
+    """Convenience: a powerset-lattice class from input indices."""
+    return frozenset(indices)

@@ -1,0 +1,181 @@
+"""Compile-time enforcement: policy-specialised programs (Section 5).
+
+    *Using static techniques to produce programs would result in
+    efficient security enforcement.  Of course, this requires that the
+    security policy be known at compile time ... A different compilation
+    would be required for each different security policy to be enforced
+    for a given program.*
+
+The static mechanism for (Q, I) is all-or-nothing: if the certifier
+passes Q for I, the mechanism is Q itself (zero runtime overhead); if
+not, the mechanism is "pull the plug" — unless a *program transform*
+rescues certification, which is the Section 5 technique Example 9
+illustrates.  :func:`compile_with_transforms` tries the paper's
+transforms before giving up, and reports which (if any) rescued the
+program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.domains import ProductDomain
+from ..core.mechanism import (ProtectionMechanism, null_mechanism,
+                              program_as_mechanism)
+from ..core.observability import VALUE_ONLY, OutputModel
+from ..core.policy import AllowPolicy
+from ..core.program import Program
+from ..flowchart.interpreter import DEFAULT_FUEL, as_program
+from ..flowchart.program import Flowchart
+from ..flowchart.structured import StructuredProgram
+from ..flowchart.transforms import (duplicate_assignment_transform,
+                                    find_ite_regions, ite_transform_all,
+                                    while_transform_all)
+from ..surveillance.dynamic import surveillance_mechanism
+from .certify import Certificate, certify
+
+
+def static_mechanism(program: StructuredProgram, policy: AllowPolicy,
+                     domain: ProductDomain,
+                     output_model: OutputModel = VALUE_ONLY,
+                     fuel: int = DEFAULT_FUEL,
+                     wrapped: Optional[Program] = None) -> ProtectionMechanism:
+    """The pure compile-time mechanism: Q if certified, else always-Λ."""
+    certificate = certify(program, policy)
+    flowchart = program.compile()
+    protected = wrapped if wrapped is not None else as_program(
+        flowchart, domain, output_model, fuel=fuel)
+    if certificate.certified:
+        mechanism = program_as_mechanism(protected)
+        mechanism.name = f"M-static({program.name}, {policy.name})"
+        return mechanism
+    mechanism = null_mechanism(protected)
+    mechanism.name = f"M-static-reject({program.name}, {policy.name})"
+    return mechanism
+
+
+class CompilationOutcome:
+    """What the transforming compiler produced for one policy."""
+
+    def __init__(self, mechanism: ProtectionMechanism,
+                 certificate: Certificate,
+                 transform_used: Optional[str],
+                 residual: Optional[Flowchart]) -> None:
+        self.mechanism = mechanism
+        self.certificate = certificate
+        self.transform_used = transform_used
+        self.residual = residual
+
+    def __repr__(self) -> str:
+        return (f"CompilationOutcome(transform={self.transform_used!r}, "
+                f"certified={self.certificate.certified})")
+
+
+def _flowchart_certified(flowchart: Flowchart, policy: AllowPolicy,
+                         domain: ProductDomain, fuel: int) -> bool:
+    """Certify a flowchart by running its surveillance mechanism over the
+    domain and checking it never issues a notice.
+
+    Transforms produce flowcharts (not structured programs); a flowchart
+    is statically acceptable exactly when its surveillance mechanism
+    accepts every input — Theorem 3 makes that sound, and exhaustive
+    acceptance makes it a compile-time fact for the finite domain.
+    """
+    mechanism = surveillance_mechanism(flowchart, policy, domain, fuel=fuel)
+    return all(mechanism.passes(*point) for point in domain)
+
+
+def compile_with_transforms(program: StructuredProgram, policy: AllowPolicy,
+                            domain: ProductDomain,
+                            output_model: OutputModel = VALUE_ONLY,
+                            fuel: int = DEFAULT_FUEL) -> CompilationOutcome:
+    """Section 5's transforming compiler.
+
+    Pipeline: certify Q directly; if rejected, try (in order) the
+    if-then-else transform, the while transform, and assignment
+    duplication, accepting the first functionally-equivalent rewrite
+    whose surveillance mechanism is violation-free on the domain.  If
+    a rewrite is violation-free, the compiled mechanism is the rewrite
+    itself run as a program (zero runtime checks); if only assignment
+    duplication helps partially, the compiled mechanism is the rewrite's
+    surveillance mechanism (Example 9's shape: a residual runtime test
+    of the disallowed guard only).
+    """
+    flowchart = program.compile()
+    protected = as_program(flowchart, domain, output_model, fuel=fuel)
+    certificate = certify(program, policy)
+    if certificate.certified:
+        mechanism = program_as_mechanism(protected)
+        mechanism.name = f"M-static({program.name}, {policy.name})"
+        return CompilationOutcome(mechanism, certificate, None, None)
+
+    candidates: List[Tuple[str, Flowchart]] = [("none", flowchart)]
+    try:
+        candidates.append(("ite", ite_transform_all(flowchart)))
+        candidates.append(
+            ("ite+identical",
+             ite_transform_all(flowchart, detect_identical_arms=True)))
+    except Exception:  # pragma: no cover - transform inapplicable
+        pass
+    try:
+        candidates.append(("while", while_transform_all(flowchart)))
+    except Exception:  # pragma: no cover - transform inapplicable
+        pass
+    for region in find_ite_regions(flowchart):
+        try:
+            candidates.append(
+                ("duplicate",
+                 duplicate_assignment_transform(flowchart, region)))
+        except Exception:
+            continue
+
+    # First pass: a rewrite certified violation-free compiles to itself.
+    for label, rewritten in candidates:
+        if _flowchart_certified(rewritten, policy, domain, fuel):
+            residual_program = as_program(rewritten, domain, output_model,
+                                          fuel=fuel)
+
+            def run_rewrite(*inputs, _residual=residual_program):
+                return _residual(*inputs)
+
+            mechanism = ProtectionMechanism(
+                run_rewrite, protected,
+                name=f"M-static-{label}({program.name}, {policy.name})")
+            return CompilationOutcome(mechanism, certificate, label, rewritten)
+
+    # Second pass: pick the rewrite whose surveillance mechanism accepts
+    # the most inputs (Example 9: duplication leaves a residual check).
+    best_label: Optional[str] = None
+    best_flowchart: Optional[Flowchart] = None
+    best_accepts = -1
+    for label, rewritten in candidates:
+        mechanism = surveillance_mechanism(rewritten, policy, domain,
+                                           fuel=fuel, program=protected)
+        accepts = len(mechanism.acceptance_set())
+        if accepts > best_accepts:
+            best_accepts = accepts
+            best_label = label
+            best_flowchart = rewritten
+
+    if best_flowchart is not None and best_accepts > 0:
+        mechanism = surveillance_mechanism(
+            best_flowchart, policy, domain, fuel=fuel, program=protected,
+            name=f"M-static-{best_label}-residual({program.name}, {policy.name})")
+        return CompilationOutcome(mechanism, certificate, best_label,
+                                  best_flowchart)
+
+    mechanism = null_mechanism(protected)
+    mechanism.name = f"M-static-reject({program.name}, {policy.name})"
+    return CompilationOutcome(mechanism, certificate, None, None)
+
+
+def compile_per_policy(program: StructuredProgram,
+                       policies: Sequence[AllowPolicy],
+                       domain: ProductDomain,
+                       fuel: int = DEFAULT_FUEL) -> Dict[str, CompilationOutcome]:
+    """One compilation per policy — the Section 5 deployment model."""
+    return {
+        policy.name: compile_with_transforms(program, policy, domain,
+                                             fuel=fuel)
+        for policy in policies
+    }

@@ -1,0 +1,160 @@
+"""Denning-style certification over *arbitrary* security-class lattices.
+
+Section 5 builds on Denning's lattice model [2] and Denning & Denning's
+certification [3].  The index-powerset certifier in
+:mod:`repro.staticflow.certify` is the instance the paper's allow(...)
+policies need; this module provides the general mechanism: every
+variable is bound to a class of an arbitrary
+:class:`~repro.staticflow.classes.SecurityLattice`, flows must be
+non-decreasing in the lattice order, and a program is certified for a
+clearance iff every flow into every *sink* variable stays ≤ its bound.
+
+Classic instance: the military chain ``unclassified < secret <
+top-secret`` with per-variable clearances — the model Bell [1] and
+Denning [2] study, which the paper's framework subsumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.errors import PolicyError
+from ..flowchart.structured import (Assign, If, Skip, Stmt,
+                                    StructuredProgram, While)
+from .classes import SecurityLattice
+
+
+class ClassAssignment:
+    """Binding of program variables to lattice classes.
+
+    ``sources`` fixes input classes (where data *comes from*);
+    ``clearances`` bounds sink variables (what may *flow into* them).
+    Unlisted variables are unconstrained sinks and bottom-class sources.
+    """
+
+    def __init__(self, lattice: SecurityLattice,
+                 sources: Mapping[str, object],
+                 clearances: Mapping[str, object]) -> None:
+        for mapping in (sources, clearances):
+            for variable, security_class in mapping.items():
+                if security_class not in lattice.elements:
+                    raise PolicyError(
+                        f"{security_class!r} is not a class of "
+                        f"{lattice.name} (variable {variable!r})")
+        self.lattice = lattice
+        self.sources = dict(sources)
+        self.clearances = dict(clearances)
+
+    def source_class(self, variable: str):
+        return self.sources.get(variable, self.lattice.bottom)
+
+    def __repr__(self) -> str:
+        return (f"ClassAssignment({self.lattice.name}, "
+                f"sources={self.sources}, clearances={self.clearances})")
+
+
+class DenningAnalysis:
+    """Computed class of every variable, plus per-clearance verdicts."""
+
+    def __init__(self, classes: Dict[str, object],
+                 violations: Tuple[Tuple[str, object, object], ...]) -> None:
+        self.classes = dict(classes)
+        self.violations = violations
+
+    @property
+    def certified(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:
+        verdict = ("CERTIFIED" if self.certified
+                   else f"violations={list(self.violations)}")
+        return f"DenningAnalysis({verdict})"
+
+
+def certify_lattice(program: StructuredProgram,
+                    assignment: ClassAssignment) -> DenningAnalysis:
+    """Certify a structured program against a class assignment.
+
+    Abstract interpretation over the lattice: an assignment's class is
+    the join of its operands' classes and the governing guards' classes
+    (implicit flow, including across loop iterations to a fixpoint);
+    branches merge by join.  A violation is any variable whose final
+    class exceeds its clearance.
+    """
+    lattice = assignment.lattice
+    classes: Dict[str, object] = {}
+    for variable in program.input_variables:
+        classes[variable] = assignment.source_class(variable)
+
+    def read_class(env: Dict[str, object], names) -> object:
+        result = lattice.bottom
+        for name in names:
+            result = lattice.join(result, env.get(name, lattice.bottom))
+        return result
+
+    def merge(first: Dict[str, object],
+              second: Dict[str, object]) -> Dict[str, object]:
+        merged = dict(first)
+        for name, security_class in second.items():
+            merged[name] = lattice.join(
+                merged.get(name, lattice.bottom), security_class)
+        return merged
+
+    def transfer(body, env: Dict[str, object], pc) -> Dict[str, object]:
+        for statement in body:
+            env = transfer_stmt(statement, env, pc)
+        return env
+
+    def transfer_stmt(statement: Stmt, env: Dict[str, object],
+                      pc) -> Dict[str, object]:
+        if isinstance(statement, Skip):
+            return env
+        if isinstance(statement, Assign):
+            out = dict(env)
+            out[statement.target] = lattice.join(
+                read_class(env, statement.expression.variables()), pc)
+            return out
+        if isinstance(statement, If):
+            guard = read_class(env, statement.predicate.variables())
+            inner_pc = lattice.join(pc, guard)
+            return merge(transfer(statement.then_body, dict(env), inner_pc),
+                         transfer(statement.else_body, dict(env), inner_pc))
+        if isinstance(statement, While):
+            current = dict(env)
+            while True:
+                guard = read_class(current,
+                                   statement.predicate.variables())
+                body_env = transfer(statement.body, dict(current),
+                                    lattice.join(pc, guard))
+                merged = merge(current, body_env)
+                if merged == current:
+                    return merged
+                current = merged
+        raise TypeError(f"unknown statement {statement!r}")
+
+    final = transfer(program.body, classes, lattice.bottom)
+
+    violations = []
+    for variable, bound in assignment.clearances.items():
+        actual = final.get(variable, lattice.bottom)
+        if not lattice.leq(actual, bound):
+            violations.append((variable, actual, bound))
+    return DenningAnalysis(final, tuple(violations))
+
+
+def military_assignment(program: StructuredProgram,
+                        sources: Mapping[str, str],
+                        output_clearance: str,
+                        levels: Tuple[str, ...] = ("unclassified",
+                                                   "secret",
+                                                   "top-secret")) -> ClassAssignment:
+    """Convenience builder for the classic military chain.
+
+    ``sources`` maps input variables to level names; the output variable
+    gets ``output_clearance`` as its bound.
+    """
+    from .classes import chain_lattice
+
+    lattice = chain_lattice(list(levels))
+    return ClassAssignment(lattice, sources,
+                           {program.output_variable: output_clearance})

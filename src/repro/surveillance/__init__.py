@@ -1,0 +1,26 @@
+"""The surveillance protection mechanism of Section 3, in three forms.
+
+- :mod:`~repro.surveillance.dynamic` — interpreter-level label tracking
+  (the workhorse), including the timed M′ of Theorem 3′;
+- :mod:`~repro.surveillance.instrument` — the paper's literal
+  flowchart-to-flowchart construction (rules 1–4);
+- :mod:`~repro.surveillance.highwater` — the high-water-mark baseline
+  (no forgetting) used in the page-48 comparison.
+"""
+
+from .labels import (EMPTY, Label, from_mask, join, mask_subset, permitted,
+                     singleton, to_mask)
+from .dynamic import (SurveillanceRun, surveil, surveillance_mechanism,
+                      timed_surveillance_mechanism)
+from .highwater import highwater_mechanism
+from .instrument import (PC_LABEL, VIOLATION_FLAG, instrument,
+                         instrumented_mechanism, surveillance_variable)
+
+__all__ = [
+    "Label", "EMPTY", "singleton", "join", "permitted", "to_mask",
+    "from_mask", "mask_subset",
+    "SurveillanceRun", "surveil", "surveillance_mechanism",
+    "timed_surveillance_mechanism", "highwater_mechanism",
+    "instrument", "instrumented_mechanism", "surveillance_variable",
+    "PC_LABEL", "VIOLATION_FLAG",
+]

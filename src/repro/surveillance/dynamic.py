@@ -1,0 +1,211 @@
+"""The surveillance protection mechanism, interpreter-level (Section 3).
+
+This is the semantic twin of the literal flowchart instrumentation in
+:mod:`repro.surveillance.instrument` (their outputs agree input-for-input
+— an ablation the test suite and bench E04 verify).  The interpreter
+tracks, alongside each variable's value, its surveillance label, plus
+the label of the program counter C:
+
+- start box: ``x̄_i = {i}``, every other label ∅, ``C̄ = ∅``;
+- assignment ``v := E(w1..wp)``: ``v̄ := w̄1 ∪ ... ∪ w̄p ∪ C̄``
+  (labels *replace* — surveillance "allows forgetting"; the high-water
+  variant accumulates instead);
+- decision ``B(w1..wp)``: ``C̄ := C̄ ∪ w̄1 ∪ ... ∪ w̄p``;
+- halt: output ``y`` if ``ȳ ∪ C̄ ⊆ J`` else the violation notice Λ.
+  (C̄ participates in the halt check: *which* halt is reached — and
+  hence whether a notice appears at all — is itself information, and a
+  sound mechanism's notice decisions may depend only on allowed data,
+  Example 4.)
+
+The *timed* variant (Theorem 3′) additionally halts with Λ the moment a
+test involving a disallowed label is about to be taken — before
+evaluating it — so the mechanism's running time never depends on
+disallowed data.
+
+Violation notices and observable time: when the protecting mechanism is
+built for a time-observable program, a notice issued after t steps is
+the notice ``Λ@t`` — notices issued at different times are different
+outputs, exactly as the Observability Postulate demands.  This is what
+makes the untimed mechanism demonstrably unsound under observable time
+(Theorem 3's proviso) and the timed one sound (Theorem 3′).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from ..core.domains import ProductDomain
+from ..core.errors import ArityMismatchError, FuelExhaustedError
+from ..core.mechanism import ProtectionMechanism, ViolationNotice
+from ..core.observability import VALUE_AND_TIME, VALUE_ONLY, OutputModel
+from ..core.policy import AllowPolicy
+from ..core.program import Program
+from ..flowchart.boxes import AssignBox, DecisionBox, HaltBox
+from ..flowchart.interpreter import DEFAULT_FUEL, as_program, initial_environment
+from ..flowchart.program import Flowchart
+from .labels import EMPTY, Label, join, permitted, singleton
+
+
+class SurveillanceRun:
+    """One surveilled execution: outcome, timing, and final labels."""
+
+    __slots__ = ("outcome", "steps", "labels", "pc_label", "halted_early")
+
+    def __init__(self, outcome: Union[int, ViolationNotice], steps: int,
+                 labels: Dict[str, Label], pc_label: Label,
+                 halted_early: bool) -> None:
+        self.outcome = outcome
+        self.steps = steps
+        self.labels = labels
+        self.pc_label = pc_label
+        self.halted_early = halted_early
+
+    @property
+    def violated(self) -> bool:
+        return isinstance(self.outcome, ViolationNotice)
+
+    def __repr__(self) -> str:
+        return (f"SurveillanceRun(outcome={self.outcome!r}, "
+                f"steps={self.steps}, early={self.halted_early})")
+
+
+def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
+            timed: bool = False, forgetting: bool = True,
+            fuel: int = DEFAULT_FUEL) -> SurveillanceRun:
+    """Run ``flowchart`` under surveillance for ``allow(allowed)``.
+
+    Parameters
+    ----------
+    allowed:
+        The policy's J — the set of 1-based input indices the user may
+        learn.
+    timed:
+        Theorem 3′ behaviour: halt with a violation *before* evaluating
+        any test whose variables carry a disallowed label.
+    forgetting:
+        True gives the paper's surveillance (assignment replaces the
+        label); False gives the high-water-mark mechanism (labels only
+        accumulate) for the page-48 comparison.
+    """
+    if len(inputs) != flowchart.arity:
+        raise ArityMismatchError(
+            f"flowchart {flowchart.name} takes {flowchart.arity} inputs, "
+            f"got {len(inputs)}"
+        )
+    env = initial_environment(flowchart, inputs)
+    labels: Dict[str, Label] = {name: EMPTY for name in env}
+    for position, name in enumerate(flowchart.input_variables, 1):
+        labels[name] = singleton(position)
+    pc_label: Label = EMPTY
+
+    steps = 0
+    current = flowchart.boxes[flowchart.start_id].successors()[0]
+    while True:
+        if steps >= fuel:
+            raise FuelExhaustedError(fuel,
+                                     f"surveilled {flowchart.name} exceeded "
+                                     f"{fuel} steps on {tuple(inputs)!r}")
+        box = flowchart.boxes[current]
+        steps += 1
+        if isinstance(box, HaltBox):
+            # Rule 4: the halt check is ȳ ∪ C̄ ⊆ J.  C̄ must participate:
+            # reaching *this* halt (rather than issuing a notice on some
+            # other path) is itself information, and Example 4 demands
+            # that "any decision made by M to output a violation notice
+            # can depend only on allowed information".
+            output_label = join(labels[flowchart.output_variable], pc_label)
+            if permitted(output_label, allowed):
+                outcome: Union[int, ViolationNotice] = env[flowchart.output_variable]
+            else:
+                outcome = ViolationNotice("Λ")
+            return SurveillanceRun(outcome, steps, dict(labels), pc_label,
+                                   halted_early=False)
+        if isinstance(box, AssignBox):
+            incoming = join(*(labels[name] for name in box.expression.variables()),
+                            pc_label)
+            if forgetting:
+                labels[box.target] = incoming
+            else:
+                labels[box.target] = join(labels[box.target], incoming)
+            env[box.target] = box.expression.eval(env)
+            current = box.next
+        elif isinstance(box, DecisionBox):
+            test_label = join(*(labels[name] for name in box.predicate.variables()))
+            if timed and not permitted(test_label, allowed):
+                # Theorem 3': a disallowed variable is about to be
+                # tested — halt immediately with a violation notice.
+                return SurveillanceRun(ViolationNotice("Λ"), steps,
+                                       dict(labels), pc_label,
+                                       halted_early=True)
+            pc_label = join(pc_label, test_label)
+            current = box.true_next if box.predicate.eval(env) else box.false_next
+        else:  # pragma: no cover - StartBox is never re-entered
+            current = box.successors()[0]
+
+
+def _allowed_of(policy: AllowPolicy) -> Label:
+    if not isinstance(policy, AllowPolicy):
+        raise TypeError(
+            "the surveillance mechanism is defined for allow(...) policies; "
+            f"got {type(policy).__name__}"
+        )
+    return policy.allowed
+
+
+def surveillance_mechanism(flowchart: Flowchart, policy: AllowPolicy,
+                           domain: ProductDomain,
+                           output_model: OutputModel = VALUE_ONLY,
+                           timed: bool = False, forgetting: bool = True,
+                           fuel: int = DEFAULT_FUEL,
+                           program: Optional[Program] = None,
+                           name: Optional[str] = None) -> ProtectionMechanism:
+    """Build the surveillance protection mechanism for (Q, allow(J)).
+
+    ``output_model`` declares what the user observes of the *protected
+    program* Q: with :data:`VALUE_AND_TIME`, Q's output is
+    ``(value, steps)`` and the mechanism's violation notices are
+    time-stamped (``Λ@t``), so time leaks through either channel are
+    visible to the soundness checker.
+
+    ``program`` may supply an existing Program wrapper for Q (so several
+    mechanisms protect the *same* Program object); otherwise one is
+    created from the flowchart.
+    """
+    allowed = _allowed_of(policy)
+    if policy.arity != flowchart.arity:
+        raise ArityMismatchError(
+            f"policy arity {policy.arity} != flowchart arity {flowchart.arity}"
+        )
+    protected = program if program is not None else as_program(
+        flowchart, domain, output_model, fuel=fuel)
+
+    time_observable = output_model.time_observable
+
+    def mechanism_fn(*inputs):
+        run = surveil(flowchart, inputs, allowed, timed=timed,
+                      forgetting=forgetting, fuel=fuel)
+        if run.violated:
+            if time_observable:
+                # Notices issued at different times are different
+                # outputs (Observability Postulate).
+                return ViolationNotice(f"Λ@{run.steps}")
+            return run.outcome
+        if time_observable:
+            return (run.outcome, run.steps)
+        return run.outcome
+
+    variant = "M'" if timed else ("M-hw" if not forgetting else "M-s")
+    label = name or f"{variant}({flowchart.name}, {policy.name})"
+    return ProtectionMechanism(mechanism_fn, protected, name=label)
+
+
+def timed_surveillance_mechanism(flowchart: Flowchart, policy: AllowPolicy,
+                                 domain: ProductDomain,
+                                 output_model: OutputModel = VALUE_AND_TIME,
+                                 fuel: int = DEFAULT_FUEL,
+                                 program: Optional[Program] = None,
+                                 name: Optional[str] = None) -> ProtectionMechanism:
+    """Theorem 3′'s M′ — sound even when running times are observable."""
+    return surveillance_mechanism(flowchart, policy, domain,
+                                  output_model=output_model, timed=True,
+                                  fuel=fuel, program=program, name=name)

@@ -1,0 +1,15 @@
+"""Turing machines and Ruzzo's observations (Section 4)."""
+
+from .machine import (BLANK, HALT_STATE, Move, TMResult, Transitions,
+                      TuringMachine, tape_ones)
+from .zoo import behaviour_sample, machine, total_machines
+from .ruzzo import (halting_verdicts, maximal_rejects, ruzzo_program,
+                    soundness_is_constancy)
+
+__all__ = [
+    "TuringMachine", "TMResult", "Transitions", "Move", "BLANK",
+    "HALT_STATE", "tape_ones",
+    "machine", "total_machines", "behaviour_sample",
+    "ruzzo_program", "maximal_rejects", "halting_verdicts",
+    "soundness_is_constancy",
+]

@@ -1,0 +1,118 @@
+"""A deterministic single-tape Turing machine (Section 4, Ruzzo).
+
+Ruzzo's observation needs real machines: *"Letting Q(x1, x2) = if the
+i-th Turing machine on input x1 halts after exactly x2 steps then 1
+else 0, we see that M(x1, x2) = Λ if and only if the i-th Turing
+machine halts on x1.  Certainly this is not a recursive function."*
+
+The machine model: bi-infinite tape over {0, 1, blank}, states
+addressed by index, transitions ``(state, symbol) -> (state', symbol',
+move)``.  Inputs are written in unary (``n`` ones) starting at the
+head.  All runs are step-bounded, so every question we ask is the
+*step-bounded* (decidable) projection of Ruzzo's — which is exactly the
+point: the unbounded question is the non-recursive one.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import ExecutionError
+
+BLANK = 2  # tape alphabet: 0, 1, blank
+
+
+class Move(enum.IntEnum):
+    LEFT = -1
+    STAY = 0
+    RIGHT = 1
+
+
+#: transitions[(state, symbol)] = (next_state, write_symbol, move)
+Transitions = Dict[Tuple[int, int], Tuple[int, int, Move]]
+
+HALT_STATE = -1
+
+
+class TuringMachine:
+    """A validated deterministic TM; state 0 is initial, -1 is halt."""
+
+    def __init__(self, transitions: Transitions, state_count: int,
+                 name: str = "tm") -> None:
+        self.transitions = dict(transitions)
+        self.state_count = state_count
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.state_count < 1:
+            raise ExecutionError("a machine needs at least one state")
+        for (state, symbol), (next_state, write, move) in self.transitions.items():
+            if not (0 <= state < self.state_count):
+                raise ExecutionError(f"bad source state {state}")
+            if symbol not in (0, 1, BLANK):
+                raise ExecutionError(f"bad read symbol {symbol}")
+            if next_state != HALT_STATE and not (
+                    0 <= next_state < self.state_count):
+                raise ExecutionError(f"bad target state {next_state}")
+            if write not in (0, 1, BLANK):
+                raise ExecutionError(f"bad write symbol {write}")
+            if not isinstance(move, Move):
+                raise ExecutionError(f"bad move {move!r}")
+
+    def run(self, input_value: int, max_steps: int) -> "TMResult":
+        """Run on unary input; return halting status within the bound.
+
+        A missing transition halts the machine (convention: implicit
+        halt), counting the step that discovered it.
+        """
+        if input_value < 0:
+            raise ExecutionError("unary inputs are non-negative")
+        tape: Dict[int, int] = {offset: 1 for offset in range(input_value)}
+        head = 0
+        state = 0
+        steps = 0
+        while steps < max_steps:
+            symbol = tape.get(head, BLANK)
+            action = self.transitions.get((state, symbol))
+            steps += 1
+            if action is None:
+                return TMResult(True, steps, tape_ones(tape))
+            next_state, write, move = action
+            if write == BLANK:
+                tape.pop(head, None)
+            else:
+                tape[head] = write
+            head += int(move)
+            if next_state == HALT_STATE:
+                return TMResult(True, steps, tape_ones(tape))
+            state = next_state
+        return TMResult(False, steps, tape_ones(tape))
+
+    def halts_after_exactly(self, input_value: int, step_count: int) -> bool:
+        """Ruzzo's predicate: halts on the input after exactly n steps."""
+        result = self.run(input_value, max_steps=step_count + 1)
+        return result.halted and result.steps == step_count
+
+    def __repr__(self) -> str:
+        return (f"TuringMachine({self.name}: {self.state_count} states, "
+                f"{len(self.transitions)} transitions)")
+
+
+def tape_ones(tape: Dict[int, int]) -> int:
+    """Number of 1s left on the tape (the machine's unary 'output')."""
+    return sum(1 for symbol in tape.values() if symbol == 1)
+
+
+class TMResult:
+    __slots__ = ("halted", "steps", "output")
+
+    def __init__(self, halted: bool, steps: int, output: int) -> None:
+        self.halted = halted
+        self.steps = steps
+        self.output = output
+
+    def __repr__(self) -> str:
+        status = "halted" if self.halted else "running"
+        return f"TMResult({status} after {self.steps} steps, out={self.output})"

@@ -1,0 +1,109 @@
+"""Ruzzo's observations, made executable (Section 4).
+
+Two results attributed to Ruzzo:
+
+1. *Soundness of a given mechanism is undecidable* — since Q is sound
+   for (Q, allow()) iff Q is constant, and constancy of a computable
+   function is undecidable.
+2. *The maximal sound mechanism need not be recursive* — with
+   ``Q(x1, x2) = 1 if the x1-th machine halts after exactly x2 steps
+   else 0`` and ``allow(1)``, the maximal mechanism outputs Λ at x1 iff
+   machine x1 halts at all: the halting problem.
+
+Both are Π1/Σ1 statements; what *is* executable is their step-bounded
+projection, and the projection exhibits the instability that proves the
+point: enlarging the step window flips verdicts, so no bounded check
+computes the true maximal mechanism.  :func:`ruzzo_program` builds Q
+from the real machine enumeration; :func:`halting_verdicts` charts the
+window-dependence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.domains import Domain, ProductDomain
+from ..core.mechanism import is_violation
+from ..core.maximal import maximal_mechanism
+from ..core.policy import allow
+from ..core.program import Program
+from .zoo import machine
+
+
+def ruzzo_program(machine_indices: Sequence[int], max_steps: int,
+                  state_count: int = 2) -> Program:
+    """Q(x1, x2) = 1 iff machine x1 halts on input x1 after exactly x2 steps.
+
+    ``x2`` ranges over ``0..max_steps``; the machine runs its own index
+    (in unary) as input, the classic diagonal convention.
+    """
+    machines = {index: machine(index, state_count)
+                for index in machine_indices}
+    domain = ProductDomain(
+        Domain(list(machine_indices), name="Machine"),
+        Domain.integers(0, max_steps, name="Steps"),
+    )
+
+    def q(x1: int, x2: int) -> int:
+        return 1 if machines[x1].halts_after_exactly(x1, x2) else 0
+
+    return Program(q, domain, name=f"Q-ruzzo[≤{max_steps}]")
+
+
+def maximal_rejects(machine_indices: Sequence[int], max_steps: int,
+                    state_count: int = 2) -> Dict[int, bool]:
+    """For each machine index: does the (window-bounded) maximal
+    mechanism output Λ on its row?
+
+    True iff the machine halts within the window — the maximal
+    mechanism *is* a halting oracle on rows where the window suffices,
+    and wrong on rows where it does not; that gap is non-recursiveness
+    seen from below.
+    """
+    program = ruzzo_program(machine_indices, max_steps, state_count)
+    construction = maximal_mechanism(program, allow(1, arity=2))
+    verdicts: Dict[int, bool] = {}
+    for index in machine_indices:
+        verdicts[index] = is_violation(construction.mechanism(index, 0))
+    return verdicts
+
+
+def halting_verdicts(machine_indices: Sequence[int],
+                     windows: Sequence[int],
+                     state_count: int = 2) -> List[Tuple[int, Dict[int, bool]]]:
+    """``maximal_rejects`` across growing step windows.
+
+    A machine that halts in ``k`` steps flips its row's verdict once the
+    window reaches ``k``; a non-halting machine's row never flips —
+    and no bounded procedure can tell "never" from "not yet".
+    """
+    return [(window, maximal_rejects(machine_indices, window, state_count))
+            for window in windows]
+
+
+def soundness_is_constancy(machine_index: int, input_range: int,
+                           max_steps: int,
+                           state_count: int = 2) -> Tuple[bool, bool]:
+    """Ruzzo's first observation, instantiated.
+
+    Let Qi(x) = 1 if machine i halts on x within the step budget else 0.
+    Returns (is_constant_on_window, judged_sound_for_allow_none) — equal
+    by construction, which is the reduction: deciding soundness decides
+    constancy.
+    """
+    from ..core.mechanism import program_as_mechanism
+    from ..core.policy import allow_none
+    from ..core.soundness import check_soundness
+
+    tm = machine(machine_index, state_count)
+    domain = ProductDomain(Domain.integers(0, input_range, name="X"))
+
+    def qi(x: int) -> int:
+        return 1 if tm.run(x, max_steps).halted else 0
+
+    program = Program(qi, domain, name=f"Q{machine_index}")
+    outputs = {program(x) for (x,) in domain}
+    constant = len(outputs) == 1
+    sound = check_soundness(program_as_mechanism(program),
+                            allow_none(1)).sound
+    return constant, sound

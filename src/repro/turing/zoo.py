@@ -1,0 +1,70 @@
+"""An effective enumeration of Turing machines (the "i-th machine").
+
+Ruzzo's construction quantifies over *the i-th Turing machine*; for the
+finite-projection experiments we need a concrete, deterministic
+enumeration.  :func:`machine` decodes an index into a machine over a
+small state budget: the index's base-B digits fill the transition table
+in a fixed order.  The enumeration is surjective onto that budget's
+machines and stable across runs, which is all the experiments need —
+some indices halt fast, some loop forever, some depend on their input,
+exactly the behavioural diversity the halting question lives on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .machine import BLANK, HALT_STATE, Move, Transitions, TuringMachine
+
+#: Per-(state, symbol) action space: next_state in {0..S-1, HALT},
+#: write in {0, 1, BLANK}, move in {L, S, R}; plus "no transition".
+_SYMBOLS = (0, 1, BLANK)
+_MOVES = (Move.LEFT, Move.STAY, Move.RIGHT)
+
+
+def _action_space(state_count: int):
+    actions = [None]  # "no transition" = implicit halt
+    for next_state in list(range(state_count)) + [HALT_STATE]:
+        for write in _SYMBOLS:
+            for move in _MOVES:
+                actions.append((next_state, write, move))
+    return actions
+
+
+def machine(index: int, state_count: int = 2) -> TuringMachine:
+    """The ``index``-th machine with the given state budget.
+
+    The index's digits (base = size of the per-cell action space)
+    select an action for each (state, symbol) cell in a fixed order.
+    """
+    if index < 0:
+        raise ValueError("machine indices are non-negative")
+    actions = _action_space(state_count)
+    base = len(actions)
+    transitions: Transitions = {}
+    remaining = index
+    for state in range(state_count):
+        for symbol in _SYMBOLS:
+            action = actions[remaining % base]
+            remaining //= base
+            if action is not None:
+                transitions[(state, symbol)] = action
+    return TuringMachine(transitions, state_count, name=f"tm#{index}")
+
+
+def total_machines(state_count: int = 2) -> int:
+    """Size of the enumeration's period for a state budget."""
+    base = len(_action_space(state_count))
+    return base ** (state_count * len(_SYMBOLS))
+
+
+def behaviour_sample(indices, input_value: int,
+                     max_steps: int) -> Dict[int, Tuple[bool, int]]:
+    """(halted?, steps) for each machine index — used by tests to show
+    the enumeration actually contains halting, looping, and slow
+    machines."""
+    result = {}
+    for index in indices:
+        run = machine(index).run(input_value, max_steps)
+        result[index] = (run.halted, run.steps)
+    return result

@@ -1,0 +1,12 @@
+"""Verification harness: domain sweeps and experiment-table rendering."""
+
+from .enumerate import (SweepResult, all_allow_policies, default_grid,
+                        sampled_soundness, soundness_sweep,
+                        unsound_results)
+from .report import Table, banner
+
+__all__ = [
+    "all_allow_policies", "default_grid", "soundness_sweep",
+    "SweepResult", "unsound_results", "sampled_soundness", "Table",
+    "banner",
+]

@@ -1,0 +1,97 @@
+"""Domain-sweep helpers shared by tests and benches.
+
+Soundness and completeness are ∀-statements; these helpers run the
+standard sweeps — every (program, policy) pair over a grid — and
+collect the verdicts, so tests/benches state *what* to sweep, not how.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.domains import ProductDomain
+from ..core.policy import AllowPolicy, allow
+from ..core.soundness import check_soundness
+from ..flowchart.interpreter import DEFAULT_FUEL
+from ..flowchart.program import Flowchart
+
+
+def all_allow_policies(arity: int) -> List[AllowPolicy]:
+    """Every allow(...) policy for a k-ary program (2^k of them)."""
+    import itertools
+
+    policies = []
+    indices = range(1, arity + 1)
+    for size in range(arity + 1):
+        for subset in itertools.combinations(indices, size):
+            policies.append(allow(*subset, arity=arity))
+    return policies
+
+
+def default_grid(arity: int, low: int = 0, high: int = 2) -> ProductDomain:
+    """The standard small grid used by sweeps (3^k points by default)."""
+    return ProductDomain.integer_grid(low, high, arity)
+
+
+class SweepResult:
+    """One (program, policy, mechanism) soundness verdict."""
+
+    def __init__(self, program_name: str, policy_name: str,
+                 mechanism_name: str, sound: bool,
+                 accepts: int, domain_size: int) -> None:
+        self.program_name = program_name
+        self.policy_name = policy_name
+        self.mechanism_name = mechanism_name
+        self.sound = sound
+        self.accepts = accepts
+        self.domain_size = domain_size
+
+    def __repr__(self) -> str:
+        return (f"SweepResult({self.program_name}, {self.policy_name}: "
+                f"sound={self.sound}, accepts={self.accepts}/{self.domain_size})")
+
+
+def soundness_sweep(flowcharts: Sequence[Flowchart],
+                    mechanism_factory: Callable,
+                    grid: Optional[Callable[[int], ProductDomain]] = None,
+                    fuel: int = DEFAULT_FUEL) -> List[SweepResult]:
+    """Check a mechanism family on every flowchart × every allow policy.
+
+    ``mechanism_factory(flowchart, policy, domain)`` builds the
+    mechanism under test; ``grid(arity)`` supplies the domain (default
+    :func:`default_grid`).  Returns one verdict per combination — the
+    empirical content of Theorems 3/3′.
+    """
+    grid = grid or default_grid
+    results: List[SweepResult] = []
+    for flowchart in flowcharts:
+        domain = grid(flowchart.arity)
+        for policy in all_allow_policies(flowchart.arity):
+            mechanism = mechanism_factory(flowchart, policy, domain)
+            report = check_soundness(mechanism, policy, domain)
+            accepts = sum(1 for point in domain if mechanism.passes(*point))
+            results.append(SweepResult(
+                flowchart.name, policy.name, mechanism.name,
+                report.sound, accepts, len(domain)))
+    return results
+
+
+def unsound_results(results: Iterable[SweepResult]) -> List[SweepResult]:
+    """Filter a sweep down to its failures (empty for a sound family)."""
+    return [result for result in results if not result.sound]
+
+
+def sampled_soundness(mechanism, policy, domain=None, samples: int = 1000,
+                      seed: int = 0):
+    """Soundness check by sampling — for domains too large to enumerate.
+
+    Draws ``samples`` pseudo-random points (deterministic per seed) and
+    runs the factorization check on them.  A returned witness is a real
+    unsoundness proof; a "sound" verdict is only evidence (the full
+    check is a ∀ statement — Theorem 4 territory).
+    """
+    from ..core.soundness import check_soundness
+
+    domain = domain if domain is not None else mechanism.domain
+    points = list(domain.sample(samples, seed=seed))
+    return check_soundness(mechanism, policy, points)

@@ -1,0 +1,79 @@
+"""Plain-text experiment tables shared by the benchmark harness.
+
+Every bench prints its reproduced "table/figure" through
+:class:`Table`, so EXPERIMENTS.md rows and bench output line up
+column-for-column.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+class Table:
+    """A fixed-column text table with aligned rendering."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values, **named) -> None:
+        """Add a row positionally or by column name (not both)."""
+        if values and named:
+            raise ValueError("pass positional values or named values, not both")
+        if named:
+            values = tuple(named[column] for column in self.columns)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.columns)} columns")
+        self.rows.append([_render_cell(value) for value in values])
+
+    def add_dict(self, row: dict) -> None:
+        """Add a row from a dict keyed by column names."""
+        self.add_row(*(row[column] for column in self.columns))
+
+    def to_csv(self) -> str:
+        """The table as CSV (header + rows), for machine consumption."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def render(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        header = " | ".join(column.ljust(width)
+                            for column, width in zip(self.columns, widths))
+        rule = "-+-".join("-" * width for width in widths)
+        lines = [self.title, header, rule]
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(width)
+                                    for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def banner(text: str) -> None:
+    """Print a section banner (used between bench phases)."""
+    print()
+    print("=" * max(20, len(text)))
+    print(text)
+    print("=" * max(20, len(text)))

@@ -1,0 +1,164 @@
+"""Unit tests for repro.capability — Section 6 / Example 6."""
+
+import pytest
+
+from repro.core import check_soundness, is_violation
+from repro.core.errors import DomainError
+from repro.capability import (Capability, CList, ConstOp, ReadOp, STAT,
+                              Script, StatOp, SumOp, capability_monitor,
+                              information_audit, intended_policy,
+                              object_domain, script_program)
+
+OBJECTS = ("public", "secret")
+
+
+def clist_with(*capabilities):
+    return CList(capabilities)
+
+
+class TestCList:
+    def test_permits(self):
+        clist = clist_with(Capability("public", ["read", "stat"]))
+        assert clist.permits("public", "read")
+        assert not clist.permits("public", "write")
+        assert not clist.permits("secret", "read")
+
+    def test_rights_merge_across_capabilities(self):
+        clist = clist_with(Capability("a", ["read"]),
+                           Capability("a", ["stat"]))
+        assert clist.rights_on("a") == {"read", "stat"}
+
+    def test_grant_and_restrict_are_functional(self):
+        base = clist_with(Capability("a", ["read", "stat"]))
+        restricted = base.restrict("a", ["read"])
+        assert base.permits("a", "read")            # original untouched
+        assert not restricted.permits("a", "read")
+        assert restricted.permits("a", "stat")
+        regranted = restricted.grant(Capability("a", ["read"]))
+        assert regranted.permits("a", "read")
+
+    def test_restrict_to_nothing_drops_object(self):
+        base = clist_with(Capability("a", ["stat"]))
+        assert base.restrict("a", ["stat"]).objects() == ()
+
+    def test_unknown_right_rejected(self):
+        with pytest.raises(DomainError):
+            Capability("a", ["execute"])
+
+
+class TestOperations:
+    STORE = {"public": 2, "secret": 1}
+
+    def test_read(self):
+        assert ReadOp("secret").evaluate(self.STORE) == 1
+        assert ReadOp("secret").required() == (("secret", "read"),)
+
+    def test_stat_depends_on_contents(self):
+        assert StatOp("secret").evaluate({"secret": 0}) == 0
+        assert StatOp("secret").evaluate({"secret": 3}) == 1
+        assert StatOp("secret").required() == (("secret", STAT),)
+
+    def test_sum(self):
+        operation = SumOp(["public", "secret"])
+        assert operation.evaluate(self.STORE) == 3
+        assert set(operation.reads()) == {"public", "secret"}
+
+    def test_const_requires_nothing(self):
+        assert ConstOp(7).required() == ()
+        assert ConstOp(7).evaluate({}) == 7
+
+    def test_script_reads_union(self):
+        script = Script([ReadOp("public"), StatOp("secret")])
+        assert script.reads() == {"public", "secret"}
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(DomainError):
+            Script([])
+
+
+class TestMonitor:
+    def test_permitted_script_runs(self):
+        clist = clist_with(Capability("public", ["read"]))
+        script = Script([ReadOp("public")], name="read-public")
+        monitor = capability_monitor(script, clist, OBJECTS)
+        assert monitor(2, 1) == 2
+
+    def test_denied_script_gives_notice(self):
+        clist = clist_with(Capability("public", ["read"]))
+        script = Script([ReadOp("secret")], name="read-secret")
+        monitor = capability_monitor(script, clist, OBJECTS)
+        output = monitor(2, 1)
+        assert is_violation(output)
+        assert "read" in str(output) and "secret" in str(output)
+
+    def test_notice_independent_of_contents(self):
+        """The monitor's decision reads only the C-list — its notices
+        cannot leak contents (contrast Example 4's monitors)."""
+        clist = CList()
+        script = Script([ReadOp("secret")])
+        monitor = capability_monitor(script, clist, OBJECTS)
+        notices = {str(monitor(*point)) for point in monitor.domain}
+        assert len(notices) == 1
+
+    def test_contract(self):
+        clist = clist_with(Capability("public", ["read"]),
+                           Capability("secret", ["stat"]))
+        script = Script([ReadOp("public"), StatOp("secret")])
+        capability_monitor(script, clist, OBJECTS).check_contract()
+
+    def test_script_over_unknown_object_rejected(self):
+        with pytest.raises(DomainError):
+            script_program(Script([ReadOp("ghost")]), OBJECTS)
+
+
+class TestExample6:
+    """Access control is not information control."""
+
+    def test_blocking_readfile_is_not_enough(self):
+        # No read on secret — READFILE(secret) is blocked...
+        clist = clist_with(Capability("public", ["read", "stat"]),
+                           Capability("secret", ["stat"]))
+        readfile = Script([ReadOp("secret")], name="READFILE(secret)")
+        monitor = capability_monitor(readfile, clist, OBJECTS)
+        assert all(is_violation(monitor(*p)) for p in monitor.domain)
+
+        # ...but a permitted stat-only script extracts secret contents.
+        sneaky = Script([StatOp("secret")], name="STAT(secret)")
+        audit = information_audit(sneaky, clist, OBJECTS)
+        assert audit["access_granted"]
+        assert not audit["sound"]
+        assert audit["escaping_objects"] == ["secret"]
+
+    def test_intended_policy_reflects_read_rights(self):
+        clist = clist_with(Capability("public", ["read"]),
+                           Capability("secret", ["stat"]))
+        policy = intended_policy(clist, OBJECTS)
+        assert policy.name == "allow(1)"
+
+    def test_removing_the_aggregate_right_restores_soundness(self):
+        clist = clist_with(Capability("public", ["read", "stat"]))
+        sneaky = Script([StatOp("secret")], name="STAT(secret)")
+        audit = information_audit(sneaky, clist, OBJECTS)
+        assert not audit["access_granted"]
+        assert audit["sound"]
+
+    def test_permitted_scripts_over_readable_objects_are_sound(self):
+        clist = clist_with(Capability("public", ["read", "stat"]))
+        script = Script([ReadOp("public"), StatOp("public"), ConstOp(5)],
+                        name="all-public")
+        audit = information_audit(script, clist, OBJECTS)
+        assert audit["access_granted"] and audit["sound"]
+
+    def test_aggregate_mixing_secret_is_unsound(self):
+        clist = clist_with(Capability("public", ["read", "stat"]),
+                           Capability("secret", ["stat"]))
+        script = Script([SumOp(["public", "secret"])], name="SUM")
+        audit = information_audit(script, clist, OBJECTS)
+        assert audit["access_granted"]
+        assert not audit["sound"]
+        monitor = capability_monitor(script, clist, OBJECTS)
+        policy = intended_policy(clist, OBJECTS)
+        witness = check_soundness(monitor, policy).witness
+        # The witness pair differs only in the secret object.
+        assert witness.first[0] == witness.second[0]
+        assert witness.first[1] != witness.second[1]

@@ -1,0 +1,68 @@
+"""Unit tests for repro.channels.inference (negative inference)."""
+
+from repro.core import (ProductDomain, Program, allow, allow_none,
+                        check_soundness)
+from repro.channels.inference import (HOLMES_QUOTE, analyse_notice_channel,
+                                      conditional_notice_mechanism,
+                                      fenton_halt_mechanism)
+
+GRID1 = ProductDomain.integer_grid(0, 4, 1)
+GRID2 = ProductDomain.integer_grid(0, 2, 2)
+
+
+class TestConditionalNotice:
+    def test_warn_on_denied_predicate_is_unsound(self):
+        q = Program(lambda a, b: 1, GRID2, name="const")
+        mechanism = conditional_notice_mechanism(
+            q, warn_when=lambda a, b: b == 0)
+        assert not check_soundness(mechanism, allow(1, arity=2)).sound
+
+    def test_warn_on_allowed_predicate_is_sound(self):
+        q = Program(lambda a, b: a, GRID2, name="copy1")
+        mechanism = conditional_notice_mechanism(
+            q, warn_when=lambda a, b: a == 0)
+        assert check_soundness(mechanism, allow(1, arity=2)).sound
+
+    def test_contract_always_holds(self):
+        q = Program(lambda a, b: a + b, GRID2)
+        mechanism = conditional_notice_mechanism(
+            q, warn_when=lambda a, b: (a + b) % 2 == 0)
+        mechanism.check_contract()
+
+
+class TestFentonHaltMechanism:
+    def test_error_iff_secret_zero(self):
+        from repro.core import is_violation
+
+        q = Program(lambda x: 1, GRID1, name="const1")
+        mechanism = fenton_halt_mechanism(q)
+        for x, in GRID1:
+            assert is_violation(mechanism(x)) == (x == 0)
+
+    def test_unsound_for_allow_none(self):
+        q = Program(lambda x: 1, GRID1, name="const1")
+        assert not check_soundness(fenton_halt_mechanism(q),
+                                   allow_none(1)).sound
+
+
+class TestAnalysis:
+    def test_unsound_channel_quantified(self):
+        q = Program(lambda x: 1, GRID1)
+        analysis = analyse_notice_channel(fenton_halt_mechanism(q),
+                                          allow_none(1))
+        assert not analysis.sound
+        assert analysis.notice_inputs == 1   # only x = 0 warns
+        assert analysis.quiet_inputs == len(GRID1) - 1
+        assert analysis.revealed_predicate is not None
+
+    def test_sound_channel_reports_clean(self):
+        from repro.core import null_mechanism
+
+        q = Program(lambda x: 1, GRID1)
+        analysis = analyse_notice_channel(null_mechanism(q), allow_none(1))
+        assert analysis.sound
+        assert analysis.notice_inputs == len(GRID1)
+        assert analysis.revealed_predicate is None
+
+    def test_holmes_quote_present(self):
+        assert "curious incident" in HOLMES_QUOTE

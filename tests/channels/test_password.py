@@ -1,0 +1,148 @@
+"""Unit tests for repro.channels.password (Example 5 + the work factor)."""
+
+import pytest
+
+from repro.core import check_soundness, program_as_mechanism
+from repro.core.errors import DomainError
+from repro.channels.password import (PagedComparator, brute_force_attack,
+                                     logon_leak_bits, logon_policy,
+                                     logon_program, page_boundary_attack,
+                                     table_domain, work_factor_row)
+
+USERIDS = ["alice", "bob"]
+PASSWORDS = ["pw1", "pw2"]
+
+
+class TestLogonProgram:
+    def test_accepts_correct_pair(self):
+        q = logon_program(USERIDS, PASSWORDS)
+        table = frozenset([("alice", "pw1"), ("bob", "pw2")])
+        assert q("alice", table, "pw1") is True
+        assert q("alice", table, "pw2") is False
+
+    def test_table_domain_size(self):
+        # Each userid independently assigned one of 2 passwords.
+        assert len(table_domain(USERIDS, PASSWORDS)) == 4
+
+    def test_unsound_for_allow_1_3(self):
+        """Example 5: Q as its own mechanism leaks table information."""
+        q = logon_program(USERIDS, PASSWORDS)
+        assert not check_soundness(program_as_mechanism(q),
+                                   logon_policy()).sound
+
+    def test_leak_is_exactly_one_bit(self):
+        """'The amount of information obtained by the user is small.'"""
+        assert logon_leak_bits(USERIDS, PASSWORDS) == 1.0
+
+
+class TestPagedComparator:
+    def test_accepts_exact_match(self):
+        comparator = PagedComparator("abc")
+        accepted, _ = comparator.attempt("abc", boundary_after=3)
+        assert accepted
+
+    def test_rejects_mismatch(self):
+        comparator = PagedComparator("abc")
+        accepted, _ = comparator.attempt("abd", boundary_after=3)
+        assert not accepted
+
+    def test_fault_reveals_prefix_progress(self):
+        comparator = PagedComparator("abc")
+        # Boundary after 1 char: a fault occurs iff the first char matched.
+        _, faults_hit = comparator.attempt("axx", boundary_after=1)
+        _, faults_miss = comparator.attempt("xxx", boundary_after=1)
+        assert faults_hit > 0
+        assert faults_miss == 0
+
+    def test_counts_attempts(self):
+        comparator = PagedComparator("ab")
+        comparator.attempt("aa", 1)
+        comparator.attempt("ab", 1)
+        assert comparator.comparisons == 2
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            PagedComparator("")
+        with pytest.raises(DomainError):
+            PagedComparator("abc", page_size=0)
+
+
+class TestAttacks:
+    ALPHABET = ["a", "b", "c"]
+
+    def test_brute_force_succeeds(self):
+        result = brute_force_attack("cb", self.ALPHABET)
+        assert result.recovered == "cb"
+
+    def test_brute_force_worst_case_is_n_to_k(self):
+        result = brute_force_attack("ccc", self.ALPHABET)
+        assert result.guesses == 3 ** 3
+
+    def test_page_attack_succeeds(self):
+        result = page_boundary_attack("cab", self.ALPHABET)
+        assert result.recovered == "cab"
+
+    def test_page_attack_within_nk_bound(self):
+        for secret in ("aaa", "ccc", "bac", "cba"):
+            result = page_boundary_attack(secret, self.ALPHABET)
+            assert result.succeeded
+            assert result.guesses <= 3 * 3 + 1
+
+    def test_page_attack_beats_brute_force(self):
+        secret = "cc"
+        brute = brute_force_attack(secret, self.ALPHABET)
+        paged = page_boundary_attack(secret, self.ALPHABET)
+        assert paged.guesses < brute.guesses
+
+
+class TestWorkFactorRow:
+    def test_row_matches_paper_bounds(self):
+        row = work_factor_row(3, 3)
+        assert row["brute_guesses"] == row["brute_bound"] == 27
+        assert row["paged_guesses"] <= row["paged_bound"] == 10
+        assert row["brute_ok"] and row["paged_ok"]
+
+    def test_gap_grows_with_k(self):
+        small = work_factor_row(4, 2)
+        large = work_factor_row(4, 4)
+        small_ratio = small["brute_guesses"] / small["paged_guesses"]
+        large_ratio = large["brute_guesses"] / large["paged_guesses"]
+        assert large_ratio > small_ratio
+
+    def test_secret_validation(self):
+        with pytest.raises(DomainError):
+            work_factor_row(2, 3, secret="zzzz")
+
+
+class TestFormalPagedLogon:
+    """The paged comparator inside the Section 2 framework."""
+
+    def test_paged_program_output_shape(self):
+        from repro.channels.password import paged_logon_program
+
+        q = paged_logon_program(["a", "b"], 2)
+        accepted, faults = q("ab", "ab")
+        assert accepted is True and faults >= 1
+        accepted, faults = q("ab", "bb")
+        assert accepted is False and faults == 0
+
+    def test_paged_leaks_more_than_constant_time(self):
+        from repro.channels.password import per_query_leak_comparison
+
+        comparison = per_query_leak_comparison(["a", "b"], 2)
+        assert comparison["constant_time_bits"] == 1.0
+        assert comparison["paged_bits"] > comparison["constant_time_bits"]
+
+    def test_both_unsound_but_differently(self):
+        from repro.channels.password import (constant_time_logon_program,
+                                             paged_logon_program)
+        from repro.core import (allow, check_soundness,
+                                program_as_mechanism)
+
+        policy = allow(2, arity=2)
+        constant = constant_time_logon_program(["a", "b"], 2)
+        paged = paged_logon_program(["a", "b"], 2)
+        assert not check_soundness(program_as_mechanism(constant),
+                                   policy).sound
+        assert not check_soundness(program_as_mechanism(paged),
+                                   policy).sound

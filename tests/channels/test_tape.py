@@ -1,0 +1,89 @@
+"""Unit tests for repro.channels.tape (the one-way tape and tab(i))."""
+
+import pytest
+
+from repro.core import allow, check_soundness, program_as_mechanism
+from repro.core.errors import DomainError
+from repro.channels.tape import (block_domain, per_cell_tab_reader,
+                                 sequential_reader, tab_reader, tape_domain)
+
+
+class TestBlockDomain:
+    def test_all_lengths_up_to_max(self):
+        domain = block_domain(2)
+        assert set(domain) == {(0,), (1,), (0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_bad_length(self):
+        with pytest.raises(DomainError):
+            block_domain(0)
+
+    def test_tape_domain_arity(self):
+        assert tape_domain(3, 2).arity == 3
+
+
+class TestSequentialReader:
+    def test_value_is_target_block(self):
+        q = sequential_reader(2, 2)
+        value, _ = q((1,), (1, 0))
+        assert value == 0b10
+
+    def test_time_includes_crossed_blocks(self):
+        q = sequential_reader(2, 2)
+        _, short = q((1,), (1,))
+        _, long = q((1, 1), (1,))
+        assert long == short + 1  # one extra cell of z1 crossed
+
+    def test_unsound_for_allow_target(self):
+        """The paper's claim: no sequential reader of z2 is sound when
+        time is observable — it encodes len(z1)."""
+        q = sequential_reader(2, 2)
+        assert not check_soundness(program_as_mechanism(q),
+                                   allow(2, arity=2)).sound
+
+
+class TestTabReader:
+    def test_constant_time_tab_is_sound(self):
+        q = tab_reader(2, 2, constant_time=True)
+        assert check_soundness(program_as_mechanism(q),
+                               allow(2, arity=2)).sound
+
+    def test_block_counting_tab_is_sound(self):
+        """Cost per skipped *block* is public structure, not data."""
+        q = tab_reader(2, 2, constant_time=False)
+        assert check_soundness(program_as_mechanism(q),
+                               allow(2, arity=2)).sound
+
+    def test_tab_time_independent_of_z1(self):
+        q = tab_reader(2, 2)
+        times = {q(z1, (1,))[1] for z1 in block_domain(2)}
+        assert len(times) == 1
+
+    def test_value_matches_sequential(self):
+        tab = tab_reader(2, 2)
+        seq = sequential_reader(2, 2)
+        for point in tape_domain(2, 2):
+            assert tab(*point)[0] == seq(*point)[0]
+
+
+class TestBrokenTab:
+    def test_per_cell_tab_reopens_the_leak(self):
+        """'Perhaps tab(i) takes time dependent on the length of z1...'"""
+        q = per_cell_tab_reader(2, 2)
+        assert not check_soundness(program_as_mechanism(q),
+                                   allow(2, arity=2)).sound
+
+    def test_leak_is_exactly_length_of_z1(self):
+        q = per_cell_tab_reader(2, 2)
+        _, time_short = q((1,), (0,))
+        _, time_long = q((1, 1), (0,))
+        assert time_long - time_short == 1
+
+
+class TestThirdBlock:
+    def test_generalises_to_later_blocks(self):
+        sequential = sequential_reader(3, 3, max_length=2)
+        assert not check_soundness(program_as_mechanism(sequential),
+                                   allow(3, arity=3)).sound
+        tab = tab_reader(3, 3, max_length=2)
+        assert check_soundness(program_as_mechanism(tab),
+                               allow(3, arity=3)).sound

@@ -1,0 +1,132 @@
+"""Unit tests for repro.core.completeness (the >= order on mechanisms)."""
+
+import pytest
+
+from repro.core import (Order, ProductDomain, Program, as_complete, compare,
+                        is_maximal_among, mechanism_from_table,
+                        more_complete, null_mechanism, program_as_mechanism,
+                        union, utility_row)
+from repro.core.errors import ProgramError
+
+GRID = ProductDomain.integer_grid(0, 2, 2)
+
+
+def make_q():
+    return Program(lambda a, b: a + b, GRID, name="add")
+
+
+def accepting(q, predicate, name):
+    """A mechanism accepting exactly the points satisfying ``predicate``."""
+    return mechanism_from_table(
+        q, {point: q(*point) for point in GRID if predicate(point)},
+        name=name)
+
+
+class TestOrderVerdicts:
+    def test_equal(self):
+        q = make_q()
+        left = accepting(q, lambda p: p[0] == 0, "L")
+        right = accepting(q, lambda p: p[0] == 0, "R")
+        assert compare(left, right).order is Order.EQUAL
+
+    def test_strictly_more_complete(self):
+        q = make_q()
+        big = accepting(q, lambda p: p[0] <= 1, "big")
+        small = accepting(q, lambda p: p[0] == 0, "small")
+        result = compare(big, small)
+        assert result.order is Order.FIRST_MORE
+        assert result.first_only is not None
+        assert result.second_only is None
+        assert compare(small, big).order is Order.SECOND_MORE
+
+    def test_incomparable(self):
+        q = make_q()
+        left = accepting(q, lambda p: p[0] == 0, "L")
+        right = accepting(q, lambda p: p[1] == 0, "R")
+        result = compare(left, right)
+        assert result.order is Order.INCOMPARABLE
+        assert result.first_only is not None
+        assert result.second_only is not None
+
+    def test_program_is_top_null_is_bottom(self):
+        q = make_q()
+        assert more_complete(program_as_mechanism(q), null_mechanism(q))
+
+    def test_counts(self):
+        q = make_q()
+        result = compare(accepting(q, lambda p: p[0] == 0, "L"),
+                         null_mechanism(q))
+        assert result.first_accepts == 3
+        assert result.second_accepts == 0
+        assert result.domain_size == len(GRID)
+
+
+class TestOrderLaws:
+    """>= is a partial order; ∨ is its join (Theorem 1's second half)."""
+
+    def _family(self, q):
+        return [
+            null_mechanism(q),
+            accepting(q, lambda p: p[0] == 0, "A"),
+            accepting(q, lambda p: p[1] == 0, "B"),
+            accepting(q, lambda p: p[0] <= 1, "C"),
+            program_as_mechanism(q),
+        ]
+
+    def test_reflexive(self):
+        q = make_q()
+        for mechanism in self._family(q):
+            assert as_complete(mechanism, mechanism)
+
+    def test_antisymmetric_on_acceptance(self):
+        q = make_q()
+        family = self._family(q)
+        for left in family:
+            for right in family:
+                if as_complete(left, right) and as_complete(right, left):
+                    assert (left.acceptance_set() == right.acceptance_set())
+
+    def test_transitive(self):
+        q = make_q()
+        family = self._family(q)
+        for a in family:
+            for b in family:
+                for c in family:
+                    if as_complete(a, b) and as_complete(b, c):
+                        assert as_complete(a, c)
+
+    def test_union_is_least_upper_bound(self):
+        q = make_q()
+        family = self._family(q)
+        for left in family:
+            for right in family:
+                joined = union(left, right)
+                assert as_complete(joined, left)
+                assert as_complete(joined, right)
+                # Least: any common upper bound dominates the union.
+                for upper in family:
+                    if as_complete(upper, left) and as_complete(upper, right):
+                        assert as_complete(upper, joined)
+
+    def test_is_maximal_among(self):
+        q = make_q()
+        family = self._family(q)
+        assert is_maximal_among(program_as_mechanism(q), family)
+        assert not is_maximal_among(null_mechanism(q), family)
+
+
+class TestUtilityRow:
+    def test_row_shape(self):
+        q = make_q()
+        row = utility_row(accepting(q, lambda p: p[0] == 0, "A"))
+        assert row["accepts"] == 3
+        assert row["domain"] == 9
+        assert row["acceptance_rate"] == pytest.approx(1 / 3)
+        assert row["mechanism"] == "A"
+
+
+def test_mismatched_domains_rejected():
+    q = make_q()
+    other = Program(lambda a: a, ProductDomain.integer_grid(0, 2, 1))
+    with pytest.raises(ProgramError):
+        compare(program_as_mechanism(q), program_as_mechanism(other))

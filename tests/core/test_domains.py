@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.domains."""
+
+import pytest
+
+from repro.core import Domain, ProductDomain
+from repro.core.errors import DomainError
+
+
+class TestDomain:
+    def test_preserves_order_and_dedupes(self):
+        domain = Domain([3, 1, 2, 1, 3])
+        assert list(domain) == [3, 1, 2]
+        assert len(domain) == 3
+
+    def test_membership(self):
+        domain = Domain.integers(0, 4)
+        assert 0 in domain and 4 in domain
+        assert 5 not in domain and -1 not in domain
+
+    def test_integers_bounds_inclusive(self):
+        assert list(Domain.integers(2, 4)) == [2, 3, 4]
+
+    def test_integers_empty_interval_rejected(self):
+        with pytest.raises(DomainError):
+            Domain.integers(3, 2)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(DomainError):
+            Domain([])
+
+    def test_booleans(self):
+        assert list(Domain.booleans()) == [False, True]
+
+    def test_equality_and_hash(self):
+        assert Domain([1, 2]) == Domain([1, 2])
+        assert Domain([1, 2]) != Domain([2, 1])
+        assert hash(Domain([1, 2])) == hash(Domain([1, 2]))
+
+    def test_indexing(self):
+        domain = Domain(["a", "b", "c"])
+        assert domain[1] == "b"
+
+    def test_repr_mentions_name_and_size(self):
+        text = repr(Domain.integers(0, 9, name="Z10"))
+        assert "Z10" in text and "size=10" in text
+
+
+class TestProductDomain:
+    def test_size_is_product(self):
+        product = ProductDomain(Domain.integers(0, 2), Domain.integers(0, 4))
+        assert len(product) == 3 * 5
+
+    def test_iteration_row_major(self):
+        product = ProductDomain.integer_grid(0, 1, 2)
+        assert list(product) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_uniform(self):
+        product = ProductDomain.uniform(Domain.integers(0, 1), 3)
+        assert product.arity == 3
+        assert len(product) == 8
+
+    def test_uniform_rejects_zero_arity(self):
+        with pytest.raises(DomainError):
+            ProductDomain.uniform(Domain.integers(0, 1), 0)
+
+    def test_membership(self):
+        product = ProductDomain.integer_grid(0, 2, 2)
+        assert (1, 2) in product
+        assert (1, 3) not in product
+        assert (1,) not in product
+        assert [1, 2] not in product  # lists are not points
+
+    def test_validate_accepts_and_normalises(self):
+        product = ProductDomain.integer_grid(0, 2, 2)
+        assert product.validate([1, 2]) == (1, 2)
+
+    def test_validate_rejects_bad_arity(self):
+        product = ProductDomain.integer_grid(0, 2, 2)
+        with pytest.raises(DomainError):
+            product.validate((1,))
+
+    def test_validate_rejects_out_of_domain_with_position(self):
+        product = ProductDomain.integer_grid(0, 2, 2)
+        with pytest.raises(DomainError, match="input 2"):
+            product.validate((1, 9))
+
+    def test_components_must_be_domains(self):
+        with pytest.raises(DomainError):
+            ProductDomain([1, 2, 3])
+
+    def test_sampling_deterministic(self):
+        product = ProductDomain.integer_grid(0, 9, 3)
+        first = list(product.sample(10, seed=7))
+        second = list(product.sample(10, seed=7))
+        assert first == second
+        assert all(point in product for point in first)
+
+    def test_sampling_seed_sensitivity(self):
+        product = ProductDomain.integer_grid(0, 9, 3)
+        assert (list(product.sample(20, seed=1))
+                != list(product.sample(20, seed=2)))
+
+    def test_equality(self):
+        assert (ProductDomain.integer_grid(0, 1, 2)
+                == ProductDomain.integer_grid(0, 1, 2))
+        assert (ProductDomain.integer_grid(0, 1, 2)
+                != ProductDomain.integer_grid(0, 2, 2))

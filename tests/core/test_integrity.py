@@ -1,0 +1,163 @@
+"""Unit tests for repro.core.integrity — the data-security dual."""
+
+import pytest
+
+from repro.core import (ProductDomain, Program, ProtectionMechanism,
+                        ViolationNotice, allow, allow_all, check_guarded,
+                        check_preservation, must_retain, null_mechanism,
+                        preserves, program_as_mechanism, retain_inputs,
+                        system_table_program)
+from repro.core.errors import ArityMismatchError
+
+GRID = ProductDomain.integer_grid(0, 2, 2)
+
+
+def make_q(fn=lambda a, b: (a, b), name="Q"):
+    return Program(fn, GRID, name=name)
+
+
+class TestPreservationVerdicts:
+    def test_identity_preserves_everything(self):
+        q = make_q()
+        mechanism = program_as_mechanism(q)
+        for policy in (retain_inputs(arity=2), retain_inputs(1, arity=2),
+                       retain_inputs(1, 2, arity=2)):
+            assert preserves(mechanism, policy)
+
+    def test_null_mechanism_loses_everything_nontrivial(self):
+        q = make_q()
+        null = null_mechanism(q)
+        assert preserves(null, retain_inputs(arity=2))  # nothing designated
+        assert not preserves(null, retain_inputs(1, arity=2))
+
+    def test_projection_preserves_exactly_its_inputs(self):
+        q = make_q(lambda a, b: a, name="first")
+        mechanism = program_as_mechanism(q)
+        assert preserves(mechanism, retain_inputs(1, arity=2))
+        assert not preserves(mechanism, retain_inputs(2, arity=2))
+        assert not preserves(mechanism, retain_inputs(1, 2, arity=2))
+
+    def test_injective_encoding_preserves(self):
+        # Output packs both inputs into one integer — still recoverable.
+        q = make_q(lambda a, b: a * 10 + b, name="packed")
+        assert preserves(program_as_mechanism(q),
+                         retain_inputs(1, 2, arity=2))
+
+    def test_lossy_arithmetic_fails(self):
+        q = make_q(lambda a, b: a + b, name="sum")
+        assert not preserves(program_as_mechanism(q),
+                             retain_inputs(1, arity=2))
+
+
+class TestWitness:
+    def test_witness_shows_collapsed_designations(self):
+        q = make_q(lambda a, b: a + b, name="sum")
+        report = check_preservation(program_as_mechanism(q),
+                                    retain_inputs(1, arity=2))
+        witness = report.witness
+        assert witness is not None
+        mechanism = program_as_mechanism(q)
+        assert mechanism(*witness.first) == mechanism(*witness.second)
+        assert witness.first_designation != witness.second_designation
+
+    def test_notice_collapse_is_detected(self):
+        """Suppressing outputs loses designated information — the
+        confinement/integrity tension."""
+        q = make_q(lambda a, b: (a, b))
+        suppressing = ProtectionMechanism(
+            lambda a, b: ViolationNotice("Λ") if a > 0 else q(a, b), q)
+        assert not preserves(suppressing, retain_inputs(1, arity=2))
+
+    def test_full_walk_accounting(self):
+        q = make_q(lambda a, b: a + b)
+        report = check_preservation(program_as_mechanism(q),
+                                    retain_inputs(1, arity=2),
+                                    stop_at_first_witness=False)
+        assert report.inputs_checked == len(GRID)
+
+
+class TestRecovery:
+    def test_recovery_function_reconstructs_designation(self):
+        q = make_q(lambda a, b: a * 10 + b)
+        policy = retain_inputs(2, arity=2)
+        report = check_preservation(program_as_mechanism(q), policy)
+        recover = report.recovery_function()
+        mechanism = program_as_mechanism(q)
+        for point in GRID:
+            assert recover(mechanism(*point)) == policy(*point)
+
+    def test_recovery_unavailable_when_lossy(self):
+        q = make_q(lambda a, b: 0)
+        report = check_preservation(program_as_mechanism(q),
+                                    retain_inputs(1, arity=2))
+        with pytest.raises(ValueError):
+            report.recovery_function()
+
+
+class TestGuarded:
+    def test_tension_between_the_two_questions(self):
+        """Null: confining but lossy.  Identity: preserving but leaky."""
+        q = make_q(lambda a, b: (a, b))
+        confinement = allow(1, arity=2)
+        integrity = retain_inputs(1, arity=2)
+
+        null_report = check_guarded(null_mechanism(q), confinement,
+                                    integrity)
+        assert null_report.confinement.sound
+        assert not null_report.integrity.preserving
+        assert not null_report.guarded
+
+        own_report = check_guarded(program_as_mechanism(q), confinement,
+                                   integrity)
+        assert not own_report.confinement.sound  # output reveals b
+        assert own_report.integrity.preserving
+
+    def test_guarded_mechanism_exists_when_designation_is_allowed(self):
+        """Output exactly the allowed slice: sound AND preserving."""
+        q = make_q(lambda a, b: a, name="first")
+        report = check_guarded(program_as_mechanism(q), allow(1, arity=2),
+                               retain_inputs(1, arity=2))
+        assert report.guarded
+
+    def test_guarded_impossible_when_designation_is_denied(self):
+        """retain(2) + allow(1): every mechanism fails one side."""
+        confinement = allow(1, arity=2)
+        integrity = retain_inputs(2, arity=2)
+        q = make_q(lambda a, b: (a, b))
+        candidates = [
+            program_as_mechanism(q),
+            null_mechanism(q),
+            ProtectionMechanism(lambda a, b: q(a, b) if b == 0
+                                else ViolationNotice("Λ"), q),
+        ]
+        assert all(not check_guarded(c, confinement, integrity).guarded
+                   for c in candidates)
+
+
+class TestSystemTableScenario:
+    def test_honest_update_preserves_tables(self):
+        domain = ProductDomain.integer_grid(0, 1, 3)  # 2 tables + request
+        q = system_table_program(2, domain)
+        # Table 2 passes through untouched: recoverable.
+        assert preserves(program_as_mechanism(q),
+                         retain_inputs(2, arity=3))
+        # Table 1 is overwritten by the request: lost.
+        assert not preserves(program_as_mechanism(q),
+                             retain_inputs(1, arity=3))
+
+    def test_must_retain_custom_designation(self):
+        domain = ProductDomain.integer_grid(0, 1, 3)
+        q = system_table_program(2, domain)
+        # Parity of table 2 is certainly recoverable too.
+        parity = must_retain(lambda t1, t2, req: t2 % 2, arity=3,
+                             name="R-parity")
+        assert preserves(program_as_mechanism(q), parity)
+
+
+def test_arity_mismatch_rejected():
+    q = make_q()
+    with pytest.raises(ArityMismatchError):
+        check_preservation(program_as_mechanism(q),
+                           retain_inputs(1, arity=3))
+    with pytest.raises(ArityMismatchError):
+        retain_inputs(5, arity=2)

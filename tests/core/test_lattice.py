@@ -1,0 +1,93 @@
+"""Unit tests for repro.core.lattice (the lattice remark of Section 2)."""
+
+import pytest
+
+from repro.core import (ProductDomain, Program, SoundMechanismLattice,
+                        allow, is_sound, maximal_mechanism,
+                        null_mechanism, program_as_mechanism)
+
+GRID = ProductDomain.integer_grid(0, 2, 2)
+
+
+def make_instance():
+    # Q constant on classes x1 in {0, 2} (value fixed), varying on x1=1.
+    q = Program(lambda a, b: b if a == 1 else a, GRID, name="mixed")
+    policy = allow(1, arity=2)
+    return q, policy, SoundMechanismLattice(q, policy)
+
+
+class TestStructure:
+    def test_good_classes_identified(self):
+        _, _, lattice = make_instance()
+        assert set(lattice.good_class_keys) == {(0,), (2,)}
+
+    def test_size_is_power_of_two(self):
+        _, _, lattice = make_instance()
+        assert len(lattice) == 4
+        assert len(lattice.elements()) == 4
+
+    def test_bottom_and_top(self):
+        _, _, lattice = make_instance()
+        assert lattice.bottom == frozenset()
+        assert lattice.top == frozenset({(0,), (2,)})
+
+
+class TestLatticeLaws:
+    def test_join_meet_closure_and_laws(self):
+        _, _, lattice = make_instance()
+        elements = lattice.elements()
+        for a in elements:
+            for b in elements:
+                join = lattice.join(a, b)
+                meet = lattice.meet(a, b)
+                assert join in elements and meet in elements
+                # Absorption laws characterise a lattice.
+                assert lattice.join(a, lattice.meet(a, b)) == a
+                assert lattice.meet(a, lattice.join(a, b)) == a
+
+    def test_order_agrees_with_join(self):
+        _, _, lattice = make_instance()
+        for a in lattice.elements():
+            for b in lattice.elements():
+                assert lattice.leq(a, b) == (lattice.join(a, b) == b)
+
+    def test_top_dominates_all(self):
+        _, _, lattice = make_instance()
+        for element in lattice.elements():
+            assert lattice.leq(element, lattice.top)
+            assert lattice.leq(lattice.bottom, element)
+
+
+class TestRealisation:
+    def test_every_element_realises_to_a_sound_mechanism(self):
+        q, policy, lattice = make_instance()
+        for element in lattice.elements():
+            mechanism = lattice.realise(element)
+            mechanism.check_contract()
+            assert is_sound(mechanism, policy)
+
+    def test_canonical_round_trip(self):
+        _, _, lattice = make_instance()
+        for element in lattice.elements():
+            assert lattice.canonical(lattice.realise(element)) == element
+
+    def test_top_realises_to_maximal(self):
+        q, policy, lattice = make_instance()
+        top = lattice.realise(lattice.top)
+        maximal = maximal_mechanism(q, policy).mechanism
+        assert top.acceptance_set() == maximal.acceptance_set()
+
+    def test_bottom_realises_to_null(self):
+        q, policy, lattice = make_instance()
+        bottom = lattice.realise(lattice.bottom)
+        assert bottom.acceptance_set() == null_mechanism(q).acceptance_set()
+
+    def test_canonical_rejects_unsound_mechanism(self):
+        q, policy, lattice = make_instance()
+        with pytest.raises(ValueError):
+            lattice.canonical(program_as_mechanism(q))
+
+    def test_realise_rejects_foreign_classes(self):
+        _, _, lattice = make_instance()
+        with pytest.raises(ValueError):
+            lattice.realise(frozenset({("nope",)}))

@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.leakage — quantifying Example 5's 'small'."""
+
+import math
+
+import pytest
+
+from repro.core import (ProductDomain, Program, allow, allow_none,
+                        null_mechanism, program_as_mechanism)
+from repro.core.leakage import (LeakageProfile, leakage_profile,
+                                min_entropy_leakage, shannon_leakage,
+                                worst_class_leakage)
+
+GRID = ProductDomain.integer_grid(0, 3, 2)
+
+
+def mechanism_for(fn, name="Q"):
+    return program_as_mechanism(Program(fn, GRID, name=name))
+
+
+class TestZeroIffSound:
+    def test_sound_mechanisms_leak_nothing(self):
+        for mechanism in (mechanism_for(lambda a, b: a, "copy1"),
+                          null_mechanism(Program(lambda a, b: b, GRID))):
+            policy = allow(1, arity=2)
+            profile = leakage_profile(mechanism, policy)
+            assert profile.sound
+            assert profile.shannon == 0.0
+            assert profile.min_entropy == 0.0
+            assert profile.worst_class == 0.0
+
+    def test_unsound_mechanisms_leak_something(self):
+        mechanism = mechanism_for(lambda a, b: b, "copy2")
+        profile = leakage_profile(mechanism, allow(1, arity=2))
+        assert not profile.sound
+        assert profile.shannon > 0.0
+        assert profile.min_entropy > 0.0
+        assert profile.worst_class > 0.0
+
+
+class TestExactValues:
+    def test_full_disclosure(self):
+        """Identity output on allow(): every measure maxes out."""
+        mechanism = mechanism_for(lambda a, b: (a, b), "id")
+        policy = allow_none(2)
+        assert shannon_leakage(mechanism, policy) == pytest.approx(
+            math.log2(len(GRID)))
+        assert min_entropy_leakage(mechanism, policy) == pytest.approx(
+            math.log2(len(GRID)))
+        assert worst_class_leakage(mechanism, policy) == pytest.approx(
+            math.log2(len(GRID)))
+
+    def test_one_balanced_bit(self):
+        """Parity of the denied input: exactly one bit on all measures."""
+        mechanism = mechanism_for(lambda a, b: b % 2, "parity2")
+        policy = allow(1, arity=2)
+        assert shannon_leakage(mechanism, policy) == pytest.approx(1.0)
+        assert min_entropy_leakage(mechanism, policy) == pytest.approx(1.0)
+        assert worst_class_leakage(mechanism, policy) == pytest.approx(1.0)
+
+    def test_skewed_predicate_shannon_below_worst_case(self):
+        """`b == 0` leaks 1 bit at worst but < 1 bit on average —
+        the measures separate on skewed outputs."""
+        mechanism = mechanism_for(lambda a, b: 1 if b == 0 else 0, "isz")
+        policy = allow(1, arity=2)
+        worst = worst_class_leakage(mechanism, policy)
+        shannon = shannon_leakage(mechanism, policy)
+        assert worst == pytest.approx(1.0)
+        # H(1/4, 3/4) ≈ 0.811
+        assert shannon == pytest.approx(0.8113, abs=1e-3)
+        assert shannon < worst
+
+    def test_logon_spread(self):
+        """Example 5 quantified: worst-case 1 bit, expected far less."""
+        from repro.channels.password import logon_policy, logon_program
+
+        q = logon_program(["alice", "bob"], ["p1", "p2", "p3"])
+        mechanism = program_as_mechanism(q)
+        policy = logon_policy()
+        profile = leakage_profile(mechanism, policy)
+        assert profile.worst_class == pytest.approx(1.0)
+        # Accept happens on 1/3 of tables: H(1/3, 2/3) ≈ 0.918 bits.
+        assert profile.shannon == pytest.approx(0.9183, abs=1e-3)
+        assert profile.min_entropy == pytest.approx(1.0)
+
+
+class TestStructure:
+    def test_shannon_bounded_by_worst_class(self):
+        for fn in (lambda a, b: b, lambda a, b: b // 2,
+                   lambda a, b: a + b, lambda a, b: 1 if b == 3 else 0):
+            mechanism = mechanism_for(fn)
+            policy = allow(1, arity=2)
+            assert (shannon_leakage(mechanism, policy)
+                    <= worst_class_leakage(mechanism, policy) + 1e-9)
+
+    def test_profile_repr(self):
+        profile = LeakageProfile(0.5, 0.7, 1.0)
+        assert "0.5" in repr(profile)
+        assert not profile.sound

@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.maximal (Theorems 2 and 4)."""
+
+import pytest
+
+from repro.core import (ProductDomain, Program, SoundMechanismLattice,
+                        allow, allow_all, allow_none, as_complete,
+                        certify_maximal, check_soundness,
+                        decide_theorem4_output_at_zero, is_sound,
+                        maximal_mechanism, maximality_cost,
+                        null_mechanism, program_as_mechanism,
+                        theorem4_family)
+
+GRID = ProductDomain.integer_grid(0, 2, 2)
+
+
+def make_q(fn=lambda a, b: a + b, name="Q"):
+    return Program(fn, GRID, name=name)
+
+
+class TestTheorem2:
+    def test_maximal_is_sound(self):
+        q = make_q()
+        for policy in (allow_none(2), allow(1, arity=2), allow_all(2)):
+            construction = maximal_mechanism(q, policy)
+            assert is_sound(construction.mechanism, policy)
+
+    def test_maximal_dominates_every_sound_mechanism(self):
+        """Theorem 2, checked exhaustively over the full sound lattice."""
+        q = make_q(lambda a, b: a % 2, name="parity-x1")
+        policy = allow(1, arity=2)
+        construction = maximal_mechanism(q, policy)
+        lattice = SoundMechanismLattice(q, policy)
+        for element in lattice.elements():
+            other = lattice.realise(element)
+            assert as_complete(construction.mechanism, other)
+
+    def test_accepts_exactly_constant_classes(self):
+        # Q = x2 with allow(1): no class is constant -> accept nothing.
+        q = make_q(lambda a, b: b)
+        construction = maximal_mechanism(q, allow(1, arity=2))
+        assert construction.mechanism.acceptance_set() == frozenset()
+        assert construction.constant_classes == 0
+
+        # Q = x1 with allow(1): every class constant -> accept all.
+        q2 = make_q(lambda a, b: a)
+        construction2 = maximal_mechanism(q2, allow(1, arity=2))
+        assert construction2.mechanism.acceptance_set() == frozenset(GRID)
+
+    def test_mixed_classes(self):
+        # Q depends on x2 only when x1 == 0.
+        q = make_q(lambda a, b: b if a == 0 else 7)
+        construction = maximal_mechanism(q, allow(1, arity=2))
+        accepted = construction.mechanism.acceptance_set()
+        assert accepted == frozenset(p for p in GRID if p[0] != 0)
+
+    def test_maximal_of_constant_program_for_allow_none(self):
+        q = make_q(lambda a, b: 1)
+        construction = maximal_mechanism(q, allow_none(2))
+        assert construction.mechanism.acceptance_set() == frozenset(GRID)
+
+    def test_certify_maximal(self):
+        q = make_q(lambda a, b: a)
+        policy = allow(1, arity=2)
+        construction = maximal_mechanism(q, policy)
+        assert certify_maximal(construction.mechanism, q, policy)
+        assert certify_maximal(program_as_mechanism(q), q, policy)
+        assert not certify_maximal(null_mechanism(q), q, policy)
+
+    def test_custom_notice(self):
+        from repro.core import ViolationNotice
+
+        q = make_q(lambda a, b: b)
+        construction = maximal_mechanism(q, allow(1, arity=2),
+                                         notice=ViolationNotice("stop"))
+        assert construction.mechanism(0, 0) == ViolationNotice("stop")
+
+
+class TestTheorem4:
+    """No effective procedure yields the maximal mechanism in general."""
+
+    def test_cost_scales_with_domain(self):
+        """Certifying constancy requires examining every point — so the
+        work is unbounded as the domain grows, the finite shadow of the
+        non-effectiveness proof."""
+        q_fn = lambda x: 0
+        costs = []
+        for high in (7, 15, 31):
+            domain = ProductDomain.integer_grid(0, high, 1)
+            q = theorem4_family(q_fn, domain)
+            costs.append(maximality_cost(q, allow_none(1), domain))
+        assert costs == [8, 16, 32]
+
+    def test_verdict_flips_when_window_grows(self):
+        """(*): M(0) = 0 iff ∀x A(x) = 0 — any finite window can lie."""
+        # A(x) = 0 for x < 10, then 1: zero on the small window only.
+        a_fn = lambda x: 0 if x < 10 else 1
+        small = ProductDomain.integer_grid(0, 9, 1)
+        large = ProductDomain.integer_grid(0, 10, 1)
+        small_c = maximal_mechanism(theorem4_family(a_fn, small),
+                                    allow_none(1), small)
+        large_c = maximal_mechanism(theorem4_family(a_fn, large),
+                                    allow_none(1), large)
+        assert decide_theorem4_output_at_zero(small_c) is True
+        assert decide_theorem4_output_at_zero(large_c) is False
+
+    def test_identically_zero_a_gives_constant_zero(self):
+        domain = ProductDomain.integer_grid(0, 5, 1)
+        construction = maximal_mechanism(theorem4_family(lambda x: 0, domain),
+                                         allow_none(1), domain)
+        assert all(construction.mechanism(x) == 0 for x, in domain)
+
+    def test_nonzero_a_forces_violation_at_zero(self):
+        domain = ProductDomain.integer_grid(0, 5, 1)
+        construction = maximal_mechanism(
+            theorem4_family(lambda x: x % 3, domain), allow_none(1), domain)
+        from repro.core import is_violation
+
+        assert is_violation(construction.mechanism(0))
+
+
+class TestRuzzoObservations:
+    def test_q_sound_for_allow_none_iff_constant(self):
+        """Ruzzo: Q is sound for (Q, allow()) iff Q is constant."""
+        constant = make_q(lambda a, b: 3)
+        varying = make_q(lambda a, b: a)
+        assert is_sound(program_as_mechanism(constant), allow_none(2))
+        assert not is_sound(program_as_mechanism(varying), allow_none(2))
+
+    def test_halting_shaped_maximal(self):
+        """Ruzzo's non-recursive maximal mechanism, finitely truncated:
+        Q(x1, x2) = 1 if the 'machine' x1 halts in exactly x2 steps.
+        The maximal mechanism for allow(1) gives Λ exactly on the x1
+        whose row is non-constant, i.e. the halting x1."""
+        # Machine i "halts after i steps" for even i, never for odd i.
+        def q_fn(x1, x2):
+            return 1 if (x1 % 2 == 0 and x2 == x1) else 0
+
+        grid = ProductDomain.integer_grid(0, 2, 2)
+        q = Program(q_fn, grid, name="halting")
+        construction = maximal_mechanism(q, allow(1, arity=2), grid)
+        from repro.core import is_violation
+
+        for x1 in (0, 2):  # "halting" machines: row non-constant
+            assert is_violation(construction.mechanism(x1, 0))
+        assert construction.mechanism(1, 0) == 0  # non-halting: constant row

@@ -1,0 +1,173 @@
+"""Unit tests for repro.core.mechanism (Section 2 definitions, Theorem 1)."""
+
+import pytest
+
+from repro.core import (LAMBDA, ProductDomain, Program, ProtectionMechanism,
+                        ViolationNotice, is_violation, join,
+                        mechanism_from_table, null_mechanism,
+                        program_as_mechanism, union)
+from repro.core.errors import (ArityMismatchError, MechanismContractError,
+                               ProgramError)
+
+GRID = ProductDomain.integer_grid(0, 2, 2)
+
+
+def make_q():
+    return Program(lambda a, b: a + b, GRID, name="add")
+
+
+class TestViolationNotice:
+    def test_equality_by_message(self):
+        assert ViolationNotice("Λ") == ViolationNotice("Λ")
+        assert ViolationNotice("a") != ViolationNotice("b")
+
+    def test_distinct_from_plain_values(self):
+        # F and E are disjoint by construction (Example 1's critique of
+        # Fenton hinges on this).
+        assert ViolationNotice("1") != 1
+        assert not (ViolationNotice("0") == 0)
+
+    def test_is_violation(self):
+        assert is_violation(LAMBDA)
+        assert not is_violation(0)
+        assert not is_violation("Λ")
+
+    def test_hashable(self):
+        assert len({ViolationNotice("x"), ViolationNotice("x")}) == 1
+
+
+class TestTrivialMechanisms:
+    def test_program_as_mechanism_passes_everything(self):
+        q = make_q()
+        mechanism = program_as_mechanism(q)
+        assert all(mechanism(*point) == q(*point) for point in GRID)
+        assert mechanism.acceptance_set() == frozenset(GRID)
+        assert mechanism.violation_rate() == 0.0
+
+    def test_null_mechanism_rejects_everything(self):
+        mechanism = null_mechanism(make_q())
+        assert all(is_violation(mechanism(*point)) for point in GRID)
+        assert mechanism.acceptance_set() == frozenset()
+        assert mechanism.violation_rate() == 1.0
+
+    def test_both_satisfy_the_contract(self):
+        q = make_q()
+        program_as_mechanism(q).check_contract()
+        null_mechanism(q).check_contract()
+
+
+class TestContract:
+    def test_contract_violation_reports_witness(self):
+        q = make_q()
+        bad = ProtectionMechanism(lambda a, b: a + b + 1, q, name="M-bad")
+        with pytest.raises(MechanismContractError) as info:
+            bad.check_contract()
+        assert info.value.witness == (0, 0)
+        assert info.value.got == 1
+        assert info.value.expected == 0
+
+    def test_notices_always_satisfy_contract(self):
+        q = make_q()
+        sometimes = ProtectionMechanism(
+            lambda a, b: q(a, b) if a == 0 else ViolationNotice("no"),
+            q)
+        sometimes.check_contract()
+
+    def test_arity_enforced(self):
+        mechanism = program_as_mechanism(make_q())
+        with pytest.raises(ArityMismatchError):
+            mechanism(1)
+
+    def test_mechanism_requires_program_instance(self):
+        with pytest.raises(ProgramError):
+            ProtectionMechanism(lambda a: a, lambda a: a)
+
+
+class TestTableMechanism:
+    def test_lookup_and_default(self):
+        q = make_q()
+        mechanism = mechanism_from_table(q, {(0, 0): 0, (1, 1): 2})
+        assert mechanism(0, 0) == 0
+        assert mechanism(1, 1) == 2
+        assert is_violation(mechanism(2, 2))
+
+    def test_acceptance_set(self):
+        q = make_q()
+        mechanism = mechanism_from_table(q, {(0, 0): 0})
+        assert mechanism.acceptance_set() == frozenset({(0, 0)})
+
+
+class TestUnion:
+    """Theorem 1: M1 ∨ M2 passes Q through wherever either does."""
+
+    def test_union_accepts_union_of_acceptance_sets(self):
+        q = make_q()
+        left = mechanism_from_table(q, {p: q(*p) for p in GRID if p[0] == 0})
+        right = mechanism_from_table(q, {p: q(*p) for p in GRID if p[1] == 0})
+        joined = union(left, right)
+        assert joined.acceptance_set() == (left.acceptance_set()
+                                           | right.acceptance_set())
+
+    def test_union_satisfies_contract(self):
+        q = make_q()
+        left = mechanism_from_table(q, {(0, 0): 0})
+        right = mechanism_from_table(q, {(1, 1): 2})
+        union(left, right).check_contract()
+
+    def test_union_violates_only_where_both_do(self):
+        q = make_q()
+        left = mechanism_from_table(q, {(0, 0): 0})
+        right = mechanism_from_table(q, {(1, 1): 2})
+        joined = union(left, right)
+        for point in GRID:
+            expect_pass = point in ((0, 0), (1, 1))
+            assert joined.passes(*point) == expect_pass
+
+    def test_union_with_null_is_identity_on_acceptance(self):
+        q = make_q()
+        some = mechanism_from_table(q, {(2, 2): 4})
+        joined = union(some, null_mechanism(q))
+        assert joined.acceptance_set() == some.acceptance_set()
+
+    def test_union_rejects_mismatched_domains(self):
+        q = make_q()
+        other = Program(lambda a: a, ProductDomain.integer_grid(0, 2, 1))
+        with pytest.raises(ProgramError):
+            union(program_as_mechanism(q), program_as_mechanism(other))
+
+    def test_nary_join(self):
+        q = make_q()
+        singles = [mechanism_from_table(q, {point: q(*point)})
+                   for point in list(GRID)[:4]]
+        joined = join(singles, name="M-joined")
+        assert joined.name == "M-joined"
+        assert joined.acceptance_set() == frozenset(list(GRID)[:4])
+
+    def test_join_empty_rejected(self):
+        with pytest.raises(ProgramError):
+            join([])
+
+
+class TestUnionCommutativity:
+    """"M2 ∨ M1(a) gives violation notices for precisely the same
+    inputs" — acceptance is symmetric even when notice values differ."""
+
+    def test_acceptance_commutes(self):
+        q = make_q()
+        left = mechanism_from_table(q, {p: q(*p) for p in GRID
+                                        if p[0] == 0}, name="L")
+        right = mechanism_from_table(q, {p: q(*p) for p in GRID
+                                         if p[1] == 2}, name="R")
+        assert (union(left, right).acceptance_set()
+                == union(right, left).acceptance_set())
+
+    def test_notice_values_may_differ_across_orders(self):
+        q = make_q()
+        left = ProtectionMechanism(lambda a, b: ViolationNotice("from-L"),
+                                   q, name="L")
+        right = ProtectionMechanism(lambda a, b: ViolationNotice("from-R"),
+                                    q, name="R")
+        # Same (empty) acceptance either way; the notice value follows
+        # the first operand, exactly as the paper allows.
+        assert str(union(left, right)(0, 0)) == "from-L"
+        assert str(union(right, left)(0, 0)) == "from-R"

@@ -1,0 +1,60 @@
+"""Unit tests for repro.core.observability (the Observability Postulate)."""
+
+from repro.core import (Observation, VALUE_AND_TIME, VALUE_ONLY,
+                        with_extras)
+from repro.core.observability import OutputModel
+
+
+class TestProjection:
+    def test_value_only_hides_time(self):
+        fast = Observation(1, steps=3)
+        slow = Observation(1, steps=300)
+        assert VALUE_ONLY.project(fast) == VALUE_ONLY.project(slow) == 1
+
+    def test_value_and_time_distinguishes(self):
+        fast = Observation(1, steps=3)
+        slow = Observation(1, steps=300)
+        assert VALUE_AND_TIME.project(fast) == (1, 3)
+        assert VALUE_AND_TIME.project(slow) == (1, 300)
+        assert VALUE_AND_TIME.project(fast) != VALUE_AND_TIME.project(slow)
+
+    def test_extras_are_projected_in_order(self):
+        model = with_extras("page_faults")
+        observation = Observation(1, steps=5,
+                                  attributes={"page_faults": 2})
+        assert model.project(observation) == (1, 5, 2)
+
+    def test_extras_without_time(self):
+        model = with_extras("page_faults", time_observable=False)
+        observation = Observation(1, steps=5,
+                                  attributes={"page_faults": 2})
+        assert model.project(observation) == (1, 2)
+
+    def test_missing_extra_projects_none(self):
+        model = with_extras("page_faults")
+        assert model.project(Observation(1, steps=5)) == (1, 5, None)
+
+
+class TestModelIdentity:
+    def test_equality_and_hash(self):
+        assert VALUE_ONLY == OutputModel("value-only", False)
+        assert VALUE_ONLY != VALUE_AND_TIME
+        assert hash(VALUE_ONLY) == hash(OutputModel("value-only", False))
+
+    def test_flags(self):
+        assert not VALUE_ONLY.time_observable
+        assert VALUE_AND_TIME.time_observable
+        assert with_extras("x").extra_observables == ("x",)
+
+
+class TestObservation:
+    def test_equality(self):
+        assert Observation(1, 2) == Observation(1, 2)
+        assert Observation(1, 2) != Observation(1, 3)
+        assert Observation(1, 2, {"a": 1}) != Observation(1, 2)
+
+    def test_hashable(self):
+        assert len({Observation(1, 2), Observation(1, 2)}) == 1
+
+    def test_repr(self):
+        assert "steps=2" in repr(Observation(1, 2))

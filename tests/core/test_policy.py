@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.policy."""
+
+import pytest
+
+from repro.core import (ProductDomain, allow, allow_all, allow_none,
+                        content_dependent)
+from repro.core.policy import HistoryPolicy
+from repro.core.errors import ArityMismatchError, PolicyError
+
+GRID = ProductDomain.integer_grid(0, 2, 3)
+
+
+class TestAllowPolicy:
+    def test_projects_listed_positions(self):
+        policy = allow(2, arity=3)
+        assert policy(10, 20, 30) == (20,)
+
+    def test_allow_none_filters_everything(self):
+        assert allow_none(2)(5, 7) == ()
+
+    def test_allow_all_passes_everything(self):
+        assert allow_all(2)(5, 7) == (5, 7)
+
+    def test_paper_indices_are_one_based(self):
+        policy = allow(1, 3, arity=3)
+        assert policy(10, 20, 30) == (10, 30)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(PolicyError):
+            allow(0, arity=2)
+        with pytest.raises(PolicyError):
+            allow(3, arity=2)
+
+    def test_duplicate_index_rejected(self):
+        with pytest.raises(PolicyError):
+            allow(1, 1, arity=2)
+
+    def test_permits(self):
+        policy = allow(1, 3, arity=3)
+        assert policy.permits(1) and policy.permits(3)
+        assert not policy.permits(2)
+
+    def test_permits_all_is_subset_test(self):
+        policy = allow(1, 3, arity=3)
+        assert policy.permits_all(set())
+        assert policy.permits_all({1})
+        assert policy.permits_all({1, 3})
+        assert not policy.permits_all({1, 2})
+
+    def test_arity_enforced_on_call(self):
+        with pytest.raises(ArityMismatchError):
+            allow(1, arity=2)(5)
+
+    def test_name_matches_paper_notation(self):
+        assert allow(1, 3, arity=3).name == "allow(1, 3)"
+        assert allow_none(2).name == "allow()"
+
+
+class TestPolicyClasses:
+    def test_classes_partition_the_domain(self):
+        policy = allow(1, arity=3)
+        classes = policy.classes(GRID)
+        total = sum(len(members) for members in classes.values())
+        assert total == len(GRID)
+        # allow(1) over [0..2]^3: 3 classes of 9 points each.
+        assert len(classes) == 3
+        assert all(len(members) == 9 for members in classes.values())
+
+    def test_allow_none_single_class(self):
+        classes = allow_none(3).classes(GRID)
+        assert len(classes) == 1
+
+    def test_allow_all_singleton_classes(self):
+        classes = allow_all(3).classes(GRID)
+        assert len(classes) == len(GRID)
+
+    def test_members_share_policy_value(self):
+        policy = allow(2, 3, arity=3)
+        for value, members in policy.classes(GRID).items():
+            for point in members:
+                assert policy(*point) == value
+
+
+class TestContentDependentPolicy:
+    def test_value_dependent_filtering(self):
+        # Allow x2 only when x1 is even — not expressible as allow(...).
+        policy = content_dependent(
+            lambda x1, x2: (x1, x2 if x1 % 2 == 0 else None), arity=2)
+        assert policy(2, 9) == (2, 9)
+        assert policy(1, 9) == (1, None)
+
+    def test_classes_reflect_content(self):
+        policy = content_dependent(
+            lambda x1, x2: (x1, x2 if x1 == 0 else 0), arity=2)
+        grid = ProductDomain.integer_grid(0, 2, 2)
+        classes = policy.classes(grid)
+        # x1 == 0: three singleton classes; x1 in {1,2}: one class each.
+        assert len(classes) == 3 + 2
+
+
+class TestHistoryPolicy:
+    def _budget_policy(self, budget):
+        def step(count, inputs):
+            if count < budget:
+                return inputs, count + 1
+            return "denied", count + 1
+
+        return HistoryPolicy(0, step, arity=1)
+
+    def test_session_respects_budget(self):
+        policy = self._budget_policy(budget=2).session(3)
+        assert policy.arity == 3
+        assert policy(10, 20, 30) == ((10,), (20,), "denied")
+
+    def test_session_zero_budget_denies_all(self):
+        policy = self._budget_policy(budget=0).session(2)
+        assert policy(1, 2) == ("denied", "denied")
+
+    def test_filter_query_advances_state(self):
+        history = self._budget_policy(budget=1)
+        value, state = history.filter_query(history.initial_state, (5,))
+        assert value == (5,) and state == 1
+        value, state = history.filter_query(state, (6,))
+        assert value == "denied" and state == 2

@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.program."""
+
+import pytest
+
+from repro.core import Program, ProductDomain, program
+from repro.core.errors import ArityMismatchError, ProgramError
+
+GRID = ProductDomain.integer_grid(0, 3, 2)
+
+
+def test_call_applies_function():
+    q = Program(lambda a, b: a + b, GRID)
+    assert q(1, 2) == 3
+
+
+def test_arity_enforced():
+    q = Program(lambda a, b: a + b, GRID)
+    with pytest.raises(ArityMismatchError):
+        q(1)
+    with pytest.raises(ArityMismatchError):
+        q(1, 2, 3)
+
+
+def test_results_are_memoised():
+    calls = []
+
+    def body(a, b):
+        calls.append((a, b))
+        return a * b
+
+    q = Program(body, GRID)
+    assert q(2, 3) == 6
+    assert q(2, 3) == 6
+    assert calls == [(2, 3)]
+
+
+def test_non_callable_rejected():
+    with pytest.raises(ProgramError):
+        Program(42, GRID)
+
+
+def test_table_covers_domain():
+    q = Program(lambda a, b: a - b, GRID)
+    table = q.table()
+    assert len(table) == len(GRID)
+    assert ((1, 1), 0) in table
+
+
+def test_is_constant():
+    assert Program(lambda a, b: 7, GRID).is_constant()
+    assert not Program(lambda a, b: a, GRID).is_constant()
+
+
+def test_on_rebinds_domain():
+    q = Program(lambda a, b: a + b, GRID, name="add")
+    wider = ProductDomain.integer_grid(0, 5, 2)
+    q2 = q.on(wider)
+    assert q2.domain == wider
+    assert q2.name == "add"
+    assert q2(5, 5) == 10
+
+
+def test_on_rejects_arity_change():
+    q = Program(lambda a, b: a + b, GRID)
+    with pytest.raises(ArityMismatchError):
+        q.on(ProductDomain.integer_grid(0, 3, 3))
+
+
+def test_decorator_uses_function_name():
+    @program(GRID)
+    def add(a, b):
+        return a + b
+
+    assert isinstance(add, Program)
+    assert add.name == "add"
+    assert add(1, 1) == 2
+
+
+def test_decorator_explicit_name():
+    @program(GRID, name="Q-sum")
+    def add(a, b):
+        return a + b
+
+    assert add.name == "Q-sum"
+
+
+def test_unhashable_inputs_bypass_cache():
+    wide = ProductDomain(*(GRID.components))
+    q = Program(lambda a, b: 1, wide)
+    # Lists are unhashable; call must still succeed (uncached path).
+    assert q._fn([1], [2]) == 1

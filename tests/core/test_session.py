@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.session — history-dependent enforcement."""
+
+import pytest
+
+from repro.core import (Domain, ProductDomain, Program, ViolationNotice,
+                        budget_gatekeeper, check_soundness,
+                        content_triggered_gatekeeper, is_violation,
+                        program_as_mechanism, session_program, unroll)
+from repro.core.errors import ArityMismatchError
+from repro.core.policy import HistoryPolicy
+from repro.core.session import SessionMechanism
+
+QUERY_GRID = ProductDomain.integer_grid(0, 1, 2)
+
+
+def per_query_program():
+    """One query: return x1 (x2 is the secret column)."""
+    return Program(lambda a, b: a, QUERY_GRID, name="first")
+
+
+def budget_history_policy(budget: int) -> HistoryPolicy:
+    """The matching policy: first `budget` queries reveal x1, then
+    nothing."""
+
+    def step(count, inputs):
+        if count < budget:
+            return (inputs[0],), count + 1
+        return "exhausted", count + 1
+
+    return HistoryPolicy(0, step, arity=2, name=f"I-budget[{budget}]")
+
+
+class TestSessionProgram:
+    def test_tuple_of_answers(self):
+        session = session_program(per_query_program(), 2)
+        assert session(1, 0, 0, 1) == (1, 0)
+        assert session.arity == 4
+
+    def test_domain_is_product_of_queries(self):
+        session = session_program(per_query_program(), 3)
+        assert len(session.domain) == len(QUERY_GRID) ** 3
+
+
+class TestBudgetGatekeeper:
+    def test_answers_then_refuses(self):
+        gate = budget_gatekeeper(
+            program_as_mechanism(per_query_program()), budget=1)
+        output1, state = gate.answer_query(gate.initial_state, (1, 0))
+        assert output1 == 1
+        output2, _ = gate.answer_query(state, (1, 0))
+        assert is_violation(output2)
+
+    def test_unrolled_is_sound_for_the_budget_policy(self):
+        """The stateful gatekeeper enforces the history policy: checked
+        with the ordinary (stateless) soundness machinery."""
+        gate = budget_gatekeeper(
+            program_as_mechanism(per_query_program()), budget=1)
+        unrolled = unroll(gate, per_query_program(), length=2)
+        policy = budget_history_policy(1).session(2)
+        assert check_soundness(unrolled, policy).sound
+
+    def test_unrolled_passes_only_full_sessions(self):
+        gate = budget_gatekeeper(
+            program_as_mechanism(per_query_program()), budget=2)
+        unrolled = unroll(gate, per_query_program(), length=2)
+        # Budget covers the session: all answers pass through.
+        assert unrolled(1, 0, 0, 1) == (1, 0)
+
+    def test_session_with_any_notice_is_a_notice(self):
+        gate = budget_gatekeeper(
+            program_as_mechanism(per_query_program()), budget=1)
+        unrolled = unroll(gate, per_query_program(), length=2)
+        output = unrolled(1, 0, 0, 1)
+        assert is_violation(output)
+        assert "budget exhausted" in str(output)
+
+    def test_contract_via_unrolling(self):
+        gate = budget_gatekeeper(
+            program_as_mechanism(per_query_program()), budget=2)
+        unroll(gate, per_query_program(), 2).check_contract()
+
+
+class TestContentTriggeredGatekeeper:
+    def test_tripwire_on_secret_leaks_through_refusal_pattern(self):
+        """A gatekeeper that locks the session when it sees x2 = 1:
+        later refusals encode the earlier secret — unsound."""
+        gate = content_triggered_gatekeeper(
+            program_as_mechanism(per_query_program()),
+            trip=lambda a, b: b == 1)
+        unrolled = unroll(gate, per_query_program(), length=2)
+        # Policy: reveal x1 of both queries (x2 denied, unbudgeted).
+        def filter_fn(*flat):
+            return (flat[0], flat[2])
+
+        from repro.core import SecurityPolicy
+
+        policy = SecurityPolicy(filter_fn, 4, name="I-x1-both")
+        report = check_soundness(unrolled, policy)
+        assert not report.sound
+        # The witness: sessions equal on x1s, differing in query-1's x2.
+        witness = report.witness
+        assert witness.first[1] != witness.second[1]
+
+    def test_tripwire_on_allowed_data_is_sound(self):
+        gate = content_triggered_gatekeeper(
+            program_as_mechanism(per_query_program()),
+            trip=lambda a, b: a == 1)
+        unrolled = unroll(gate, per_query_program(), length=2)
+
+        from repro.core import SecurityPolicy
+
+        policy = SecurityPolicy(lambda *flat: (flat[0], flat[2]), 4,
+                                name="I-x1-both")
+        assert check_soundness(unrolled, policy).sound
+
+
+class TestArity:
+    def test_query_arity_enforced(self):
+        gate = budget_gatekeeper(
+            program_as_mechanism(per_query_program()), budget=1)
+        with pytest.raises(ArityMismatchError):
+            gate.answer_query(gate.initial_state, (1,))
+
+    def test_custom_session_mechanism(self):
+        mechanism = SessionMechanism(
+            "fresh", lambda state, inputs: (0, state), arity=2)
+        output, state = mechanism.answer_query("fresh", (1, 1))
+        assert output == 0 and state == "fresh"

@@ -1,0 +1,138 @@
+"""Unit tests for repro.core.soundness (the factorization definition)."""
+
+import pytest
+
+from repro.core import (LAMBDA, ProductDomain, Program, ProtectionMechanism,
+                        ViolationNotice, allow, allow_all, allow_none,
+                        check_soundness, distinguishable_pairs, is_sound,
+                        leak_partition_sizes, max_leaked_bits,
+                        null_mechanism, program_as_mechanism)
+from repro.core.errors import ArityMismatchError
+
+GRID = ProductDomain.integer_grid(0, 2, 2)
+
+
+def make_q(fn=lambda a, b: a + b, name="Q"):
+    return Program(fn, GRID, name=name)
+
+
+class TestSoundVerdicts:
+    def test_null_mechanism_sound_for_any_policy(self):
+        q = make_q()
+        for policy in (allow_none(2), allow(1, arity=2), allow_all(2)):
+            assert is_sound(null_mechanism(q), policy)
+
+    def test_program_sound_for_allow_all(self):
+        assert is_sound(program_as_mechanism(make_q()), allow_all(2))
+
+    def test_program_unsound_when_reading_denied_input(self):
+        report = check_soundness(program_as_mechanism(make_q()),
+                                 allow(1, arity=2))
+        assert not report.sound
+        assert report.witness is not None
+
+    def test_constant_program_sound_for_allow_none(self):
+        q = make_q(lambda a, b: 42)
+        assert is_sound(program_as_mechanism(q), allow_none(2))
+
+    def test_projection_sound_for_matching_allow(self):
+        q = make_q(lambda a, b: a * 2, name="double-x1")
+        assert is_sound(program_as_mechanism(q), allow(1, arity=2))
+        assert not is_sound(program_as_mechanism(q), allow(2, arity=2))
+
+
+class TestWitness:
+    def test_witness_inputs_are_policy_equal_but_output_distinct(self):
+        policy = allow(1, arity=2)
+        mechanism = program_as_mechanism(make_q())
+        witness = check_soundness(mechanism, policy).witness
+        assert policy(*witness.first) == policy(*witness.second)
+        assert witness.first_output != witness.second_output
+        assert witness.leaked_bits() >= 1.0
+
+    def test_notice_vs_value_is_a_valid_witness(self):
+        # A mechanism that warns exactly when the denied input is zero:
+        # the notice itself leaks (Example 4 / negative inference).
+        q = make_q(lambda a, b: 1)
+        mechanism = ProtectionMechanism(
+            lambda a, b: ViolationNotice("err") if b == 0 else 1, q)
+        report = check_soundness(mechanism, allow(1, arity=2))
+        assert not report.sound
+
+    def test_distinct_notices_are_distinguishable(self):
+        # Two different notice values split a policy class — unsound,
+        # even though every output is "just a violation notice".
+        q = make_q()
+        mechanism = ProtectionMechanism(
+            lambda a, b: ViolationNotice(f"err{b}"), q)
+        assert not is_sound(mechanism, allow(1, arity=2))
+
+    def test_single_notice_everywhere_is_sound(self):
+        q = make_q()
+        mechanism = ProtectionMechanism(lambda a, b: LAMBDA, q)
+        assert is_sound(mechanism, allow(1, arity=2))
+
+
+class TestFactor:
+    def test_factor_reconstructs_m_prime(self):
+        """The definition is existence of M' with M = M' ∘ I."""
+        policy = allow(1, arity=2)
+        q = make_q(lambda a, b: a * 10)
+        mechanism = program_as_mechanism(q)
+        report = check_soundness(mechanism, policy)
+        assert report.sound
+        m_prime = report.factor_function()
+        for point in GRID:
+            assert mechanism(*point) == m_prime(policy(*point))
+
+    def test_factor_unavailable_when_unsound(self):
+        report = check_soundness(program_as_mechanism(make_q()),
+                                 allow(1, arity=2))
+        with pytest.raises(ValueError):
+            report.factor_function()
+
+    def test_class_count_matches_policy(self):
+        report = check_soundness(null_mechanism(make_q()), allow(1, arity=2))
+        assert report.classes_checked == 3  # x1 in {0,1,2}
+
+    def test_full_walk_when_not_stopping(self):
+        report = check_soundness(program_as_mechanism(make_q()),
+                                 allow(1, arity=2),
+                                 stop_at_first_witness=False)
+        assert report.inputs_checked == len(GRID)
+
+
+class TestLeakQuantification:
+    def test_sound_mechanism_leaks_zero_bits(self):
+        assert max_leaked_bits(null_mechanism(make_q()),
+                               allow(1, arity=2)) == 0.0
+
+    def test_identity_leaks_log_of_class_size(self):
+        # Q(a,b) = b with allow(1): each class splits into 3 outputs.
+        q = make_q(lambda a, b: b)
+        bits = max_leaked_bits(program_as_mechanism(q), allow(1, arity=2))
+        assert bits == pytest.approx(1.585, abs=1e-3)  # log2(3)
+
+    def test_partition_sizes(self):
+        q = make_q(lambda a, b: b % 2)
+        sizes = leak_partition_sizes(program_as_mechanism(q),
+                                     allow(1, arity=2))
+        assert set(sizes.values()) == {2}
+
+    def test_distinguishable_pairs_enumerates_leaks(self):
+        q = make_q(lambda a, b: b)
+        pairs = list(distinguishable_pairs(program_as_mechanism(q),
+                                           allow(1, arity=2)))
+        # Per class of 3 points: 3 distinguishable pairs; 3 classes.
+        assert len(pairs) == 9
+
+    def test_distinguishable_pairs_limit(self):
+        q = make_q(lambda a, b: b)
+        pairs = list(distinguishable_pairs(program_as_mechanism(q),
+                                           allow(1, arity=2), limit=2))
+        assert len(pairs) == 2
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(ArityMismatchError):
+        check_soundness(program_as_mechanism(make_q()), allow(1, arity=3))

@@ -1,0 +1,86 @@
+"""Unit tests for repro.filesystem.mechanism (monitors, Example 2/4)."""
+
+import pytest
+
+from repro.core import check_soundness, is_violation
+from repro.core.errors import DomainError, MechanismContractError
+from repro.filesystem.mechanism import (content_leaking_monitor,
+                                        decision_leaking_monitor,
+                                        plug_puller, reference_monitor)
+from repro.filesystem.model import (DENY, GRANT, filesystem_domain,
+                                    read_file_program, sum_readable_program)
+from repro.filesystem.policy import directory_gated_policy
+
+DOMAIN = filesystem_domain(2, 0, 2)
+Q = read_file_program(1, 2, DOMAIN)
+POLICY = directory_gated_policy(2)
+
+
+class TestReferenceMonitor:
+    def test_grants_release_the_file(self):
+        monitor = reference_monitor(Q, 1)
+        assert monitor(GRANT, DENY, 7, 0) == 7
+
+    def test_denials_give_the_paper_notice(self):
+        monitor = reference_monitor(Q, 1)
+        output = monitor(DENY, GRANT, 7, 0)
+        assert is_violation(output)
+        assert "Illegal access" in str(output)
+
+    def test_sound_for_gated_policy(self):
+        assert check_soundness(reference_monitor(Q, 1), POLICY).sound
+
+    def test_contract(self):
+        reference_monitor(Q, 1).check_contract()
+
+    def test_bad_file_index(self):
+        with pytest.raises(DomainError):
+            reference_monitor(Q, 3)
+
+    def test_monitor_for_aggregate_program(self):
+        q_sum = sum_readable_program(2, DOMAIN)
+        from repro.core import program_as_mechanism
+
+        # SUM-READABLE only aggregates granted files, so it is sound as
+        # its own mechanism for the gated policy.
+        assert check_soundness(program_as_mechanism(q_sum), POLICY).sound
+
+
+class TestExample4Leaks:
+    def test_content_leaking_monitor_unsound(self):
+        monitor = content_leaking_monitor(Q, 1)
+        report = check_soundness(monitor, POLICY)
+        assert not report.sound
+        # The witness pair differs only in the *denied* file.
+        witness = report.witness
+        assert witness.first[0] == DENY or witness.second[0] == DENY
+
+    def test_content_leak_is_in_the_notice_text(self):
+        monitor = content_leaking_monitor(Q, 1)
+        assert "content 2" in str(monitor(DENY, GRANT, 2, 0))
+
+    def test_decision_leaking_monitor_unsound(self):
+        monitor = decision_leaking_monitor(Q, 1, threshold=1)
+        assert not check_soundness(monitor, POLICY).sound
+
+    def test_decision_leak_notices_look_innocuous(self):
+        """Every notice is the same harmless string — the leak is in
+        *when* it appears (negative inference)."""
+        monitor = decision_leaking_monitor(Q, 1, threshold=1)
+        notices = {str(monitor(*point)) for point in DOMAIN
+                   if is_violation(monitor(*point))}
+        assert notices == {"Illegal access attempted, run aborted."}
+
+    def test_decision_leaking_monitor_breaks_contract_too(self):
+        # threshold=2: a denied file with content 1 quietly returns 0,
+        # which is neither Q's output (1) nor a notice.
+        monitor = decision_leaking_monitor(Q, 1, threshold=2)
+        with pytest.raises(MechanismContractError):
+            monitor.check_contract()
+
+
+class TestPlugPuller:
+    def test_sound_and_useless(self):
+        monitor = plug_puller(Q)
+        assert check_soundness(monitor, POLICY).sound
+        assert monitor.acceptance_set() == frozenset()

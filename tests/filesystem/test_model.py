@@ -1,0 +1,71 @@
+"""Unit tests for repro.filesystem.model (Example 2's file system)."""
+
+import pytest
+
+from repro.core.errors import DomainError
+from repro.filesystem.model import (DENY, GRANT, file_index,
+                                    filesystem_domain, read_file_program,
+                                    search_program, split_state,
+                                    sum_readable_program)
+
+
+class TestDomain:
+    def test_shape(self):
+        domain = filesystem_domain(2, 0, 1)
+        assert domain.arity == 4
+        assert len(domain) == 2 * 2 * 2 * 2  # 2 dirs x 2 files, binary
+
+    def test_directories_before_files(self):
+        domain = filesystem_domain(2, 0, 1)
+        point = next(iter(domain))
+        directories, files = split_state(point, 2)
+        assert all(value in (GRANT, DENY) for value in directories)
+        assert all(isinstance(value, int) for value in files)
+
+    def test_zero_files_rejected(self):
+        with pytest.raises(DomainError):
+            filesystem_domain(0)
+
+
+class TestSplitState:
+    def test_split(self):
+        directories, files = split_state((GRANT, DENY, 1, 2), 2)
+        assert directories == (GRANT, DENY)
+        assert files == (1, 2)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(DomainError):
+            split_state((GRANT, 1), 2)
+
+    def test_file_index_positions(self):
+        assert file_index(1, file_count=2) == 3
+        assert file_index(2, file_count=2) == 4
+
+
+class TestPrograms:
+    def test_read_file(self):
+        q = read_file_program(2, 2)
+        assert q(GRANT, GRANT, 7, 9) == 9
+
+    def test_read_file_ignores_directories(self):
+        """READFILE is a raw view function: it reads the file whether or
+        not the directory grants — protection is the monitor's job."""
+        q = read_file_program(1, 2)
+        assert q(DENY, DENY, 7, 9) == 7
+
+    def test_read_file_bad_index(self):
+        with pytest.raises(DomainError):
+            read_file_program(3, 2)
+
+    def test_sum_readable(self):
+        q = sum_readable_program(2)
+        assert q(GRANT, GRANT, 3, 4) == 7
+        assert q(GRANT, DENY, 3, 4) == 3
+        assert q(DENY, DENY, 3, 4) == 0
+
+    def test_search_scans_denied_files(self):
+        """The Example 6 trap: SEARCH leaks positions of denied content."""
+        q = search_program(9, 2)
+        assert q(DENY, DENY, 9, 0) == 1
+        assert q(DENY, DENY, 0, 9) == 2
+        assert q(DENY, DENY, 0, 0) == 0

@@ -1,0 +1,61 @@
+"""Unit tests for repro.filesystem.policy (Example 2's policies)."""
+
+from repro.filesystem.model import DENY, GRANT, filesystem_domain
+from repro.filesystem.policy import (directories_only_policy,
+                                     directory_gated_policy,
+                                     query_budget_policy)
+
+
+class TestDirectoryGatedPolicy:
+    def test_grants_pass_content(self):
+        policy = directory_gated_policy(2)
+        assert policy(GRANT, GRANT, 5, 6) == (GRANT, GRANT, 5, 6)
+
+    def test_denials_zero_content(self):
+        """fi' = fi if di = YES and 0 otherwise (the paper's definition)."""
+        policy = directory_gated_policy(2)
+        assert policy(GRANT, DENY, 5, 6) == (GRANT, DENY, 5, 0)
+        assert policy(DENY, DENY, 5, 6) == (DENY, DENY, 0, 0)
+
+    def test_directories_always_visible(self):
+        """'The user can always obtain the value of all the directories.'"""
+        policy = directory_gated_policy(1)
+        assert policy(DENY, 9)[0] == DENY
+
+    def test_not_of_allow_form(self):
+        """Two states differing only in a denied file are policy-equal;
+        differing in a granted file they are not — the filtering depends
+        on *values*, so no fixed index projection realises it."""
+        policy = directory_gated_policy(1)
+        assert policy(DENY, 5) == policy(DENY, 6)
+        assert policy(GRANT, 5) != policy(GRANT, 6)
+
+    def test_classes_over_domain(self):
+        domain = filesystem_domain(1, 0, 2)
+        classes = directory_gated_policy(1).classes(domain)
+        # GRANT: 3 singleton classes; DENY: one class of 3 states.
+        sizes = sorted(len(members) for members in classes.values())
+        assert sizes == [1, 1, 1, 3]
+
+
+class TestDirectoriesOnlyPolicy:
+    def test_filters_all_files(self):
+        policy = directories_only_policy(2)
+        assert policy(GRANT, DENY, 5, 6) == (GRANT, DENY)
+        assert policy(GRANT, DENY, 0, 0) == (GRANT, DENY)
+
+
+class TestQueryBudgetPolicy:
+    def test_budget_exhaustion(self):
+        history = query_budget_policy(1, budget=1)
+        session = history.session(2)
+        first_state = (GRANT, 5)
+        second_state = (GRANT, 6)
+        outputs = session(*(first_state + second_state))
+        assert outputs[0] == (GRANT, 5)       # within budget: gated view
+        assert outputs[1] == ("budget-exhausted",)
+
+    def test_denied_content_filtered_within_budget(self):
+        history = query_budget_policy(1, budget=2)
+        session = history.session(1)
+        assert session(DENY, 9) == ((DENY, 0),)

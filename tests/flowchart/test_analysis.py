@@ -1,0 +1,142 @@
+"""Unit tests for repro.flowchart.analysis (CFG analyses, region finding)."""
+
+from repro.flowchart import library
+from repro.flowchart.analysis import (dominators, find_ite_regions,
+                                      find_while_regions,
+                                      immediate_postdominator,
+                                      is_straight_line, postdominators)
+from repro.flowchart.boxes import AssignBox, DecisionBox, HaltBox, StartBox
+from repro.flowchart.expr import Const, var
+from repro.flowchart.program import Flowchart
+
+
+def diamond():
+    boxes = {
+        "start": StartBox("d"),
+        "d": DecisionBox(var("x1").eq(0), "a", "b"),
+        "a": AssignBox("r", Const(1), "join"),
+        "b": AssignBox("r", Const(2), "join"),
+        "join": AssignBox("y", var("r"), "halt"),
+        "halt": HaltBox(),
+    }
+    return Flowchart(boxes, ["x1"], name="diamond")
+
+
+def loop():
+    boxes = {
+        "start": StartBox("init"),
+        "init": AssignBox("r", var("x1"), "test"),
+        "test": DecisionBox(var("r").ne(0), "body", "out"),
+        "body": AssignBox("r", var("r") - 1, "test"),
+        "out": AssignBox("y", Const(1), "halt"),
+        "halt": HaltBox(),
+    }
+    return Flowchart(boxes, ["x1"], name="loop")
+
+
+class TestDominators:
+    def test_start_dominates_everything(self):
+        flowchart = diamond()
+        dom = dominators(flowchart)
+        for node in flowchart.boxes:
+            assert "start" in dom[node]
+
+    def test_branch_arms_not_dominating_join(self):
+        dom = dominators(diamond())
+        assert "a" not in dom["join"]
+        assert "b" not in dom["join"]
+        assert "d" in dom["join"]
+
+    def test_self_domination(self):
+        dom = dominators(diamond())
+        for node, dominated_by in dom.items():
+            assert node in dominated_by
+
+
+class TestPostdominators:
+    def test_halt_postdominates_everything(self):
+        flowchart = diamond()
+        pdom = postdominators(flowchart)
+        for node in flowchart.boxes:
+            assert "halt" in pdom[node]
+
+    def test_join_postdominates_arms(self):
+        pdom = postdominators(diamond())
+        assert "join" in pdom["a"]
+        assert "join" in pdom["b"]
+        assert "join" in pdom["d"]
+
+    def test_arms_do_not_postdominate_decision(self):
+        pdom = postdominators(diamond())
+        assert "a" not in pdom["d"]
+        assert "b" not in pdom["d"]
+
+
+class TestImmediatePostdominator:
+    def test_diamond_decision_ipdom_is_join(self):
+        assert immediate_postdominator(diamond(), "d") == "join"
+
+    def test_loop_decision_ipdom_is_exit(self):
+        assert immediate_postdominator(loop(), "test") == "out"
+
+    def test_halt_has_none(self):
+        assert immediate_postdominator(diamond(), "halt") is None
+
+    def test_chain_node(self):
+        assert immediate_postdominator(diamond(), "join") == "halt"
+
+
+class TestIteRegions:
+    def test_diamond_detected(self):
+        regions = find_ite_regions(diamond())
+        assert len(regions) == 1
+        region = regions[0]
+        assert region.decision == "d"
+        assert region.then_chain == ["a"]
+        assert region.else_chain == ["b"]
+        assert region.join == "join"
+        assert region.interior() == {"d", "a", "b"}
+
+    def test_loop_not_reported_as_ite(self):
+        assert find_ite_regions(loop()) == []
+
+    def test_empty_arm_region(self):
+        """forgetting_program: `if x2 = 0 then y := 0` — one empty arm."""
+        regions = find_ite_regions(library.forgetting_program())
+        assert len(regions) == 1
+        region = regions[0]
+        assert (region.then_chain == [] or region.else_chain == [])
+
+    def test_library_examples(self):
+        assert len(find_ite_regions(library.example7_program())) == 1
+        assert len(find_ite_regions(library.example8_program())) == 1
+        assert len(find_ite_regions(library.example9_program())) == 1
+
+    def test_decision_arms_detected_in_nested_branch(self):
+        # The inner if of nested_branch_program is a diamond; the outer
+        # one has a decision inside an arm, so it is not.
+        regions = find_ite_regions(library.nested_branch_program())
+        assert len(regions) == 1
+
+
+class TestWhileRegions:
+    def test_loop_detected(self):
+        regions = find_while_regions(loop())
+        assert len(regions) == 1
+        region = regions[0]
+        assert region.decision == "test"
+        assert region.body_chain == ["body"]
+        assert region.exit == "out"
+
+    def test_diamond_not_reported_as_while(self):
+        assert find_while_regions(diamond()) == []
+
+    def test_library_loops(self):
+        assert len(find_while_regions(library.timing_loop())) == 1
+        assert len(find_while_regions(library.accumulate_program())) == 1
+        assert len(find_while_regions(library.parity_program())) == 1
+
+
+def test_is_straight_line():
+    assert is_straight_line(library.mixer_program())
+    assert not is_straight_line(library.max_program())

@@ -1,0 +1,89 @@
+"""Unit tests for repro.flowchart.builder."""
+
+import pytest
+
+from repro.core.errors import FlowchartError
+from repro.flowchart.builder import FlowchartBuilder
+from repro.flowchart.expr import Const, var
+from repro.flowchart.interpreter import execute
+
+
+class TestSequentialConstruction:
+    def test_straight_line(self):
+        builder = FlowchartBuilder(["x1"], name="line")
+        builder.start()
+        builder.assign("y", var("x1") * 3)
+        builder.halt()
+        flowchart = builder.build()
+        assert execute(flowchart, (4,)).value == 12
+
+    def test_loop_full(self):
+        builder = FlowchartBuilder(["x1"], name="sum")
+        top = builder.label("top")
+        body = builder.label("body")
+        out = builder.label("out")
+        builder.start()
+        builder.assign("r", var("x1"))
+        builder.define(top)
+        builder.decide(var("r").ne(0), then_to=body, else_to=out)
+        builder.define(body)
+        builder.assign("y", var("y") + var("r"))
+        builder.assign("r", var("r") - 1)
+        builder.goto(top)
+        builder.define(out)
+        builder.halt()
+        flowchart = builder.build()
+        assert execute(flowchart, (4,)).value == 10
+
+    def test_diamond(self):
+        builder = FlowchartBuilder(["x1"], name="abs-ish")
+        then_arm = builder.label("then")
+        else_arm = builder.label("else")
+        join = builder.label("join")
+        builder.start()
+        builder.decide(var("x1").ge(0), then_to=then_arm, else_to=else_arm)
+        builder.define(then_arm)
+        builder.assign("y", var("x1"))
+        builder.goto(join)
+        builder.define(else_arm)
+        builder.assign("y", -var("x1"))
+        builder.goto(join)
+        builder.define(join)
+        builder.halt()
+        flowchart = builder.build()
+        assert execute(flowchart, (5,)).value == 5
+
+
+class TestBuilderErrors:
+    def test_build_before_start(self):
+        with pytest.raises(FlowchartError, match="start"):
+            FlowchartBuilder(["x1"]).build()
+
+    def test_double_start(self):
+        builder = FlowchartBuilder(["x1"])
+        builder.start()
+        with pytest.raises(FlowchartError, match="twice"):
+            builder.start()
+
+    def test_unwired_flow_rejected(self):
+        builder = FlowchartBuilder(["x1"])
+        builder.start()
+        builder.assign("y", Const(1))
+        with pytest.raises(FlowchartError, match="unwired"):
+            builder.build()
+
+    def test_unused_defined_label_rejected(self):
+        builder = FlowchartBuilder(["x1"])
+        builder.start()
+        builder.halt()
+        builder.define(builder.label())
+        with pytest.raises(FlowchartError, match="never given a box"):
+            builder.build()
+
+    def test_duplicate_raw_id_rejected(self):
+        from repro.flowchart.boxes import HaltBox
+
+        builder = FlowchartBuilder(["x1"])
+        builder.raw("h", HaltBox())
+        with pytest.raises(FlowchartError, match="duplicate"):
+            builder.raw("h", HaltBox())

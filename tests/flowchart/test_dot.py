@@ -1,0 +1,51 @@
+"""Unit tests for repro.flowchart.dot (DOT export)."""
+
+from repro.core import allow
+from repro.flowchart import library, to_dot
+from repro.surveillance import instrument
+
+
+class TestDotExport:
+    def test_structure(self):
+        text = to_dot(library.forgetting_program())
+        assert text.startswith("digraph {")
+        assert text.endswith("}")
+        assert 'label="forgetting"' in text
+
+    def test_node_shapes(self):
+        text = to_dot(library.forgetting_program())
+        assert "shape=oval" in text      # start/halt
+        assert "shape=diamond" in text   # decision
+        assert "shape=box" in text       # assignment
+
+    def test_edges_labelled(self):
+        text = to_dot(library.max_program())
+        assert '[label="TRUE"]' in text
+        assert '[label="FALSE"]' in text
+
+    def test_every_box_appears(self):
+        flowchart = library.accumulate_program()
+        text = to_dot(flowchart)
+        for node_id in flowchart.boxes:
+            assert f'"{node_id}"' in text
+
+    def test_deterministic(self):
+        assert (to_dot(library.example8_program())
+                == to_dot(library.example8_program()))
+
+    def test_instrumented_flowchart_renders(self):
+        instrumented = instrument(library.forgetting_program(),
+                                  allow(2, arity=2))
+        text = to_dot(instrumented)
+        assert "_s_y" in text
+        assert "_viol" in text
+
+    def test_name_suppressible(self):
+        text = to_dot(library.mixer_program(), include_name=False)
+        assert "labelloc" not in text
+
+    def test_quotes_escaped(self):
+        # Box labels containing quotes must not break the DOT syntax.
+        text = to_dot(library.mixer_program())
+        for line in text.splitlines():
+            assert line.count('"') % 2 == 0

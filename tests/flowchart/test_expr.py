@@ -1,0 +1,195 @@
+"""Unit tests for repro.flowchart.expr."""
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.flowchart.expr import (And, BinOp, BoolConst, Compare, Const,
+                                  Ite, LoopExpr, Neg, Not, Or, Var,
+                                  structurally_equal, substitute, var,
+                                  variables_of)
+
+
+class TestEvaluation:
+    def test_const_and_var(self):
+        assert Const(5).eval({}) == 5
+        assert Var("x").eval({"x": 7}) == 7
+
+    def test_unbound_variable(self):
+        with pytest.raises(ExecutionError, match="unbound"):
+            Var("x").eval({})
+
+    def test_arithmetic(self):
+        env = {"a": 7, "b": 3}
+        assert (var("a") + var("b")).eval(env) == 10
+        assert (var("a") - var("b")).eval(env) == 4
+        assert (var("a") * var("b")).eval(env) == 21
+        assert (var("a") // var("b")).eval(env) == 2
+        assert (var("a") % var("b")).eval(env) == 1
+        assert (-var("a")).eval(env) == -7
+
+    def test_division_by_zero_is_total(self):
+        # The expression language is total: x // 0 == x % 0 == 0.
+        assert (var("a") // 0).eval({"a": 5}) == 0
+        assert (var("a") % 0).eval({"a": 5}) == 0
+
+    def test_bitwise(self):
+        env = {"a": 0b1100, "b": 0b1010}
+        assert (var("a") | var("b")).eval(env) == 0b1110
+        assert (var("a") & var("b")).eval(env) == 0b1000
+        assert (var("a") ^ var("b")).eval(env) == 0b0110
+
+    def test_min_max(self):
+        env = {"a": 2, "b": 9}
+        assert BinOp("min", var("a"), var("b")).eval(env) == 2
+        assert BinOp("max", var("a"), var("b")).eval(env) == 9
+
+    def test_reflected_operators(self):
+        assert (1 + var("x")).eval({"x": 2}) == 3
+        assert (10 - var("x")).eval({"x": 2}) == 8
+        assert (3 * var("x")).eval({"x": 2}) == 6
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExecutionError):
+            BinOp("**", Const(2), Const(3))
+
+    def test_lift_rejects_non_integers(self):
+        with pytest.raises(ExecutionError):
+            var("x") + 1.5
+        with pytest.raises(ExecutionError):
+            var("x") + True
+        with pytest.raises(ExecutionError):
+            Const(True)
+
+
+class TestPredicates:
+    def test_comparisons(self):
+        env = {"a": 2, "b": 3}
+        assert var("a").lt(var("b")).eval(env)
+        assert var("a").le(2).eval(env)
+        assert var("b").gt(var("a")).eval(env)
+        assert var("b").ge(3).eval(env)
+        assert var("a").eq(2).eval(env)
+        assert var("a").ne(var("b")).eval(env)
+
+    def test_connectives(self):
+        true = BoolConst(True)
+        false = BoolConst(False)
+        assert And(true, true).eval({})
+        assert not And(true, false).eval({})
+        assert Or(false, true).eval({})
+        assert not Or(false, false).eval({})
+        assert Not(false).eval({})
+        assert (~false).eval({})
+        assert true.and_(true).eval({})
+        assert false.or_(true).eval({})
+
+    def test_unknown_comparison_rejected(self):
+        with pytest.raises(ExecutionError):
+            Compare("~", Const(1), Const(2))
+
+
+class TestVariables:
+    def test_expression_variables(self):
+        expression = (var("a") + var("b")) * var("a")
+        assert variables_of(expression) == ("a", "b")
+
+    def test_predicate_variables(self):
+        predicate = And(var("a").eq(0), var("c").lt(var("b")))
+        assert variables_of(predicate) == ("a", "b", "c")
+
+    def test_const_reads_nothing(self):
+        assert Const(3).variables() == frozenset()
+        assert BoolConst(True).variables() == frozenset()
+
+
+class TestIte:
+    def test_selects_by_predicate(self):
+        expression = Ite(var("p").eq(0), Const(10), Const(20))
+        assert expression.eval({"p": 0}) == 10
+        assert expression.eval({"p": 1}) == 20
+
+    def test_variables_include_all_parts(self):
+        """Example 8's 'worst case': the Ite depends on everything."""
+        expression = Ite(var("t").eq(0), var("a"), var("b"))
+        assert variables_of(expression) == ("a", "b", "t")
+
+    def test_requires_predicate(self):
+        with pytest.raises(ExecutionError):
+            Ite(Const(1), Const(1), Const(2))
+
+
+class TestLoopExpr:
+    def test_computes_loop_result(self):
+        # while r != 0: r := r - 1; acc := acc + 2
+        loop = LoopExpr(var("r").ne(0),
+                        {"r": var("r") - 1, "acc": var("acc") + 2},
+                        "acc")
+        assert loop.eval({"r": 4, "acc": 0}) == 8
+
+    def test_simultaneous_update(self):
+        # swap-like loop: one iteration; simultaneous semantics.
+        loop = LoopExpr(var("n").ne(0),
+                        {"a": var("b"), "b": var("a"), "n": var("n") - 1},
+                        "a")
+        assert loop.eval({"a": 1, "b": 2, "n": 1}) == 2
+
+    def test_zero_iterations(self):
+        loop = LoopExpr(var("r").ne(0), {"r": var("r") - 1}, "r")
+        assert loop.eval({"r": 0}) == 0
+
+    def test_fuel_bound(self):
+        diverging = LoopExpr(BoolConst(True), {"r": var("r") + 1}, "r",
+                             fuel=10)
+        with pytest.raises(ExecutionError, match="fuel"):
+            diverging.eval({"r": 0})
+
+    def test_variables_cover_test_body_and_result(self):
+        loop = LoopExpr(var("r").ne(0), {"r": var("r") - var("s")}, "r")
+        assert variables_of(loop) == ("r", "s")
+
+
+class TestSubstitute:
+    def test_substitutes_variables(self):
+        expression = substitute(var("a") + var("b"), {"a": Const(5)})
+        assert expression.eval({"b": 1}) == 6
+
+    def test_substitution_composes_effects(self):
+        # After [a := b + 1], the expression a * 2 means (b + 1) * 2.
+        expression = substitute(var("a") * 2, {"a": var("b") + 1})
+        assert expression.eval({"b": 3}) == 8
+
+    def test_predicates_substituted(self):
+        predicate = substitute(var("a").eq(0), {"a": var("x") - var("x")})
+        assert predicate.eval({"x": 9})
+
+    def test_ite_substituted(self):
+        expression = substitute(Ite(var("p").eq(0), var("a"), Const(0)),
+                                {"a": Const(4), "p": Const(0)})
+        assert expression.eval({}) == 4
+
+    def test_loop_bound_variables_shadow(self):
+        loop = LoopExpr(var("r").ne(0), {"r": var("r") - 1}, "r")
+        substituted = substitute(loop, {"r": Const(99)})
+        # r is loop-bound: the mapping must not reach inside.
+        assert substituted.eval({"r": 2}) == 0
+
+
+class TestStructuralEquality:
+    def test_equal_structures(self):
+        assert structurally_equal(var("a") + 1, var("a") + 1)
+        assert structurally_equal(var("a").eq(0), var("a").eq(0))
+        assert structurally_equal(Ite(var("p").eq(0), Const(1), Const(2)),
+                                  Ite(var("p").eq(0), Const(1), Const(2)))
+
+    def test_unequal_structures(self):
+        assert not structurally_equal(var("a") + 1, var("a") + 2)
+        assert not structurally_equal(var("a"), var("b"))
+        assert not structurally_equal(var("a") + 1, var("a") - 1)
+        assert not structurally_equal(Const(1), var("a"))
+
+    def test_loop_expr_equality(self):
+        first = LoopExpr(var("r").ne(0), {"r": var("r") - 1}, "r")
+        second = LoopExpr(var("r").ne(0), {"r": var("r") - 1}, "r")
+        third = LoopExpr(var("r").ne(0), {"r": var("r") - 2}, "r")
+        assert structurally_equal(first, second)
+        assert not structurally_equal(first, third)

@@ -1,0 +1,136 @@
+"""Unit tests for repro.flowchart.library — the paper's figure programs.
+
+Each test pins the *functional* behaviour the reconstruction must have;
+the mechanism-level claims live in tests/integration/test_paper_claims.py.
+"""
+
+import pytest
+
+from repro.core import ProductDomain
+from repro.flowchart import library
+from repro.flowchart.interpreter import execute
+
+
+GRID1 = ProductDomain.integer_grid(0, 5, 1)
+GRID2 = ProductDomain.integer_grid(0, 3, 2)
+
+
+def values(flowchart, domain):
+    return {point: execute(flowchart, point).value for point in domain}
+
+
+class TestTimingLoop:
+    def test_constant_value(self):
+        assert set(values(library.timing_loop(), GRID1).values()) == {1}
+
+    def test_time_monotone_in_input(self):
+        steps = [execute(library.timing_loop(), (n,)).steps
+                 for n, in GRID1]
+        assert steps == sorted(steps)
+        assert len(set(steps)) == len(steps)
+
+
+class TestForgettingProgram:
+    def test_value_semantics(self):
+        for (x1, x2), value in values(library.forgetting_program(),
+                                      GRID2).items():
+            assert value == (0 if x2 == 0 else x1)
+
+
+class TestReconvergence:
+    def test_constant_one(self):
+        assert set(values(library.reconvergence_program(),
+                          GRID2).values()) == {1}
+
+    def test_example7_is_same_function(self):
+        assert (values(library.example7_program(), GRID2)
+                == values(library.reconvergence_program(), GRID2))
+
+
+class TestExample8:
+    def test_value_semantics(self):
+        for (x1, x2), value in values(library.example8_program(),
+                                      GRID2).items():
+            assert value == (1 if x2 == 1 else x1)
+
+
+class TestExample9:
+    def test_value_semantics(self):
+        for (x1, x2), value in values(library.example9_program(),
+                                      GRID2).items():
+            assert value == (0 if x1 == 0 else x2)
+
+
+class TestTheorem4Flowcharts:
+    def test_zero_instance_constant(self):
+        assert set(values(library.theorem4_flowchart(0),
+                          GRID1).values()) == {0}
+
+    def test_modulus_instance(self):
+        for (x,), value in values(library.theorem4_flowchart(3),
+                                  GRID1).items():
+            assert value == x % 3
+
+
+class TestExtendedSuite:
+    def test_parity(self):
+        for (x,), value in values(library.parity_program(), GRID1).items():
+            assert value == x % 2
+
+    def test_guarded_copy(self):
+        flowchart = library.guarded_copy_program()
+        assert execute(flowchart, (5, 7)).value == 5
+        assert execute(flowchart, (5, 6)).value == -1
+
+    def test_mixer(self):
+        for (x1, x2), value in values(library.mixer_program(), GRID2).items():
+            assert value == (x1 + x2) * 2
+
+    def test_max(self):
+        for (x1, x2), value in values(library.max_program(), GRID2).items():
+            assert value == max(x1, x2)
+
+    def test_nested_branch(self):
+        flowchart = library.nested_branch_program()
+        assert execute(flowchart, (1, 1, 5)).value == 5
+        assert execute(flowchart, (1, 0, 5)).value == 0
+        assert execute(flowchart, (0, 1, 5)).value == 5
+
+    def test_accumulate(self):
+        for (x,), value in values(library.accumulate_program(),
+                                  GRID1).items():
+            assert value == x * (x + 1) // 2
+
+    def test_suites_are_fresh_objects(self):
+        assert (library.paper_figures()[0].boxes
+                is not library.paper_figures()[0].boxes)
+
+    def test_extended_suite_contains_paper_figures(self):
+        names = {flowchart.name for flowchart in library.extended_suite()}
+        assert {"timing-loop", "forgetting", "reconvergence", "example8",
+                "example9"} <= names
+
+
+class TestNewSuiteMembers:
+    def test_gcd(self):
+        import math
+
+        flowchart = library.gcd_program()
+        for x1 in range(6):
+            for x2 in range(6):
+                expected = math.gcd(x1, x2) if (x1 or x2) else 0
+                assert execute(flowchart, (x1, x2)).value == expected, (x1,
+                                                                        x2)
+
+    def test_min(self):
+        for (x1, x2), value in values(library.min_program(), GRID2).items():
+            assert value == min(x1, x2)
+
+    def test_countdown_pair(self):
+        flowchart = library.countdown_pair_program()
+        for (x1, x2), value in values(flowchart, GRID2).items():
+            assert value == x2
+        # Each input contributes its own timing signature.
+        base = execute(flowchart, (0, 0)).steps
+        assert execute(flowchart, (3, 0)).steps > base
+        assert execute(flowchart, (0, 3)).steps > base

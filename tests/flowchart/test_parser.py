@@ -1,0 +1,142 @@
+"""Unit tests for repro.flowchart.parser (the concrete syntax)."""
+
+import pytest
+
+from repro.core import ProductDomain
+from repro.flowchart.interpreter import execute
+from repro.flowchart.parser import ParseError, parse_policy, parse_program
+from repro.flowchart.transforms import functionally_equivalent
+
+
+def run(source, *inputs):
+    return execute(parse_program(source).compile(), inputs).value
+
+
+class TestPrograms:
+    def test_assignment(self):
+        assert run("program p(x1) { y := x1 * 2 + 1 }", 4) == 9
+
+    def test_precedence(self):
+        assert run("program p(x1) { y := 2 + x1 * 3 }", 4) == 14
+        assert run("program p(x1) { y := (2 + x1) * 3 }", 4) == 18
+
+    def test_unary_minus_and_division(self):
+        assert run("program p(x1) { y := -x1 + 10 // 3 }", 2) == 1
+        assert run("program p(x1) { y := x1 % 4 }", 11) == 3
+
+    def test_if_else(self):
+        source = """
+            program p(x1) {
+                if x1 == 0 { y := 10 } else { y := 20 }
+            }
+        """
+        assert run(source, 0) == 10
+        assert run(source, 5) == 20
+
+    def test_if_without_else(self):
+        source = "program p(x1) { y := 1; if x1 > 2 { y := 2 } }"
+        assert run(source, 1) == 1
+        assert run(source, 3) == 2
+
+    def test_while(self):
+        source = """
+            program triangle(x1) {
+                r := x1;
+                while r != 0 {
+                    y := y + r;
+                    r := r - 1
+                }
+            }
+        """
+        assert run(source, 4) == 10
+
+    def test_boolean_connectives(self):
+        source = """
+            program p(x1, x2) {
+                if x1 == 0 and not x2 == 0 or x1 > 5 { y := 1 }
+            }
+        """
+        assert run(source, 0, 3) == 1
+        assert run(source, 0, 0) == 0
+        assert run(source, 9, 0) == 1
+
+    def test_true_false_literals(self):
+        assert run("program p(x1) { while false { y := 1 }; y := 2 }",
+                   0) == 2
+        assert run("program p(x1) { if true { y := 7 } }", 0) == 7
+
+    def test_skip_and_trailing_semicolons(self):
+        assert run("program p(x1) { skip; y := x1; }", 3) == 3
+
+    def test_comments(self):
+        source = """
+            program p(x1) {   # header comment
+                y := x1       # assign
+            }
+        """
+        assert run(source, 5) == 5
+
+    def test_explicit_output_variable(self):
+        program = parse_program(
+            "program p(x1) -> out { out := x1 + 1 }")
+        assert program.output_variable == "out"
+        assert execute(program.compile(), (2,)).value == 3
+
+    def test_matches_library_program(self):
+        from repro.flowchart import library
+
+        source = """
+            program forgetting(x1, x2) {
+                y := x1;
+                if x2 == 0 { y := 0 }
+            }
+        """
+        parsed = parse_program(source).compile()
+        grid = ProductDomain.integer_grid(0, 3, 2)
+        assert functionally_equivalent(parsed,
+                                       library.forgetting_program(), grid)
+
+    def test_name_and_inputs(self):
+        program = parse_program("program demo(a, b, c) { y := a }")
+        assert program.name == "demo"
+        assert program.input_variables == ("a", "b", "c")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source, fragment", [
+        ("program p(x1) { y := }", "expected a value"),
+        ("program p(x1) { if x1 { y := 1 } }", "comparison"),
+        ("program p(x1) { y := 1 } trailing", "eof"),
+        ("program p() { y := 1 }", "ident"),
+        ("program p(x1) { y = 1 }", "unexpected character"),
+        ("p(x1) { y := 1 }", "program"),
+        ("program p(x1) { y := 1 ", "}"),
+    ])
+    def test_syntax_errors(self, source, fragment):
+        with pytest.raises(ParseError) as info:
+            parse_program(source)
+        assert fragment.strip("'") in str(info.value)
+
+    def test_error_reports_line_and_column(self):
+        with pytest.raises(ParseError, match=r"line 2"):
+            parse_program("program p(x1) {\n y := $ }")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_program("program p(x1) { y := 1 @ }")
+
+
+class TestPolicies:
+    def test_allow_with_indices(self):
+        policy = parse_policy("allow(1, 3)", arity=3)
+        assert policy(10, 20, 30) == (10, 30)
+
+    def test_allow_empty(self):
+        assert parse_policy("allow()", arity=2)(1, 2) == ()
+
+    def test_whitespace_tolerated(self):
+        assert parse_policy("  allow( 2 )  ", arity=2).name == "allow(2)"
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ParseError):
+            parse_policy("deny(1)", arity=2)

@@ -1,0 +1,145 @@
+"""Unit tests for repro.flowchart.boxes and .program (wellformedness)."""
+
+import pytest
+
+from repro.core.errors import FlowchartError
+from repro.flowchart.boxes import (AssignBox, DecisionBox, HaltBox, StartBox)
+from repro.flowchart.expr import Const, var
+from repro.flowchart.program import Flowchart
+
+
+def simple_boxes():
+    return {
+        "start": StartBox("assign"),
+        "assign": AssignBox("y", var("x1") + 1, "halt"),
+        "halt": HaltBox(),
+    }
+
+
+class TestBoxes:
+    def test_successors(self):
+        assert StartBox("a").successors() == ("a",)
+        assert AssignBox("y", Const(1), "b").successors() == ("b",)
+        assert DecisionBox(var("x").eq(0), "t", "f").successors() == ("t", "f")
+        assert HaltBox().successors() == ()
+
+    def test_read_and_written_variables(self):
+        assign = AssignBox("y", var("a") + var("b"), "n")
+        assert assign.read_variables() == {"a", "b"}
+        assert assign.written_variable() == "y"
+        decision = DecisionBox(var("c").eq(0), "t", "f")
+        assert decision.read_variables() == {"c"}
+        assert decision.written_variable() is None
+
+    def test_decision_requires_predicate(self):
+        with pytest.raises(FlowchartError):
+            DecisionBox(Const(1), "t", "f")
+
+    def test_assign_requires_expression(self):
+        with pytest.raises(FlowchartError):
+            AssignBox("y", var("x").eq(0), "n")
+
+    def test_assign_requires_target_name(self):
+        with pytest.raises(FlowchartError):
+            AssignBox("", Const(1), "n")
+
+
+class TestWellformedness:
+    def test_valid_flowchart(self):
+        flowchart = Flowchart(simple_boxes(), ["x1"])
+        assert flowchart.start_id == "start"
+        assert flowchart.arity == 1
+
+    def test_exactly_one_start(self):
+        boxes = simple_boxes()
+        boxes["start2"] = StartBox("halt")
+        with pytest.raises(FlowchartError, match="exactly one start"):
+            Flowchart(boxes, ["x1"])
+
+    def test_no_start_rejected(self):
+        with pytest.raises(FlowchartError):
+            Flowchart({"halt": HaltBox()}, ["x1"])
+
+    def test_dangling_successor_rejected(self):
+        boxes = simple_boxes()
+        boxes["assign"] = AssignBox("y", Const(1), "nowhere")
+        with pytest.raises(FlowchartError, match="missing box"):
+            Flowchart(boxes, ["x1"])
+
+    def test_unreachable_box_rejected(self):
+        """The paper requires a *connected* graph."""
+        boxes = simple_boxes()
+        boxes["island"] = AssignBox("r", Const(1), "halt")
+        with pytest.raises(FlowchartError, match="unreachable"):
+            Flowchart(boxes, ["x1"])
+
+    def test_halt_required(self):
+        boxes = {
+            "start": StartBox("loop"),
+            "loop": AssignBox("y", Const(1), "loop"),
+        }
+        with pytest.raises(FlowchartError, match="no halt"):
+            Flowchart(boxes, ["x1"])
+
+    def test_assignment_to_input_rejected(self):
+        boxes = simple_boxes()
+        boxes["assign"] = AssignBox("x1", Const(1), "halt")
+        with pytest.raises(FlowchartError, match="input variable"):
+            Flowchart(boxes, ["x1"])
+
+    def test_duplicate_input_names_rejected(self):
+        with pytest.raises(FlowchartError):
+            Flowchart(simple_boxes(), ["x1", "x1"])
+
+    def test_output_colliding_with_input_rejected(self):
+        with pytest.raises(FlowchartError):
+            Flowchart(simple_boxes(), ["y"], output_variable="y")
+
+    def test_empty_flowchart_rejected(self):
+        with pytest.raises(FlowchartError):
+            Flowchart({}, ["x1"])
+
+
+class TestQueries:
+    def make(self):
+        boxes = {
+            "start": StartBox("d"),
+            "d": DecisionBox(var("x1").eq(0), "a", "b"),
+            "a": AssignBox("r", Const(1), "join"),
+            "b": AssignBox("r", Const(2), "join"),
+            "join": AssignBox("y", var("r"), "halt"),
+            "halt": HaltBox(),
+        }
+        return Flowchart(boxes, ["x1", "x2"], name="diamond")
+
+    def test_kind_queries(self):
+        flowchart = self.make()
+        assert flowchart.halt_ids() == ("halt",)
+        assert flowchart.decision_ids() == ("d",)
+        assert set(flowchart.assignment_ids()) == {"a", "b", "join"}
+
+    def test_variable_queries(self):
+        flowchart = self.make()
+        assert flowchart.program_variables() == ("r",)
+        assert flowchart.all_variables() == ("x1", "x2", "r", "y")
+        assert flowchart.read_variables() == {"x1", "r"}
+
+    def test_input_index_is_one_based(self):
+        flowchart = self.make()
+        assert flowchart.input_index("x1") == 1
+        assert flowchart.input_index("x2") == 2
+        assert flowchart.input_index("r") is None
+
+    def test_predecessors(self):
+        predecessors = self.make().predecessors()
+        assert sorted(predecessors["join"]) == ["a", "b"]
+        assert predecessors["start"] == []
+
+    def test_reachable_covers_all(self):
+        flowchart = self.make()
+        assert set(flowchart.reachable_from("start")) == set(flowchart.boxes)
+
+    def test_pretty_lists_boxes(self):
+        text = self.make().pretty()
+        assert "diamond" in text
+        assert "[d]" in text and "[halt]" in text

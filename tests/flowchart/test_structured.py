@@ -1,0 +1,105 @@
+"""Unit tests for repro.flowchart.structured (the if/while front-end)."""
+
+import pytest
+
+from repro.core.errors import FlowchartError
+from repro.flowchart.expr import Const, var
+from repro.flowchart.interpreter import execute
+from repro.flowchart.structured import (Assign, If, Skip, StructuredProgram,
+                                        While, compile_structured, seq)
+
+
+def run(program, *inputs):
+    return execute(program.compile(), inputs).value
+
+
+class TestCompilation:
+    def test_assignment_sequence(self):
+        program = StructuredProgram(
+            ["x1"], [Assign("r", var("x1") + 1), Assign("y", var("r") * 2)])
+        assert run(program, 3) == 8
+
+    def test_skip_compiles_to_nothing(self):
+        with_skip = StructuredProgram(
+            ["x1"], [Skip(), Assign("y", var("x1")), Skip()])
+        without = StructuredProgram(["x1"], [Assign("y", var("x1"))])
+        assert (len(with_skip.compile().boxes)
+                == len(without.compile().boxes))
+
+    def test_if_both_arms(self):
+        program = StructuredProgram(
+            ["x1"],
+            [If(var("x1").eq(0), [Assign("y", Const(10))],
+                [Assign("y", Const(20))])])
+        assert run(program, 0) == 10
+        assert run(program, 1) == 20
+
+    def test_if_without_else(self):
+        program = StructuredProgram(
+            ["x1"],
+            [Assign("y", Const(5)),
+             If(var("x1").eq(0), [Assign("y", Const(1))])])
+        assert run(program, 0) == 1
+        assert run(program, 3) == 5
+
+    def test_nested_if(self):
+        program = StructuredProgram(
+            ["x1", "x2"],
+            [If(var("x1").eq(0),
+                [If(var("x2").eq(0), [Assign("y", Const(1))],
+                    [Assign("y", Const(2))])],
+                [Assign("y", Const(3))])])
+        assert run(program, 0, 0) == 1
+        assert run(program, 0, 5) == 2
+        assert run(program, 9, 0) == 3
+
+    def test_while_loop(self):
+        program = StructuredProgram(
+            ["x1"],
+            [Assign("r", var("x1")),
+             While(var("r").ne(0),
+                   [Assign("y", var("y") + var("r")),
+                    Assign("r", var("r") - 1)])])
+        assert run(program, 4) == 10  # 4+3+2+1
+
+    def test_while_zero_iterations(self):
+        program = StructuredProgram(
+            ["x1"],
+            [While(var("x1").ne(var("x1")), [Assign("y", Const(9))])])
+        assert run(program, 3) == 0
+
+    def test_nested_while(self):
+        # y := x1 * x2 by repeated addition.
+        program = StructuredProgram(
+            ["x1", "x2"],
+            [Assign("i", var("x1")),
+             While(var("i").ne(0),
+                   [Assign("j", var("x2")),
+                    While(var("j").ne(0),
+                          [Assign("y", var("y") + 1),
+                           Assign("j", var("j") - 1)]),
+                    Assign("i", var("i") - 1)])])
+        assert run(program, 3, 4) == 12
+        assert run(program, 0, 4) == 0
+
+    def test_deterministic_node_ids(self):
+        program = StructuredProgram(["x1"], [Assign("y", var("x1"))])
+        first = program.compile()
+        second = program.compile()
+        assert set(first.boxes) == set(second.boxes)
+
+    def test_unknown_statement_rejected(self):
+        class Weird:
+            pass
+
+        program = StructuredProgram(["x1"], [Weird()])
+        with pytest.raises((FlowchartError, TypeError)):
+            compile_structured(program)
+
+
+class TestSeq:
+    def test_flattens_nesting(self):
+        statements = seq(Assign("a", Const(1)),
+                         [Assign("b", Const(2)), [Assign("c", Const(3))]])
+        assert len(statements) == 3
+        assert all(isinstance(statement, Assign) for statement in statements)

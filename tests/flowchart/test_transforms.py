@@ -1,0 +1,255 @@
+"""Unit tests for repro.flowchart.transforms (Sections 4 and 5)."""
+
+import pytest
+
+from repro.core import ProductDomain
+from repro.core.errors import FlowchartError
+from repro.flowchart import library
+from repro.flowchart.analysis import (find_ite_regions, find_while_regions,
+                                      is_straight_line)
+from repro.flowchart.boxes import AssignBox
+from repro.flowchart.expr import Const, Ite, LoopExpr, var
+from repro.flowchart.interpreter import execute
+from repro.flowchart.program import Flowchart
+from repro.flowchart.structured import Assign, If, StructuredProgram, While
+from repro.flowchart.transforms import (duplicate_assignment_transform,
+                                        functionally_equivalent,
+                                        ite_transform, ite_transform_all,
+                                        symbolic_effect, while_transform,
+                                        while_transform_all)
+
+GRID1 = ProductDomain.integer_grid(0, 4, 1)
+GRID2 = ProductDomain.integer_grid(0, 3, 2)
+
+
+class TestSymbolicEffect:
+    def test_single_assignment(self):
+        flowchart = library.mixer_program()
+        chain = list(flowchart.assignment_ids())
+        effect = symbolic_effect(flowchart, chain)
+        assert set(effect) == {"y"}
+        assert effect["y"].eval({"x1": 1, "x2": 2}) == 6
+
+    def test_composition_through_chain(self):
+        program = StructuredProgram(
+            ["x1"],
+            [Assign("r", var("x1") + 1), Assign("y", var("r") * var("r"))])
+        flowchart = program.compile()
+        # Assignment ids in execution order:
+        trace = execute(flowchart, (2,), record_trace=True).trace
+        chain = [node for node in trace
+                 if isinstance(flowchart.boxes[node], AssignBox)]
+        effect = symbolic_effect(flowchart, chain)
+        # y's net effect is (x1+1)^2 in terms of *pre-chain* values.
+        assert effect["y"].eval({"x1": 3}) == 16
+
+    def test_rejects_non_assignment(self):
+        flowchart = library.max_program()
+        with pytest.raises(FlowchartError):
+            symbolic_effect(flowchart, [flowchart.decision_ids()[0]])
+
+
+class TestIteTransform:
+    def test_example7_shape(self):
+        """The diamond collapses to r := Ite(x1=1, 1, 2); y := 1 survives."""
+        flowchart = library.example7_program()
+        region = find_ite_regions(flowchart)[0]
+        transformed = ite_transform(flowchart, region)
+        assert is_straight_line(transformed)
+        assert functionally_equivalent(flowchart, transformed, GRID2)
+        ite_boxes = [box for box in transformed.boxes.values()
+                     if isinstance(box, AssignBox)
+                     and isinstance(box.expression, Ite)]
+        assert len(ite_boxes) == 1
+        assert ite_boxes[0].target == "r"
+
+    def test_preserves_function_on_all_library_diamonds(self):
+        for flowchart in (library.example8_program(),
+                          library.example9_program(),
+                          library.forgetting_program(),
+                          library.max_program()):
+            transformed = ite_transform_all(flowchart)
+            assert functionally_equivalent(flowchart, transformed, GRID2)
+            assert is_straight_line(transformed)
+
+    def test_single_variable_arm_mismatch_merges_with_ite(self):
+        """A variable assigned in one arm only still merges (worst case)."""
+        flowchart = library.forgetting_program()  # else arm is empty
+        region = find_ite_regions(flowchart)[0]
+        transformed = ite_transform(flowchart, region)
+        merged = [box for box in transformed.boxes.values()
+                  if isinstance(box, AssignBox)
+                  and isinstance(box.expression, Ite)]
+        assert len(merged) == 1
+
+    def test_identical_arm_detection_flag(self):
+        """Identical arms merge cleanly only under the smarter variant."""
+        program = StructuredProgram(
+            ["x1", "x2"],
+            [If(var("x2").eq(0), [Assign("y", var("x1"))],
+                [Assign("y", var("x1"))])],
+            name="identical-arms")
+        flowchart = program.compile()
+        region = find_ite_regions(flowchart)[0]
+        blind = ite_transform(flowchart, region)
+        smart = ite_transform(flowchart, region, detect_identical_arms=True)
+        blind_ites = [box for box in blind.boxes.values()
+                      if isinstance(box, AssignBox)
+                      and isinstance(box.expression, Ite)]
+        smart_ites = [box for box in smart.boxes.values()
+                      if isinstance(box, AssignBox)
+                      and isinstance(box.expression, Ite)]
+        assert len(blind_ites) == 1
+        assert len(smart_ites) == 0
+        assert functionally_equivalent(flowchart, blind, GRID2)
+        assert functionally_equivalent(flowchart, smart, GRID2)
+
+    def test_multi_variable_merge_with_hazard(self):
+        # Arms write two variables where one reads the other's old value.
+        program = StructuredProgram(
+            ["x1"],
+            [Assign("a", Const(1)), Assign("b", Const(2)),
+             If(var("x1").eq(0),
+                [Assign("a", var("b")), Assign("b", var("a"))],
+                [Assign("a", Const(5))]),
+             Assign("y", var("a") * 10 + var("b"))])
+        flowchart = program.compile()
+        transformed = ite_transform_all(flowchart)
+        assert functionally_equivalent(flowchart, transformed,
+                                       ProductDomain.integer_grid(0, 1, 1))
+
+    def test_nested_diamonds_transform_to_straight_line(self):
+        flowchart = library.nested_branch_program()
+        transformed = ite_transform_all(flowchart)
+        assert is_straight_line(transformed)
+        assert functionally_equivalent(
+            flowchart, transformed, ProductDomain.integer_grid(0, 2, 3))
+
+
+class TestWhileTransform:
+    def test_timing_loop_collapses(self):
+        flowchart = library.timing_loop()
+        region = find_while_regions(flowchart)[0]
+        transformed = while_transform(flowchart, region)
+        assert is_straight_line(transformed)
+        assert functionally_equivalent(flowchart, transformed, GRID1)
+
+    def test_loop_expr_emitted(self):
+        flowchart = library.accumulate_program()
+        transformed = while_transform_all(flowchart)
+        loops = [box for box in transformed.boxes.values()
+                 if isinstance(box, AssignBox)
+                 and isinstance(box.expression, LoopExpr)]
+        assert loops  # at least one folded loop
+        assert functionally_equivalent(flowchart, transformed, GRID1)
+
+    def test_transform_removes_iteration_time(self):
+        """After the transform, step counts no longer depend on the input
+        — the whole point of treating the loop as one expression."""
+        flowchart = library.timing_loop()
+        transformed = while_transform_all(flowchart)
+        steps = {execute(transformed, (n,)).steps for n, in GRID1}
+        assert len(steps) == 1
+
+    def test_parity_loop(self):
+        flowchart = library.parity_program()
+        transformed = while_transform_all(flowchart)
+        assert functionally_equivalent(flowchart, transformed, GRID1)
+
+
+class TestDuplicateAssignmentTransform:
+    def test_example9_hoists_then_arm(self):
+        """y := 0 is duplicated above the test; the then arm empties."""
+        flowchart = library.example9_program()
+        region = find_ite_regions(flowchart)[0]
+        transformed = duplicate_assignment_transform(flowchart, region)
+        assert functionally_equivalent(flowchart, transformed, GRID2)
+        # Hoisted box occupies the old decision id, i.e. runs first.
+        entry = transformed.boxes[transformed.start_id].successors()[0]
+        hoisted = transformed.boxes[entry]
+        assert isinstance(hoisted, AssignBox) and hoisted.target == "y"
+
+    def test_differing_trailing_assignments_allowed(self):
+        """The else copy overwrites, so differing expressions are fine."""
+        flowchart = library.example8_program()  # arms: y := 1 / y := x1
+        region = find_ite_regions(flowchart)[0]
+        transformed = duplicate_assignment_transform(flowchart, region)
+        assert functionally_equivalent(flowchart, transformed, GRID2)
+
+    def test_drop_both_requires_identical_arms(self):
+        flowchart = library.example8_program()
+        region = find_ite_regions(flowchart)[0]
+        with pytest.raises(FlowchartError, match="identical"):
+            duplicate_assignment_transform(flowchart, region, drop_both=True)
+
+    def test_drop_both_on_identical_arms(self):
+        program = StructuredProgram(
+            ["x1", "x2"],
+            [If(var("x2").eq(0), [Assign("y", var("x1"))],
+                [Assign("y", var("x1"))])],
+            name="identical-arms")
+        flowchart = program.compile()
+        region = find_ite_regions(flowchart)[0]
+        transformed = duplicate_assignment_transform(flowchart, region,
+                                                     drop_both=True)
+        assert functionally_equivalent(flowchart, transformed, GRID2)
+        y_writes = [box for box in transformed.boxes.values()
+                    if isinstance(box, AssignBox) and box.target == "y"]
+        assert len(y_writes) == 1
+
+    def test_rejects_mismatched_targets(self):
+        program = StructuredProgram(
+            ["x1", "x2"],
+            [If(var("x2").eq(0), [Assign("y", Const(1))],
+                [Assign("r", Const(2))]),
+             Assign("y", var("y") + var("r"))])
+        flowchart = program.compile()
+        region = find_ite_regions(flowchart)[0]
+        with pytest.raises(FlowchartError, match="different variables"):
+            duplicate_assignment_transform(flowchart, region)
+
+    def test_rejects_empty_arm(self):
+        flowchart = library.forgetting_program()
+        region = find_ite_regions(flowchart)[0]
+        with pytest.raises(FlowchartError, match="non-empty"):
+            duplicate_assignment_transform(flowchart, region)
+
+    def test_rejects_arm_local_dependence(self):
+        # Trailing assignment reads a value computed earlier in the arm.
+        program = StructuredProgram(
+            ["x1", "x2"],
+            [If(var("x2").eq(0),
+                [Assign("r", Const(1)), Assign("y", var("r"))],
+                [Assign("r", Const(2)), Assign("y", var("r"))])])
+        flowchart = program.compile()
+        region = find_ite_regions(flowchart)[0]
+        with pytest.raises(FlowchartError, match="arm-local"):
+            duplicate_assignment_transform(flowchart, region)
+
+    def test_rejects_target_read_in_region(self):
+        # The else arm reads y's pre-branch value: hoisting observable.
+        program = StructuredProgram(
+            ["x1", "x2"],
+            [Assign("y", Const(5)),
+             If(var("x2").eq(0),
+                [Assign("y", Const(1))],
+                [Assign("y", var("y") + 1)])])
+        flowchart = program.compile()
+        region = find_ite_regions(flowchart)[0]
+        with pytest.raises(FlowchartError, match="read inside the region"):
+            duplicate_assignment_transform(flowchart, region)
+
+
+class TestFunctionalEquivalence:
+    def test_detects_difference(self):
+        assert not functionally_equivalent(
+            library.mixer_program(), library.max_program(), GRID2)
+
+    def test_reflexive(self):
+        flowchart = library.max_program()
+        assert functionally_equivalent(flowchart, flowchart, GRID2)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(FlowchartError):
+            functionally_equivalent(library.timing_loop(),
+                                    library.max_program(), GRID1)

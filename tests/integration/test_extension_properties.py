@@ -1,0 +1,171 @@
+"""Property-based tests for the extension subsystems (osched, capability,
+integrity, Denning lattices)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.capability import (Capability, CList, ConstOp, ReadOp, Script,
+                              StatOp, SumOp, capability_monitor,
+                              information_audit, intended_policy)
+from repro.core import allow, check_soundness
+from repro.flowchart.expr import var
+from repro.flowchart.structured import Assign, StructuredProgram
+from repro.osched import decode, run_transmission
+from repro.staticflow.classes import chain_lattice
+from repro.staticflow.denning import ClassAssignment, certify_lattice
+
+OBJECTS = ("public", "secret")
+
+
+# -- osched: the channel works for every secret, and quotas kill it -------
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.data())
+def test_shared_channel_decodes_every_secret(width, data):
+    secret = data.draw(st.integers(min_value=0,
+                                   max_value=(1 << width) - 1))
+    observations = run_transmission(secret, width, partitioned=False)
+    assert decode(observations) == secret
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.data())
+def test_partitioned_observations_independent_of_secret(width, data):
+    first = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    second = data.draw(st.integers(min_value=0,
+                                   max_value=(1 << width) - 1))
+    assert (run_transmission(first, width, partitioned=True)
+            == run_transmission(second, width, partitioned=True))
+
+
+# -- capability: soundness is exactly "no permitted op reads unreadable" --
+
+def clists():
+    rights = st.sets(st.sampled_from(["read", "stat"]))
+    return st.tuples(rights, rights).map(
+        lambda pair: CList([Capability("public", pair[0]),
+                            Capability("secret", pair[1])]))
+
+
+def scripts():
+    operations = st.lists(
+        st.one_of(
+            st.sampled_from(OBJECTS).map(ReadOp),
+            st.sampled_from(OBJECTS).map(StatOp),
+            st.just(SumOp(OBJECTS)),
+            st.integers(min_value=0, max_value=3).map(ConstOp),
+        ),
+        min_size=1, max_size=3)
+    return operations.map(lambda ops: Script(ops, name="random"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(clists(), scripts())
+def test_capability_soundness_characterisation(clist, script):
+    """The audit's verdict matches the theory: a *permitted* script is
+    sound for the intended policy iff it reads no object the C-list
+    cannot read; blocked scripts are vacuously sound (constant Λ)."""
+    audit = information_audit(script, clist, OBJECTS)
+    if not audit["access_granted"]:
+        assert audit["sound"]
+        return
+    policy = intended_policy(clist, OBJECTS)
+    readable = {name for position, name in enumerate(OBJECTS, 1)
+                if position in policy.indices}
+    expected_sound = script.reads() <= readable
+    assert audit["sound"] == expected_sound
+
+
+@settings(max_examples=40, deadline=None)
+@given(clists(), scripts())
+def test_capability_monitor_contract(clist, script):
+    capability_monitor(script, clist, OBJECTS).check_contract()
+
+
+# -- integrity: algebraic sanity over random designations ------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from([(1,), (2,), (1, 2), ()]))
+def test_identity_preserves_and_null_loses(indices):
+    from repro.core import (ProductDomain, Program, null_mechanism,
+                            preserves, program_as_mechanism, retain_inputs)
+
+    grid = ProductDomain.integer_grid(0, 2, 2)
+    q = Program(lambda a, b: (a, b), grid)
+    policy = retain_inputs(*indices, arity=2)
+    assert preserves(program_as_mechanism(q), policy)
+    assert preserves(null_mechanism(q), policy) == (not indices)
+
+
+# -- Denning lattices: clearance monotonicity ------------------------------
+
+CHAIN = chain_lattice(["low", "mid", "high"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(CHAIN.elements), st.sampled_from(CHAIN.elements),
+       st.sampled_from(CHAIN.elements))
+def test_certification_monotone_in_clearance(source_a, source_b,
+                                             clearance):
+    """Raising the output clearance never un-certifies a program."""
+    program = StructuredProgram(
+        ["a", "b"], [Assign("y", var("a") + var("b"))], name="mix")
+    sources = {"a": source_a, "b": source_b}
+
+    def certified(bound):
+        assignment = ClassAssignment(CHAIN, sources, {"y": bound})
+        return certify_lattice(program, assignment).certified
+
+    order = {"low": 0, "mid": 1, "high": 2}
+    for higher in CHAIN.elements:
+        if order[higher] >= order[clearance] and certified(clearance):
+            assert certified(higher)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(CHAIN.elements), st.sampled_from(CHAIN.elements))
+def test_output_class_is_join_of_sources(source_a, source_b):
+    program = StructuredProgram(
+        ["a", "b"], [Assign("y", var("a") * var("b"))], name="mix")
+    assignment = ClassAssignment(CHAIN, {"a": source_a, "b": source_b}, {})
+    analysis = certify_lattice(program, assignment)
+    assert analysis.classes["y"] == CHAIN.join(source_a, source_b)
+
+
+# -- leakage measures: structural laws over random mechanisms --------------
+
+def _table_mechanisms_for_leakage():
+    """Random mechanisms given extensionally over a 3x3 grid."""
+    from repro.core import ProductDomain, Program
+    from repro.core.mechanism import mechanism_from_table
+
+    grid = ProductDomain.integer_grid(0, 2, 2)
+    q = Program(lambda a, b: a * 3 + b, grid, name="enum")
+
+    def build(outputs):
+        table = {point: q(*point) for point, output in zip(grid, outputs)
+                 if output == "pass"}
+        return q, mechanism_from_table(q, table)
+
+    verdicts = st.lists(st.sampled_from(["pass", "block"]),
+                        min_size=9, max_size=9)
+    return verdicts.map(build)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_table_mechanisms_for_leakage(),
+       st.sampled_from([(), (1,), (2,), (1, 2)]))
+def test_leakage_measures_agree_on_soundness(build, indices):
+    """All three measures are zero exactly when the mechanism is sound,
+    and Shannon never exceeds the worst-class bound."""
+    from repro.core import allow, check_soundness, leakage_profile
+
+    q, mechanism = build
+    policy = allow(*indices, arity=2)
+    profile = leakage_profile(mechanism, policy)
+    sound = check_soundness(mechanism, policy).sound
+    assert (profile.shannon == 0.0) == sound
+    assert (profile.min_entropy == 0.0) == sound
+    assert (profile.worst_class == 0.0) == sound
+    assert profile.shannon <= profile.worst_class + 1e-9
+    assert profile.min_entropy >= 0.0

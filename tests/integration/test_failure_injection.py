@@ -1,0 +1,141 @@
+"""Failure injection: the library's behaviour at its edges.
+
+Systems code is judged by its failure modes: what happens on diverging
+programs, absurd fuel budgets, deep nesting, and adversarial notice
+values.  These tests pin the failure contracts.
+"""
+
+import pytest
+
+from repro.core import (ProductDomain, Program, ProtectionMechanism,
+                        ViolationNotice, allow, check_soundness,
+                        is_violation)
+from repro.core.errors import (FuelExhaustedError, MechanismContractError,
+                               ReproError)
+from repro.flowchart.builder import FlowchartBuilder
+from repro.flowchart.expr import BoolConst, Const, var
+from repro.flowchart.interpreter import as_program, execute
+from repro.flowchart.structured import (Assign, If, StructuredProgram,
+                                        While)
+from repro.surveillance import surveil, surveillance_mechanism
+
+GRID1 = ProductDomain.integer_grid(0, 3, 1)
+
+
+def diverging_flowchart():
+    """while true { r := r + 1 } — never reaches a halt on its own."""
+    return StructuredProgram(
+        ["x1"],
+        [While(BoolConst(True), [Assign("r", var("r") + 1)]),
+         Assign("y", Const(1))],
+        name="diverge").compile()
+
+
+class TestFuelPropagation:
+    def test_interpreter_raises(self):
+        with pytest.raises(FuelExhaustedError):
+            execute(diverging_flowchart(), (0,), fuel=100)
+
+    def test_surveillance_raises_not_swallows(self):
+        """A diverging run is an error, never a silent Λ — masking
+        divergence as a violation notice would itself be a channel."""
+        with pytest.raises(FuelExhaustedError):
+            surveil(diverging_flowchart(), (0,), allowed=frozenset(),
+                    fuel=100)
+
+    def test_mechanism_call_propagates(self):
+        mechanism = surveillance_mechanism(diverging_flowchart(),
+                                           allow(1, arity=1), GRID1,
+                                           fuel=100)
+        with pytest.raises(FuelExhaustedError):
+            mechanism(0)
+
+    def test_program_wrapper_propagates(self):
+        q = as_program(diverging_flowchart(), GRID1, fuel=100)
+        with pytest.raises(FuelExhaustedError):
+            q(0)
+
+    def test_error_carries_budget(self):
+        try:
+            execute(diverging_flowchart(), (0,), fuel=77)
+        except FuelExhaustedError as error:
+            assert error.fuel == 77
+
+    def test_all_errors_are_repro_errors(self):
+        with pytest.raises(ReproError):
+            execute(diverging_flowchart(), (0,), fuel=50)
+
+
+class TestDeepNesting:
+    def test_deeply_nested_branches(self):
+        """64 nested ifs: compilation, execution, and surveillance all
+        survive (no recursion blowups in the hot paths).
+
+        The else arms stay empty — nesting the same body into *both*
+        arms would duplicate it per level and blow the box count up
+        exponentially (each arm is compiled separately).
+        """
+        body = [Assign("y", Const(1))]
+        for _ in range(64):
+            body = [If(var("x1").eq(0), body, [])]
+        program = StructuredProgram(["x1"], body, name="deep")
+        flowchart = program.compile()
+        assert execute(flowchart, (0,)).value == 1
+        run = surveil(flowchart, (0,), allowed=frozenset({1}))
+        assert run.outcome == 1
+
+    def test_long_straightline_program(self):
+        builder = FlowchartBuilder(["x1"], name="long")
+        builder.start()
+        for _ in range(500):
+            builder.assign("y", var("y") + 1)
+        builder.halt()
+        flowchart = builder.build()
+        assert execute(flowchart, (0,)).value == 500
+
+
+class TestAdversarialNotices:
+    def test_notice_masquerading_as_value_is_caught(self):
+        """A mechanism returning a *string* 'Λ' is not returning a
+        notice — the contract checker flags it."""
+        q = Program(lambda a: a, GRID1)
+        fake = ProtectionMechanism(lambda a: "Λ", q, name="faker")
+        with pytest.raises(MechanismContractError):
+            fake.check_contract()
+
+    def test_notice_equal_to_program_output_stays_distinct(self):
+        """Example 1's critique of Fenton: E and F must be disjoint.
+        A notice whose message renders like a value still is not one."""
+        q = Program(lambda a: 0, GRID1)
+        mechanism = ProtectionMechanism(
+            lambda a: ViolationNotice("0") if a == 0 else 0, q)
+        mechanism.check_contract()  # notices are always permitted
+        assert is_violation(mechanism(0))
+        assert mechanism(1) == 0
+        # And the checker can still tell them apart.
+        report = check_soundness(mechanism, allow(arity=1))
+        assert not report.sound
+
+    def test_empty_message_notice(self):
+        notice = ViolationNotice("")
+        assert is_violation(notice)
+        assert notice == ViolationNotice("")
+
+
+class TestDegenerateDomains:
+    def test_singleton_domain(self):
+        grid = ProductDomain.integer_grid(5, 5, 2)
+        q = Program(lambda a, b: a * b, grid)
+        from repro.core import maximal_mechanism, program_as_mechanism
+
+        assert check_soundness(program_as_mechanism(q),
+                               allow(arity=2)).sound  # constant on {pt}
+        construction = maximal_mechanism(q, allow(arity=2))
+        assert construction.mechanism(5, 5) == 25
+
+    def test_single_input_program(self):
+        flowchart = StructuredProgram(["x1"], [Assign("y", var("x1"))],
+                                      name="id").compile()
+        mechanism = surveillance_mechanism(flowchart, allow(1, arity=1),
+                                           GRID1)
+        assert all(mechanism(x) == x for (x,) in GRID1)

@@ -1,0 +1,536 @@
+"""End-to-end reproduction of every paper claim — one test per experiment.
+
+These are the integration tests behind EXPERIMENTS.md: each experiment
+E01–E27 from DESIGN.md asserts the qualitative claim the paper makes
+(or the extension claim the paper names), through the public API only.
+"""
+
+import math
+
+import pytest
+
+from repro import (LAMBDA, ProductDomain, VALUE_AND_TIME, allow, allow_all,
+                   allow_none, as_complete, check_soundness, compare,
+                   compile_with_transforms, highwater_mechanism, instrument,
+                   instrumented_mechanism, is_sound, is_violation, join,
+                   maximal_mechanism, more_complete, null_mechanism,
+                   program_as_mechanism, surveillance_mechanism,
+                   timed_surveillance_mechanism, union)
+from repro.core import (Order, Program, SoundMechanismLattice,
+                        mechanism_from_table, maximality_cost,
+                        theorem4_family)
+from repro.flowchart import library
+from repro.flowchart.interpreter import as_program
+from repro.flowchart.transforms import (duplicate_assignment_transform,
+                                        find_ite_regions,
+                                        functionally_equivalent,
+                                        ite_transform)
+
+GRID1 = ProductDomain.integer_grid(0, 5, 1)
+GRID2 = ProductDomain.integer_grid(0, 3, 2)
+
+
+class TestE01TrivialMechanisms:
+    """Example 3: the two trivial mechanisms."""
+
+    def test_null_sound_for_every_policy_and_useless(self):
+        q = as_program(library.mixer_program(), GRID2)
+        null = null_mechanism(q)
+        for policy in (allow_none(2), allow(1, arity=2), allow_all(2)):
+            assert is_sound(null, policy)
+        assert null.acceptance_set() == frozenset()
+
+    def test_program_as_own_mechanism_soundness_varies(self):
+        q = as_program(library.mixer_program(), GRID2)
+        own = program_as_mechanism(q)
+        assert is_sound(own, allow_all(2))       # may be sound...
+        assert not is_sound(own, allow(1, arity=2))  # ...or not
+
+
+class TestE02Union:
+    """Theorem 1: M1 ∨ M2 is sound and >= both."""
+
+    def test_union_theorem(self):
+        # Q constant on the x1 = 0 and x1 = 2 policy classes of allow(1):
+        # two incomparable sound mechanisms, one accepting each class.
+        q = Program(lambda a, b: b if a == 1 else a, GRID2, name="mixed")
+        policy = allow(1, arity=2)
+        left = mechanism_from_table(
+            q, {point: q(*point) for point in GRID2 if point[0] == 0},
+            name="M-x1=0")
+        right = mechanism_from_table(
+            q, {point: q(*point) for point in GRID2 if point[0] == 2},
+            name="M-x1=2")
+        assert is_sound(left, policy) and is_sound(right, policy)
+        assert compare(left, right).order is Order.INCOMPARABLE
+        joined = union(left, right)
+        assert is_sound(joined, policy)
+        assert as_complete(joined, left)
+        assert as_complete(joined, right)
+        assert (joined.acceptance_set()
+                == left.acceptance_set() | right.acceptance_set())
+
+
+class TestE03Maximal:
+    """Theorem 2: the maximal sound mechanism exists (finite domains)."""
+
+    def test_maximal_dominates_lattice_and_named_mechanisms(self):
+        flowchart = library.forgetting_program()
+        policy = allow(2, arity=2)
+        q = as_program(flowchart, GRID2)
+        construction = maximal_mechanism(q, policy)
+        lattice = SoundMechanismLattice(q, policy)
+        for element in lattice.elements():
+            assert as_complete(construction.mechanism,
+                               lattice.realise(element))
+        assert as_complete(construction.mechanism,
+                           surveillance_mechanism(flowchart, policy, GRID2,
+                                                  program=q))
+        assert as_complete(construction.mechanism,
+                           highwater_mechanism(flowchart, policy, GRID2,
+                                               program=q))
+
+
+class TestE04SurveillanceSound:
+    """Theorem 3 + the instrumentation ablation."""
+
+    def test_theorem3_on_paper_figures(self):
+        from repro.verify import all_allow_policies
+
+        for flowchart in library.paper_figures():
+            domain = ProductDomain.integer_grid(0, 2, flowchart.arity)
+            for policy in all_allow_policies(flowchart.arity):
+                mechanism = surveillance_mechanism(flowchart, policy, domain)
+                assert is_sound(mechanism, policy), (flowchart.name,
+                                                     policy.name)
+
+    def test_literal_instrumentation_equivalent(self):
+        flowchart = library.forgetting_program()
+        policy = allow(2, arity=2)
+        q = as_program(flowchart, GRID2)
+        dynamic = surveillance_mechanism(flowchart, policy, GRID2, program=q)
+        literal = instrumented_mechanism(flowchart, policy, GRID2, program=q)
+        assert all(dynamic(*point) == literal(*point) for point in GRID2)
+
+
+class TestE05TimedSurveillance:
+    """Theorem 3': timing-aware surveillance under observable time."""
+
+    def test_untimed_unsound_timed_sound(self):
+        flowchart = library.timing_loop()
+        policy = allow_none(1)
+        q = as_program(flowchart, GRID1, VALUE_AND_TIME)
+        untimed = surveillance_mechanism(flowchart, policy, GRID1,
+                                         output_model=VALUE_AND_TIME,
+                                         program=q)
+        timed = timed_surveillance_mechanism(flowchart, policy, GRID1,
+                                             program=q)
+        assert not is_sound(untimed, policy)
+        assert is_sound(timed, policy)
+
+
+class TestE06HighWater:
+    """Page 48: Ms > Mh; Mh always Λ, Ms gives Λ only when x2 != 0."""
+
+    def test_page48_comparison(self):
+        flowchart = library.forgetting_program()
+        policy = allow(2, arity=2)
+        q = as_program(flowchart, GRID2)
+        surveillance = surveillance_mechanism(flowchart, policy, GRID2,
+                                              program=q)
+        highwater = highwater_mechanism(flowchart, policy, GRID2, program=q)
+        assert highwater.acceptance_set() == frozenset()
+        assert (surveillance.acceptance_set()
+                == frozenset(p for p in GRID2 if p[1] == 0))
+        assert more_complete(surveillance, highwater)
+
+
+class TestE07NotMaximal:
+    """Page 49: surveillance always Λ on constant-1 Q; Mmax = Q wins."""
+
+    def test_surveillance_not_maximal(self):
+        flowchart = library.reconvergence_program()
+        policy = allow(2, arity=2)
+        q = as_program(flowchart, GRID2)
+        surveillance = surveillance_mechanism(flowchart, policy, GRID2,
+                                              program=q)
+        assert surveillance.acceptance_set() == frozenset()
+        own = program_as_mechanism(q)
+        assert is_sound(own, policy)  # Q is constant
+        assert more_complete(own, surveillance)
+
+
+class TestE08IteTransformHelps:
+    """Example 7: the transform makes surveillance maximal on Q'."""
+
+    def test_transform_yields_maximal(self):
+        flowchart = library.example7_program()
+        policy = allow(2, arity=2)
+        q = as_program(flowchart, GRID2)
+        region = find_ite_regions(flowchart)[0]
+        rewritten = ite_transform(flowchart, region)
+        assert functionally_equivalent(flowchart, rewritten, GRID2)
+        mechanism = surveillance_mechanism(rewritten, policy, GRID2,
+                                           program=q)
+        assert mechanism.acceptance_set() == frozenset(GRID2)
+        assert all(mechanism(*point) == 1 for point in GRID2)
+        from repro.core import certify_maximal
+
+        assert certify_maximal(mechanism, q, policy, GRID2)
+
+
+class TestE09TransformHurts:
+    """Example 8: M > M' — the transform can lose completeness."""
+
+    def test_untransformed_beats_transformed(self):
+        flowchart = library.example8_program()
+        policy = allow(2, arity=2)
+        q = as_program(flowchart, GRID2)
+        untransformed = surveillance_mechanism(flowchart, policy, GRID2,
+                                               program=q)
+        region = find_ite_regions(flowchart)[0]
+        rewritten = ite_transform(flowchart, region)
+        transformed = surveillance_mechanism(rewritten, policy, GRID2,
+                                             program=q)
+        # M accepts exactly x2 = 1; M' always gives Λ.
+        assert (untransformed.acceptance_set()
+                == frozenset(p for p in GRID2 if p[1] == 1))
+        assert transformed.acceptance_set() == frozenset()
+        assert more_complete(untransformed, transformed)
+
+
+class TestE10Duplication:
+    """Example 9: ite transform always Λ; duplication only when x1 != 0."""
+
+    def test_duplication_beats_ite(self):
+        flowchart = library.example9_program()
+        policy = allow(1, arity=2)
+        q = as_program(flowchart, GRID2)
+        region = find_ite_regions(flowchart)[0]
+        ite_mech = surveillance_mechanism(ite_transform(flowchart, region),
+                                          policy, GRID2, program=q)
+        duplicated = duplicate_assignment_transform(flowchart, region)
+        assert functionally_equivalent(flowchart, duplicated, GRID2)
+        dup_mech = surveillance_mechanism(duplicated, policy, GRID2,
+                                          program=q)
+        assert ite_mech.acceptance_set() == frozenset()
+        assert (dup_mech.acceptance_set()
+                == frozenset(p for p in GRID2 if p[0] == 0))
+        assert is_sound(dup_mech, policy)
+        assert more_complete(dup_mech, ite_mech)
+
+    def test_section5_compiler_finds_duplication(self):
+        from repro.flowchart.expr import Const, var
+        from repro.flowchart.structured import (Assign, If,
+                                                StructuredProgram)
+
+        program = StructuredProgram(
+            ["x1", "x2"],
+            [If(var("x1").eq(0), [Assign("y", Const(0))],
+                [Assign("y", var("x2"))])],
+            name="example9")
+        outcome = compile_with_transforms(program, allow(1, arity=2), GRID2)
+        assert (outcome.mechanism.acceptance_set()
+                == frozenset(p for p in GRID2 if p[0] == 0))
+
+
+class TestE11TimingChannel:
+    """Section 2: the constant function that leaks through time."""
+
+    def test_full_story(self):
+        from repro.channels.timing import timing_report
+
+        row = timing_report(domain_high=10)
+        assert row["sound_value_only"] and not row["sound_with_time"]
+        assert row["exact_recovery"]
+        assert row["leak_bits"] == pytest.approx(math.log2(11))
+
+
+class TestE12Tape:
+    """Section 2: sequential read leaks len(z1); tab(i) restores soundness."""
+
+    def test_tape_story(self):
+        from repro.channels.tape import (per_cell_tab_reader,
+                                         sequential_reader, tab_reader)
+
+        policy = allow(2, arity=2)
+        assert not is_sound(program_as_mechanism(sequential_reader(2, 2)),
+                            policy)
+        assert is_sound(program_as_mechanism(tab_reader(2, 2)), policy)
+        assert not is_sound(
+            program_as_mechanism(per_cell_tab_reader(2, 2)), policy)
+
+
+class TestE13Logon:
+    """Example 5: the logon program is unsound but leaks only 1 bit."""
+
+    def test_logon_story(self):
+        from repro.channels.password import (logon_leak_bits, logon_policy,
+                                             logon_program)
+
+        q = logon_program(["alice", "bob"], ["p", "q"])
+        assert not is_sound(program_as_mechanism(q), logon_policy())
+        assert logon_leak_bits(["alice", "bob"], ["p", "q"]) == 1.0
+
+
+class TestE14WorkFactor:
+    """Section 2: n^k brute force vs n·k page-boundary attack."""
+
+    def test_bounds(self):
+        from repro.channels.password import work_factor_row
+
+        for n, k in ((3, 2), (4, 3), (5, 3)):
+            row = work_factor_row(n, k)
+            assert row["brute_guesses"] == n ** k
+            assert row["paged_guesses"] <= n * k + 1
+            assert row["paged_ok"] and row["brute_ok"]
+
+
+class TestE15Fenton:
+    """Example 1: the halt-semantics critique."""
+
+    def test_halt_interpretation_decides_soundness(self):
+        from repro.minsky.fenton import (HaltMode,
+                                         balanced_negative_inference_program,
+                                         fenton_mechanism)
+
+        domain = ProductDomain.integer_grid(0, 4, 1)
+        notice = fenton_mechanism(
+            balanced_negative_inference_program(HaltMode.NOTICE), domain,
+            priv_registers=[1])
+        noop = fenton_mechanism(
+            balanced_negative_inference_program(HaltMode.NOOP), domain,
+            priv_registers=[1])
+        assert not is_sound(notice, allow_none(1))
+        assert is_sound(noop, allow_none(1))
+
+
+class TestE16FileSystem:
+    """Example 2 + Example 4: sound monitor vs notice-leaking monitors."""
+
+    def test_filesystem_story(self):
+        from repro.filesystem import (content_leaking_monitor,
+                                      decision_leaking_monitor,
+                                      directory_gated_policy,
+                                      filesystem_domain, read_file_program,
+                                      reference_monitor)
+
+        domain = filesystem_domain(2, 0, 2)
+        q = read_file_program(1, 2, domain)
+        policy = directory_gated_policy(2)
+        assert is_sound(reference_monitor(q, 1), policy)
+        assert not is_sound(content_leaking_monitor(q, 1), policy)
+        assert not is_sound(decision_leaking_monitor(q, 1, 1), policy)
+
+
+class TestE17Undecidability:
+    """Theorem 4's finite shadow: certifying M(0)=0 needs the whole domain."""
+
+    def test_cost_unbounded_and_verdict_unstable(self):
+        from repro.core import decide_theorem4_output_at_zero
+
+        a_fn = lambda x: 0 if x < 20 else 1
+        costs = []
+        verdicts = []
+        for high in (9, 19, 29):
+            domain = ProductDomain.integer_grid(0, high, 1)
+            q = theorem4_family(a_fn, domain)
+            costs.append(maximality_cost(q, allow_none(1), domain))
+            verdicts.append(decide_theorem4_output_at_zero(
+                maximal_mechanism(q, allow_none(1), domain)))
+        assert costs == [10, 20, 30]          # linear in the window
+        assert verdicts == [True, True, False]  # flips when window grows
+
+
+class TestE18StaticVsDynamic:
+    """Section 5: whole-program certification vs per-run surveillance."""
+
+    def test_gap_both_ways(self):
+        from repro.flowchart.expr import Const, var
+        from repro.flowchart.structured import (Assign, If, Skip,
+                                                StructuredProgram)
+        from repro.staticflow import certify
+
+        # Dynamic wins on runs: forgetting / allow(2).
+        forgetting = StructuredProgram(
+            ["x1", "x2"],
+            [Assign("y", var("x1")),
+             If(var("x2").eq(0), [Assign("y", Const(0))], [Skip()])],
+            name="forgetting")
+        policy = allow(2, arity=2)
+        assert not certify(forgetting, policy).certified
+        dynamic = surveillance_mechanism(forgetting.compile(), policy, GRID2)
+        assert len(dynamic.acceptance_set()) == 4
+
+        # Static wins on whole programs: reconvergence / allow(2).
+        reconvergence = StructuredProgram(
+            ["x1", "x2"],
+            [If(var("x1").eq(1), [Assign("r", Const(1))],
+                [Assign("r", Const(2))]),
+             Assign("y", Const(1))],
+            name="reconvergence")
+        assert certify(reconvergence, policy).certified
+        dynamic2 = surveillance_mechanism(reconvergence.compile(), policy,
+                                          GRID2)
+        assert dynamic2.acceptance_set() == frozenset()
+
+
+class TestE19Lattice:
+    """Section 2 remark: sound mechanisms form a lattice under ∨."""
+
+    def test_lattice_of_sound_mechanisms(self):
+        q = as_program(library.forgetting_program(), GRID2)
+        policy = allow(2, arity=2)
+        lattice = SoundMechanismLattice(q, policy)
+        elements = lattice.elements()
+        assert len(elements) == 2 ** len(lattice.good_class_keys)
+        # Realised joins agree with the ∨ of Theorem 1.
+        for a in elements:
+            for b in elements:
+                joined = union(lattice.realise(a), lattice.realise(b))
+                assert (joined.acceptance_set()
+                        == lattice.realise(lattice.join(a, b))
+                        .acceptance_set())
+
+
+class TestE20DataSecurityDual:
+    """Section 2's second question, carried out as the paper asserts."""
+
+    def test_tension_and_guarded_point(self):
+        from repro.core import (Program, check_guarded, retain_inputs)
+
+        q = Program(lambda a, b: (a, b), GRID2, name="state")
+        sliced = Program(lambda a, b: a, GRID2, name="slice")
+        confinement = allow(1, arity=2)
+        integrity = retain_inputs(1, arity=2)
+        null_report = check_guarded(null_mechanism(q), confinement,
+                                    integrity)
+        assert null_report.confinement.sound
+        assert not null_report.integrity.preserving
+        assert check_guarded(program_as_mechanism(sliced), confinement,
+                             integrity).guarded
+
+
+class TestE21Capability:
+    """Example 6 / Section 6 in a concrete capability machine."""
+
+    def test_access_control_is_not_information_control(self):
+        from repro.capability import (Capability, CList, ReadOp, Script,
+                                      StatOp, information_audit)
+
+        clist = CList([Capability("public", ["read"]),
+                       Capability("secret", ["stat"])])
+        blocked = information_audit(Script([ReadOp("secret")], "RF"),
+                                    clist, ("public", "secret"))
+        sneaky = information_audit(Script([StatOp("secret")], "ST"),
+                                   clist, ("public", "secret"))
+        assert not blocked["access_granted"]
+        assert sneaky["access_granted"] and not sneaky["sound"]
+
+
+class TestE22ResourceChannel:
+    """Section 2's resource-usage remark, end to end."""
+
+    def test_shared_leaks_quota_closes(self):
+        from repro.osched import channel_report
+
+        rows = {row["discipline"]: row for row in channel_report(width=3)}
+        assert rows["shared"]["exact_recovery"]
+        assert not rows["shared"]["sound_for_allow_none"]
+        assert rows["partitioned"]["sound_for_allow_none"]
+
+
+class TestE23EfficientEnforcement:
+    """Section 5's efficiency claim, measured."""
+
+    def test_hybrid_and_optimiser(self):
+        from repro.flowchart.expr import var as v
+        from repro.flowchart.structured import Assign, StructuredProgram
+        from repro.staticflow import (hybrid_mechanism,
+                                      instrumentation_overhead)
+
+        program = StructuredProgram(
+            ["x1", "x2"],
+            [Assign("audit", v("x2") * 3), Assign("y", v("x1"))],
+            name="dead-aux")
+        outcome = hybrid_mechanism(program, allow(1, arity=2), GRID2)
+        assert outcome.static  # zero-check enforcement
+        overhead = instrumentation_overhead(program.compile(),
+                                            allow(1, arity=2), GRID2)
+        assert (overhead["bare_steps"] < overhead["optimised_steps"]
+                < overhead["full_steps"])
+
+
+class TestE24Ruzzo:
+    """Section 4's Ruzzo observations on real Turing machines."""
+
+    def test_window_instability(self):
+        from repro.turing import maximal_rejects
+
+        small = maximal_rejects([0, 111, 148], max_steps=50)
+        large = maximal_rejects([0, 111, 148], max_steps=150)
+        assert small[0] and large[0]          # fast halter: stable Λ
+        assert not small[111] and large[111]  # slow halter: flips
+        assert not small[148] and not large[148]  # looper: never
+
+
+class TestE25HistorySessions:
+    """Section 2's database remark: stateful enforcement."""
+
+    def test_budget_sound_tripwire_leaks(self):
+        from repro.core import (SecurityPolicy, budget_gatekeeper,
+                                content_triggered_gatekeeper, unroll)
+        from repro.core.program import Program as P
+
+        per_query = P(lambda a, b: a, GRID2, name="first")
+        policy = SecurityPolicy(lambda *flat: (flat[0], flat[2]), 4,
+                                name="I-x1s")
+        budget = unroll(budget_gatekeeper(program_as_mechanism(per_query),
+                                          budget=2), per_query, 2)
+        assert check_soundness(budget, policy).sound
+        tripwire = unroll(content_triggered_gatekeeper(
+            program_as_mechanism(per_query), trip=lambda a, b: b == 1),
+            per_query, 2)
+        assert not check_soundness(tripwire, policy).sound
+
+
+class TestE26CrossModel:
+    """Section 6's generality: one program, two enforcement machines."""
+
+    def test_disciplines(self):
+        from repro.flowchart.parser import parse_program
+        from repro.minsky.fcompile import Discipline, compile_to_fenton
+        from repro.minsky.fenton import fenton_mechanism
+
+        program = parse_program(
+            "program p(x1, x2) { if x2 == 0 { y := x1 } else { y := 0 } }")
+        verdicts = {}
+        for discipline in Discipline:
+            machine, registers = compile_to_fenton(program,
+                                                   discipline=discipline)
+            mechanism = fenton_mechanism(
+                machine, GRID2, priv_registers=[registers["x1"]],
+                check_output_mark=True)
+            verdicts[discipline] = check_soundness(mechanism,
+                                                   allow(2, arity=2)).sound
+        assert verdicts[Discipline.TAINT]
+        assert not verdicts[Discipline.JOIN]
+        assert verdicts[Discipline.PREMARK]
+
+
+class TestE27ObservableLadder:
+    """Section 6's page-fault remark: the strict observable ladder."""
+
+    def test_ladder(self):
+        from repro.core.observability import with_extras
+        from repro.flowchart.library import fault_channel_program
+
+        flowchart = fault_channel_program()
+        domain = ProductDomain.integer_grid(0, 3, 1)
+        policy = allow_none(1)
+        value_q = as_program(flowchart, domain)
+        timed_q = as_program(flowchart, domain, VALUE_AND_TIME)
+        faulted_q = as_program(flowchart, domain, with_extras("faults"))
+        assert is_sound(program_as_mechanism(value_q), policy)
+        assert is_sound(program_as_mechanism(timed_q), policy)
+        assert not is_sound(program_as_mechanism(faulted_q), policy)

@@ -1,0 +1,263 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The deep ones:
+
+- *Noninterference of surveillance* — over random structured programs:
+  if the surveillance mechanism passes two inputs that agree on the
+  allowed positions, the passed values agree (a consequence of
+  Theorem 3 checked on machine-generated programs, not just the paper's
+  figures);
+- *Soundness is closed under union* (Theorem 1, randomised);
+- *The maximal mechanism dominates* arbitrary sound mechanisms
+  (Theorem 2, randomised);
+- label algebra, mask codec, and factor-reconstruction round trips.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (ProductDomain, Program, allow, check_soundness,
+                        is_sound, is_violation, maximal_mechanism,
+                        mechanism_from_table, union)
+from repro.flowchart.expr import Const, Var, var
+from repro.flowchart.interpreter import as_program
+from repro.flowchart.structured import (Assign, If, Skip, StructuredProgram,
+                                        While)
+from repro.surveillance.dynamic import surveillance_mechanism
+from repro.surveillance.labels import from_mask, join, to_mask
+
+GRID2 = ProductDomain.integer_grid(0, 2, 2)
+
+# -- strategies -----------------------------------------------------------
+
+VARIABLES = ("x1", "x2", "r", "y")
+WRITABLE = ("r", "s", "y")
+
+
+def expressions():
+    atoms = st.one_of(
+        st.sampled_from(VARIABLES).map(Var),
+        st.integers(min_value=0, max_value=3).map(Const),
+    )
+    return st.recursive(
+        atoms,
+        lambda children: st.tuples(
+            st.sampled_from(["+", "-", "*"]), children, children
+        ).map(lambda t: _binop(*t)),
+        max_leaves=4,
+    )
+
+
+def _binop(op, left, right):
+    from repro.flowchart.expr import BinOp
+
+    return BinOp(op, left, right)
+
+
+def predicates():
+    return st.tuples(
+        st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+        expressions(), expressions(),
+    ).map(lambda t: _compare(*t))
+
+
+def _compare(op, left, right):
+    from repro.flowchart.expr import Compare
+
+    return Compare(op, left, right)
+
+
+def statements(depth=2):
+    assign = st.tuples(st.sampled_from(WRITABLE), expressions()).map(
+        lambda t: Assign(*t))
+    if depth == 0:
+        return assign
+    inner = st.lists(statements(depth - 1), min_size=1, max_size=2)
+    branch = st.tuples(predicates(), inner, inner).map(
+        lambda t: If(t[0], t[1], t[2]))
+    # Bounded loop: guard on a countdown variable so programs are total.
+    loop = st.tuples(inner).map(
+        lambda t: [Assign("c", Const(2)),
+                   While(var("c").ne(0),
+                         list(t[0]) + [Assign("c", var("c") - 1)])])
+    return st.one_of(assign, branch,
+                     loop.map(lambda body: _as_block(body)))
+
+
+class _Block(Skip):
+    """Wrapper carrying a statement list through the strategy plumbing."""
+
+    def __init__(self, body):
+        self.body = body
+
+
+def _as_block(body):
+    return _Block(body)
+
+
+def _flatten(statement_list):
+    flat = []
+    for statement in statement_list:
+        if isinstance(statement, _Block):
+            flat.extend(statement.body)
+        else:
+            flat.append(statement)
+    return flat
+
+
+def random_programs():
+    return st.lists(statements(), min_size=1, max_size=4).map(
+        lambda body: StructuredProgram(
+            ["x1", "x2"], _flatten(body), name="random"))
+
+
+# -- noninterference over random programs ---------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(random_programs(), st.sampled_from([(), (1,), (2,), (1, 2)]))
+def test_surveillance_noninterference_on_random_programs(program, indices):
+    """Theorem 3 on machine-generated programs: the surveillance
+    mechanism is sound for every allow(...) policy."""
+    flowchart = program.compile()
+    policy = allow(*indices, arity=2)
+    mechanism = surveillance_mechanism(flowchart, policy, GRID2,
+                                       fuel=10_000)
+    report = check_soundness(mechanism, policy, GRID2)
+    assert report.sound, report.witness
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_programs())
+def test_surveillance_passes_only_true_outputs(program):
+    """Mechanism contract on random programs: every non-notice output
+    equals Q's output."""
+    flowchart = program.compile()
+    policy = allow(1, arity=2)
+    mechanism = surveillance_mechanism(flowchart, policy, GRID2,
+                                       fuel=10_000)
+    mechanism.check_contract(GRID2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_programs())
+def test_maximal_dominates_surveillance_on_random_programs(program):
+    """Theorem 2, randomised: Mmax >= Ms always."""
+    from repro.core import as_complete
+
+    flowchart = program.compile()
+    policy = allow(2, arity=2)
+    q = as_program(flowchart, GRID2, fuel=10_000)
+    construction = maximal_mechanism(q, policy, GRID2)
+    mechanism = surveillance_mechanism(flowchart, policy, GRID2,
+                                       fuel=10_000, program=q)
+    assert as_complete(construction.mechanism, mechanism, GRID2)
+
+
+# -- Theorem 1, randomised over table mechanisms ---------------------------
+
+def _table_mechanisms(q, policy):
+    """Strategy: a sound mechanism accepting a random set of good classes."""
+    classes = policy.classes(q.domain)
+    good = [members for members in classes.values()
+            if len({q(*point) for point in members}) == 1]
+
+    def build(mask):
+        table = {}
+        for keep, members in zip(mask, good):
+            if keep:
+                for point in members:
+                    table[point] = q(*members[0])
+        return mechanism_from_table(q, table)
+
+    return st.lists(st.booleans(), min_size=len(good),
+                    max_size=len(good)).map(build)
+
+
+MIXED_Q = Program(lambda a, b: b if a == 1 else a, GRID2, name="mixed")
+MIXED_POLICY = allow(1, arity=2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_table_mechanisms(MIXED_Q, MIXED_POLICY),
+       _table_mechanisms(MIXED_Q, MIXED_POLICY))
+def test_union_preserves_soundness_and_dominates(left, right):
+    from repro.core import as_complete
+
+    assert is_sound(left, MIXED_POLICY)
+    assert is_sound(right, MIXED_POLICY)
+    joined = union(left, right)
+    assert is_sound(joined, MIXED_POLICY)
+    assert as_complete(joined, left)
+    assert as_complete(joined, right)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_table_mechanisms(MIXED_Q, MIXED_POLICY))
+def test_maximal_dominates_random_sound_mechanisms(mechanism):
+    from repro.core import as_complete
+
+    construction = maximal_mechanism(MIXED_Q, MIXED_POLICY)
+    assert as_complete(construction.mechanism, mechanism)
+
+
+# -- factor reconstruction --------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(st.functions(like=lambda policy_value: None,
+                    returns=st.integers(min_value=0, max_value=5),
+                    pure=True))
+def test_factoring_mechanisms_are_judged_sound(m_prime):
+    """Any mechanism literally built as M' ∘ I must be judged sound —
+    the converse direction of the checker."""
+    policy = allow(1, arity=2)
+    q = Program(lambda a, b: a, GRID2)
+
+    def factored(a, b):
+        value = m_prime(policy(a, b))
+        return value if value == q(a, b) else _notice(value)
+
+    from repro.core import ViolationNotice
+
+    def _notice(value):
+        return ViolationNotice(f"Λ{value}")
+
+    mechanism = mechanism_from_table(
+        q, {point: factored(*point) for point in GRID2})
+    assert is_sound(mechanism, policy)
+
+
+# -- label algebra -----------------------------------------------------------
+
+label_sets = st.frozensets(st.integers(min_value=1, max_value=10),
+                           max_size=6)
+
+
+@given(label_sets, label_sets, label_sets)
+def test_label_join_laws(a, b, c):
+    assert join(a, b) == join(b, a)
+    assert join(a, a) == a
+    assert join(join(a, b), c) == join(a, join(b, c))
+    assert join(a, frozenset()) == a
+
+
+@given(label_sets)
+def test_mask_round_trip(label):
+    assert from_mask(to_mask(label)) == label
+
+
+@given(label_sets, label_sets)
+def test_mask_or_is_union(a, b):
+    assert from_mask(to_mask(a) | to_mask(b)) == a | b
+
+
+# -- domains ------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=3),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=3))
+def test_product_domain_size_and_membership(low, span, arity):
+    domain = ProductDomain.integer_grid(low, low + span, arity)
+    assert len(domain) == (span + 1) ** arity
+    points = list(domain)
+    assert len(points) == len(set(points))
+    assert all(point in domain for point in points)

@@ -1,0 +1,207 @@
+"""Property-based tests over machine-generated programs: transforms,
+instrumentation, certification, and the parser round trip.
+
+These push the paper's constructions beyond the hand-picked figures:
+hypothesis builds random structured programs and checks, for each, the
+invariants the theory promises.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import ProductDomain, allow, check_soundness, is_violation
+from repro.core import program_as_mechanism
+from repro.flowchart.expr import BinOp, Compare, Const, Var, var
+from repro.flowchart.interpreter import as_program, execute
+from repro.flowchart.parser import parse_program, unparse_program
+from repro.flowchart.structured import (Assign, If, Skip, StructuredProgram,
+                                        While)
+from repro.flowchart.transforms import (functionally_equivalent,
+                                        ite_transform_all,
+                                        while_transform_all)
+from repro.staticflow import certify, eliminate_dead_surveillance
+from repro.surveillance.dynamic import surveillance_mechanism
+from repro.surveillance.instrument import (VIOLATION_FLAG,
+                                           instrumented_mechanism)
+
+GRID2 = ProductDomain.integer_grid(0, 2, 2)
+
+VARIABLES = ("x1", "x2", "r", "s", "y")
+WRITABLE = ("r", "s", "y")
+
+
+def expressions():
+    atoms = st.one_of(
+        st.sampled_from(VARIABLES).map(Var),
+        st.integers(min_value=0, max_value=3).map(Const),
+    )
+    return st.recursive(
+        atoms,
+        lambda children: st.tuples(
+            st.sampled_from(["+", "-", "*"]), children, children
+        ).map(lambda t: BinOp(*t)),
+        max_leaves=4,
+    )
+
+
+def predicates():
+    return st.tuples(
+        st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+        expressions(), expressions(),
+    ).map(lambda t: Compare(*t))
+
+
+def branch_statements(depth):
+    """If/assign statements only — fodder for the ite transform."""
+    assign = st.tuples(st.sampled_from(WRITABLE), expressions()).map(
+        lambda t: Assign(*t))
+    if depth == 0:
+        return assign
+    inner = st.lists(branch_statements(depth - 1), min_size=1, max_size=2)
+    branch = st.tuples(predicates(), inner, inner).map(
+        lambda t: If(t[0], t[1], t[2]))
+    return st.one_of(assign, branch)
+
+
+def branchy_programs():
+    return st.lists(branch_statements(2), min_size=1, max_size=4).map(
+        lambda body: StructuredProgram(["x1", "x2"], body, name="random"))
+
+
+def loopy_programs():
+    """Programs whose loops are bounded countdowns (guaranteed total)."""
+    assign = st.tuples(st.sampled_from(WRITABLE), expressions()).map(
+        lambda t: Assign(*t))
+    body = st.lists(assign, min_size=1, max_size=2)
+    loop = st.tuples(st.integers(min_value=0, max_value=3), body).map(
+        lambda t: [Assign("c", Const(t[0])),
+                   While(var("c").ne(0),
+                         list(t[1]) + [Assign("c", var("c") - 1)])])
+    segment = st.one_of(assign.map(lambda a: [a]), loop)
+    return st.lists(segment, min_size=1, max_size=3).map(
+        lambda segments: StructuredProgram(
+            ["x1", "x2"], [s for seg in segments for s in seg],
+            name="random-loops"))
+
+
+@settings(max_examples=50, deadline=None)
+@given(branchy_programs())
+def test_ite_transform_all_preserves_semantics(program):
+    flowchart = program.compile()
+    transformed = ite_transform_all(flowchart)
+    assert functionally_equivalent(flowchart, transformed, GRID2,
+                                   fuel=20_000)
+
+
+@settings(max_examples=50, deadline=None)
+@given(branchy_programs())
+def test_smart_ite_transform_preserves_semantics(program):
+    flowchart = program.compile()
+    transformed = ite_transform_all(flowchart, detect_identical_arms=True)
+    assert functionally_equivalent(flowchart, transformed, GRID2,
+                                   fuel=20_000)
+
+
+@settings(max_examples=40, deadline=None)
+@given(loopy_programs())
+def test_while_transform_all_preserves_semantics(program):
+    flowchart = program.compile()
+    transformed = while_transform_all(flowchart)
+    assert functionally_equivalent(flowchart, transformed, GRID2,
+                                   fuel=20_000)
+
+
+@settings(max_examples=30, deadline=None)
+@given(branchy_programs(),
+       st.sampled_from([(), (1,), (2,), (1, 2)]))
+def test_instrumented_agrees_with_dynamic_on_random_programs(program,
+                                                             indices):
+    flowchart = program.compile()
+    policy = allow(*indices, arity=2)
+    q = as_program(flowchart, GRID2, fuel=20_000)
+    dynamic = surveillance_mechanism(flowchart, policy, GRID2, program=q,
+                                     fuel=20_000)
+    literal = instrumented_mechanism(flowchart, policy, GRID2, program=q,
+                                     fuel=20_000)
+    for point in GRID2:
+        left, right = dynamic(*point), literal(*point)
+        assert is_violation(left) == is_violation(right)
+        if not is_violation(left):
+            assert left == right
+
+
+@settings(max_examples=30, deadline=None)
+@given(branchy_programs(), st.sampled_from([(), (1,), (2,), (1, 2)]))
+def test_dead_surveillance_elimination_is_output_preserving(program,
+                                                            indices):
+    from repro.surveillance.instrument import instrument
+
+    flowchart = program.compile()
+    policy = allow(*indices, arity=2)
+    full = instrument(flowchart, policy)
+    optimised = eliminate_dead_surveillance(flowchart, policy)
+    for point in GRID2:
+        full_run = execute(full, point, fuel=40_000)
+        optimised_run = execute(optimised, point, fuel=40_000)
+        assert full_run.value == optimised_run.value
+        assert (full_run.env[VIOLATION_FLAG]
+                == optimised_run.env[VIOLATION_FLAG])
+
+
+@settings(max_examples=40, deadline=None)
+@given(branchy_programs(), st.sampled_from([(), (1,), (2,), (1, 2)]))
+def test_certified_implies_q_sound_on_random_programs(program, indices):
+    """The certifier's guarantee, checked against ground truth."""
+    policy = allow(*indices, arity=2)
+    if certify(program, policy).certified:
+        q = as_program(program.compile(), GRID2, fuel=20_000)
+        assert check_soundness(program_as_mechanism(q), policy,
+                               GRID2).sound
+
+
+@settings(max_examples=50, deadline=None)
+@given(loopy_programs())
+def test_parser_round_trip(program):
+    """parse(unparse(p)) is functionally equivalent to p."""
+    text = unparse_program(program)
+    reparsed = parse_program(text)
+    assert functionally_equivalent(program.compile(), reparsed.compile(),
+                                   GRID2, fuel=20_000)
+
+
+@settings(max_examples=50, deadline=None)
+@given(branchy_programs(), st.sampled_from([(), (1,), (2,), (1, 2)]))
+def test_cfg_certifier_agrees_with_structured_on_random_programs(program,
+                                                                 indices):
+    """Differential: the FOW/CFG certifier and the structured certifier
+    give the same verdict on every compiled structured program."""
+    from repro.staticflow import certify, certify_flowchart
+
+    policy = allow(*indices, arity=2)
+    structured = certify(program, policy).certified
+    cfg = certify_flowchart(program.compile(), policy).certified
+    assert structured == cfg
+
+
+@settings(max_examples=40, deadline=None)
+@given(loopy_programs(), st.sampled_from([(), (1,), (2,), (1, 2)]))
+def test_cfg_certifier_agrees_on_loopy_programs(program, indices):
+    from repro.staticflow import certify, certify_flowchart
+
+    policy = allow(*indices, arity=2)
+    structured = certify(program, policy).certified
+    cfg = certify_flowchart(program.compile(), policy).certified
+    assert structured == cfg
+
+
+@settings(max_examples=40, deadline=None)
+@given(branchy_programs(), st.sampled_from([(), (1,), (2,), (1, 2)]))
+def test_cfg_certified_implies_sound_on_random_programs(program, indices):
+    from repro.staticflow import certify_flowchart
+
+    policy = allow(*indices, arity=2)
+    flowchart = program.compile()
+    if certify_flowchart(flowchart, policy).certified:
+        q = as_program(flowchart, GRID2, fuel=20_000)
+        assert check_soundness(program_as_mechanism(q), policy,
+                               GRID2).sound

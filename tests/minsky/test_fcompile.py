@@ -1,0 +1,172 @@
+"""Unit tests for repro.minsky.fcompile — the Fenton compiler."""
+
+import pytest
+
+from repro.core import ProductDomain, allow, check_soundness
+from repro.flowchart.interpreter import execute
+from repro.flowchart.parser import parse_program
+from repro.minsky.fcompile import (CompileError, Discipline, compilable,
+                                   compile_to_fenton)
+from repro.minsky.fenton import NULL, fenton_mechanism
+from repro.surveillance import surveillance_mechanism
+
+GRID = ProductDomain.integer_grid(0, 3, 2)
+
+
+def run_machine(machine, registers_map, inputs):
+    registers = [0] * len(registers_map)
+    for position, name in enumerate(("x1", "x2"), 0):
+        if name in registers_map:
+            registers[registers_map[name]] = inputs[position]
+    return machine.run(registers, [NULL] * len(registers_map),
+                       fuel=200_000)
+
+
+def assert_value_agreement(source, domain=GRID):
+    program = parse_program(source)
+    flowchart = program.compile()
+    for discipline in Discipline:
+        machine, registers_map = compile_to_fenton(program,
+                                                   discipline=discipline)
+        for point in domain:
+            expected = execute(flowchart, point).value
+            got = run_machine(machine, registers_map, point).outcome
+            assert got == expected, (discipline, point, got, expected)
+
+
+class TestValueCorrectness:
+    def test_constants_and_copies(self):
+        assert_value_agreement(
+            "program p(x1, x2) { y := 3; r := x1; y := r }")
+
+    def test_increment_decrement(self):
+        assert_value_agreement(
+            "program p(x1, x2) { y := x1; y := y + 2; y := y - 1 }")
+
+    def test_saturating_subtraction(self):
+        # On naturals, 0 - 1 = 0; the flowchart program is arranged to
+        # stay non-negative so both models agree.
+        program = parse_program("program p(x1, x2) { y := x1; y := y - 1 }")
+        machine, registers_map = compile_to_fenton(program)
+        assert run_machine(machine, registers_map, (0, 0)).outcome == 0
+        assert run_machine(machine, registers_map, (3, 0)).outcome == 2
+
+    def test_add_variable(self):
+        assert_value_agreement(
+            "program p(x1, x2) { y := x1; y := y + x2 }")
+
+    def test_copy_preserves_source(self):
+        program = parse_program(
+            "program p(x1, x2) { r := x1; y := x1 }")
+        machine, registers_map = compile_to_fenton(program)
+        result = run_machine(machine, registers_map, (3, 0))
+        assert result.outcome == 3
+        assert result.registers[registers_map["x1"]] == 3  # preserved
+
+    def test_if_else(self):
+        assert_value_agreement(
+            "program p(x1, x2) { if x2 == 0 { y := x1 } else { y := 0 } }")
+
+    def test_if_nonzero_form(self):
+        assert_value_agreement(
+            "program p(x1, x2) { if x2 != 0 { y := 1 } else { y := 2 } }")
+
+    def test_while_loop(self):
+        assert_value_agreement("""
+            program p(x1, x2) {
+                r := x1;
+                while r != 0 { y := y + 2; r := r - 1 }
+            }
+        """)
+
+    def test_nested_control(self):
+        assert_value_agreement("""
+            program p(x1, x2) {
+                r := x1;
+                while r != 0 {
+                    if x2 == 0 { y := y + 1 } else { y := y + 2 };
+                    r := r - 1
+                }
+            }
+        """)
+
+
+class TestCompilableSubset:
+    def test_compilable_predicate(self):
+        good = parse_program("program p(x1) { y := x1; y := y + 1 }")
+        assert compilable(good)
+        bad = parse_program("program p(x1) { y := x1 * 2 }")
+        assert not compilable(bad)
+
+    @pytest.mark.parametrize("source", [
+        "program p(x1) { y := x1 * 2 }",            # multiplication
+        "program p(x1, x2) { y := x1 + x2 + 1 }",   # nested binop target
+        "program p(x1) { if x1 == 1 { y := 1 } }",  # non-zero comparison
+        "program p(x1) { while x1 == 0 { y := 1 } }",
+    ])
+    def test_rejected_constructs(self, source):
+        with pytest.raises(CompileError):
+            compile_to_fenton(parse_program(source))
+
+
+class TestDisciplines:
+    SOURCE = ("program demo(x1, x2) "
+              "{ if x2 == 0 { y := x1 } else { y := 0 } }")
+
+    def _mechanism(self, discipline):
+        program = parse_program(self.SOURCE)
+        machine, registers_map = compile_to_fenton(program,
+                                                   discipline=discipline)
+        return fenton_mechanism(machine, GRID,
+                                priv_registers=[registers_map["x1"]],
+                                check_output_mark=True)
+
+    def test_taint_sound(self):
+        mechanism = self._mechanism(Discipline.TAINT)
+        assert check_soundness(mechanism, allow(2, arity=2)).sound
+
+    def test_join_unsound_via_zero_trip_leak(self):
+        """The compiled-code twin of Example 1's critique: restoring P
+        at joins without pre-marking leaks through zero-trip loops."""
+        mechanism = self._mechanism(Discipline.JOIN)
+        report = check_soundness(mechanism, allow(2, arity=2))
+        assert not report.sound
+        # The witness pair differs only in the denied x1, and the
+        # zero-trip case (x1 = 0) is the accepted one.
+        witness = report.witness
+        assert witness.first[1] == witness.second[1]
+
+    def test_premark_sound(self):
+        mechanism = self._mechanism(Discipline.PREMARK)
+        assert check_soundness(mechanism, allow(2, arity=2)).sound
+
+    def test_premark_matches_surveillance_here(self):
+        program = parse_program(self.SOURCE)
+        fenton = self._mechanism(Discipline.PREMARK)
+        surveillance = surveillance_mechanism(program.compile(),
+                                              allow(2, arity=2), GRID)
+        assert (fenton.acceptance_set()
+                == surveillance.acceptance_set())
+
+
+class TestPremarkBeatsSurveillanceOnReconvergence:
+    SOURCE = ("program d2(x1, x2) "
+              "{ if x1 == 0 { r := 1 } else { r := 2 }; y := x2 }")
+
+    def test_completeness_gap(self):
+        """Fenton's restoration behaves like the structured certifier's
+        PC-label restoration: the reconvergent branch on denied x1 is
+        forgotten at the join, so every run is accepted — while
+        flowchart surveillance (monotone C̄) rejects them all."""
+        program = parse_program(self.SOURCE)
+        policy = allow(2, arity=2)
+        machine, registers_map = compile_to_fenton(
+            program, discipline=Discipline.PREMARK)
+        fenton = fenton_mechanism(machine, GRID,
+                                  priv_registers=[registers_map["x1"]],
+                                  check_output_mark=True)
+        assert check_soundness(fenton, policy).sound
+        assert fenton.acceptance_set() == frozenset(GRID)
+        surveillance = surveillance_mechanism(program.compile(), policy,
+                                              GRID)
+        assert surveillance.acceptance_set() == frozenset()

@@ -1,0 +1,132 @@
+"""Unit tests for repro.minsky.fenton — Example 1's data-mark machine."""
+
+import pytest
+
+from repro.core import ProductDomain, allow, allow_none, check_soundness
+from repro.core.errors import ExecutionError, UndefinedSemanticsError
+from repro.minsky.fenton import (NULL, PRIV, DataMarkMachine, FDecJz, FHalt,
+                                 FInc, HaltMode,
+                                 balanced_negative_inference_program,
+                                 fenton_mechanism,
+                                 negative_inference_program,
+                                 undefined_trailing_halt_program)
+
+GRID1 = ProductDomain.integer_grid(0, 4, 1)
+
+
+class TestDataMarkRules:
+    def test_branch_on_priv_marks_pc(self):
+        # One branch on a priv register, then halt: P is priv at halt.
+        machine = DataMarkMachine([FDecJz(1, 1, 1), FHalt()],
+                                  register_count=2,
+                                  halt_mode=HaltMode.NOTICE)
+        result = machine.run([0, 1], [NULL, PRIV])
+        assert result.violated
+
+    def test_branch_on_null_keeps_pc_null(self):
+        machine = DataMarkMachine([FDecJz(1, 1, 1), FHalt()],
+                                  register_count=2,
+                                  halt_mode=HaltMode.NOTICE)
+        result = machine.run([0, 1], [NULL, NULL])
+        assert not result.violated
+
+    def test_inc_under_priv_control_marks_register(self):
+        machine = DataMarkMachine(
+            [FDecJz(1, 1, 2), FInc(0, 2), FHalt()],
+            register_count=2, halt_mode=HaltMode.NOTICE)
+        result = machine.run([0, 1], [NULL, PRIV])
+        # r0 was incremented while P was priv.
+        assert result.marks[0] == PRIV
+
+    def test_mark_restoration_at_join(self):
+        """Fenton's discipline: P's mark pops back at the join point."""
+        machine = DataMarkMachine(
+            [FDecJz(1, 1, 1, join=1), FHalt()],
+            register_count=2, halt_mode=HaltMode.NOTICE)
+        result = machine.run([0, 1], [NULL, PRIV])
+        # The halt at the join sees a restored null P: normal halt.
+        assert not result.violated
+
+    def test_halt_mode_noop_falls_through(self):
+        machine = DataMarkMachine(
+            [FDecJz(1, 1, 1), FHalt(), FHalt()],
+            register_count=2, halt_mode=HaltMode.NOOP)
+        # First halt skipped (P priv); second halt... also priv, so
+        # undefined (it is the last statement).
+        with pytest.raises(UndefinedSemanticsError):
+            machine.run([0, 1], [NULL, PRIV])
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError):
+            DataMarkMachine([], register_count=1)
+        with pytest.raises(ExecutionError, match="bad address"):
+            DataMarkMachine([FInc(0, 9)], register_count=1)
+        with pytest.raises(ExecutionError, match="bad join"):
+            DataMarkMachine([FDecJz(0, 0, 0, join=9)], register_count=1)
+
+    def test_bad_marks_rejected(self):
+        machine = DataMarkMachine([FHalt()], register_count=1)
+        with pytest.raises(ExecutionError, match="bad mark"):
+            machine.run([0], ["secret"])
+
+
+class TestNegativeInference:
+    """The paper's Example 1 critique, end to end."""
+
+    def test_notice_mode_unsound(self):
+        """Interpretation (b): an error message iff x = 0 — unsound for
+        allow() because the message's presence reveals x."""
+        machine = negative_inference_program(HaltMode.NOTICE)
+        mechanism = fenton_mechanism(machine, GRID1, priv_registers=[1])
+        report = check_soundness(mechanism, allow_none(1))
+        assert not report.sound
+
+    def test_notice_appears_exactly_at_zero(self):
+        machine = negative_inference_program(HaltMode.NOTICE)
+        mechanism = fenton_mechanism(machine, GRID1, priv_registers=[1])
+        from repro.core import is_violation
+
+        for x, in GRID1:
+            assert is_violation(mechanism(x)) == (x == 0)
+
+    def test_balanced_noop_is_sound(self):
+        """Interpretation (a) on the balanced program: constant 0."""
+        machine = balanced_negative_inference_program(HaltMode.NOOP)
+        mechanism = fenton_mechanism(machine, GRID1, priv_registers=[1])
+        assert check_soundness(mechanism, allow_none(1)).sound
+        assert all(mechanism(x) == 0 for x, in GRID1)
+
+    def test_balanced_notice_is_unsound(self):
+        """Same program, halt-as-notice: the only change is the halt
+        interpretation, and soundness flips."""
+        machine = balanced_negative_inference_program(HaltMode.NOTICE)
+        mechanism = fenton_mechanism(machine, GRID1, priv_registers=[1])
+        assert not check_soundness(mechanism, allow_none(1)).sound
+
+    def test_undefined_trailing_halt(self):
+        """The halt-as-noop semantics is undefined when the halt is the
+        last statement — surfaced as an explicit error."""
+        machine = undefined_trailing_halt_program()
+        mechanism = fenton_mechanism(machine, GRID1, priv_registers=[1])
+        with pytest.raises(UndefinedSemanticsError):
+            mechanism(1)
+
+    def test_output_mark_check_catches_priv_output(self):
+        """Fenton's output rule: priv output registers are suppressed —
+        but with a *different* notice, itself distinguishable."""
+        machine = negative_inference_program(HaltMode.NOTICE)
+        mechanism = fenton_mechanism(machine, GRID1, priv_registers=[1],
+                                     check_output_mark=True)
+        from repro.core import is_violation
+
+        # x != 0 runs now also violate (r0 incremented under priv P).
+        assert all(is_violation(mechanism(x)) for x, in GRID1)
+        # ...and the two notices differ, so the mechanism is *still*
+        # unsound: Example 4's notice-channel, in Fenton's own machine.
+        assert not check_soundness(mechanism, allow_none(1)).sound
+
+    def test_unmarked_semantics_is_the_protected_program(self):
+        machine = negative_inference_program(HaltMode.NOTICE)
+        mechanism = fenton_mechanism(machine, GRID1, priv_registers=[1])
+        assert mechanism.program(0) == 0
+        assert all(mechanism.program(x) == 1 for x, in GRID1 if x > 0)

@@ -1,0 +1,134 @@
+"""Unit tests for repro.minsky.machine and .compile."""
+
+import pytest
+
+from repro.core import ProductDomain, VALUE_AND_TIME
+from repro.core.errors import ExecutionError, FuelExhaustedError
+from repro.minsky.compile import MacroAssembler, adder_machine, doubler_machine
+from repro.minsky.machine import (DecJz, Halt, Inc, MinskyMachine,
+                                  as_program)
+
+
+class TestInterpreter:
+    def test_inc_and_halt(self):
+        machine = MinskyMachine([Inc(0, 1), Inc(0, 2), Halt()],
+                                register_count=1)
+        result = machine.run([0])
+        assert result.value == 2
+        assert result.steps == 3
+
+    def test_decjz_zero_branch(self):
+        machine = MinskyMachine(
+            [DecJz(0, 1, 2), Inc(1, 0), Halt()], register_count=2,
+            output_register=1)
+        # Moves r0 into r1.
+        assert machine.run([3, 0]).value == 3
+        assert machine.run([0, 0]).value == 0
+
+    def test_negative_initial_values_clamped(self):
+        machine = MinskyMachine([Halt()], register_count=1)
+        assert machine.run([-5]).registers == (0,)
+
+    def test_fuel(self):
+        # Tight infinite loop: Inc then jump back.
+        machine = MinskyMachine([Inc(0, 0)], register_count=1)
+        with pytest.raises(FuelExhaustedError):
+            machine.run([0], fuel=25)
+
+    def test_step_counts_deterministic(self):
+        machine = adder_machine()
+        assert (machine.run([0, 2, 3, 0]).steps
+                == machine.run([0, 2, 3, 0]).steps)
+
+
+class TestValidation:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ExecutionError):
+            MinskyMachine([], register_count=1)
+
+    def test_bad_jump_target_rejected(self):
+        with pytest.raises(ExecutionError, match="bad address"):
+            MinskyMachine([Inc(0, 5)], register_count=1)
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(ExecutionError, match="bad register"):
+            MinskyMachine([Inc(3, 0), Halt()], register_count=2)
+
+    def test_bad_output_register_rejected(self):
+        with pytest.raises(ExecutionError, match="output register"):
+            MinskyMachine([Halt()], register_count=1, output_register=2)
+
+    def test_wrong_register_count_on_run(self):
+        machine = MinskyMachine([Halt()], register_count=2)
+        with pytest.raises(ExecutionError):
+            machine.run([0])
+
+
+class TestMacros:
+    def test_adder(self):
+        machine = adder_machine()
+        for a in range(4):
+            for b in range(4):
+                assert machine.run([0, a, b, 0]).value == a + b
+
+    def test_doubler(self):
+        machine = doubler_machine()
+        for n in range(6):
+            assert machine.run([0, n, 0]).value == 2 * n
+
+    def test_assembler_label_errors(self):
+        assembler = MacroAssembler(register_count=2)
+        assembler.dec_jz(0, "missing")
+        assembler.halt()
+        with pytest.raises(ExecutionError, match="undefined label"):
+            assembler.assemble()
+
+    def test_duplicate_label_rejected(self):
+        assembler = MacroAssembler(register_count=1)
+        assembler.label("a")
+        with pytest.raises(ExecutionError, match="duplicate"):
+            assembler.label("a")
+
+    def test_clear_loop(self):
+        assembler = MacroAssembler(register_count=2, name="clearer")
+        assembler.clear_loop(0)
+        assembler.halt()
+        machine = assembler.assemble()
+        assert machine.run([7, 0]).value == 0
+
+    def test_constant(self):
+        assembler = MacroAssembler(register_count=2, name="const")
+        assembler.constant(0, 5)
+        assembler.halt()
+        assert assembler.assemble().run([0, 0]).value == 5
+
+    def test_copy_preserves_source(self):
+        assembler = MacroAssembler(register_count=4, name="copier")
+        assembler.copy(1, 0, scratch=2)
+        assembler.halt()
+        machine = assembler.assemble()
+        result = machine.run([0, 3, 0, 0])
+        assert result.value == 3        # target got the copy
+        assert result.registers[1] == 3  # source preserved
+
+
+class TestAsProgram:
+    def test_example1_shape(self):
+        """Example 1: Q(d1, ..., dk) computed by a Minsky machine started
+        with its i-th register containing d_i."""
+        domain = ProductDomain.integer_grid(0, 3, 2)
+        q = as_program(adder_machine(), domain, input_registers=[1, 2])
+        assert q(2, 3) == 5
+
+    def test_time_observable_output(self):
+        domain = ProductDomain.integer_grid(0, 3, 1)
+        q = as_program(doubler_machine(), domain, input_registers=[1],
+                       output_model=VALUE_AND_TIME)
+        value, steps = q(3)
+        assert value == 6
+        assert steps > 0
+
+    def test_register_count_mismatch(self):
+        domain = ProductDomain.integer_grid(0, 3, 2)
+        with pytest.raises(ExecutionError):
+            as_program(adder_machine(), domain, input_registers=[1])

@@ -1,0 +1,94 @@
+"""Unit tests for repro.osched — scheduler and the resource channel."""
+
+import pytest
+
+from repro.core import allow_none, check_soundness, program_as_mechanism
+from repro.core.errors import DomainError
+from repro.osched import (ComputeProcess, PagePool, System, bits_to_secret,
+                          channel_report, decode, run_transmission,
+                          secret_to_bits, system_program)
+
+
+class TestScheduler:
+    def test_round_robin_order_is_fair(self):
+        pool = PagePool(4)
+        first = ComputeProcess("a")
+        second = ComputeProcess("b")
+        System(pool, [first, second]).run(5)
+        assert first.work_done == second.work_done == 5
+
+    def test_compute_process_holds_working_set(self):
+        pool = PagePool(4)
+        worker = ComputeProcess("w", working_set=2)
+        System(pool, [worker]).run(3)
+        assert pool.held_by("w") == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DomainError):
+            System(PagePool(2), [ComputeProcess("a"), ComputeProcess("a")])
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(DomainError):
+            System(PagePool(2), [ComputeProcess("a")]).run(-1)
+
+
+class TestBitCodec:
+    def test_round_trip(self):
+        for secret in range(16):
+            assert bits_to_secret(secret_to_bits(secret, 4)) == secret
+
+    def test_width_enforced(self):
+        with pytest.raises(DomainError):
+            secret_to_bits(16, 4)
+        with pytest.raises(DomainError):
+            secret_to_bits(-1, 4)
+
+    def test_big_endian(self):
+        assert secret_to_bits(0b1010, 4) == (1, 0, 1, 0)
+
+
+class TestSharedChannel:
+    def test_exact_recovery_of_every_secret(self):
+        for secret in range(16):
+            observations = run_transmission(secret, 4, partitioned=False)
+            assert decode(observations) == secret
+
+    def test_system_program_unsound_for_allow_none(self):
+        q = system_program(width=3, partitioned=False)
+        assert not check_soundness(program_as_mechanism(q),
+                                   allow_none(1)).sound
+
+    def test_channel_survives_background_noise(self):
+        for secret in range(8):
+            observations = run_transmission(secret, 3, partitioned=False,
+                                            noise_working_set=2)
+            assert decode(observations) == secret
+
+    def test_deterministic(self):
+        assert (run_transmission(5, 4, False)
+                == run_transmission(5, 4, False))
+
+
+class TestPartitionedChannel:
+    def test_observations_independent_of_secret(self):
+        observations = {run_transmission(secret, 4, partitioned=True)
+                        for secret in range(16)}
+        assert len(observations) == 1
+
+    def test_system_program_sound_for_allow_none(self):
+        q = system_program(width=3, partitioned=True)
+        assert check_soundness(program_as_mechanism(q),
+                               allow_none(1)).sound
+
+
+class TestChannelReport:
+    def test_report_shape_and_claims(self):
+        rows = channel_report(width=3)
+        by_discipline = {row["discipline"]: row for row in rows}
+        shared = by_discipline["shared"]
+        quota = by_discipline["partitioned"]
+        assert not shared["sound_for_allow_none"]
+        assert shared["leaked_bits"] == 3.0
+        assert shared["exact_recovery"]
+        assert quota["sound_for_allow_none"]
+        assert quota["leaked_bits"] == 0.0

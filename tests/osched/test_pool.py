@@ -1,0 +1,75 @@
+"""Unit tests for repro.osched.pool."""
+
+import pytest
+
+from repro.core.errors import DomainError
+from repro.osched import PagePool
+
+
+class TestSharedPool:
+    def test_acquire_up_to_capacity(self):
+        pool = PagePool(4)
+        assert pool.acquire("a", 3)
+        assert pool.acquire("b", 1)
+        assert not pool.acquire("b", 1)  # full
+        assert pool.total_held == 4
+
+    def test_all_or_nothing(self):
+        pool = PagePool(4)
+        assert pool.acquire("a", 3)
+        assert not pool.acquire("b", 2)
+        assert pool.held_by("b") == 0
+
+    def test_release_partial_and_all(self):
+        pool = PagePool(4)
+        pool.acquire("a", 4)
+        assert pool.release("a", 1) == 1
+        assert pool.held_by("a") == 3
+        assert pool.release("a") == 3
+        assert pool.held_by("a") == 0
+
+    def test_release_more_than_held_is_clamped(self):
+        pool = PagePool(4)
+        pool.acquire("a", 2)
+        assert pool.release("a", 10) == 2
+
+    def test_cross_process_interference(self):
+        """The covert channel in one assertion: b's success depends on
+        a's behaviour."""
+        pool = PagePool(4)
+        pool.acquire("a", 4)
+        assert not pool.acquire("b", 1)
+        pool.release("a")
+        assert pool.acquire("b", 1)
+
+
+class TestPartitionedPool:
+    def test_quota_enforced(self):
+        pool = PagePool(8, quotas={"a": 3, "b": 2})
+        assert pool.acquire("a", 3)
+        assert not pool.acquire("a", 1)
+        assert pool.acquire("b", 2)
+
+    def test_no_cross_process_interference(self):
+        """Quotas close the channel: a cannot affect b's allocations."""
+        pool = PagePool(8, quotas={"a": 4, "b": 2})
+        pool.acquire("a", 4)
+        assert pool.acquire("b", 2)
+
+    def test_unknown_process_has_zero_quota(self):
+        pool = PagePool(8, quotas={"a": 4})
+        assert not pool.acquire("stranger", 1)
+
+    def test_overcommitted_quotas_rejected(self):
+        with pytest.raises(DomainError):
+            PagePool(4, quotas={"a": 3, "b": 2})
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(DomainError):
+            PagePool(0)
+
+    def test_negative_acquire(self):
+        with pytest.raises(DomainError):
+            PagePool(2).acquire("a", -1)

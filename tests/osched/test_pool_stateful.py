@@ -1,0 +1,89 @@
+"""Stateful property testing of the page pool (hypothesis state machine).
+
+The pool is the security-critical substrate of the E22 channel; these
+machines hammer it with arbitrary acquire/release interleavings and
+check the resource invariants after every step:
+
+- holdings are non-negative and total ≤ capacity (shared pool);
+- per-process holdings ≤ quota, and a process's allocations are
+  unaffected by other processes' behaviour (partitioned pool — the
+  *noninterference invariant* the quota mitigation rests on).
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant, rule)
+
+from repro.osched import PagePool
+
+PROCESSES = ("a", "b", "c")
+
+
+class SharedPoolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.pool = PagePool(capacity=6)
+        self.model = {name: 0 for name in PROCESSES}
+
+    @rule(process=st.sampled_from(PROCESSES),
+          count=st.integers(min_value=0, max_value=7))
+    def acquire(self, process, count):
+        granted = self.pool.acquire(process, count)
+        if granted:
+            self.model[process] += count
+        # All-or-nothing: a refused acquire changes nothing.
+        assert self.pool.held_by(process) == self.model[process]
+
+    @rule(process=st.sampled_from(PROCESSES),
+          count=st.integers(min_value=0, max_value=7))
+    def release(self, process, count):
+        released = self.pool.release(process, count)
+        assert released == min(count, self.model[process])
+        self.model[process] -= released
+
+    @rule(process=st.sampled_from(PROCESSES))
+    def release_all(self, process):
+        released = self.pool.release(process)
+        assert released == self.model[process]
+        self.model[process] = 0
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.pool.total_held <= self.pool.capacity
+        assert self.pool.total_held == sum(self.model.values())
+        for name in PROCESSES:
+            assert self.pool.held_by(name) >= 0
+
+
+class PartitionedPoolMachine(RuleBasedStateMachine):
+    QUOTAS = {"a": 2, "b": 3}
+
+    def __init__(self):
+        super().__init__()
+        self.pool = PagePool(capacity=6, quotas=dict(self.QUOTAS))
+        self.model = {name: 0 for name in self.QUOTAS}
+
+    @rule(process=st.sampled_from(("a", "b")),
+          count=st.integers(min_value=0, max_value=4))
+    def acquire(self, process, count):
+        granted = self.pool.acquire(process, count)
+        expected = self.model[process] + count <= self.QUOTAS[process]
+        # Noninterference: the verdict depends only on the caller's own
+        # holdings and quota — never on the other process.
+        assert granted == expected
+        if granted:
+            self.model[process] += count
+
+    @rule(process=st.sampled_from(("a", "b")),
+          count=st.integers(min_value=0, max_value=4))
+    def release(self, process, count):
+        released = self.pool.release(process, count)
+        self.model[process] -= released
+
+    @invariant()
+    def quotas_respected(self):
+        for name, quota in self.QUOTAS.items():
+            assert 0 <= self.pool.held_by(name) <= quota
+
+
+TestSharedPool = SharedPoolMachine.TestCase
+TestPartitionedPool = PartitionedPoolMachine.TestCase

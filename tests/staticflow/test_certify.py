@@ -1,0 +1,163 @@
+"""Unit tests for repro.staticflow.certify (Denning-style certification)."""
+
+import pytest
+
+from repro.core import ProductDomain, allow, allow_all, allow_none
+from repro.core.errors import PolicyError
+from repro.flowchart.expr import Const, var
+from repro.flowchart.structured import (Assign, If, Skip, StructuredProgram,
+                                        While)
+from repro.staticflow.certify import analyse, certify
+from repro.surveillance.dynamic import surveillance_mechanism
+from repro.verify import all_allow_policies
+
+
+def program_forgetting():
+    return StructuredProgram(
+        ["x1", "x2"],
+        [Assign("y", var("x1")),
+         If(var("x2").eq(0), [Assign("y", Const(0))], [Skip()])],
+        name="forgetting")
+
+
+class TestAnalyse:
+    def test_data_flow(self):
+        program = StructuredProgram(
+            ["x1", "x2"], [Assign("y", var("x1") + var("x2"))])
+        analysis = analyse(program)
+        assert analysis.output_label(program) == {1, 2}
+
+    def test_implicit_flow_through_guard(self):
+        program = StructuredProgram(
+            ["x1"], [If(var("x1").eq(0), [Assign("y", Const(1))],
+                        [Assign("y", Const(2))])])
+        analysis = analyse(program)
+        assert analysis.output_label(program) == {1}
+
+    def test_merge_is_union_over_paths(self):
+        analysis = analyse(program_forgetting())
+        # Static analysis cannot forget: y may still carry x1 (else
+        # path) and picks up x2 (guard) — the union.
+        assert analysis.output_label(program_forgetting()) == {1, 2}
+
+    def test_while_fixpoint(self):
+        # Guard initially reads r (no inputs); after one body pass r
+        # carries x1 — the fixpoint must catch the second-order flow.
+        program = StructuredProgram(
+            ["x1"],
+            [Assign("r", var("x1")),
+             While(var("r").ne(0),
+                   [Assign("y", var("y") + 1), Assign("r", var("r") - 1)])],
+            name="loopy")
+        analysis = analyse(program)
+        assert analysis.output_label(program) == {1}
+        assert analysis.iterations >= 2
+
+    def test_loop_carried_taint(self):
+        # x2 enters y only through a loop-carried variable.
+        program = StructuredProgram(
+            ["x1", "x2"],
+            [Assign("r", var("x1")),
+             While(var("r").ne(0),
+                   [Assign("s", var("x2")), Assign("r", var("r") - 1)]),
+             Assign("y", var("s"))])
+        analysis = analyse(program)
+        assert analysis.output_label(program) >= {1, 2}
+
+    def test_untouched_output_is_clean(self):
+        program = StructuredProgram(["x1"], [Assign("r", var("x1"))])
+        assert analyse(program).output_label(program) == set()
+
+
+class TestCertify:
+    def test_certified_iff_label_within_policy(self):
+        program = program_forgetting()
+        assert not certify(program, allow(2, arity=2)).certified
+        assert not certify(program, allow(1, arity=2)).certified
+        assert certify(program, allow_all(2)).certified
+
+    def test_certificate_reports_labels(self):
+        certificate = certify(program_forgetting(), allow(2, arity=2))
+        assert certificate.output_label == {1, 2}
+        assert certificate.allowed == {2}
+        assert bool(certificate) is False
+
+    def test_constant_program_certified_for_allow_none(self):
+        program = StructuredProgram(["x1"], [Assign("y", Const(7))])
+        assert certify(program, allow_none(1)).certified
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(PolicyError):
+            certify(program_forgetting(), allow(1, arity=3))
+
+    def test_non_allow_policy_rejected(self):
+        from repro.core import content_dependent
+
+        with pytest.raises(PolicyError):
+            certify(program_forgetting(),
+                    content_dependent(lambda a, b: a, arity=2))
+
+
+class TestCertificationSoundness:
+    """Certified ⇒ Q run unmodified is a *sound* mechanism.
+
+    That is the guarantee static enforcement rests on.  Completeness
+    relative to dynamic surveillance goes both ways (experiment E18):
+    dynamic accepts individual runs of statically-rejected programs, and
+    static certifies whole programs whose every run dynamic rejects
+    (PC-label restoration at joins vs monotone C̄).
+    """
+
+    PROGRAMS = [
+        program_forgetting(),
+        StructuredProgram(["x1", "x2"],
+                          [Assign("y", var("x1") * var("x2"))], name="prod"),
+        StructuredProgram(["x1", "x2"],
+                          [If(var("x1").gt(0), [Assign("y", var("x2"))],
+                              [Assign("y", Const(0))])], name="guarded"),
+        StructuredProgram(["x1"],
+                          [Assign("r", var("x1")),
+                           While(var("r").ne(0),
+                                 [Assign("y", var("y") + var("r")),
+                                  Assign("r", var("r") - 1)])],
+                          name="loop-sum"),
+        StructuredProgram(["x1", "x2"],
+                          [If(var("x1").eq(1), [Assign("r", Const(1))],
+                              [Assign("r", Const(2))]),
+                           Assign("y", Const(1))], name="reconvergence"),
+    ]
+
+    def test_certified_implies_q_is_sound(self):
+        from repro.core import check_soundness, program_as_mechanism
+        from repro.flowchart.interpreter import as_program
+
+        for program in self.PROGRAMS:
+            arity = len(program.input_variables)
+            flowchart = program.compile()
+            domain = ProductDomain.integer_grid(0, 2, arity)
+            for policy in all_allow_policies(arity):
+                if certify(program, policy).certified:
+                    q = as_program(flowchart, domain)
+                    report = check_soundness(program_as_mechanism(q), policy,
+                                             domain)
+                    assert report.sound, (program.name, policy.name)
+
+    def test_dynamic_beats_static_on_runs(self):
+        """Forgetting program, allow(2): statically rejected, yet
+        surveillance accepts its x2 = 0 runs."""
+        program = program_forgetting()
+        policy = allow(2, arity=2)
+        assert not certify(program, policy).certified
+        domain = ProductDomain.integer_grid(0, 2, 2)
+        mechanism = surveillance_mechanism(program.compile(), policy, domain)
+        assert len(mechanism.acceptance_set()) > 0
+
+    def test_static_beats_dynamic_on_whole_programs(self):
+        """Reconvergence, allow(2): certified, yet surveillance rejects
+        every run (C̄ never forgets the branch on x1)."""
+        program = self.PROGRAMS[-1]
+        policy = allow(2, arity=2)
+        assert certify(program, policy).certified
+        domain = ProductDomain.integer_grid(0, 2, 2)
+        mechanism = surveillance_mechanism(program.compile(), policy, domain)
+        assert mechanism.acceptance_set() == frozenset()

@@ -1,0 +1,165 @@
+"""Unit tests for repro.staticflow.cfgcertify — CFG-level certification."""
+
+import pytest
+
+from repro.core import (ProductDomain, allow, allow_all, check_soundness,
+                        program_as_mechanism)
+from repro.core.errors import PolicyError
+from repro.flowchart import library
+from repro.flowchart.builder import FlowchartBuilder
+from repro.flowchart.expr import Const, var
+from repro.flowchart.interpreter import as_program
+from repro.staticflow.cfgcertify import (certify_flowchart,
+                                         control_dependencies)
+from repro.verify import all_allow_policies
+
+GRID2 = ProductDomain.integer_grid(0, 2, 2)
+
+
+class TestControlDependence:
+    def test_diamond_arms_depend_on_decision(self):
+        flowchart = library.max_program()
+        decision = flowchart.decision_ids()[0]
+        dependencies = control_dependencies(flowchart)
+        arm_nodes = [node for node, deps in dependencies.items()
+                     if decision in deps]
+        assert len(arm_nodes) == 2  # the two assignment arms
+
+    def test_join_does_not_depend_on_decision(self):
+        flowchart = library.reconvergence_program()
+        decision = flowchart.decision_ids()[0]
+        dependencies = control_dependencies(flowchart)
+        # The y := 1 after the join is NOT control-dependent.
+        for node_id, box in flowchart.boxes.items():
+            from repro.flowchart.boxes import AssignBox
+
+            if isinstance(box, AssignBox) and box.target == "y":
+                assert decision not in dependencies[node_id]
+
+    def test_loop_body_depends_on_loop_test(self):
+        flowchart = library.timing_loop()
+        decision = flowchart.decision_ids()[0]
+        dependencies = control_dependencies(flowchart)
+        body_nodes = [node for node, deps in dependencies.items()
+                      if decision in deps]
+        assert body_nodes  # the decrement body
+
+    def test_straight_line_has_no_dependencies(self):
+        dependencies = control_dependencies(library.mixer_program())
+        assert all(not deps for deps in dependencies.values())
+
+
+class TestVerdicts:
+    def test_paper_programs(self):
+        cases = [
+            (library.reconvergence_program(), allow(2, arity=2), True),
+            (library.forgetting_program(), allow(2, arity=2), False),
+            (library.example8_program(), allow(2, arity=2), False),
+            (library.example9_program(), allow(1, arity=2), False),
+            (library.mixer_program(), allow_all(2), True),
+            (library.mixer_program(), allow(1, arity=2), False),
+        ]
+        for flowchart, policy, expected in cases:
+            certificate = certify_flowchart(flowchart, policy)
+            assert certificate.certified == expected, (flowchart.name,
+                                                       policy.name)
+
+    def test_loop_certifies_when_output_clean(self):
+        certificate = certify_flowchart(library.timing_loop(),
+                                        allow(arity=1))
+        assert certificate.certified  # y = 1 constant, value-only model
+
+    def test_which_halt_is_reached_counts(self):
+        """Two halts selected by a denied test: rejected even though
+        each path's y label is clean."""
+        builder = FlowchartBuilder(["x1", "x2"], name="two-halts")
+        then_arm = builder.label("t")
+        else_arm = builder.label("e")
+        builder.start()
+        builder.decide(var("x1").eq(0), then_to=then_arm, else_to=else_arm)
+        builder.define(then_arm)
+        builder.assign("y", Const(1))
+        builder.halt()
+        builder.define(else_arm)
+        builder.assign("y", Const(1))
+        builder.halt()
+        flowchart = builder.build()
+        certificate = certify_flowchart(flowchart, allow(2, arity=2))
+        assert not certificate.certified
+
+    def test_policy_validation(self):
+        from repro.core import content_dependent
+
+        with pytest.raises(PolicyError):
+            certify_flowchart(library.mixer_program(),
+                              content_dependent(lambda a, b: a, arity=2))
+        with pytest.raises(PolicyError):
+            certify_flowchart(library.mixer_program(), allow(1, arity=3))
+
+
+class TestAgreementWithStructuredCertifier:
+    def test_on_compiled_library_programs(self):
+        """On reducible (structured-origin) flowcharts the CFG certifier
+        and the structured certifier agree."""
+        from repro.flowchart.expr import var as v
+        from repro.flowchart.structured import (Assign, If, Skip,
+                                                StructuredProgram, While)
+        from repro.staticflow import certify
+
+        programs = [
+            StructuredProgram(["x1", "x2"],
+                              [Assign("y", v("x1") + v("x2"))], name="mix"),
+            StructuredProgram(["x1", "x2"],
+                              [Assign("y", v("x1")),
+                               If(v("x2").eq(0), [Assign("y", Const(0))],
+                                  [Skip()])], name="forget"),
+            StructuredProgram(["x1", "x2"],
+                              [If(v("x1").eq(1), [Assign("r", Const(1))],
+                                  [Assign("r", Const(2))]),
+                               Assign("y", Const(1))], name="reconv"),
+            StructuredProgram(["x1", "x2"],
+                              [Assign("r", v("x2")),
+                               While(v("r").ne(0),
+                                     [Assign("r", v("r") - 1)]),
+                               Assign("y", v("x1"))], name="loop2"),
+        ]
+        for program in programs:
+            flowchart = program.compile()
+            for policy in all_allow_policies(2):
+                structured = certify(program, policy).certified
+                cfg = certify_flowchart(flowchart, policy).certified
+                assert structured == cfg, (program.name, policy.name)
+
+    def test_certified_implies_q_sound(self):
+        for flowchart in library.extended_suite():
+            domain = ProductDomain.integer_grid(0, 2, flowchart.arity)
+            for policy in all_allow_policies(flowchart.arity):
+                if certify_flowchart(flowchart, policy).certified:
+                    q = as_program(flowchart, domain)
+                    assert check_soundness(program_as_mechanism(q), policy,
+                                           domain).sound, (flowchart.name,
+                                                           policy.name)
+
+
+class TestIrreducibleControlFlow:
+    def test_certifier_handles_multi_entry_loop_shape(self):
+        """A graph no structured program compiles to: two decisions
+        jumping into a shared tail."""
+        builder = FlowchartBuilder(["x1", "x2"], name="irreducible")
+        shared = builder.label("shared")
+        other = builder.label("other")
+        builder.start()
+        builder.decide(var("x1").eq(0), then_to=shared, else_to=other)
+        builder.define(other)
+        builder.decide(var("x2").eq(0), then_to=shared, else_to=shared)
+        builder.define(shared)
+        builder.assign("y", Const(7))
+        builder.halt()
+        flowchart = builder.build()
+        # y = 7 always; both tests reconverge at `shared`, so nothing
+        # flows into y: certified even for allow().
+        certificate = certify_flowchart(flowchart, allow(arity=2))
+        assert certificate.certified
+        # And the claim is true: Q is constant.
+        q = as_program(flowchart, GRID2)
+        assert q.is_constant()

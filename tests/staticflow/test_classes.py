@@ -1,0 +1,56 @@
+"""Unit tests for repro.staticflow.classes (security-class lattices)."""
+
+from repro.staticflow.classes import (chain_lattice, label_of_indices,
+                                      powerset_lattice)
+
+
+class TestPowersetLattice:
+    def test_size(self):
+        assert len(powerset_lattice(3).elements) == 8
+
+    def test_join_is_union(self):
+        lattice = powerset_lattice(3)
+        assert (lattice.join(frozenset({1}), frozenset({2, 3}))
+                == frozenset({1, 2, 3}))
+
+    def test_bottom_is_empty(self):
+        lattice = powerset_lattice(2)
+        assert lattice.bottom == frozenset()
+        for element in lattice.elements:
+            assert lattice.leq(lattice.bottom, element)
+
+    def test_leq_is_inclusion(self):
+        lattice = powerset_lattice(2)
+        assert lattice.leq(frozenset({1}), frozenset({1, 2}))
+        assert not lattice.leq(frozenset({1}), frozenset({2}))
+
+    def test_nary_join(self):
+        lattice = powerset_lattice(3)
+        assert (lattice.join(frozenset({1}), frozenset({2}), frozenset({3}))
+                == frozenset({1, 2, 3}))
+
+
+class TestChainLattice:
+    def test_fenton_chain(self):
+        lattice = chain_lattice(["null", "priv"])
+        assert lattice.bottom == "null"
+        assert lattice.join("null", "priv") == "priv"
+        assert lattice.leq("null", "priv")
+        assert not lattice.leq("priv", "null")
+
+    def test_three_level_chain(self):
+        lattice = chain_lattice(["unclassified", "secret", "top-secret"])
+        assert lattice.join("secret", "unclassified") == "secret"
+        assert lattice.join("secret", "top-secret") == "top-secret"
+        assert lattice.leq("unclassified", "top-secret")
+
+    def test_join_laws(self):
+        lattice = chain_lattice(["a", "b", "c"])
+        for x in lattice.elements:
+            for y in lattice.elements:
+                assert lattice.join(x, y) == lattice.join(y, x)
+                assert lattice.join(x, x) == x
+
+
+def test_label_of_indices():
+    assert label_of_indices([2, 1]) == frozenset({1, 2})

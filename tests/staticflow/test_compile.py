@@ -1,0 +1,134 @@
+"""Unit tests for repro.staticflow.compile (the Section 5 compiler)."""
+
+from repro.core import (ProductDomain, allow, allow_all, allow_none,
+                        check_soundness, is_violation)
+from repro.flowchart.expr import Const, var
+from repro.flowchart.structured import (Assign, If, Skip, StructuredProgram,
+                                        While)
+from repro.staticflow.compile import (compile_per_policy,
+                                      compile_with_transforms,
+                                      static_mechanism)
+
+GRID2 = ProductDomain.integer_grid(0, 2, 2)
+
+
+def program_clean():
+    """y depends on x1 only — certifiable for allow(1)."""
+    return StructuredProgram(["x1", "x2"], [Assign("y", var("x1") * 2)],
+                             name="clean")
+
+
+def program_reconvergence():
+    """Constant 1 via a branch on x1 — Example 7 material."""
+    return StructuredProgram(
+        ["x1", "x2"],
+        [If(var("x1").eq(1), [Assign("r", Const(1))],
+            [Assign("r", Const(2))]),
+         Assign("y", Const(1))],
+        name="reconvergence")
+
+
+def program_example9():
+    return StructuredProgram(
+        ["x1", "x2"],
+        [If(var("x1").eq(0), [Assign("y", Const(0))],
+            [Assign("y", var("x2"))])],
+        name="example9")
+
+
+class TestStaticMechanism:
+    def test_certified_runs_unmodified(self):
+        mechanism = static_mechanism(program_clean(), allow(1, arity=2),
+                                     GRID2)
+        assert mechanism.acceptance_set() == frozenset(GRID2)
+        assert "static" in mechanism.name
+
+    def test_rejected_pulls_the_plug(self):
+        mechanism = static_mechanism(program_clean(), allow(2, arity=2),
+                                     GRID2)
+        assert mechanism.acceptance_set() == frozenset()
+
+    def test_both_outcomes_sound(self):
+        for policy in (allow(1, arity=2), allow(2, arity=2), allow_all(2),
+                       allow_none(2)):
+            mechanism = static_mechanism(program_clean(), policy, GRID2)
+            assert check_soundness(mechanism, policy).sound
+
+
+class TestTransformingCompiler:
+    def test_certified_needs_no_transform(self):
+        outcome = compile_with_transforms(program_clean(),
+                                          allow(1, arity=2), GRID2)
+        assert outcome.transform_used is None
+        assert outcome.certificate.certified
+        assert outcome.mechanism.acceptance_set() == frozenset(GRID2)
+
+    def test_reconvergence_certified_without_transform(self):
+        """Structured certification restores the PC label at the join —
+        the same insight the if-then-else transform makes explicit at
+        the flowchart level — so the constant-1 program certifies
+        directly, even though flowchart surveillance rejects all its
+        runs (experiment E07)."""
+        outcome = compile_with_transforms(program_reconvergence(),
+                                          allow(2, arity=2), GRID2)
+        assert outcome.certificate.certified
+        assert outcome.transform_used is None
+        assert outcome.mechanism.acceptance_set() == frozenset(GRID2)
+
+    def test_example9_residual_mechanism(self):
+        """Duplication leaves a residual run-time division: accept the
+        x1 = 0 runs, notice otherwise."""
+        outcome = compile_with_transforms(program_example9(),
+                                          allow(1, arity=2), GRID2)
+        accepted = outcome.mechanism.acceptance_set()
+        assert accepted == frozenset(p for p in GRID2 if p[0] == 0)
+
+    def test_hopeless_program_rejected(self):
+        """y = x2 exactly: no transform can save allow(1)."""
+        program = StructuredProgram(["x1", "x2"],
+                                    [Assign("y", var("x2"))], name="copy2")
+        outcome = compile_with_transforms(program, allow(1, arity=2), GRID2)
+        assert outcome.mechanism.acceptance_set() == frozenset()
+
+    def test_compiled_mechanisms_are_sound(self):
+        for program in (program_clean(), program_reconvergence(),
+                        program_example9()):
+            for policy in (allow(1, arity=2), allow(2, arity=2),
+                           allow_none(2)):
+                outcome = compile_with_transforms(program, policy, GRID2)
+                assert check_soundness(outcome.mechanism, policy).sound, (
+                    program.name, policy.name)
+
+    def test_loop_program_through_while_transform(self):
+        program = StructuredProgram(
+            ["x1", "x2"],
+            [Assign("r", var("x2")),
+             While(var("r").ne(0), [Assign("r", var("r") - 1)]),
+             Assign("y", var("x1"))],
+            name="loop-on-x2")
+        # Value-only observability: y = x1 exactly.  The structured
+        # certifier restores the PC after the loop, so the program
+        # certifies directly — even though the flowchart surveillance
+        # mechanism (monotone C̄) rejects every run.  Static here is
+        # *more* complete than dynamic; E18 charts both directions.
+        outcome = compile_with_transforms(program, allow(1, arity=2), GRID2)
+        assert outcome.certificate.certified
+        assert outcome.mechanism.acceptance_set() == frozenset(GRID2)
+        from repro.surveillance import surveillance_mechanism
+
+        dynamic = surveillance_mechanism(program.compile(),
+                                         allow(1, arity=2), GRID2)
+        assert dynamic.acceptance_set() == frozenset()
+
+
+class TestPerPolicyCompilation:
+    def test_one_outcome_per_policy(self):
+        policies = [allow(1, arity=2), allow(2, arity=2), allow_all(2)]
+        outcomes = compile_per_policy(program_clean(), policies, GRID2)
+        assert set(outcomes) == {policy.name for policy in policies}
+
+    def test_different_policies_different_mechanisms(self):
+        policies = [allow(1, arity=2), allow(2, arity=2)]
+        outcomes = compile_per_policy(program_clean(), policies, GRID2)
+        assert (outcomes["allow(1)"].mechanism.acceptance_set()
+                != outcomes["allow(2)"].mechanism.acceptance_set())

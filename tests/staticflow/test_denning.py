@@ -1,0 +1,130 @@
+"""Unit tests for repro.staticflow.denning — general-lattice certification."""
+
+import pytest
+
+from repro.core.errors import PolicyError
+from repro.flowchart.expr import Const, var
+from repro.flowchart.structured import (Assign, If, StructuredProgram,
+                                        While)
+from repro.staticflow.classes import chain_lattice, powerset_lattice
+from repro.staticflow.denning import (ClassAssignment, certify_lattice,
+                                      military_assignment)
+
+CHAIN = chain_lattice(["unclassified", "secret", "top-secret"])
+
+
+def mixer():
+    return StructuredProgram(
+        ["pub", "sec"], [Assign("y", var("pub") + var("sec"))],
+        name="mixer")
+
+
+def guarded():
+    return StructuredProgram(
+        ["pub", "sec"],
+        [If(var("sec").eq(0), [Assign("y", Const(1))],
+            [Assign("y", Const(2))])],
+        name="guarded")
+
+
+class TestChainCertification:
+    def test_data_flow_joins_classes(self):
+        assignment = ClassAssignment(
+            CHAIN,
+            sources={"pub": "unclassified", "sec": "secret"},
+            clearances={"y": "secret"})
+        analysis = certify_lattice(mixer(), assignment)
+        assert analysis.certified
+        assert analysis.classes["y"] == "secret"
+
+    def test_clearance_violation_reported(self):
+        assignment = ClassAssignment(
+            CHAIN,
+            sources={"pub": "unclassified", "sec": "top-secret"},
+            clearances={"y": "secret"})
+        analysis = certify_lattice(mixer(), assignment)
+        assert not analysis.certified
+        variable, actual, bound = analysis.violations[0]
+        assert variable == "y"
+        assert actual == "top-secret" and bound == "secret"
+
+    def test_implicit_flow_through_guard(self):
+        """The PC flow the paper insists static analysis must track."""
+        assignment = ClassAssignment(
+            CHAIN,
+            sources={"pub": "unclassified", "sec": "secret"},
+            clearances={"y": "unclassified"})
+        analysis = certify_lattice(guarded(), assignment)
+        assert not analysis.certified
+        assert analysis.classes["y"] == "secret"
+
+    def test_loop_fixpoint_over_chain(self):
+        program = StructuredProgram(
+            ["pub", "sec"],
+            [Assign("r", var("pub")),
+             While(var("r").ne(0),
+                   [Assign("r", var("r") - 1),
+                    Assign("carrier", var("sec")),
+                    Assign("r2", var("carrier"))]),
+             Assign("y", var("r2"))],
+            name="laundering")
+        assignment = ClassAssignment(
+            CHAIN,
+            sources={"pub": "unclassified", "sec": "top-secret"},
+            clearances={"y": "unclassified"})
+        analysis = certify_lattice(program, assignment)
+        assert not analysis.certified
+        assert analysis.classes["y"] == "top-secret"
+
+    def test_multiple_sink_clearances(self):
+        program = StructuredProgram(
+            ["pub", "sec"],
+            [Assign("audit", var("sec")), Assign("y", var("pub"))],
+            name="split")
+        assignment = ClassAssignment(
+            CHAIN,
+            sources={"pub": "unclassified", "sec": "secret"},
+            clearances={"y": "unclassified", "audit": "secret"})
+        assert certify_lattice(program, assignment).certified
+
+    def test_military_builder(self):
+        assignment = military_assignment(
+            mixer(), sources={"pub": "unclassified", "sec": "secret"},
+            output_clearance="top-secret")
+        assert certify_lattice(mixer(), assignment).certified
+
+
+class TestPowersetAgreesWithAllowCertifier:
+    def test_same_verdicts_as_index_certifier(self):
+        """The general certifier over P({1..k}) coincides with the
+        allow(...) certifier of repro.staticflow.certify."""
+        from repro.core import allow
+        from repro.staticflow import certify
+        from repro.verify import all_allow_policies
+
+        programs = [mixer(), guarded()]
+        lattice = powerset_lattice(2)
+        for program in programs:
+            sources = {name: frozenset({position})
+                       for position, name in enumerate(
+                           program.input_variables, 1)}
+            for policy in all_allow_policies(2):
+                assignment = ClassAssignment(
+                    lattice, sources=sources,
+                    clearances={program.output_variable: policy.allowed})
+                general = certify_lattice(program, assignment).certified
+                specific = certify(program, policy).certified
+                assert general == specific, (program.name, policy.name)
+
+
+class TestValidation:
+    def test_unknown_class_rejected(self):
+        with pytest.raises(PolicyError):
+            ClassAssignment(CHAIN, sources={"pub": "cosmic"},
+                            clearances={})
+
+    def test_unlisted_source_is_bottom(self):
+        assignment = ClassAssignment(CHAIN, sources={},
+                                     clearances={"y": "unclassified"})
+        analysis = certify_lattice(mixer(), assignment)
+        assert analysis.certified

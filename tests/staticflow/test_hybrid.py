@@ -1,0 +1,134 @@
+"""Unit tests for repro.staticflow.hybrid — efficient enforcement."""
+
+import pytest
+
+from repro.core import ProductDomain, allow, allow_all, check_soundness
+from repro.flowchart.expr import Const, var
+from repro.flowchart.interpreter import execute
+from repro.flowchart.structured import (Assign, If, StructuredProgram,
+                                        While)
+from repro.staticflow import (eliminate_dead_surveillance,
+                              hybrid_mechanism, instrumentation_overhead,
+                              label_dependence_closure)
+from repro.surveillance.instrument import VIOLATION_FLAG, instrument
+from repro.verify import all_allow_policies
+
+GRID = ProductDomain.integer_grid(0, 2, 2)
+
+
+def clean_program():
+    return StructuredProgram(["x1", "x2"], [Assign("y", var("x1") * 2)],
+                             name="clean")
+
+
+def dirty_program():
+    return StructuredProgram(
+        ["x1", "x2"],
+        [Assign("y", var("x1")),
+         If(var("x2").eq(0), [Assign("y", Const(0))], [])],
+        name="forgetting")
+
+
+def dead_aux_program():
+    """y depends on x1 only; audit/log are a dead side computation."""
+    return StructuredProgram(
+        ["x1", "x2"],
+        [Assign("audit", var("x2") * 3),
+         Assign("log", var("audit") + 1),
+         Assign("y", var("x1"))],
+        name="with-dead-aux")
+
+
+class TestHybridMechanism:
+    def test_certified_pair_runs_static(self):
+        outcome = hybrid_mechanism(clean_program(), allow(1, arity=2), GRID)
+        assert outcome.static
+        assert outcome.mechanism.acceptance_set() == frozenset(GRID)
+
+    def test_uncertified_pair_falls_back_to_surveillance(self):
+        outcome = hybrid_mechanism(dirty_program(), allow(2, arity=2), GRID)
+        assert not outcome.static
+        accepted = outcome.mechanism.acceptance_set()
+        assert accepted == frozenset(p for p in GRID if p[1] == 0)
+
+    def test_hybrid_always_sound(self):
+        for program in (clean_program(), dirty_program(),
+                        dead_aux_program()):
+            for policy in all_allow_policies(2):
+                outcome = hybrid_mechanism(program, policy, GRID)
+                assert check_soundness(outcome.mechanism, policy).sound, (
+                    program.name, policy.name)
+
+
+class TestDependenceClosure:
+    def test_dead_variables_excluded(self):
+        closure = label_dependence_closure(dead_aux_program().compile())
+        assert closure == {"x1", "y"}
+
+    def test_control_flow_pulls_in_tested_variables(self):
+        closure = label_dependence_closure(dirty_program().compile())
+        assert closure >= {"x1", "x2", "y"}
+
+    def test_loop_variables_needed(self):
+        program = StructuredProgram(
+            ["x1"],
+            [Assign("r", var("x1")),
+             While(var("r").ne(0), [Assign("r", var("r") - 1)]),
+             Assign("y", Const(1))],
+            name="loop")
+        assert label_dependence_closure(program.compile()) >= {"r", "x1",
+                                                               "y"}
+
+
+class TestDeadSurveillanceElimination:
+    @pytest.mark.parametrize("make_program", [dead_aux_program,
+                                              dirty_program,
+                                              clean_program])
+    def test_output_preserving(self, make_program):
+        """Optimised instrumentation agrees with the full one on value
+        AND violation flag, for every policy, on every input."""
+        flowchart = make_program().compile()
+        for policy in all_allow_policies(2):
+            full = instrument(flowchart, policy)
+            optimised = eliminate_dead_surveillance(flowchart, policy)
+            for point in GRID:
+                full_run = execute(full, point)
+                optimised_run = execute(optimised, point)
+                assert full_run.value == optimised_run.value
+                assert (full_run.env[VIOLATION_FLAG]
+                        == optimised_run.env[VIOLATION_FLAG])
+
+    def test_strictly_fewer_boxes_with_dead_aux(self):
+        flowchart = dead_aux_program().compile()
+        policy = allow(1, arity=2)
+        full = instrument(flowchart, policy)
+        optimised = eliminate_dead_surveillance(flowchart, policy)
+        assert len(optimised.boxes) < len(full.boxes)
+
+    def test_no_change_when_everything_is_live(self):
+        flowchart = dirty_program().compile()
+        policy = allow(2, arity=2)
+        full = instrument(flowchart, policy)
+        optimised = eliminate_dead_surveillance(flowchart, policy)
+        assert len(optimised.boxes) == len(full.boxes)
+
+    def test_timed_variant_supported(self):
+        flowchart = dead_aux_program().compile()
+        policy = allow(1, arity=2)
+        optimised = eliminate_dead_surveillance(flowchart, policy,
+                                                timed=True)
+        for point in GRID:
+            run = execute(optimised, point)
+            assert run.env[VIOLATION_FLAG] == 0
+            assert run.value == point[0]
+
+
+class TestOverheadReport:
+    def test_ordering(self):
+        flowchart = dead_aux_program().compile()
+        report = instrumentation_overhead(flowchart, allow(1, arity=2),
+                                          GRID)
+        assert (report["bare_steps"] < report["optimised_steps"]
+                <= report["full_steps"])
+        assert (report["bare_boxes"] < report["optimised_boxes"]
+                <= report["full_boxes"])

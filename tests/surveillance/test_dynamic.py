@@ -1,0 +1,158 @@
+"""Unit tests for repro.surveillance.dynamic — Theorem 3 and the Section 3
+worked comparisons, at the level of individual runs and mechanisms."""
+
+import pytest
+
+from repro.core import (ProductDomain, VALUE_AND_TIME, VALUE_ONLY, allow,
+                        allow_all, allow_none, check_soundness, is_violation)
+from repro.flowchart import library
+from repro.flowchart.interpreter import as_program, execute
+from repro.surveillance.dynamic import (surveil, surveillance_mechanism,
+                                        timed_surveillance_mechanism)
+from repro.verify import all_allow_policies, soundness_sweep, unsound_results
+
+GRID1 = ProductDomain.integer_grid(0, 4, 1)
+GRID2 = ProductDomain.integer_grid(0, 3, 2)
+
+
+class TestSurveilRuns:
+    def test_input_labels_initialised(self):
+        run = surveil(library.mixer_program(), (1, 2),
+                      allowed=frozenset({1, 2}))
+        assert run.labels["x1"] == frozenset({1})
+        assert run.labels["x2"] == frozenset({2})
+
+    def test_data_flow_label(self):
+        run = surveil(library.mixer_program(), (1, 2),
+                      allowed=frozenset({1, 2}))
+        assert run.labels["y"] == frozenset({1, 2})
+        assert not run.violated
+
+    def test_control_flow_label_via_pc(self):
+        """Assignments under a branch absorb the branch's label."""
+        run = surveil(library.forgetting_program(), (1, 0),
+                      allowed=frozenset({2}))
+        # y := 0 under `if x2 = 0`: constant data, control from x2.
+        assert run.labels["y"] == frozenset({2})
+        assert run.pc_label == frozenset({2})
+
+    def test_forgetting_resets_labels(self):
+        """Surveillance 'allows forgetting': reassignment replaces."""
+        run = surveil(library.forgetting_program(), (1, 0),
+                      allowed=frozenset({2}))
+        # y was first x1 ({1}) then 0 under x2-control ({2}): the {1}
+        # is forgotten.
+        assert 1 not in run.labels["y"]
+
+    def test_violation_when_output_label_disallowed(self):
+        run = surveil(library.forgetting_program(), (1, 2),
+                      allowed=frozenset({2}))
+        assert run.violated
+
+    def test_steps_match_plain_interpreter(self):
+        flowchart = library.accumulate_program()
+        for point in GRID1:
+            run = surveil(flowchart, point, allowed=frozenset({1}))
+            assert run.steps == execute(flowchart, point).steps
+
+    def test_timed_halts_early_at_disallowed_test(self):
+        flowchart = library.timing_loop()
+        run = surveil(flowchart, (3,), allowed=frozenset(), timed=True)
+        assert run.violated
+        assert run.halted_early
+        # Halted at the first test of r (tainted by x1): after the
+        # initial assignment plus the test itself.
+        assert run.steps == 2
+
+    def test_untimed_runs_to_completion(self):
+        run = surveil(library.timing_loop(), (3,), allowed=frozenset())
+        assert run.violated
+        assert not run.halted_early
+
+
+class TestPaperComparisons:
+    def test_forgetting_program_acceptance(self):
+        """Page 48: Ms outputs Λ only when x2 != 0."""
+        mechanism = surveillance_mechanism(
+            library.forgetting_program(), allow(2, arity=2), GRID2)
+        for point in GRID2:
+            assert mechanism.passes(*point) == (point[1] == 0)
+
+    def test_reconvergence_always_violates(self):
+        """Page 49: Ms for the constant-1 program always outputs Λ."""
+        mechanism = surveillance_mechanism(
+            library.reconvergence_program(), allow(2, arity=2), GRID2)
+        assert mechanism.acceptance_set() == frozenset()
+
+    def test_example8_accepts_exactly_x2_equals_1(self):
+        mechanism = surveillance_mechanism(
+            library.example8_program(), allow(2, arity=2), GRID2)
+        for point in GRID2:
+            assert mechanism.passes(*point) == (point[1] == 1)
+
+
+class TestTheorem3:
+    """Surveillance is sound when running times are not observable."""
+
+    def test_sound_across_suite_and_policies(self):
+        results = soundness_sweep(
+            library.extended_suite(),
+            lambda flowchart, policy, domain: surveillance_mechanism(
+                flowchart, policy, domain))
+        assert unsound_results(results) == []
+
+    def test_mechanism_contract_across_suite(self):
+        for flowchart in library.extended_suite():
+            domain = ProductDomain.integer_grid(0, 2, flowchart.arity)
+            for policy in all_allow_policies(flowchart.arity):
+                surveillance_mechanism(flowchart, policy,
+                                       domain).check_contract()
+
+    def test_allow_all_accepts_everything(self):
+        for flowchart in library.paper_figures():
+            domain = ProductDomain.integer_grid(0, 2, flowchart.arity)
+            mechanism = surveillance_mechanism(
+                flowchart, allow_all(flowchart.arity), domain)
+            assert mechanism.acceptance_set() == frozenset(domain)
+
+    def test_untimed_unsound_when_time_observable(self):
+        """Theorem 3's proviso, witnessed by the timing loop."""
+        flowchart = library.timing_loop()
+        policy = allow_none(1)
+        program = as_program(flowchart, GRID1, VALUE_AND_TIME)
+        mechanism = surveillance_mechanism(
+            flowchart, policy, GRID1, output_model=VALUE_AND_TIME,
+            program=program)
+        assert not check_soundness(mechanism, policy).sound
+
+
+class TestMechanismAPI:
+    def test_shared_program_object(self):
+        flowchart = library.forgetting_program()
+        program = as_program(flowchart, GRID2)
+        mechanism = surveillance_mechanism(flowchart, allow(2, arity=2),
+                                           GRID2, program=program)
+        assert mechanism.program is program
+
+    def test_non_allow_policy_rejected(self):
+        from repro.core import content_dependent
+
+        policy = content_dependent(lambda a, b: a, arity=2)
+        with pytest.raises(TypeError):
+            surveillance_mechanism(library.forgetting_program(), policy,
+                                   GRID2)
+
+    def test_arity_mismatch_rejected(self):
+        from repro.core.errors import ArityMismatchError
+
+        with pytest.raises(ArityMismatchError):
+            surveillance_mechanism(library.forgetting_program(),
+                                   allow(1, arity=3), GRID2)
+
+    def test_name_conveys_variant(self):
+        mechanism = surveillance_mechanism(library.forgetting_program(),
+                                           allow(2, arity=2), GRID2)
+        assert mechanism.name.startswith("M-s(")
+        timed = timed_surveillance_mechanism(library.forgetting_program(),
+                                             allow(2, arity=2), GRID2)
+        assert timed.name.startswith("M'(")

@@ -1,0 +1,73 @@
+"""Unit tests for the high-water-mark mechanism and its Section 3 comparison."""
+
+from repro.core import (Order, ProductDomain, allow, compare)
+from repro.flowchart import library
+from repro.flowchart.interpreter import as_program
+from repro.surveillance.dynamic import surveil, surveillance_mechanism
+from repro.surveillance.highwater import highwater_mechanism
+from repro.verify import (all_allow_policies, soundness_sweep,
+                          unsound_results)
+
+GRID2 = ProductDomain.integer_grid(0, 3, 2)
+
+
+class TestMonotoneLabels:
+    def test_labels_never_shrink(self):
+        """High-water: reassignment joins instead of replacing."""
+        flowchart = library.forgetting_program()
+        run = surveil(flowchart, (1, 0), allowed=frozenset({2}),
+                      forgetting=False)
+        # y touched x1 first; high-water keeps that forever.
+        assert run.labels["y"] >= frozenset({1, 2})
+        assert run.violated
+
+    def test_same_as_surveillance_without_reassignment(self):
+        """On programs that assign each variable once, the two agree."""
+        flowchart = library.mixer_program()
+        for policy in all_allow_policies(2):
+            surveillance = surveillance_mechanism(flowchart, policy, GRID2)
+            highwater = highwater_mechanism(flowchart, policy, GRID2)
+            for point in GRID2:
+                assert (surveillance.passes(*point)
+                        == highwater.passes(*point))
+
+
+class TestPage48Comparison:
+    def test_highwater_always_violates_on_forgetting_program(self):
+        mechanism = highwater_mechanism(library.forgetting_program(),
+                                        allow(2, arity=2), GRID2)
+        assert mechanism.acceptance_set() == frozenset()
+
+    def test_surveillance_strictly_more_complete(self):
+        """Ms > Mh on the page-48 program."""
+        flowchart = library.forgetting_program()
+        policy = allow(2, arity=2)
+        program = as_program(flowchart, GRID2)
+        surveillance = surveillance_mechanism(flowchart, policy, GRID2,
+                                              program=program)
+        highwater = highwater_mechanism(flowchart, policy, GRID2,
+                                        program=program)
+        assert compare(surveillance, highwater).order is Order.FIRST_MORE
+
+
+class TestSoundness:
+    def test_highwater_sound_across_suite(self):
+        """Mh is also sound (it over-approximates Ms's labels)."""
+        results = soundness_sweep(
+            library.extended_suite(),
+            lambda flowchart, policy, domain: highwater_mechanism(
+                flowchart, policy, domain))
+        assert unsound_results(results) == []
+
+    def test_surveillance_as_complete_as_highwater_everywhere(self):
+        """Ms >= Mh on every suite program and policy."""
+        for flowchart in library.extended_suite():
+            domain = ProductDomain.integer_grid(0, 2, flowchart.arity)
+            program = as_program(flowchart, domain)
+            for policy in all_allow_policies(flowchart.arity):
+                surveillance = surveillance_mechanism(
+                    flowchart, policy, domain, program=program)
+                highwater = highwater_mechanism(
+                    flowchart, policy, domain, program=program)
+                assert compare(surveillance,
+                               highwater).first_as_complete

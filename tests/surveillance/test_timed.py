@@ -1,0 +1,86 @@
+"""Unit tests for the timed surveillance mechanism M' (Theorem 3')."""
+
+import pytest
+
+from repro.core import (ProductDomain, VALUE_AND_TIME, allow, allow_none,
+                        check_soundness, is_violation)
+from repro.flowchart import library
+from repro.flowchart.interpreter import as_program
+from repro.surveillance.dynamic import (surveillance_mechanism,
+                                        timed_surveillance_mechanism)
+from repro.verify import soundness_sweep, unsound_results
+
+GRID1 = ProductDomain.integer_grid(0, 4, 1)
+GRID2 = ProductDomain.integer_grid(0, 3, 2)
+
+
+class TestTheorem3Prime:
+    def test_sound_across_suite_even_with_observable_time(self):
+        results = soundness_sweep(
+            library.extended_suite(),
+            lambda flowchart, policy, domain: timed_surveillance_mechanism(
+                flowchart, policy, domain,
+                program=as_program(flowchart, domain, VALUE_AND_TIME)))
+        assert unsound_results(results) == []
+
+    def test_contract_with_observable_time(self):
+        """When M' passes, its (value, time) equals Q's exactly."""
+        for flowchart in library.paper_figures():
+            domain = ProductDomain.integer_grid(0, 2, flowchart.arity)
+            from repro.verify import all_allow_policies
+
+            for policy in all_allow_policies(flowchart.arity):
+                mechanism = timed_surveillance_mechanism(
+                    flowchart, policy, domain)
+                mechanism.check_contract()
+
+    def test_notice_time_stamps_depend_only_on_allowed_inputs(self):
+        """Λ@t must be constant within each policy class."""
+        flowchart = library.forgetting_program()
+        policy = allow(1, arity=2)
+        mechanism = timed_surveillance_mechanism(flowchart, policy, GRID2)
+        by_class = {}
+        for point in GRID2:
+            by_class.setdefault(policy(*point), set()).add(mechanism(*point))
+        for outputs in by_class.values():
+            assert len(outputs) == 1
+
+    def test_timing_loop_distinct_verdicts(self):
+        """The defining contrast: untimed M unsound, timed M' sound, on
+        the same program under observable time."""
+        flowchart = library.timing_loop()
+        policy = allow_none(1)
+        program = as_program(flowchart, GRID1, VALUE_AND_TIME)
+        untimed = surveillance_mechanism(flowchart, policy, GRID1,
+                                         output_model=VALUE_AND_TIME,
+                                         program=program)
+        timed = timed_surveillance_mechanism(flowchart, policy, GRID1,
+                                             program=program)
+        assert not check_soundness(untimed, policy).sound
+        assert check_soundness(timed, policy).sound
+
+    def test_timed_no_less_sound_but_possibly_less_complete(self):
+        """M' may reject runs M accepts (it cannot wait to see whether a
+        tainted test's influence is later forgotten)."""
+        flowchart = library.forgetting_program()
+        policy = allow(2, arity=2)
+        untimed = surveillance_mechanism(flowchart, policy, GRID2)
+        timed = timed_surveillance_mechanism(
+            flowchart, policy, GRID2,
+            output_model=VALUE_AND_TIME)
+        # Untimed accepts x2 == 0 inputs; these pass y := x1 first, but
+        # the branch test (on x2) is allowed, so M' accepts them too —
+        # here the two have equal acceptance.
+        assert {point for point in GRID2 if untimed.passes(*point)} == \
+               {point for point in GRID2 if timed.passes(*point)}
+
+    def test_timed_rejects_any_tainted_test_immediately(self):
+        flowchart = library.reconvergence_program()  # branches on x1
+        policy = allow(2, arity=2)
+        timed = timed_surveillance_mechanism(flowchart, policy, GRID2)
+        for point in GRID2:
+            output = timed(*point)
+            assert is_violation(output)
+            # All notices identical: issued at the same (allowed-data-
+            # determined) moment.
+        assert len({str(timed(*point)) for point in GRID2}) == 1

@@ -1,0 +1,177 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import LIBRARY, main
+
+
+class TestRun:
+    def test_library_program(self, capsys):
+        code = main(["run", "--library", "mixer", "2", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "value: 10" in out
+        assert "steps:" in out
+
+    def test_inline_source(self, capsys):
+        code = main(["run", "--source",
+                     "program p(x1) { y := x1 * 2 }", "21"])
+        assert code == 0
+        assert "value: 42" in capsys.readouterr().out
+
+    def test_program_file(self, tmp_path, capsys):
+        path = tmp_path / "p.jl"
+        path.write_text("program p(x1) { y := x1 + 1 }")
+        code = main(["run", "--file", str(path), "4"])
+        assert code == 0
+        assert "value: 5" in capsys.readouterr().out
+
+    def test_requires_exactly_one_source(self, capsys):
+        code = main(["run", "--library", "mixer", "--source", "x", "1"])
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_sound_surveillance(self, capsys):
+        code = main(["analyze", "--library", "forgetting",
+                     "--policy", "allow(2)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sound:     True" in out
+        assert "accepts:   4/16" in out
+
+    def test_unsound_exit_code(self, capsys):
+        code = main(["analyze", "--library", "mixer",
+                     "--policy", "allow(1)", "--mechanism", "none"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "witness:" in out
+
+    def test_time_observable_flag(self, capsys):
+        sound = main(["analyze", "--library", "timing-loop",
+                      "--policy", "allow()", "--mechanism", "timed",
+                      "--time"])
+        assert sound == 0
+        unsound = main(["analyze", "--library", "timing-loop",
+                        "--policy", "allow()", "--mechanism", "none",
+                        "--time"])
+        assert unsound == 1
+
+    def test_maximal_mechanism(self, capsys):
+        code = main(["analyze", "--library", "reconvergence",
+                     "--policy", "allow(2)", "--mechanism", "maximal"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accepts:   16/16" in out
+
+    def test_verbose_table(self, capsys):
+        main(["analyze", "--library", "forgetting", "--policy", "allow(2)",
+              "--high", "1", "--verbose"])
+        out = capsys.readouterr().out
+        assert "per-input verdicts" in out
+        assert "(1, 1)" in out
+
+    def test_unknown_library_program(self, capsys):
+        code = main(["analyze", "--library", "nope", "--policy",
+                     "allow()"])
+        assert code == 2
+        assert "unknown library program" in capsys.readouterr().err
+
+    def test_bad_policy(self, capsys):
+        code = main(["analyze", "--library", "mixer", "--policy",
+                     "deny(1)"])
+        assert code == 2
+
+
+class TestCertify:
+    SOURCE = ("program p(x1, x2) { y := x1; "
+              "if x2 == 0 { y := 0 } }")
+
+    def test_rejected(self, capsys):
+        code = main(["certify", "--source", self.SOURCE,
+                     "--policy", "allow(2)"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REJECTED" in out
+        assert "label(y)" in out
+
+    def test_certified(self, capsys):
+        code = main(["certify", "--source",
+                     "program p(x1, x2) { y := x1 }",
+                     "--policy", "allow(1)"])
+        assert code == 0
+        assert "CERTIFIED" in capsys.readouterr().out
+
+
+class TestLibrary:
+    def test_lists_all_programs(self, capsys):
+        assert main(["library"]) == 0
+        out = capsys.readouterr().out
+        for name in LIBRARY:
+            assert name in out
+
+
+class TestTransform:
+    def test_ite_transform(self, capsys):
+        code = main(["transform", "--library", "example7",
+                     "--transform", "ite", "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Ite(" in out
+        assert "functionally equivalent" in out and "True" in out
+
+    def test_while_transform(self, capsys):
+        code = main(["transform", "--library", "timing-loop",
+                     "--transform", "while", "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LoopExpr" in out
+
+    def test_duplicate_transform(self, capsys):
+        code = main(["transform", "--library", "example9",
+                     "--transform", "duplicate", "--check"])
+        assert code == 0
+
+    def test_no_region_error(self, capsys):
+        code = main(["transform", "--library", "mixer",
+                     "--transform", "ite"])
+        assert code == 2
+        assert "no if-then-else region" in capsys.readouterr().err
+
+
+class TestDot:
+    def test_plain_dot(self, capsys):
+        assert main(["dot", "--library", "max"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph {")
+        assert "shape=diamond" in out
+
+    def test_instrumented_dot(self, capsys):
+        code = main(["dot", "--library", "forgetting",
+                     "--instrument", "allow(2)"])
+        assert code == 0
+        assert "_viol" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_index_lists_all(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "E01" in out and "E25" in out
+        assert "Theorem 3" in out
+
+
+class TestCertifyFlowchart:
+    def test_library_program_uses_cfg_certifier(self, capsys):
+        code = main(["certify", "--library", "reconvergence",
+                     "--policy", "allow(2)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CFG certifier" in out and "CERTIFIED" in out
+
+    def test_rejection(self, capsys):
+        code = main(["certify", "--library", "forgetting",
+                     "--policy", "allow(2)"])
+        assert code == 1
+        assert "REJECTED" in capsys.readouterr().out

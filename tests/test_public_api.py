@@ -1,0 +1,106 @@
+"""Public-API stability: the names downstream users import.
+
+A rename or accidental un-export in any `__init__` breaks users before
+it breaks our internal tests (which often import from submodules); this
+file is the canary.
+"""
+
+import importlib
+
+import pytest
+
+EXPECTED = {
+    "repro": [
+        "Domain", "ProductDomain", "Program", "SecurityPolicy", "allow",
+        "allow_all", "allow_none", "ProtectionMechanism",
+        "ViolationNotice", "LAMBDA", "is_violation", "null_mechanism",
+        "program_as_mechanism", "union", "join", "check_soundness",
+        "is_sound", "compare", "as_complete", "more_complete",
+        "maximal_mechanism", "VALUE_ONLY", "VALUE_AND_TIME",
+        "surveil", "surveillance_mechanism",
+        "timed_surveillance_mechanism", "highwater_mechanism",
+        "instrument", "instrumented_mechanism", "certify",
+        "compile_with_transforms", "leakage_profile",
+    ],
+    "repro.core": [
+        "SoundnessReport", "SoundnessWitness", "Comparison", "Order",
+        "SoundMechanismLattice", "MaximalConstruction",
+        "theorem4_family", "mechanism_from_table", "content_dependent",
+        "HistoryPolicy", "IntegrityPolicy", "retain_inputs",
+        "check_preservation", "preserves", "check_guarded",
+        "SessionMechanism", "unroll", "budget_gatekeeper",
+        "leakage_profile", "shannon_leakage", "min_entropy_leakage",
+        "worst_class_leakage",
+    ],
+    "repro.flowchart": [
+        "Flowchart", "execute", "as_program", "FlowchartBuilder",
+        "StructuredProgram", "Assign", "If", "While", "Skip",
+        "Ite", "LoopExpr", "var", "const", "dominators",
+        "postdominators", "find_ite_regions", "find_while_regions",
+        "ite_transform", "while_transform",
+        "duplicate_assignment_transform", "functionally_equivalent",
+        "to_dot", "library",
+    ],
+    "repro.staticflow": [
+        "certify", "analyse", "certify_flowchart",
+        "control_dependencies", "certify_lattice", "powerset_lattice",
+        "chain_lattice", "hybrid_mechanism",
+        "eliminate_dead_surveillance", "compile_per_policy",
+        "static_mechanism",
+    ],
+    "repro.minsky": [
+        "MinskyMachine", "DataMarkMachine", "HaltMode",
+        "fenton_mechanism", "negative_inference_program",
+        "compile_to_fenton", "Discipline", "compilable",
+    ],
+    "repro.filesystem": [
+        "filesystem_domain", "read_file_program", "reference_monitor",
+        "directory_gated_policy", "content_leaking_monitor",
+        "decision_leaking_monitor",
+    ],
+    "repro.channels": [
+        "timing_attack", "timing_report", "sequential_reader",
+        "tab_reader", "logon_program", "page_boundary_attack",
+        "work_factor_row", "paged_logon_program",
+        "per_query_leak_comparison", "fenton_halt_mechanism",
+    ],
+    "repro.capability": [
+        "Capability", "CList", "Script", "ReadOp", "StatOp",
+        "capability_monitor", "intended_policy", "information_audit",
+    ],
+    "repro.osched": [
+        "PagePool", "System", "SenderProcess", "ReceiverProcess",
+        "run_transmission", "decode", "channel_report",
+    ],
+    "repro.turing": [
+        "TuringMachine", "machine", "ruzzo_program", "maximal_rejects",
+        "halting_verdicts", "soundness_is_constancy",
+    ],
+    "repro.verify": [
+        "soundness_sweep", "all_allow_policies", "sampled_soundness",
+        "Table",
+    ],
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(EXPECTED))
+def test_expected_names_are_exported(module_name):
+    module = importlib.import_module(module_name)
+    missing = [name for name in EXPECTED[module_name]
+               if not hasattr(module, name)]
+    assert not missing, f"{module_name} lost exports: {missing}"
+
+
+@pytest.mark.parametrize("module_name", sorted(EXPECTED))
+def test_all_list_is_accurate(module_name):
+    """Everything in __all__ actually exists (no phantom exports)."""
+    module = importlib.import_module(module_name)
+    declared = getattr(module, "__all__", [])
+    phantom = [name for name in declared if not hasattr(module, name)]
+    assert not phantom, f"{module_name} declares missing names: {phantom}"
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,117 @@
+"""Unit tests for repro.turing.machine and .zoo."""
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.turing import (BLANK, HALT_STATE, Move, TuringMachine,
+                          behaviour_sample, machine, total_machines)
+
+
+def eraser():
+    """Erase the unary input, then halt on blank."""
+    return TuringMachine({
+        (0, 1): (0, 0, Move.RIGHT),
+        (0, BLANK): (HALT_STATE, BLANK, Move.STAY),
+    }, state_count=1, name="eraser")
+
+
+def spinner():
+    """Never halts: bounce on the same cell forever."""
+    return TuringMachine({
+        (0, 1): (0, 1, Move.STAY),
+        (0, 0): (0, 0, Move.STAY),
+        (0, BLANK): (0, BLANK, Move.STAY),
+    }, state_count=1, name="spinner")
+
+
+class TestInterpreter:
+    def test_eraser_halts_in_input_plus_one_steps(self):
+        for n in range(5):
+            result = eraser().run(n, max_steps=100)
+            assert result.halted
+            assert result.steps == n + 1
+            assert result.output == 0
+
+    def test_spinner_never_halts(self):
+        result = spinner().run(3, max_steps=50)
+        assert not result.halted
+        assert result.steps == 50
+
+    def test_missing_transition_is_implicit_halt(self):
+        tm = TuringMachine({(0, 1): (0, 1, Move.RIGHT)}, state_count=1)
+        result = tm.run(2, max_steps=100)
+        assert result.halted  # falls off the 1s onto blank: no rule
+        assert result.steps == 3
+
+    def test_halts_after_exactly(self):
+        tm = eraser()
+        assert tm.halts_after_exactly(2, 3)
+        assert not tm.halts_after_exactly(2, 2)
+        assert not tm.halts_after_exactly(2, 4)
+        assert not spinner().halts_after_exactly(2, 10)
+
+    def test_tape_output_counts_ones(self):
+        writer = TuringMachine({
+            (0, 1): (1, 1, Move.RIGHT),
+            (1, 1): (HALT_STATE, 1, Move.STAY),
+        }, state_count=2)
+        assert writer.run(2, 10).output == 2
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ExecutionError):
+            eraser().run(-1, 10)
+
+
+class TestValidation:
+    def test_bad_state(self):
+        with pytest.raises(ExecutionError):
+            TuringMachine({(5, 1): (0, 1, Move.STAY)}, state_count=1)
+
+    def test_bad_symbol(self):
+        with pytest.raises(ExecutionError):
+            TuringMachine({(0, 7): (0, 1, Move.STAY)}, state_count=1)
+
+    def test_bad_target(self):
+        with pytest.raises(ExecutionError):
+            TuringMachine({(0, 1): (9, 1, Move.STAY)}, state_count=1)
+
+    def test_bad_move(self):
+        with pytest.raises(ExecutionError):
+            TuringMachine({(0, 1): (0, 1, 2)}, state_count=1)
+
+    def test_zero_states(self):
+        with pytest.raises(ExecutionError):
+            TuringMachine({}, state_count=0)
+
+
+class TestEnumeration:
+    def test_deterministic(self):
+        first = machine(123)
+        second = machine(123)
+        assert first.transitions == second.transitions
+
+    def test_distinct_indices_reachable(self):
+        tables = {frozenset(machine(i).transitions.items())
+                  for i in range(0, 100, 7)}
+        assert len(tables) > 10
+
+    def test_index_zero_is_the_empty_machine(self):
+        assert machine(0).transitions == {}
+        assert machine(0).run(5, 10).halted  # implicit halt, 1 step
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            machine(-1)
+
+    def test_behavioural_diversity(self):
+        """The enumeration contains halting and (window-)looping
+        machines — the diversity Ruzzo's argument needs."""
+        sample = behaviour_sample(range(0, 400, 37), input_value=3,
+                                  max_steps=50)
+        halted = [index for index, (halts, _) in sample.items() if halts]
+        running = [index for index, (halts, _) in sample.items()
+                   if not halts]
+        assert halted and running
+
+    def test_total_machines_counts_period(self):
+        assert total_machines(1) == (1 * 3 * 3 + 1 + 9) ** 3

@@ -1,0 +1,74 @@
+"""Unit tests for repro.turing.ruzzo — Section 4's undecidability duo."""
+
+from repro.core import allow, is_violation, maximal_mechanism
+from repro.turing import (halting_verdicts, machine, maximal_rejects,
+                          ruzzo_program, soundness_is_constancy)
+
+#: Indices with staggered own-input halting times under the default
+#: enumeration: 0 halts in 1 step, 37 in 2, 74 in 3, 111 in 112, and
+#: 148 never halts (checked to 10^5 steps by the machine tests' model).
+FAST = (0, 37, 74)
+SLOW = 111
+LOOPER = 148
+
+
+class TestRuzzoProgram:
+    def test_q_values(self):
+        program = ruzzo_program([0, 37], max_steps=5)
+        assert program(0, 1) == 1      # machine 0 halts after exactly 1
+        assert program(0, 2) == 0
+        assert program(37, 2) == 1
+        assert program(37, 1) == 0
+
+    def test_looper_row_is_identically_zero(self):
+        program = ruzzo_program([LOOPER], max_steps=30)
+        assert all(program(LOOPER, steps) == 0 for steps in range(31))
+
+
+class TestMaximalIsHaltingOracle:
+    def test_rejects_exactly_halting_rows(self):
+        """M(x1, x2) = Λ iff machine x1 halts (within the window) —
+        the maximal mechanism computes halting."""
+        indices = list(FAST) + [LOOPER]
+        verdicts = maximal_rejects(indices, max_steps=10)
+        for index in FAST:
+            assert verdicts[index] is True
+        assert verdicts[LOOPER] is False
+
+    def test_window_dependence_is_the_non_recursiveness(self):
+        """A slow halter looks non-halting until the window reaches its
+        halting time — no bounded window gets every row right."""
+        indices = [FAST[0], SLOW, LOOPER]
+        series = halting_verdicts(indices, windows=[10, 200])
+        small_window = dict(series)[10]
+        large_window = dict(series)[200]
+        assert small_window[SLOW] is False    # wrong (it halts at 112)
+        assert large_window[SLOW] is True     # right, once window >= 112
+        assert small_window[LOOPER] is False
+        assert large_window[LOOPER] is False  # "not yet" forever
+
+    def test_maximal_mechanism_row_shape(self):
+        program = ruzzo_program([0, LOOPER], max_steps=10)
+        construction = maximal_mechanism(program, allow(1, arity=2))
+        # Halting machine's row: Q non-constant in x2 -> Λ everywhere.
+        assert all(is_violation(construction.mechanism(0, steps))
+                   for steps in range(11))
+        # Non-halting row: constant 0 -> passed through everywhere.
+        assert all(construction.mechanism(LOOPER, steps) == 0
+                   for steps in range(11))
+
+
+class TestSoundnessIsConstancy:
+    def test_reduction_holds_on_samples(self):
+        """Judging Q sound for allow() decides Q's constancy — on every
+        sampled machine the two verdicts coincide."""
+        for index in (0, 37, 74, 111, 148, 185):
+            constant, sound = soundness_is_constancy(index, input_range=4,
+                                                     max_steps=50)
+            assert constant == sound
+
+    def test_both_verdict_kinds_occur(self):
+        verdicts = {soundness_is_constancy(index, 4, 50)
+                    for index in (0, 148, 74, 111)}
+        assert (True, True) in verdicts or (False, False) in verdicts
+        assert len(verdicts) >= 1

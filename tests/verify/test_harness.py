@@ -1,0 +1,127 @@
+"""Unit tests for repro.verify (sweeps and reporting)."""
+
+import pytest
+
+from repro.core import ProductDomain, allow_all
+from repro.flowchart import library
+from repro.surveillance import surveillance_mechanism
+from repro.verify import (Table, all_allow_policies, default_grid,
+                          soundness_sweep, unsound_results)
+
+
+class TestPolicyEnumeration:
+    def test_counts_powerset(self):
+        assert len(all_allow_policies(2)) == 4
+        assert len(all_allow_policies(3)) == 8
+
+    def test_contains_extremes(self):
+        names = {policy.name for policy in all_allow_policies(2)}
+        assert "allow()" in names
+        assert "allow(1, 2)" in names
+
+
+class TestSweep:
+    def test_result_shape(self):
+        results = soundness_sweep(
+            [library.mixer_program()],
+            lambda flowchart, policy, domain: surveillance_mechanism(
+                flowchart, policy, domain))
+        assert len(results) == 4  # 2^2 policies
+        assert all(result.domain_size == len(default_grid(2))
+                   for result in results)
+
+    def test_unsound_filter(self):
+        from repro.core import program_as_mechanism
+        from repro.flowchart.interpreter import as_program
+
+        # Q as its own mechanism: unsound for every proper restriction
+        # of mixer's inputs, sound for allow(1,2).
+        results = soundness_sweep(
+            [library.mixer_program()],
+            lambda flowchart, policy, domain: program_as_mechanism(
+                as_program(flowchart, domain)))
+        bad = unsound_results(results)
+        assert len(bad) == 3
+        assert all(result.policy_name != "allow(1, 2)" for result in bad)
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("T", ["name", "value"])
+        table.add_row("a", 1)
+        table.add_row("longer-name", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) <= 2  # header+rule+rows
+
+    def test_named_rows(self):
+        table = Table("T", ["x", "y"])
+        table.add_row(y=2, x=1)
+        assert table.rows == [["1", "2"]]
+
+    def test_dict_rows(self):
+        table = Table("T", ["x", "y"])
+        table.add_dict({"x": True, "y": 0.5, "extra": "ignored"})
+        assert table.rows == [["yes", "0.500"]]
+
+    def test_mixed_positional_named_rejected(self):
+        table = Table("T", ["x"])
+        with pytest.raises(ValueError):
+            table.add_row(1, x=1)
+
+    def test_wrong_width_rejected(self):
+        table = Table("T", ["x", "y"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+
+class TestSampledSoundness:
+    def test_finds_real_leaks(self):
+        from repro.core import ProductDomain, Program, allow, program_as_mechanism
+        from repro.verify.enumerate import sampled_soundness
+
+        grid = ProductDomain.integer_grid(0, 50, 2)  # 2601 points
+        q = Program(lambda a, b: b, grid, name="leaky")
+        report = sampled_soundness(program_as_mechanism(q),
+                                   allow(1, arity=2), samples=300)
+        assert not report.sound
+        assert report.witness is not None
+
+    def test_sound_mechanisms_pass(self):
+        from repro.core import ProductDomain, Program, allow, program_as_mechanism
+        from repro.verify.enumerate import sampled_soundness
+
+        grid = ProductDomain.integer_grid(0, 50, 2)
+        q = Program(lambda a, b: a, grid, name="clean")
+        report = sampled_soundness(program_as_mechanism(q),
+                                   allow(1, arity=2), samples=300)
+        assert report.sound
+
+    def test_deterministic_per_seed(self):
+        from repro.core import ProductDomain, Program, allow, program_as_mechanism
+        from repro.verify.enumerate import sampled_soundness
+
+        grid = ProductDomain.integer_grid(0, 50, 2)
+        q = Program(lambda a, b: b, grid, name="leaky")
+        first = sampled_soundness(program_as_mechanism(q),
+                                  allow(1, arity=2), samples=50, seed=3)
+        second = sampled_soundness(program_as_mechanism(q),
+                                   allow(1, arity=2), samples=50, seed=3)
+        assert (first.witness is None) == (second.witness is None)
+        if first.witness:
+            assert first.witness.first == second.witness.first
+
+
+class TestCsvExport:
+    def test_csv_round_trips(self):
+        import csv
+        import io
+
+        table = Table("T", ["name", "rate"])
+        table.add_row("a,b", 0.5)   # embedded comma must survive quoting
+        table.add_row("c", True)
+        rows = list(csv.reader(io.StringIO(table.to_csv())))
+        assert rows[0] == ["name", "rate"]
+        assert rows[1] == ["a,b", "0.500"]
+        assert rows[2] == ["c", "yes"]
