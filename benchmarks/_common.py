@@ -13,12 +13,48 @@ either way).
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
+from typing import Callable, Dict
 
 from repro.verify import Table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def time_callable(fn: Callable, repeats: int = 5, warmup: int = 1,
+                  setup: Callable = None) -> Dict[str, float]:
+    """Best-of-``repeats`` wall-clock timing for a kernel.
+
+    ``setup`` runs before *every* rep (warmup included) — use it to
+    clear memo caches so cached backends are timed honestly rather
+    than serving a dictionary hit.  Returns ``{"best", "mean", "reps"}``
+    in seconds.
+    """
+    for _ in range(warmup):
+        if setup is not None:
+            setup()
+        fn()
+    samples = []
+    for _ in range(repeats):
+        if setup is not None:
+            setup()
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {"best": min(samples),
+            "mean": sum(samples) / len(samples),
+            "reps": repeats}
+
+
+def write_json(payload: Dict, path) -> Path:
+    """Persist a machine-readable bench payload (stable key order)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def _slug(title: str) -> str:

@@ -54,9 +54,10 @@ def run_experiment():
             full = instrument(flowchart, policy)
             optimised = eliminate_dead_surveillance(flowchart, policy)
             agree = all(
-                (execute(full, p).value, execute(full, p).env[VIOLATION_FLAG])
+                (execute(full, p).value,
+                 execute(full, p, capture_env=True).env[VIOLATION_FLAG])
                 == (execute(optimised, p).value,
-                    execute(optimised, p).env[VIOLATION_FLAG])
+                    execute(optimised, p, capture_env=True).env[VIOLATION_FLAG])
                 for p in GRID)
 
             rows.append({

@@ -5,6 +5,8 @@ Subcommands:
 - ``run``         — execute a program on given inputs, print value + steps;
 - ``analyze``     — build a protection mechanism for (program, policy) and
   report soundness, acceptance, and per-input verdicts;
+- ``sweep``       — soundness sweep of a mechanism family across library
+  programs and every allow-policy, optionally across a worker pool;
 - ``certify``     — static certification verdict with the flow analysis;
 - ``transform``   — apply a Section 4/5 transform and print the result;
 - ``dot``         — render a flowchart (optionally its surveillance
@@ -26,10 +28,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import ProductDomain, VALUE_AND_TIME, VALUE_ONLY, check_soundness
+from .core import (ProductDomain, VALUE_AND_TIME, VALUE_ONLY,
+                   check_soundness_with_accepts)
 from .core.errors import ReproError
 from .flowchart import library as figure_library
-from .flowchart.interpreter import as_program, execute
+from .flowchart.fastpath import BACKENDS, run_flowchart
+from .flowchart.interpreter import as_program
 from .flowchart.parser import parse_policy, parse_program
 from .flowchart.program import Flowchart
 from .verify import Table
@@ -84,12 +88,19 @@ def _add_program_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--file", help="path to a program file")
 
 
-def _build_mechanism(kind: str, flowchart, policy, domain, output_model):
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="execution engine (default: compiled, or "
+                             "the REPRO_BACKEND environment variable)")
+
+
+def _build_mechanism(kind: str, flowchart, policy, domain, output_model,
+                     backend=None):
     from .core import maximal_mechanism, program_as_mechanism
     from .surveillance import (highwater_mechanism, surveillance_mechanism,
                                timed_surveillance_mechanism)
 
-    program = as_program(flowchart, domain, output_model)
+    program = as_program(flowchart, domain, output_model, backend=backend)
     if kind == "surveillance":
         return surveillance_mechanism(flowchart, policy, domain,
                                       output_model=output_model,
@@ -110,7 +121,8 @@ def _build_mechanism(kind: str, flowchart, policy, domain, output_model):
 def command_run(args) -> int:
     flowchart = _load_flowchart(args)
     inputs = tuple(int(value) for value in args.inputs)
-    result = execute(flowchart, inputs, fuel=args.fuel)
+    result = run_flowchart(flowchart, inputs, fuel=args.fuel,
+                           backend=args.backend)
     print(f"value: {result.value}")
     print(f"steps: {result.steps}")
     return 0
@@ -123,10 +135,9 @@ def command_analyze(args) -> int:
     policy = parse_policy(args.policy, arity=flowchart.arity)
     output_model = VALUE_AND_TIME if args.time else VALUE_ONLY
     mechanism = _build_mechanism(args.mechanism, flowchart, policy, domain,
-                                 output_model)
+                                 output_model, backend=args.backend)
 
-    report = check_soundness(mechanism, policy, domain)
-    accepted = sum(1 for point in domain if mechanism.passes(*point))
+    report, accepted = check_soundness_with_accepts(mechanism, policy, domain)
     print(f"program:   {flowchart.name} (arity {flowchart.arity})")
     print(f"policy:    {policy.name}")
     print(f"mechanism: {mechanism.name}")
@@ -225,6 +236,57 @@ def command_transform(args) -> int:
     return 0
 
 
+def command_sweep(args) -> int:
+    import os as _os
+    import time as _time
+
+    from .flowchart.fastpath import BACKEND_ENV
+    from .verify import (EXECUTORS, parallel_soundness_sweep,
+                         unsound_results)
+
+    if args.programs:
+        names = [name.strip() for name in args.programs.split(",")]
+    else:
+        names = sorted(LIBRARY)
+    try:
+        flowcharts = [LIBRARY[name]() for name in names]
+    except KeyError as error:
+        known = ", ".join(sorted(LIBRARY))
+        raise ReproError(
+            f"unknown library program {error.args[0]!r}; "
+            f"known: {known}") from None
+
+    saved_backend = _os.environ.get(BACKEND_ENV)
+    if args.backend:
+        _os.environ[BACKEND_ENV] = args.backend
+    try:
+        started = _time.perf_counter()
+        results = parallel_soundness_sweep(
+            flowcharts, args.mechanism,
+            grid=lambda arity: ProductDomain.integer_grid(
+                args.low, args.high, arity),
+            executor=args.executor, max_workers=args.jobs)
+        elapsed = _time.perf_counter() - started
+    finally:
+        if args.backend:
+            if saved_backend is None:
+                _os.environ.pop(BACKEND_ENV, None)
+            else:
+                _os.environ[BACKEND_ENV] = saved_backend
+
+    table = Table(f"soundness sweep ({args.mechanism} mechanisms)",
+                  ["program", "policy", "sound", "accepts"])
+    for result in results:
+        table.add_row(result.program_name, result.policy_name,
+                      str(result.sound),
+                      f"{result.accepts}/{result.domain_size}")
+    print(table.render())
+    failures = unsound_results(results)
+    print(f"{len(results)} (program, policy) pairs in {elapsed:.2f}s "
+          f"[executor={args.executor}]; unsound: {len(failures)}")
+    return 0 if not failures or args.mechanism == "program" else 1
+
+
 def command_dot(args) -> int:
     from .flowchart.dot import to_dot
 
@@ -307,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = commands.add_parser("run", help="execute a program")
     _add_program_arguments(run_parser)
+    _add_backend_argument(run_parser)
     run_parser.add_argument("--fuel", type=int, default=100_000)
     run_parser.add_argument("inputs", nargs="+",
                             help="integer inputs, in order")
@@ -325,7 +388,26 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="make running time observable")
     analyze_parser.add_argument("--verbose", action="store_true",
                                 help="print per-input verdicts")
+    _add_backend_argument(analyze_parser)
     analyze_parser.set_defaults(handler=command_analyze)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="soundness sweep over library programs "
+                      "(optionally parallel)")
+    from .verify import EXECUTORS, FACTORIES
+    sweep_parser.add_argument("--programs",
+                              help="comma-separated library names "
+                                   "(default: all)")
+    sweep_parser.add_argument("--mechanism", choices=sorted(FACTORIES),
+                              default="surveillance")
+    sweep_parser.add_argument("--executor", choices=EXECUTORS,
+                              default="auto")
+    sweep_parser.add_argument("--jobs", type=int, default=None,
+                              help="worker count (default: cpu count)")
+    sweep_parser.add_argument("--low", type=int, default=0)
+    sweep_parser.add_argument("--high", type=int, default=2)
+    _add_backend_argument(sweep_parser)
+    sweep_parser.set_defaults(handler=command_sweep)
 
     certify_parser = commands.add_parser(
         "certify", help="static certification (structured source only)")

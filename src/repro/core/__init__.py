@@ -28,8 +28,8 @@ from .mechanism import (LAMBDA, ProtectionMechanism, ViolationNotice,
                         is_violation, join, mechanism_from_table,
                         null_mechanism, program_as_mechanism, union)
 from .soundness import (SoundnessReport, SoundnessWitness, check_soundness,
-                        distinguishable_pairs, is_sound,
-                        leak_partition_sizes, max_leaked_bits)
+                        check_soundness_with_accepts, distinguishable_pairs,
+                        is_sound, leak_partition_sizes, max_leaked_bits)
 from .completeness import (Comparison, Order, as_complete, compare,
                            is_maximal_among, more_complete, utility_row)
 from .maximal import (MaximalConstruction, certify_maximal,
@@ -66,7 +66,8 @@ __all__ = [
     "null_mechanism", "program_as_mechanism", "mechanism_from_table",
     "union", "join",
     # soundness
-    "SoundnessReport", "SoundnessWitness", "check_soundness", "is_sound",
+    "SoundnessReport", "SoundnessWitness", "check_soundness",
+    "check_soundness_with_accepts", "is_sound",
     "distinguishable_pairs", "leak_partition_sizes", "max_leaked_bits",
     # completeness
     "Comparison", "Order", "compare", "as_complete", "more_complete",

@@ -89,6 +89,13 @@ class AllowPolicy(SecurityPolicy):
             name=f"allow({label})",
         )
 
+    def __reduce__(self):
+        # The filter function is a closure over `indices`, which cannot
+        # pickle; reconstruct from (indices, arity) instead, so allow-
+        # policies can cross process boundaries (the parallel sweep
+        # runner ships (flowchart, policy, chunk) tasks to workers).
+        return (AllowPolicy, (self.indices, self.arity))
+
     def permits(self, index: int) -> bool:
         """True iff input position ``index`` (1-based) is allowed."""
         return index in self.allowed

@@ -153,6 +153,60 @@ def is_sound(mechanism: ProtectionMechanism, policy: SecurityPolicy,
     return check_soundness(mechanism, policy, domain).sound
 
 
+def check_soundness_with_accepts(mechanism: ProtectionMechanism,
+                                 policy: SecurityPolicy,
+                                 domain=None) -> Tuple[SoundnessReport, int]:
+    """Soundness verdict *and* acceptance count from a single domain walk.
+
+    The Theorem 3/3′ sweeps need both the factorization verdict and the
+    number of inputs where M passes Q's output through (the mechanism's
+    position in the completeness order).  Both derive from the same
+    per-point mechanism output, so this walks the domain exactly once
+    and evaluates each point exactly once — the sweep harness and the
+    parallel runner build on it instead of running ``check_soundness``
+    and a separate ``passes`` loop.
+
+    The walk never stops early (the acceptance count needs every
+    point), so ``inputs_checked`` always equals the domain size, and
+    the returned witness — when one exists — is the first in domain
+    order, as with ``check_soundness(stop_at_first_witness=False)``.
+    """
+    from .mechanism import is_violation
+
+    if policy.arity != mechanism.arity:
+        raise ArityMismatchError(
+            f"policy arity {policy.arity} != mechanism arity {mechanism.arity}"
+        )
+    domain = domain if domain is not None else mechanism.domain
+
+    factor: dict = {}
+    representative: dict = {}
+    witness: Optional[SoundnessWitness] = None
+    inputs_checked = 0
+    accepts = 0
+
+    for point in domain:
+        inputs_checked += 1
+        policy_value = policy(*point)
+        output = mechanism(*point)
+        if not is_violation(output):
+            accepts += 1
+        if policy_value not in factor:
+            factor[policy_value] = output
+            representative[policy_value] = point
+        elif factor[policy_value] != output and witness is None:
+            witness = SoundnessWitness(
+                representative[policy_value], point, policy_value,
+                factor[policy_value], output,
+            )
+
+    if witness is not None:
+        return (SoundnessReport(False, witness, None, len(factor),
+                                inputs_checked), accepts)
+    return (SoundnessReport(True, None, factor, len(factor),
+                            inputs_checked), accepts)
+
+
 def distinguishable_pairs(mechanism: ProtectionMechanism,
                           policy: SecurityPolicy, domain=None,
                           limit: Optional[int] = None):

@@ -4,7 +4,8 @@ Substrate for the surveillance mechanism: an expression language
 (:mod:`~repro.flowchart.expr`), the four box kinds
 (:mod:`~repro.flowchart.boxes`), wellformed flowchart graphs
 (:mod:`~repro.flowchart.program`), a step-counted interpreter
-(:mod:`~repro.flowchart.interpreter`), a structured front-end
+(:mod:`~repro.flowchart.interpreter`), a compiled execution engine
+(:mod:`~repro.flowchart.fastpath`), a structured front-end
 (:mod:`~repro.flowchart.structured`), CFG analyses
 (:mod:`~repro.flowchart.analysis`), the Section 4/5 transforms
 (:mod:`~repro.flowchart.transforms`), and the paper's figure programs
@@ -18,6 +19,8 @@ from .boxes import AssignBox, Box, DecisionBox, HaltBox, StartBox
 from .program import Flowchart
 from .interpreter import (DEFAULT_FUEL, ExecutionResult, as_program,
                           execute, initial_environment, running_time)
+from .fastpath import (BACKENDS, CompiledFlowchart, compile_flowchart,
+                       execute_compiled, resolve_backend, run_flowchart)
 from .builder import FlowchartBuilder, Label
 from .structured import (Assign, Body, If, Skip, Stmt, StructuredProgram,
                          While, compile_structured, seq)
@@ -42,6 +45,9 @@ __all__ = [
     # execution
     "execute", "ExecutionResult", "as_program", "running_time",
     "initial_environment", "DEFAULT_FUEL",
+    # compiled backend
+    "BACKENDS", "CompiledFlowchart", "compile_flowchart",
+    "execute_compiled", "resolve_backend", "run_flowchart",
     # building
     "FlowchartBuilder", "Label", "StructuredProgram", "Stmt", "Skip",
     "Assign", "If", "While", "Body", "compile_structured", "seq",

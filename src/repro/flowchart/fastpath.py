@@ -1,0 +1,548 @@
+"""Compiled flowchart execution: source generation + ``compile()``.
+
+The tree-walking interpreter in :mod:`repro.flowchart.interpreter` is
+the hot path under every ∀-sweep in this reproduction: each grid point
+of each policy of each flowchart bottoms out in recursive ``Expr.eval``
+calls and per-box ``isinstance`` dispatch.  This module translates a
+:class:`~repro.flowchart.program.Flowchart` once into a single native
+Python function — expressions become Python expressions over local
+variables, basic blocks become straight-line statement runs, control
+flow becomes a small ``while``/``elif`` dispatch loop — and caches the
+result per flowchart.
+
+The Observability Postulate makes this a *semantics-preserving*
+exercise, not just a fast one: running time (the box-count convention
+documented in ``interpreter.py``) and the page-fault proxy (number of
+distinct variables touched) are outputs of the program, so the compiled
+function must reproduce ``(value, steps, faults)`` bit-for-bit,
+including *when* a :class:`FuelExhaustedError` is raised.  The
+differential test suite (``tests/flowchart/test_fastpath.py``) checks
+this against the interpreter over the whole figure library.
+
+Step-count fidelity
+-------------------
+The interpreter checks ``steps >= fuel`` before executing each box.  A
+basic block of ``n`` boxes therefore completes iff
+``steps_before + n <= fuel`` — so one comparison per block is exact,
+*provided* no box in the block can raise from inside an expression.
+Expressions are total except :class:`~repro.flowchart.expr.LoopExpr`
+(whose own fuel can raise ``ExecutionError``); blocks containing such a
+box fall back to per-box fuel checks so the interpreter's exception
+(fuel vs. loop error) is reproduced exactly.
+
+Fault-count fidelity
+--------------------
+``touched`` is a per-run union of statically known per-box variable
+sets, so the compiler assigns every environment variable a bit and each
+block a precomputed mask: one ``|=`` per executed block replaces two
+set operations per executed box.  The mask→frozenset decoding is
+memoised per compiled flowchart (runs revisit the same few masks).
+
+Backends
+--------
+:func:`resolve_backend` decides between ``"compiled"`` and
+``"interpreted"``; the ``REPRO_BACKEND`` environment variable overrides
+the default, and ``as_program`` / the CLI accept an explicit argument
+that overrides both.  :func:`run_flowchart` is the dispatching
+entry point used by mechanism constructors.
+
+Caching layers:
+
+1. per-flowchart compiled function (weak-keyed — dies with the graph);
+2. an LRU memo for repeated ``(flowchart, inputs, fuel)`` executions,
+   shared by every ``as_program`` wrapper of the same flowchart
+   (``REPRO_EXEC_CACHE`` sizes it; 0 disables).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ArityMismatchError, FuelExhaustedError, ReproError
+from .boxes import AssignBox, Box, DecisionBox, HaltBox, NodeId, StartBox
+from .expr import (And, BinOp, BoolConst, Compare, Const, Expr, Ite,
+                   LoopExpr, Neg, Not, Or, Pred, Var)
+from .interpreter import DEFAULT_FUEL, ExecutionResult, execute
+from .program import Flowchart
+
+#: Environment variable selecting the default execution backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Environment variable sizing the (flowchart, inputs) result memo.
+EXEC_CACHE_ENV = "REPRO_EXEC_CACHE"
+
+BACKENDS = ("compiled", "interpreted")
+
+_DEFAULT_BACKEND = "compiled"
+_DEFAULT_MEMO_SIZE = 16384
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve an explicit choice, the env override, or the default.
+
+    Precedence: explicit argument > ``REPRO_BACKEND`` > ``"compiled"``.
+    """
+    choice = backend or os.environ.get(BACKEND_ENV) or _DEFAULT_BACKEND
+    choice = choice.strip().lower()
+    if choice not in BACKENDS:
+        raise ReproError(
+            f"unknown execution backend {choice!r}; expected one of {BACKENDS}")
+    return choice
+
+
+# ---------------------------------------------------------------------------
+# Expression / predicate code generation
+# ---------------------------------------------------------------------------
+
+def _total_floordiv(a: int, b: int) -> int:
+    return a // b if b != 0 else 0
+
+
+def _total_mod(a: int, b: int) -> int:
+    return a % b if b != 0 else 0
+
+
+_INLINE_BINOPS = frozenset("+-*|&^")
+
+
+class _Codegen:
+    """Translates one flowchart into Python source + exec namespace."""
+
+    def __init__(self, flowchart: Flowchart) -> None:
+        self.flowchart = flowchart
+        # The environment variable set must match initial_environment():
+        # program variables, read-but-never-assigned variables, the
+        # output variable, and the inputs.
+        names = set(flowchart.program_variables())
+        names.update(name for name in flowchart.read_variables()
+                     if name not in flowchart.input_variables)
+        names.add(flowchart.output_variable)
+        names.update(flowchart.input_variables)
+        self.env_names: Tuple[str, ...] = tuple(sorted(names))
+        self.local_of: Dict[str, str] = {
+            name: f"_v{index}" for index, name in enumerate(self.env_names)}
+        self.bit_of: Dict[str, int] = {
+            name: index for index, name in enumerate(self.env_names)}
+        self.namespace: Dict[str, object] = {
+            "_idiv": _total_floordiv,
+            "_imod": _total_mod,
+            "min": min,
+            "max": max,
+            "int": int,
+            "_FuelExhaustedError": FuelExhaustedError,
+        }
+        self._node_refs = 0
+
+    # -- expressions ----------------------------------------------------
+
+    def expr(self, node: Expr) -> str:
+        if isinstance(node, Const):
+            return f"({node.value!r})"
+        if isinstance(node, Var):
+            return self.local_of[node.name]
+        if isinstance(node, BinOp):
+            left, right = self.expr(node.left), self.expr(node.right)
+            if node.op in _INLINE_BINOPS:
+                return f"({left} {node.op} {right})"
+            if node.op == "//":
+                return f"_idiv({left}, {right})"
+            if node.op == "%":
+                return f"_imod({left}, {right})"
+            # min / max: builtins evaluate arguments left-to-right,
+            # matching the interpreter's evaluation order.
+            return f"{node.op}({left}, {right})"
+        if isinstance(node, Neg):
+            return f"(-{self.expr(node.operand)})"
+        if isinstance(node, Ite):
+            return (f"({self.expr(node.then_value)} "
+                    f"if {self.pred(node.predicate)} "
+                    f"else {self.expr(node.else_value)})")
+        if isinstance(node, LoopExpr):
+            # A whole while-loop in expression position cannot be
+            # inlined into a Python expression; delegate to the node's
+            # own eval over a dict rebuilt from the locals it reads
+            # (all of which are environment variables by construction).
+            ref = f"_n{self._node_refs}"
+            self._node_refs += 1
+            self.namespace[ref] = node
+            items = ", ".join(
+                f"{name!r}: {self.local_of[name]}"
+                for name in sorted(node.variables()))
+            return f"{ref}.eval({{{items}}})"
+        raise ReproError(
+            f"cannot compile expression node {type(node).__name__}")
+
+    def pred(self, node: Pred) -> str:
+        if isinstance(node, Compare):
+            return f"({self.expr(node.left)} {node.op} {self.expr(node.right)})"
+        if isinstance(node, BoolConst):
+            return "True" if node.value else "False"
+        if isinstance(node, Not):
+            return f"(not {self.pred(node.operand)})"
+        if isinstance(node, And):
+            return f"({self.pred(node.left)} and {self.pred(node.right)})"
+        if isinstance(node, Or):
+            return f"({self.pred(node.left)} or {self.pred(node.right)})"
+        raise ReproError(
+            f"cannot compile predicate node {type(node).__name__}")
+
+
+def _contains_loop_expr(node) -> bool:
+    """Whether an expression/predicate can raise from inside eval."""
+    if isinstance(node, LoopExpr):
+        return True
+    if isinstance(node, (BinOp, Compare, And, Or)):
+        return _contains_loop_expr(node.left) or _contains_loop_expr(node.right)
+    if isinstance(node, (Neg, Not)):
+        return _contains_loop_expr(node.operand)
+    if isinstance(node, Ite):
+        return (_contains_loop_expr(node.predicate)
+                or _contains_loop_expr(node.then_value)
+                or _contains_loop_expr(node.else_value))
+    return False
+
+
+def _box_hazardous(box: Box) -> bool:
+    if isinstance(box, AssignBox):
+        return _contains_loop_expr(box.expression)
+    if isinstance(box, DecisionBox):
+        return _contains_loop_expr(box.predicate)
+    return False
+
+
+def _box_touch_bits(box: Box, flowchart: Flowchart,
+                    bit_of: Dict[str, int]) -> int:
+    """The interpreter's per-box ``touched`` contribution, as a bitmask."""
+    mask = 0
+    if isinstance(box, HaltBox):
+        mask |= 1 << bit_of[flowchart.output_variable]
+    elif isinstance(box, AssignBox):
+        mask |= 1 << bit_of[box.target]
+        for name in box.expression.variables():
+            mask |= 1 << bit_of[name]
+    elif isinstance(box, DecisionBox):
+        for name in box.predicate.variables():
+            mask |= 1 << bit_of[name]
+    return mask
+
+
+# ---------------------------------------------------------------------------
+# Basic blocks
+# ---------------------------------------------------------------------------
+
+def _find_leaders(flowchart: Flowchart, entry: NodeId) -> List[NodeId]:
+    """Block leaders: the entry, decision targets, and join points."""
+    predecessors = flowchart.predecessors()
+    leaders = [entry]
+    seen = {entry}
+    for node_id in flowchart.reachable_from(entry):
+        box = flowchart.boxes[node_id]
+        if isinstance(box, DecisionBox):
+            for target in box.successors():
+                if target not in seen:
+                    seen.add(target)
+                    leaders.append(target)
+        if node_id not in seen and len(predecessors[node_id]) > 1:
+            seen.add(node_id)
+            leaders.append(node_id)
+    return leaders
+
+
+def _block_chain(flowchart: Flowchart, leader: NodeId,
+                 leader_set: frozenset) -> Tuple[List[NodeId], Optional[NodeId]]:
+    """Boxes of the block starting at ``leader`` plus its fallthrough.
+
+    The chain extends through assignment (and degenerate start) boxes
+    until it reaches a decision/halt box (included, ends the block) or
+    the next box is a leader (excluded; the block falls through to it).
+    """
+    chain: List[NodeId] = []
+    current = leader
+    while True:
+        chain.append(current)
+        box = flowchart.boxes[current]
+        if isinstance(box, (DecisionBox, HaltBox)):
+            return chain, None
+        nxt = box.successors()[0]
+        if nxt in leader_set:
+            return chain, nxt
+        current = nxt
+
+
+class CompiledFlowchart:
+    """One flowchart's compiled executor plus its decode tables."""
+
+    __slots__ = ("flowchart_name", "arity", "source", "function",
+                 "env_names", "_mask_cache")
+
+    def __init__(self, flowchart_name: str, arity: int, source: str,
+                 function, env_names: Tuple[str, ...]) -> None:
+        self.flowchart_name = flowchart_name
+        self.arity = arity
+        self.source = source
+        self.function = function
+        self.env_names = env_names
+        self._mask_cache: Dict[int, frozenset] = {}
+
+    def touched_set(self, mask: int) -> frozenset:
+        """Decode a touch bitmask into the interpreter's frozenset."""
+        try:
+            return self._mask_cache[mask]
+        except KeyError:
+            names = frozenset(
+                name for index, name in enumerate(self.env_names)
+                if mask >> index & 1)
+            self._mask_cache[mask] = names
+            return names
+
+
+def generate_source(flowchart: Flowchart) -> Tuple[str, Dict[str, object],
+                                                   Tuple[str, ...]]:
+    """Generate the executor source for a flowchart.
+
+    Returns ``(source, namespace, env_names)``; exposed separately from
+    :func:`compile_flowchart` so tests and the curious can inspect the
+    generated code.
+    """
+    gen = _Codegen(flowchart)
+    entry = flowchart.boxes[flowchart.start_id].successors()[0]
+    leaders = _find_leaders(flowchart, entry)
+    leader_set = frozenset(leaders)
+    pc_of = {leader: index for index, leader in enumerate(leaders)}
+
+    lines: List[str] = []
+    emit = lines.append
+    emit("def _compiled(_inputs, _fuel, _capture_env):")
+    for name in gen.env_names:
+        emit(f"    {gen.local_of[name]} = 0")
+    for position, name in enumerate(flowchart.input_variables):
+        emit(f"    {gen.local_of[name]} = int(_inputs[{position}])")
+    emit("    _steps = 0")
+    emit("    _touched = 0")
+    emit("    _pc = 0")
+    emit("    while True:")
+
+    env_literal = "{" + ", ".join(
+        f"{name!r}: {gen.local_of[name]}" for name in gen.env_names) + "}"
+
+    for leader in leaders:
+        chain, fallthrough = _block_chain(flowchart, leader, leader_set)
+        branch = "if" if pc_of[leader] == 0 else "elif"
+        emit(f"        {branch} _pc == {pc_of[leader]}:")
+        indent = "            "
+
+        boxes = [flowchart.boxes[node_id] for node_id in chain]
+        block_mask = 0
+        for box in boxes:
+            block_mask |= _box_touch_bits(box, flowchart, gen.bit_of)
+        hazardous = any(_box_hazardous(box) for box in boxes)
+
+        if not hazardous:
+            # One exact fuel check for the whole block (see module
+            # docstring for why `steps + n > fuel` is equivalent to the
+            # interpreter's per-box check here).
+            emit(f"{indent}if _steps + {len(boxes)} > _fuel:")
+            emit(f"{indent}    raise _fuel_error(_fuel, _inputs)")
+            emit(f"{indent}_steps += {len(boxes)}")
+            if block_mask:
+                emit(f"{indent}_touched |= {block_mask}")
+
+        def emit_per_box_prologue(box_mask: int) -> None:
+            emit(f"{indent}if _steps >= _fuel:")
+            emit(f"{indent}    raise _fuel_error(_fuel, _inputs)")
+            emit(f"{indent}_steps += 1")
+            if box_mask:
+                emit(f"{indent}_touched |= {box_mask}")
+
+        for box in boxes:
+            if hazardous:
+                emit_per_box_prologue(
+                    _box_touch_bits(box, flowchart, gen.bit_of))
+            if isinstance(box, AssignBox):
+                emit(f"{indent}{gen.local_of[box.target]} = "
+                     f"{gen.expr(box.expression)}")
+            elif isinstance(box, DecisionBox):
+                true_pc = pc_of[box.true_next]
+                false_pc = pc_of[box.false_next]
+                emit(f"{indent}_pc = {true_pc} "
+                     f"if {gen.pred(box.predicate)} else {false_pc}")
+                emit(f"{indent}continue")
+            elif isinstance(box, HaltBox):
+                value = gen.local_of[flowchart.output_variable]
+                emit(f"{indent}return ({value}, _steps, _touched, "
+                     f"{env_literal} if _capture_env else None)")
+            elif isinstance(box, StartBox):  # pragma: no cover - validation
+                pass  # costs one step, touches nothing, falls through
+        if fallthrough is not None:
+            emit(f"{indent}_pc = {pc_of[fallthrough]}")
+            emit(f"{indent}continue")
+
+    source = "\n".join(lines) + "\n"
+
+    name = flowchart.name
+
+    def _fuel_error(fuel: int, inputs) -> FuelExhaustedError:
+        return FuelExhaustedError(
+            fuel, f"flowchart {name} exceeded {fuel} steps "
+                  f"on input {tuple(inputs)!r}")
+
+    gen.namespace["_fuel_error"] = _fuel_error
+    return source, gen.namespace, gen.env_names
+
+
+_compile_lock = threading.Lock()
+_COMPILED: "weakref.WeakKeyDictionary[Flowchart, CompiledFlowchart]" = (
+    weakref.WeakKeyDictionary())
+
+
+def compile_flowchart(flowchart: Flowchart) -> CompiledFlowchart:
+    """Compile (with per-flowchart caching) a flowchart to native code."""
+    compiled = _COMPILED.get(flowchart)
+    if compiled is not None:
+        return compiled
+    with _compile_lock:
+        compiled = _COMPILED.get(flowchart)
+        if compiled is not None:
+            return compiled
+        source, namespace, env_names = generate_source(flowchart)
+        code = compile(source, f"<fastpath:{flowchart.name}>", "exec")
+        exec(code, namespace)
+        compiled = CompiledFlowchart(
+            flowchart.name, flowchart.arity, source,
+            namespace["_compiled"], env_names)
+        _COMPILED[flowchart] = compiled
+        return compiled
+
+
+# ---------------------------------------------------------------------------
+# Result memo (LRU over (flowchart, inputs, fuel))
+# ---------------------------------------------------------------------------
+
+class _LRUMemo:
+    """A small thread-safe LRU map; maxsize <= 0 disables it."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: "OrderedDict" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        if self.maxsize <= 0:
+            return None
+        with self._lock:
+            try:
+                value = self._data.pop(key)
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data[key] = value
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+def _memo_size() -> int:
+    raw = os.environ.get(EXEC_CACHE_ENV)
+    if raw is None:
+        return _DEFAULT_MEMO_SIZE
+    try:
+        return int(raw)
+    except ValueError:
+        return _DEFAULT_MEMO_SIZE
+
+
+#: Memo for capture-free executions shared across Program wrappers.
+_RESULT_MEMO = _LRUMemo(_memo_size())
+
+
+def clear_result_memo() -> None:
+    """Drop memoised execution results (benchmarks call this per rep)."""
+    _RESULT_MEMO.clear()
+
+
+def clear_caches() -> None:
+    """Drop compiled functions *and* memoised results."""
+    _RESULT_MEMO.clear()
+    with _compile_lock:
+        _COMPILED.clear()
+
+
+def memo_stats() -> Dict[str, int]:
+    return {"size": len(_RESULT_MEMO), "maxsize": _RESULT_MEMO.maxsize,
+            "hits": _RESULT_MEMO.hits, "misses": _RESULT_MEMO.misses}
+
+
+# ---------------------------------------------------------------------------
+# Execution entry points
+# ---------------------------------------------------------------------------
+
+def execute_compiled(flowchart: Flowchart, inputs: Sequence[int],
+                     fuel: int = DEFAULT_FUEL,
+                     record_trace: bool = False,
+                     capture_env: bool = False,
+                     memo: bool = True) -> ExecutionResult:
+    """Compiled-backend twin of :func:`~repro.flowchart.interpreter.execute`.
+
+    ``record_trace`` needs per-box identities the compiled code no
+    longer has, so tracing runs fall back to the interpreter (the trace
+    is a debugging observable, not part of the Section 2 output).
+    """
+    if record_trace:
+        return execute(flowchart, inputs, fuel=fuel, record_trace=True,
+                       capture_env=capture_env)
+    if len(inputs) != flowchart.arity:
+        raise ArityMismatchError(
+            f"flowchart {flowchart.name} takes {flowchart.arity} inputs, "
+            f"got {len(inputs)}"
+        )
+    key = None
+    if memo and not capture_env:
+        key = (flowchart, tuple(inputs), fuel)
+        cached = _RESULT_MEMO.get(key)
+        if cached is not None:
+            return cached
+    compiled = compile_flowchart(flowchart)
+    value, steps, mask, env = compiled.function(tuple(inputs), fuel,
+                                                capture_env)
+    result = ExecutionResult(value, steps, None, env,
+                             compiled.touched_set(mask))
+    if key is not None:
+        _RESULT_MEMO.put(key, result)
+    return result
+
+
+def run_flowchart(flowchart: Flowchart, inputs: Sequence[int],
+                  fuel: int = DEFAULT_FUEL,
+                  record_trace: bool = False,
+                  capture_env: bool = False,
+                  backend: Optional[str] = None) -> ExecutionResult:
+    """Execute via whichever backend :func:`resolve_backend` selects."""
+    if resolve_backend(backend) == "compiled":
+        return execute_compiled(flowchart, inputs, fuel=fuel,
+                                record_trace=record_trace,
+                                capture_env=capture_env)
+    return execute(flowchart, inputs, fuel=fuel, record_trace=record_trace,
+                   capture_env=capture_env)

@@ -85,11 +85,19 @@ def initial_environment(flowchart: Flowchart,
 
 def execute(flowchart: Flowchart, inputs: Sequence[int],
             fuel: int = DEFAULT_FUEL,
-            record_trace: bool = False) -> ExecutionResult:
+            record_trace: bool = False,
+            capture_env: bool = False) -> ExecutionResult:
     """Run a flowchart to its halt box.
 
     Returns an :class:`ExecutionResult`; raises
     :class:`FuelExhaustedError` if the run exceeds ``fuel`` steps.
+
+    ``capture_env`` is opt-in: only when True does the result carry a
+    snapshot of the final environment (``result.env``).  The hot paths
+    — ``as_program`` and the sweep runners — need only
+    ``(value, steps, faults)``, and copying the full environment on
+    every run is measurable across a 2^k x 3^k sweep.  ``touched`` (the
+    fault-count observable) is always tracked.
     """
     env = initial_environment(flowchart, inputs)
     trace: List[NodeId] = []
@@ -111,7 +119,7 @@ def execute(flowchart: Flowchart, inputs: Sequence[int],
             return ExecutionResult(
                 env[flowchart.output_variable], steps,
                 tuple(trace) if record_trace else None,
-                dict(env),
+                dict(env) if capture_env else None,
                 frozenset(touched),
             )
         if isinstance(box, AssignBox):
@@ -131,7 +139,8 @@ def execute(flowchart: Flowchart, inputs: Sequence[int],
 def as_program(flowchart: Flowchart, domain: ProductDomain,
                output_model: OutputModel = VALUE_ONLY,
                fuel: int = DEFAULT_FUEL,
-               name: Optional[str] = None) -> Program:
+               name: Optional[str] = None,
+               backend: Optional[str] = None) -> Program:
     """Wrap a flowchart as a Section 2 :class:`Program`.
 
     The output depends on the declared :class:`OutputModel` — the
@@ -141,14 +150,22 @@ def as_program(flowchart: Flowchart, domain: ProductDomain,
     - :data:`VALUE_AND_TIME`: range is Z x Z, output is ``(y, steps)``.
     - models with extra observables project the full
       :class:`Observation` accordingly.
+
+    ``backend`` selects the execution engine: ``"compiled"`` (source
+    generation + ``compile()``, see :mod:`repro.flowchart.fastpath`) or
+    ``"interpreted"`` (the tree-walking interpreter above).  ``None``
+    defers to the ``REPRO_BACKEND`` environment variable and the
+    library default; both engines produce identical observations.
     """
     if domain.arity != flowchart.arity:
         raise ArityMismatchError(
             f"domain arity {domain.arity} != flowchart arity {flowchart.arity}"
         )
 
+    from .fastpath import run_flowchart
+
     def run(*inputs):
-        result = execute(flowchart, inputs, fuel=fuel)
+        result = run_flowchart(flowchart, inputs, fuel=fuel, backend=backend)
         return output_model.project(result.observation())
 
     label = name or flowchart.name

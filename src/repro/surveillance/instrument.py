@@ -33,7 +33,9 @@ measures the overhead of the extra boxes.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Dict, Optional
+from weakref import WeakKeyDictionary
 
 from ..core.domains import ProductDomain
 from ..core.errors import ArityMismatchError
@@ -44,6 +46,7 @@ from ..core.program import Program
 from ..flowchart.boxes import (AssignBox, Box, DecisionBox, HaltBox, NodeId,
                                StartBox)
 from ..flowchart.expr import BinOp, Compare, Const, Var
+from ..flowchart.fastpath import run_flowchart
 from ..flowchart.interpreter import DEFAULT_FUEL, as_program, execute
 from ..flowchart.program import Flowchart
 from .labels import to_mask
@@ -53,6 +56,14 @@ VIOLATION_FLAG = "_viol"
 PC_LABEL = "_s_C"
 
 _ids = itertools.count()
+
+#: flowchart -> {(allowed_mask, timed): instrumented flowchart}.  The
+#: transform is pure, so repeated (Q, J) instrumentations — one per
+#: policy per sweep rep — can share one result; crucially this keeps
+#: the instrumented flowchart's *identity* stable, which is what the
+#: compiled-backend cache (`repro.flowchart.fastpath`) is keyed on.
+_INSTRUMENT_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
+_instrument_lock = threading.Lock()
 
 
 def surveillance_variable(variable: str) -> str:
@@ -95,6 +106,14 @@ def instrument(flowchart: Flowchart, policy: AllowPolicy,
             f"policy arity {policy.arity} != flowchart arity {flowchart.arity}"
         )
     allowed_mask = to_mask(policy.allowed)
+
+    memo_key = (allowed_mask, timed) if name is None else None
+    if memo_key is not None:
+        with _instrument_lock:
+            cached = _INSTRUMENT_MEMO.get(flowchart, {}).get(memo_key)
+        if cached is not None:
+            return cached
+
     boxes: Dict[NodeId, Box] = {}
 
     # Each original box id is preserved as the entry point of its
@@ -192,9 +211,13 @@ def instrument(flowchart: Flowchart, policy: AllowPolicy,
             raise TypeError(f"unknown box type {type(box).__name__}")
 
     suffix = "M'-inst" if timed else "M-inst"
-    return Flowchart(boxes, flowchart.input_variables,
-                     flowchart.output_variable,
-                     name=name or f"{suffix}({flowchart.name})")
+    instrumented = Flowchart(boxes, flowchart.input_variables,
+                             flowchart.output_variable,
+                             name=name or f"{suffix}({flowchart.name})")
+    if memo_key is not None:
+        with _instrument_lock:
+            _INSTRUMENT_MEMO.setdefault(flowchart, {})[memo_key] = instrumented
+    return instrumented
 
 
 def _patch(boxes: Dict[NodeId, Box], node_id: NodeId, target: NodeId) -> None:
@@ -230,7 +253,8 @@ def instrumented_mechanism(flowchart: Flowchart, policy: AllowPolicy,
     time_observable = output_model.time_observable
 
     def mechanism_fn(*inputs):
-        result = execute(instrumented, inputs, fuel=fuel)
+        result = run_flowchart(instrumented, inputs, fuel=fuel,
+                               capture_env=True)
         violated = result.env.get(VIOLATION_FLAG, 0) == 1
         if violated:
             if time_observable:
@@ -239,7 +263,7 @@ def instrumented_mechanism(flowchart: Flowchart, policy: AllowPolicy,
                 return ViolationNotice(f"Λ@{original_steps}")
             return ViolationNotice("Λ")
         if time_observable:
-            original = execute(flowchart, inputs, fuel=fuel)
+            original = run_flowchart(flowchart, inputs, fuel=fuel)
             return (result.value, original.steps)
         return result.value
 

@@ -1,12 +1,16 @@
-"""Verification harness: domain sweeps and experiment-table rendering."""
+"""Verification harness: domain sweeps (serial and parallel) and
+experiment-table rendering."""
 
 from .enumerate import (SweepResult, all_allow_policies, default_grid,
                         sampled_soundness, soundness_sweep,
                         unsound_results)
+from .parallel import (EXECUTORS, FACTORIES, parallel_soundness_sweep,
+                       resolve_factory)
 from .report import Table, banner
 
 __all__ = [
     "all_allow_policies", "default_grid", "soundness_sweep",
-    "SweepResult", "unsound_results", "sampled_soundness", "Table",
-    "banner",
+    "SweepResult", "unsound_results", "sampled_soundness",
+    "parallel_soundness_sweep", "EXECUTORS", "FACTORIES",
+    "resolve_factory", "Table", "banner",
 ]

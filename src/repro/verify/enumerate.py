@@ -11,7 +11,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.domains import ProductDomain
 from ..core.policy import AllowPolicy, allow
-from ..core.soundness import check_soundness
+from ..core.soundness import check_soundness_with_accepts
 from ..flowchart.interpreter import DEFAULT_FUEL
 from ..flowchart.program import Flowchart
 
@@ -61,6 +61,13 @@ def soundness_sweep(flowcharts: Sequence[Flowchart],
     mechanism under test; ``grid(arity)`` supplies the domain (default
     :func:`default_grid`).  Returns one verdict per combination — the
     empirical content of Theorems 3/3′.
+
+    Each domain point is evaluated exactly once: the soundness
+    factorization check and the acceptance count both derive from the
+    same per-point mechanism output
+    (:func:`~repro.core.soundness.check_soundness_with_accepts`).
+    For large products, :func:`repro.verify.parallel_soundness_sweep`
+    runs the same sweep across a worker pool.
     """
     grid = grid or default_grid
     results: List[SweepResult] = []
@@ -68,8 +75,8 @@ def soundness_sweep(flowcharts: Sequence[Flowchart],
         domain = grid(flowchart.arity)
         for policy in all_allow_policies(flowchart.arity):
             mechanism = mechanism_factory(flowchart, policy, domain)
-            report = check_soundness(mechanism, policy, domain)
-            accepts = sum(1 for point in domain if mechanism.passes(*point))
+            report, accepts = check_soundness_with_accepts(
+                mechanism, policy, domain)
             results.append(SweepResult(
                 flowchart.name, policy.name, mechanism.name,
                 report.sound, accepts, len(domain)))

@@ -1,0 +1,306 @@
+"""Parallel ∀-sweeps: the policy × grid product across a worker pool.
+
+``soundness_sweep`` enumerates ``2^k`` allow-policies × ``3^k`` grid
+points per flowchart — an embarrassingly parallel product.  This module
+chunks that product across a :mod:`concurrent.futures` pool and merges
+the per-chunk summaries back into the same
+:class:`~repro.verify.enumerate.SweepResult` rows the serial sweep
+produces.
+
+Work unit and merge
+-------------------
+A task is one ``(flowchart, policy, chunk-of-grid-points)`` triple.
+Each worker evaluates the mechanism **once per point** and returns a
+:class:`ChunkSummary`: the acceptance count plus, per policy-class, the
+first output seen and whether the chunk itself witnessed a conflict.
+Merging chunks (in domain order) compares class representatives across
+chunk boundaries, so the merged soundness verdict is exactly the serial
+factorization verdict — the per-point outputs are shared between the
+soundness check and the accepts count, never recomputed.
+
+Executor selection
+------------------
+``executor="auto"`` picks:
+
+- ``"serial"`` when the machine has one core or the product is small
+  (pool overhead would dominate);
+- ``"process"`` when the mechanism factory is a *registered* named
+  factory (see :data:`FACTORIES`) so the task is picklable;
+- ``"thread"`` otherwise (closures capture unpicklable state; threads
+  share the mechanism object and its memo).
+
+Any mode can be forced explicitly; ``"process"`` with an unpicklable
+factory raises a clear error instead of a pickling traceback.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.domains import ProductDomain
+from ..core.errors import ReproError
+from ..core.mechanism import is_violation
+from ..core.policy import AllowPolicy
+from ..flowchart.interpreter import DEFAULT_FUEL
+from ..flowchart.program import Flowchart
+from .enumerate import SweepResult, all_allow_policies, default_grid
+
+EXECUTORS = ("auto", "serial", "thread", "process")
+
+#: Point-count threshold below which "auto" stays serial.
+_AUTO_SERIAL_THRESHOLD = 4096
+
+
+class ChunkSummary:
+    """What one worker learned from its slice of the domain."""
+
+    __slots__ = ("accepts", "classes", "conflict")
+
+    def __init__(self, accepts: int, classes: Dict, conflict: bool) -> None:
+        self.accepts = accepts
+        #: policy_value -> first mechanism output seen in this chunk
+        self.classes = classes
+        self.conflict = conflict
+
+
+def evaluate_chunk(mechanism, policy, points: Iterable[Tuple]) -> ChunkSummary:
+    """Evaluate the mechanism once per point; summarise for the merge."""
+    classes: Dict = {}
+    accepts = 0
+    conflict = False
+    for point in points:
+        output = mechanism(*point)
+        if not is_violation(output):
+            accepts += 1
+        policy_value = policy(*point)
+        if policy_value not in classes:
+            classes[policy_value] = output
+        elif not conflict and classes[policy_value] != output:
+            conflict = True
+    return ChunkSummary(accepts, classes, conflict)
+
+
+def merge_chunks(summaries: Sequence[ChunkSummary]) -> Tuple[bool, int]:
+    """Fold chunk summaries (in domain order) into (sound, accepts)."""
+    classes: Dict = {}
+    accepts = 0
+    sound = True
+    for summary in summaries:
+        accepts += summary.accepts
+        if summary.conflict:
+            sound = False
+        for policy_value, output in summary.classes.items():
+            if policy_value not in classes:
+                classes[policy_value] = output
+            elif sound and classes[policy_value] != output:
+                sound = False
+    return sound, accepts
+
+
+# ---------------------------------------------------------------------------
+# Named factories (picklable work units for process pools)
+# ---------------------------------------------------------------------------
+
+def _factory_program(flowchart, policy, domain):
+    from ..core.mechanism import program_as_mechanism
+    from ..flowchart.interpreter import as_program
+
+    return program_as_mechanism(as_program(flowchart, domain))
+
+
+def _factory_surveillance(flowchart, policy, domain):
+    # The literal Section 3 construction: instrument Q and execute the
+    # instrumented flowchart (compiled backend, instrument+compile
+    # caches).  Extensionally equal to the interpreter-level
+    # ``surveillance_mechanism`` (bench E04 asserts this) but several
+    # times faster in sweeps.
+    from ..surveillance.instrument import instrumented_mechanism
+
+    return instrumented_mechanism(flowchart, policy, domain)
+
+
+def _factory_timed(flowchart, policy, domain):
+    from ..surveillance import timed_surveillance_mechanism
+
+    return timed_surveillance_mechanism(flowchart, policy, domain)
+
+
+def _factory_highwater(flowchart, policy, domain):
+    from ..surveillance import highwater_mechanism
+
+    return highwater_mechanism(flowchart, policy, domain)
+
+
+#: Mechanism families addressable by name (CLI, process pools, benches).
+FACTORIES: Dict[str, Callable] = {
+    "program": _factory_program,
+    "surveillance": _factory_surveillance,
+    "timed": _factory_timed,
+    "highwater": _factory_highwater,
+}
+
+
+def resolve_factory(factory) -> Callable:
+    """A named family or a ``(flowchart, policy, domain)`` callable."""
+    if callable(factory):
+        return factory
+    try:
+        return FACTORIES[factory]
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(FACTORIES))
+        raise ReproError(
+            f"unknown mechanism factory {factory!r}; known: {known}"
+        ) from None
+
+
+def _chunk(points: List[Tuple], size: int) -> List[List[Tuple]]:
+    return [points[start:start + size]
+            for start in range(0, len(points), size)]
+
+
+def _run_pair_task(payload: bytes) -> Tuple[int, int, ChunkSummary]:
+    """Process-pool entry: rebuild the mechanism, evaluate one chunk."""
+    (pair_index, chunk_index, flowchart, policy, domain,
+     factory_name, points) = pickle.loads(payload)
+    mechanism = FACTORIES[factory_name](flowchart, policy, domain)
+    return pair_index, chunk_index, evaluate_chunk(mechanism, policy, points)
+
+
+def _pick_executor(executor: str, factory, workers: int,
+                   total_points: int) -> str:
+    if executor not in EXECUTORS:
+        raise ReproError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+    if executor != "auto":
+        return executor
+    if workers <= 1 or total_points < _AUTO_SERIAL_THRESHOLD:
+        return "serial"
+    if isinstance(factory, str) or (
+            callable(factory) and factory in FACTORIES.values()):
+        return "process"
+    return "thread"
+
+
+def parallel_soundness_sweep(
+        flowcharts: Sequence[Flowchart],
+        mechanism_factory,
+        grid: Optional[Callable[[int], ProductDomain]] = None,
+        fuel: int = DEFAULT_FUEL,
+        executor: str = "auto",
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        policies: Optional[Callable[[int], List[AllowPolicy]]] = None,
+) -> List[SweepResult]:
+    """The Theorem 3/3′ sweep, chunked across a worker pool.
+
+    Produces exactly the rows of
+    :func:`~repro.verify.enumerate.soundness_sweep` (same order, same
+    verdicts, same acceptance counts); only the schedule differs.
+
+    Parameters
+    ----------
+    mechanism_factory:
+        Either a ``(flowchart, policy, domain)`` callable or the name
+        of a registered family in :data:`FACTORIES` (required for
+        ``executor="process"``, where tasks must pickle).
+    executor:
+        ``"auto"``, ``"serial"``, ``"thread"``, or ``"process"``.
+    chunk_size:
+        Points per task; default splits each pair's domain into about
+        four chunks per worker (minimum 64 points) so the pool stays
+        busy without drowning in scheduling overhead.
+    policies:
+        Policy enumeration per arity (default: every allow-policy,
+        ``2^k`` of them).
+    """
+    grid = grid or default_grid
+    policies = policies or all_allow_policies
+    factory = resolve_factory(mechanism_factory)
+    workers = max_workers or os.cpu_count() or 1
+
+    # Materialise the (flowchart, policy) pair list once, in sweep order.
+    pairs: List[Tuple[Flowchart, AllowPolicy, ProductDomain]] = []
+    for flowchart in flowcharts:
+        domain = grid(flowchart.arity)
+        for policy in policies(flowchart.arity):
+            pairs.append((flowchart, policy, domain))
+    total_points = sum(len(domain) for _, _, domain in pairs)
+
+    mode = _pick_executor(executor, mechanism_factory, workers, total_points)
+
+    if mode == "serial":
+        results = []
+        for flowchart, policy, domain in pairs:
+            mechanism = factory(flowchart, policy, domain)
+            summary = evaluate_chunk(mechanism, policy, domain)
+            sound, accepts = merge_chunks([summary])
+            results.append(SweepResult(
+                flowchart.name, policy.name, mechanism.name,
+                sound, accepts, len(domain)))
+        return results
+
+    # Chunked schedule: (pair, chunk) tasks, merged back in order.
+    per_pair_chunks: List[List[List[Tuple]]] = []
+    for flowchart, policy, domain in pairs:
+        points = list(domain)
+        size = chunk_size or max(64, -(-len(points) // (workers * 4)))
+        per_pair_chunks.append(_chunk(points, size))
+
+    summaries: List[List[Optional[ChunkSummary]]] = [
+        [None] * len(chunks) for chunks in per_pair_chunks]
+
+    if mode == "process":
+        if not isinstance(mechanism_factory, str):
+            names = {fn: name for name, fn in FACTORIES.items()}
+            if factory not in names:
+                raise ReproError(
+                    "executor='process' needs a registered factory name "
+                    f"(one of {sorted(FACTORIES)}); arbitrary callables "
+                    "do not survive pickling")
+            factory_name = names[factory]
+        else:
+            factory_name = mechanism_factory
+        payloads = []
+        for pair_index, ((flowchart, policy, domain), chunks) in enumerate(
+                zip(pairs, per_pair_chunks)):
+            for chunk_index, points in enumerate(chunks):
+                payloads.append(pickle.dumps(
+                    (pair_index, chunk_index, flowchart, policy, domain,
+                     factory_name, points)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for pair_index, chunk_index, summary in pool.map(
+                    _run_pair_task, payloads):
+                summaries[pair_index][chunk_index] = summary
+    else:  # thread
+        mechanisms = [factory(flowchart, policy, domain)
+                      for flowchart, policy, domain in pairs]
+
+        def run_task(task):
+            pair_index, chunk_index, points = task
+            _, policy, _ = pairs[pair_index]
+            return pair_index, chunk_index, evaluate_chunk(
+                mechanisms[pair_index], policy, points)
+
+        tasks = [(pair_index, chunk_index, points)
+                 for pair_index, chunks in enumerate(per_pair_chunks)
+                 for chunk_index, points in enumerate(chunks)]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for pair_index, chunk_index, summary in pool.map(run_task, tasks):
+                summaries[pair_index][chunk_index] = summary
+
+    results = []
+    for pair_index, (flowchart, policy, domain) in enumerate(pairs):
+        sound, accepts = merge_chunks(summaries[pair_index])
+        if mode == "thread":
+            mechanism_name = mechanisms[pair_index].name
+        else:
+            # Process mode: rebuild in-process just for the display name
+            # — constructors are lightweight (no evaluation happens).
+            mechanism_name = factory(flowchart, policy, domain).name
+        results.append(SweepResult(
+            flowchart.name, policy.name, mechanism_name,
+            sound, accepts, len(domain)))
+    return results

@@ -102,10 +102,15 @@ class TestTrace:
     def test_trace_off_by_default(self):
         assert execute(straightline(), (1, 1)).trace is None
 
-    def test_final_environment_returned(self):
-        result = execute(straightline(), (3, 4))
+    def test_final_environment_opt_in(self):
+        result = execute(straightline(), (3, 4), capture_env=True)
         assert result.env["r"] == 6
         assert result.env["y"] == 10
+
+    def test_environment_not_captured_by_default(self):
+        # The hot path (as_program, the sweep runners) needs only
+        # (value, steps, faults); env snapshots are opt-in.
+        assert execute(straightline(), (3, 4)).env is None
 
 
 class TestAsProgram:

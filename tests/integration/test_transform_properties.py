@@ -141,8 +141,9 @@ def test_dead_surveillance_elimination_is_output_preserving(program,
     full = instrument(flowchart, policy)
     optimised = eliminate_dead_surveillance(flowchart, policy)
     for point in GRID2:
-        full_run = execute(full, point, fuel=40_000)
-        optimised_run = execute(optimised, point, fuel=40_000)
+        full_run = execute(full, point, fuel=40_000, capture_env=True)
+        optimised_run = execute(optimised, point, fuel=40_000,
+                                capture_env=True)
         assert full_run.value == optimised_run.value
         assert (full_run.env[VIOLATION_FLAG]
                 == optimised_run.env[VIOLATION_FLAG])

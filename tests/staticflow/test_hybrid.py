@@ -92,8 +92,9 @@ class TestDeadSurveillanceElimination:
             full = instrument(flowchart, policy)
             optimised = eliminate_dead_surveillance(flowchart, policy)
             for point in GRID:
-                full_run = execute(full, point)
-                optimised_run = execute(optimised, point)
+                full_run = execute(full, point, capture_env=True)
+                optimised_run = execute(optimised, point,
+                                        capture_env=True)
                 assert full_run.value == optimised_run.value
                 assert (full_run.env[VIOLATION_FLAG]
                         == optimised_run.env[VIOLATION_FLAG])
@@ -118,7 +119,7 @@ class TestDeadSurveillanceElimination:
         optimised = eliminate_dead_surveillance(flowchart, policy,
                                                 timed=True)
         for point in GRID:
-            run = execute(optimised, point)
+            run = execute(optimised, point, capture_env=True)
             assert run.env[VIOLATION_FLAG] == 0
             assert run.value == point[0]
 

@@ -55,8 +55,8 @@ class TestInstrumentedStructure:
     def test_violation_flag_in_final_environment(self):
         instrumented = instrument(library.forgetting_program(),
                                   allow(2, arity=2))
-        accepted = execute(instrumented, (1, 0))
-        rejected = execute(instrumented, (1, 2))
+        accepted = execute(instrumented, (1, 0), capture_env=True)
+        rejected = execute(instrumented, (1, 2), capture_env=True)
         assert accepted.env[VIOLATION_FLAG] == 0
         assert rejected.env[VIOLATION_FLAG] == 1
 
@@ -64,7 +64,7 @@ class TestInstrumentedStructure:
         original = library.forgetting_program()
         instrumented = instrument(original, allow(2, arity=2))
         for point in GRID2:
-            if execute(instrumented, point).env[VIOLATION_FLAG] == 0:
+            if execute(instrumented, point, capture_env=True).env[VIOLATION_FLAG] == 0:
                 assert (execute(instrumented, point).value
                         == execute(original, point).value)
 
@@ -106,7 +106,7 @@ class TestTimedInstrumentation:
     def test_timed_variant_halts_at_guard(self):
         instrumented = instrument(library.timing_loop(), allow_none(1),
                                   timed=True)
-        result = execute(instrumented, (3,))
+        result = execute(instrumented, (3,), capture_env=True)
         assert result.env[VIOLATION_FLAG] == 1
         # Early halt: far fewer boxes than the full loop would take.
         full = execute(instrument(library.timing_loop(), allow_none(1)),

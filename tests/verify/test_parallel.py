@@ -1,0 +1,123 @@
+"""The parallel sweep must reproduce the serial sweep exactly.
+
+Every executor mode — serial, thread, process — is compared field-by-
+field against :func:`repro.verify.soundness_sweep` on the same
+(flowchart, policy) product, and the single-pass
+``check_soundness_with_accepts`` is checked against a brute-force
+recount.
+"""
+
+import pytest
+
+from repro.core.mechanism import is_violation
+from repro.core.errors import ReproError
+from repro.core.soundness import check_soundness, check_soundness_with_accepts
+from repro.flowchart import library
+from repro.verify import (FACTORIES, parallel_soundness_sweep,
+                          resolve_factory, soundness_sweep)
+from repro.verify.enumerate import default_grid
+from repro.verify.parallel import (ChunkSummary, evaluate_chunk,
+                                   merge_chunks)
+
+FLOWCHARTS = [library.forgetting_program(), library.parity_program(),
+              library.max_program()]
+
+
+def rows(results):
+    return [(r.program_name, r.policy_name, r.mechanism_name,
+             r.sound, r.accepts, r.domain_size) for r in results]
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    return soundness_sweep(FLOWCHARTS, FACTORIES["surveillance"])
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread"])
+def test_executor_matches_serial_sweep(executor, serial_baseline):
+    parallel = parallel_soundness_sweep(
+        FLOWCHARTS, "surveillance", executor=executor, max_workers=2,
+        chunk_size=5)
+    assert rows(parallel) == rows(serial_baseline)
+
+
+def test_process_executor_matches_serial_sweep(serial_baseline):
+    parallel = parallel_soundness_sweep(
+        FLOWCHARTS, "surveillance", executor="process", max_workers=2,
+        chunk_size=7)
+    assert rows(parallel) == rows(serial_baseline)
+
+
+def test_auto_executor_small_product_stays_correct():
+    # 3^k points per pair is far below the auto-serial threshold, so
+    # "auto" degrades to serial — and must still match.
+    auto = parallel_soundness_sweep(FLOWCHARTS, "program", executor="auto")
+    serial = soundness_sweep(FLOWCHARTS, FACTORIES["program"])
+    assert rows(auto) == rows(serial)
+
+
+def test_callable_factory_accepted_by_thread_executor():
+    def factory(flowchart, policy, domain):
+        return FACTORIES["surveillance"](flowchart, policy, domain)
+
+    parallel = parallel_soundness_sweep(
+        [library.parity_program()], factory, executor="thread",
+        max_workers=2, chunk_size=3)
+    serial = soundness_sweep([library.parity_program()], factory)
+    assert rows(parallel) == rows(serial)
+
+
+def test_process_executor_rejects_unpicklable_factory():
+    with pytest.raises(ReproError, match="pickling"):
+        parallel_soundness_sweep(
+            [library.parity_program()],
+            lambda flowchart, policy, domain:
+                FACTORIES["surveillance"](flowchart, policy, domain),
+            executor="process")
+
+
+def test_unknown_executor_and_factory_rejected():
+    with pytest.raises(ReproError, match="executor"):
+        parallel_soundness_sweep(FLOWCHARTS, "surveillance",
+                                 executor="gpu")
+    with pytest.raises(ReproError, match="factory"):
+        resolve_factory("quantum")
+
+
+def test_chunk_merge_equals_whole_domain_summary():
+    flowchart = library.max_program()
+    domain = default_grid(flowchart.arity)
+    from repro.core.policy import allow
+    policy = allow(1, arity=flowchart.arity)
+    mechanism = FACTORIES["surveillance"](flowchart, policy, domain)
+
+    points = list(domain)
+    whole = evaluate_chunk(mechanism, policy, points)
+    split = [evaluate_chunk(mechanism, policy, points[i:i + 2])
+             for i in range(0, len(points), 2)]
+    assert merge_chunks(split) == merge_chunks([whole])
+
+
+def test_merge_detects_cross_chunk_conflict():
+    # Same policy class in two chunks, different representatives: the
+    # conflict is only visible at merge time.
+    agree = ChunkSummary(1, {(): "A"}, False)
+    differ = ChunkSummary(1, {(): "B"}, False)
+    sound, accepts = merge_chunks([agree, differ])
+    assert not sound and accepts == 2
+    sound, _ = merge_chunks([agree, ChunkSummary(0, {(): "A"}, False)])
+    assert sound
+
+
+def test_single_pass_accepts_equals_brute_force():
+    from repro.core.policy import allow
+    flowchart = library.forgetting_program()
+    domain = default_grid(flowchart.arity)
+    policy = allow(2, arity=flowchart.arity)
+    mechanism = FACTORIES["surveillance"](flowchart, policy, domain)
+
+    report, accepts = check_soundness_with_accepts(mechanism, policy, domain)
+    brute_accepts = sum(
+        1 for point in domain if not is_violation(mechanism(*point)))
+    assert accepts == brute_accepts
+    assert report.sound == check_soundness(mechanism, policy, domain).sound
