@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Regenerate ``BENCH_PR1.json`` — the PR's machine-readable benchmark.
 
-Three sections:
+Four sections:
 
 ``micro_sweep_kernel``
     The sweep's inner kernel (full-domain flowchart evaluation, same
@@ -13,6 +13,11 @@ Three sections:
     Wall-clock of the Theorem 3/3′ sweep: the seed's double-pass
     interpreted version (reconstructed inline), the current single-pass
     sweep under each backend, and the parallel runner in auto mode.
+
+``flowlint``
+    Wall-clock of the static analyzer: a full default-pass lint of
+    every (library program, allow policy) pair, and one run of the
+    static-vs-dynamic precision harness.
 
 ``per_program``
     Interpreted-vs-compiled full-grid timing for every flowchart in the
@@ -194,7 +199,41 @@ def bench_soundness_sweep(repeats: int, smoke: bool) -> dict:
 
 
 # ---------------------------------------------------------------------------
-# Section 3: per-program backend comparison over the default grid
+# Section 3: flowlint — static analysis wall-clock over the library
+# ---------------------------------------------------------------------------
+
+def bench_flowlint(repeats: int, smoke: bool) -> dict:
+    from repro.analysis import PassManager, precision_harness
+    from repro.verify.enumerate import all_allow_policies as _policies
+
+    suite = library.extended_suite()
+    if smoke:
+        suite = suite[:4]
+    manager = PassManager.with_default_passes()
+
+    def lint_all():
+        errors = 0
+        for flowchart in suite:
+            for policy in _policies(flowchart.arity):
+                errors += len(manager.run(flowchart, policy).errors)
+        return errors
+
+    lint = time_callable(lint_all, repeats=repeats)
+    harness = time_callable(lambda: precision_harness(suite),
+                            repeats=max(1, repeats - 1))
+
+    pairs = sum(2 ** flowchart.arity for flowchart in suite)
+    return {
+        "programs": len(suite),
+        "pairs": pairs,
+        "lint_all_policies_s": lint,
+        "lint_ms_per_pair": round(lint["best"] * 1000 / pairs, 3),
+        "precision_harness_s": harness,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Section 4: per-program backend comparison over the default grid
 # ---------------------------------------------------------------------------
 
 def bench_per_program(repeats: int, smoke: bool) -> dict:
@@ -238,6 +277,7 @@ def main(argv=None) -> int:
 
     micro = bench_micro_kernel(repeats)
     sweep = bench_soundness_sweep(repeats, args.smoke)
+    flowlint = bench_flowlint(repeats, args.smoke)
     per_program = bench_per_program(max(1, repeats - 1), args.smoke)
 
     payload = {
@@ -251,6 +291,7 @@ def main(argv=None) -> int:
         },
         "micro_sweep_kernel": micro,
         "soundness_sweep": sweep,
+        "flowlint": flowlint,
         "per_program": per_program,
         "claims": {
             "micro_speedup_at_least_3x": micro["speedup"] >= 3.0,
@@ -267,6 +308,10 @@ def main(argv=None) -> int:
     for factory_name, section in sweep["factories"].items():
         for variant, speedup in section["speedup_vs_seed"].items():
             print(f"  sweep[{factory_name}] {variant}: {speedup}x vs seed")
+    print(f"  flowlint: {flowlint['pairs']} (program, policy) pairs in "
+          f"{flowlint['lint_all_policies_s']['best']:.3f}s "
+          f"({flowlint['lint_ms_per_pair']}ms/pair); precision harness "
+          f"{flowlint['precision_harness_s']['best']:.3f}s")
     if not payload["claims"]["micro_speedup_at_least_3x"] and not args.smoke:
         print("WARNING: micro kernel speedup below the claimed 3x",
               file=sys.stderr)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Regenerate ``PRECISION.json`` — the flowlint precision-harness report.
+
+Runs the static-vs-dynamic precision harness
+(:func:`repro.analysis.precision.precision_harness`) over the full
+figure library × every allow policy × an integer grid, prints the
+ladder table, and writes the machine-readable report.
+
+Exits nonzero if any (program, policy) pair is *statically certified*
+while the exhaustive semantic soundness check rejects it — the harness's
+standing soundness obligation, enforced in CI.
+
+Usage:
+    PYTHONPATH=src python scripts/precision_report.py \
+        [--low N] [--high N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import precision_harness  # noqa: E402
+from repro.core import ProductDomain  # noqa: E402
+from repro.flowchart.library import extended_suite  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--low", type=int, default=0,
+                        help="grid lower bound (default 0)")
+    parser.add_argument("--high", type=int, default=2,
+                        help="grid upper bound (default 2)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "PRECISION.json"),
+                        help="output path (default: PRECISION.json)")
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    report = precision_harness(
+        extended_suite(),
+        grid=lambda arity: ProductDomain.integer_grid(
+            args.low, args.high, arity))
+    elapsed = time.perf_counter() - started
+
+    print(report.render())
+    print(f"harness wall-clock: {elapsed:.3f}s "
+          f"(grid [{args.low}..{args.high}])")
+
+    payload = report.to_dict()
+    payload["grid"] = {"low": args.low, "high": args.high}
+    payload["harness_seconds"] = elapsed
+    Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                              + "\n")
+    print(f"wrote {args.out}")
+
+    unsound = report.unsound_pairs()
+    if unsound:
+        print(f"SOUNDNESS VIOLATION: {len(unsound)} statically-certified "
+              f"pair(s) the exhaustive check rejects:", file=sys.stderr)
+        for pair in unsound:
+            print(f"  {pair!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""flowlint: static analysis for flowchart programs.
+
+A pass-manager-driven analyzer over :class:`repro.flowchart.Flowchart`
+programs.  The centrepiece is the *influence pass* — a static fixpoint
+over the same powerset-of-inputs labels Section 3's surveillance
+mechanism tracks dynamically — which certifies or rejects a program
+against an ``allow(J)`` policy without executing it.  Around it sit a
+timing-channel pass (Theorem 3's observable-time caveat, detected
+statically) and hygiene passes, plus a precision harness quantifying
+what the static verdict gives up against dynamic surveillance and the
+maximal mechanism.
+
+Surface: ``repro lint`` on the CLI; :func:`lint_flowchart` /
+:func:`precision_harness` from code.
+"""
+
+from .diagnostics import Diagnostic, LintReport, Severity
+from .influence import (EMPTY, InfluenceAnalysis, Label, StaticVerdict,
+                        influence_analysis, static_verdict)
+from .manager import (AnalysisContext, AnalysisPass, PassManager,
+                      lint_flowchart)
+from .passes import (DeadAssignmentPass, DivisionByZeroPass, InfluencePass,
+                     UninitializedReadPass, UnreachableCodePass,
+                     default_passes)
+from .precision import (PairPrecision, PrecisionReport, pair_precision,
+                        precision_harness)
+from .timing import TimingChannelPass, arm_steps
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisPass",
+    "DeadAssignmentPass",
+    "Diagnostic",
+    "DivisionByZeroPass",
+    "EMPTY",
+    "InfluenceAnalysis",
+    "InfluencePass",
+    "Label",
+    "LintReport",
+    "PairPrecision",
+    "PassManager",
+    "PrecisionReport",
+    "Severity",
+    "StaticVerdict",
+    "TimingChannelPass",
+    "UninitializedReadPass",
+    "UnreachableCodePass",
+    "arm_steps",
+    "default_passes",
+    "influence_analysis",
+    "lint_flowchart",
+    "pair_precision",
+    "precision_harness",
+    "static_verdict",
+]

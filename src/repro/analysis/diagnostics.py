@@ -1,0 +1,138 @@
+"""Diagnostics: what a flowlint pass reports and how it is rendered.
+
+Every finding is a :class:`Diagnostic` — a machine-readable code
+(``FLOW001``, ``TIME001``, ``HYG00x``), a :class:`Severity`, the pass
+that produced it, the box it anchors to, and a human message plus a
+``data`` dict for tooling.  :class:`LintReport` aggregates the
+diagnostics of one :class:`~repro.analysis.manager.PassManager` run and
+owns the text/JSON renderings and the CLI exit-code convention:
+
+- exit 0 — no error-severity diagnostics,
+- exit 1 — at least one error-severity diagnostic,
+- exit 2 — usage error (bad arguments), raised before any pass runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from ..flowchart.boxes import NodeId
+
+
+class Severity(enum.IntEnum):
+    """Severity ladder; only :data:`ERROR` makes ``repro lint`` fail."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+class Diagnostic:
+    """One finding of one analysis pass, anchored to a flowchart box."""
+
+    __slots__ = ("code", "severity", "pass_name", "node", "message", "data")
+
+    def __init__(self, code: str, severity: Severity, pass_name: str,
+                 message: str, node: Optional[NodeId] = None,
+                 data: Optional[dict] = None) -> None:
+        self.code = code
+        self.severity = Severity(severity)
+        self.pass_name = pass_name
+        self.node = node
+        self.message = message
+        self.data = dict(data) if data else {}
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "pass": self.pass_name,
+            "node": self.node,
+            "message": self.message,
+            "data": self.data,
+        }
+
+    def render(self) -> str:
+        location = f"[{self.node}] " if self.node is not None else ""
+        return f"{self.severity}: {self.code} {location}{self.message}"
+
+    def __repr__(self) -> str:
+        return (f"Diagnostic({self.code}, {self.severity}, "
+                f"pass={self.pass_name}, node={self.node!r}, "
+                f"{self.message!r})")
+
+
+def _sort_key(diagnostic: Diagnostic):
+    return (-int(diagnostic.severity), diagnostic.code,
+            str(diagnostic.node or ""))
+
+
+class LintReport:
+    """All diagnostics from one PassManager run over one flowchart."""
+
+    def __init__(self, flowchart_name: str,
+                 diagnostics: List[Diagnostic],
+                 pass_seconds: Dict[str, float],
+                 policy_name: Optional[str] = None) -> None:
+        self.flowchart_name = flowchart_name
+        self.diagnostics = sorted(diagnostics, key=_sort_key)
+        self.pass_seconds = dict(pass_seconds)
+        self.policy_name = policy_name
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.has_errors else 0
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "info": len(self.by_severity(Severity.INFO)),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "flowchart": self.flowchart_name,
+            "policy": self.policy_name,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "pass_seconds": self.pass_seconds,
+        }
+
+    def render(self) -> str:
+        header = f"flowlint: {self.flowchart_name}"
+        if self.policy_name:
+            header += f" (policy {self.policy_name})"
+        lines = [header]
+        for diagnostic in self.diagnostics:
+            lines.append(f"  {diagnostic.render()}")
+        counts = self.counts()
+        lines.append(f"  {counts['error']} error(s), "
+                     f"{counts['warning']} warning(s), "
+                     f"{counts['info']} info(s)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        return (f"LintReport({self.flowchart_name}: "
+                f"{counts['error']}E/{counts['warning']}W/"
+                f"{counts['info']}I)")

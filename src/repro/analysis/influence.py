@@ -1,0 +1,233 @@
+"""The influence pass: a static fixpoint over the surveillance lattice.
+
+Section 3's surveillance mechanism computes, *at run time*, an
+over-approximation of which inputs influenced each variable and the
+program counter.  This module computes the compile-time counterpart: an
+iterative forward dataflow over the same powerset-of-inputs labels,
+joining over all paths instead of following one.
+
+Invariant (the static-soundness property the test suite checks on every
+concrete run): at any box ``n`` and any point of any execution that
+reaches ``n``,
+
+- ``pc_influence[n]`` ⊇ the dynamic C̄ at that moment, and
+- ``var_influence[n][v]`` ⊇ the dynamic *high-water* label of ``v``
+  (and hence ⊇ the forgetting surveillance label, since high-water
+  dominates it pointwise).
+
+To guarantee the high-water half, the transfer function itself is
+high-water style — an assignment *accumulates* into the old label
+rather than replacing it — and the PC component is the monotone
+forward union of test labels.  Implicit flows are additionally folded
+in through :func:`repro.staticflow.cfgcertify.control_dependencies`
+(the Ferrante–Ottenstein–Warren criterion over
+:func:`repro.flowchart.analysis.postdominators`), matching the paper's
+rule 2: an assignment reached under a decision carries that decision's
+test label.
+
+The verdict: a flowchart is *statically certified* for ``allow(J)``
+iff at every halt box ``var_influence[halt][y] ∪ pc_influence[halt]
+⊆ J``.  Soundness argument (no execution needed): static labels
+dominate dynamic surveillance labels, so a certified program can never
+trip surveillance's rule-4 check — the surveillance mechanism equals Q
+everywhere, and by Theorem 3 that mechanism is sound, hence Q itself is
+sound for the policy.  The price is completeness: the join over paths
+rejects programs the dynamic mechanism (let alone Theorem 2's maximal
+mechanism) accepts — the gap :mod:`repro.analysis.precision` measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from ..core.errors import PolicyError
+from ..core.policy import AllowPolicy
+from ..flowchart.boxes import AssignBox, DecisionBox, NodeId
+from ..flowchart.program import Flowchart
+from ..staticflow.cfgcertify import control_dependencies
+
+Label = FrozenSet[int]
+
+EMPTY: Label = frozenset()
+
+
+class StaticVerdict:
+    """Outcome of checking the influence fixpoint against a policy."""
+
+    __slots__ = ("certified", "output_label", "allowed", "halt_labels")
+
+    def __init__(self, certified: bool, output_label: Label, allowed: Label,
+                 halt_labels: Dict[NodeId, Label]) -> None:
+        self.certified = certified
+        self.output_label = output_label
+        self.allowed = allowed
+        self.halt_labels = dict(halt_labels)
+
+    def __bool__(self) -> bool:
+        return self.certified
+
+    @property
+    def excess(self) -> Label:
+        """Input indices the output may depend on beyond the policy."""
+        return self.output_label - self.allowed
+
+    def __repr__(self) -> str:
+        verdict = "CERTIFIED" if self.certified else "REJECTED"
+        return (f"StaticVerdict({verdict}: ȳ={sorted(self.output_label)} "
+                f"vs J={sorted(self.allowed)})")
+
+
+class InfluenceAnalysis:
+    """Fixpoint result: per-box PC and per-variable influence labels."""
+
+    def __init__(self, flowchart: Flowchart,
+                 pc_influence: Dict[NodeId, Label],
+                 var_influence: Dict[NodeId, Dict[str, Label]],
+                 iterations: int) -> None:
+        self.flowchart = flowchart
+        self.pc_influence = dict(pc_influence)
+        self.var_influence = {node: dict(state)
+                              for node, state in var_influence.items()}
+        self.iterations = iterations
+
+    def label_at(self, node: NodeId, variable: str) -> Label:
+        """The influence label of ``variable`` on entry to ``node``."""
+        return self.var_influence.get(node, {}).get(variable, EMPTY)
+
+    def test_label(self, decision_id: NodeId) -> Label:
+        """The static label of a decision's test, at its own state."""
+        box = self.flowchart.boxes[decision_id]
+        assert isinstance(box, DecisionBox)
+        state = self.var_influence.get(decision_id, {})
+        label: Label = EMPTY
+        for name in box.predicate.variables():
+            label |= state.get(name, EMPTY)
+        return label
+
+    def output_label(self) -> Label:
+        """Join over halts of ``label(y) ∪ pc`` — what the user may learn."""
+        label: Label = EMPTY
+        for halt_id, halt_label in self.halt_labels().items():
+            label |= halt_label
+        return label
+
+    def halt_labels(self) -> Dict[NodeId, Label]:
+        """Per-halt observable label: ``label(y) ∪ pc`` at that halt."""
+        output = self.flowchart.output_variable
+        return {
+            halt_id: (self.label_at(halt_id, output)
+                      | self.pc_influence.get(halt_id, EMPTY))
+            for halt_id in self.flowchart.halt_ids()
+        }
+
+    def verdict(self, policy: AllowPolicy) -> StaticVerdict:
+        """Certify the flowchart for ``allow(J)`` without executing it."""
+        if not isinstance(policy, AllowPolicy):
+            raise PolicyError(
+                "the influence verdict is defined for allow(...) policies")
+        if policy.arity != self.flowchart.arity:
+            raise PolicyError(
+                f"policy arity {policy.arity} != flowchart arity "
+                f"{self.flowchart.arity}")
+        halts = self.halt_labels()
+        output = EMPTY
+        for label in halts.values():
+            output |= label
+        return StaticVerdict(output <= policy.allowed, output,
+                             policy.allowed, halts)
+
+    def __repr__(self) -> str:
+        return (f"InfluenceAnalysis({self.flowchart.name}: "
+                f"{len(self.var_influence)} boxes, "
+                f"iterations={self.iterations})")
+
+
+def influence_analysis(flowchart: Flowchart) -> InfluenceAnalysis:
+    """Run the forward influence fixpoint over a flowchart.
+
+    States are *entry* states: ``var_influence[n]`` / ``pc_influence[n]``
+    describe the moment control is about to execute box ``n``.  Merging
+    is pointwise union; the lattice (powerset of input indices, per
+    variable, per box) is finite and the transfer functions monotone,
+    so the iteration terminates.
+    """
+    order = flowchart.reachable_from(flowchart.start_id)
+    predecessors = flowchart.predecessors()
+    dependencies = control_dependencies(flowchart)
+
+    initial: Dict[str, Label] = {
+        name: frozenset((position,))
+        for position, name in enumerate(flowchart.input_variables, 1)}
+
+    var_in: Dict[NodeId, Dict[str, Label]] = {node: {} for node in order}
+    pc_in: Dict[NodeId, Label] = {node: EMPTY for node in order}
+    var_in[flowchart.start_id] = dict(initial)
+
+    def read_label(state: Dict[str, Label], names) -> Label:
+        label: Label = EMPTY
+        for name in names:
+            label |= state.get(name, EMPTY)
+        return label
+
+    def implicit_label(node: NodeId) -> Label:
+        """Rule-2 implicit flows via FOW control dependence."""
+        label: Label = EMPTY
+        for decision_id in dependencies[node]:
+            decision = flowchart.boxes[decision_id]
+            assert isinstance(decision, DecisionBox)
+            label |= read_label(var_in[decision_id],
+                                decision.predicate.variables())
+        return label
+
+    def out_state(node: NodeId):
+        state = dict(var_in[node])
+        pc = pc_in[node]
+        box = flowchart.boxes[node]
+        if isinstance(box, AssignBox):
+            incoming = (read_label(state, box.expression.variables())
+                        | pc | implicit_label(node))
+            # High-water transfer: accumulate, never forget — this is
+            # what makes the fixpoint dominate the dynamic labels.
+            state[box.target] = state.get(box.target, EMPTY) | incoming
+        elif isinstance(box, DecisionBox):
+            pc = pc | read_label(state, box.predicate.variables())
+        return state, pc
+
+    iterations = 0
+    changed = True
+    while changed:
+        iterations += 1
+        changed = False
+        for node in order:
+            if node == flowchart.start_id:
+                merged_vars: Dict[str, Label] = dict(initial)
+                merged_pc: Label = EMPTY
+            else:
+                merged_vars = {}
+                merged_pc = EMPTY
+                for predecessor in predecessors[node]:
+                    pred_vars, pred_pc = out_state(predecessor)
+                    merged_pc |= pred_pc
+                    for name, label in pred_vars.items():
+                        merged_vars[name] = merged_vars.get(name, EMPTY) | label
+            target = var_in[node]
+            for name, label in merged_vars.items():
+                combined = target.get(name, EMPTY) | label
+                if combined != target.get(name):
+                    target[name] = combined
+                    changed = True
+            combined_pc = pc_in[node] | merged_pc
+            if combined_pc != pc_in[node]:
+                pc_in[node] = combined_pc
+                changed = True
+
+    return InfluenceAnalysis(flowchart, pc_in, var_in, iterations)
+
+
+def static_verdict(flowchart: Flowchart, policy: AllowPolicy,
+                   analysis: Optional[InfluenceAnalysis] = None
+                   ) -> StaticVerdict:
+    """Convenience: fixpoint + verdict in one call."""
+    if analysis is None:
+        analysis = influence_analysis(flowchart)
+    return analysis.verdict(policy)

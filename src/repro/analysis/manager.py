@@ -1,0 +1,129 @@
+"""The flowlint pass manager: registration, shared analyses, execution.
+
+A pass is a small object with a ``name`` and a ``run(context)`` method
+returning :class:`~repro.analysis.diagnostics.Diagnostic` lists.  The
+:class:`AnalysisContext` memoises the graph analyses several passes
+share (dominators, postdominators, control dependence, the influence
+fixpoint) so a full lint run computes each exactly once, and the
+:class:`PassManager` runs every registered pass, times it, and folds
+the findings into one :class:`~repro.analysis.diagnostics.LintReport`.
+
+Passes that need a policy (the influence verdict) declare
+``requires_policy = True`` and are skipped — not failed — when the
+caller lints without one.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from ..core.policy import AllowPolicy
+from ..flowchart.analysis import dominators, postdominators
+from ..flowchart.boxes import NodeId
+from ..flowchart.program import Flowchart
+from ..staticflow.cfgcertify import control_dependencies
+from .diagnostics import Diagnostic, LintReport
+from .influence import InfluenceAnalysis, influence_analysis
+
+
+class AnalysisContext:
+    """One flowchart + optional policy + memoised shared analyses."""
+
+    def __init__(self, flowchart: Flowchart,
+                 policy: Optional[AllowPolicy] = None) -> None:
+        self.flowchart = flowchart
+        self.policy = policy
+        self._dominators: Optional[Dict[NodeId, FrozenSet[NodeId]]] = None
+        self._postdominators: Optional[Dict[NodeId, FrozenSet[NodeId]]] = None
+        self._control_dependencies = None
+        self._influence: Optional[InfluenceAnalysis] = None
+        self._predecessors = None
+
+    def dominators(self) -> Dict[NodeId, FrozenSet[NodeId]]:
+        if self._dominators is None:
+            self._dominators = dominators(self.flowchart)
+        return self._dominators
+
+    def postdominators(self) -> Dict[NodeId, FrozenSet[NodeId]]:
+        if self._postdominators is None:
+            self._postdominators = postdominators(self.flowchart)
+        return self._postdominators
+
+    def control_dependencies(self):
+        if self._control_dependencies is None:
+            self._control_dependencies = control_dependencies(self.flowchart)
+        return self._control_dependencies
+
+    def influence(self) -> InfluenceAnalysis:
+        if self._influence is None:
+            self._influence = influence_analysis(self.flowchart)
+        return self._influence
+
+    def predecessors(self):
+        if self._predecessors is None:
+            self._predecessors = self.flowchart.predecessors()
+        return self._predecessors
+
+
+class AnalysisPass:
+    """Base class for flowlint passes."""
+
+    #: Unique pass name (shows up in diagnostics and timings).
+    name: str = "pass"
+    #: Skip this pass when the caller provides no policy.
+    requires_policy: bool = False
+
+    def run(self, context: AnalysisContext) -> List[Diagnostic]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class PassManager:
+    """Runs registered passes over a flowchart, aggregating diagnostics."""
+
+    def __init__(self, passes: Optional[Sequence[AnalysisPass]] = None) -> None:
+        self.passes: List[AnalysisPass] = list(passes or [])
+
+    @classmethod
+    def with_default_passes(cls) -> "PassManager":
+        from .passes import default_passes
+
+        return cls(default_passes())
+
+    def register(self, analysis_pass: AnalysisPass) -> "PassManager":
+        if any(existing.name == analysis_pass.name
+               for existing in self.passes):
+            raise ValueError(
+                f"duplicate pass name {analysis_pass.name!r}")
+        self.passes.append(analysis_pass)
+        return self
+
+    def pass_names(self) -> List[str]:
+        return [analysis_pass.name for analysis_pass in self.passes]
+
+    def run(self, flowchart: Flowchart,
+            policy: Optional[AllowPolicy] = None) -> LintReport:
+        context = AnalysisContext(flowchart, policy)
+        diagnostics: List[Diagnostic] = []
+        pass_seconds: Dict[str, float] = {}
+        for analysis_pass in self.passes:
+            if analysis_pass.requires_policy and policy is None:
+                continue
+            started = time.perf_counter()
+            diagnostics.extend(analysis_pass.run(context))
+            pass_seconds[analysis_pass.name] = (
+                time.perf_counter() - started)
+        return LintReport(flowchart.name, diagnostics, pass_seconds,
+                          policy_name=policy.name if policy else None)
+
+
+def lint_flowchart(flowchart: Flowchart,
+                   policy: Optional[AllowPolicy] = None,
+                   manager: Optional[PassManager] = None) -> LintReport:
+    """Lint one flowchart with the default (or a custom) pass set."""
+    if manager is None:
+        manager = PassManager.with_default_passes()
+    return manager.run(flowchart, policy)

@@ -1,0 +1,136 @@
+"""The timing-channel pass: Theorem 3's observable-time caveat, statically.
+
+Theorem 3 proves surveillance sound only when running time is *not*
+observable; Theorem 3′ repairs it by halting before any test on
+disallowed data.  The static symptom of the underlying leak is exactly
+identifiable: a decision whose test carries disallowed influence and
+whose two arms take *different numbers of boxes* to reconverge — then
+the Observability Postulate makes the step count an output and the
+branch a timing channel.
+
+This pass reuses the fastpath compiler's basic-block machinery
+(:func:`~repro.flowchart.fastpath._find_leaders` /
+:func:`~repro.flowchart.fastpath._block_chain` — the same block
+decomposition its fuel accounting is built on) to count each arm's
+static steps from the branch target to the decision's immediate
+postdominator (the reconvergence point, from
+:func:`~repro.flowchart.analysis.postdominators`).  An arm whose walk
+leaves straight-line territory — a nested decision, or a jump back to a
+node that *dominates* the decision (a loop around it, detected with
+:func:`~repro.flowchart.analysis.dominators`) — has no static bound,
+which is reported as its own diagnostic (TIME002): unbounded arms are
+the timing-loop shape of Section 2.
+
+With a policy, only decisions whose test influence exceeds the policy's
+allowed set are flagged; without one, any input-influenced decision is
+(there is then no notion of "allowed", so every input is treated as
+potentially disallowed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from ..flowchart.analysis import immediate_postdominator
+from ..flowchart.boxes import DecisionBox, HaltBox, NodeId
+from ..flowchart.fastpath import _block_chain, _find_leaders
+from ..flowchart.program import Flowchart
+from .diagnostics import Diagnostic, Severity
+from .manager import AnalysisContext, AnalysisPass
+
+
+def arm_steps(flowchart: Flowchart, start: NodeId, join: Optional[NodeId],
+              decision_id: NodeId,
+              dom: Dict[NodeId, FrozenSet[NodeId]],
+              leader_set: Optional[frozenset] = None) -> Optional[int]:
+    """Static box count from ``start`` to ``join`` (or a halt).
+
+    Returns None when the count is not statically bounded: the walk
+    meets a nested decision, revisits a block (a loop inside the arm),
+    or jumps back to a dominator of the decision (a loop around it).
+    ``join`` may be None (arms that halt independently); the walk then
+    counts to the halt box, which still yields comparable step counts.
+    """
+    if leader_set is None:
+        entry = flowchart.boxes[flowchart.start_id].successors()[0]
+        leader_set = frozenset(_find_leaders(flowchart, entry))
+    steps = 0
+    current = start
+    visited = set()
+    while True:
+        if current == join:
+            return steps
+        if current in visited:
+            return None  # loop inside the arm
+        if current in dom[decision_id]:
+            return None  # back above the decision: the arm loops
+        visited.add(current)
+        chain, fallthrough = _block_chain(flowchart, current, leader_set)
+        for node in chain:
+            if node == join:
+                return steps
+            box = flowchart.boxes[node]
+            steps += 1
+            if isinstance(box, HaltBox):
+                return steps
+            if isinstance(box, DecisionBox):
+                return None  # nested branch: not a straight-line arm
+        if fallthrough is None:  # pragma: no cover - chain always ends
+            return None          # at a decision/halt or a fallthrough
+        current = fallthrough
+
+
+class TimingChannelPass(AnalysisPass):
+    """Flags unequal-arm decisions on disallowed data (TIME001/TIME002)."""
+
+    name = "timing"
+
+    def run(self, context: AnalysisContext) -> List[Diagnostic]:
+        flowchart = context.flowchart
+        influence = context.influence()
+        pdom = context.postdominators()
+        dom = context.dominators()
+        entry = flowchart.boxes[flowchart.start_id].successors()[0]
+        leader_set = frozenset(_find_leaders(flowchart, entry))
+
+        diagnostics: List[Diagnostic] = []
+        for decision_id in flowchart.decision_ids():
+            test = influence.test_label(decision_id)
+            if context.policy is not None:
+                disallowed = test - context.policy.allowed
+            else:
+                disallowed = test
+            if not disallowed:
+                continue
+            box = flowchart.boxes[decision_id]
+            assert isinstance(box, DecisionBox)
+            join = immediate_postdominator(flowchart, decision_id, pdom)
+            true_steps = arm_steps(flowchart, box.true_next, join,
+                                   decision_id, dom, leader_set)
+            false_steps = arm_steps(flowchart, box.false_next, join,
+                                    decision_id, dom, leader_set)
+            data = {
+                "test_influence": sorted(test),
+                "disallowed": sorted(disallowed),
+                "true_steps": true_steps,
+                "false_steps": false_steps,
+                "join": join,
+            }
+            if true_steps is None or false_steps is None:
+                diagnostics.append(Diagnostic(
+                    "TIME002", Severity.WARNING, self.name,
+                    f"decision on {box.predicate!r} (influence "
+                    f"{sorted(disallowed)} disallowed) has a statically "
+                    f"unbounded arm; running time may reveal the tested "
+                    f"data (Theorem 3 caveat)",
+                    node=decision_id, data=data))
+            elif true_steps != false_steps:
+                diagnostics.append(Diagnostic(
+                    "TIME001", Severity.WARNING, self.name,
+                    f"decision on {box.predicate!r} (influence "
+                    f"{sorted(disallowed)} disallowed) has arms with "
+                    f"unequal static step counts ({true_steps} vs "
+                    f"{false_steps}); running time reveals the branch "
+                    f"taken (Theorem 3 caveat)",
+                    node=decision_id, data=data))
+        return diagnostics

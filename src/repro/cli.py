@@ -8,6 +8,9 @@ Subcommands:
 - ``sweep``       — soundness sweep of a mechanism family across library
   programs and every allow-policy, optionally across a worker pool;
 - ``certify``     — static certification verdict with the flow analysis;
+- ``lint``        — flowlint: run the static analysis passes (influence
+  verdict, timing channels, hygiene) over one program or the whole
+  library, optionally with the static-vs-dynamic precision harness;
 - ``transform``   — apply a Section 4/5 transform and print the result;
 - ``dot``         — render a flowchart (optionally its surveillance
   instrumentation) as Graphviz DOT;
@@ -287,6 +290,70 @@ def command_sweep(args) -> int:
     return 0 if not failures or args.mechanism == "program" else 1
 
 
+def command_lint(args) -> int:
+    import json
+
+    from .analysis import PassManager, precision_harness
+
+    if args.all:
+        if args.library or args.source or args.file:
+            raise ReproError(
+                "--all lints the whole library; it excludes "
+                "--library/--source/--file")
+        flowcharts = [LIBRARY[name]() for name in sorted(LIBRARY)]
+    else:
+        flowcharts = [_load_flowchart(args)]
+
+    manager = PassManager.with_default_passes()
+    reports = []
+    for flowchart in flowcharts:
+        policy = None
+        if args.policy:
+            try:
+                policy = parse_policy(args.policy, arity=flowchart.arity)
+            except ReproError:
+                if not args.all:
+                    raise
+                # Lint-the-library mode: a policy naming an input this
+                # program lacks simply skips the influence verdict.
+                policy = None
+        reports.append(manager.run(flowchart, policy))
+
+    exit_code = 1 if any(report.has_errors for report in reports) else 0
+
+    precision = None
+    if args.precision:
+        precision = precision_harness(
+            flowcharts,
+            grid=lambda arity: ProductDomain.integer_grid(
+                args.low, args.high, arity))
+        if precision.unsound_pairs():
+            exit_code = 1
+
+    if args.json:
+        payload = {
+            "programs": len(reports),
+            "errors": sum(len(report.errors) for report in reports),
+            "exit_code": exit_code,
+            "reports": [report.to_dict() for report in reports],
+        }
+        if precision is not None:
+            payload["precision"] = precision.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render())
+            print()
+        if precision is not None:
+            print(precision.render())
+            print()
+        total = sum(len(report.diagnostics) for report in reports)
+        errors = sum(len(report.errors) for report in reports)
+        print(f"{len(reports)} program(s) linted: {total} diagnostic(s), "
+              f"{errors} error(s)")
+    return exit_code
+
+
 def command_dot(args) -> int:
     from .flowchart.dot import to_dot
 
@@ -419,6 +486,26 @@ def build_parser() -> argparse.ArgumentParser:
     certify_parser.add_argument("--policy", required=True)
     certify_parser.set_defaults(handler=command_certify)
 
+    lint_parser = commands.add_parser(
+        "lint", help="flowlint: static analysis passes over a program "
+                     "or the whole library")
+    _add_program_arguments(lint_parser)
+    lint_parser.add_argument("--all", action="store_true",
+                             help="lint every built-in library program")
+    lint_parser.add_argument("--policy",
+                             help="allow policy for the influence verdict, "
+                                  'e.g. "allow(2)" (optional)')
+    lint_parser.add_argument("--json", action="store_true",
+                             help="machine-readable report on stdout")
+    lint_parser.add_argument("--precision", action="store_true",
+                             help="append the static-vs-dynamic precision "
+                                  "harness (all allow policies x grid)")
+    lint_parser.add_argument("--low", type=int, default=0,
+                             help="precision grid lower bound")
+    lint_parser.add_argument("--high", type=int, default=2,
+                             help="precision grid upper bound")
+    lint_parser.set_defaults(handler=command_lint)
+
     library_parser = commands.add_parser(
         "library", help="list built-in figure programs")
     library_parser.set_defaults(handler=command_library)
@@ -452,7 +539,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse already printed a usage message (unknown subcommand,
+        # bad --backend choice, --help, ...).  Surface its status as a
+        # return code so programmatic callers get an int, not an
+        # exception unwinding as a traceback.
+        if exc.code is None:
+            return 0
+        if isinstance(exc.code, int):
+            return exc.code
+        print(exc.code, file=sys.stderr)
+        return 2
     try:
         return args.handler(args)
     except ReproError as error:

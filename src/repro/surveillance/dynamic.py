@@ -32,7 +32,7 @@ makes the untimed mechanism demonstrably unsound under observable time
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+from typing import Callable, Dict, Optional, Sequence, Union
 
 from ..core.domains import ProductDomain
 from ..core.errors import ArityMismatchError, FuelExhaustedError
@@ -69,9 +69,13 @@ class SurveillanceRun:
                 f"steps={self.steps}, early={self.halted_early})")
 
 
+Observer = Callable[[str, Dict[str, Label], Label], None]
+
+
 def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
             timed: bool = False, forgetting: bool = True,
-            fuel: int = DEFAULT_FUEL) -> SurveillanceRun:
+            fuel: int = DEFAULT_FUEL,
+            observer: Optional[Observer] = None) -> SurveillanceRun:
     """Run ``flowchart`` under surveillance for ``allow(allowed)``.
 
     Parameters
@@ -86,6 +90,13 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
         True gives the paper's surveillance (assignment replaces the
         label); False gives the high-water-mark mechanism (labels only
         accumulate) for the page-48 comparison.
+    observer:
+        Optional callback invoked as ``observer(node_id, labels,
+        pc_label)`` when control *arrives* at each box, before the box
+        acts — the dynamic counterpart of a static analysis's entry
+        state.  The labels dict is live; observers must not mutate it.
+        Used by the flowlint test suite to check the static influence
+        fixpoint dominates every dynamic label at every visited PC.
     """
     if len(inputs) != flowchart.arity:
         raise ArityMismatchError(
@@ -106,6 +117,8 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
                                      f"surveilled {flowchart.name} exceeded "
                                      f"{fuel} steps on {tuple(inputs)!r}")
         box = flowchart.boxes[current]
+        if observer is not None:
+            observer(current, labels, pc_label)
         steps += 1
         if isinstance(box, HaltBox):
             # Rule 4: the halt check is ȳ ∪ C̄ ⊆ J.  C̄ must participate:

@@ -1,0 +1,75 @@
+"""Unit tests for repro.analysis.diagnostics."""
+
+from repro.analysis import Diagnostic, LintReport, Severity
+
+
+def diag(code="HYG001", severity=Severity.WARNING, node=None):
+    return Diagnostic(code, severity, "test-pass", f"message for {code}",
+                      node=node, data={"k": 1})
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_str_is_lowercase_name(self):
+        assert str(Severity.ERROR) == "error"
+        assert str(Severity.INFO) == "info"
+
+
+class TestDiagnostic:
+    def test_to_dict_round_trips_fields(self):
+        d = diag(node="s3")
+        payload = d.to_dict()
+        assert payload["code"] == "HYG001"
+        assert payload["severity"] == "warning"
+        assert payload["pass"] == "test-pass"
+        assert payload["node"] == "s3"
+        assert payload["data"] == {"k": 1}
+
+    def test_render_includes_node_when_present(self):
+        assert "[s3]" in diag(node="s3").render()
+        assert "[" not in diag(node=None).render()
+
+    def test_data_is_copied(self):
+        source = {"k": 1}
+        d = Diagnostic("X", Severity.INFO, "p", "m", data=source)
+        source["k"] = 2
+        assert d.data == {"k": 1}
+
+
+class TestLintReport:
+    def make(self, diagnostics):
+        return LintReport("prog", diagnostics, {"test-pass": 0.001},
+                          policy_name="allow(1)")
+
+    def test_sorted_most_severe_first(self):
+        report = self.make([diag("HYG001", Severity.WARNING),
+                            diag("FLOW001", Severity.ERROR),
+                            diag("FLOW002", Severity.INFO)])
+        severities = [d.severity for d in report.diagnostics]
+        assert severities == [Severity.ERROR, Severity.WARNING,
+                              Severity.INFO]
+
+    def test_exit_code_follows_errors(self):
+        assert self.make([diag()]).exit_code == 0
+        assert self.make([diag("F", Severity.ERROR)]).exit_code == 1
+        assert self.make([]).exit_code == 0
+
+    def test_counts(self):
+        report = self.make([diag("A", Severity.ERROR),
+                            diag("B", Severity.ERROR),
+                            diag("C", Severity.INFO)])
+        assert report.counts() == {"error": 2, "warning": 0, "info": 1}
+
+    def test_render_mentions_program_policy_and_counts(self):
+        text = self.make([diag()]).render()
+        assert "prog" in text and "allow(1)" in text
+        assert "1 warning(s)" in text
+
+    def test_to_dict_shape(self):
+        payload = self.make([diag()]).to_dict()
+        assert payload["flowchart"] == "prog"
+        assert payload["policy"] == "allow(1)"
+        assert len(payload["diagnostics"]) == 1
+        assert "test-pass" in payload["pass_seconds"]

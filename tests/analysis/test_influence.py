@@ -1,0 +1,125 @@
+"""Unit + property tests for the static influence fixpoint.
+
+The load-bearing property (checked over the whole figure library, every
+concrete input): the static per-PC labels dominate the dynamic labels
+of *every* execution — high-water and forgetting alike, at every box
+the run visits, not only at the halt.  That pointwise domination is the
+whole soundness argument for certifying without executing.
+"""
+
+import pytest
+
+from repro.analysis import influence_analysis, static_verdict
+from repro.core import ProductDomain
+from repro.core.errors import PolicyError
+from repro.core.policy import AllowPolicy
+from repro.flowchart.expr import Const, var
+from repro.flowchart.library import (example8_program, extended_suite,
+                                     forgetting_program,
+                                     reconvergence_program, timing_loop)
+from repro.flowchart.structured import Assign, If, StructuredProgram
+from repro.surveillance.dynamic import surveil
+from repro.verify import all_allow_policies
+
+EMPTY = frozenset()
+
+
+class TestFixpoint:
+    def test_explicit_flow(self):
+        fc = StructuredProgram(["x1", "x2"],
+                               [Assign("y", var("x1") + var("x2"))],
+                               name="sum").compile()
+        analysis = influence_analysis(fc)
+        assert analysis.output_label() == {1, 2}
+
+    def test_implicit_flow_through_decision(self):
+        fc = example8_program()  # if x2 = 1 then y := 1 else y := x1
+        analysis = influence_analysis(fc)
+        # Both arms assign under the x2 test; the else arm reads x1.
+        assert analysis.output_label() == {1, 2}
+
+    def test_pc_label_is_monotone_no_forgetting(self):
+        # y := 1 after the branch reconverges: the dynamic *forgetting*
+        # mechanism still carries C̄ = {1}; so must the static PC.
+        fc = reconvergence_program()
+        analysis = influence_analysis(fc)
+        assert analysis.output_label() == {1}
+
+    def test_iterations_terminate_on_loops(self):
+        analysis = influence_analysis(timing_loop())
+        assert analysis.iterations >= 1
+        assert analysis.output_label()  # the loop leaks its bound
+
+    def test_verdict_certified_and_rejected(self):
+        fc = forgetting_program()
+        assert static_verdict(fc, AllowPolicy([1, 2], 2)).certified
+        verdict = static_verdict(fc, AllowPolicy([2], 2))
+        assert not verdict.certified
+        assert 1 in verdict.excess
+
+    def test_verdict_arity_mismatch(self):
+        with pytest.raises(PolicyError):
+            static_verdict(forgetting_program(), AllowPolicy([1], 3))
+
+    def test_verdict_requires_allow_policy(self):
+        analysis = influence_analysis(forgetting_program())
+        with pytest.raises(PolicyError):
+            analysis.verdict("allow(1)")
+
+    def test_test_label_reads_entry_state(self):
+        fc = StructuredProgram(
+            ["x1", "x2"],
+            [Assign("t", var("x1")),
+             If(var("t").eq(0), [Assign("y", Const(1))],
+                [Assign("y", Const(2))])],
+            name="copied-test").compile()
+        analysis = influence_analysis(fc)
+        (decision_id,) = fc.decision_ids()
+        assert analysis.test_label(decision_id) == {1}
+
+
+def _grid(arity):
+    return ProductDomain.integer_grid(0, 2, arity)
+
+
+class TestStaticDominatesDynamic:
+    """Satellite property: static labels ⊇ dynamic labels, per PC."""
+
+    @pytest.mark.parametrize(
+        "flowchart", extended_suite(), ids=lambda fc: fc.name)
+    @pytest.mark.parametrize("forgetting", [True, False],
+                             ids=["forgetting", "highwater"])
+    def test_every_run_every_box(self, flowchart, forgetting):
+        analysis = influence_analysis(flowchart)
+        allowed = frozenset(range(1, flowchart.arity + 1))
+
+        failures = []
+
+        for point in _grid(flowchart.arity):
+            def observer(node, labels, pc_label, point=point):
+                static_pc = analysis.pc_influence.get(node, EMPTY)
+                if not pc_label <= static_pc:
+                    failures.append((point, node, "pc", pc_label,
+                                     static_pc))
+                state = analysis.var_influence.get(node, {})
+                for name, label in labels.items():
+                    if not label <= state.get(name, EMPTY):
+                        failures.append((point, node, name, label,
+                                         state.get(name, EMPTY)))
+
+            surveil(flowchart, point, allowed, forgetting=forgetting,
+                    observer=observer)
+
+        assert not failures, failures[:5]
+
+    @pytest.mark.parametrize(
+        "flowchart", extended_suite(), ids=lambda fc: fc.name)
+    def test_certified_implies_surveillance_never_trips(self, flowchart):
+        analysis = influence_analysis(flowchart)
+        for policy in all_allow_policies(flowchart.arity):
+            if not analysis.verdict(policy).certified:
+                continue
+            for point in _grid(flowchart.arity):
+                run = surveil(flowchart, point, policy.allowed)
+                assert not run.violated, (flowchart.name, policy.name,
+                                          point)

@@ -1,0 +1,216 @@
+"""Unit tests for the flowlint passes and the pass manager."""
+
+import pytest
+
+from repro.analysis import (AnalysisPass, PassManager, Severity,
+                            lint_flowchart)
+from repro.analysis.timing import arm_steps
+from repro.core.policy import AllowPolicy
+from repro.flowchart.analysis import dominators
+from repro.flowchart.boxes import (AssignBox, DecisionBox, HaltBox,
+                                   StartBox)
+from repro.flowchart.expr import Compare, Const, var
+from repro.flowchart.library import (extended_suite, forgetting_program,
+                                     timing_loop)
+from repro.flowchart.program import Flowchart
+from repro.flowchart.structured import Assign, If, StructuredProgram, While
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestInfluencePass:
+    def test_rejection_is_error(self):
+        report = lint_flowchart(forgetting_program(), AllowPolicy([2], 2))
+        assert "FLOW001" in codes(report)
+        assert report.has_errors and report.exit_code == 1
+
+    def test_certification_is_info(self):
+        report = lint_flowchart(forgetting_program(),
+                                AllowPolicy([1, 2], 2))
+        assert "FLOW002" in codes(report)
+        assert not report.has_errors
+
+    def test_skipped_without_policy(self):
+        report = lint_flowchart(forgetting_program())
+        assert "FLOW001" not in codes(report)
+        assert "FLOW002" not in codes(report)
+        assert "influence" not in report.pass_seconds
+
+
+class TestTimingChannelPass:
+    def test_unequal_arms_flagged(self):
+        fc = StructuredProgram(
+            ["x1"],
+            [If(var("x1").eq(0),
+                [Assign("y", Const(1))],
+                [Assign("t", Const(0)), Assign("y", Const(2))])],
+            name="unequal-arms").compile()
+        report = lint_flowchart(fc)
+        assert "TIME001" in codes(report)
+
+    def test_equal_arms_clean(self):
+        fc = StructuredProgram(
+            ["x1"],
+            [If(var("x1").eq(0), [Assign("y", Const(1))],
+                [Assign("y", Const(2))])],
+            name="equal-arms").compile()
+        report = lint_flowchart(fc)
+        assert "TIME001" not in codes(report)
+        assert "TIME002" not in codes(report)
+
+    def test_loop_arm_is_unbounded(self):
+        report = lint_flowchart(timing_loop())
+        assert "TIME002" in codes(report)
+
+    def test_policy_silences_allowed_tests(self):
+        fc = StructuredProgram(
+            ["x1"],
+            [If(var("x1").eq(0),
+                [Assign("y", Const(1))],
+                [Assign("t", Const(0)), Assign("y", Const(2))])],
+            name="allowed-test").compile()
+        report = lint_flowchart(fc, AllowPolicy([1], 1))
+        assert "TIME001" not in codes(report)
+        report = lint_flowchart(fc, AllowPolicy([], 1))
+        assert "TIME001" in codes(report)
+
+    def test_arm_steps_straight_line(self):
+        fc = StructuredProgram(
+            ["x1"],
+            [If(var("x1").eq(0),
+                [Assign("y", Const(1))],
+                [Assign("t", Const(0)), Assign("y", Const(2))])],
+            name="arm-count").compile()
+        (decision_id,) = fc.decision_ids()
+        box = fc.boxes[decision_id]
+        dom = dominators(fc)
+        from repro.flowchart.analysis import (immediate_postdominator,
+                                              postdominators)
+        join = immediate_postdominator(fc, decision_id, postdominators(fc))
+        true_steps = arm_steps(fc, box.true_next, join, decision_id, dom)
+        false_steps = arm_steps(fc, box.false_next, join, decision_id, dom)
+        assert {true_steps, false_steps} == {1, 2}
+
+
+class TestUninitializedReadPass:
+    def test_flags_maybe_unassigned_read(self):
+        # r is assigned only on the true arm, then read unconditionally.
+        fc = StructuredProgram(
+            ["x1"],
+            [If(var("x1").eq(0), [Assign("r", Const(1))], []),
+             Assign("y", var("r"))],
+            name="maybe-uninit").compile()
+        report = lint_flowchart(fc)
+        hits = [d for d in report.diagnostics if d.code == "HYG001"]
+        assert hits and hits[0].data["variable"] == "r"
+
+    def test_clean_when_assigned_on_all_paths(self):
+        fc = StructuredProgram(
+            ["x1"],
+            [If(var("x1").eq(0), [Assign("r", Const(1))],
+                [Assign("r", Const(2))]),
+             Assign("y", var("r"))],
+            name="both-arms").compile()
+        assert "HYG001" not in codes(lint_flowchart(fc))
+
+    def test_unassigned_output_flagged(self):
+        fc = StructuredProgram(["x1"], [Assign("t", var("x1"))],
+                               name="no-output").compile()
+        report = lint_flowchart(fc)
+        hits = [d for d in report.diagnostics if d.code == "HYG001"]
+        assert any(d.data["variable"] == "y" for d in hits)
+
+
+class TestUnreachableCodePass:
+    def make_constant_branch(self):
+        # Hand-built: decision on a constant, with the false arm dead.
+        boxes = {
+            "s0": StartBox("d"),
+            "d": DecisionBox(Compare("==", Const(0), Const(0)), "a", "b"),
+            "a": AssignBox("y", Const(1), "h"),
+            "b": AssignBox("y", Const(2), "h"),
+            "h": HaltBox(),
+        }
+        return Flowchart(boxes, ["x1"], "y", name="const-branch")
+
+    def test_constant_predicate_and_dead_arm(self):
+        report = lint_flowchart(self.make_constant_branch())
+        assert "HYG003" in codes(report)
+        hits = [d for d in report.diagnostics if d.code == "HYG002"]
+        assert [d.node for d in hits] == ["b"]
+
+    def test_clean_program_has_no_unreachable(self):
+        assert "HYG002" not in codes(lint_flowchart(forgetting_program()))
+
+
+class TestDeadAssignmentPass:
+    def test_overwritten_value_flagged(self):
+        fc = StructuredProgram(
+            ["x1"],
+            [Assign("y", var("x1")), Assign("y", Const(0))],
+            name="clobber").compile()
+        hits = [d for d in lint_flowchart(fc).diagnostics
+                if d.code == "HYG004"]
+        assert len(hits) == 1
+
+    def test_live_through_loop_not_flagged(self):
+        fc = StructuredProgram(
+            ["x1"],
+            [Assign("n", var("x1")), Assign("y", Const(0)),
+             While(var("n").gt(0),
+                   [Assign("y", var("y") + Const(1)),
+                    Assign("n", var("n") - Const(1))])],
+            name="live-loop").compile()
+        assert "HYG004" not in codes(lint_flowchart(fc))
+
+
+class TestDivisionByZeroPass:
+    def test_constant_zero_divisor(self):
+        fc = StructuredProgram(
+            ["x1"], [Assign("y", var("x1") // Const(0))],
+            name="div0").compile()
+        report = lint_flowchart(fc)
+        hits = [d for d in report.diagnostics if d.code == "HYG005"]
+        assert hits and hits[0].data["operator"] == "//"
+
+    def test_folded_zero_divisor(self):
+        fc = StructuredProgram(
+            ["x1"], [Assign("y", var("x1") % (Const(1) - Const(1)))],
+            name="mod-folded").compile()
+        assert "HYG005" in codes(lint_flowchart(fc))
+
+    def test_variable_divisor_not_flagged(self):
+        fc = StructuredProgram(
+            ["x1", "x2"], [Assign("y", var("x1") // var("x2"))],
+            name="div-var").compile()
+        assert "HYG005" not in codes(lint_flowchart(fc))
+
+
+class TestPassManager:
+    def test_duplicate_name_rejected(self):
+        manager = PassManager.with_default_passes()
+        class Dup(AnalysisPass):
+            name = "influence"
+        with pytest.raises(ValueError):
+            manager.register(Dup())
+
+    def test_custom_pass_runs(self):
+        class Always(AnalysisPass):
+            name = "always"
+            def run(self, context):
+                from repro.analysis import Diagnostic
+                return [Diagnostic("X001", Severity.INFO, self.name,
+                                   "hello")]
+        report = PassManager([Always()]).run(forgetting_program())
+        assert codes(report) == ["X001"]
+        assert "always" in report.pass_seconds
+
+    def test_library_is_clean_at_error_severity(self):
+        # The reproduction's own figure programs must lint clean: no
+        # error-severity diagnostics without a policy.
+        for flowchart in extended_suite():
+            report = lint_flowchart(flowchart)
+            assert not report.has_errors, (flowchart.name,
+                                           codes(report))

@@ -1,0 +1,118 @@
+"""Tests for the static-vs-dynamic precision harness.
+
+The acceptance criterion of the whole subsystem lives here: over the
+full figure library × every allow policy, the static verdicts must
+NEVER accept a pair the exhaustive semantic soundness check rejects,
+and the harness must report the completeness ladder for every program.
+"""
+
+import pytest
+
+from repro.analysis import (PairPrecision, pair_precision,
+                            precision_harness)
+from repro.core import ProductDomain
+from repro.core.policy import AllowPolicy
+from repro.flowchart.library import (extended_suite, forgetting_program,
+                                     reconvergence_program)
+
+# One harness run shared by the module: ~60 pairs, well under a second.
+REPORT = precision_harness()
+SUITE_NAMES = {fc.name for fc in extended_suite()}
+
+
+class TestSoundness:
+    def test_no_unsound_static_accepts(self):
+        assert REPORT.unsound_pairs() == []
+
+    def test_every_pair_respects_the_ladder(self):
+        # static ≤ highwater ≤ dynamic ≤ maximal, pointwise per pair —
+        # and a certified influence verdict implies a certified CFG one
+        # (the CFG certifier is strictly the sharper static analysis).
+        for pair in REPORT.pairs:
+            assert pair.static_accepts <= pair.highwater_accepts
+            assert pair.highwater_accepts <= pair.dynamic_accepts
+            assert pair.dynamic_accepts <= pair.maximal_accepts
+            if pair.static_certified:
+                assert pair.cfg_certified
+
+    def test_exhaustive_sound_iff_maximal_accepts_all(self):
+        for pair in REPORT.pairs:
+            assert pair.exhaustive_sound == (
+                pair.maximal_accepts == pair.domain_size)
+
+
+class TestCoverage:
+    def test_every_library_program_reported(self):
+        assert {pair.program_name for pair in REPORT.pairs} == SUITE_NAMES
+        assert set(REPORT.per_program()) == SUITE_NAMES
+
+    def test_every_allow_policy_per_program(self):
+        by_program = {}
+        for pair in REPORT.pairs:
+            by_program.setdefault(pair.program_name, set()).add(
+                pair.policy_name)
+        for flowchart in extended_suite():
+            assert len(by_program[flowchart.name]) == \
+                2 ** flowchart.arity
+
+    def test_gap_fields_present_for_every_pair(self):
+        payload = REPORT.to_dict()
+        assert len(payload["pairs"]) == len(REPORT.pairs)
+        for row in payload["pairs"]:
+            assert "static_gap" in row and "dynamic_gap" in row
+            assert row["static_gap"] >= 0
+
+
+class TestKnownGaps:
+    """Pin the paper's own counterexamples as harness rows."""
+
+    def grid(self, arity):
+        return ProductDomain.integer_grid(0, 2, arity)
+
+    def test_reconvergence_page_49(self):
+        # Q is constantly 1: exhaustively sound for allow(2), maximal
+        # accepts everything, yet dynamic surveillance and the
+        # influence verdict both reject — the page-49 phenomenon.
+        fc = reconvergence_program()
+        pair = pair_precision(fc, AllowPolicy([2], 2), self.grid(2))
+        assert pair.exhaustive_sound
+        assert pair.maximal_accepts == pair.domain_size
+        assert pair.dynamic_accepts == 0
+        assert not pair.static_certified
+        assert pair.static_gap == pair.domain_size
+
+    def test_forgetting_page_48(self):
+        # Forgetting lets surveillance accept runs the high-water
+        # mechanism rejects: dynamic > highwater on allow(2).
+        fc = forgetting_program()
+        pair = pair_precision(fc, AllowPolicy([2], 2), self.grid(2))
+        assert pair.dynamic_accepts > pair.highwater_accepts == 0
+        assert not pair.static_certified
+
+    def test_full_policy_always_certified(self):
+        for flowchart in extended_suite():
+            policy = AllowPolicy(list(range(1, flowchart.arity + 1)),
+                                 flowchart.arity)
+            pair = pair_precision(flowchart, policy,
+                                  self.grid(flowchart.arity))
+            assert pair.static_certified, flowchart.name
+            assert pair.static_accepts == pair.domain_size
+
+
+class TestReportShape:
+    def test_totals_and_render(self):
+        totals = REPORT.totals()
+        assert totals["pairs"] == len(REPORT.pairs)
+        assert totals["unsound_static_accepts"] == 0
+        text = REPORT.render()
+        assert "unsound static accepts: 0" in text
+        assert "forgetting" in text
+
+    def test_false_positive_counts_are_gaps_not_bugs(self):
+        fp = REPORT.false_positives()
+        # The monotone influence pass is coarser than the CFG certifier.
+        assert fp["influence"] >= fp["cfg"] >= 0
+
+    def test_pair_repr_smoke(self):
+        assert "PairPrecision" in repr(REPORT.pairs[0])
+        assert "PrecisionReport" in repr(REPORT)

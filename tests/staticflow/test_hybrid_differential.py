@@ -1,0 +1,51 @@
+"""Differential test: dead-surveillance elimination vs full surveillance.
+
+Satellite of the flowlint PR: across the whole figure library, every
+allow policy and every grid input, the optimised instrumentation of
+:func:`repro.staticflow.hybrid.eliminate_dead_surveillance` must agree
+with the unoptimised :func:`repro.surveillance.instrument.instrument`
+— same output value, same violation verdict — and both must agree with
+the interpreter-level surveillance, end-to-end.
+"""
+
+import pytest
+
+from repro.core import ProductDomain
+from repro.flowchart.fastpath import run_flowchart
+from repro.flowchart.library import extended_suite
+from repro.staticflow import eliminate_dead_surveillance
+from repro.surveillance.dynamic import surveil
+from repro.surveillance.instrument import VIOLATION_FLAG, instrument
+from repro.verify import all_allow_policies
+
+FUEL = 200_000
+
+
+def verdict(flowchart, inputs):
+    """(violated, value) of an instrumented flowchart run."""
+    result = run_flowchart(flowchart, inputs, fuel=FUEL, capture_env=True)
+    violated = result.env.get(VIOLATION_FLAG, 0) == 1
+    return violated, (None if violated else result.value)
+
+
+@pytest.mark.parametrize("flowchart", extended_suite(),
+                         ids=lambda fc: fc.name)
+def test_optimised_agrees_with_full_surveillance(flowchart):
+    grid = ProductDomain.integer_grid(0, 2, flowchart.arity)
+    for policy in all_allow_policies(flowchart.arity):
+        full = instrument(flowchart, policy)
+        optimised = eliminate_dead_surveillance(flowchart, policy)
+        # The optimisation must actually be one: never more boxes.
+        assert len(optimised.boxes) <= len(full.boxes)
+        for point in grid:
+            expected = verdict(full, point)
+            observed = verdict(optimised, point)
+            assert observed == expected, (
+                flowchart.name, policy.name, point)
+
+            # And both match the interpreter-level mechanism.
+            run = surveil(flowchart, point, policy.allowed, fuel=FUEL)
+            assert expected[0] == run.violated, (
+                flowchart.name, policy.name, point)
+            if not run.violated:
+                assert expected[1] == run.outcome

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import LIBRARY, main
@@ -160,6 +162,98 @@ class TestExperiments:
         out = capsys.readouterr().out
         assert "E01" in out and "E25" in out
         assert "Theorem 3" in out
+
+
+class TestLint:
+    def test_clean_program_exits_zero(self, capsys):
+        code = main(["lint", "--library", "forgetting",
+                     "--policy", "allow(1, 2)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FLOW002" in out and "statically certified" in out
+
+    def test_rejected_policy_exits_one(self, capsys):
+        code = main(["lint", "--library", "forgetting",
+                     "--policy", "allow(2)"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "error: FLOW001" in out
+        assert "1 error(s)" in out
+
+    def test_without_policy_hygiene_only(self, capsys):
+        code = main(["lint", "--library", "timing-loop"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "TIME002" in out  # the eponymous timing channel
+        assert "FLOW" not in out
+
+    def test_json_report_shape(self, capsys):
+        code = main(["lint", "--library", "forgetting",
+                     "--policy", "allow(2)", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["exit_code"] == 1
+        assert payload["errors"] == 1
+        (report,) = payload["reports"]
+        assert report["flowchart"] == "forgetting"
+        assert report["policy"] == "allow(2)"
+        assert any(d["code"] == "FLOW001"
+                   for d in report["diagnostics"])
+        assert "influence" in report["pass_seconds"]
+
+    def test_all_lints_whole_library(self, capsys):
+        code = main(["lint", "--all", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["programs"] == len(LIBRARY)
+        names = {report["flowchart"] for report in payload["reports"]}
+        assert len(names) == len(LIBRARY)
+
+    def test_all_excludes_program_selectors(self, capsys):
+        code = main(["lint", "--all", "--library", "mixer"])
+        assert code == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_precision_json_reports_gap_per_program(self, capsys):
+        code = main(["lint", "--all", "--precision", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        precision = payload["precision"]
+        assert precision["totals"]["unsound_static_accepts"] == 0
+        # The completeness gap is reported for every library program.
+        assert set(precision["per_program"]) == {
+            LIBRARY[name]().name for name in LIBRARY}
+        for row in precision["pairs"]:
+            assert "static_gap" in row and "dynamic_gap" in row
+
+    def test_inline_source(self, capsys):
+        code = main(["lint", "--source",
+                     "program p(x1) { y := x1 // 0 }"])
+        out = capsys.readouterr().out
+        assert code == 0  # warnings do not fail the lint
+        assert "HYG005" in out
+
+
+class TestArgparseFailures:
+    """Bad invocations return codes, not tracebacks (SystemExit)."""
+
+    def test_unknown_subcommand(self, capsys):
+        code = main(["frobnicate"])
+        assert code == 2
+        assert "invalid choice: 'frobnicate'" in capsys.readouterr().err
+
+    def test_unknown_backend(self, capsys):
+        code = main(["run", "--library", "mixer", "--backend", "bogus",
+                     "1", "2"])
+        assert code == 2
+        assert "invalid choice: 'bogus'" in capsys.readouterr().err
+
+    def test_no_subcommand(self, capsys):
+        assert main([]) == 2
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "lint" in capsys.readouterr().out
 
 
 class TestCertifyFlowchart:

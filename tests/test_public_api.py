@@ -80,6 +80,12 @@ EXPECTED = {
         "soundness_sweep", "all_allow_policies", "sampled_soundness",
         "Table",
     ],
+    "repro.analysis": [
+        "Severity", "Diagnostic", "LintReport", "AnalysisPass",
+        "PassManager", "lint_flowchart", "influence_analysis",
+        "static_verdict", "default_passes", "TimingChannelPass",
+        "pair_precision", "precision_harness", "PrecisionReport",
+    ],
 }
 
 
