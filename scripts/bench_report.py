@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Regenerate ``BENCH_PR1.json`` — the PR's machine-readable benchmark.
+"""Regenerate ``BENCH_PR3.json`` — the PR's machine-readable benchmark.
 
-Four sections:
+Five sections:
 
 ``micro_sweep_kernel``
     The sweep's inner kernel (full-domain flowchart evaluation, same
@@ -22,6 +22,13 @@ Four sections:
 ``per_program``
     Interpreted-vs-compiled full-grid timing for every flowchart in the
     figure library.
+
+``telemetry``
+    The cost of the observability layer (``repro.obs``) on the micro
+    kernel: the guarded no-op hooks with observability *off* (the
+    default, compared against the ``BENCH_PR1.json`` pre-instrumentation
+    baseline — claimed < 3%), and the measured overhead with metrics
+    and tracing *on*.
 
 The compiled backend's result memo is cleared before every timed rep,
 so caching never masquerades as execution speed.  ``--smoke`` shrinks
@@ -264,12 +271,76 @@ def bench_per_program(repeats: int, smoke: bool) -> dict:
     return report
 
 
+# ---------------------------------------------------------------------------
+# Section 5: observability overhead on the micro kernel
+# ---------------------------------------------------------------------------
+
+def bench_telemetry(repeats: int) -> dict:
+    import json
+
+    from repro import obs
+
+    grid = ProductDomain.integer_grid(1, 24, 2)
+    flowchart = library.gcd_program()
+
+    def kernel():
+        total = 0
+        for point in grid:
+            total += run_flowchart(flowchart, point,
+                                   backend="compiled").steps
+        return total
+
+    obs.disable()
+    hooks_off = time_callable(kernel, repeats=repeats, setup=fresh_caches)
+
+    obs.enable(metrics=True, reset=True)
+    try:
+        metrics_on = time_callable(kernel, repeats=repeats,
+                                   setup=fresh_caches)
+    finally:
+        obs.disable()
+
+    ring = obs.RingBufferSink(capacity=4096)
+    obs.enable(metrics=True, sinks=[ring], reset=True)
+    try:
+        traced = time_callable(kernel, repeats=repeats, setup=fresh_caches)
+    finally:
+        obs.disable()
+
+    section = {
+        "flowchart": flowchart.name,
+        "points": len(grid),
+        "hooks_off_s": hooks_off,
+        "metrics_on_s": metrics_on,
+        "traced_s": traced,
+        "metrics_overhead_pct": round(
+            (metrics_on["best"] / hooks_off["best"] - 1.0) * 100, 2),
+        "traced_overhead_pct": round(
+            (traced["best"] / hooks_off["best"] - 1.0) * 100, 2),
+    }
+
+    # The headline claim: the *disabled* hooks (one module-global truth
+    # test per run) must stay within 3% of the pre-instrumentation
+    # kernel recorded in BENCH_PR1.json on this machine.
+    baseline_path = REPO_ROOT / "BENCH_PR1.json"
+    if baseline_path.exists():
+        with open(baseline_path) as handle:
+            pr1 = json.load(handle)
+        baseline_best = pr1["micro_sweep_kernel"]["compiled_s"]["best"]
+        overhead_pct = round(
+            (hooks_off["best"] / baseline_best - 1.0) * 100, 2)
+        section["pr1_compiled_best_s"] = baseline_best
+        section["noop_overhead_vs_pr1_pct"] = overhead_pct
+        section["noop_overhead_under_3pct"] = overhead_pct < 3.0
+    return section
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: fewer reps, smaller program set")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR1.json"),
-                        help="output path (default: repo-root BENCH_PR1.json)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR3.json"),
+                        help="output path (default: repo-root BENCH_PR3.json)")
     args = parser.parse_args(argv)
 
     repeats = 2 if args.smoke else 5
@@ -279,10 +350,24 @@ def main(argv=None) -> int:
     sweep = bench_soundness_sweep(repeats, args.smoke)
     flowlint = bench_flowlint(repeats, args.smoke)
     per_program = bench_per_program(max(1, repeats - 1), args.smoke)
+    # The telemetry claim compares best-of-N against a number recorded
+    # in a different process run; a couple of smoke reps is too noisy
+    # for a <3% assertion, so this section always gets enough reps.
+    telemetry = bench_telemetry(max(repeats, 8))
+
+    claims = {
+        "micro_speedup_at_least_3x": micro["speedup"] >= 3.0,
+        "sweep_faster_than_seed": all(
+            section["speedup_vs_seed"]["single_pass_compiled"] > 1.0
+            for section in sweep["factories"].values()),
+    }
+    if "noop_overhead_under_3pct" in telemetry:
+        claims["telemetry_noop_overhead_under_3pct"] = (
+            telemetry["noop_overhead_under_3pct"])
 
     payload = {
         "meta": {
-            "benchmark": "PR1 compiled flowchart engine",
+            "benchmark": "PR3 sweep telemetry + fault-tolerant pools",
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
@@ -293,12 +378,8 @@ def main(argv=None) -> int:
         "soundness_sweep": sweep,
         "flowlint": flowlint,
         "per_program": per_program,
-        "claims": {
-            "micro_speedup_at_least_3x": micro["speedup"] >= 3.0,
-            "sweep_faster_than_seed": all(
-                section["speedup_vs_seed"]["single_pass_compiled"] > 1.0
-                for section in sweep["factories"].values()),
-        },
+        "telemetry": telemetry,
+        "claims": claims,
     }
     path = write_json(payload, args.out)
 
@@ -312,6 +393,15 @@ def main(argv=None) -> int:
           f"{flowlint['lint_all_policies_s']['best']:.3f}s "
           f"({flowlint['lint_ms_per_pair']}ms/pair); precision harness "
           f"{flowlint['precision_harness_s']['best']:.3f}s")
+    print(f"  telemetry: metrics-on overhead "
+          f"{telemetry['metrics_overhead_pct']}%, traced "
+          f"{telemetry['traced_overhead_pct']}%"
+          + (f", no-op hooks vs PR1 baseline "
+             f"{telemetry['noop_overhead_vs_pr1_pct']}%"
+             if "noop_overhead_vs_pr1_pct" in telemetry else ""))
+    if telemetry.get("noop_overhead_under_3pct") is False:
+        print("WARNING: disabled-hook overhead above the claimed 3% "
+              "of the PR1 baseline (noisy machine?)", file=sys.stderr)
     if not payload["claims"]["micro_speedup_at_least_3x"] and not args.smoke:
         print("WARNING: micro kernel speedup below the claimed 3x",
               file=sys.stderr)

@@ -22,6 +22,7 @@ from ..core.policy import AllowPolicy
 from ..flowchart.analysis import dominators, postdominators
 from ..flowchart.boxes import NodeId
 from ..flowchart.program import Flowchart
+from ..obs import runtime as _obs
 from ..staticflow.cfgcertify import control_dependencies
 from .diagnostics import Diagnostic, LintReport
 from .influence import InfluenceAnalysis, influence_analysis
@@ -113,9 +114,20 @@ class PassManager:
             if analysis_pass.requires_policy and policy is None:
                 continue
             started = time.perf_counter()
-            diagnostics.extend(analysis_pass.run(context))
-            pass_seconds[analysis_pass.name] = (
-                time.perf_counter() - started)
+            found = analysis_pass.run(context)
+            elapsed = time.perf_counter() - started
+            diagnostics.extend(found)
+            pass_seconds[analysis_pass.name] = elapsed
+            if _obs.active:
+                _obs.inc("lint.passes")
+                _obs.inc("lint.diagnostics", len(found))
+                _obs.observe("lint.pass_seconds", elapsed)
+                _obs.emit("lint_pass", program=flowchart.name,
+                          **{"pass": analysis_pass.name},
+                          seconds=round(elapsed, 6),
+                          diagnostics=len(found))
+        if _obs.active:
+            _obs.inc("lint.runs")
         return LintReport(flowchart.name, diagnostics, pass_seconds,
                           policy_name=policy.name if policy else None)
 

@@ -15,7 +15,10 @@ Subcommands:
 - ``dot``         — render a flowchart (optionally its surveillance
   instrumentation) as Graphviz DOT;
 - ``library``     — list the paper's built-in figure programs;
-- ``experiments`` — list the experiment index E01–E27.
+- ``experiments`` — list the experiment index E01–E27;
+- ``metrics``     — observability utilities: print the live metrics
+  registry, render a ``--metrics-json`` file, validate a JSONL trace,
+  or dump the trace-event schema (see ``docs/OBSERVABILITY.md``).
 
 Programs come from a file / literal source in the concrete syntax
 (see :mod:`repro.flowchart.parser`) or from the figure library::
@@ -28,6 +31,7 @@ Programs come from a file / literal source in the concrete syntax
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -240,12 +244,13 @@ def command_transform(args) -> int:
 
 
 def command_sweep(args) -> int:
+    import json
     import os as _os
     import time as _time
 
-    from .flowchart.fastpath import BACKEND_ENV
-    from .verify import (EXECUTORS, parallel_soundness_sweep,
-                         unsound_results)
+    from . import obs
+    from .flowchart.fastpath import BACKEND_ENV, export_memo_stats
+    from .verify import parallel_soundness_sweep, unsound_results
 
     if args.programs:
         names = [name.strip() for name in args.programs.split(",")]
@@ -259,6 +264,23 @@ def command_sweep(args) -> int:
             f"unknown library program {error.args[0]!r}; "
             f"known: {known}") from None
 
+    progress = None
+    if args.progress:
+        def progress(completed, total, result):
+            print(f"  [{completed}/{total}] {result.program_name} x "
+                  f"{result.policy_name}: sound={result.sound} "
+                  f"accepts={result.accepts}/{result.domain_size}",
+                  file=sys.stderr, flush=True)
+
+    trace_sink = None
+    sinks = []
+    if args.trace:
+        trace_sink = obs.JsonlSink(args.trace)
+        sinks.append(trace_sink)
+    observing = bool(args.metrics_json or sinks)
+    if observing:
+        obs.enable(metrics=True, sinks=sinks, reset=True)
+
     saved_backend = _os.environ.get(BACKEND_ENV)
     if args.backend:
         _os.environ[BACKEND_ENV] = args.backend
@@ -268,7 +290,12 @@ def command_sweep(args) -> int:
             flowcharts, args.mechanism,
             grid=lambda arity: ProductDomain.integer_grid(
                 args.low, args.high, arity),
-            executor=args.executor, max_workers=args.jobs)
+            fuel=args.fuel,
+            executor=args.executor, max_workers=args.jobs,
+            chunk_size=args.chunk_size,
+            chunk_timeout=args.chunk_timeout,
+            max_chunk_retries=args.retries,
+            progress=progress)
         elapsed = _time.perf_counter() - started
     finally:
         if args.backend:
@@ -276,6 +303,12 @@ def command_sweep(args) -> int:
                 _os.environ.pop(BACKEND_ENV, None)
             else:
                 _os.environ[BACKEND_ENV] = saved_backend
+        if observing:
+            export_memo_stats()
+            snapshot = obs.snapshot()
+            obs.disable()
+            if trace_sink is not None:
+                trace_sink.close()
 
     table = Table(f"soundness sweep ({args.mechanism} mechanisms)",
                   ["program", "policy", "sound", "accepts"])
@@ -287,7 +320,83 @@ def command_sweep(args) -> int:
     failures = unsound_results(results)
     print(f"{len(results)} (program, policy) pairs in {elapsed:.2f}s "
           f"[executor={args.executor}]; unsound: {len(failures)}")
+
+    if args.metrics_json:
+        payload = {
+            "meta": {
+                "command": "sweep",
+                "mechanism": args.mechanism,
+                "executor": args.executor,
+                "fuel": args.fuel,
+                "programs": names,
+                "pairs": len(results),
+                "unsound": len(failures),
+                "elapsed_s": round(elapsed, 6),
+            },
+        }
+        payload.update(snapshot)
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return 0 if not failures or args.mechanism == "program" else 1
+
+
+def command_metrics(args) -> int:
+    import json
+
+    from . import obs
+    from .flowchart.fastpath import export_memo_stats
+
+    if args.schema:
+        print(json.dumps(obs.EVENT_SCHEMA, indent=2, sort_keys=True))
+        return 0
+    if args.validate:
+        with open(args.validate, encoding="utf-8") as handle:
+            count, problems = obs.validate_jsonl(handle)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{args.validate}: {count} event(s), "
+              f"{len(problems)} problem(s)")
+        return 0 if not problems else 1
+
+    if args.from_json:
+        with open(args.from_json, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        meta = snapshot.get("meta")
+        if meta:
+            for key in sorted(meta):
+                print(f"{key}: {meta[key]}")
+            print()
+    else:
+        # Live snapshot of this process's registry (mostly interesting
+        # from the REPL or after an in-process sweep).
+        export_memo_stats()
+        snapshot = obs.snapshot()
+
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        table = Table("counters", ["name", "value"])
+        for name in sorted(counters):
+            table.add_row(name, str(counters[name]))
+        print(table.render())
+    if gauges:
+        table = Table("gauges", ["name", "value"])
+        for name in sorted(gauges):
+            table.add_row(name, str(gauges[name]))
+        print(table.render())
+    if histograms:
+        table = Table("histograms", ["name", "count", "sum", "min", "max"])
+        for name in sorted(histograms):
+            hist = histograms[name]
+            table.add_row(name, str(hist.get("count")),
+                          str(hist.get("sum")), str(hist.get("min")),
+                          str(hist.get("max")))
+        print(table.render())
+    if not (counters or gauges or histograms):
+        print("no metrics recorded")
+    return 0
 
 
 def command_lint(args) -> int:
@@ -473,8 +582,40 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker count (default: cpu count)")
     sweep_parser.add_argument("--low", type=int, default=0)
     sweep_parser.add_argument("--high", type=int, default=2)
+    sweep_parser.add_argument("--fuel", type=int, default=100_000,
+                              help="step budget per mechanism run; "
+                                   "exhausted runs record the "
+                                   "distinguished fuel notice")
+    sweep_parser.add_argument("--chunk-size", type=int, default=None,
+                              help="grid points per pool task")
+    sweep_parser.add_argument("--chunk-timeout", type=float, default=None,
+                              help="seconds before a pooled chunk is "
+                                   "abandoned and retried")
+    sweep_parser.add_argument("--retries", type=int, default=2,
+                              help="pool retries per failed chunk before "
+                                   "inline recovery")
+    sweep_parser.add_argument("--progress", action="store_true",
+                              help="print per-pair progress to stderr")
+    sweep_parser.add_argument("--metrics-json", metavar="PATH",
+                              help="write the metrics registry snapshot "
+                                   "as JSON after the sweep")
+    sweep_parser.add_argument("--trace", metavar="PATH",
+                              help="write the structured JSONL trace-event "
+                                   "stream to PATH")
     _add_backend_argument(sweep_parser)
     sweep_parser.set_defaults(handler=command_sweep)
+
+    metrics_parser = commands.add_parser(
+        "metrics", help="observability: registry snapshots, trace "
+                        "validation, event schema")
+    metrics_parser.add_argument("--schema", action="store_true",
+                                help="print the trace-event schema as JSON")
+    metrics_parser.add_argument("--validate", metavar="TRACE",
+                                help="validate a JSONL trace file against "
+                                     "the event schema")
+    metrics_parser.add_argument("--from-json", metavar="PATH",
+                                help="render a --metrics-json snapshot file")
+    metrics_parser.set_defaults(handler=command_metrics)
 
     certify_parser = commands.add_parser(
         "certify", help="static certification (structured source only)")
@@ -557,6 +698,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-table; not an error.
+        # Detach stdout so interpreter shutdown does not re-raise on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -58,11 +58,13 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 import weakref
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import ArityMismatchError, FuelExhaustedError, ReproError
+from ..obs import runtime as _obs
 from .boxes import AssignBox, Box, DecisionBox, HaltBox, NodeId, StartBox
 from .expr import (And, BinOp, BoolConst, Compare, Const, Expr, Ite,
                    LoopExpr, Neg, Not, Or, Pred, Var)
@@ -465,13 +467,32 @@ class _LRUMemo:
 
 
 def _memo_size() -> int:
+    """The execution-memo capacity from ``REPRO_EXEC_CACHE``.
+
+    A malformed value (not an integer) or a negative size earns a
+    :class:`RuntimeWarning` and falls back to the default — silently
+    honouring garbage here used to mean a typo like ``RERPO=...`` or
+    ``-1`` quietly resized (or wedged) the memo.  ``0`` is valid and
+    disables memoisation.
+    """
     raw = os.environ.get(EXEC_CACHE_ENV)
     if raw is None:
         return _DEFAULT_MEMO_SIZE
     try:
-        return int(raw)
+        size = int(raw)
     except ValueError:
+        warnings.warn(
+            f"{EXEC_CACHE_ENV}={raw!r} is not an integer; using the "
+            f"default memo size {_DEFAULT_MEMO_SIZE}", RuntimeWarning,
+            stacklevel=2)
         return _DEFAULT_MEMO_SIZE
+    if size < 0:
+        warnings.warn(
+            f"{EXEC_CACHE_ENV}={raw!r} is negative; memo sizes must be "
+            f">= 0 (0 disables), using the default "
+            f"{_DEFAULT_MEMO_SIZE}", RuntimeWarning, stacklevel=2)
+        return _DEFAULT_MEMO_SIZE
+    return size
 
 
 #: Memo for capture-free executions shared across Program wrappers.
@@ -493,6 +514,20 @@ def clear_caches() -> None:
 def memo_stats() -> Dict[str, int]:
     return {"size": len(_RESULT_MEMO), "maxsize": _RESULT_MEMO.maxsize,
             "hits": _RESULT_MEMO.hits, "misses": _RESULT_MEMO.misses}
+
+
+def export_memo_stats() -> Dict[str, int]:
+    """Push :func:`memo_stats` into the obs registry as gauges.
+
+    The per-run ``memo.exec.hits``/``misses`` counters only cover runs
+    executed while observability was on; these gauges snapshot the
+    memo's lifetime totals (the CLI's ``repro metrics`` calls this
+    before rendering).
+    """
+    stats = memo_stats()
+    for key, value in stats.items():
+        _obs.set_gauge(f"memo.exec.{key}", value)
+    return stats
 
 
 # ---------------------------------------------------------------------------
@@ -523,14 +558,28 @@ def execute_compiled(flowchart: Flowchart, inputs: Sequence[int],
         key = (flowchart, tuple(inputs), fuel)
         cached = _RESULT_MEMO.get(key)
         if cached is not None:
+            if _obs.active:
+                _obs.record_run("compiled", flowchart.name, cached.steps,
+                                memo_hit=True)
             return cached
     compiled = compile_flowchart(flowchart)
-    value, steps, mask, env = compiled.function(tuple(inputs), fuel,
-                                                capture_env)
+    if _obs.active:
+        try:
+            value, steps, mask, env = compiled.function(tuple(inputs), fuel,
+                                                        capture_env)
+        except FuelExhaustedError as error:
+            _obs.record_fuel_exhausted(flowchart.name, error.fuel)
+            raise
+    else:
+        value, steps, mask, env = compiled.function(tuple(inputs), fuel,
+                                                    capture_env)
     result = ExecutionResult(value, steps, None, env,
                              compiled.touched_set(mask))
     if key is not None:
         _RESULT_MEMO.put(key, result)
+    if _obs.active:
+        _obs.record_run("compiled", flowchart.name, steps,
+                        memo_hit=False if key is not None else None)
     return result
 
 

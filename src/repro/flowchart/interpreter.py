@@ -22,6 +22,7 @@ from ..core.observability import (VALUE_AND_TIME, VALUE_ONLY, Observation,
                                   OutputModel)
 from ..core.domains import ProductDomain
 from ..core.program import Program
+from ..obs import runtime as _obs
 from .boxes import AssignBox, DecisionBox, HaltBox, NodeId, StartBox
 from .program import Flowchart
 
@@ -104,9 +105,14 @@ def execute(flowchart: Flowchart, inputs: Sequence[int],
     touched: set = set()
     steps = 0
     current: NodeId = flowchart.boxes[flowchart.start_id].successors()[0]
+    # Sampling rate is latched per run; 0 (the default) keeps the loop
+    # free of any observability work beyond one local truth test.
+    sample = _obs.box_sample if _obs.trace_active else 0
 
     while True:
         if steps >= fuel:
+            if _obs.active:
+                _obs.record_fuel_exhausted(flowchart.name, fuel)
             raise FuelExhaustedError(fuel,
                                      f"flowchart {flowchart.name} exceeded "
                                      f"{fuel} steps on input {tuple(inputs)!r}")
@@ -114,8 +120,13 @@ def execute(flowchart: Flowchart, inputs: Sequence[int],
         if record_trace:
             trace.append(current)
         steps += 1
+        if sample and steps % sample == 0:
+            _obs.emit("box_step", program=flowchart.name,
+                      node=str(current), steps=steps)
         if isinstance(box, HaltBox):
             touched.add(flowchart.output_variable)
+            if _obs.active:
+                _obs.record_run("interpreted", flowchart.name, steps)
             return ExecutionResult(
                 env[flowchart.output_variable], steps,
                 tuple(trace) if record_trace else None,

@@ -1,0 +1,43 @@
+"""Runtime observability for the enforcement harness.
+
+The paper's Observability Postulate says a program's declared output
+must encode everything the user can see of a run.  This package holds
+the harness to the same standard: every mechanism execution, sweep
+chunk, memo lookup, and pool retry is observable through
+
+- a process-wide **metrics registry** (:mod:`repro.obs.metrics`):
+  counters, gauges, and histograms, exported as JSON-ready dicts;
+- a **structured trace-event stream** (:mod:`repro.obs.events`): typed
+  JSONL events with a self-contained schema and validator, deliverable
+  to a file sink or an in-memory ring buffer;
+- the **runtime** (:mod:`repro.obs.runtime`): a single no-op-when-off
+  flag the instrumented hot layers guard their hooks with.
+
+Typical use::
+
+    from repro import obs
+
+    ring = obs.RingBufferSink()
+    with obs.observed(sinks=[ring], reset=True):
+        parallel_soundness_sweep(...)
+    print(obs.registry.snapshot()["counters"])
+    print(ring.events("violation")[:3])
+
+The CLI exposes the same machinery as ``repro sweep --progress
+--metrics-json PATH --trace PATH`` and ``repro metrics``; see
+``docs/OBSERVABILITY.md`` for the metric names and event schema.
+"""
+
+from .events import (EVENT_KINDS, EVENT_SCHEMA, JsonlSink, RingBufferSink,
+                     validate_event, validate_jsonl)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      DEFAULT_BUCKETS, STEP_BUCKETS)
+from .runtime import (disable, emit, enable, observed, registry, snapshot)
+
+__all__ = [
+    "EVENT_KINDS", "EVENT_SCHEMA", "JsonlSink", "RingBufferSink",
+    "validate_event", "validate_jsonl",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_BUCKETS", "STEP_BUCKETS",
+    "enable", "disable", "observed", "emit", "registry", "snapshot",
+]

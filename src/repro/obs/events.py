@@ -1,0 +1,180 @@
+"""Structured trace events: typed records of what a mechanism run did.
+
+An event is a flat JSON object with three envelope fields —
+
+- ``kind``: one of :data:`EVENT_KINDS`,
+- ``seq``:  a monotonically increasing per-process sequence number,
+- ``t``:    seconds since tracing was enabled (monotonic clock),
+
+plus kind-specific payload fields (:data:`EVENT_SCHEMA` lists the
+required ones).  Sinks receive each event as a dict:
+:class:`JsonlSink` appends one JSON line per event to a file,
+:class:`RingBufferSink` keeps the last N events in memory for tests
+and post-mortems.
+
+The schema is deliberately self-contained (no jsonschema dependency):
+:func:`validate_event` / :func:`validate_jsonl` are small pure-Python
+checkers the CI job runs against CLI-emitted traces.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+#: Every event kind the runtime may emit.
+EVENT_KINDS: Tuple[str, ...] = (
+    "sweep_start",   # a soundness sweep began
+    "run_start",     # one flowchart execution began (sampled layers only)
+    "run_end",       # one flowchart execution finished
+    "box_step",      # one interpreted box executed (sampled)
+    "violation",     # a mechanism raised a violation notice
+    "fuel_exhausted",  # a run exceeded its fuel budget
+    "chunk_done",    # a sweep chunk's summary arrived
+    "worker_retry",  # a failed/timed-out chunk was rescheduled
+    "pool_degraded",  # the pool fell back (process -> thread -> serial)
+    "pair_done",     # all chunks of one (program, policy) pair merged
+    "sweep_end",     # the sweep finished
+    "lint_pass",     # one flowlint pass completed
+)
+
+#: Envelope + per-kind required payload fields.  ``properties`` gives
+#: the expected JSON type of known fields (extra fields are allowed —
+#: the schema is open, like the mechanisms it observes).
+EVENT_SCHEMA: Dict = {
+    "title": "repro trace event",
+    "type": "object",
+    "required": ["kind", "seq", "t"],
+    "properties": {
+        "kind": {"type": "string", "enum": list(EVENT_KINDS)},
+        "seq": {"type": "integer"},
+        "t": {"type": "number"},
+    },
+    "kinds": {
+        "sweep_start": {"required": ["pairs", "points", "executor"]},
+        "run_start": {"required": ["program", "backend"]},
+        "run_end": {"required": ["program", "backend", "steps"]},
+        "box_step": {"required": ["program", "node", "steps"]},
+        "violation": {"required": ["program"]},
+        "fuel_exhausted": {"required": ["program", "fuel"]},
+        "chunk_done": {"required": ["pair", "chunk", "points", "accepts"]},
+        "worker_retry": {"required": ["pair", "chunk", "attempt", "reason"]},
+        "pool_degraded": {"required": ["from_mode", "to_mode", "reason"]},
+        "pair_done": {"required": ["pair", "program", "policy", "sound",
+                                   "accepts"]},
+        "sweep_end": {"required": ["pairs", "elapsed_s"]},
+        "lint_pass": {"required": ["program", "pass", "seconds"]},
+    },
+}
+
+_TYPE_CHECKS = {
+    "string": lambda value: isinstance(value, str),
+    "integer": lambda value: isinstance(value, int)
+    and not isinstance(value, bool),
+    "number": lambda value: isinstance(value, (int, float))
+    and not isinstance(value, bool),
+}
+
+
+def validate_event(event: object) -> List[str]:
+    """Check one decoded event against :data:`EVENT_SCHEMA`.
+
+    Returns a list of problems (empty when the event is valid).
+    """
+    problems: List[str] = []
+    if not isinstance(event, dict):
+        return [f"event is not an object: {type(event).__name__}"]
+    for field in EVENT_SCHEMA["required"]:
+        if field not in event:
+            problems.append(f"missing envelope field {field!r}")
+    for field, spec in EVENT_SCHEMA["properties"].items():
+        if field in event and not _TYPE_CHECKS[spec["type"]](event[field]):
+            problems.append(
+                f"field {field!r} has type {type(event[field]).__name__}, "
+                f"expected {spec['type']}")
+    kind = event.get("kind")
+    if isinstance(kind, str):
+        kind_spec = EVENT_SCHEMA["kinds"].get(kind)
+        if kind_spec is None:
+            problems.append(f"unknown event kind {kind!r}")
+        else:
+            for field in kind_spec["required"]:
+                if field not in event:
+                    problems.append(
+                        f"{kind} event missing required field {field!r}")
+    return problems
+
+
+def validate_jsonl(lines: Iterable[str]) -> Tuple[int, List[str]]:
+    """Validate a JSONL trace stream; returns ``(events, problems)``.
+
+    Problems are prefixed with a 1-based line number.  Blank lines are
+    ignored (a trailing newline is normal for JSONL).
+    """
+    count = 0
+    problems: List[str] = []
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        count += 1
+        try:
+            event = json.loads(line)
+        except ValueError as error:
+            problems.append(f"line {number}: not JSON ({error})")
+            continue
+        for problem in validate_event(event):
+            problems.append(f"line {number}: {problem}")
+    return count, problems
+
+
+class JsonlSink:
+    """Appends one compact JSON line per event to a path or file object."""
+
+    def __init__(self, target: Union[str, io.TextIOBase]) -> None:
+        if isinstance(target, str):
+            self._file = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+        self.path = target if isinstance(target, str) else None
+
+    def write(self, event: Dict) -> None:
+        self._file.write(json.dumps(event, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._buffer: deque = deque(maxlen=capacity)
+
+    def write(self, event: Dict) -> None:
+        self._buffer.append(event)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def events(self, kind: Optional[str] = None) -> List[Dict]:
+        events = list(self._buffer)
+        if kind is not None:
+            events = [event for event in events if event.get("kind") == kind]
+        return events
+
+    def __len__(self) -> int:
+        return len(self._buffer)

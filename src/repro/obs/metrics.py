@@ -1,0 +1,188 @@
+"""Process-wide metrics primitives: counters, gauges, histograms.
+
+The Observability Postulate (Section 1) demands that a program's
+declared output encode *everything* the user can observe of a run.
+This module applies the same discipline to the enforcement harness
+itself: steps executed, fuel exhaustions, violations raised, memo
+hits/misses, chunks scheduled and retried are all first-class
+observables of a mechanism run, collected in a
+:class:`MetricsRegistry` and exported as plain dictionaries.
+
+Everything here is stdlib-only and thread-safe.  The hot layers never
+call into the registry directly — they go through the guarded no-op
+hooks in :mod:`repro.obs.runtime`, so a disabled registry costs one
+global flag test per run.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (seconds-flavoured; step-count
+#: histograms pass their own bounds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+#: Bucket bounds suited to step counts / sizes rather than durations.
+STEP_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 1000, 10_000, 100_000)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self._value})"
+
+
+class Histogram:
+    """Bucketed distribution with count / sum / min / max summary.
+
+    ``bounds`` are inclusive upper bucket edges; one implicit ``+Inf``
+    bucket catches the tail.  Snapshots report cumulative-style bucket
+    counts keyed by their bound (as a string, for JSON stability).
+    """
+
+    __slots__ = ("name", "bounds", "_bucket_counts", "count", "total",
+                 "min", "max", "_lock")
+
+    def __init__(self, name: str,
+                 bounds: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.bounds = tuple(bounds if bounds is not None else DEFAULT_BUCKETS)
+        self._bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._bucket_counts[index] += 1
+                    return
+            self._bucket_counts[-1] += 1
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            buckets = {str(bound): count for bound, count
+                       in zip(self.bounds, self._bucket_counts)}
+            buckets["+Inf"] = self._bucket_counts[-1]
+            return {
+                "count": self.count,
+                "sum": round(self.total, 9),
+                "min": self.min,
+                "max": self.max,
+                "buckets": buckets,
+            }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    Metric creation is get-or-create and thread-safe; updates go
+    through the metric objects themselves.  :meth:`snapshot` returns a
+    JSON-ready nested dict; :meth:`reset` drops every metric (the CLI
+    and benches call it so each invocation reports its own run).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            pass
+        with self._lock:
+            return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            pass
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            pass
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram(name, bounds))
+
+    def snapshot(self) -> Dict:
+        """A JSON-ready view of every metric currently registered."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: counter.value
+                         for name, counter in sorted(counters.items())},
+            "gauges": {name: gauge.value
+                       for name, gauge in sorted(gauges.items())},
+            "histograms": {name: histogram.snapshot()
+                           for name, histogram in sorted(histograms.items())},
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

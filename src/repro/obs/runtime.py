@@ -1,0 +1,176 @@
+"""The observability runtime: one flag, one registry, attached sinks.
+
+Instrumented modules import this module once and guard every hook with
+the module-global :data:`active` flag::
+
+    from ..obs import runtime as _obs
+    ...
+    if _obs.active:
+        _obs.record_run("compiled", flowchart.name, steps, memo_hit=False)
+
+When observability is off (the default) that guard is the *entire*
+cost: a module-attribute load and a truth test per run — measured at
+well under the 3% budget on the micro sweep kernel (see the
+``telemetry`` section of ``scripts/bench_report.py``).
+
+:func:`enable` turns on metric collection and (optionally) attaches
+trace sinks; :func:`disable` restores the no-op state.  The
+:func:`observed` context manager brackets the two for harness code.
+Box-level ``box_step`` events are *sampled*: ``box_sample=N`` emits
+one event every N interpreted boxes (0 disables box events entirely).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+from .events import EVENT_KINDS
+from .metrics import STEP_BUCKETS, MetricsRegistry
+
+#: The process-wide registry every hook records into.
+registry = MetricsRegistry()
+
+#: Fast no-op guard — True iff metrics and/or tracing are enabled.
+active: bool = False
+
+#: True iff at least one trace sink is attached.
+trace_active: bool = False
+
+#: Emit a ``box_step`` event every N interpreted boxes (0 = never).
+box_sample: int = 0
+
+_sinks: List = []
+_lock = threading.Lock()
+_seq = itertools.count()
+_t0 = time.monotonic()
+
+
+def enable(metrics: bool = True, sinks: Iterable = (),
+           box_sample_every: int = 0, reset: bool = False) -> None:
+    """Turn the runtime on.
+
+    ``metrics`` enables registry collection; ``sinks`` attaches trace
+    sinks (objects with ``write(dict)``/``flush()``); ``reset`` clears
+    the registry first so the coming run reports only itself.
+    """
+    global active, trace_active, box_sample, _t0
+    with _lock:
+        if reset:
+            registry.reset()
+        for sink in sinks:
+            _sinks.append(sink)
+        trace_active = bool(_sinks)
+        box_sample = max(0, int(box_sample_every))
+        _t0 = time.monotonic()
+        active = bool(metrics) or trace_active
+
+
+def disable() -> None:
+    """Return to the no-op state, flushing (not closing) any sinks."""
+    global active, trace_active, box_sample
+    with _lock:
+        for sink in _sinks:
+            try:
+                sink.flush()
+            except Exception:  # pragma: no cover - sink teardown best effort
+                pass
+        _sinks.clear()
+        trace_active = False
+        box_sample = 0
+        active = False
+
+
+@contextlib.contextmanager
+def observed(metrics: bool = True, sinks: Iterable = (),
+             box_sample_every: int = 0, reset: bool = False):
+    """Context manager: ``enable(...)`` on entry, ``disable()`` on exit."""
+    enable(metrics=metrics, sinks=sinks, box_sample_every=box_sample_every,
+           reset=reset)
+    try:
+        yield registry
+    finally:
+        disable()
+
+
+def snapshot() -> Dict:
+    """The registry snapshot (shorthand for ``registry.snapshot()``)."""
+    return registry.snapshot()
+
+
+def emit(kind: str, **fields) -> None:
+    """Send one typed event to every attached sink (no-op untraced)."""
+    if not trace_active:
+        return
+    if kind not in EVENT_KINDS:  # pragma: no cover - caller bug guard
+        raise ValueError(f"unknown event kind {kind!r}")
+    event = {"kind": kind, "seq": next(_seq),
+             "t": round(time.monotonic() - _t0, 6)}
+    event.update(fields)
+    with _lock:
+        for sink in _sinks:
+            sink.write(event)
+
+
+def inc(name: str, amount: int = 1) -> None:
+    registry.counter(name).inc(amount)
+
+
+def observe(name: str, value: float, bounds=None) -> None:
+    registry.histogram(name, bounds).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    registry.gauge(name).set(value)
+
+
+# ---------------------------------------------------------------------------
+# Hooks for the instrumented hot layers (call only behind ``if active``)
+# ---------------------------------------------------------------------------
+
+def record_run(backend: str, program: str, steps: int,
+               memo_hit: Optional[bool] = None) -> None:
+    """One flowchart execution completed on ``backend``."""
+    registry.counter(f"run.count.{backend}").inc()
+    registry.counter("run.steps_total").inc(steps)
+    registry.histogram("run.steps", STEP_BUCKETS).observe(steps)
+    if memo_hit is not None:
+        name = "memo.exec.hits" if memo_hit else "memo.exec.misses"
+        registry.counter(name).inc()
+    if trace_active:
+        emit("run_end", program=program, backend=backend, steps=steps)
+
+
+def record_fuel_exhausted(program: str, fuel: int) -> None:
+    registry.counter("run.fuel_exhausted").inc()
+    if trace_active:
+        emit("fuel_exhausted", program=program, fuel=fuel)
+
+
+def record_violation(program: str, source: str, **fields) -> None:
+    registry.counter("violations.raised").inc()
+    registry.counter(f"violations.{source}").inc()
+    if trace_active:
+        emit("violation", program=program, source=source, **fields)
+
+
+def record_surveil_run(program: str, steps: int, violated: bool,
+                       timed: bool, halted_early: bool) -> None:
+    registry.counter("surveillance.runs").inc()
+    registry.counter("surveillance.steps_total").inc(steps)
+    if violated:
+        record_violation(program, "surveillance", steps=steps,
+                         timed=timed, early=halted_early)
+
+
+def record_instrument_memo(hit: bool) -> None:
+    name = "memo.instrument.hits" if hit else "memo.instrument.misses"
+    registry.counter(name).inc()
+
+
+def record_chunk_evaluated(points: int, accepts: int) -> None:
+    registry.counter("sweep.points_evaluated").inc(points)
+    registry.counter("sweep.points_accepted").inc(accepts)

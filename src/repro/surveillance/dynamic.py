@@ -43,6 +43,7 @@ from ..core.program import Program
 from ..flowchart.boxes import AssignBox, DecisionBox, HaltBox
 from ..flowchart.interpreter import DEFAULT_FUEL, as_program, initial_environment
 from ..flowchart.program import Flowchart
+from ..obs import runtime as _obs
 from .labels import EMPTY, Label, join, permitted, singleton
 
 
@@ -113,6 +114,8 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
     current = flowchart.boxes[flowchart.start_id].successors()[0]
     while True:
         if steps >= fuel:
+            if _obs.active:
+                _obs.record_fuel_exhausted(flowchart.name, fuel)
             raise FuelExhaustedError(fuel,
                                      f"surveilled {flowchart.name} exceeded "
                                      f"{fuel} steps on {tuple(inputs)!r}")
@@ -131,6 +134,11 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
                 outcome: Union[int, ViolationNotice] = env[flowchart.output_variable]
             else:
                 outcome = ViolationNotice("Λ")
+            if _obs.active:
+                _obs.record_surveil_run(
+                    flowchart.name, steps,
+                    violated=isinstance(outcome, ViolationNotice),
+                    timed=timed, halted_early=False)
             return SurveillanceRun(outcome, steps, dict(labels), pc_label,
                                    halted_early=False)
         if isinstance(box, AssignBox):
@@ -147,6 +155,10 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
             if timed and not permitted(test_label, allowed):
                 # Theorem 3': a disallowed variable is about to be
                 # tested — halt immediately with a violation notice.
+                if _obs.active:
+                    _obs.record_surveil_run(flowchart.name, steps,
+                                            violated=True, timed=True,
+                                            halted_early=True)
                 return SurveillanceRun(ViolationNotice("Λ"), steps,
                                        dict(labels), pc_label,
                                        halted_early=True)

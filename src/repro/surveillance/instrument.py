@@ -49,6 +49,7 @@ from ..flowchart.expr import BinOp, Compare, Const, Var
 from ..flowchart.fastpath import run_flowchart
 from ..flowchart.interpreter import DEFAULT_FUEL, as_program, execute
 from ..flowchart.program import Flowchart
+from ..obs import runtime as _obs
 from .labels import to_mask
 
 #: Name of the surveillance variable of ``v``.
@@ -112,7 +113,11 @@ def instrument(flowchart: Flowchart, policy: AllowPolicy,
         with _instrument_lock:
             cached = _INSTRUMENT_MEMO.get(flowchart, {}).get(memo_key)
         if cached is not None:
+            if _obs.active:
+                _obs.record_instrument_memo(hit=True)
             return cached
+        if _obs.active:
+            _obs.record_instrument_memo(hit=False)
 
     boxes: Dict[NodeId, Box] = {}
 
@@ -257,6 +262,9 @@ def instrumented_mechanism(flowchart: Flowchart, policy: AllowPolicy,
                                capture_env=True)
         violated = result.env.get(VIOLATION_FLAG, 0) == 1
         if violated:
+            if _obs.active:
+                _obs.record_violation(flowchart.name, "instrumented",
+                                      timed=timed)
             if time_observable:
                 original_steps = _original_steps(flowchart, inputs,
                                                  policy, timed, fuel)

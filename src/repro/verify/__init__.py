@@ -1,8 +1,9 @@
 """Verification harness: domain sweeps (serial and parallel) and
 experiment-table rendering."""
 
-from .enumerate import (SweepResult, all_allow_policies, default_grid,
-                        sampled_soundness, soundness_sweep,
+from .enumerate import (FuelGuardedMechanism, SweepResult,
+                        all_allow_policies, build_mechanism, default_grid,
+                        fuel_notice, sampled_soundness, soundness_sweep,
                         unsound_results)
 from .parallel import (EXECUTORS, FACTORIES, parallel_soundness_sweep,
                        resolve_factory)
@@ -11,6 +12,7 @@ from .report import Table, banner
 __all__ = [
     "all_allow_policies", "default_grid", "soundness_sweep",
     "SweepResult", "unsound_results", "sampled_soundness",
+    "build_mechanism", "fuel_notice", "FuelGuardedMechanism",
     "parallel_soundness_sweep", "EXECUTORS", "FACTORIES",
     "resolve_factory", "Table", "banner",
 ]

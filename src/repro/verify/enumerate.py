@@ -9,11 +9,101 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import inspect
+
 from ..core.domains import ProductDomain
+from ..core.errors import FuelExhaustedError, ReproError
+from ..core.mechanism import ViolationNotice
 from ..core.policy import AllowPolicy, allow
 from ..core.soundness import check_soundness_with_accepts
 from ..flowchart.interpreter import DEFAULT_FUEL
 from ..flowchart.program import Flowchart
+
+
+def fuel_notice(fuel: int) -> ViolationNotice:
+    """The distinguished outcome of a run that exhausted its fuel budget.
+
+    The sweeps evaluate mechanisms as *total* functions: a mechanism
+    run that exceeds ``fuel`` steps is recorded as this notice rather
+    than unwinding the whole sweep.  The notice encodes the budget —
+    per the Observability Postulate, "ran out of fuel F" is an
+    observable output distinct from an ordinary violation notice Λ, so
+    the factorization check treats it as its own output class.
+    """
+    return ViolationNotice(f"Λ!fuel[{fuel}]")
+
+
+class FuelGuardedMechanism:
+    """Wraps a mechanism so fuel exhaustion becomes :func:`fuel_notice`.
+
+    Duck-types the :class:`~repro.core.mechanism.ProtectionMechanism`
+    surface the soundness checkers use (``arity``, ``name``,
+    ``domain``, call).  Both the serial and the parallel sweeps apply
+    this guard, so their rows stay identical point-for-point even when
+    a tiny fuel budget truncates runs.
+    """
+
+    __slots__ = ("_mechanism",)
+
+    def __init__(self, mechanism) -> None:
+        self._mechanism = mechanism
+
+    @property
+    def arity(self) -> int:
+        return self._mechanism.arity
+
+    @property
+    def name(self) -> str:
+        return self._mechanism.name
+
+    @property
+    def domain(self):
+        return self._mechanism.domain
+
+    def __call__(self, *inputs):
+        try:
+            return self._mechanism(*inputs)
+        except FuelExhaustedError as error:
+            return fuel_notice(error.fuel)
+
+
+def _accepts_fuel(factory) -> bool:
+    """Whether a mechanism factory can receive the sweep's fuel budget."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        return False
+    parameters = signature.parameters
+    if "fuel" in parameters:
+        return True
+    if any(parameter.kind is inspect.Parameter.VAR_KEYWORD
+           or parameter.kind is inspect.Parameter.VAR_POSITIONAL
+           for parameter in parameters.values()):
+        return True
+    positional = [parameter for parameter in parameters.values()
+                  if parameter.kind in (inspect.Parameter.POSITIONAL_ONLY,
+                                        inspect.Parameter.POSITIONAL_OR_KEYWORD)]
+    return len(positional) >= 4
+
+
+def build_mechanism(factory, flowchart, policy, domain,
+                    fuel: int = DEFAULT_FUEL):
+    """Invoke a mechanism factory, threading ``fuel`` when it can take it.
+
+    Registered :data:`~repro.verify.parallel.FACTORIES` all accept
+    ``(flowchart, policy, domain, fuel)``.  Legacy three-argument
+    callables are still accepted — but only at the default budget;
+    silently dropping a caller's explicit fuel is exactly the bug this
+    helper exists to prevent, so that case raises instead.
+    """
+    if _accepts_fuel(factory):
+        return factory(flowchart, policy, domain, fuel)
+    if fuel != DEFAULT_FUEL:
+        raise ReproError(
+            f"mechanism factory {getattr(factory, '__name__', factory)!r} "
+            "takes (flowchart, policy, domain) only and cannot honour "
+            f"fuel={fuel}; extend it to accept a fuel argument")
+    return factory(flowchart, policy, domain)
 
 
 def all_allow_policies(arity: int) -> List[AllowPolicy]:
@@ -57,10 +147,15 @@ def soundness_sweep(flowcharts: Sequence[Flowchart],
                     fuel: int = DEFAULT_FUEL) -> List[SweepResult]:
     """Check a mechanism family on every flowchart × every allow policy.
 
-    ``mechanism_factory(flowchart, policy, domain)`` builds the
+    ``mechanism_factory(flowchart, policy, domain[, fuel])`` builds the
     mechanism under test; ``grid(arity)`` supplies the domain (default
     :func:`default_grid`).  Returns one verdict per combination — the
     empirical content of Theorems 3/3′.
+
+    ``fuel`` reaches the factory (see :func:`build_mechanism`), and a
+    run that exhausts it is recorded as the distinguished
+    :func:`fuel_notice` outcome rather than aborting the sweep, so the
+    sweep itself is a total function of its arguments.
 
     Each domain point is evaluated exactly once: the soundness
     factorization check and the acceptance count both derive from the
@@ -74,9 +169,10 @@ def soundness_sweep(flowcharts: Sequence[Flowchart],
     for flowchart in flowcharts:
         domain = grid(flowchart.arity)
         for policy in all_allow_policies(flowchart.arity):
-            mechanism = mechanism_factory(flowchart, policy, domain)
+            mechanism = build_mechanism(mechanism_factory, flowchart,
+                                        policy, domain, fuel)
             report, accepts = check_soundness_with_accepts(
-                mechanism, policy, domain)
+                FuelGuardedMechanism(mechanism), policy, domain)
             results.append(SweepResult(
                 flowchart.name, policy.name, mechanism.name,
                 report.sound, accepts, len(domain)))

@@ -18,6 +18,35 @@ chunk boundaries, so the merged soundness verdict is exactly the serial
 factorization verdict — the per-point outputs are shared between the
 soundness check and the accepts count, never recomputed.
 
+Fuel
+----
+The sweep's ``fuel`` budget reaches every mechanism factory (the
+registered :data:`FACTORIES` take ``(flowchart, policy, domain,
+fuel)``), and a run that exhausts it is recorded as the distinguished
+:func:`~repro.verify.enumerate.fuel_notice` outcome instead of
+unwinding the pool — so serial and parallel sweeps agree row-for-row
+at *any* budget, and a sweep is a total function of its arguments.
+
+Fault tolerance
+---------------
+Pooled chunks are supervised: a chunk that raises (or exceeds
+``chunk_timeout`` seconds) is retried up to ``max_chunk_retries``
+times (a ``worker_retry`` trace event per attempt); a chunk that keeps
+failing is recovered by evaluating it inline in the parent.  If the
+pool itself dies — a crashed worker process, a pool that cannot spawn
+— the sweep degrades ``process → thread → serial``, emitting a
+``pool_degraded`` event rather than a traceback, and re-schedules only
+the chunks that had not yet completed.
+
+Observability
+-------------
+When :mod:`repro.obs` is enabled the sweep emits ``sweep_start``,
+``chunk_done``, ``worker_retry``, ``pool_degraded``, ``pair_done`` and
+``sweep_end`` events and maintains the ``sweep.*`` counters and the
+``sweep.pair_seconds`` histogram (see ``docs/OBSERVABILITY.md``).  The
+optional ``progress`` callback fires as each (program, policy) pair
+completes — the CLI's ``--progress`` flag rides it.
+
 Executor selection
 ------------------
 ``executor="auto"`` picks:
@@ -37,21 +66,53 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, ThreadPoolExecutor,
+                                wait)
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.domains import ProductDomain
-from ..core.errors import ReproError
+from ..core.errors import FuelExhaustedError, ReproError
 from ..core.mechanism import is_violation
 from ..core.policy import AllowPolicy
 from ..flowchart.interpreter import DEFAULT_FUEL
 from ..flowchart.program import Flowchart
-from .enumerate import SweepResult, all_allow_policies, default_grid
+from ..obs import runtime as _obs
+from .enumerate import (SweepResult, all_allow_policies, build_mechanism,
+                        default_grid, fuel_notice)
 
 EXECUTORS = ("auto", "serial", "thread", "process")
 
 #: Point-count threshold below which "auto" stays serial.
 _AUTO_SERIAL_THRESHOLD = 4096
+
+#: Fallback order when a pool dies under the sweep.
+_MODE_LADDER = {
+    "process": ("process", "thread", "serial"),
+    "thread": ("thread", "serial"),
+    "serial": ("serial",),
+}
+
+#: Test hook: ``(pair_index, chunk_index, attempt) -> bool`` deciding
+#: whether a pooled chunk attempt should crash before evaluating — the
+#: injected-worker-failure switch the retry tests flip.  Decided in the
+#: parent at submit time (so it reaches process workers via the task
+#: payload); inline recovery and plain serial execution never inject.
+_FAIL_INJECTOR: Optional[Callable[[int, int, int], bool]] = None
+
+#: Test hook: ``(pair_index, chunk_index, attempt) -> seconds`` of
+#: artificial delay before a *thread-pool* chunk runs (for exercising
+#: ``chunk_timeout``).  ``None`` or 0 means no delay.
+_DELAY_INJECTOR: Optional[Callable[[int, int, int], float]] = None
+
+
+class _InjectedWorkerFailure(RuntimeError):
+    """Raised by the test-hook injection to simulate a crashed worker."""
+
+
+class _PoolBroken(Exception):
+    """Internal: the current pool can no longer make progress."""
 
 
 class ChunkSummary:
@@ -67,12 +128,26 @@ class ChunkSummary:
 
 
 def evaluate_chunk(mechanism, policy, points: Iterable[Tuple]) -> ChunkSummary:
-    """Evaluate the mechanism once per point; summarise for the merge."""
+    """Evaluate the mechanism once per point; summarise for the merge.
+
+    Fuel exhaustion inside the mechanism is recorded as the
+    distinguished :func:`~repro.verify.enumerate.fuel_notice` outcome
+    (a violation notice carrying the budget), never an exception — the
+    same totalisation the serial sweep applies.
+    """
     classes: Dict = {}
     accepts = 0
     conflict = False
+    evaluated = 0
     for point in points:
-        output = mechanism(*point)
+        evaluated += 1
+        try:
+            output = mechanism(*point)
+        except FuelExhaustedError as error:
+            output = fuel_notice(error.fuel)
+            if _obs.active:
+                _obs.record_fuel_exhausted(getattr(mechanism, "name", "?"),
+                                           error.fuel)
         if not is_violation(output):
             accepts += 1
         policy_value = policy(*point)
@@ -104,14 +179,14 @@ def merge_chunks(summaries: Sequence[ChunkSummary]) -> Tuple[bool, int]:
 # Named factories (picklable work units for process pools)
 # ---------------------------------------------------------------------------
 
-def _factory_program(flowchart, policy, domain):
+def _factory_program(flowchart, policy, domain, fuel=DEFAULT_FUEL):
     from ..core.mechanism import program_as_mechanism
     from ..flowchart.interpreter import as_program
 
-    return program_as_mechanism(as_program(flowchart, domain))
+    return program_as_mechanism(as_program(flowchart, domain, fuel=fuel))
 
 
-def _factory_surveillance(flowchart, policy, domain):
+def _factory_surveillance(flowchart, policy, domain, fuel=DEFAULT_FUEL):
     # The literal Section 3 construction: instrument Q and execute the
     # instrumented flowchart (compiled backend, instrument+compile
     # caches).  Extensionally equal to the interpreter-level
@@ -119,22 +194,23 @@ def _factory_surveillance(flowchart, policy, domain):
     # times faster in sweeps.
     from ..surveillance.instrument import instrumented_mechanism
 
-    return instrumented_mechanism(flowchart, policy, domain)
+    return instrumented_mechanism(flowchart, policy, domain, fuel=fuel)
 
 
-def _factory_timed(flowchart, policy, domain):
+def _factory_timed(flowchart, policy, domain, fuel=DEFAULT_FUEL):
     from ..surveillance import timed_surveillance_mechanism
 
-    return timed_surveillance_mechanism(flowchart, policy, domain)
+    return timed_surveillance_mechanism(flowchart, policy, domain, fuel=fuel)
 
 
-def _factory_highwater(flowchart, policy, domain):
+def _factory_highwater(flowchart, policy, domain, fuel=DEFAULT_FUEL):
     from ..surveillance import highwater_mechanism
 
-    return highwater_mechanism(flowchart, policy, domain)
+    return highwater_mechanism(flowchart, policy, domain, fuel=fuel)
 
 
 #: Mechanism families addressable by name (CLI, process pools, benches).
+#: Every registered factory takes ``(flowchart, policy, domain, fuel)``.
 FACTORIES: Dict[str, Callable] = {
     "program": _factory_program,
     "surveillance": _factory_surveillance,
@@ -144,7 +220,7 @@ FACTORIES: Dict[str, Callable] = {
 
 
 def resolve_factory(factory) -> Callable:
-    """A named family or a ``(flowchart, policy, domain)`` callable."""
+    """A named family or a ``(flowchart, policy, domain[, fuel])`` callable."""
     if callable(factory):
         return factory
     try:
@@ -164,8 +240,11 @@ def _chunk(points: List[Tuple], size: int) -> List[List[Tuple]]:
 def _run_pair_task(payload: bytes) -> Tuple[int, int, ChunkSummary]:
     """Process-pool entry: rebuild the mechanism, evaluate one chunk."""
     (pair_index, chunk_index, flowchart, policy, domain,
-     factory_name, points) = pickle.loads(payload)
-    mechanism = FACTORIES[factory_name](flowchart, policy, domain)
+     factory_name, points, fuel, inject_failure) = pickle.loads(payload)
+    if inject_failure:
+        raise _InjectedWorkerFailure(
+            f"injected failure for chunk ({pair_index}, {chunk_index})")
+    mechanism = FACTORIES[factory_name](flowchart, policy, domain, fuel)
     return pair_index, chunk_index, evaluate_chunk(mechanism, policy, points)
 
 
@@ -193,6 +272,9 @@ def parallel_soundness_sweep(
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         policies: Optional[Callable[[int], List[AllowPolicy]]] = None,
+        chunk_timeout: Optional[float] = None,
+        max_chunk_retries: int = 2,
+        progress: Optional[Callable[[int, int, SweepResult], None]] = None,
 ) -> List[SweepResult]:
     """The Theorem 3/3′ sweep, chunked across a worker pool.
 
@@ -203,19 +285,48 @@ def parallel_soundness_sweep(
     Parameters
     ----------
     mechanism_factory:
-        Either a ``(flowchart, policy, domain)`` callable or the name
-        of a registered family in :data:`FACTORIES` (required for
-        ``executor="process"``, where tasks must pickle).
+        Either a ``(flowchart, policy, domain[, fuel])`` callable or
+        the name of a registered family in :data:`FACTORIES` (required
+        for ``executor="process"``, where tasks must pickle).
+    fuel:
+        Step budget threaded to every mechanism construction; runs
+        exceeding it yield the distinguished fuel notice (see module
+        docstring), identically to the serial sweep.
     executor:
         ``"auto"``, ``"serial"``, ``"thread"``, or ``"process"``.
     chunk_size:
         Points per task; default splits each pair's domain into about
         four chunks per worker (minimum 64 points) so the pool stays
-        busy without drowning in scheduling overhead.
+        busy without drowning in scheduling overhead.  Must be
+        positive when given.
     policies:
         Policy enumeration per arity (default: every allow-policy,
         ``2^k`` of them).
+    chunk_timeout:
+        Seconds a pooled chunk may take before it is abandoned and
+        retried (None disables — a genuinely hung worker can then
+        stall the sweep).
+    max_chunk_retries:
+        Pool attempts per chunk beyond the first; a chunk that fails
+        them all is recovered inline in the parent process.
+    progress:
+        ``progress(completed_pairs, total_pairs, result)`` called as
+        each (program, policy) pair's verdict is merged.
     """
+    if chunk_size is not None and chunk_size <= 0:
+        raise ReproError(
+            f"chunk_size must be a positive number of grid points; "
+            f"got {chunk_size}")
+    if max_workers is not None and max_workers <= 0:
+        raise ReproError(
+            f"max_workers must be a positive worker count; got {max_workers}")
+    if chunk_timeout is not None and chunk_timeout <= 0:
+        raise ReproError(
+            f"chunk_timeout must be positive seconds; got {chunk_timeout}")
+    if max_chunk_retries < 0:
+        raise ReproError(
+            f"max_chunk_retries must be >= 0; got {max_chunk_retries}")
+
     grid = grid or default_grid
     policies = policies or all_allow_policies
     factory = resolve_factory(mechanism_factory)
@@ -231,16 +342,58 @@ def parallel_soundness_sweep(
 
     mode = _pick_executor(executor, mechanism_factory, workers, total_points)
 
-    if mode == "serial":
-        results = []
-        for flowchart, policy, domain in pairs:
-            mechanism = factory(flowchart, policy, domain)
-            summary = evaluate_chunk(mechanism, policy, domain)
-            sound, accepts = merge_chunks([summary])
-            results.append(SweepResult(
-                flowchart.name, policy.name, mechanism.name,
-                sound, accepts, len(domain)))
+    sweep_started = time.perf_counter()
+    if _obs.active:
+        _obs.inc("sweep.count")
+        _obs.emit("sweep_start", pairs=len(pairs), points=total_points,
+                  executor=mode, workers=workers,
+                  factory=str(mechanism_factory) if isinstance(
+                      mechanism_factory, str)
+                  else getattr(factory, "__name__", "callable"))
+
+    results_by_pair: Dict[int, SweepResult] = {}
+    completed_pairs = [0]
+
+    def finish_pair(pair_index: int, sound: bool, accepts: int,
+                    mechanism_name: str, pair_seconds: float) -> None:
+        flowchart, policy, domain = pairs[pair_index]
+        result = SweepResult(flowchart.name, policy.name, mechanism_name,
+                             sound, accepts, len(domain))
+        results_by_pair[pair_index] = result
+        completed_pairs[0] += 1
+        if _obs.active:
+            _obs.observe("sweep.pair_seconds", pair_seconds)
+            _obs.emit("pair_done", pair=pair_index,
+                      program=flowchart.name, policy=policy.name,
+                      sound=sound, accepts=accepts)
+        if progress is not None:
+            progress(completed_pairs[0], len(pairs), result)
+
+    def finalize() -> List[SweepResult]:
+        results = [results_by_pair[index] for index in range(len(pairs))]
+        if _obs.active:
+            elapsed = time.perf_counter() - sweep_started
+            _obs.emit("sweep_end", pairs=len(pairs),
+                      elapsed_s=round(elapsed, 6),
+                      unsound=sum(1 for r in results if not r.sound))
         return results
+
+    if mode == "serial":
+        if _obs.active:
+            _obs.inc("sweep.chunks_scheduled", len(pairs))
+        for pair_index, (flowchart, policy, domain) in enumerate(pairs):
+            pair_started = time.perf_counter()
+            mechanism = build_mechanism(factory, flowchart, policy, domain,
+                                        fuel)
+            points = list(domain)
+            summary = evaluate_chunk(mechanism, policy, points)
+            sound, accepts = merge_chunks([summary])
+            if _obs.active:
+                _obs.inc("sweep.chunks_done")
+                _obs.record_chunk_evaluated(len(points), summary.accepts)
+            finish_pair(pair_index, sound, accepts, mechanism.name,
+                        time.perf_counter() - pair_started)
+        return finalize()
 
     # Chunked schedule: (pair, chunk) tasks, merged back in order.
     per_pair_chunks: List[List[List[Tuple]]] = []
@@ -249,9 +402,16 @@ def parallel_soundness_sweep(
         size = chunk_size or max(64, -(-len(points) // (workers * 4)))
         per_pair_chunks.append(_chunk(points, size))
 
-    summaries: List[List[Optional[ChunkSummary]]] = [
-        [None] * len(chunks) for chunks in per_pair_chunks]
+    tasks: List[Tuple[int, int, List[Tuple]]] = [
+        (pair_index, chunk_index, points)
+        for pair_index, chunks in enumerate(per_pair_chunks)
+        for chunk_index, points in enumerate(chunks)]
+    summaries: Dict[Tuple[int, int], ChunkSummary] = {}
+    remaining_chunks: List[int] = [len(chunks) for chunks in per_pair_chunks]
+    pair_seconds: List[float] = [0.0] * len(pairs)
+    pair_started_wall = time.perf_counter()
 
+    factory_name: Optional[str] = None
     if mode == "process":
         if not isinstance(mechanism_factory, str):
             names = {fn: name for name, fn in FACTORIES.items()}
@@ -263,44 +423,191 @@ def parallel_soundness_sweep(
             factory_name = names[factory]
         else:
             factory_name = mechanism_factory
-        payloads = []
-        for pair_index, ((flowchart, policy, domain), chunks) in enumerate(
-                zip(pairs, per_pair_chunks)):
-            for chunk_index, points in enumerate(chunks):
-                payloads.append(pickle.dumps(
-                    (pair_index, chunk_index, flowchart, policy, domain,
-                     factory_name, points)))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for pair_index, chunk_index, summary in pool.map(
-                    _run_pair_task, payloads):
-                summaries[pair_index][chunk_index] = summary
-    else:  # thread
-        mechanisms = [factory(flowchart, policy, domain)
-                      for flowchart, policy, domain in pairs]
 
-        def run_task(task):
-            pair_index, chunk_index, points = task
-            _, policy, _ = pairs[pair_index]
-            return pair_index, chunk_index, evaluate_chunk(
-                mechanisms[pair_index], policy, points)
+    mechanisms: Dict[int, object] = {}
 
-        tasks = [(pair_index, chunk_index, points)
-                 for pair_index, chunks in enumerate(per_pair_chunks)
-                 for chunk_index, points in enumerate(chunks)]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            for pair_index, chunk_index, summary in pool.map(run_task, tasks):
-                summaries[pair_index][chunk_index] = summary
+    def mechanism_for(pair_index: int):
+        mechanism = mechanisms.get(pair_index)
+        if mechanism is None:
+            flowchart, policy, domain = pairs[pair_index]
+            mechanism = build_mechanism(factory, flowchart, policy, domain,
+                                        fuel)
+            mechanisms[pair_index] = mechanism
+        return mechanism
 
-    results = []
-    for pair_index, (flowchart, policy, domain) in enumerate(pairs):
-        sound, accepts = merge_chunks(summaries[pair_index])
-        if mode == "thread":
-            mechanism_name = mechanisms[pair_index].name
-        else:
-            # Process mode: rebuild in-process just for the display name
-            # — constructors are lightweight (no evaluation happens).
-            mechanism_name = factory(flowchart, policy, domain).name
-        results.append(SweepResult(
-            flowchart.name, policy.name, mechanism_name,
-            sound, accepts, len(domain)))
-    return results
+    def run_chunk_inline(pair_index: int, chunk_index: int,
+                         points: List[Tuple]) -> ChunkSummary:
+        _, policy, _ = pairs[pair_index]
+        return evaluate_chunk(mechanism_for(pair_index), policy, points)
+
+    def on_chunk_done(task, summary: ChunkSummary,
+                      elapsed: Optional[float]) -> None:
+        pair_index, chunk_index, points = task
+        pair_seconds[pair_index] += elapsed or 0.0
+        if _obs.active:
+            _obs.inc("sweep.chunks_done")
+            fields = {"pair": pair_index, "chunk": chunk_index,
+                      "points": len(points), "accepts": summary.accepts}
+            if elapsed is not None:
+                fields["elapsed_s"] = round(elapsed, 6)
+            _obs.emit("chunk_done", **fields)
+        remaining_chunks[pair_index] -= 1
+        if remaining_chunks[pair_index] == 0:
+            ordered = [summaries[(pair_index, index)]
+                       for index in range(len(per_pair_chunks[pair_index]))]
+            sound, accepts = merge_chunks(ordered)
+            finish_pair(pair_index, sound, accepts,
+                        mechanism_for(pair_index).name,
+                        pair_seconds[pair_index] or
+                        (time.perf_counter() - pair_started_wall))
+
+    def record_summary(task, summary: ChunkSummary,
+                       elapsed: Optional[float]) -> None:
+        key = (task[0], task[1])
+        if key in summaries:  # late duplicate from an abandoned future
+            return
+        summaries[key] = summary
+        # Point accounting happens here, in the parent, so process-pool
+        # sweeps (whose workers carry their own disabled registries)
+        # still report complete sweep.points_* counters.
+        if _obs.active:
+            _obs.record_chunk_evaluated(len(task[2]), summary.accepts)
+        on_chunk_done(task, summary, elapsed)
+
+    def drive_pool(pool, submit_task, pool_tasks) -> None:
+        """Supervise one pool: retries, timeouts, inline recovery.
+
+        Raises :class:`_PoolBroken` when the pool itself can no longer
+        run tasks (crashed worker process, failed spawn); per-chunk
+        failures never propagate.
+        """
+        attempts: Dict[Tuple[int, int], int] = {
+            (task[0], task[1]): 0 for task in pool_tasks}
+        pending: Dict[object, Tuple[Tuple, float]] = {}
+
+        def submit(task) -> None:
+            key = (task[0], task[1])
+            try:
+                future = submit_task(task, attempts[key])
+            except BrokenExecutor as error:
+                raise _PoolBroken(f"pool rejected work: {error!r}") from error
+            pending[future] = (task, time.monotonic())
+
+        def retry_or_recover(task, reason: str) -> None:
+            key = (task[0], task[1])
+            attempts[key] += 1
+            attempt = attempts[key]
+            if _obs.active:
+                _obs.emit("worker_retry", pair=task[0], chunk=task[1],
+                          attempt=attempt, reason=reason)
+            if attempt <= max_chunk_retries:
+                if _obs.active:
+                    _obs.inc("sweep.chunks_retried")
+                submit(task)
+                return
+            # Bounded retries exhausted — recover in the parent so one
+            # poisoned chunk cannot sink the sweep.
+            if _obs.active:
+                _obs.inc("sweep.chunks_failed")
+            started = time.monotonic()
+            summary = run_chunk_inline(*task)
+            record_summary(task, summary, time.monotonic() - started)
+
+        for task in pool_tasks:
+            submit(task)
+        poll = None
+        if chunk_timeout is not None:
+            poll = max(0.01, min(chunk_timeout / 4.0, 0.25))
+        while pending:
+            finished, _ = wait(list(pending), timeout=poll,
+                               return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for future in finished:
+                task, started = pending.pop(future)
+                try:
+                    pair_index, chunk_index, summary = future.result()
+                except BrokenExecutor as error:
+                    raise _PoolBroken(f"pool broke: {error!r}") from error
+                except Exception as error:
+                    retry_or_recover(task, f"worker failure: {error!r}")
+                else:
+                    record_summary((pair_index, chunk_index, task[2]),
+                                   summary, now - started)
+            if chunk_timeout is not None:
+                for future, (task, started) in list(pending.items()):
+                    if now - started >= chunk_timeout and not future.done():
+                        future.cancel()
+                        pending.pop(future)
+                        retry_or_recover(
+                            task, f"timeout after {chunk_timeout}s")
+
+    if _obs.active:
+        _obs.inc("sweep.chunks_scheduled", len(tasks))
+
+    ladder = _MODE_LADDER[mode]
+    for rung, current_mode in enumerate(ladder):
+        pool_tasks = [task for task in tasks
+                      if (task[0], task[1]) not in summaries]
+        if not pool_tasks:
+            break
+        try:
+            if current_mode == "serial":
+                for task in pool_tasks:
+                    started = time.monotonic()
+                    summary = run_chunk_inline(*task)
+                    record_summary(task, summary,
+                                   time.monotonic() - started)
+            elif current_mode == "thread":
+                def run_task(task, inject_failure, delay):
+                    pair_index, chunk_index, points = task
+                    if delay:
+                        time.sleep(delay)
+                    if inject_failure:
+                        raise _InjectedWorkerFailure(
+                            f"injected failure for chunk "
+                            f"({pair_index}, {chunk_index})")
+                    _, policy, _ = pairs[pair_index]
+                    return pair_index, chunk_index, evaluate_chunk(
+                        mechanism_for(pair_index), policy, points)
+
+                def submit_thread(task, attempt, pool_ref=None):
+                    inject = bool(_FAIL_INJECTOR and _FAIL_INJECTOR(
+                        task[0], task[1], attempt))
+                    delay = (_DELAY_INJECTOR(task[0], task[1], attempt)
+                             if _DELAY_INJECTOR else 0.0)
+                    return thread_pool.submit(run_task, task, inject, delay)
+
+                thread_pool = ThreadPoolExecutor(max_workers=workers)
+                try:
+                    drive_pool(thread_pool, submit_thread, pool_tasks)
+                finally:
+                    thread_pool.shutdown(wait=False, cancel_futures=True)
+            else:  # process
+                def submit_process(task, attempt):
+                    pair_index, chunk_index, points = task
+                    flowchart, policy, domain = pairs[pair_index]
+                    inject = bool(_FAIL_INJECTOR and _FAIL_INJECTOR(
+                        pair_index, chunk_index, attempt))
+                    payload = pickle.dumps(
+                        (pair_index, chunk_index, flowchart, policy, domain,
+                         factory_name, points, fuel, inject))
+                    return process_pool.submit(_run_pair_task, payload)
+
+                try:
+                    process_pool = ProcessPoolExecutor(max_workers=workers)
+                except OSError as error:
+                    raise _PoolBroken(
+                        f"cannot spawn process pool: {error!r}") from error
+                try:
+                    drive_pool(process_pool, submit_process, pool_tasks)
+                finally:
+                    process_pool.shutdown(wait=False, cancel_futures=True)
+            break
+        except _PoolBroken as broken:
+            next_mode = ladder[rung + 1]
+            if _obs.active:
+                _obs.inc("sweep.pool_degraded")
+                _obs.emit("pool_degraded", from_mode=current_mode,
+                          to_mode=next_mode, reason=str(broken))
+
+    return finalize()

@@ -1,0 +1,40 @@
+"""``REPRO_EXEC_CACHE`` parsing: garbage and negatives must not pass
+silently."""
+
+import warnings
+
+import pytest
+
+from repro.flowchart.fastpath import (EXEC_CACHE_ENV, _DEFAULT_MEMO_SIZE,
+                                      _memo_size)
+
+
+def test_unset_uses_default(monkeypatch):
+    monkeypatch.delenv(EXEC_CACHE_ENV, raising=False)
+    assert _memo_size() == _DEFAULT_MEMO_SIZE
+
+
+def test_valid_sizes_accepted(monkeypatch):
+    monkeypatch.setenv(EXEC_CACHE_ENV, "128")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert _memo_size() == 128
+
+
+def test_zero_disables_without_warning(monkeypatch):
+    monkeypatch.setenv(EXEC_CACHE_ENV, "0")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert _memo_size() == 0
+
+
+def test_malformed_value_warns_and_falls_back(monkeypatch):
+    monkeypatch.setenv(EXEC_CACHE_ENV, "lots")
+    with pytest.warns(RuntimeWarning, match="not an integer"):
+        assert _memo_size() == _DEFAULT_MEMO_SIZE
+
+
+def test_negative_value_warns_and_falls_back(monkeypatch):
+    monkeypatch.setenv(EXEC_CACHE_ENV, "-5")
+    with pytest.warns(RuntimeWarning, match="negative"):
+        assert _memo_size() == _DEFAULT_MEMO_SIZE

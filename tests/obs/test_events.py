@@ -1,0 +1,101 @@
+"""Unit tests for trace events: schema validation and sinks."""
+
+import json
+
+from repro.obs.events import (EVENT_KINDS, JsonlSink, RingBufferSink,
+                              validate_event, validate_jsonl)
+
+
+def good_event(**overrides):
+    event = {"kind": "chunk_done", "seq": 0, "t": 0.1,
+             "pair": 0, "chunk": 1, "points": 9, "accepts": 4}
+    event.update(overrides)
+    return event
+
+
+class TestValidateEvent:
+    def test_valid_event_has_no_problems(self):
+        assert validate_event(good_event()) == []
+
+    def test_missing_envelope_field(self):
+        event = good_event()
+        del event["seq"]
+        assert any("seq" in problem for problem in validate_event(event))
+
+    def test_wrong_field_type(self):
+        problems = validate_event(good_event(t="soon"))
+        assert any("'t'" in problem for problem in problems)
+
+    def test_bool_is_not_an_integer(self):
+        problems = validate_event(good_event(seq=True))
+        assert any("seq" in problem for problem in problems)
+
+    def test_unknown_kind(self):
+        problems = validate_event(good_event(kind="telepathy"))
+        assert any("unknown event kind" in problem for problem in problems)
+
+    def test_missing_kind_required_field(self):
+        event = good_event()
+        del event["accepts"]
+        assert any("accepts" in problem for problem in validate_event(event))
+
+    def test_non_dict_rejected(self):
+        assert validate_event([1, 2]) != []
+
+    def test_every_kind_has_schema_coverage(self):
+        from repro.obs.events import EVENT_SCHEMA
+        assert set(EVENT_SCHEMA["kinds"]) == set(EVENT_KINDS)
+
+
+class TestValidateJsonl:
+    def test_counts_events_and_skips_blank_lines(self):
+        lines = [json.dumps(good_event()), "", json.dumps(good_event(seq=1))]
+        count, problems = validate_jsonl(lines)
+        assert count == 2 and problems == []
+
+    def test_reports_non_json_with_line_number(self):
+        count, problems = validate_jsonl(["{not json"])
+        assert count == 1
+        assert problems and problems[0].startswith("line 1:")
+
+    def test_reports_schema_problems_per_line(self):
+        lines = [json.dumps(good_event()),
+                 json.dumps({"kind": "chunk_done", "seq": 1, "t": 0.2})]
+        _, problems = validate_jsonl(lines)
+        assert problems and all(p.startswith("line 2:") for p in problems)
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.write(good_event())
+        sink.write(good_event(seq=1))
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "chunk_done"
+
+    def test_wraps_existing_file_object_without_closing(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w") as handle:
+            sink = JsonlSink(handle)
+            sink.write(good_event())
+            sink.close()
+            assert not handle.closed
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent_events(self):
+        sink = RingBufferSink(capacity=2)
+        for seq in range(5):
+            sink.write(good_event(seq=seq))
+        assert len(sink) == 2
+        assert [event["seq"] for event in sink.events()] == [3, 4]
+
+    def test_filters_by_kind(self):
+        sink = RingBufferSink()
+        sink.write(good_event())
+        sink.write({"kind": "sweep_end", "seq": 1, "t": 0.2,
+                    "pairs": 1, "elapsed_s": 0.5})
+        assert [e["kind"] for e in sink.events("sweep_end")] == ["sweep_end"]

@@ -1,0 +1,93 @@
+"""Unit tests for the metrics primitives."""
+
+import threading
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               STEP_BUCKETS)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = Counter("c")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000
+
+
+class TestGauge:
+    def test_set_replaces(self):
+        gauge = Gauge("g")
+        gauge.set(3.5)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+
+class TestHistogram:
+    def test_summary_fields(self):
+        histogram = Histogram("h", bounds=(1, 10))
+        for value in (0.5, 5, 50):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 3
+        assert snapshot["sum"] == 55.5
+        assert snapshot["min"] == 0.5
+        assert snapshot["max"] == 50
+
+    def test_bucket_assignment_including_inf_tail(self):
+        histogram = Histogram("h", bounds=(1, 10))
+        for value in (0.5, 5, 50):
+            histogram.observe(value)
+        buckets = histogram.snapshot()["buckets"]
+        assert buckets["1"] == 1
+        assert buckets["10"] == 1
+        assert buckets["+Inf"] == 1
+
+    def test_empty_histogram_snapshot(self):
+        snapshot = Histogram("h").snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] is None and snapshot["max"] is None
+
+    def test_step_buckets_cover_typical_run_lengths(self):
+        histogram = Histogram("steps", bounds=STEP_BUCKETS)
+        histogram.observe(7)
+        assert histogram.snapshot()["buckets"]["10"] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc(2)
+        registry.gauge("size").set(7)
+        registry.histogram("t").observe(0.2)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"runs": 2}
+        assert snapshot["gauges"] == {"size": 7}
+        assert snapshot["histograms"]["t"]["count"] == 1
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}

@@ -269,3 +269,92 @@ class TestCertifyFlowchart:
                      "--policy", "allow(2)"])
         assert code == 1
         assert "REJECTED" in capsys.readouterr().out
+
+
+class TestSweepTelemetry:
+    def test_progress_flag_reports_each_pair(self, capsys):
+        code = main(["sweep", "--programs", "parity", "--executor",
+                     "thread", "--jobs", "2", "--progress"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[2/2]" in captured.err
+
+    def test_metrics_json_and_trace_artifacts(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(["sweep", "--programs", "parity,forgetting",
+                     "--executor", "thread", "--jobs", "2",
+                     "--chunk-size", "3",
+                     "--metrics-json", str(metrics_path),
+                     "--trace", str(trace_path)])
+        capsys.readouterr()
+        assert code == 0
+
+        payload = json.loads(metrics_path.read_text())
+        assert payload["meta"]["pairs"] == 6
+        assert payload["counters"]["sweep.count"] == 1
+        assert payload["counters"]["sweep.points_evaluated"] > 0
+
+        from repro.obs import validate_jsonl
+        with open(trace_path) as handle:
+            count, problems = validate_jsonl(handle)
+        assert count > 0 and problems == []
+
+    def test_sweep_fuel_flag_changes_acceptance(self, capsys):
+        main(["sweep", "--programs", "gcd", "--executor", "serial"])
+        default_out = capsys.readouterr().out
+        main(["sweep", "--programs", "gcd", "--executor", "serial",
+              "--fuel", "3"])
+        tiny_out = capsys.readouterr().out
+        assert default_out != tiny_out
+
+    def test_invalid_chunk_size_is_a_clean_error(self, capsys):
+        code = main(["sweep", "--programs", "parity",
+                     "--executor", "thread", "--chunk-size", "0"])
+        assert code == 2
+        assert "chunk_size" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def test_schema_dump_is_valid_json(self, capsys):
+        code = main(["metrics", "--schema"])
+        out = capsys.readouterr().out
+        assert code == 0
+        schema = json.loads(out)
+        assert "chunk_done" in schema["kinds"]
+
+    def test_validate_clean_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        main(["sweep", "--programs", "parity", "--executor", "thread",
+              "--jobs", "2", "--trace", str(trace_path)])
+        capsys.readouterr()
+        code = main(["metrics", "--validate", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 problem(s)" in out
+
+    def test_validate_flags_bad_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "bad.jsonl"
+        trace_path.write_text('{"kind": "chunk_done", "seq": 0}\nnot json\n')
+        code = main(["metrics", "--validate", str(trace_path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "problem" in captured.out
+        assert captured.err  # per-line problems on stderr
+
+    def test_render_from_json(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        main(["sweep", "--programs", "parity", "--executor", "thread",
+              "--jobs", "2", "--metrics-json", str(metrics_path)])
+        capsys.readouterr()
+        code = main(["metrics", "--from-json", str(metrics_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep.points_evaluated" in out
+        assert "command: sweep" in out
+
+    def test_live_snapshot_includes_memo_gauges(self, capsys):
+        code = main(["metrics"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "memo.exec.maxsize" in out

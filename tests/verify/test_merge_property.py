@@ -1,0 +1,74 @@
+"""Property: merging any chunking of a domain equals the serial verdict.
+
+``merge_chunks`` over an arbitrary partition of the grid (in domain
+order, any cut points, including empty chunks) must produce exactly the
+``(sound, accepts)`` pair of a single whole-domain ``evaluate_chunk`` —
+including sweeps where every output is a violation notice and sweeps
+where every run exhausts its fuel.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mechanism import is_violation
+from repro.core.policy import allow
+from repro.flowchart import library
+from repro.verify import FACTORIES
+from repro.verify.enumerate import default_grid, fuel_notice
+from repro.verify.parallel import evaluate_chunk, merge_chunks
+
+
+def chunked(points, cuts):
+    bounds = [0] + sorted(cuts) + [len(points)]
+    return [points[start:stop] for start, stop in zip(bounds, bounds[1:])]
+
+
+def build_case(flowchart, allowed, fuel):
+    domain = default_grid(flowchart.arity)
+    policy = allow(*allowed, arity=flowchart.arity)
+    mechanism = FACTORIES["surveillance"](flowchart, policy, domain, fuel)
+    return mechanism, policy, list(domain)
+
+
+@settings(deadline=None, max_examples=40)
+@given(data=st.data())
+def test_any_chunking_matches_whole_domain(data):
+    flowchart = library.forgetting_program()
+    allowed = data.draw(st.sampled_from([(), (1,), (2,), (1, 2)]))
+    mechanism, policy, points = build_case(flowchart, allowed, 100_000)
+    cuts = data.draw(st.lists(st.integers(0, len(points)), max_size=6))
+    split = [evaluate_chunk(mechanism, policy, chunk)
+             for chunk in chunked(points, cuts)]
+    whole = evaluate_chunk(mechanism, policy, points)
+    assert merge_chunks(split) == merge_chunks([whole])
+
+
+@settings(deadline=None, max_examples=25)
+@given(cuts=st.lists(st.integers(0, 9), max_size=5))
+def test_all_violation_runs_merge_identically(cuts):
+    # allow() on the forgetting program: every single output is Λ —
+    # the degenerate sweep the merge must still summarise exactly.
+    mechanism, policy, points = build_case(
+        library.forgetting_program(), (), 100_000)
+    assert all(is_violation(mechanism(*point)) for point in points)
+    split = [evaluate_chunk(mechanism, policy, chunk)
+             for chunk in chunked(points, cuts)]
+    whole = evaluate_chunk(mechanism, policy, points)
+    merged = merge_chunks(split)
+    assert merged == merge_chunks([whole])
+    assert merged[1] == 0  # nothing accepted
+
+
+@settings(deadline=None, max_examples=25)
+@given(cuts=st.lists(st.integers(0, 9), max_size=5))
+def test_all_fuel_exhausted_runs_merge_identically(cuts):
+    # fuel=2 truncates every gcd run: every chunk output is the
+    # distinguished fuel notice, never an unwinding exception.
+    mechanism, policy, points = build_case(
+        library.gcd_program(), (1, 2), 2)
+    split = [evaluate_chunk(mechanism, policy, chunk)
+             for chunk in chunked(points, cuts)]
+    whole = evaluate_chunk(mechanism, policy, points)
+    assert merge_chunks(split) == merge_chunks([whole])
+    assert all(output == fuel_notice(2)
+               for output in whole.classes.values())

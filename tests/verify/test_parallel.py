@@ -121,3 +121,199 @@ def test_single_pass_accepts_equals_brute_force():
         1 for point in domain if not is_violation(mechanism(*point)))
     assert accepts == brute_accepts
     assert report.sound == check_soundness(mechanism, policy, domain).sound
+
+
+# ---------------------------------------------------------------------------
+# Fuel threading (regression: fuel used to be accepted and ignored)
+# ---------------------------------------------------------------------------
+
+class TestFuelThreading:
+    def test_tiny_fuel_changes_results_and_matches_serial(self):
+        # gcd loops long enough that fuel=3 truncates every run, so the
+        # sweep's verdicts and acceptance counts shift; the parallel
+        # sweep must shift identically.  (Before the fix, the parallel
+        # sweep accepted fuel and silently dropped it on the way to the
+        # mechanism factories.)
+        flowcharts = [library.gcd_program()]
+        serial_tiny = soundness_sweep(flowcharts, FACTORIES["surveillance"],
+                                      fuel=3)
+        serial_default = soundness_sweep(flowcharts,
+                                         FACTORIES["surveillance"])
+        assert rows(serial_tiny) != rows(serial_default)
+        for executor in ("serial", "thread", "process"):
+            parallel = parallel_soundness_sweep(
+                flowcharts, "surveillance", fuel=3, executor=executor,
+                max_workers=2, chunk_size=3)
+            assert rows(parallel) == rows(serial_tiny), executor
+
+    def test_exhausted_run_yields_distinguished_fuel_notice(self):
+        from repro.verify.enumerate import fuel_notice
+
+        flowchart = library.gcd_program()
+        domain = default_grid(flowchart.arity)
+        from repro.core.policy import allow
+        policy = allow(1, 2, arity=flowchart.arity)
+        mechanism = FACTORIES["surveillance"](flowchart, policy, domain,
+                                              fuel=2)
+        summary = evaluate_chunk(mechanism, policy, list(domain))
+        assert summary.accepts == 0
+        assert all(output == fuel_notice(2)
+                   for output in summary.classes.values())
+
+    def test_legacy_three_arg_factory_rejected_for_explicit_fuel(self):
+        def legacy(flowchart, policy, domain):
+            return FACTORIES["surveillance"](flowchart, policy, domain)
+
+        with pytest.raises(ReproError, match="fuel"):
+            parallel_soundness_sweep([library.parity_program()], legacy,
+                                     fuel=7, executor="thread",
+                                     max_workers=2)
+
+
+# ---------------------------------------------------------------------------
+# Argument validation
+# ---------------------------------------------------------------------------
+
+class TestValidation:
+    @pytest.mark.parametrize("chunk_size", [0, -3])
+    def test_nonpositive_chunk_size_rejected(self, chunk_size):
+        with pytest.raises(ReproError, match="chunk_size"):
+            parallel_soundness_sweep(FLOWCHARTS, "surveillance",
+                                     executor="thread",
+                                     chunk_size=chunk_size)
+
+    @pytest.mark.parametrize("max_workers", [0, -1])
+    def test_nonpositive_max_workers_rejected(self, max_workers):
+        with pytest.raises(ReproError, match="max_workers"):
+            parallel_soundness_sweep(FLOWCHARTS, "surveillance",
+                                     executor="thread",
+                                     max_workers=max_workers)
+
+    def test_nonpositive_chunk_timeout_rejected(self):
+        with pytest.raises(ReproError, match="chunk_timeout"):
+            parallel_soundness_sweep(FLOWCHARTS, "surveillance",
+                                     executor="thread", chunk_timeout=0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ReproError, match="max_chunk_retries"):
+            parallel_soundness_sweep(FLOWCHARTS, "surveillance",
+                                     executor="thread",
+                                     max_chunk_retries=-1)
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance: retries, inline recovery, pool degradation, timeouts
+# ---------------------------------------------------------------------------
+
+class TestFaultTolerance:
+    def test_injected_failure_is_retried_not_fatal(self, monkeypatch,
+                                                   serial_baseline):
+        from repro import obs
+        from repro.verify import parallel as parallel_module
+
+        def injector(pair, chunk, attempt):
+            return pair == 0 and chunk == 0 and attempt == 0
+
+        monkeypatch.setattr(parallel_module, "_FAIL_INJECTOR", injector)
+        ring = obs.RingBufferSink()
+        with obs.observed(sinks=[ring], reset=True):
+            results = parallel_soundness_sweep(
+                FLOWCHARTS, "surveillance", executor="thread",
+                max_workers=2, chunk_size=5)
+        assert rows(results) == rows(serial_baseline)
+        retries = ring.events("worker_retry")
+        assert retries and retries[0]["pair"] == 0
+        assert "injected" in retries[0]["reason"]
+        counters = obs.snapshot()["counters"]
+        assert counters["sweep.chunks_retried"] >= 1
+
+    def test_injected_process_failure_is_retried(self, monkeypatch,
+                                                 serial_baseline):
+        from repro.verify import parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module, "_FAIL_INJECTOR",
+            lambda pair, chunk, attempt:
+                pair == 1 and chunk == 0 and attempt == 0)
+        results = parallel_soundness_sweep(
+            FLOWCHARTS, "surveillance", executor="process",
+            max_workers=2, chunk_size=7)
+        assert rows(results) == rows(serial_baseline)
+
+    def test_poisoned_chunk_recovered_inline(self, monkeypatch,
+                                             serial_baseline):
+        from repro import obs
+        from repro.verify import parallel as parallel_module
+
+        # Chunk (0, 0) fails on every pooled attempt; after the retry
+        # budget the parent evaluates it inline, so the sweep still
+        # completes with exact results.
+        monkeypatch.setattr(
+            parallel_module, "_FAIL_INJECTOR",
+            lambda pair, chunk, attempt: (pair, chunk) == (0, 0))
+        with obs.observed(reset=True):
+            results = parallel_soundness_sweep(
+                FLOWCHARTS, "surveillance", executor="thread",
+                max_workers=2, chunk_size=5, max_chunk_retries=1)
+        assert rows(results) == rows(serial_baseline)
+        counters = obs.snapshot()["counters"]
+        assert counters["sweep.chunks_failed"] == 1
+        assert counters["sweep.chunks_retried"] == 1
+
+    def test_broken_process_pool_degrades_to_thread(self, monkeypatch,
+                                                    serial_baseline):
+        from concurrent.futures import BrokenExecutor
+
+        from repro import obs
+        from repro.verify import parallel as parallel_module
+
+        class ExplodingPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def submit(self, *args, **kwargs):
+                raise BrokenExecutor("simulated dead pool")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor",
+                            ExplodingPool)
+        ring = obs.RingBufferSink()
+        with obs.observed(sinks=[ring], reset=True):
+            results = parallel_soundness_sweep(
+                FLOWCHARTS, "surveillance", executor="process",
+                max_workers=2, chunk_size=5)
+        assert rows(results) == rows(serial_baseline)
+        degraded = ring.events("pool_degraded")
+        assert degraded
+        assert degraded[0]["from_mode"] == "process"
+        assert degraded[0]["to_mode"] == "thread"
+
+    def test_timed_out_chunk_is_retried(self, monkeypatch, serial_baseline):
+        from repro import obs
+        from repro.verify import parallel as parallel_module
+
+        def delay(pair, chunk, attempt):
+            return 0.6 if (pair, chunk) == (0, 0) and attempt == 0 else 0.0
+
+        monkeypatch.setattr(parallel_module, "_DELAY_INJECTOR", delay)
+        ring = obs.RingBufferSink()
+        with obs.observed(sinks=[ring], reset=True):
+            results = parallel_soundness_sweep(
+                FLOWCHARTS, "surveillance", executor="thread",
+                max_workers=2, chunk_size=5, chunk_timeout=0.15)
+        assert rows(results) == rows(serial_baseline)
+        retries = ring.events("worker_retry")
+        assert retries and "timeout" in retries[0]["reason"]
+
+    def test_progress_callback_sees_every_pair(self):
+        seen = []
+        results = parallel_soundness_sweep(
+            FLOWCHARTS, "surveillance", executor="thread", max_workers=2,
+            chunk_size=5,
+            progress=lambda completed, total, result:
+                seen.append((completed, total, result.program_name)))
+        assert len(seen) == len(results)
+        assert seen[-1][0] == len(results)
+        assert all(total == len(results) for _, total, _ in seen)
