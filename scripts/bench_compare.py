@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on perf regressions.
+
+Usage:
+    python scripts/bench_compare.py BASELINE.json CURRENT.json \
+        [--threshold 1.5] [--min-seconds 1e-3] [--json]
+
+Walks both files for best-of-reps timing leaves (keys named ``best``
+or ending in ``_best_s``), pairs the paths they have in common, and
+reports the current/baseline ratio for each.  Exits 1 if any compared
+ratio exceeds ``--threshold``.
+
+Noise floor: leaves faster than ``--min-seconds`` in the baseline are
+reported but *not* gated.  Microsecond-scale per-program timings
+bounce by 1.5x between otherwise-identical runs (measured across
+BENCH_PR1 -> BENCH_PR3: sub-millisecond leaves drift up to 1.57x while
+every leaf over 1 ms stays within 1.20x), so gating them would make
+the CI smoke check flaky by construction.  The default floor of 1 ms
+keeps the gate on the aggregate kernels, sweeps, and lint timings
+where a regression is signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+
+def timing_leaves(node, path: str = "") -> Dict[str, float]:
+    """All best-of-reps timing leaves, keyed by their /-joined path."""
+    leaves: Dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child_path = f"{path}/{key}" if path else key
+            if (isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and (key == "best" or key.endswith("_best_s"))):
+                leaves[child_path] = float(value)
+            else:
+                leaves.update(timing_leaves(value, child_path))
+    return leaves
+
+
+def compare(baseline: Dict[str, float], current: Dict[str, float],
+            threshold: float, min_seconds: float
+            ) -> Tuple[List[Dict], List[Dict]]:
+    """Pair common timing paths; return (all rows, gated regressions)."""
+    rows: List[Dict] = []
+    regressions: List[Dict] = []
+    for path in sorted(set(baseline) & set(current)):
+        base = baseline[path]
+        cur = current[path]
+        ratio = cur / base if base > 0 else float("inf")
+        gated = base >= min_seconds
+        row = {
+            "path": path,
+            "baseline_s": base,
+            "current_s": cur,
+            "ratio": round(ratio, 4),
+            "gated": gated,
+            "regressed": gated and ratio > threshold,
+        }
+        rows.append(row)
+        if row["regressed"]:
+            regressions.append(row)
+    return rows, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json files; exit 1 past a "
+                    "regression threshold")
+    parser.add_argument("baseline", help="older BENCH_*.json")
+    parser.add_argument("current", help="newer BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="max allowed current/baseline ratio "
+                             "(default 1.5)")
+    parser.add_argument("--min-seconds", type=float, default=1e-3,
+                        help="baseline leaves faster than this are "
+                             "reported but not gated (default 1e-3; "
+                             "sub-ms timings are noise)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable comparison on stdout")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = timing_leaves(json.load(handle))
+    with open(args.current, encoding="utf-8") as handle:
+        current = timing_leaves(json.load(handle))
+
+    rows, regressions = compare(baseline, current,
+                                args.threshold, args.min_seconds)
+    if not rows:
+        print(f"no timing leaves in common between {args.baseline} and "
+              f"{args.current}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps({
+            "baseline": args.baseline,
+            "current": args.current,
+            "threshold": args.threshold,
+            "min_seconds": args.min_seconds,
+            "compared": len(rows),
+            "gated": sum(1 for row in rows if row["gated"]),
+            "regressions": len(regressions),
+            "rows": rows,
+        }, indent=2, sort_keys=True))
+    else:
+        width = max(len(row["path"]) for row in rows)
+        print(f"bench compare: {args.baseline} -> {args.current} "
+              f"(threshold {args.threshold}x, floor {args.min_seconds}s)")
+        for row in rows:
+            marker = ("REGRESSED" if row["regressed"]
+                      else "ok" if row["gated"] else "noise")
+            print(f"  {row['path']:<{width}}  "
+                  f"{row['baseline_s']:.6f}s -> {row['current_s']:.6f}s  "
+                  f"x{row['ratio']:<8} {marker}")
+        gated = sum(1 for row in rows if row["gated"])
+        print(f"{len(rows)} common leaves, {gated} gated, "
+              f"{len(regressions)} regression(s)")
+
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

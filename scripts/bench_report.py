@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Regenerate ``BENCH_PR3.json`` — the PR's machine-readable benchmark.
+"""Regenerate ``BENCH_PR4.json`` — the PR's machine-readable benchmark.
 
-Five sections:
+Six sections:
 
 ``micro_sweep_kernel``
     The sweep's inner kernel (full-domain flowchart evaluation, same
@@ -27,8 +27,15 @@ Five sections:
     The cost of the observability layer (``repro.obs``) on the micro
     kernel: the guarded no-op hooks with observability *off* (the
     default, compared against the ``BENCH_PR1.json`` pre-instrumentation
-    baseline — claimed < 3%), and the measured overhead with metrics
-    and tracing *on*.
+    baseline and the ``BENCH_PR3.json`` pre-span baseline — both
+    claimed < 3%), and the measured overhead with metrics and tracing
+    *on*.
+
+``provenance``
+    The cost of the PR's audit features on a serial soundness sweep:
+    spans+tracing on, spans+tracing+violation explanations on, the
+    per-call cost of ``explain()`` itself, and the analytics side
+    (``summarize`` / ``build_span_tree``) over the captured trace.
 
 The compiled backend's result memo is cleared before every timed rep,
 so caching never masquerades as execution speed.  ``--smoke`` shrinks
@@ -332,15 +339,114 @@ def bench_telemetry(repeats: int) -> dict:
         section["pr1_compiled_best_s"] = baseline_best
         section["noop_overhead_vs_pr1_pct"] = overhead_pct
         section["noop_overhead_under_3pct"] = overhead_pct < 3.0
+
+    # This PR adds span and explanation hooks along the same paths; the
+    # disabled-hook cost must also stay within 3% of the pre-span
+    # kernel recorded in BENCH_PR3.json (same measurement, same
+    # machine).
+    pr3_path = REPO_ROOT / "BENCH_PR3.json"
+    if pr3_path.exists():
+        with open(pr3_path) as handle:
+            pr3 = json.load(handle)
+        pr3_best = (pr3.get("telemetry", {})
+                    .get("hooks_off_s", {}).get("best"))
+        if pr3_best is None:
+            pr3_best = pr3["micro_sweep_kernel"]["compiled_s"]["best"]
+        pr3_overhead_pct = round(
+            (hooks_off["best"] / pr3_best - 1.0) * 100, 2)
+        section["pr3_hooks_off_best_s"] = pr3_best
+        section["noop_overhead_vs_pr3_pct"] = pr3_overhead_pct
+        section["noop_overhead_under_3pct_vs_pr3"] = pr3_overhead_pct < 3.0
     return section
+
+
+# ---------------------------------------------------------------------------
+# Section 6: provenance and trace-analytics overhead
+# ---------------------------------------------------------------------------
+
+def bench_provenance(repeats: int) -> dict:
+    from repro import obs
+    from repro.core.policy import AllowPolicy
+
+    programs = [library.forgetting_program(), library.parity_program()]
+    factory = FACTORIES["surveillance"]
+
+    def sweep():
+        with forced_backend("interpreted"):
+            return soundness_sweep(programs, factory)
+
+    obs.disable()
+    plain = time_callable(sweep, repeats=repeats, setup=fresh_caches)
+
+    obs.enable(metrics=True, sinks=[obs.RingBufferSink(capacity=65536)],
+               reset=True)
+    try:
+        traced = time_callable(sweep, repeats=repeats, setup=fresh_caches)
+    finally:
+        obs.disable()
+
+    obs.enable(metrics=True, sinks=[obs.RingBufferSink(capacity=65536)],
+               reset=True, explain=True)
+    try:
+        explained = time_callable(sweep, repeats=repeats, setup=fresh_caches)
+    finally:
+        obs.disable()
+
+    # One clean traced+explained sweep for the analytics numbers (the
+    # timing rings above hold events from every rep).
+    capture = obs.RingBufferSink(capacity=65536)
+    obs.enable(metrics=True, sinks=[capture], reset=True, explain=True)
+    try:
+        sweep()
+    finally:
+        obs.disable()
+    events = capture.events()
+    explanations = len(capture.events("explanation"))
+
+    # Per-call cost of a single violation explanation: the replayed
+    # surveillance run plus the backward dependence slice.
+    flowchart = library.gcd_program()
+    policy = AllowPolicy([1], 2)
+    explain_call = time_callable(
+        lambda: obs.explain(flowchart, policy, (6, 4)), repeats=repeats)
+
+    summarize_timing = time_callable(lambda: obs.summarize(events),
+                                     repeats=repeats)
+    tree_timing = time_callable(lambda: obs.build_span_tree(events),
+                                repeats=repeats)
+    forest = obs.build_span_tree(events)
+
+    return {
+        "programs": [program.name for program in programs],
+        "pairs": sum(2 ** program.arity for program in programs),
+        "sweep_plain_s": plain,
+        "sweep_traced_s": traced,
+        "sweep_explain_s": explained,
+        "traced_overhead_pct": round(
+            (traced["best"] / plain["best"] - 1.0) * 100, 2),
+        "explain_overhead_pct": round(
+            (explained["best"] / plain["best"] - 1.0) * 100, 2),
+        "trace_events_per_sweep": len(events),
+        "span_roots": len(forest.roots),
+        "span_problems": len(forest.problems),
+        "explanations_per_sweep": explanations,
+        "explain_call_s": explain_call,
+        "summarize_s": summarize_timing,
+        "span_tree_s": tree_timing,
+        "notes": (
+            "Tracing and explanations are opt-in; the sweep numbers "
+            "here quantify what a user pays for --trace and --explain. "
+            "explain_call_s is one replayed surveillance run plus the "
+            "backward label slice on gcd under allow(1)."),
+    }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: fewer reps, smaller program set")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR3.json"),
-                        help="output path (default: repo-root BENCH_PR3.json)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR4.json"),
+                        help="output path (default: repo-root BENCH_PR4.json)")
     args = parser.parse_args(argv)
 
     repeats = 2 if args.smoke else 5
@@ -352,22 +458,31 @@ def main(argv=None) -> int:
     per_program = bench_per_program(max(1, repeats - 1), args.smoke)
     # The telemetry claim compares best-of-N against a number recorded
     # in a different process run; a couple of smoke reps is too noisy
-    # for a <3% assertion, so this section always gets enough reps.
-    telemetry = bench_telemetry(max(repeats, 8))
+    # for a <3% assertion, so this section always gets enough reps
+    # (best-of-N is a min statistic — the PR3 file itself shows ~6%
+    # spread between two same-run measurements of this kernel, so N
+    # must be large enough to reach the floor).
+    telemetry = bench_telemetry(max(repeats, 16))
+    provenance = bench_provenance(max(2, repeats - 1))
 
     claims = {
         "micro_speedup_at_least_3x": micro["speedup"] >= 3.0,
         "sweep_faster_than_seed": all(
             section["speedup_vs_seed"]["single_pass_compiled"] > 1.0
             for section in sweep["factories"].values()),
+        "span_tree_single_rooted": provenance["span_roots"] == 1
+        and provenance["span_problems"] == 0,
     }
     if "noop_overhead_under_3pct" in telemetry:
         claims["telemetry_noop_overhead_under_3pct"] = (
             telemetry["noop_overhead_under_3pct"])
+    if "noop_overhead_under_3pct_vs_pr3" in telemetry:
+        claims["telemetry_noop_overhead_under_3pct_vs_pr3"] = (
+            telemetry["noop_overhead_under_3pct_vs_pr3"])
 
     payload = {
         "meta": {
-            "benchmark": "PR3 sweep telemetry + fault-tolerant pools",
+            "benchmark": "PR4 provenance audit traces + span analytics",
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
@@ -379,6 +494,7 @@ def main(argv=None) -> int:
         "flowlint": flowlint,
         "per_program": per_program,
         "telemetry": telemetry,
+        "provenance": provenance,
         "claims": claims,
     }
     path = write_json(payload, args.out)
@@ -398,10 +514,22 @@ def main(argv=None) -> int:
           f"{telemetry['traced_overhead_pct']}%"
           + (f", no-op hooks vs PR1 baseline "
              f"{telemetry['noop_overhead_vs_pr1_pct']}%"
-             if "noop_overhead_vs_pr1_pct" in telemetry else ""))
+             if "noop_overhead_vs_pr1_pct" in telemetry else "")
+          + (f", vs PR3 baseline "
+             f"{telemetry['noop_overhead_vs_pr3_pct']}%"
+             if "noop_overhead_vs_pr3_pct" in telemetry else ""))
+    print(f"  provenance: --trace costs "
+          f"{provenance['traced_overhead_pct']}%, --trace --explain "
+          f"{provenance['explain_overhead_pct']}% on the serial sweep; "
+          f"explain() {provenance['explain_call_s']['best'] * 1e6:.0f}us/"
+          f"call, {provenance['trace_events_per_sweep']} events and "
+          f"{provenance['explanations_per_sweep']} explanations per sweep")
     if telemetry.get("noop_overhead_under_3pct") is False:
         print("WARNING: disabled-hook overhead above the claimed 3% "
               "of the PR1 baseline (noisy machine?)", file=sys.stderr)
+    if telemetry.get("noop_overhead_under_3pct_vs_pr3") is False:
+        print("WARNING: disabled-hook overhead above the claimed 3% "
+              "of the PR3 baseline (noisy machine?)", file=sys.stderr)
     if not payload["claims"]["micro_speedup_at_least_3x"] and not args.smoke:
         print("WARNING: micro kernel speedup below the claimed 3x",
               file=sys.stderr)

@@ -110,9 +110,14 @@ class PassManager:
         context = AnalysisContext(flowchart, policy)
         diagnostics: List[Diagnostic] = []
         pass_seconds: Dict[str, float] = {}
+        lint_span = _obs.span_begin("lint", program=flowchart.name,
+                                    policy=policy.name if policy else None)
         for analysis_pass in self.passes:
             if analysis_pass.requires_policy and policy is None:
                 continue
+            pass_span = _obs.span_begin("lint_pass", push=True,
+                                        program=flowchart.name,
+                                        **{"pass": analysis_pass.name})
             started = time.perf_counter()
             found = analysis_pass.run(context)
             elapsed = time.perf_counter() - started
@@ -126,8 +131,17 @@ class PassManager:
                           **{"pass": analysis_pass.name},
                           seconds=round(elapsed, 6),
                           diagnostics=len(found))
+            if (_obs.explain_active and policy is not None
+                    and any(d.code == "FLOW001" for d in found)):
+                # A FLOW001 rejection is justified by the influence
+                # fixpoint; attach the static chain behind it.
+                from ..obs.provenance import explain_static
+                explanation = explain_static(flowchart, policy)
+                _obs.emit("explanation", **explanation.event_fields())
+            _obs.span_finish(pass_span, diagnostics=len(found))
         if _obs.active:
             _obs.inc("lint.runs")
+        _obs.span_finish(lint_span, diagnostics=len(diagnostics))
         return LintReport(flowchart.name, diagnostics, pass_seconds,
                           policy_name=policy.name if policy else None)
 

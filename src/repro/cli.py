@@ -277,9 +277,14 @@ def command_sweep(args) -> int:
     if args.trace:
         trace_sink = obs.JsonlSink(args.trace)
         sinks.append(trace_sink)
+    if args.explain and not args.trace:
+        raise ReproError(
+            "--explain emits provenance into the trace stream; "
+            "add --trace PATH")
     observing = bool(args.metrics_json or sinks)
     if observing:
-        obs.enable(metrics=True, sinks=sinks, reset=True)
+        obs.enable(metrics=True, sinks=sinks, reset=True,
+                   explain=args.explain)
 
     saved_backend = _os.environ.get(BACKEND_ENV)
     if args.backend:
@@ -341,6 +346,127 @@ def command_sweep(args) -> int:
     return 0 if not failures or args.mechanism == "program" else 1
 
 
+def command_explain(args) -> int:
+    """Violation provenance: why does the mechanism say Λ here?"""
+    import json
+
+    from . import obs
+
+    flowchart = _load_flowchart(args)
+    policy = parse_policy(args.policy, arity=flowchart.arity)
+    if args.static:
+        if args.inputs:
+            raise ReproError(
+                "--static derives the compile-time chain; it takes no "
+                "concrete inputs")
+        explanation = obs.explain_static(flowchart, policy)
+    else:
+        if not args.inputs:
+            raise ReproError(
+                "explain replays one point: give its integer inputs, or "
+                "pass --static for the compile-time chain")
+        point = tuple(int(value) for value in args.inputs)
+        explanation = obs.explain(flowchart, policy, point,
+                                  timed=args.timed, fuel=args.fuel)
+    if args.json:
+        print(json.dumps(explanation.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(explanation.render())
+    return 1 if explanation.violated else 0
+
+
+def command_trace(args) -> int:
+    """Offline analytics over a JSONL trace written by ``sweep --trace``."""
+    import json
+
+    from . import obs
+
+    try:
+        events = obs.load_trace(args.trace)
+    except OSError as error:
+        raise ReproError(f"cannot read trace {args.trace!r}: {error}")
+
+    if args.action == "summarize":
+        summary = obs.summarize(events)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        print(f"trace:     {args.trace}")
+        print(f"events:    {summary['events']} "
+              f"across {summary['processes']} process(es)")
+        kinds = summary["kinds"]
+        if kinds:
+            table = Table("events by kind", ["kind", "count"])
+            for kind in sorted(kinds):
+                table.add_row(kind, str(kinds[kind]))
+            print(table.render())
+        spans = summary["spans"]
+        print(f"spans:     {spans['total']} in {spans['roots']} tree(s), "
+              f"{len(spans['problems'])} problem(s)")
+        if spans["by_op"]:
+            table = Table("span timing by op",
+                          ["op", "count", "total_s", "max_s"])
+            for op, stats in spans["by_op"].items():
+                table.add_row(op, str(stats["count"]),
+                              f"{stats['total_s']:.6f}",
+                              f"{stats['max_s']:.6f}")
+            print(table.render())
+        print(f"points:    {summary['points_evaluated']} evaluated, "
+              f"{summary['points_accepted']} accepted")
+        print(f"incidents: {summary['violations']} violation(s), "
+              f"{summary['worker_retries']} retry(ies), "
+              f"{summary['pool_degradations']} degradation(s)")
+        return 0
+
+    if args.action == "slow":
+        rows = obs.slowest_spans(events, top=args.top)
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+            return 0
+        table = Table(f"slowest {len(rows)} span(s)",
+                      ["span", "op", "elapsed_s", "detail"])
+        for row in rows:
+            detail = " ".join(
+                f"{key}={row[key]}" for key in
+                ("program", "policy", "pair", "chunk", "executor")
+                if key in row)
+            table.add_row(row["span"], row["op"],
+                          f"{row['elapsed_s']:.6f}", detail)
+        print(table.render())
+        return 0
+
+    if args.action == "explain":
+        point = None
+        if args.point:
+            point = [int(value) for value in args.point.split(",")]
+        records = obs.find_explanations(events, point=point,
+                                        program=args.program)
+        if args.json:
+            print(json.dumps(records, indent=2, sort_keys=True))
+            return 0 if records else 1
+        if not records:
+            print("no explanation events match "
+                  "(was the sweep run with --explain and --trace?)",
+                  file=sys.stderr)
+            return 1
+        for record in records:
+            print(obs.render_explanation_event(record))
+            print()
+        return 0
+
+    # spans
+    forest = obs.build_span_tree(events)
+    if args.tree:
+        print(obs.render_tree(forest, max_children=args.max_children))
+    print(f"{len(forest.spans)} span(s), {len(forest.roots)} root(s), "
+          f"{len(forest.problems)} problem(s)")
+    if args.expect_single_root and not forest.single_rooted:
+        print(f"expected a single rooted tree, found {len(forest.roots)} "
+              "root(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def command_metrics(args) -> int:
     import json
 
@@ -363,7 +489,7 @@ def command_metrics(args) -> int:
         with open(args.from_json, encoding="utf-8") as handle:
             snapshot = json.load(handle)
         meta = snapshot.get("meta")
-        if meta:
+        if meta and not args.prometheus:
             for key in sorted(meta):
                 print(f"{key}: {meta[key]}")
             print()
@@ -372,6 +498,11 @@ def command_metrics(args) -> int:
         # from the REPL or after an in-process sweep).
         export_memo_stats()
         snapshot = obs.snapshot()
+
+    if args.prometheus:
+        # Text exposition format: scrape-ready, round-trips the snapshot.
+        sys.stdout.write(obs.snapshot_to_prometheus(snapshot))
+        return 0
 
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
@@ -602,8 +733,60 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--trace", metavar="PATH",
                               help="write the structured JSONL trace-event "
                                    "stream to PATH")
+    sweep_parser.add_argument("--explain", action="store_true",
+                              help="attach violation provenance "
+                                   "(explanation events) to the trace; "
+                                   "requires --trace")
     _add_backend_argument(sweep_parser)
     sweep_parser.set_defaults(handler=command_sweep)
+
+    explain_parser = commands.add_parser(
+        "explain", help="violation provenance: the input-index influence "
+                        "chain behind a mechanism verdict")
+    _add_program_arguments(explain_parser)
+    explain_parser.add_argument("--policy", required=True,
+                                help='e.g. "allow(1)"')
+    explain_parser.add_argument("--timed", action="store_true",
+                                help="Theorem 3' mechanism (halts before "
+                                     "disallowed tests)")
+    explain_parser.add_argument("--static", action="store_true",
+                                help="derive the chain from the flowlint "
+                                     "influence fixpoint (no point needed)")
+    explain_parser.add_argument("--fuel", type=int, default=100_000)
+    explain_parser.add_argument("--json", action="store_true",
+                                help="machine-readable explanation")
+    explain_parser.add_argument("inputs", nargs="*",
+                                help="the point to replay (integer inputs)")
+    explain_parser.set_defaults(handler=command_explain)
+
+    trace_parser = commands.add_parser(
+        "trace", help="offline analytics over a JSONL trace "
+                      "(see sweep --trace)")
+    trace_parser.add_argument("action",
+                              choices=("summarize", "slow", "explain",
+                                       "spans"),
+                              help="summarize | slow | explain | spans")
+    trace_parser.add_argument("trace", help="path to the JSONL trace file")
+    trace_parser.add_argument("--top", type=int, default=10,
+                              help="spans to list (slow)")
+    trace_parser.add_argument("--point", metavar="I,J,...",
+                              help="filter explanations to one point, "
+                                   'e.g. "2,3" (explain)')
+    trace_parser.add_argument("--program",
+                              help="filter explanations by program name "
+                                   "(explain)")
+    trace_parser.add_argument("--tree", action="store_true",
+                              help="print the reconstructed span tree "
+                                   "(spans)")
+    trace_parser.add_argument("--max-children", type=int, default=0,
+                              help="truncate wide tree levels to N children "
+                                   "(spans; 0 = unlimited)")
+    trace_parser.add_argument("--expect-single-root", action="store_true",
+                              help="exit 1 unless the spans form exactly "
+                                   "one rooted tree (spans)")
+    trace_parser.add_argument("--json", action="store_true",
+                              help="machine-readable output")
+    trace_parser.set_defaults(handler=command_trace)
 
     metrics_parser = commands.add_parser(
         "metrics", help="observability: registry snapshots, trace "
@@ -615,6 +798,9 @@ def build_parser() -> argparse.ArgumentParser:
                                      "the event schema")
     metrics_parser.add_argument("--from-json", metavar="PATH",
                                 help="render a --metrics-json snapshot file")
+    metrics_parser.add_argument("--prometheus", action="store_true",
+                                help="print the snapshot in Prometheus "
+                                     "text-exposition format")
     metrics_parser.set_defaults(handler=command_metrics)
 
     certify_parser = commands.add_parser(

@@ -11,7 +11,15 @@ chunk, memo lookup, and pool retry is observable through
   JSONL events with a self-contained schema and validator, deliverable
   to a file sink or an in-memory ring buffer;
 - the **runtime** (:mod:`repro.obs.runtime`): a single no-op-when-off
-  flag the instrumented hot layers guard their hooks with.
+  flag the instrumented hot layers guard their hooks with, plus
+  hierarchical **spans** (sweep → pair → chunk → point; lint → pass)
+  whose pid-prefixed ids reassemble across process-pool workers;
+- **violation provenance** (:mod:`repro.obs.provenance`): when a
+  mechanism rejects a point, *why* — the input-index influence chain
+  from the inputs to the violating PC, as an :class:`Explanation`;
+- **trace analytics** (:mod:`repro.obs.trace`): offline span-tree
+  reconstruction, summaries, and slow-span ranking over JSONL traces
+  (the ``repro trace`` subcommand).
 
 Typical use::
 
@@ -31,13 +39,24 @@ The CLI exposes the same machinery as ``repro sweep --progress
 from .events import (EVENT_KINDS, EVENT_SCHEMA, JsonlSink, RingBufferSink,
                      validate_event, validate_jsonl)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
-                      DEFAULT_BUCKETS, STEP_BUCKETS)
-from .runtime import (disable, emit, enable, observed, registry, snapshot)
+                      DEFAULT_BUCKETS, STEP_BUCKETS, snapshot_to_prometheus)
+from .provenance import ChainStep, Explanation, explain, explain_static
+from .runtime import (Span, current_span, disable, emit, enable, observed,
+                      registry, snapshot, span, span_begin, span_finish)
+from .trace import (SpanForest, SpanNode, build_span_tree,
+                    find_explanations, load_events, load_trace,
+                    render_explanation_event, render_tree, slowest_spans,
+                    summarize)
 
 __all__ = [
     "EVENT_KINDS", "EVENT_SCHEMA", "JsonlSink", "RingBufferSink",
     "validate_event", "validate_jsonl",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "DEFAULT_BUCKETS", "STEP_BUCKETS",
+    "DEFAULT_BUCKETS", "STEP_BUCKETS", "snapshot_to_prometheus",
+    "ChainStep", "Explanation", "explain", "explain_static",
     "enable", "disable", "observed", "emit", "registry", "snapshot",
+    "Span", "span", "span_begin", "span_finish", "current_span",
+    "SpanForest", "SpanNode", "build_span_tree", "load_events",
+    "load_trace", "summarize", "slowest_spans", "find_explanations",
+    "render_tree", "render_explanation_event",
 ]

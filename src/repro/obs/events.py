@@ -19,6 +19,7 @@ checkers the CI job runs against CLI-emitted traces.
 
 from __future__ import annotations
 
+import atexit
 import io
 import json
 from collections import deque
@@ -38,6 +39,9 @@ EVENT_KINDS: Tuple[str, ...] = (
     "pair_done",     # all chunks of one (program, policy) pair merged
     "sweep_end",     # the sweep finished
     "lint_pass",     # one flowlint pass completed
+    "span_start",    # a hierarchical work span opened (sweep/pair/chunk/...)
+    "span_end",      # a span closed (same id as its span_start)
+    "explanation",   # violation provenance: the input-index influence chain
 )
 
 #: Envelope + per-kind required payload fields.  ``properties`` gives
@@ -66,6 +70,15 @@ EVENT_SCHEMA: Dict = {
                                    "accepts"]},
         "sweep_end": {"required": ["pairs", "elapsed_s"]},
         "lint_pass": {"required": ["program", "pass", "seconds"]},
+        # Spans: ``span`` is the id, ``parent`` (optional) links the
+        # tree; a span_end repeats its span_start's id and op.
+        "span_start": {"required": ["span", "op"]},
+        "span_end": {"required": ["span", "op", "elapsed_s"]},
+        # Provenance: the chain is a list of step dicts, each naming the
+        # box, the variable written (if any), and the label after it —
+        # see repro.obs.provenance.Explanation.
+        "explanation": {"required": ["program", "policy", "point", "site",
+                                     "chain"]},
     },
 }
 
@@ -110,8 +123,11 @@ def validate_event(event: object) -> List[str]:
 def validate_jsonl(lines: Iterable[str]) -> Tuple[int, List[str]]:
     """Validate a JSONL trace stream; returns ``(events, problems)``.
 
-    Problems are prefixed with a 1-based line number.  Blank lines are
-    ignored (a trailing newline is normal for JSONL).
+    Problems localise three ways: the 1-based *line* number in the
+    stream, the 1-based *event* index among non-blank lines (the two
+    differ when blank lines pad the stream), and — for schema
+    mismatches — the offending key, quoted in the message.  Blank lines
+    are ignored (a trailing newline is normal for JSONL).
     """
     count = 0
     problems: List[str] = []
@@ -120,18 +136,30 @@ def validate_jsonl(lines: Iterable[str]) -> Tuple[int, List[str]]:
         if not line:
             continue
         count += 1
+        where = f"line {number}: event {count}"
         try:
             event = json.loads(line)
         except ValueError as error:
-            problems.append(f"line {number}: not JSON ({error})")
+            problems.append(f"{where}: not JSON ({error})")
             continue
         for problem in validate_event(event):
-            problems.append(f"line {number}: {problem}")
+            problems.append(f"{where}: {problem}")
     return count, problems
 
 
 class JsonlSink:
-    """Appends one compact JSON line per event to a path or file object."""
+    """Appends one compact JSON line per event to a path or file object.
+
+    Crash-safe by construction: every event is flushed as it is
+    written, and a path-owning sink registers an ``atexit`` close — so
+    the trace of a sweep that is killed mid-flight contains every event
+    emitted up to the kill (at worst the final line is truncated by the
+    signal landing mid-write).  Also usable as a context manager::
+
+        with JsonlSink("trace.jsonl") as sink:
+            obs.enable(sinks=[sink])
+            ...
+    """
 
     def __init__(self, target: Union[str, io.TextIOBase]) -> None:
         if isinstance(target, str):
@@ -141,18 +169,37 @@ class JsonlSink:
             self._file = target
             self._owns = False
         self.path = target if isinstance(target, str) else None
+        self._closed = False
+        if self._owns:
+            atexit.register(self.close)
 
     def write(self, event: Dict) -> None:
+        if self._closed:
+            return
         self._file.write(json.dumps(event, sort_keys=True,
                                     separators=(",", ":")) + "\n")
-
-    def flush(self) -> None:
+        # Flush per event: an aborted sweep must not lose its tail to a
+        # buffered page (the kill-mid-sweep test exercises exactly this).
         self._file.flush()
 
+    def flush(self) -> None:
+        if not self._closed:
+            self._file.flush()
+
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._file.flush()
         if self._owns:
             self._file.close()
+            atexit.unregister(self.close)
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class RingBufferSink:

@@ -16,8 +16,9 @@ global flag test per run.
 
 from __future__ import annotations
 
+import re
 import threading
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Default histogram bucket upper bounds (seconds-flavoured; step-count
 #: histograms pass their own bounds).
@@ -181,8 +182,74 @@ class MetricsRegistry:
                            for name, histogram in sorted(histograms.items())},
         }
 
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """The registry in Prometheus text-exposition format.
+
+        Shorthand for ``snapshot_to_prometheus(self.snapshot())`` — the
+        CLI's ``repro metrics --prometheus`` prints exactly this.
+        """
+        return snapshot_to_prometheus(self.snapshot(), prefix=prefix)
+
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _prometheus_name(name: str, prefix: str) -> str:
+    """Map a dotted metric name onto the Prometheus charset."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if prefix:
+        sanitized = f"{prefix}_{sanitized}"
+    if sanitized and sanitized[0].isdigit():  # pragma: no cover - defensive
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prometheus_number(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def snapshot_to_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as Prometheus text.
+
+    Counters and gauges become single samples; each histogram becomes
+    the conventional ``_bucket{le="..."}`` cumulative series plus
+    ``_sum`` and ``_count``.  Dots in metric names become underscores
+    (``sweep.points_evaluated`` -> ``repro_sweep_points_evaluated``).
+    The output round-trips: parsing the text recovers every counter,
+    gauge, and histogram summary in the snapshot (the test suite does).
+    """
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        exposed = _prometheus_name(name, prefix)
+        lines.append(f"# TYPE {exposed} counter")
+        lines.append(f"{exposed} {_prometheus_number(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        exposed = _prometheus_name(name, prefix)
+        lines.append(f"# TYPE {exposed} gauge")
+        lines.append(f"{exposed} {_prometheus_number(value)}")
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        exposed = _prometheus_name(name, prefix)
+        lines.append(f"# TYPE {exposed} histogram")
+        buckets = hist.get("buckets", {})
+        cumulative = 0
+        for bound, count in buckets.items():
+            if bound == "+Inf":
+                continue
+            cumulative += count
+            lines.append(f'{exposed}_bucket{{le="{bound}"}} {cumulative}')
+        cumulative += buckets.get("+Inf", 0)
+        lines.append(f'{exposed}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{exposed}_sum {_prometheus_number(hist.get('sum', 0))}")
+        lines.append(f"{exposed}_count {hist.get('count', 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")

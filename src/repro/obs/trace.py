@@ -1,0 +1,315 @@
+"""Offline trace analytics: span trees, summaries, and explanations.
+
+A JSONL trace written by :class:`repro.obs.events.JsonlSink` is a flat
+stream of events, possibly interleaved from several processes (each
+span id carries its writer's pid, so ids never collide).  This module
+reassembles that stream into the shapes the ``repro trace`` CLI
+reports on:
+
+- :func:`build_span_tree` pairs every ``span_start`` with its
+  ``span_end`` and threads parent links into a forest (a healthy sweep
+  trace yields exactly one root: the sweep span);
+- :func:`summarize` aggregates event counts, per-op span timing, and
+  violation/retry/degradation totals;
+- :func:`slowest_spans` ranks closed spans by elapsed time;
+- :func:`find_explanations` pulls the provenance records a mechanism
+  attached to its rejections (see :mod:`repro.obs.provenance`).
+
+Everything operates on plain dicts so analytics never needs the
+runtime that produced the trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def load_events(lines: Iterable[str]) -> List[Dict]:
+    """Decode a JSONL stream, skipping blank and truncated lines.
+
+    A sweep killed mid-write may leave a final partial line; analytics
+    tolerates it (the validator in :mod:`repro.obs.events` is the
+    strict reader).
+    """
+    events: List[Dict] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+    return events
+
+
+def load_trace(path: str) -> List[Dict]:
+    """Read and decode a trace file."""
+    with open(path, encoding="utf-8") as handle:
+        return load_events(handle)
+
+
+class SpanNode:
+    """One reconstructed span: its events, timing, and children."""
+
+    __slots__ = ("id", "op", "parent", "fields", "elapsed_s", "closed",
+                 "children")
+
+    def __init__(self, span_id: str, op: str, parent: Optional[str],
+                 fields: Dict) -> None:
+        self.id = span_id
+        self.op = op
+        self.parent = parent
+        self.fields = fields
+        self.elapsed_s: Optional[float] = None
+        self.closed = False
+        self.children: List["SpanNode"] = []
+
+    def walk(self):
+        """Yield ``(depth, node)`` over this subtree, preorder."""
+        stack: List[Tuple[int, SpanNode]] = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+
+    def __repr__(self) -> str:
+        return (f"SpanNode({self.op}, id={self.id}, "
+                f"children={len(self.children)})")
+
+
+class SpanForest:
+    """The reassembled span forest plus structural problems found."""
+
+    __slots__ = ("roots", "spans", "problems")
+
+    def __init__(self, roots: List[SpanNode], spans: Dict[str, SpanNode],
+                 problems: List[str]) -> None:
+        self.roots = roots
+        self.spans = spans
+        self.problems = problems
+
+    @property
+    def single_rooted(self) -> bool:
+        return len(self.roots) == 1
+
+    def __repr__(self) -> str:
+        return (f"SpanForest({len(self.spans)} spans, "
+                f"{len(self.roots)} root(s), "
+                f"{len(self.problems)} problem(s))")
+
+
+def build_span_tree(events: Sequence[Dict]) -> SpanForest:
+    """Pair span events and thread parent links into a forest.
+
+    Works across process-pool traces: ids are pid-prefixed, and a
+    parent id recorded in the supervising process resolves no matter
+    which process emitted the child.  Problems reported: a ``span_end``
+    with no matching start, a span never closed, and a parent id that
+    never appears (the child is promoted to a root so no span is
+    silently dropped).
+    """
+    spans: Dict[str, SpanNode] = {}
+    order: List[str] = []
+    problems: List[str] = []
+    for event in events:
+        kind = event.get("kind")
+        if kind == "span_start":
+            span_id = event.get("span")
+            fields = {key: value for key, value in event.items()
+                      if key not in ("kind", "seq", "t", "span", "op",
+                                     "parent")}
+            node = SpanNode(span_id, event.get("op", "?"),
+                            event.get("parent"), fields)
+            if span_id in spans:
+                problems.append(f"duplicate span_start for {span_id}")
+            else:
+                spans[span_id] = node
+                order.append(span_id)
+        elif kind == "span_end":
+            span_id = event.get("span")
+            node = spans.get(span_id)
+            if node is None:
+                problems.append(f"span_end without span_start: {span_id}")
+                continue
+            if node.closed:
+                problems.append(f"duplicate span_end for {span_id}")
+                continue
+            node.closed = True
+            node.elapsed_s = event.get("elapsed_s")
+            for key, value in event.items():
+                if key not in ("kind", "seq", "t", "span", "op",
+                               "elapsed_s"):
+                    node.fields.setdefault(key, value)
+
+    roots: List[SpanNode] = []
+    for span_id in order:
+        node = spans[span_id]
+        if node.parent is None:
+            roots.append(node)
+        elif node.parent in spans:
+            spans[node.parent].children.append(node)
+        else:
+            problems.append(
+                f"span {span_id} ({node.op}) has unknown parent "
+                f"{node.parent}; promoted to root")
+            roots.append(node)
+    for span_id in order:
+        if not spans[span_id].closed:
+            problems.append(
+                f"span {span_id} ({spans[span_id].op}) never closed")
+    return SpanForest(roots, spans, problems)
+
+
+def render_tree(forest: SpanForest, max_children: int = 0) -> str:
+    """An indented text rendering of the forest (the CLI's ``--tree``).
+
+    ``max_children`` truncates wide levels (0 = no limit) so a
+    10k-point sweep stays readable; truncation is always announced.
+    """
+    lines: List[str] = []
+    for root in forest.roots:
+        lines.extend(_render_node(root, 0, max_children))
+    for problem in forest.problems:
+        lines.append(f"! {problem}")
+    return "\n".join(lines)
+
+
+def _render_node(node: SpanNode, depth: int,
+                 max_children: int) -> List[str]:
+    indent = "  " * depth
+    elapsed = (f" {node.elapsed_s:.6f}s" if node.elapsed_s is not None
+               else " (unclosed)")
+    extras = ""
+    for key in ("pair", "program", "policy", "chunk", "executor", "mode"):
+        if key in node.fields:
+            extras += f" {key}={node.fields[key]}"
+    lines = [f"{indent}{node.op} [{node.id}]{elapsed}{extras}"]
+    children = node.children
+    shown = children if not max_children else children[:max_children]
+    for child in shown:
+        lines.extend(_render_node(child, depth + 1, max_children))
+    if max_children and len(children) > max_children:
+        lines.append(f"{indent}  ... {len(children) - max_children} more "
+                     f"child span(s) of {node.op} elided")
+    return lines
+
+
+def summarize(events: Sequence[Dict]) -> Dict:
+    """Aggregate a trace: event counts, span timing per op, totals."""
+    kinds: Dict[str, int] = {}
+    pids = set()
+    span_elapsed: Dict[str, List[float]] = {}
+    violations = 0
+    retries = 0
+    degradations = 0
+    points = 0
+    accepts = 0
+    for event in events:
+        kind = event.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        span_id = event.get("span")
+        if isinstance(span_id, str) and "-" in span_id:
+            pids.add(span_id.split("-", 1)[0])
+        if kind == "span_end":
+            elapsed = event.get("elapsed_s")
+            if isinstance(elapsed, (int, float)):
+                span_elapsed.setdefault(event.get("op", "?"),
+                                        []).append(float(elapsed))
+        elif kind == "violation":
+            violations += 1
+        elif kind == "worker_retry":
+            retries += 1
+        elif kind == "pool_degraded":
+            degradations += 1
+        elif kind == "chunk_done":
+            points += event.get("points", 0)
+            accepts += event.get("accepts", 0)
+    ops = {}
+    for op, values in sorted(span_elapsed.items()):
+        ops[op] = {
+            "count": len(values),
+            "total_s": round(sum(values), 6),
+            "max_s": round(max(values), 6),
+            "mean_s": round(sum(values) / len(values), 9),
+        }
+    forest = build_span_tree(events)
+    return {
+        "events": len(events),
+        "kinds": dict(sorted(kinds.items())),
+        "processes": len(pids) or (1 if events else 0),
+        "spans": {
+            "total": len(forest.spans),
+            "roots": len(forest.roots),
+            "problems": forest.problems,
+            "by_op": ops,
+        },
+        "violations": violations,
+        "worker_retries": retries,
+        "pool_degradations": degradations,
+        "points_evaluated": points,
+        "points_accepted": accepts,
+    }
+
+
+def slowest_spans(events: Sequence[Dict],
+                  top: int = 10) -> List[Dict]:
+    """The ``top`` closed spans by elapsed time, slowest first."""
+    forest = build_span_tree(events)
+    closed = [node for node in forest.spans.values()
+              if node.closed and node.elapsed_s is not None]
+    closed.sort(key=lambda node: node.elapsed_s, reverse=True)
+    rows = []
+    for node in closed[:max(0, top)]:
+        row = {"span": node.id, "op": node.op,
+               "elapsed_s": node.elapsed_s}
+        for key in ("pair", "program", "policy", "chunk", "executor"):
+            if key in node.fields:
+                row[key] = node.fields[key]
+        rows.append(row)
+    return rows
+
+
+def find_explanations(events: Sequence[Dict],
+                      point: Optional[Sequence[int]] = None,
+                      program: Optional[str] = None) -> List[Dict]:
+    """Provenance records in the trace, optionally filtered.
+
+    ``point`` matches the explained point exactly; ``program`` matches
+    the program name.  Returns the raw ``explanation`` event payloads
+    (chain included), oldest first.
+    """
+    wanted = list(point) if point is not None else None
+    records = []
+    for event in events:
+        if event.get("kind") != "explanation":
+            continue
+        if wanted is not None and event.get("point") != wanted:
+            continue
+        if program is not None and event.get("program") != program:
+            continue
+        records.append(event)
+    return records
+
+
+def render_explanation_event(event: Dict) -> str:
+    """Re-render an ``explanation`` event the way ``repro explain`` does."""
+    from .provenance import ChainStep, Explanation
+
+    chain = [ChainStep(step.get("step"), step.get("node"),
+                       step.get("kind", "?"), step.get("detail", ""),
+                       step.get("target"), step.get("label", ()),
+                       step.get("sources", ()))
+             for step in event.get("chain", ())]
+    fuel = event.get("fuel")
+    explanation = Explanation(
+        event.get("program", "?"), event.get("policy", "?"),
+        event.get("point"), event.get("verdict", "violation"),
+        event.get("site"), event.get("clause", ""),
+        event.get("disallowed", ()), chain, fuel=fuel,
+        mode=event.get("mode", "dynamic"))
+    return explanation.render()

@@ -76,7 +76,8 @@ Observer = Callable[[str, Dict[str, Label], Label], None]
 def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
             timed: bool = False, forgetting: bool = True,
             fuel: int = DEFAULT_FUEL,
-            observer: Optional[Observer] = None) -> SurveillanceRun:
+            observer: Optional[Observer] = None,
+            record: bool = True) -> SurveillanceRun:
     """Run ``flowchart`` under surveillance for ``allow(allowed)``.
 
     Parameters
@@ -98,6 +99,11 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
         state.  The labels dict is live; observers must not mutate it.
         Used by the flowlint test suite to check the static influence
         fixpoint dominates every dynamic label at every visited PC.
+    record:
+        False suppresses the observability hooks for this run.  The
+        provenance replay (:mod:`repro.obs.provenance`) re-executes a
+        point that the mechanism already recorded; counting the replay
+        again would double every surveillance metric.
     """
     if len(inputs) != flowchart.arity:
         raise ArityMismatchError(
@@ -114,7 +120,7 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
     current = flowchart.boxes[flowchart.start_id].successors()[0]
     while True:
         if steps >= fuel:
-            if _obs.active:
+            if _obs.active and record:
                 _obs.record_fuel_exhausted(flowchart.name, fuel)
             raise FuelExhaustedError(fuel,
                                      f"surveilled {flowchart.name} exceeded "
@@ -134,7 +140,7 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
                 outcome: Union[int, ViolationNotice] = env[flowchart.output_variable]
             else:
                 outcome = ViolationNotice("Λ")
-            if _obs.active:
+            if _obs.active and record:
                 _obs.record_surveil_run(
                     flowchart.name, steps,
                     violated=isinstance(outcome, ViolationNotice),
@@ -155,7 +161,7 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
             if timed and not permitted(test_label, allowed):
                 # Theorem 3': a disallowed variable is about to be
                 # tested — halt immediately with a violation notice.
-                if _obs.active:
+                if _obs.active and record:
                     _obs.record_surveil_run(flowchart.name, steps,
                                             violated=True, timed=True,
                                             halted_early=True)
@@ -210,6 +216,14 @@ def surveillance_mechanism(flowchart: Flowchart, policy: AllowPolicy,
         run = surveil(flowchart, inputs, allowed, timed=timed,
                       forgetting=forgetting, fuel=fuel)
         if run.violated:
+            if _obs.explain_active:
+                # Provenance mode: replay the point with an observer and
+                # emit the input-index influence chain behind this Λ.
+                from ..obs.provenance import explain
+                explanation = explain(flowchart, policy, inputs,
+                                      timed=timed, forgetting=forgetting,
+                                      fuel=fuel)
+                _obs.emit("explanation", **explanation.event_fields())
             if time_observable:
                 # Notices issued at different times are different
                 # outputs (Observability Postulate).

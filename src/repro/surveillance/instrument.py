@@ -265,6 +265,16 @@ def instrumented_mechanism(flowchart: Flowchart, policy: AllowPolicy,
             if _obs.active:
                 _obs.record_violation(flowchart.name, "instrumented",
                                       timed=timed)
+            if _obs.explain_active:
+                # The instrumented flowchart (on whichever fastpath
+                # backend executed it) only sets _viol; derive the
+                # influence chain from the semantically-equal
+                # interpreter-level run (they agree input-for-input —
+                # bench E04), so provenance is backend-independent.
+                from ..obs.provenance import explain
+                explanation = explain(flowchart, policy, inputs,
+                                      timed=timed, fuel=fuel)
+                _obs.emit("explanation", **explanation.event_fields())
             if time_observable:
                 original_steps = _original_steps(flowchart, inputs,
                                                  policy, timed, fuel)
@@ -289,5 +299,6 @@ def _original_steps(flowchart: Flowchart, inputs, policy: AllowPolicy,
     """
     from .dynamic import surveil
 
-    run = surveil(flowchart, inputs, policy.allowed, timed=timed, fuel=fuel)
+    run = surveil(flowchart, inputs, policy.allowed, timed=timed, fuel=fuel,
+                  record=False)
     return run.steps

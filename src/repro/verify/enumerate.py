@@ -164,18 +164,27 @@ def soundness_sweep(flowcharts: Sequence[Flowchart],
     For large products, :func:`repro.verify.parallel_soundness_sweep`
     runs the same sweep across a worker pool.
     """
+    from ..obs import runtime as _obs
+
     grid = grid or default_grid
     results: List[SweepResult] = []
-    for flowchart in flowcharts:
-        domain = grid(flowchart.arity)
-        for policy in all_allow_policies(flowchart.arity):
-            mechanism = build_mechanism(mechanism_factory, flowchart,
-                                        policy, domain, fuel)
-            report, accepts = check_soundness_with_accepts(
-                FuelGuardedMechanism(mechanism), policy, domain)
-            results.append(SweepResult(
-                flowchart.name, policy.name, mechanism.name,
-                report.sound, accepts, len(domain)))
+    total = sum(2 ** flowchart.arity for flowchart in flowcharts)
+    with _obs.span(
+            "sweep", executor="serial", pairs=total,
+            points=sum(len(grid(f.arity)) * 2 ** f.arity
+                       for f in flowcharts) if flowcharts else 0):
+        for flowchart in flowcharts:
+            domain = grid(flowchart.arity)
+            for policy in all_allow_policies(flowchart.arity):
+                with _obs.span("pair", program=flowchart.name,
+                               policy=policy.name):
+                    mechanism = build_mechanism(mechanism_factory, flowchart,
+                                                policy, domain, fuel)
+                    report, accepts = check_soundness_with_accepts(
+                        FuelGuardedMechanism(mechanism), policy, domain)
+                    results.append(SweepResult(
+                        flowchart.name, policy.name, mechanism.name,
+                        report.sound, accepts, len(domain)))
     return results
 
 

@@ -127,13 +127,19 @@ class ChunkSummary:
         self.conflict = conflict
 
 
-def evaluate_chunk(mechanism, policy, points: Iterable[Tuple]) -> ChunkSummary:
+def evaluate_chunk(mechanism, policy, points: Iterable[Tuple],
+                   span: Optional[str] = None) -> ChunkSummary:
     """Evaluate the mechanism once per point; summarise for the merge.
 
     Fuel exhaustion inside the mechanism is recorded as the
     distinguished :func:`~repro.verify.enumerate.fuel_notice` outcome
     (a violation notice carrying the budget), never an exception — the
     same totalisation the serial sweep applies.
+
+    ``span`` is the enclosing chunk's span id (when tracing): each
+    point gets a child span, and the mechanism's own leaf events
+    (``run_end``, ``violation``, ``explanation``) attach to it via the
+    thread-local span stack.
     """
     classes: Dict = {}
     accepts = 0
@@ -141,14 +147,20 @@ def evaluate_chunk(mechanism, policy, points: Iterable[Tuple]) -> ChunkSummary:
     evaluated = 0
     for point in points:
         evaluated += 1
+        point_span = _obs.span_begin("point", parent=span, push=True,
+                                     point=list(point))
         try:
-            output = mechanism(*point)
-        except FuelExhaustedError as error:
-            output = fuel_notice(error.fuel)
-            if _obs.active:
-                _obs.record_fuel_exhausted(getattr(mechanism, "name", "?"),
-                                           error.fuel)
-        if not is_violation(output):
+            try:
+                output = mechanism(*point)
+            except FuelExhaustedError as error:
+                output = fuel_notice(error.fuel)
+                if _obs.active:
+                    _obs.record_fuel_exhausted(
+                        getattr(mechanism, "name", "?"), error.fuel)
+            accepted = not is_violation(output)
+        finally:
+            _obs.span_finish(point_span)
+        if accepted:
             accepts += 1
         policy_value = policy(*point)
         if policy_value not in classes:
@@ -238,14 +250,25 @@ def _chunk(points: List[Tuple], size: int) -> List[List[Tuple]]:
 
 
 def _run_pair_task(payload: bytes) -> Tuple[int, int, ChunkSummary]:
-    """Process-pool entry: rebuild the mechanism, evaluate one chunk."""
+    """Process-pool entry: rebuild the mechanism, evaluate one chunk.
+
+    ``span_id`` is the parent-side chunk span: fork-started workers
+    inherit the parent's attached sinks, so their point spans (and leaf
+    events) land in the same trace and must link to the chunk that
+    scheduled them.  Spawn-started workers have tracing off and ignore
+    it.  The worker also drops any span stack inherited mid-fork — its
+    events must not attribute to the parent's open spans.
+    """
     (pair_index, chunk_index, flowchart, policy, domain,
-     factory_name, points, fuel, inject_failure) = pickle.loads(payload)
+     factory_name, points, fuel, inject_failure, span_id) = (
+        pickle.loads(payload))
+    _obs._stack().clear()
     if inject_failure:
         raise _InjectedWorkerFailure(
             f"injected failure for chunk ({pair_index}, {chunk_index})")
     mechanism = FACTORIES[factory_name](flowchart, policy, domain, fuel)
-    return pair_index, chunk_index, evaluate_chunk(mechanism, policy, points)
+    return pair_index, chunk_index, evaluate_chunk(mechanism, policy, points,
+                                                   span=span_id)
 
 
 def _pick_executor(executor: str, factory, workers: int,
@@ -343,6 +366,11 @@ def parallel_soundness_sweep(
     mode = _pick_executor(executor, mechanism_factory, workers, total_points)
 
     sweep_started = time.perf_counter()
+    # The sweep span roots the whole trace: every pair/chunk/point span
+    # links (transitively) back to it, in whichever process it is
+    # reconstructed.  Pushed, so parent-side leaf events attach to it.
+    sweep_span = _obs.span_begin("sweep", push=True, executor=mode,
+                                 pairs=len(pairs), points=total_points)
     if _obs.active:
         _obs.inc("sweep.count")
         _obs.emit("sweep_start", pairs=len(pairs), points=total_points,
@@ -353,6 +381,22 @@ def parallel_soundness_sweep(
 
     results_by_pair: Dict[int, SweepResult] = {}
     completed_pairs = [0]
+    # Pair spans are supervised across pool callbacks (not pushed):
+    # opened lazily at the pair's first scheduled chunk, closed when its
+    # verdict merges in finish_pair.
+    pair_spans: Dict[int, _obs.Span] = {}
+
+    def pair_span_for(pair_index: int) -> Optional[_obs.Span]:
+        handle = pair_spans.get(pair_index)
+        if handle is None and _obs.trace_active:
+            flowchart, policy, _ = pairs[pair_index]
+            handle = _obs.span_begin(
+                "pair", parent=sweep_span.id if sweep_span else None,
+                pair=pair_index, program=flowchart.name,
+                policy=policy.name)
+            if handle is not None:
+                pair_spans[pair_index] = handle
+        return handle
 
     def finish_pair(pair_index: int, sound: bool, accepts: int,
                     mechanism_name: str, pair_seconds: float) -> None:
@@ -361,11 +405,16 @@ def parallel_soundness_sweep(
                              sound, accepts, len(domain))
         results_by_pair[pair_index] = result
         completed_pairs[0] += 1
+        pair_span = pair_spans.pop(pair_index, None)
         if _obs.active:
             _obs.observe("sweep.pair_seconds", pair_seconds)
-            _obs.emit("pair_done", pair=pair_index,
-                      program=flowchart.name, policy=policy.name,
-                      sound=sound, accepts=accepts)
+            fields = {"pair": pair_index, "program": flowchart.name,
+                      "policy": policy.name, "sound": sound,
+                      "accepts": accepts}
+            if pair_span is not None:
+                fields["span"] = pair_span.id
+            _obs.emit("pair_done", **fields)
+        _obs.span_finish(pair_span, sound=sound, accepts=accepts)
         if progress is not None:
             progress(completed_pairs[0], len(pairs), result)
 
@@ -376,6 +425,7 @@ def parallel_soundness_sweep(
             _obs.emit("sweep_end", pairs=len(pairs),
                       elapsed_s=round(elapsed, 6),
                       unsound=sum(1 for r in results if not r.sound))
+        _obs.span_finish(sweep_span)
         return results
 
     if mode == "serial":
@@ -386,7 +436,14 @@ def parallel_soundness_sweep(
             mechanism = build_mechanism(factory, flowchart, policy, domain,
                                         fuel)
             points = list(domain)
-            summary = evaluate_chunk(mechanism, policy, points)
+            pair_span = pair_span_for(pair_index)
+            chunk_span = _obs.span_begin(
+                "chunk", parent=pair_span.id if pair_span else None,
+                pair=pair_index, chunk=0, points=len(points))
+            summary = evaluate_chunk(
+                mechanism, policy, points,
+                span=chunk_span.id if chunk_span else None)
+            _obs.span_finish(chunk_span, accepts=summary.accepts)
             sound, accepts = merge_chunks([summary])
             if _obs.active:
                 _obs.inc("sweep.chunks_done")
@@ -425,6 +482,24 @@ def parallel_soundness_sweep(
             factory_name = mechanism_factory
 
     mechanisms: Dict[int, object] = {}
+    # Chunk spans are supervised in the parent (opened at first submit,
+    # closed when the summary lands), so a process-pool sweep — whose
+    # workers run with observability off — still yields one rooted
+    # sweep → pair → chunk tree in the parent's trace.
+    chunk_spans: Dict[Tuple[int, int], _obs.Span] = {}
+
+    def chunk_span_for(pair_index: int, chunk_index: int,
+                       points: List[Tuple]) -> Optional[_obs.Span]:
+        key = (pair_index, chunk_index)
+        handle = chunk_spans.get(key)
+        if handle is None and _obs.trace_active:
+            pair_span = pair_span_for(pair_index)
+            handle = _obs.span_begin(
+                "chunk", parent=pair_span.id if pair_span else None,
+                pair=pair_index, chunk=chunk_index, points=len(points))
+            if handle is not None:
+                chunk_spans[key] = handle
+        return handle
 
     def mechanism_for(pair_index: int):
         mechanism = mechanisms.get(pair_index)
@@ -438,10 +513,13 @@ def parallel_soundness_sweep(
     def run_chunk_inline(pair_index: int, chunk_index: int,
                          points: List[Tuple]) -> ChunkSummary:
         _, policy, _ = pairs[pair_index]
-        return evaluate_chunk(mechanism_for(pair_index), policy, points)
+        handle = chunk_span_for(pair_index, chunk_index, points)
+        return evaluate_chunk(mechanism_for(pair_index), policy, points,
+                              span=handle.id if handle else None)
 
     def on_chunk_done(task, summary: ChunkSummary,
-                      elapsed: Optional[float]) -> None:
+                      elapsed: Optional[float],
+                      span_id: Optional[str] = None) -> None:
         pair_index, chunk_index, points = task
         pair_seconds[pair_index] += elapsed or 0.0
         if _obs.active:
@@ -450,6 +528,8 @@ def parallel_soundness_sweep(
                       "points": len(points), "accepts": summary.accepts}
             if elapsed is not None:
                 fields["elapsed_s"] = round(elapsed, 6)
+            if span_id is not None:
+                fields["span"] = span_id
             _obs.emit("chunk_done", **fields)
         remaining_chunks[pair_index] -= 1
         if remaining_chunks[pair_index] == 0:
@@ -472,7 +552,10 @@ def parallel_soundness_sweep(
         # still report complete sweep.points_* counters.
         if _obs.active:
             _obs.record_chunk_evaluated(len(task[2]), summary.accepts)
-        on_chunk_done(task, summary, elapsed)
+        chunk_span = chunk_spans.pop(key, None)
+        _obs.span_finish(chunk_span, accepts=summary.accepts)
+        on_chunk_done(task, summary, elapsed,
+                      span_id=chunk_span.id if chunk_span else None)
 
     def drive_pool(pool, submit_task, pool_tasks) -> None:
         """Supervise one pool: retries, timeouts, inline recovery.
@@ -487,6 +570,7 @@ def parallel_soundness_sweep(
 
         def submit(task) -> None:
             key = (task[0], task[1])
+            chunk_span_for(task[0], task[1], task[2])
             try:
                 future = submit_task(task, attempts[key])
             except BrokenExecutor as error:
@@ -498,8 +582,12 @@ def parallel_soundness_sweep(
             attempts[key] += 1
             attempt = attempts[key]
             if _obs.active:
-                _obs.emit("worker_retry", pair=task[0], chunk=task[1],
-                          attempt=attempt, reason=reason)
+                chunk_span = chunk_spans.get(key)
+                fields = {"pair": task[0], "chunk": task[1],
+                          "attempt": attempt, "reason": reason}
+                if chunk_span is not None:
+                    fields["span"] = chunk_span.id
+                _obs.emit("worker_retry", **fields)
             if attempt <= max_chunk_retries:
                 if _obs.active:
                     _obs.inc("sweep.chunks_retried")
@@ -567,8 +655,10 @@ def parallel_soundness_sweep(
                             f"injected failure for chunk "
                             f"({pair_index}, {chunk_index})")
                     _, policy, _ = pairs[pair_index]
+                    chunk_span = chunk_spans.get((pair_index, chunk_index))
                     return pair_index, chunk_index, evaluate_chunk(
-                        mechanism_for(pair_index), policy, points)
+                        mechanism_for(pair_index), policy, points,
+                        span=chunk_span.id if chunk_span else None)
 
                 def submit_thread(task, attempt, pool_ref=None):
                     inject = bool(_FAIL_INJECTOR and _FAIL_INJECTOR(
@@ -588,9 +678,11 @@ def parallel_soundness_sweep(
                     flowchart, policy, domain = pairs[pair_index]
                     inject = bool(_FAIL_INJECTOR and _FAIL_INJECTOR(
                         pair_index, chunk_index, attempt))
+                    chunk_span = chunk_spans.get((pair_index, chunk_index))
                     payload = pickle.dumps(
                         (pair_index, chunk_index, flowchart, policy, domain,
-                         factory_name, points, fuel, inject))
+                         factory_name, points, fuel, inject,
+                         chunk_span.id if chunk_span else None))
                     return process_pool.submit(_run_pair_task, payload)
 
                 try:

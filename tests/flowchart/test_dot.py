@@ -49,3 +49,49 @@ class TestDotExport:
         text = to_dot(library.mixer_program())
         for line in text.splitlines():
             assert line.count('"') % 2 == 0
+
+
+class TestDotGolden:
+    """Exact-output tests on a hand-built flowchart (parser/library ids
+    come from a global counter, so only hand-chosen ids are stable)."""
+
+    @staticmethod
+    def build():
+        from repro.flowchart.boxes import (AssignBox, DecisionBox, HaltBox,
+                                           StartBox)
+        from repro.flowchart.expr import BinOp, Compare, Const, Var
+        from repro.flowchart.program import Flowchart
+
+        boxes = {
+            "start": StartBox("d1"),
+            "d1": DecisionBox(Compare(">", Var("x1"), Const(0)),
+                              "a1", "h1"),
+            "a1": AssignBox("y", BinOp("+", Var("x1"), Const(1)), "h1"),
+            "h1": HaltBox(),
+        }
+        return Flowchart(boxes, ["x1"], "y", name="golden")
+
+    def test_full_output(self):
+        assert to_dot(self.build()) == (
+            'digraph {\n'
+            '    label="golden";\n'
+            '    labelloc=t;\n'
+            '    node [fontname=monospace];\n'
+            '    "start" [shape=oval, label="START"];\n'
+            '    "d1" [shape=diamond, label="(x1 > 0)"];\n'
+            '    "a1" [shape=box, label="y := (x1 + 1)"];\n'
+            '    "h1" [shape=oval, label="HALT"];\n'
+            '    "start" -> "d1";\n'
+            '    "d1" -> "a1" [label="TRUE"];\n'
+            '    "d1" -> "h1" [label="FALSE"];\n'
+            '    "a1" -> "h1";\n'
+            '}'
+        )
+
+    def test_without_name_drops_label_header(self):
+        text = to_dot(self.build(), include_name=False)
+        assert text.splitlines()[1] == "    node [fontname=monospace];"
+        assert "label=\"golden\"" not in text
+
+    def test_output_is_deterministic(self):
+        assert to_dot(self.build()) == to_dot(self.build())

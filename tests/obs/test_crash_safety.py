@@ -1,0 +1,76 @@
+"""JsonlSink crash-safety: a SIGKILLed sweep leaves a readable trace.
+
+The sink flushes every event as it is written, so killing the writer
+mid-sweep loses at most the final, partially-written line.  This test
+actually kills a subprocess (SIGKILL — no atexit, no cleanup) and
+checks the surviving trace validates line-for-line.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.obs import load_events
+from repro.obs.events import validate_jsonl
+
+WRITER = """
+import sys
+from repro import obs
+from repro.flowchart import library
+from repro.verify import FACTORIES
+from repro.verify.enumerate import soundness_sweep
+
+sink = obs.JsonlSink(sys.argv[1])
+obs.enable(metrics=True, sinks=[sink], reset=True, explain=True)
+programs = [library.forgetting_program(), library.gcd_program()]
+while True:
+    soundness_sweep(programs, FACTORIES["surveillance"])
+"""
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGKILL"),
+                    reason="SIGKILL not available on this platform")
+def test_sigkill_mid_sweep_preserves_flushed_events(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.Popen([sys.executable, "-c", WRITER, str(path)],
+                            env=env)
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if path.exists() and path.stat().st_size > 4096:
+                break
+            if proc.poll() is not None:
+                pytest.fail(f"writer exited early: {proc.returncode}")
+            time.sleep(0.02)
+        else:
+            pytest.fail("writer produced no trace output in time")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert lines
+
+    # Every line except possibly the last (the one the kill landed in)
+    # must be a complete, schema-valid event.
+    complete = lines[:-1]
+    count, problems = validate_jsonl(complete)
+    assert problems == []
+    assert count == len(complete) >= 10
+
+    # The tolerant reader recovers at least every complete event.
+    events = load_events(lines)
+    assert len(events) >= len(complete)
+    kinds = {event["kind"] for event in events}
+    assert "span_start" in kinds
+    assert "violation" in kinds

@@ -64,6 +64,27 @@ class TestValidateJsonl:
         _, problems = validate_jsonl(lines)
         assert problems and all(p.startswith("line 2:") for p in problems)
 
+    def test_event_index_differs_from_line_number_across_blanks(self):
+        lines = [json.dumps(good_event()), "", "", "{not json"]
+        count, problems = validate_jsonl(lines)
+        assert count == 2
+        assert problems[0].startswith("line 4: event 2:")
+
+    def test_malformed_line_problem_names_line_and_event(self):
+        count, problems = validate_jsonl(["{not json"])
+        assert count == 1
+        assert problems[0].startswith("line 1: event 1: not JSON")
+
+    def test_schema_mismatch_names_the_offending_key(self):
+        event = good_event()
+        del event["accepts"]
+        event["seq"] = "zero"
+        _, problems = validate_jsonl([json.dumps(event)])
+        assert any("'seq'" in problem for problem in problems)
+        assert any("'accepts'" in problem for problem in problems)
+        assert all(problem.startswith("line 1: event 1:")
+                   for problem in problems)
+
 
 class TestJsonlSink:
     def test_writes_one_line_per_event(self, tmp_path):
@@ -83,6 +104,32 @@ class TestJsonlSink:
             sink.write(good_event())
             sink.close()
             assert not handle.closed
+
+    def test_flushes_every_event_immediately(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        try:
+            sink.write(good_event())
+            # Visible to other readers before close: crash-safety.
+            assert len(path.read_text().splitlines()) == 1
+        finally:
+            sink.close()
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.write(good_event())
+        assert sink._closed
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_write_after_close_is_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.write(good_event())
+        sink.close()
+        sink.write(good_event(seq=1))  # must not raise or reopen
+        sink.close()  # idempotent
+        assert len(path.read_text().splitlines()) == 1
 
 
 class TestRingBufferSink:

@@ -91,3 +91,58 @@ class TestRegistry:
         registry.reset()
         assert registry.snapshot() == {
             "counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestPrometheusExport:
+    @staticmethod
+    def parse(text):
+        """Parse Prometheus text exposition back into samples + types."""
+        types, samples = {}, {}
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split()
+                types[name] = kind
+            elif line:
+                name, value = line.rsplit(" ", 1)
+                samples[name] = float(value)
+        return types, samples
+
+    def test_round_trip_recovers_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("sweep.points_evaluated").inc(42)
+        registry.gauge("memo.exec.size").set(7)
+        hist = registry.histogram("chunk.seconds", bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+
+        types, samples = self.parse(registry.to_prometheus())
+
+        assert types["repro_sweep_points_evaluated"] == "counter"
+        assert samples["repro_sweep_points_evaluated"] == 42
+        assert types["repro_memo_exec_size"] == "gauge"
+        assert samples["repro_memo_exec_size"] == 7
+        assert types["repro_chunk_seconds"] == "histogram"
+        # Cumulative buckets, +Inf tail, then sum/count.
+        assert samples['repro_chunk_seconds_bucket{le="0.1"}'] == 1
+        assert samples['repro_chunk_seconds_bucket{le="1.0"}'] == 2
+        assert samples['repro_chunk_seconds_bucket{le="+Inf"}'] == 3
+        assert samples["repro_chunk_seconds_count"] == 3
+        assert abs(samples["repro_chunk_seconds_sum"] - 5.55) < 1e-9
+
+    def test_round_trip_matches_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc(3)
+        registry.gauge("c-d").set(1.5)
+        _, samples = self.parse(registry.to_prometheus())
+        snapshot = registry.snapshot()
+        assert samples["repro_a_b"] == snapshot["counters"]["a.b"]
+        assert samples["repro_c_d"] == snapshot["gauges"]["c-d"]
+
+    def test_empty_registry_exports_empty_text(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc()
+        text = registry.to_prometheus(prefix="acme")
+        assert "acme_runs 1" in text

@@ -1,0 +1,116 @@
+"""Offline trace analytics over plain event dicts — no runtime needed."""
+
+import json
+
+from repro.obs import (find_explanations, load_events, render_tree,
+                       slowest_spans, summarize)
+from repro.obs.trace import build_span_tree
+
+
+def span_pair(span_id, op, parent=None, elapsed=0.5, seq=0, **fields):
+    start = {"kind": "span_start", "seq": seq, "t": 0.0,
+             "span": span_id, "op": op, **fields}
+    if parent is not None:
+        start["parent"] = parent
+    end = {"kind": "span_end", "seq": seq + 1, "t": elapsed,
+           "span": span_id, "op": op, "elapsed_s": elapsed}
+    return [start, end]
+
+
+def sample_trace():
+    events = []
+    events += span_pair("10-1", "sweep", elapsed=1.0, executor="thread")
+    events += span_pair("10-2", "pair", parent="10-1", elapsed=0.6,
+                        seq=2, pair=0, program="gcd", policy="allow()")
+    events += span_pair("11-1", "chunk", parent="10-2", elapsed=0.4,
+                        seq=4, pair=0, chunk=0)
+    events.append({"kind": "violation", "seq": 6, "t": 0.3,
+                   "program": "gcd", "span": "11-1"})
+    events.append({"kind": "chunk_done", "seq": 7, "t": 0.4, "pair": 0,
+                   "chunk": 0, "points": 9, "accepts": 4, "span": "11-1"})
+    events.append({"kind": "explanation", "seq": 8, "t": 0.35,
+                   "program": "gcd", "policy": "allow()", "point": [1, 2],
+                   "site": "h0", "chain": [], "verdict": "violation"})
+    return events
+
+
+class TestLoadEvents:
+    def test_skips_blank_and_truncated_lines(self):
+        lines = [json.dumps({"kind": "violation", "seq": 0, "t": 0.0,
+                             "program": "p"}),
+                 "",
+                 '{"kind": "viol']  # killed mid-write
+        events = load_events(lines)
+        assert len(events) == 1
+        assert events[0]["program"] == "p"
+
+    def test_skips_non_object_lines(self):
+        assert load_events(["[1, 2]", "3"]) == []
+
+
+class TestSummarize:
+    def test_counts_and_span_aggregates(self):
+        summary = summarize(sample_trace())
+        assert summary["events"] == 9
+        assert summary["kinds"]["span_start"] == 3
+        assert summary["processes"] == 2  # pid prefixes 10 and 11
+        assert summary["violations"] == 1
+        assert summary["points_evaluated"] == 9
+        assert summary["points_accepted"] == 4
+        spans = summary["spans"]
+        assert spans["total"] == 3
+        assert spans["roots"] == 1
+        assert spans["problems"] == []
+        assert spans["by_op"]["pair"]["count"] == 1
+        assert spans["by_op"]["pair"]["max_s"] == 0.6
+
+    def test_empty_trace(self):
+        summary = summarize([])
+        assert summary["events"] == 0
+        assert summary["processes"] == 0
+
+
+class TestSlowestSpans:
+    def test_ranked_slowest_first_and_capped(self):
+        rows = slowest_spans(sample_trace(), top=2)
+        assert [row["op"] for row in rows] == ["sweep", "pair"]
+        assert rows[1]["program"] == "gcd"
+
+    def test_top_zero_returns_nothing(self):
+        assert slowest_spans(sample_trace(), top=0) == []
+
+
+class TestFindExplanations:
+    def test_filters_by_point_and_program(self):
+        events = sample_trace()
+        assert len(find_explanations(events)) == 1
+        assert find_explanations(events, point=[1, 2])
+        assert find_explanations(events, point=[0, 0]) == []
+        assert find_explanations(events, program="gcd")
+        assert find_explanations(events, program="mixer") == []
+
+
+class TestRenderTree:
+    def test_indented_rendering(self):
+        text = render_tree(build_span_tree(sample_trace()))
+        lines = text.splitlines()
+        assert lines[0].startswith("sweep [10-1]")
+        assert lines[1].startswith("  pair [10-2]")
+        assert "program=gcd" in lines[1]
+        assert lines[2].startswith("    chunk [11-1]")
+
+    def test_truncation_is_announced(self):
+        events = []
+        events += span_pair("1-1", "pair", elapsed=1.0)
+        for index in range(5):
+            events += span_pair(f"1-{index + 2}", "point", parent="1-1",
+                                seq=2 * index + 2, elapsed=0.1)
+        text = render_tree(build_span_tree(events), max_children=2)
+        assert "... 3 more child span(s) of pair elided" in text
+        assert text.count("point [") == 2
+
+    def test_problems_rendered_with_bang(self):
+        events = [{"kind": "span_start", "seq": 0, "t": 0.0,
+                   "span": "1-1", "op": "sweep"}]
+        text = render_tree(build_span_tree(events))
+        assert "! span 1-1 (sweep) never closed" in text

@@ -1,0 +1,108 @@
+"""Unit tests for scripts/bench_compare.py (loaded by path)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+SCRIPT = os.path.join(os.path.dirname(__file__), "..", "scripts",
+                      "bench_compare.py")
+
+
+@pytest.fixture(scope="module")
+def bench_compare():
+    spec = importlib.util.spec_from_file_location("bench_compare", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+BASELINE = {
+    "kernel": {"compiled_s": {"best": 0.010, "mean": 0.012, "reps": 5}},
+    "per_program": {"gcd": {"compiled_best_s": 0.00002, "points": 100}},
+    "meta": {"cpu_count": 8},
+}
+
+
+class TestTimingLeaves:
+    def test_only_best_leaves_are_collected(self, bench_compare):
+        leaves = bench_compare.timing_leaves(BASELINE)
+        assert leaves == {
+            "kernel/compiled_s/best": 0.010,
+            "per_program/gcd/compiled_best_s": 0.00002,
+        }
+        # mean/reps/points/cpu_count are numeric but not timings.
+        assert not any("mean" in path or "reps" in path
+                       or "points" in path or "cpu_count" in path
+                       for path in leaves)
+
+
+class TestCompare:
+    def test_regression_over_threshold_flagged(self, bench_compare):
+        rows, regressions = bench_compare.compare(
+            {"a/best": 0.010}, {"a/best": 0.020},
+            threshold=1.5, min_seconds=1e-3)
+        assert regressions and regressions[0]["path"] == "a/best"
+        assert rows[0]["ratio"] == 2.0
+
+    def test_sub_floor_leaves_are_reported_not_gated(self, bench_compare):
+        rows, regressions = bench_compare.compare(
+            {"a/best": 0.00001}, {"a/best": 0.00005},
+            threshold=1.5, min_seconds=1e-3)
+        assert regressions == []
+        assert rows[0]["gated"] is False
+
+    def test_improvement_passes(self, bench_compare):
+        _, regressions = bench_compare.compare(
+            {"a/best": 0.010}, {"a/best": 0.005},
+            threshold=1.5, min_seconds=1e-3)
+        assert regressions == []
+
+
+class TestMain:
+    def test_exit_zero_when_clean(self, bench_compare, tmp_path, capsys):
+        old = write(tmp_path, "old.json", BASELINE)
+        new = write(tmp_path, "new.json", BASELINE)
+        assert bench_compare.main([old, new]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_exit_one_on_regression(self, bench_compare, tmp_path,
+                                    capsys):
+        current = {"kernel": {"compiled_s": {"best": 0.030}}}
+        old = write(tmp_path, "old.json", BASELINE)
+        new = write(tmp_path, "new.json", current)
+        assert bench_compare.main([old, new, "--threshold", "1.5"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_exit_two_when_nothing_in_common(self, bench_compare,
+                                             tmp_path, capsys):
+        old = write(tmp_path, "old.json", {"a": {"best": 1.0}})
+        new = write(tmp_path, "new.json", {"b": {"best": 1.0}})
+        assert bench_compare.main([old, new]) == 2
+        assert "no timing leaves in common" in capsys.readouterr().err
+
+    def test_json_output_shape(self, bench_compare, tmp_path, capsys):
+        old = write(tmp_path, "old.json", BASELINE)
+        new = write(tmp_path, "new.json", BASELINE)
+        assert bench_compare.main([old, new, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["compared"] == 2
+        assert payload["gated"] == 1  # the sub-ms per_program leaf is not
+        assert payload["regressions"] == 0
+
+    def test_repo_benchmarks_pass_the_ci_gate(self, bench_compare,
+                                              capsys):
+        root = os.path.join(os.path.dirname(__file__), "..")
+        pr1 = os.path.join(root, "BENCH_PR1.json")
+        pr3 = os.path.join(root, "BENCH_PR3.json")
+        if not (os.path.exists(pr1) and os.path.exists(pr3)):
+            pytest.skip("committed BENCH files not present")
+        assert bench_compare.main([pr1, pr3, "--threshold", "1.5"]) == 0

@@ -358,3 +358,119 @@ class TestMetricsCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "memo.exec.maxsize" in out
+
+
+class TestExplain:
+    def test_violation_chain_printed_and_exit_one(self, capsys):
+        code = main(["explain", "--library", "mixer",
+                     "--policy", "allow(1)", "1", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATION" in out
+        assert "influence chain:" in out
+        assert "input x2 (index 2)" in out
+
+    def test_accepted_point_exits_zero(self, capsys):
+        code = main(["explain", "--library", "mixer",
+                     "--policy", "allow(1,2)", "1", "2"])
+        assert code == 0
+        assert "ACCEPTED" in capsys.readouterr().out
+
+    def test_json_output_carries_the_chain(self, capsys):
+        code = main(["explain", "--library", "mixer",
+                     "--policy", "allow(1)", "--json", "1", "2"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "violation"
+        assert payload["chain"][-1]["kind"] == "check"
+
+    def test_static_mode_needs_no_point(self, capsys):
+        code = main(["explain", "--library", "mixer",
+                     "--policy", "allow(1)", "--static"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[static]" in out
+
+
+class TestTraceAnalytics:
+    def run_traced_sweep(self, tmp_path, explain=True):
+        trace = tmp_path / "trace.jsonl"
+        args = ["sweep", "--programs", "mixer",
+                "--mechanism", "surveillance", "--executor", "serial",
+                "--trace", str(trace)]
+        if explain:
+            args.append("--explain")
+        assert main(args) == 0
+        return trace
+
+    def test_sweep_explain_requires_trace(self, capsys):
+        code = main(["sweep", "--programs", "mixer", "--explain"])
+        assert code == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_summarize(self, tmp_path, capsys):
+        trace = self.run_traced_sweep(tmp_path)
+        capsys.readouterr()
+        code = main(["trace", "summarize", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "events by kind" in out
+        assert "span timing by op" in out
+
+    def test_trace_explain_recovers_the_direct_chain(self, tmp_path,
+                                                     capsys):
+        trace = self.run_traced_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["explain", "--library", "mixer",
+                     "--policy", "allow(1)", "1", "2"]) == 1
+        direct = capsys.readouterr().out
+        assert main(["trace", "explain", str(trace),
+                     "--point", "1,2", "--program", "mixer"]) == 0
+        recovered = capsys.readouterr().out
+        wanted = next(block for block in direct.split("\n\n")
+                      if "allow(1)" in block)
+        assert wanted.strip() in recovered
+
+    def test_trace_explain_without_matches_exits_one(self, tmp_path,
+                                                     capsys):
+        trace = self.run_traced_sweep(tmp_path, explain=False)
+        capsys.readouterr()
+        code = main(["trace", "explain", str(trace), "--point", "1,2"])
+        assert code == 1
+        assert "--explain" in capsys.readouterr().err
+
+    def test_spans_tree_single_rooted(self, tmp_path, capsys):
+        trace = self.run_traced_sweep(tmp_path)
+        capsys.readouterr()
+        code = main(["trace", "spans", str(trace), "--tree",
+                     "--expect-single-root"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.lstrip().startswith("sweep [")
+        assert "1 root(s), 0 problem(s)" in out
+
+    def test_slow_lists_top_spans(self, tmp_path, capsys):
+        trace = self.run_traced_sweep(tmp_path)
+        capsys.readouterr()
+        code = main(["trace", "slow", str(trace), "--top", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep" in out
+
+    def test_missing_trace_file_is_clean_error(self, capsys):
+        code = main(["trace", "summarize", "/nonexistent/trace.jsonl"])
+        assert code == 2
+
+
+class TestMetricsPrometheus:
+    def test_from_json_prometheus_output(self, tmp_path, capsys):
+        snapshot = {"counters": {"sweep.count": 1},
+                    "gauges": {}, "histograms": {}}
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(snapshot))
+        code = main(["metrics", "--from-json", str(path), "--prometheus"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE repro_sweep_count counter" in out
+        assert "repro_sweep_count 1" in out
+        assert not out.startswith("meta")

@@ -1,0 +1,62 @@
+"""Golden-output tests for the plain-text experiment tables."""
+
+import pytest
+
+from repro.verify.report import Table, banner
+
+
+class TestRenderGolden:
+    def test_aligned_table(self):
+        table = Table("E01: soundness", ["program", "sound", "ms"])
+        table.add_row("gcd", True, 1.25)
+        table.add_row("forgetting-loop", False, 0.5)
+        assert table.render() == (
+            "E01: soundness\n"
+            "program         | sound | ms   \n"
+            "----------------+-------+------\n"
+            "gcd             | yes   | 1.250\n"
+            "forgetting-loop | no    | 0.500"
+        )
+
+    def test_cell_formatting_rules(self):
+        table = Table("t", ["v"])
+        table.add_row(True)
+        table.add_row(False)
+        table.add_row(0.123456)
+        table.add_row(7)
+        assert [row[0] for row in table.rows] == [
+            "yes", "no", "0.123", "7"]
+
+    def test_named_rows_and_dict_rows_align_with_columns(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(b=2, a=1)
+        table.add_dict({"b": 4, "a": 3})
+        assert table.rows == [["1", "2"], ["3", "4"]]
+
+    def test_csv_golden(self):
+        table = Table("t", ["program", "sound"])
+        table.add_row("gcd", True)
+        assert table.to_csv() == "program,sound\r\ngcd,yes\r\n"
+
+    def test_mixed_positional_and_named_rejected(self):
+        table = Table("t", ["a"])
+        with pytest.raises(ValueError, match="not both"):
+            table.add_row(1, a=2)
+
+    def test_wrong_row_width_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError, match="2 columns"):
+            table.add_row(1)
+
+
+class TestBannerGolden:
+    def test_short_text_pads_rule_to_twenty(self, capsys):
+        banner("E02")
+        assert capsys.readouterr().out == (
+            "\n" + "=" * 20 + "\nE02\n" + "=" * 20 + "\n")
+
+    def test_long_text_rule_matches_text(self, capsys):
+        text = "E03: the timed variant halts before the test"
+        banner(text)
+        rule = "=" * len(text)
+        assert capsys.readouterr().out == f"\n{rule}\n{text}\n{rule}\n"
