@@ -125,11 +125,17 @@ def _build_mechanism(kind: str, flowchart, policy, domain, output_model,
     return program_as_mechanism(program)
 
 
+def _check_positive(name: str, value, kind: str = "integer") -> None:
+    if value is not None and value <= 0:
+        raise ReproError(f"{name} must be a positive {kind}; got {value}")
+
+
 def command_run(args) -> int:
+    _check_positive("--value-cap", args.value_cap)
     flowchart = _load_flowchart(args)
     inputs = tuple(int(value) for value in args.inputs)
     result = run_flowchart(flowchart, inputs, fuel=args.fuel,
-                           backend=args.backend)
+                           backend=args.backend, value_cap=args.value_cap)
     print(f"value: {result.value}")
     print(f"steps: {result.steps}")
     return 0
@@ -246,11 +252,21 @@ def command_transform(args) -> int:
 def command_sweep(args) -> int:
     import json
     import os as _os
+    import signal as _signal
     import time as _time
 
     from . import obs
+    from .core.errors import SweepInterruptedError
     from .flowchart.fastpath import BACKEND_ENV, export_memo_stats
-    from .verify import parallel_soundness_sweep, unsound_results
+    from .verify import FaultPlan, parallel_soundness_sweep, unsound_results
+    from .verify import chaos as chaos_module
+
+    _check_positive("--value-cap", args.value_cap)
+    _check_positive("--deadline", args.deadline, kind="number of seconds")
+    if args.resume and not args.checkpoint:
+        raise ReproError(
+            "--resume restores a sweep journal; add --checkpoint PATH "
+            "pointing at the journal to resume from")
 
     if args.programs:
         names = [name.strip() for name in args.programs.split(",")]
@@ -286,23 +302,60 @@ def command_sweep(args) -> int:
         obs.enable(metrics=True, sinks=sinks, reset=True,
                    explain=args.explain)
 
+    # A checkpointed sweep converts SIGINT/SIGTERM into a graceful stop:
+    # the runner drains in-flight chunks, journals them, and raises
+    # SweepInterruptedError so a later --resume completes the sweep.
+    stop_signal: List[str] = []
+    stop = None
+    saved_handlers = []
+    if args.checkpoint:
+        def request_stop(signum, frame):
+            stop_signal.append(_signal.Signals(signum).name)
+
+        def stop():
+            return "signal" if stop_signal else None
+
+        for signum in (_signal.SIGINT, _signal.SIGTERM):
+            try:
+                saved_handlers.append(
+                    (signum, _signal.signal(signum, request_stop)))
+            except ValueError:
+                pass  # not the main thread; run without handlers
+
+    if args.chaos:
+        chaos_module.install(FaultPlan.parse(args.chaos))
+
     saved_backend = _os.environ.get(BACKEND_ENV)
     if args.backend:
         _os.environ[BACKEND_ENV] = args.backend
+    interrupted = None
     try:
         started = _time.perf_counter()
-        results = parallel_soundness_sweep(
-            flowcharts, args.mechanism,
-            grid=lambda arity: ProductDomain.integer_grid(
-                args.low, args.high, arity),
-            fuel=args.fuel,
-            executor=args.executor, max_workers=args.jobs,
-            chunk_size=args.chunk_size,
-            chunk_timeout=args.chunk_timeout,
-            max_chunk_retries=args.retries,
-            progress=progress)
+        try:
+            results = parallel_soundness_sweep(
+                flowcharts, args.mechanism,
+                grid=lambda arity: ProductDomain.integer_grid(
+                    args.low, args.high, arity),
+                fuel=args.fuel,
+                executor=args.executor, max_workers=args.jobs,
+                chunk_size=args.chunk_size,
+                chunk_timeout=args.chunk_timeout,
+                max_chunk_retries=args.retries,
+                progress=progress,
+                value_cap=args.value_cap,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+                stop=stop,
+                deadline=args.deadline)
+        except SweepInterruptedError as error:
+            interrupted = error
+            results = []
         elapsed = _time.perf_counter() - started
     finally:
+        if args.chaos:
+            chaos_module.clear()
+        for signum, handler in saved_handlers:
+            _signal.signal(signum, handler)
         if args.backend:
             if saved_backend is None:
                 _os.environ.pop(BACKEND_ENV, None)
@@ -315,6 +368,12 @@ def command_sweep(args) -> int:
             if trace_sink is not None:
                 trace_sink.close()
 
+    if interrupted is not None:
+        print(f"error: {interrupted}", file=sys.stderr)
+        # Conventional timeout/signal statuses so scripts (and the
+        # SIGKILL-resume integration test) can tell the cases apart.
+        return 124 if interrupted.reason == "deadline" else 130
+
     table = Table(f"soundness sweep ({args.mechanism} mechanisms)",
                   ["program", "policy", "sound", "accepts"])
     for result in results:
@@ -326,6 +385,21 @@ def command_sweep(args) -> int:
     print(f"{len(results)} (program, policy) pairs in {elapsed:.2f}s "
           f"[executor={args.executor}]; unsound: {len(failures)}")
 
+    if args.results_json:
+        rows = [
+            {
+                "program": result.program_name,
+                "policy": result.policy_name,
+                "sound": result.sound,
+                "accepts": result.accepts,
+                "domain_size": result.domain_size,
+            }
+            for result in results
+        ]
+        with open(args.results_json, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
     if args.metrics_json:
         payload = {
             "meta": {
@@ -333,6 +407,7 @@ def command_sweep(args) -> int:
                 "mechanism": args.mechanism,
                 "executor": args.executor,
                 "fuel": args.fuel,
+                "value_cap": args.value_cap,
                 "programs": names,
                 "pairs": len(results),
                 "unsound": len(failures),
@@ -416,6 +491,16 @@ def command_trace(args) -> int:
         print(f"incidents: {summary['violations']} violation(s), "
               f"{summary['worker_retries']} retry(ies), "
               f"{summary['pool_degradations']} degradation(s)")
+        recovery = summary["recovery"]
+        line = (f"recovery:  {recovery['points_quarantined']} point(s) "
+                f"quarantined in {recovery['chunks_quarantined']} "
+                f"chunk(s), {recovery['checkpoints_written']} "
+                f"checkpoint(s) written, {recovery['chunks_restored']} "
+                f"chunk(s) restored")
+        if recovery["interruptions"]:
+            line += (" — interrupted: "
+                     + ", ".join(recovery["interruptions"]))
+        print(line)
         return 0
 
     if args.action == "slow":
@@ -678,6 +763,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_program_arguments(run_parser)
     _add_backend_argument(run_parser)
     run_parser.add_argument("--fuel", type=int, default=100_000)
+    run_parser.add_argument("--value-cap", type=int, default=None,
+                            help="bit-length budget per assigned value "
+                                 "(default: REPRO_VALUE_CAP or uncapped)")
     run_parser.add_argument("inputs", nargs="+",
                             help="integer inputs, in order")
     run_parser.set_defaults(handler=command_run)
@@ -725,6 +813,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--retries", type=int, default=2,
                               help="pool retries per failed chunk before "
                                    "inline recovery")
+    sweep_parser.add_argument("--value-cap", type=int, default=None,
+                              help="bit-length budget per assigned value; "
+                                   "wider values record the distinguished "
+                                   "cap notice (default: REPRO_VALUE_CAP "
+                                   "or uncapped)")
+    sweep_parser.add_argument("--checkpoint", metavar="PATH",
+                              help="journal completed chunks to PATH "
+                                   "(crash-safe JSONL; see --resume)")
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="restore completed chunks from the "
+                                   "--checkpoint journal before sweeping")
+    sweep_parser.add_argument("--deadline", type=float, default=None,
+                              help="wall-clock budget in seconds; an "
+                                   "expired sweep drains, journals, and "
+                                   "exits 124")
+    sweep_parser.add_argument("--chaos", metavar="SPEC",
+                              help="inject deterministic faults, e.g. "
+                                   '"seed=3,crash=0.2,delay=0.1,'
+                                   'poison=1:2" (testing/CI)')
+    sweep_parser.add_argument("--results-json", metavar="PATH",
+                              help="write the sweep rows as JSON for "
+                                   "machine comparison")
     sweep_parser.add_argument("--progress", action="store_true",
                               help="print per-pair progress to stderr")
     sweep_parser.add_argument("--metrics-json", metavar="PATH",

@@ -45,6 +45,45 @@ class FuelExhaustedError(ExecutionError):
         self.fuel = fuel
 
 
+class ValueCapExceededError(ExecutionError):
+    """Execution produced a value wider than the bit-length budget.
+
+    Fuel bounds running *time*; the value cap bounds running *space*: a
+    program like ``x := x * x`` in a loop doubles its bit-length every
+    step and would exhaust memory long before any realistic fuel budget
+    — a crash, and therefore (Observability Postulate) an undeclared
+    observable.  The cap makes magnitude blow-up a *declared* fault:
+    ``cap`` is the maximum permitted bit-length of any assigned value.
+    """
+
+    def __init__(self, cap: int, message: str = "") -> None:
+        detail = message or (
+            f"execution exceeded the value-magnitude cap of {cap} bits")
+        super().__init__(detail)
+        self.cap = cap
+
+
+class SweepInterruptedError(ReproError):
+    """A sweep stopped early (signal or deadline) after draining.
+
+    Raised by the parallel sweep runner once in-flight chunks have been
+    drained and the checkpoint (when one is attached) holds every
+    completed chunk summary — the sweep can be resumed from it.
+    """
+
+    def __init__(self, reason: str, completed_chunks: int,
+                 total_chunks: int, checkpoint: str = "") -> None:
+        detail = (f"sweep interrupted ({reason}) after "
+                  f"{completed_chunks}/{total_chunks} chunks")
+        if checkpoint:
+            detail += f"; resume from checkpoint {checkpoint!r}"
+        super().__init__(detail)
+        self.reason = reason
+        self.completed_chunks = completed_chunks
+        self.total_chunks = total_chunks
+        self.checkpoint = checkpoint
+
+
 class MechanismContractError(ReproError):
     """A claimed protection mechanism violated its defining contract.
 

@@ -63,8 +63,10 @@ import weakref
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.errors import ArityMismatchError, FuelExhaustedError, ReproError
+from ..core.errors import (ArityMismatchError, FuelExhaustedError,
+                           ReproError, ValueCapExceededError)
 from ..obs import runtime as _obs
+from ..robustness.faults import default_value_cap, resolve_value_cap
 from .boxes import AssignBox, Box, DecisionBox, HaltBox, NodeId, StartBox
 from .expr import (And, BinOp, BoolConst, Compare, Const, Expr, Ite,
                    LoopExpr, Neg, Not, Or, Pred, Var)
@@ -318,7 +320,7 @@ def generate_source(flowchart: Flowchart) -> Tuple[str, Dict[str, object],
 
     lines: List[str] = []
     emit = lines.append
-    emit("def _compiled(_inputs, _fuel, _capture_env):")
+    emit("def _compiled(_inputs, _fuel, _capture_env, _cap, _capb):")
     for name in gen.env_names:
         emit(f"    {gen.local_of[name]} = 0")
     for position, name in enumerate(flowchart.input_variables):
@@ -326,47 +328,49 @@ def generate_source(flowchart: Flowchart) -> Tuple[str, Dict[str, object],
     emit("    _steps = 0")
     emit("    _touched = 0")
     emit("    _pc = 0")
-    emit("    while True:")
 
     env_literal = "{" + ", ".join(
         f"{name!r}: {gen.local_of[name]}" for name in gen.env_names) + "}"
 
-    for leader in leaders:
-        chain, fallthrough = _block_chain(flowchart, leader, leader_set)
-        branch = "if" if pc_of[leader] == 0 else "elif"
-        emit(f"        {branch} _pc == {pc_of[leader]}:")
-        indent = "            "
+    def emit_body(boxes, fallthrough, indent: str, capped: bool) -> None:
+        """One block body, in one of two fidelity modes.
 
-        boxes = [flowchart.boxes[node_id] for node_id in chain]
+        ``capped=False`` is today's fast shape: one exact fuel check for
+        a whole non-hazardous block (see module docstring).  ``capped``
+        mode interleaves the interpreter's per-box fuel check with the
+        post-assignment cap check, because a block where box *i* would
+        blow the cap and box *j > i* would blow the fuel must raise the
+        same exception the interpreter raises — the bulk fuel precheck
+        would report fuel where the interpreter reports the cap.
+        """
         block_mask = 0
         for box in boxes:
             block_mask |= _box_touch_bits(box, flowchart, gen.bit_of)
         hazardous = any(_box_hazardous(box) for box in boxes)
+        per_box = capped or hazardous
 
-        if not hazardous:
-            # One exact fuel check for the whole block (see module
-            # docstring for why `steps + n > fuel` is equivalent to the
-            # interpreter's per-box check here).
+        if not per_box:
             emit(f"{indent}if _steps + {len(boxes)} > _fuel:")
             emit(f"{indent}    raise _fuel_error(_fuel, _inputs)")
             emit(f"{indent}_steps += {len(boxes)}")
             if block_mask:
                 emit(f"{indent}_touched |= {block_mask}")
 
-        def emit_per_box_prologue(box_mask: int) -> None:
-            emit(f"{indent}if _steps >= _fuel:")
-            emit(f"{indent}    raise _fuel_error(_fuel, _inputs)")
-            emit(f"{indent}_steps += 1")
-            if box_mask:
-                emit(f"{indent}_touched |= {box_mask}")
-
         for box in boxes:
-            if hazardous:
-                emit_per_box_prologue(
-                    _box_touch_bits(box, flowchart, gen.bit_of))
+            if per_box:
+                box_mask = _box_touch_bits(box, flowchart, gen.bit_of)
+                emit(f"{indent}if _steps >= _fuel:")
+                emit(f"{indent}    raise _fuel_error(_fuel, _inputs)")
+                emit(f"{indent}_steps += 1")
+                if box_mask:
+                    emit(f"{indent}_touched |= {box_mask}")
             if isinstance(box, AssignBox):
-                emit(f"{indent}{gen.local_of[box.target]} = "
-                     f"{gen.expr(box.expression)}")
+                target = gen.local_of[box.target]
+                emit(f"{indent}{target} = {gen.expr(box.expression)}")
+                if capped:
+                    emit(f"{indent}if {target} >= _capb "
+                         f"or {target} <= -_capb:")
+                    emit(f"{indent}    raise _cap_error(_cap, _inputs)")
             elif isinstance(box, DecisionBox):
                 true_pc = pc_of[box.true_next]
                 false_pc = pc_of[box.false_next]
@@ -383,6 +387,25 @@ def generate_source(flowchart: Flowchart) -> Tuple[str, Dict[str, object],
             emit(f"{indent}_pc = {pc_of[fallthrough]}")
             emit(f"{indent}continue")
 
+    def emit_machine(indent: str, capped: bool) -> None:
+        emit(f"{indent}while True:")
+        for leader in leaders:
+            chain, fallthrough = _block_chain(flowchart, leader,
+                                              leader_set)
+            branch = "if" if pc_of[leader] == 0 else "elif"
+            emit(f"{indent}    {branch} _pc == {pc_of[leader]}:")
+            boxes = [flowchart.boxes[node_id] for node_id in chain]
+            emit_body(boxes, fallthrough, indent + "        ", capped)
+
+    # Two complete machines, selected once per call: the uncapped
+    # default runs exactly the pre-guard bulk-checked shape (arm
+    # dispatch inside the block loop measurably slows the hot kernel),
+    # and a live value cap runs its per-box guarded twin.
+    emit("    if _capb is None:")
+    emit_machine("        ", capped=False)
+    emit("    else:")
+    emit_machine("        ", capped=True)
+
     source = "\n".join(lines) + "\n"
 
     name = flowchart.name
@@ -392,7 +415,13 @@ def generate_source(flowchart: Flowchart) -> Tuple[str, Dict[str, object],
             fuel, f"flowchart {name} exceeded {fuel} steps "
                   f"on input {tuple(inputs)!r}")
 
+    def _cap_error(cap: int, inputs) -> ValueCapExceededError:
+        return ValueCapExceededError(
+            cap, f"flowchart {name} assigned a value wider than "
+                 f"{cap} bits on input {tuple(inputs)!r}")
+
     gen.namespace["_fuel_error"] = _fuel_error
+    gen.namespace["_cap_error"] = _cap_error
     return source, gen.namespace, gen.env_names
 
 
@@ -538,7 +567,8 @@ def execute_compiled(flowchart: Flowchart, inputs: Sequence[int],
                      fuel: int = DEFAULT_FUEL,
                      record_trace: bool = False,
                      capture_env: bool = False,
-                     memo: bool = True) -> ExecutionResult:
+                     memo: bool = True,
+                     value_cap: Optional[int] = None) -> ExecutionResult:
     """Compiled-backend twin of :func:`~repro.flowchart.interpreter.execute`.
 
     ``record_trace`` needs per-box identities the compiled code no
@@ -547,15 +577,26 @@ def execute_compiled(flowchart: Flowchart, inputs: Sequence[int],
     """
     if record_trace:
         return execute(flowchart, inputs, fuel=fuel, record_trace=True,
-                       capture_env=capture_env)
+                       capture_env=capture_env, value_cap=value_cap)
     if len(inputs) != flowchart.arity:
         raise ArityMismatchError(
             f"flowchart {flowchart.name} takes {flowchart.arity} inputs, "
             f"got {len(inputs)}"
         )
-    key = None
-    if memo and not capture_env:
-        key = (flowchart, tuple(inputs), fuel)
+    cap = (default_value_cap() if value_cap is None
+           else resolve_value_cap(value_cap))
+    if cap is None:
+        bound = None
+        # The uncapped key keeps the pre-guard 3-tuple shape: a capped
+        # entry always carries its cap, so the shapes never collide and
+        # the hot default pays no extra hashing.
+        key = ((flowchart, tuple(inputs), fuel)
+               if memo and not capture_env else None)
+    else:
+        bound = 1 << cap
+        key = ((flowchart, tuple(inputs), fuel, cap)
+               if memo and not capture_env else None)
+    if key is not None:
         cached = _RESULT_MEMO.get(key)
         if cached is not None:
             if _obs.active:
@@ -565,14 +606,17 @@ def execute_compiled(flowchart: Flowchart, inputs: Sequence[int],
     compiled = compile_flowchart(flowchart)
     if _obs.active:
         try:
-            value, steps, mask, env = compiled.function(tuple(inputs), fuel,
-                                                        capture_env)
+            value, steps, mask, env = compiled.function(
+                tuple(inputs), fuel, capture_env, cap, bound)
         except FuelExhaustedError as error:
             _obs.record_fuel_exhausted(flowchart.name, error.fuel)
             raise
+        except ValueCapExceededError as error:
+            _obs.record_value_cap_exceeded(flowchart.name, error.cap)
+            raise
     else:
-        value, steps, mask, env = compiled.function(tuple(inputs), fuel,
-                                                    capture_env)
+        value, steps, mask, env = compiled.function(
+            tuple(inputs), fuel, capture_env, cap, bound)
     result = ExecutionResult(value, steps, None, env,
                              compiled.touched_set(mask))
     if key is not None:
@@ -587,11 +631,13 @@ def run_flowchart(flowchart: Flowchart, inputs: Sequence[int],
                   fuel: int = DEFAULT_FUEL,
                   record_trace: bool = False,
                   capture_env: bool = False,
-                  backend: Optional[str] = None) -> ExecutionResult:
+                  backend: Optional[str] = None,
+                  value_cap: Optional[int] = None) -> ExecutionResult:
     """Execute via whichever backend :func:`resolve_backend` selects."""
     if resolve_backend(backend) == "compiled":
         return execute_compiled(flowchart, inputs, fuel=fuel,
                                 record_trace=record_trace,
-                                capture_env=capture_env)
+                                capture_env=capture_env,
+                                value_cap=value_cap)
     return execute(flowchart, inputs, fuel=fuel, record_trace=record_trace,
-                   capture_env=capture_env)
+                   capture_env=capture_env, value_cap=value_cap)

@@ -17,12 +17,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.errors import ArityMismatchError, FuelExhaustedError
+from ..core.errors import (ArityMismatchError, FuelExhaustedError,
+                           ValueCapExceededError)
 from ..core.observability import (VALUE_AND_TIME, VALUE_ONLY, Observation,
                                   OutputModel)
 from ..core.domains import ProductDomain
 from ..core.program import Program
 from ..obs import runtime as _obs
+from ..robustness.faults import default_value_cap, resolve_value_cap
 from .boxes import AssignBox, DecisionBox, HaltBox, NodeId, StartBox
 from .program import Flowchart
 
@@ -87,11 +89,15 @@ def initial_environment(flowchart: Flowchart,
 def execute(flowchart: Flowchart, inputs: Sequence[int],
             fuel: int = DEFAULT_FUEL,
             record_trace: bool = False,
-            capture_env: bool = False) -> ExecutionResult:
+            capture_env: bool = False,
+            value_cap: Optional[int] = None) -> ExecutionResult:
     """Run a flowchart to its halt box.
 
     Returns an :class:`ExecutionResult`; raises
-    :class:`FuelExhaustedError` if the run exceeds ``fuel`` steps.
+    :class:`FuelExhaustedError` if the run exceeds ``fuel`` steps, and
+    :class:`ValueCapExceededError` if any assignment produces a value
+    wider than ``value_cap`` bits (default: the ``REPRO_VALUE_CAP``
+    environment variable; unset means uncapped).
 
     ``capture_env`` is opt-in: only when True does the result carry a
     snapshot of the final environment (``result.env``).  The hot paths
@@ -100,6 +106,9 @@ def execute(flowchart: Flowchart, inputs: Sequence[int],
     every run is measurable across a 2^k x 3^k sweep.  ``touched`` (the
     fault-count observable) is always tracked.
     """
+    cap = (default_value_cap() if value_cap is None
+           else resolve_value_cap(value_cap))
+    bound = (1 << cap) if cap is not None else None
     env = initial_environment(flowchart, inputs)
     trace: List[NodeId] = []
     touched: set = set()
@@ -136,7 +145,14 @@ def execute(flowchart: Flowchart, inputs: Sequence[int],
         if isinstance(box, AssignBox):
             touched.add(box.target)
             touched.update(box.expression.variables())
-            env[box.target] = box.expression.eval(env)
+            value = box.expression.eval(env)
+            env[box.target] = value
+            if bound is not None and (value >= bound or value <= -bound):
+                if _obs.active:
+                    _obs.record_value_cap_exceeded(flowchart.name, cap)
+                raise ValueCapExceededError(
+                    cap, f"flowchart {flowchart.name} assigned a value "
+                         f"wider than {cap} bits on input {tuple(inputs)!r}")
             current = box.next
         elif isinstance(box, DecisionBox):
             touched.update(box.predicate.variables())
@@ -151,7 +167,8 @@ def as_program(flowchart: Flowchart, domain: ProductDomain,
                output_model: OutputModel = VALUE_ONLY,
                fuel: int = DEFAULT_FUEL,
                name: Optional[str] = None,
-               backend: Optional[str] = None) -> Program:
+               backend: Optional[str] = None,
+               value_cap: Optional[int] = None) -> Program:
     """Wrap a flowchart as a Section 2 :class:`Program`.
 
     The output depends on the declared :class:`OutputModel` — the
@@ -176,7 +193,8 @@ def as_program(flowchart: Flowchart, domain: ProductDomain,
     from .fastpath import run_flowchart
 
     def run(*inputs):
-        result = run_flowchart(flowchart, inputs, fuel=fuel, backend=backend)
+        result = run_flowchart(flowchart, inputs, fuel=fuel, backend=backend,
+                               value_cap=value_cap)
         return output_model.project(result.observation())
 
     label = name or flowchart.name

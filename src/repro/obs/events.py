@@ -42,6 +42,13 @@ EVENT_KINDS: Tuple[str, ...] = (
     "span_start",    # a hierarchical work span opened (sweep/pair/chunk/...)
     "span_end",      # a span closed (same id as its span_start)
     "explanation",   # violation provenance: the input-index influence chain
+    "value_cap_exceeded",  # a run assigned a value wider than the cap
+    "point_quarantined",   # bisection isolated one crashing grid point
+    "chunk_quarantined",   # a chunk entered the quarantine bisection
+    "checkpoint_meta",     # checkpoint header: sweep config fingerprint
+    "checkpoint_written",  # one chunk summary journalled to the checkpoint
+    "sweep_resumed",       # a sweep restored chunk summaries and continued
+    "sweep_interrupted",   # a sweep drained and stopped (signal/deadline)
 )
 
 #: Envelope + per-kind required payload fields.  ``properties`` gives
@@ -79,6 +86,17 @@ EVENT_SCHEMA: Dict = {
         # see repro.obs.provenance.Explanation.
         "explanation": {"required": ["program", "policy", "point", "site",
                                      "chain"]},
+        "value_cap_exceeded": {"required": ["program", "cap"]},
+        # Recovery: quarantine isolates crashing points, checkpoints
+        # journal completed chunks, resume restores them.
+        "point_quarantined": {"required": ["pair", "chunk", "point",
+                                           "reason"]},
+        "chunk_quarantined": {"required": ["pair", "chunk", "points",
+                                           "reason"]},
+        "checkpoint_meta": {"required": ["config"]},
+        "checkpoint_written": {"required": ["pair", "chunk", "accepts"]},
+        "sweep_resumed": {"required": ["chunks_restored"]},
+        "sweep_interrupted": {"required": ["reason", "chunks_done"]},
     },
 }
 

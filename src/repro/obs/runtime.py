@@ -268,6 +268,12 @@ def record_fuel_exhausted(program: str, fuel: int) -> None:
         emit("fuel_exhausted", program=program, fuel=fuel)
 
 
+def record_value_cap_exceeded(program: str, cap: int) -> None:
+    registry.counter("run.value_cap_exceeded").inc()
+    if trace_active:
+        emit("value_cap_exceeded", program=program, cap=cap)
+
+
 def record_violation(program: str, source: str, **fields) -> None:
     registry.counter("violations.raised").inc()
     registry.counter(f"violations.{source}").inc()

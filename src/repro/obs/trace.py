@@ -209,6 +209,11 @@ def summarize(events: Sequence[Dict]) -> Dict:
     degradations = 0
     points = 0
     accepts = 0
+    quarantined_points = 0
+    quarantined_chunks = 0
+    checkpoints_written = 0
+    chunks_restored = 0
+    interruptions: List[str] = []
     for event in events:
         kind = event.get("kind", "?")
         kinds[kind] = kinds.get(kind, 0) + 1
@@ -229,6 +234,16 @@ def summarize(events: Sequence[Dict]) -> Dict:
         elif kind == "chunk_done":
             points += event.get("points", 0)
             accepts += event.get("accepts", 0)
+        elif kind == "point_quarantined":
+            quarantined_points += 1
+        elif kind == "chunk_quarantined":
+            quarantined_chunks += 1
+        elif kind == "checkpoint_written":
+            checkpoints_written += 1
+        elif kind == "sweep_resumed":
+            chunks_restored += event.get("chunks_restored", 0)
+        elif kind == "sweep_interrupted":
+            interruptions.append(str(event.get("reason", "?")))
     ops = {}
     for op, values in sorted(span_elapsed.items()):
         ops[op] = {
@@ -253,6 +268,13 @@ def summarize(events: Sequence[Dict]) -> Dict:
         "pool_degradations": degradations,
         "points_evaluated": points,
         "points_accepted": accepts,
+        "recovery": {
+            "points_quarantined": quarantined_points,
+            "chunks_quarantined": quarantined_chunks,
+            "checkpoints_written": checkpoints_written,
+            "chunks_restored": chunks_restored,
+            "interruptions": interruptions,
+        },
     }
 
 

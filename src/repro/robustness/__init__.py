@@ -1,0 +1,22 @@
+"""Fault totalization and recovery (the total-function hardening layer).
+
+Jones & Lipton require protection mechanisms to be *total* functions:
+``M(a) = Q(a)`` or ``M(a) ∈ F``.  The Observability Postulate makes any
+undeclared observable — a crash, an OOM kill, an interrupted sweep — a
+covert channel.  This package names every failure mode the execution
+engines and sweep runners can hit and maps each one onto a distinguished
+violation notice, so a sweep is a total function of its arguments no
+matter what its points do.
+
+See ``docs/ROBUSTNESS.md`` for the taxonomy and totalization table.
+"""
+
+from .faults import (DECLARED_FAULTS, VALUE_CAP_ENV, TotalizedMechanism,
+                     cap_notice, crash_notice, fault_notice, fuel_notice,
+                     resolve_value_cap)
+
+__all__ = [
+    "DECLARED_FAULTS", "VALUE_CAP_ENV", "TotalizedMechanism",
+    "cap_notice", "crash_notice", "fault_notice", "fuel_notice",
+    "resolve_value_cap",
+]

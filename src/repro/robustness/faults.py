@@ -1,0 +1,171 @@
+"""The typed fault taxonomy and its totalization into notices.
+
+Three failure classes, three distinguished notices:
+
+===================  ==========================  =====================
+fault                raised as                   totalized notice
+===================  ==========================  =====================
+fuel exhaustion      ``FuelExhaustedError``      ``Λ!fuel[N]``
+value-magnitude      ``ValueCapExceededError``   ``Λ!cap[C]``
+undeclared crash     any other ``Exception``     ``Λ!crash[Type]``
+===================  ==========================  =====================
+
+The first two are *declared* faults: the engines raise them by design
+and every sweep layer (serial, thread, process) catches them inline.
+The third is the quarantine class — a deterministic crash (MemoryError,
+a worker segfault, an injected fault) that the poison-point bisection
+in :mod:`repro.verify.parallel` isolates to individual grid points.
+
+Notice identity matters: the factorization check treats each notice
+text as its own output class, so the same fault on the same point must
+produce the *same* notice in every executor mode.  ``crash_notice``
+therefore encodes only the exception type, never its message (messages
+can carry addresses, pids, or timestamps).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..core.errors import (ExecutionError, FuelExhaustedError, ReproError,
+                           ValueCapExceededError)
+from ..core.mechanism import ViolationNotice
+
+#: Environment variable supplying the default value-magnitude cap
+#: (maximum bit-length of any assigned value; unset means uncapped).
+VALUE_CAP_ENV = "REPRO_VALUE_CAP"
+
+#: The declared fault types every sweep layer totalizes inline.
+DECLARED_FAULTS = (FuelExhaustedError, ValueCapExceededError)
+
+
+def fuel_notice(fuel: int) -> ViolationNotice:
+    """The distinguished outcome of a run that exhausted its fuel budget.
+
+    (Canonical home; re-exported by :mod:`repro.verify.enumerate` for
+    compatibility with earlier call sites.)
+    """
+    return ViolationNotice(f"Λ!fuel[{fuel}]")
+
+
+def cap_notice(cap: int) -> ViolationNotice:
+    """The distinguished outcome of a run that exceeded the value cap."""
+    return ViolationNotice(f"Λ!cap[{cap}]")
+
+
+def crash_notice(error: BaseException) -> ViolationNotice:
+    """The distinguished outcome of a quarantined (undeclared) crash.
+
+    Encodes the exception *type only*: messages may embed pids,
+    addresses, or timestamps, and the notice must be bit-identical
+    across serial, thread, and process executions of the same point.
+    """
+    return ViolationNotice(f"Λ!crash[{type(error).__name__}]")
+
+
+def fault_notice(error: BaseException) -> Optional[ViolationNotice]:
+    """The totalized notice for a *declared* fault, else None.
+
+    Undeclared exceptions return None on purpose: they must go through
+    the quarantine path (which bisects, records provenance, and emits
+    ``point_quarantined`` events), not be silently swallowed here.
+    """
+    if isinstance(error, FuelExhaustedError):
+        return fuel_notice(error.fuel)
+    if isinstance(error, ValueCapExceededError):
+        return cap_notice(error.cap)
+    return None
+
+
+def resolve_value_cap(value_cap: Optional[int] = None) -> Optional[int]:
+    """Resolve the effective value cap (bit-length budget).
+
+    Precedence: explicit argument > ``REPRO_VALUE_CAP`` > uncapped.
+    ``None`` means uncapped; a cap must be a positive bit count.
+    """
+    if value_cap is None:
+        raw = os.environ.get(VALUE_CAP_ENV)
+        if raw is None or not raw.strip():
+            return None
+        try:
+            value_cap = int(raw)
+        except ValueError:
+            raise ReproError(
+                f"{VALUE_CAP_ENV}={raw!r} is not an integer bit count")
+    if value_cap <= 0:
+        raise ReproError(
+            f"value_cap must be a positive bit-length budget; got {value_cap}")
+    return value_cap
+
+
+#: (resolved?, cap) — the parsed ``REPRO_VALUE_CAP`` default.
+_ENV_CAP_CACHE = (False, None)
+
+
+def default_value_cap() -> Optional[int]:
+    """``resolve_value_cap(None)``, cached after the first read.
+
+    The execution entry points consult the environment default on
+    every run; an ``os.environ`` read per run costs more than the guard
+    itself, so the parsed default is cached process-wide.  Call
+    :func:`reset_value_cap_cache` after changing the variable
+    mid-process (tests do; ordinary processes set it before starting).
+    """
+    global _ENV_CAP_CACHE
+    resolved, cap = _ENV_CAP_CACHE
+    if not resolved:
+        cap = resolve_value_cap(None)
+        _ENV_CAP_CACHE = (True, cap)
+    return cap
+
+
+def reset_value_cap_cache() -> None:
+    """Forget the cached ``REPRO_VALUE_CAP`` default."""
+    global _ENV_CAP_CACHE
+    _ENV_CAP_CACHE = (False, None)
+
+
+class TotalizedMechanism:
+    """Wraps a mechanism so every declared fault becomes its notice.
+
+    Duck-types the :class:`~repro.core.mechanism.ProtectionMechanism`
+    surface the soundness checkers use (``arity``, ``name``,
+    ``domain``, call).  Serial and parallel sweeps both apply this
+    guard, so their rows stay identical point-for-point whatever the
+    fuel or cap budget truncates.
+    """
+
+    __slots__ = ("_mechanism",)
+
+    def __init__(self, mechanism) -> None:
+        self._mechanism = mechanism
+
+    @property
+    def arity(self) -> int:
+        return self._mechanism.arity
+
+    @property
+    def name(self) -> str:
+        return self._mechanism.name
+
+    @property
+    def domain(self):
+        return self._mechanism.domain
+
+    def __call__(self, *inputs):
+        try:
+            return self._mechanism(*inputs)
+        except DECLARED_FAULTS as error:
+            return fault_notice(error)
+
+
+# ``ExecutionError`` is part of the taxonomy surface for callers that
+# classify faults coarsely (declared vs. crash) — keep it importable
+# from here alongside the concrete fault types.
+__all__ = [
+    "DECLARED_FAULTS", "VALUE_CAP_ENV", "ExecutionError",
+    "FuelExhaustedError", "ValueCapExceededError", "TotalizedMechanism",
+    "cap_notice", "crash_notice", "default_value_cap", "fault_notice",
+    "fuel_notice", "reset_value_cap_cache", "resolve_value_cap",
+]

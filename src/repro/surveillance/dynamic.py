@@ -35,7 +35,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Sequence, Union
 
 from ..core.domains import ProductDomain
-from ..core.errors import ArityMismatchError, FuelExhaustedError
+from ..core.errors import (ArityMismatchError, FuelExhaustedError,
+                           ValueCapExceededError)
 from ..core.mechanism import ProtectionMechanism, ViolationNotice
 from ..core.observability import VALUE_AND_TIME, VALUE_ONLY, OutputModel
 from ..core.policy import AllowPolicy
@@ -44,6 +45,7 @@ from ..flowchart.boxes import AssignBox, DecisionBox, HaltBox
 from ..flowchart.interpreter import DEFAULT_FUEL, as_program, initial_environment
 from ..flowchart.program import Flowchart
 from ..obs import runtime as _obs
+from ..robustness.faults import default_value_cap, resolve_value_cap
 from .labels import EMPTY, Label, join, permitted, singleton
 
 
@@ -77,7 +79,8 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
             timed: bool = False, forgetting: bool = True,
             fuel: int = DEFAULT_FUEL,
             observer: Optional[Observer] = None,
-            record: bool = True) -> SurveillanceRun:
+            record: bool = True,
+            value_cap: Optional[int] = None) -> SurveillanceRun:
     """Run ``flowchart`` under surveillance for ``allow(allowed)``.
 
     Parameters
@@ -110,6 +113,9 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
             f"flowchart {flowchart.name} takes {flowchart.arity} inputs, "
             f"got {len(inputs)}"
         )
+    cap = (default_value_cap() if value_cap is None
+           else resolve_value_cap(value_cap))
+    bound = (1 << cap) if cap is not None else None
     env = initial_environment(flowchart, inputs)
     labels: Dict[str, Label] = {name: EMPTY for name in env}
     for position, name in enumerate(flowchart.input_variables, 1):
@@ -154,7 +160,14 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
                 labels[box.target] = incoming
             else:
                 labels[box.target] = join(labels[box.target], incoming)
-            env[box.target] = box.expression.eval(env)
+            value = box.expression.eval(env)
+            env[box.target] = value
+            if bound is not None and (value >= bound or value <= -bound):
+                if _obs.active and record:
+                    _obs.record_value_cap_exceeded(flowchart.name, cap)
+                raise ValueCapExceededError(
+                    cap, f"surveilled {flowchart.name} assigned a value "
+                         f"wider than {cap} bits on {tuple(inputs)!r}")
             current = box.next
         elif isinstance(box, DecisionBox):
             test_label = join(*(labels[name] for name in box.predicate.variables()))
@@ -189,7 +202,8 @@ def surveillance_mechanism(flowchart: Flowchart, policy: AllowPolicy,
                            timed: bool = False, forgetting: bool = True,
                            fuel: int = DEFAULT_FUEL,
                            program: Optional[Program] = None,
-                           name: Optional[str] = None) -> ProtectionMechanism:
+                           name: Optional[str] = None,
+                           value_cap: Optional[int] = None) -> ProtectionMechanism:
     """Build the surveillance protection mechanism for (Q, allow(J)).
 
     ``output_model`` declares what the user observes of the *protected
@@ -208,13 +222,13 @@ def surveillance_mechanism(flowchart: Flowchart, policy: AllowPolicy,
             f"policy arity {policy.arity} != flowchart arity {flowchart.arity}"
         )
     protected = program if program is not None else as_program(
-        flowchart, domain, output_model, fuel=fuel)
+        flowchart, domain, output_model, fuel=fuel, value_cap=value_cap)
 
     time_observable = output_model.time_observable
 
     def mechanism_fn(*inputs):
         run = surveil(flowchart, inputs, allowed, timed=timed,
-                      forgetting=forgetting, fuel=fuel)
+                      forgetting=forgetting, fuel=fuel, value_cap=value_cap)
         if run.violated:
             if _obs.explain_active:
                 # Provenance mode: replay the point with an observer and
@@ -243,8 +257,10 @@ def timed_surveillance_mechanism(flowchart: Flowchart, policy: AllowPolicy,
                                  output_model: OutputModel = VALUE_AND_TIME,
                                  fuel: int = DEFAULT_FUEL,
                                  program: Optional[Program] = None,
-                                 name: Optional[str] = None) -> ProtectionMechanism:
+                                 name: Optional[str] = None,
+                                 value_cap: Optional[int] = None) -> ProtectionMechanism:
     """Theorem 3′'s M′ — sound even when running times are observable."""
     return surveillance_mechanism(flowchart, policy, domain,
                                   output_model=output_model, timed=True,
-                                  fuel=fuel, program=program, name=name)
+                                  fuel=fuel, program=program, name=name,
+                                  value_cap=value_cap)

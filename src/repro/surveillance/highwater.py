@@ -32,7 +32,8 @@ def highwater_mechanism(flowchart: Flowchart, policy: AllowPolicy,
                         timed: bool = False,
                         fuel: int = DEFAULT_FUEL,
                         program: Optional[Program] = None,
-                        name: Optional[str] = None) -> ProtectionMechanism:
+                        name: Optional[str] = None,
+                        value_cap: Optional[int] = None) -> ProtectionMechanism:
     """The high-water-mark mechanism Mh for (Q, allow(J)).
 
     Identical to the surveillance mechanism except labels accumulate
@@ -43,4 +44,5 @@ def highwater_mechanism(flowchart: Flowchart, policy: AllowPolicy,
         flowchart, policy, domain, output_model=output_model, timed=timed,
         forgetting=False, fuel=fuel, program=program,
         name=name or f"M-hw({flowchart.name}, {policy.name})",
+        value_cap=value_cap,
     )

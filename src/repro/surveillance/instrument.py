@@ -242,7 +242,8 @@ def instrumented_mechanism(flowchart: Flowchart, policy: AllowPolicy,
                            timed: bool = False,
                            fuel: int = DEFAULT_FUEL,
                            program: Optional[Program] = None,
-                           name: Optional[str] = None) -> ProtectionMechanism:
+                           name: Optional[str] = None,
+                           value_cap: Optional[int] = None) -> ProtectionMechanism:
     """Wrap the instrumented flowchart as a ProtectionMechanism.
 
     Executes M and reads the violation flag from the final environment.
@@ -254,12 +255,12 @@ def instrumented_mechanism(flowchart: Flowchart, policy: AllowPolicy,
     """
     instrumented = instrument(flowchart, policy, timed=timed)
     protected = program if program is not None else as_program(
-        flowchart, domain, output_model, fuel=fuel)
+        flowchart, domain, output_model, fuel=fuel, value_cap=value_cap)
     time_observable = output_model.time_observable
 
     def mechanism_fn(*inputs):
         result = run_flowchart(instrumented, inputs, fuel=fuel,
-                               capture_env=True)
+                               capture_env=True, value_cap=value_cap)
         violated = result.env.get(VIOLATION_FLAG, 0) == 1
         if violated:
             if _obs.active:
@@ -281,7 +282,8 @@ def instrumented_mechanism(flowchart: Flowchart, policy: AllowPolicy,
                 return ViolationNotice(f"Λ@{original_steps}")
             return ViolationNotice("Λ")
         if time_observable:
-            original = run_flowchart(flowchart, inputs, fuel=fuel)
+            original = run_flowchart(flowchart, inputs, fuel=fuel,
+                                     value_cap=value_cap)
             return (result.value, original.steps)
         return result.value
 

@@ -1,0 +1,203 @@
+"""Deterministic chaos: seeded fault plans for sweep hardening tests.
+
+The retry/degradation machinery in :mod:`repro.verify.parallel` grew up
+against two ad-hoc test hooks (``_FAIL_INJECTOR``, ``_DELAY_INJECTOR``).
+This module generalises them into a first-class *fault plan*: a seeded,
+deterministic schedule of injected faults that the sweep consults at
+submit time (worker crash, delay, lost chunk) and per grid point
+(poison → ``MemoryError``), so robustness tests and the CI chaos job
+can describe a whole failure scenario as one picklable value.
+
+Determinism is the point.  Every decision is a pure function of
+``(seed, pair, chunk, attempt)`` — hashed, not drawn from a shared RNG —
+so the same plan produces the same faults whether chunks are submitted
+from one thread or sixteen, and a process-pool worker (which receives
+the plan inside its task payload) reaches the same verdicts as the
+parent.  A poisoned *point* crashes every time it is evaluated, in any
+executor, which is exactly the behaviour the quarantine bisection needs
+to isolate it.
+
+Fault kinds
+-----------
+``crash``
+    The chunk attempt raises before evaluating (a simulated worker
+    crash); the sweep's retry ladder handles it.
+``delay``
+    The chunk attempt sleeps ``delay_seconds`` first (for exercising
+    ``chunk_timeout`` and checkpoint-mid-flight scenarios).
+``lost``
+    The chunk attempt sleeps ``lost_seconds`` — long enough that only a
+    ``chunk_timeout`` recovers it (a simulated lost/hung worker).
+``poison``
+    Named grid points raise :class:`MemoryError` when evaluated —
+    deterministic OOM-style crashes the quarantine bisection must
+    totalize into ``Λ!crash[MemoryError]`` notices.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from ..core.errors import ReproError
+
+__all__ = ["FaultDecision", "FaultPlan", "clear", "current_plan", "install"]
+
+
+def _roll(seed: int, *key) -> float:
+    """A deterministic uniform draw in [0, 1) keyed by (seed, *key)."""
+    digest = hashlib.sha256(
+        ":".join([str(seed)] + [str(part) for part in key]).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class FaultDecision:
+    """What a fault plan injects into one chunk attempt."""
+
+    __slots__ = ("crash", "delay")
+
+    def __init__(self, crash: bool = False, delay: float = 0.0) -> None:
+        self.crash = crash
+        self.delay = delay
+
+    def __repr__(self) -> str:
+        return f"FaultDecision(crash={self.crash}, delay={self.delay})"
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of injected sweep faults.
+
+    ``crash``/``delay``/``lost`` are per-attempt probabilities in
+    [0, 1]; ``poison_points`` is a collection of grid points (tuples)
+    that raise :class:`MemoryError` whenever evaluated.  Instances are
+    immutable plain data — picklable by construction, so they ride task
+    payloads into process-pool workers unchanged.
+    """
+
+    __slots__ = ("seed", "crash", "delay", "lost", "delay_seconds",
+                 "lost_seconds", "poison_points")
+
+    def __init__(self, seed: int = 0, crash: float = 0.0, delay: float = 0.0,
+                 lost: float = 0.0, delay_seconds: float = 0.05,
+                 lost_seconds: float = 5.0,
+                 poison_points: Sequence[Tuple] = ()) -> None:
+        for name, rate in (("crash", crash), ("delay", delay),
+                           ("lost", lost)):
+            if not 0.0 <= rate <= 1.0:
+                raise ReproError(
+                    f"chaos {name} rate must be in [0, 1]; got {rate}")
+        if delay_seconds < 0 or lost_seconds < 0:
+            raise ReproError("chaos delay/lost durations must be >= 0")
+        self.seed = int(seed)
+        self.crash = float(crash)
+        self.delay = float(delay)
+        self.lost = float(lost)
+        self.delay_seconds = float(delay_seconds)
+        self.lost_seconds = float(lost_seconds)
+        self.poison_points: FrozenSet[Tuple] = frozenset(
+            tuple(int(part) for part in point) for point in poison_points)
+
+    def decide(self, pair: int, chunk: int, attempt: int) -> FaultDecision:
+        """The injected fault (if any) for one chunk attempt.
+
+        Pure in ``(seed, pair, chunk, attempt)``: resubmitting the same
+        attempt from any thread or process yields the same decision.
+        Priority: crash beats lost beats delay (one fault per attempt).
+        """
+        if self.crash and _roll(self.seed, "crash", pair, chunk,
+                                attempt) < self.crash:
+            return FaultDecision(crash=True)
+        if self.lost and _roll(self.seed, "lost", pair, chunk,
+                               attempt) < self.lost:
+            return FaultDecision(delay=self.lost_seconds)
+        if self.delay and _roll(self.seed, "delay", pair, chunk,
+                                attempt) < self.delay:
+            return FaultDecision(delay=self.delay_seconds)
+        return FaultDecision()
+
+    def poisons(self, point: Sequence[int]) -> bool:
+        """Whether a grid point is scheduled to crash when evaluated."""
+        return bool(self.poison_points) and tuple(point) in self.poison_points
+
+    def __reduce__(self):
+        return (_rebuild_plan, (self.seed, self.crash, self.delay, self.lost,
+                                self.delay_seconds, self.lost_seconds,
+                                tuple(sorted(self.poison_points))))
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan(seed={self.seed}, crash={self.crash}, "
+                f"delay={self.delay}, lost={self.lost}, "
+                f"poison={sorted(self.poison_points)})")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a CLI spec string.
+
+        Comma-separated ``key=value`` fields: ``seed``, ``crash``,
+        ``delay``, ``lost`` (rates), ``delay_s``/``lost_s`` (seconds),
+        and ``poison`` — grid points joined by ``+`` with coordinates
+        joined by ``:``, e.g. ``poison=1:2+0:0``.
+
+        >>> FaultPlan.parse("seed=3,crash=0.2,poison=1:2").crash
+        0.2
+        """
+        fields: Dict[str, str] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ReproError(
+                    f"chaos spec field {part!r} is not key=value")
+            key, _, value = part.partition("=")
+            fields[key.strip()] = value.strip()
+        known = {"seed", "crash", "delay", "lost", "delay_s", "lost_s",
+                 "poison"}
+        unknown = set(fields) - known
+        if unknown:
+            raise ReproError(
+                f"unknown chaos spec fields {sorted(unknown)}; "
+                f"known: {sorted(known)}")
+        try:
+            poison = tuple(
+                tuple(int(coord) for coord in point.split(":"))
+                for point in fields.get("poison", "").split("+") if point)
+            return cls(
+                seed=int(fields.get("seed", "0")),
+                crash=float(fields.get("crash", "0")),
+                delay=float(fields.get("delay", "0")),
+                lost=float(fields.get("lost", "0")),
+                delay_seconds=float(fields.get("delay_s", "0.05")),
+                lost_seconds=float(fields.get("lost_s", "5.0")),
+                poison_points=poison,
+            )
+        except ValueError as error:
+            raise ReproError(f"bad chaos spec {spec!r}: {error}") from None
+
+
+def _rebuild_plan(seed, crash, delay, lost, delay_seconds, lost_seconds,
+                  poison_points):
+    return FaultPlan(seed=seed, crash=crash, delay=delay, lost=lost,
+                     delay_seconds=delay_seconds, lost_seconds=lost_seconds,
+                     poison_points=poison_points)
+
+
+#: The process-wide installed plan (None = no chaos).
+_PLAN: Optional[FaultPlan] = None
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Install (or, with None, clear) the process-wide fault plan."""
+    global _PLAN
+    _PLAN = plan
+
+
+def clear() -> None:
+    """Remove any installed fault plan."""
+    install(None)
+
+
+def current_plan() -> Optional[FaultPlan]:
+    """The installed fault plan, or None when chaos is off."""
+    return _PLAN

@@ -1,0 +1,189 @@
+"""Crash-safe sweep checkpoints: journal chunk summaries, resume later.
+
+A checkpoint is a JSONL file of *valid trace events* (they pass
+:func:`repro.obs.events.validate_jsonl`):
+
+- one ``checkpoint_meta`` header carrying the sweep's config
+  fingerprint (programs, policies, grid, factory, budgets, and the
+  chunk layout — everything resume determinism depends on);
+- one ``checkpoint_written`` record per completed chunk, carrying the
+  chunk's full :class:`~repro.verify.parallel.ChunkSummary` (acceptance
+  count, per-policy-class representatives in domain order, conflict
+  flag).
+
+Crash safety is line-at-a-time: every record is flushed as it is
+written, so a sweep killed mid-flight leaves at worst one torn final
+line, which :func:`load_checkpoint` tolerates.  Resume re-opens the
+journal in append mode and the sweep re-schedules only the chunks the
+journal does not already cover; because the summaries are merged in
+chunk order either way, a resumed sweep's rows are bit-identical to an
+uninterrupted run's.
+
+The config fingerprint is the resume guard: a checkpoint written under
+one sweep configuration (different grid, fuel, value cap, chunk size…)
+refuses to resume another, because restored summaries would then be
+merged against a different chunk layout and silently corrupt verdicts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import ReproError
+from ..core.mechanism import ViolationNotice
+
+__all__ = ["CheckpointWriter", "config_fingerprint", "encode_value",
+           "decode_value", "load_checkpoint"]
+
+
+def encode_value(value):
+    """JSON-encode a policy-class key or mechanism output.
+
+    Violation notices carry their message under ``"n"``, tuples
+    (policy values, timed outputs) under ``"t"``; plain ints pass
+    through.  The encoding round-trips through :func:`decode_value`
+    exactly — notice equality is message equality, so a restored class
+    representative compares identically to a recomputed one.
+    """
+    if isinstance(value, ViolationNotice):
+        return {"n": value.message}
+    if isinstance(value, tuple):
+        return {"t": [encode_value(part) for part in value]}
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise ReproError(
+            f"cannot checkpoint value of type {type(value).__name__}: "
+            f"{value!r}")
+    return value
+
+
+def decode_value(encoded):
+    """Invert :func:`encode_value`."""
+    if isinstance(encoded, dict):
+        if "n" in encoded:
+            return ViolationNotice(encoded["n"])
+        if "t" in encoded:
+            return tuple(decode_value(part) for part in encoded["t"])
+        raise ReproError(f"unrecognised checkpoint value {encoded!r}")
+    return encoded
+
+
+def config_fingerprint(descriptor: Dict) -> str:
+    """A stable hash of everything resume determinism depends on."""
+    canonical = json.dumps(descriptor, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class CheckpointWriter:
+    """Appends one flushed JSONL record per completed chunk.
+
+    ``fresh`` truncates and writes the ``checkpoint_meta`` header;
+    resume passes ``fresh=False`` (and ``start_seq`` past the restored
+    records) to append to the existing journal.
+    """
+
+    def __init__(self, path: str, descriptor: Dict, fresh: bool = True,
+                 start_seq: int = 0) -> None:
+        self.path = path
+        self._seq = start_seq
+        self._t0 = time.monotonic()
+        self._file = open(path, "w" if fresh else "a", encoding="utf-8")
+        if fresh:
+            self._write({"kind": "checkpoint_meta",
+                         "config": config_fingerprint(descriptor),
+                         "sweep": descriptor})
+
+    def _write(self, record: Dict) -> None:
+        record = dict(record)
+        record["seq"] = self._seq
+        record["t"] = round(time.monotonic() - self._t0, 6)
+        self._seq += 1
+        self._file.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        # Flush per record: the journal must survive a SIGKILL with at
+        # worst a torn final line (the resume test exercises this).
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def write_chunk(self, pair: int, chunk: int, summary) -> None:
+        self._write({
+            "kind": "checkpoint_written",
+            "pair": pair,
+            "chunk": chunk,
+            "accepts": summary.accepts,
+            "conflict": summary.conflict,
+            "classes": [[encode_value(key), encode_value(output)]
+                        for key, output in summary.classes.items()],
+        })
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_checkpoint(path: str,
+                    expected_fingerprint: Optional[str] = None
+                    ) -> Tuple[Dict, Dict[Tuple[int, int], object], int]:
+    """Read a checkpoint journal; returns ``(meta, summaries, records)``.
+
+    ``summaries`` maps ``(pair, chunk)`` to restored
+    :class:`~repro.verify.parallel.ChunkSummary` objects (class dicts
+    rebuilt in their journalled — i.e. domain — order).  ``records`` is
+    the total record count (for seq continuation on append).
+
+    A torn final line (the SIGKILL case) is tolerated; anything else
+    malformed raises.  When ``expected_fingerprint`` is given, a
+    mismatch with the journal's ``checkpoint_meta`` raises — resuming
+    under a different sweep configuration would corrupt verdicts.
+    """
+    from .parallel import ChunkSummary
+
+    if not os.path.exists(path):
+        raise ReproError(f"checkpoint {path!r} does not exist")
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    records: List[Dict] = []
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if index == len(lines) - 1:
+                break  # torn tail from a mid-write kill — expected
+            raise ReproError(
+                f"checkpoint {path!r} is corrupt at line {index + 1}")
+    if not records or records[0].get("kind") != "checkpoint_meta":
+        raise ReproError(
+            f"checkpoint {path!r} has no checkpoint_meta header")
+    meta = records[0]
+    if (expected_fingerprint is not None
+            and meta.get("config") != expected_fingerprint):
+        raise ReproError(
+            f"checkpoint {path!r} was written by a different sweep "
+            "configuration (programs/policies/grid/budgets/chunking "
+            "changed); refusing to resume")
+    summaries: Dict[Tuple[int, int], object] = {}
+    for record in records[1:]:
+        if record.get("kind") != "checkpoint_written":
+            raise ReproError(
+                f"checkpoint {path!r} contains unexpected "
+                f"{record.get('kind')!r} record")
+        classes = {}
+        for key, output in record["classes"]:
+            classes[decode_value(key)] = decode_value(output)
+        summaries[(record["pair"], record["chunk"])] = ChunkSummary(
+            record["accepts"], classes, record["conflict"])
+    return meta, summaries, len(records)

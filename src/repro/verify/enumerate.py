@@ -12,69 +12,38 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import inspect
 
 from ..core.domains import ProductDomain
-from ..core.errors import FuelExhaustedError, ReproError
-from ..core.mechanism import ViolationNotice
+from ..core.errors import ReproError
 from ..core.policy import AllowPolicy, allow
 from ..core.soundness import check_soundness_with_accepts
 from ..flowchart.interpreter import DEFAULT_FUEL
 from ..flowchart.program import Flowchart
+from ..robustness.faults import TotalizedMechanism, fuel_notice
+
+__all__ = [
+    "FuelGuardedMechanism", "SweepResult", "all_allow_policies",
+    "build_mechanism", "default_grid", "fuel_notice", "sampled_soundness",
+    "soundness_sweep", "unsound_results",
+]
+
+#: Historical name for the totalizing wrapper.  Since the value-cap
+#: guard joined the fault taxonomy it totalizes *every* declared fault
+#: (``Λ!fuel[N]`` and ``Λ!cap[C]``), not just fuel; the canonical home
+#: is :class:`repro.robustness.faults.TotalizedMechanism`.
+FuelGuardedMechanism = TotalizedMechanism
 
 
-def fuel_notice(fuel: int) -> ViolationNotice:
-    """The distinguished outcome of a run that exhausted its fuel budget.
+def _accepts_parameter(factory, name: str, positional_rank: int) -> bool:
+    """Whether a mechanism factory can receive a given sweep budget.
 
-    The sweeps evaluate mechanisms as *total* functions: a mechanism
-    run that exceeds ``fuel`` steps is recorded as this notice rather
-    than unwinding the whole sweep.  The notice encodes the budget —
-    per the Observability Postulate, "ran out of fuel F" is an
-    observable output distinct from an ordinary violation notice Λ, so
-    the factorization check treats it as its own output class.
+    True when the factory takes ``name`` (or ``**kwargs``/``*args``),
+    or has at least ``positional_rank`` positional slots.
     """
-    return ViolationNotice(f"Λ!fuel[{fuel}]")
-
-
-class FuelGuardedMechanism:
-    """Wraps a mechanism so fuel exhaustion becomes :func:`fuel_notice`.
-
-    Duck-types the :class:`~repro.core.mechanism.ProtectionMechanism`
-    surface the soundness checkers use (``arity``, ``name``,
-    ``domain``, call).  Both the serial and the parallel sweeps apply
-    this guard, so their rows stay identical point-for-point even when
-    a tiny fuel budget truncates runs.
-    """
-
-    __slots__ = ("_mechanism",)
-
-    def __init__(self, mechanism) -> None:
-        self._mechanism = mechanism
-
-    @property
-    def arity(self) -> int:
-        return self._mechanism.arity
-
-    @property
-    def name(self) -> str:
-        return self._mechanism.name
-
-    @property
-    def domain(self):
-        return self._mechanism.domain
-
-    def __call__(self, *inputs):
-        try:
-            return self._mechanism(*inputs)
-        except FuelExhaustedError as error:
-            return fuel_notice(error.fuel)
-
-
-def _accepts_fuel(factory) -> bool:
-    """Whether a mechanism factory can receive the sweep's fuel budget."""
     try:
         signature = inspect.signature(factory)
     except (TypeError, ValueError):  # pragma: no cover - builtins etc.
         return False
     parameters = signature.parameters
-    if "fuel" in parameters:
+    if name in parameters:
         return True
     if any(parameter.kind is inspect.Parameter.VAR_KEYWORD
            or parameter.kind is inspect.Parameter.VAR_POSITIONAL
@@ -83,26 +52,40 @@ def _accepts_fuel(factory) -> bool:
     positional = [parameter for parameter in parameters.values()
                   if parameter.kind in (inspect.Parameter.POSITIONAL_ONLY,
                                         inspect.Parameter.POSITIONAL_OR_KEYWORD)]
-    return len(positional) >= 4
+    return len(positional) >= positional_rank
+
+
+def _accepts_fuel(factory) -> bool:
+    """Whether a mechanism factory can receive the sweep's fuel budget."""
+    return _accepts_parameter(factory, "fuel", 4)
 
 
 def build_mechanism(factory, flowchart, policy, domain,
-                    fuel: int = DEFAULT_FUEL):
-    """Invoke a mechanism factory, threading ``fuel`` when it can take it.
+                    fuel: int = DEFAULT_FUEL,
+                    value_cap: Optional[int] = None):
+    """Invoke a mechanism factory, threading the sweep budgets.
 
     Registered :data:`~repro.verify.parallel.FACTORIES` all accept
-    ``(flowchart, policy, domain, fuel)``.  Legacy three-argument
-    callables are still accepted — but only at the default budget;
-    silently dropping a caller's explicit fuel is exactly the bug this
-    helper exists to prevent, so that case raises instead.
+    ``(flowchart, policy, domain, fuel, value_cap)``.  Legacy callables
+    are still accepted — but only at the default budgets; silently
+    dropping a caller's explicit fuel or value cap is exactly the bug
+    this helper exists to prevent, so those cases raise instead.
     """
-    if _accepts_fuel(factory):
-        return factory(flowchart, policy, domain, fuel)
-    if fuel != DEFAULT_FUEL:
+    takes_fuel = _accepts_fuel(factory)
+    if not takes_fuel and fuel != DEFAULT_FUEL:
         raise ReproError(
             f"mechanism factory {getattr(factory, '__name__', factory)!r} "
             "takes (flowchart, policy, domain) only and cannot honour "
             f"fuel={fuel}; extend it to accept a fuel argument")
+    if value_cap is not None:
+        if not _accepts_parameter(factory, "value_cap", 5):
+            raise ReproError(
+                f"mechanism factory {getattr(factory, '__name__', factory)!r} "
+                f"cannot honour value_cap={value_cap}; extend it to accept "
+                "a value_cap argument")
+        return factory(flowchart, policy, domain, fuel, value_cap=value_cap)
+    if takes_fuel:
+        return factory(flowchart, policy, domain, fuel)
     return factory(flowchart, policy, domain)
 
 
@@ -144,7 +127,8 @@ class SweepResult:
 def soundness_sweep(flowcharts: Sequence[Flowchart],
                     mechanism_factory: Callable,
                     grid: Optional[Callable[[int], ProductDomain]] = None,
-                    fuel: int = DEFAULT_FUEL) -> List[SweepResult]:
+                    fuel: int = DEFAULT_FUEL,
+                    value_cap: Optional[int] = None) -> List[SweepResult]:
     """Check a mechanism family on every flowchart × every allow policy.
 
     ``mechanism_factory(flowchart, policy, domain[, fuel])`` builds the
@@ -179,9 +163,10 @@ def soundness_sweep(flowcharts: Sequence[Flowchart],
                 with _obs.span("pair", program=flowchart.name,
                                policy=policy.name):
                     mechanism = build_mechanism(mechanism_factory, flowchart,
-                                                policy, domain, fuel)
+                                                policy, domain, fuel,
+                                                value_cap=value_cap)
                     report, accepts = check_soundness_with_accepts(
-                        FuelGuardedMechanism(mechanism), policy, domain)
+                        TotalizedMechanism(mechanism), policy, domain)
                     results.append(SweepResult(
                         flowchart.name, policy.name, mechanism.name,
                         report.sound, accepts, len(domain)))

@@ -38,6 +38,25 @@ pool itself dies — a crashed worker process, a pool that cannot spawn
 ``pool_degraded`` event rather than a traceback, and re-schedules only
 the chunks that had not yet completed.
 
+A chunk that *keeps* crashing deterministically (a poison point — an
+OOM-style fault that follows the work wherever it runs) is not retried
+forever: inline recovery runs under :func:`quarantine_chunk`, which
+bisects the chunk to the crashing point(s) and totalizes each one into
+a distinguished ``Λ!crash[Type]`` notice (``point_quarantined`` trace
+events carry the provenance), so the sweep completes and serial,
+thread, and process executors still agree row-for-row.  Injected
+faults for testing this machinery come from :mod:`repro.verify.chaos`.
+
+Checkpoint / resume
+-------------------
+``checkpoint=`` journals every completed chunk summary to a crash-safe
+JSONL file (see :mod:`repro.verify.checkpoint`); ``resume=True``
+restores the journalled chunks and re-schedules only the remainder,
+producing bit-identical merged rows.  ``stop=`` / ``deadline=`` let a
+signal handler or watchdog interrupt the sweep cleanly: in-flight
+chunks drain, the journal flushes, and the sweep raises
+:class:`~repro.core.errors.SweepInterruptedError`.
+
 Observability
 -------------
 When :mod:`repro.obs` is enabled the sweep emits ``sweep_start``,
@@ -73,14 +92,19 @@ from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.domains import ProductDomain
-from ..core.errors import FuelExhaustedError, ReproError
+from ..core.errors import (FuelExhaustedError, ReproError,
+                           SweepInterruptedError, ValueCapExceededError)
 from ..core.mechanism import is_violation
 from ..core.policy import AllowPolicy
 from ..flowchart.interpreter import DEFAULT_FUEL
 from ..flowchart.program import Flowchart
 from ..obs import runtime as _obs
+from ..robustness.faults import (cap_notice, crash_notice, fuel_notice,
+                                 resolve_value_cap)
+from . import chaos
+from .checkpoint import CheckpointWriter, config_fingerprint, load_checkpoint
 from .enumerate import (SweepResult, all_allow_policies, build_mechanism,
-                        default_grid, fuel_notice)
+                        default_grid)
 
 EXECUTORS = ("auto", "serial", "thread", "process")
 
@@ -115,6 +139,14 @@ class _PoolBroken(Exception):
     """Internal: the current pool can no longer make progress."""
 
 
+class _StopRequested(Exception):
+    """Internal: a stop/deadline fired; in-flight work has drained."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
 class ChunkSummary:
     """What one worker learned from its slice of the domain."""
 
@@ -128,25 +160,34 @@ class ChunkSummary:
 
 
 def evaluate_chunk(mechanism, policy, points: Iterable[Tuple],
-                   span: Optional[str] = None) -> ChunkSummary:
+                   span: Optional[str] = None,
+                   plan: Optional[chaos.FaultPlan] = None) -> ChunkSummary:
     """Evaluate the mechanism once per point; summarise for the merge.
 
-    Fuel exhaustion inside the mechanism is recorded as the
-    distinguished :func:`~repro.verify.enumerate.fuel_notice` outcome
-    (a violation notice carrying the budget), never an exception — the
-    same totalisation the serial sweep applies.
+    Declared faults inside the mechanism — fuel exhaustion, a value-cap
+    breach — are recorded as their distinguished notices
+    (:func:`~repro.robustness.faults.fuel_notice` /
+    :func:`~repro.robustness.faults.cap_notice`), never exceptions —
+    the same totalisation the serial sweep applies.  *Undeclared*
+    exceptions (a genuine crash, a chaos poison point) propagate: the
+    caller decides between retry and :func:`quarantine_chunk`.
 
     ``span`` is the enclosing chunk's span id (when tracing): each
     point gets a child span, and the mechanism's own leaf events
     (``run_end``, ``violation``, ``explanation``) attach to it via the
-    thread-local span stack.
+    thread-local span stack.  ``plan`` overrides the installed chaos
+    plan (process workers receive theirs via the task payload).
     """
+    if plan is None:
+        plan = chaos.current_plan()
     classes: Dict = {}
     accepts = 0
     conflict = False
     evaluated = 0
     for point in points:
         evaluated += 1
+        if plan is not None and plan.poisons(point):
+            raise MemoryError(f"chaos poison point {tuple(point)!r}")
         point_span = _obs.span_begin("point", parent=span, push=True,
                                      point=list(point))
         try:
@@ -157,6 +198,11 @@ def evaluate_chunk(mechanism, policy, points: Iterable[Tuple],
                 if _obs.active:
                     _obs.record_fuel_exhausted(
                         getattr(mechanism, "name", "?"), error.fuel)
+            except ValueCapExceededError as error:
+                output = cap_notice(error.cap)
+                if _obs.active:
+                    _obs.record_value_cap_exceeded(
+                        getattr(mechanism, "name", "?"), error.cap)
             accepted = not is_violation(output)
         finally:
             _obs.span_finish(point_span)
@@ -168,6 +214,84 @@ def evaluate_chunk(mechanism, policy, points: Iterable[Tuple],
         elif not conflict and classes[policy_value] != output:
             conflict = True
     return ChunkSummary(accepts, classes, conflict)
+
+
+def _merge_summaries(parts: Sequence[ChunkSummary]) -> ChunkSummary:
+    """Fold sub-summaries (in domain order) into one ChunkSummary.
+
+    Insertion order of the class dict is preserved across the fold, so
+    a bisected chunk's summary is indistinguishable from one evaluated
+    straight through.
+    """
+    classes: Dict = {}
+    accepts = 0
+    conflict = False
+    for part in parts:
+        accepts += part.accepts
+        if part.conflict:
+            conflict = True
+        for policy_value, output in part.classes.items():
+            if policy_value not in classes:
+                classes[policy_value] = output
+            elif not conflict and classes[policy_value] != output:
+                conflict = True
+    return ChunkSummary(accepts, classes, conflict)
+
+
+def quarantine_chunk(mechanism, policy, points: List[Tuple],
+                     pair_index: int = 0, chunk_index: int = 0,
+                     span: Optional[str] = None,
+                     plan: Optional[chaos.FaultPlan] = None) -> ChunkSummary:
+    """Evaluate a chunk, bisecting deterministic crashes to their points.
+
+    The total-function backstop: an undeclared exception (MemoryError,
+    a segfaulting extension, a chaos poison point) is isolated by
+    recursive bisection — halves that evaluate cleanly contribute their
+    summaries unchanged; a single crashing point is *quarantined*,
+    contributing the distinguished
+    :func:`~repro.robustness.faults.crash_notice` for its policy class
+    (and a ``point_quarantined`` trace event) instead of sinking the
+    sweep.  Because the notice encodes only the exception type, the
+    quarantined row is identical in serial, thread, and process mode.
+    """
+    try:
+        return evaluate_chunk(mechanism, policy, points, span=span,
+                              plan=plan)
+    except Exception as error:
+        if _obs.active:
+            _obs.inc("sweep.chunks_quarantined")
+            _obs.emit("chunk_quarantined", pair=pair_index,
+                      chunk=chunk_index, points=len(points),
+                      reason=type(error).__name__,
+                      **({"span": span} if span else {}))
+        return _bisect_crash(mechanism, policy, points, pair_index,
+                             chunk_index, span, plan, error)
+
+
+def _bisect_crash(mechanism, policy, points: List[Tuple], pair_index: int,
+                  chunk_index: int, span: Optional[str],
+                  plan: Optional[chaos.FaultPlan],
+                  error: BaseException) -> ChunkSummary:
+    """Isolate the crashing point(s) of a chunk known to raise ``error``."""
+    if len(points) == 1:
+        point = points[0]
+        if _obs.active:
+            _obs.inc("sweep.points_quarantined")
+            _obs.emit("point_quarantined", pair=pair_index,
+                      chunk=chunk_index, point=list(point),
+                      reason=type(error).__name__,
+                      **({"span": span} if span else {}))
+        return ChunkSummary(0, {policy(*point): crash_notice(error)}, False)
+    middle = len(points) // 2
+    parts: List[ChunkSummary] = []
+    for half in (points[:middle], points[middle:]):
+        try:
+            parts.append(evaluate_chunk(mechanism, policy, half, span=span,
+                                        plan=plan))
+        except Exception as half_error:
+            parts.append(_bisect_crash(mechanism, policy, half, pair_index,
+                                       chunk_index, span, plan, half_error))
+    return _merge_summaries(parts)
 
 
 def merge_chunks(summaries: Sequence[ChunkSummary]) -> Tuple[bool, int]:
@@ -191,14 +315,17 @@ def merge_chunks(summaries: Sequence[ChunkSummary]) -> Tuple[bool, int]:
 # Named factories (picklable work units for process pools)
 # ---------------------------------------------------------------------------
 
-def _factory_program(flowchart, policy, domain, fuel=DEFAULT_FUEL):
+def _factory_program(flowchart, policy, domain, fuel=DEFAULT_FUEL,
+                     value_cap=None):
     from ..core.mechanism import program_as_mechanism
     from ..flowchart.interpreter import as_program
 
-    return program_as_mechanism(as_program(flowchart, domain, fuel=fuel))
+    return program_as_mechanism(as_program(flowchart, domain, fuel=fuel,
+                                           value_cap=value_cap))
 
 
-def _factory_surveillance(flowchart, policy, domain, fuel=DEFAULT_FUEL):
+def _factory_surveillance(flowchart, policy, domain, fuel=DEFAULT_FUEL,
+                          value_cap=None):
     # The literal Section 3 construction: instrument Q and execute the
     # instrumented flowchart (compiled backend, instrument+compile
     # caches).  Extensionally equal to the interpreter-level
@@ -206,23 +333,29 @@ def _factory_surveillance(flowchart, policy, domain, fuel=DEFAULT_FUEL):
     # times faster in sweeps.
     from ..surveillance.instrument import instrumented_mechanism
 
-    return instrumented_mechanism(flowchart, policy, domain, fuel=fuel)
+    return instrumented_mechanism(flowchart, policy, domain, fuel=fuel,
+                                  value_cap=value_cap)
 
 
-def _factory_timed(flowchart, policy, domain, fuel=DEFAULT_FUEL):
+def _factory_timed(flowchart, policy, domain, fuel=DEFAULT_FUEL,
+                   value_cap=None):
     from ..surveillance import timed_surveillance_mechanism
 
-    return timed_surveillance_mechanism(flowchart, policy, domain, fuel=fuel)
+    return timed_surveillance_mechanism(flowchart, policy, domain, fuel=fuel,
+                                        value_cap=value_cap)
 
 
-def _factory_highwater(flowchart, policy, domain, fuel=DEFAULT_FUEL):
+def _factory_highwater(flowchart, policy, domain, fuel=DEFAULT_FUEL,
+                       value_cap=None):
     from ..surveillance import highwater_mechanism
 
-    return highwater_mechanism(flowchart, policy, domain, fuel=fuel)
+    return highwater_mechanism(flowchart, policy, domain, fuel=fuel,
+                               value_cap=value_cap)
 
 
 #: Mechanism families addressable by name (CLI, process pools, benches).
-#: Every registered factory takes ``(flowchart, policy, domain, fuel)``.
+#: Every registered factory takes ``(flowchart, policy, domain, fuel,
+#: value_cap)``.
 FACTORIES: Dict[str, Callable] = {
     "program": _factory_program,
     "surveillance": _factory_surveillance,
@@ -258,17 +391,25 @@ def _run_pair_task(payload: bytes) -> Tuple[int, int, ChunkSummary]:
     scheduled them.  Spawn-started workers have tracing off and ignore
     it.  The worker also drops any span stack inherited mid-fork — its
     events must not attribute to the parent's open spans.
+
+    The chaos ``plan`` rides the payload (never a module global — spawn
+    workers would miss it): injected delays sleep here, injected
+    crashes raise here, and poison points crash inside
+    :func:`evaluate_chunk` exactly as they would in the parent.
     """
-    (pair_index, chunk_index, flowchart, policy, domain,
-     factory_name, points, fuel, inject_failure, span_id) = (
+    (pair_index, chunk_index, flowchart, policy, domain, factory_name,
+     points, fuel, value_cap, inject_failure, delay, plan, span_id) = (
         pickle.loads(payload))
     _obs._stack().clear()
+    if delay:
+        time.sleep(delay)
     if inject_failure:
         raise _InjectedWorkerFailure(
             f"injected failure for chunk ({pair_index}, {chunk_index})")
-    mechanism = FACTORIES[factory_name](flowchart, policy, domain, fuel)
+    mechanism = FACTORIES[factory_name](flowchart, policy, domain, fuel,
+                                        value_cap=value_cap)
     return pair_index, chunk_index, evaluate_chunk(mechanism, policy, points,
-                                                   span=span_id)
+                                                   span=span_id, plan=plan)
 
 
 def _pick_executor(executor: str, factory, workers: int,
@@ -298,6 +439,11 @@ def parallel_soundness_sweep(
         chunk_timeout: Optional[float] = None,
         max_chunk_retries: int = 2,
         progress: Optional[Callable[[int, int, SweepResult], None]] = None,
+        value_cap: Optional[int] = None,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+        stop: Optional[Callable[[], Optional[str]]] = None,
+        deadline: Optional[float] = None,
 ) -> List[SweepResult]:
     """The Theorem 3/3′ sweep, chunked across a worker pool.
 
@@ -335,6 +481,27 @@ def parallel_soundness_sweep(
     progress:
         ``progress(completed_pairs, total_pairs, result)`` called as
         each (program, policy) pair's verdict is merged.
+    value_cap:
+        Bit-length budget threaded to every mechanism construction;
+        runs breaching it yield the distinguished ``Λ!cap[C]`` notice,
+        identically in every executor mode (None defers to
+        ``REPRO_VALUE_CAP``; resolved once here so workers agree).
+    checkpoint:
+        Path of a JSONL journal receiving every completed chunk
+        summary (see :mod:`repro.verify.checkpoint`).  Forces the
+        chunked scheduler even in serial mode, so the chunk layout —
+        and hence the journal's meaning — is deterministic.
+    resume:
+        Restore previously journalled chunks from ``checkpoint`` and
+        sweep only the remainder; requires the file to exist and to
+        have been written by an identically-configured sweep.
+    stop:
+        Zero-argument callable polled between chunks; a truthy return
+        (its string is the reason) drains in-flight work, flushes the
+        journal, and raises :class:`SweepInterruptedError`.
+    deadline:
+        Wall-clock budget in seconds for the whole sweep; exceeded ⇒
+        the same clean interruption with reason ``"deadline"``.
     """
     if chunk_size is not None and chunk_size <= 0:
         raise ReproError(
@@ -349,6 +516,12 @@ def parallel_soundness_sweep(
     if max_chunk_retries < 0:
         raise ReproError(
             f"max_chunk_retries must be >= 0; got {max_chunk_retries}")
+    if deadline is not None and deadline <= 0:
+        raise ReproError(
+            f"deadline must be positive seconds; got {deadline}")
+    if resume and checkpoint is None:
+        raise ReproError("resume=True needs a checkpoint path")
+    value_cap = resolve_value_cap(value_cap)
 
     grid = grid or default_grid
     policies = policies or all_allow_policies
@@ -428,20 +601,24 @@ def parallel_soundness_sweep(
         _obs.span_finish(sweep_span)
         return results
 
-    if mode == "serial":
+    # The one-chunk-per-pair fast path is only safe when nothing needs
+    # the chunked schedule: a checkpoint's meaning *is* its chunk
+    # layout, and stop/deadline need chunk boundaries to drain at.
+    if (mode == "serial" and checkpoint is None and stop is None
+            and deadline is None):
         if _obs.active:
             _obs.inc("sweep.chunks_scheduled", len(pairs))
         for pair_index, (flowchart, policy, domain) in enumerate(pairs):
             pair_started = time.perf_counter()
             mechanism = build_mechanism(factory, flowchart, policy, domain,
-                                        fuel)
+                                        fuel, value_cap=value_cap)
             points = list(domain)
             pair_span = pair_span_for(pair_index)
             chunk_span = _obs.span_begin(
                 "chunk", parent=pair_span.id if pair_span else None,
                 pair=pair_index, chunk=0, points=len(points))
-            summary = evaluate_chunk(
-                mechanism, policy, points,
+            summary = quarantine_chunk(
+                mechanism, policy, points, pair_index, 0,
                 span=chunk_span.id if chunk_span else None)
             _obs.span_finish(chunk_span, accepts=summary.accepts)
             sound, accepts = merge_chunks([summary])
@@ -467,6 +644,19 @@ def parallel_soundness_sweep(
     remaining_chunks: List[int] = [len(chunks) for chunks in per_pair_chunks]
     pair_seconds: List[float] = [0.0] * len(pairs)
     pair_started_wall = time.perf_counter()
+    sweep_started_mono = time.monotonic()
+    ckpt_writer: Optional[CheckpointWriter] = None
+
+    def check_stop() -> Optional[str]:
+        """The interruption reason, if a stop/deadline has fired."""
+        if stop is not None:
+            reason = stop()
+            if reason:
+                return reason if isinstance(reason, str) else "stop"
+        if (deadline is not None
+                and time.monotonic() - sweep_started_mono >= deadline):
+            return "deadline"
+        return None
 
     factory_name: Optional[str] = None
     if mode == "process":
@@ -506,16 +696,21 @@ def parallel_soundness_sweep(
         if mechanism is None:
             flowchart, policy, domain = pairs[pair_index]
             mechanism = build_mechanism(factory, flowchart, policy, domain,
-                                        fuel)
+                                        fuel, value_cap=value_cap)
             mechanisms[pair_index] = mechanism
         return mechanism
 
     def run_chunk_inline(pair_index: int, chunk_index: int,
                          points: List[Tuple]) -> ChunkSummary:
+        # Inline execution is the last line of defence (the serial rung
+        # and post-retry recovery), so it runs under quarantine: a
+        # deterministic crash is bisected to its point(s) rather than
+        # unwinding the sweep.
         _, policy, _ = pairs[pair_index]
         handle = chunk_span_for(pair_index, chunk_index, points)
-        return evaluate_chunk(mechanism_for(pair_index), policy, points,
-                              span=handle.id if handle else None)
+        return quarantine_chunk(mechanism_for(pair_index), policy, points,
+                                pair_index, chunk_index,
+                                span=handle.id if handle else None)
 
     def on_chunk_done(task, summary: ChunkSummary,
                       elapsed: Optional[float],
@@ -547,6 +742,12 @@ def parallel_soundness_sweep(
         if key in summaries:  # late duplicate from an abandoned future
             return
         summaries[key] = summary
+        if ckpt_writer is not None:
+            ckpt_writer.write_chunk(key[0], key[1], summary)
+            if _obs.active:
+                _obs.inc("sweep.checkpoints_written")
+                _obs.emit("checkpoint_written", pair=key[0], chunk=key[1],
+                          accepts=summary.accepts)
         # Point accounting happens here, in the parent, so process-pool
         # sweeps (whose workers carry their own disabled registries)
         # still report complete sweep.points_* counters.
@@ -606,6 +807,10 @@ def parallel_soundness_sweep(
         poll = None
         if chunk_timeout is not None:
             poll = max(0.01, min(chunk_timeout / 4.0, 0.25))
+        if stop is not None or deadline is not None:
+            # Stop/deadline need a bounded wait to stay responsive even
+            # without a chunk_timeout.
+            poll = 0.25 if poll is None else min(poll, 0.25)
         while pending:
             finished, _ = wait(list(pending), timeout=poll,
                                return_when=FIRST_COMPLETED)
@@ -628,78 +833,181 @@ def parallel_soundness_sweep(
                         pending.pop(future)
                         retry_or_recover(
                             task, f"timeout after {chunk_timeout}s")
+            reason = check_stop()
+            if reason:
+                # Drain: drop what has not started, let in-flight chunks
+                # finish (bounded by chunk_timeout when set) and journal
+                # them — an interrupted checkpoint keeps every chunk
+                # that completed.
+                for future in list(pending):
+                    if future.cancel():
+                        pending.pop(future)
+                if pending:
+                    drained, _ = wait(list(pending), timeout=chunk_timeout)
+                    now = time.monotonic()
+                    for future in drained:
+                        task, started = pending.pop(future)
+                        try:
+                            pair_index, chunk_index, summary = (
+                                future.result())
+                        except Exception:
+                            continue  # crashed mid-drain; resume re-runs it
+                        record_summary((pair_index, chunk_index, task[2]),
+                                       summary, now - started)
+                raise _StopRequested(reason)
+
+    # ----- checkpoint: open the journal, restore completed chunks -----
+    if checkpoint is not None:
+        descriptor = {
+            "pairs": [[flowchart.name, policy.name, len(domain)]
+                      for flowchart, policy, domain in pairs],
+            "chunks": [[len(chunk) for chunk in chunks]
+                       for chunks in per_pair_chunks],
+            "factory": (mechanism_factory
+                        if isinstance(mechanism_factory, str)
+                        else getattr(factory, "__name__", "callable")),
+            "fuel": fuel,
+            "value_cap": value_cap,
+        }
+        fingerprint = config_fingerprint(descriptor)
+        if resume:
+            _, restored, record_count = load_checkpoint(checkpoint,
+                                                        fingerprint)
+            for (pair_index, chunk_index), summary in restored.items():
+                if (pair_index >= len(pairs) or chunk_index
+                        >= len(per_pair_chunks[pair_index])):
+                    raise ReproError(
+                        f"checkpoint {checkpoint!r} references chunk "
+                        f"({pair_index}, {chunk_index}) outside this "
+                        "sweep's layout")
+                summaries[(pair_index, chunk_index)] = summary
+                remaining_chunks[pair_index] -= 1
+            if _obs.active:
+                _obs.inc("sweep.chunks_restored", len(restored))
+                _obs.emit("sweep_resumed", chunks_restored=len(restored))
+            for pair_index in range(len(pairs)):
+                if (remaining_chunks[pair_index] == 0
+                        and pair_index not in results_by_pair):
+                    ordered = [summaries[(pair_index, index)] for index
+                               in range(len(per_pair_chunks[pair_index]))]
+                    sound, accepts = merge_chunks(ordered)
+                    finish_pair(pair_index, sound, accepts,
+                                mechanism_for(pair_index).name, 0.0)
+            ckpt_writer = CheckpointWriter(checkpoint, descriptor,
+                                           fresh=False,
+                                           start_seq=record_count)
+        else:
+            ckpt_writer = CheckpointWriter(checkpoint, descriptor,
+                                           fresh=True)
+
+    def injected_faults(pair_index: int, chunk_index: int,
+                        attempt: int) -> Tuple[bool, float]:
+        """Submit-time fault injection: legacy hooks ∪ the chaos plan."""
+        inject = bool(_FAIL_INJECTOR and _FAIL_INJECTOR(
+            pair_index, chunk_index, attempt))
+        delay = (_DELAY_INJECTOR(pair_index, chunk_index, attempt)
+                 if _DELAY_INJECTOR else 0.0)
+        plan = chaos.current_plan()
+        if plan is not None:
+            decision = plan.decide(pair_index, chunk_index, attempt)
+            inject = inject or decision.crash
+            delay = max(delay, decision.delay)
+        return inject, delay
 
     if _obs.active:
-        _obs.inc("sweep.chunks_scheduled", len(tasks))
+        _obs.inc("sweep.chunks_scheduled", len(tasks) - len(summaries))
 
-    ladder = _MODE_LADDER[mode]
-    for rung, current_mode in enumerate(ladder):
-        pool_tasks = [task for task in tasks
-                      if (task[0], task[1]) not in summaries]
-        if not pool_tasks:
-            break
-        try:
-            if current_mode == "serial":
-                for task in pool_tasks:
-                    started = time.monotonic()
-                    summary = run_chunk_inline(*task)
-                    record_summary(task, summary,
-                                   time.monotonic() - started)
-            elif current_mode == "thread":
-                def run_task(task, inject_failure, delay):
-                    pair_index, chunk_index, points = task
-                    if delay:
-                        time.sleep(delay)
-                    if inject_failure:
-                        raise _InjectedWorkerFailure(
-                            f"injected failure for chunk "
-                            f"({pair_index}, {chunk_index})")
-                    _, policy, _ = pairs[pair_index]
-                    chunk_span = chunk_spans.get((pair_index, chunk_index))
-                    return pair_index, chunk_index, evaluate_chunk(
-                        mechanism_for(pair_index), policy, points,
-                        span=chunk_span.id if chunk_span else None)
+    try:
+        ladder = _MODE_LADDER[mode]
+        for rung, current_mode in enumerate(ladder):
+            pool_tasks = [task for task in tasks
+                          if (task[0], task[1]) not in summaries]
+            if not pool_tasks:
+                break
+            try:
+                if current_mode == "serial":
+                    for task in pool_tasks:
+                        reason = check_stop()
+                        if reason:
+                            raise _StopRequested(reason)
+                        started = time.monotonic()
+                        summary = run_chunk_inline(*task)
+                        record_summary(task, summary,
+                                       time.monotonic() - started)
+                elif current_mode == "thread":
+                    def run_task(task, inject_failure, delay):
+                        pair_index, chunk_index, points = task
+                        if delay:
+                            time.sleep(delay)
+                        if inject_failure:
+                            raise _InjectedWorkerFailure(
+                                f"injected failure for chunk "
+                                f"({pair_index}, {chunk_index})")
+                        _, policy, _ = pairs[pair_index]
+                        chunk_span = chunk_spans.get(
+                            (pair_index, chunk_index))
+                        return pair_index, chunk_index, evaluate_chunk(
+                            mechanism_for(pair_index), policy, points,
+                            span=chunk_span.id if chunk_span else None)
 
-                def submit_thread(task, attempt, pool_ref=None):
-                    inject = bool(_FAIL_INJECTOR and _FAIL_INJECTOR(
-                        task[0], task[1], attempt))
-                    delay = (_DELAY_INJECTOR(task[0], task[1], attempt)
-                             if _DELAY_INJECTOR else 0.0)
-                    return thread_pool.submit(run_task, task, inject, delay)
+                    def submit_thread(task, attempt, pool_ref=None):
+                        inject, delay = injected_faults(task[0], task[1],
+                                                        attempt)
+                        return thread_pool.submit(run_task, task, inject,
+                                                  delay)
 
-                thread_pool = ThreadPoolExecutor(max_workers=workers)
-                try:
-                    drive_pool(thread_pool, submit_thread, pool_tasks)
-                finally:
-                    thread_pool.shutdown(wait=False, cancel_futures=True)
-            else:  # process
-                def submit_process(task, attempt):
-                    pair_index, chunk_index, points = task
-                    flowchart, policy, domain = pairs[pair_index]
-                    inject = bool(_FAIL_INJECTOR and _FAIL_INJECTOR(
-                        pair_index, chunk_index, attempt))
-                    chunk_span = chunk_spans.get((pair_index, chunk_index))
-                    payload = pickle.dumps(
-                        (pair_index, chunk_index, flowchart, policy, domain,
-                         factory_name, points, fuel, inject,
-                         chunk_span.id if chunk_span else None))
-                    return process_pool.submit(_run_pair_task, payload)
+                    thread_pool = ThreadPoolExecutor(max_workers=workers)
+                    try:
+                        drive_pool(thread_pool, submit_thread, pool_tasks)
+                    finally:
+                        thread_pool.shutdown(wait=False,
+                                             cancel_futures=True)
+                else:  # process
+                    def submit_process(task, attempt):
+                        pair_index, chunk_index, points = task
+                        flowchart, policy, domain = pairs[pair_index]
+                        inject, delay = injected_faults(pair_index,
+                                                        chunk_index, attempt)
+                        chunk_span = chunk_spans.get(
+                            (pair_index, chunk_index))
+                        payload = pickle.dumps(
+                            (pair_index, chunk_index, flowchart, policy,
+                             domain, factory_name, points, fuel, value_cap,
+                             inject, delay, chaos.current_plan(),
+                             chunk_span.id if chunk_span else None))
+                        return process_pool.submit(_run_pair_task, payload)
 
-                try:
-                    process_pool = ProcessPoolExecutor(max_workers=workers)
-                except OSError as error:
-                    raise _PoolBroken(
-                        f"cannot spawn process pool: {error!r}") from error
-                try:
-                    drive_pool(process_pool, submit_process, pool_tasks)
-                finally:
-                    process_pool.shutdown(wait=False, cancel_futures=True)
-            break
-        except _PoolBroken as broken:
-            next_mode = ladder[rung + 1]
-            if _obs.active:
-                _obs.inc("sweep.pool_degraded")
-                _obs.emit("pool_degraded", from_mode=current_mode,
-                          to_mode=next_mode, reason=str(broken))
+                    try:
+                        process_pool = ProcessPoolExecutor(
+                            max_workers=workers)
+                    except OSError as error:
+                        raise _PoolBroken(
+                            f"cannot spawn process pool: {error!r}"
+                        ) from error
+                    try:
+                        drive_pool(process_pool, submit_process, pool_tasks)
+                    finally:
+                        process_pool.shutdown(wait=False,
+                                              cancel_futures=True)
+                break
+            except _PoolBroken as broken:
+                next_mode = ladder[rung + 1]
+                if _obs.active:
+                    _obs.inc("sweep.pool_degraded")
+                    _obs.emit("pool_degraded", from_mode=current_mode,
+                              to_mode=next_mode, reason=str(broken))
+    except _StopRequested as stopped:
+        if ckpt_writer is not None:
+            ckpt_writer.close()
+        if _obs.active:
+            _obs.inc("sweep.interrupted")
+            _obs.emit("sweep_interrupted", reason=stopped.reason,
+                      chunks_done=len(summaries))
+        _obs.span_finish(sweep_span, interrupted=stopped.reason)
+        raise SweepInterruptedError(
+            stopped.reason, len(summaries), len(tasks),
+            checkpoint or "") from None
 
+    if ckpt_writer is not None:
+        ckpt_writer.close()
     return finalize()

@@ -1,0 +1,141 @@
+"""The value-magnitude budget: identical semantics in both engines.
+
+A cap of C bits declares ``|value| < 2**C`` for every assigned value;
+the first wider assignment raises :class:`ValueCapExceededError`.  The
+interpreter and the compiled fastpath must agree exactly — same fault
+type, same ``.cap`` payload, same fuel-vs-cap ordering — because sweep
+rows totalize the fault into the ``Λ!cap[C]`` notice and the
+factorization check treats every notice text as its own output class.
+"""
+
+import pytest
+
+from repro.core.errors import (FuelExhaustedError, ReproError,
+                               ValueCapExceededError)
+from repro.flowchart.expr import BoolConst, Const, var
+from repro.flowchart.fastpath import execute_compiled, run_flowchart
+from repro.flowchart.interpreter import execute
+from repro.flowchart.parser import parse_program
+from repro.flowchart.structured import (Assign, StructuredProgram, While)
+from repro.robustness.faults import (VALUE_CAP_ENV, default_value_cap,
+                                     reset_value_cap_cache,
+                                     resolve_value_cap)
+
+ENGINES = (execute, execute_compiled)
+
+
+def doubling_flowchart():
+    """y := 1; while true { y := y + y } — one more bit per iteration."""
+    return StructuredProgram(
+        ["x1"],
+        [Assign("y", Const(1)),
+         While(BoolConst(True), [Assign("y", var("y") + var("y"))])],
+        name="doubling").compile()
+
+
+def copy_flowchart():
+    return parse_program("program copy(x1) { y := x1 }").compile()
+
+
+def negate_flowchart():
+    return parse_program("program negate(x1) { y := 0 - x1 }").compile()
+
+
+class TestCapFault:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_wide_assignment_raises_with_cap(self, engine):
+        with pytest.raises(ValueCapExceededError) as info:
+            engine(doubling_flowchart(), (0,), fuel=1000, value_cap=8)
+        assert info.value.cap == 8
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_uncapped_hits_fuel_instead(self, engine):
+        with pytest.raises(FuelExhaustedError):
+            engine(doubling_flowchart(), (0,), fuel=50)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_boundary_is_bit_length(self, engine):
+        # cap=3 declares |value| < 8: 7 passes, 8 faults.
+        result = engine(copy_flowchart(), (7,), fuel=100, value_cap=3)
+        assert result.value == 7
+        with pytest.raises(ValueCapExceededError):
+            engine(copy_flowchart(), (8,), fuel=100, value_cap=3)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_negative_boundary_mirrors(self, engine):
+        result = engine(negate_flowchart(), (7,), fuel=100, value_cap=3)
+        assert result.value == -7
+        with pytest.raises(ValueCapExceededError):
+            engine(negate_flowchart(), (8,), fuel=100, value_cap=3)
+
+    def test_backends_agree_on_fuel_vs_cap_ordering(self):
+        # With a budget too small to reach the wide assignment, both
+        # engines must report fuel exhaustion, not the cap: raise
+        # ordering is part of the observable contract.
+        for engine in ENGINES:
+            with pytest.raises(FuelExhaustedError):
+                engine(doubling_flowchart(), (0,), fuel=3, value_cap=4)
+
+
+class TestResolution:
+    @pytest.fixture(autouse=True)
+    def fresh_env_cache(self):
+        # The hot paths cache the parsed REPRO_VALUE_CAP default; a
+        # test that monkeypatches the variable must drop the cache on
+        # both sides (the documented mid-process-change protocol).
+        reset_value_cap_cache()
+        yield
+        reset_value_cap_cache()
+
+    def test_env_variable_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(VALUE_CAP_ENV, "8")
+        with pytest.raises(ValueCapExceededError) as info:
+            run_flowchart(doubling_flowchart(), (0,), fuel=1000)
+        assert info.value.cap == 8
+
+    def test_explicit_cap_beats_env(self, monkeypatch):
+        monkeypatch.setenv(VALUE_CAP_ENV, "4")
+        with pytest.raises(ValueCapExceededError) as info:
+            run_flowchart(doubling_flowchart(), (0,), fuel=1000,
+                          value_cap=12)
+        assert info.value.cap == 12
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(VALUE_CAP_ENV, "wide")
+        with pytest.raises(ReproError):
+            run_flowchart(copy_flowchart(), (1,), fuel=100)
+
+    @pytest.mark.parametrize("cap", [0, -3])
+    def test_nonpositive_cap_rejected(self, cap):
+        with pytest.raises(ReproError):
+            resolve_value_cap(cap)
+
+    def test_unset_env_means_uncapped(self, monkeypatch):
+        monkeypatch.delenv(VALUE_CAP_ENV, raising=False)
+        assert resolve_value_cap(None) is None
+
+    def test_cached_default_tracks_resets(self, monkeypatch):
+        monkeypatch.delenv(VALUE_CAP_ENV, raising=False)
+        assert default_value_cap() is None
+        monkeypatch.setenv(VALUE_CAP_ENV, "6")
+        assert default_value_cap() is None  # cached until reset
+        reset_value_cap_cache()
+        assert default_value_cap() == 6
+
+
+class TestMemoIsolation:
+    def test_cap_is_part_of_the_memo_key(self):
+        # An uncapped memoised result must not satisfy a capped call
+        # for the same (flowchart, inputs, fuel) — and vice versa.
+        flowchart = copy_flowchart()
+        assert execute_compiled(flowchart, (9,), fuel=100).value == 9
+        with pytest.raises(ValueCapExceededError):
+            execute_compiled(flowchart, (9,), fuel=100, value_cap=3)
+        assert execute_compiled(flowchart, (9,), fuel=100).value == 9
+
+    def test_capped_success_still_memoises(self):
+        flowchart = copy_flowchart()
+        first = execute_compiled(flowchart, (5,), fuel=100, value_cap=4)
+        second = execute_compiled(flowchart, (5,), fuel=100, value_cap=4)
+        assert first.value == second.value == 5
+        assert first.steps == second.steps

@@ -474,3 +474,114 @@ class TestMetricsPrometheus:
         assert "# TYPE repro_sweep_count counter" in out
         assert "repro_sweep_count 1" in out
         assert not out.startswith("meta")
+
+
+class TestSweepRobustness:
+    """The PR-5 hardening flags: validation, caps, chaos, checkpoints."""
+
+    ARGS = ["sweep", "--programs", "parity", "--executor", "serial"]
+
+    @pytest.mark.parametrize("flags", [
+        ["--value-cap", "0"],
+        ["--value-cap", "-8"],
+        ["--deadline", "0"],
+        ["--deadline", "-1.5"],
+    ])
+    def test_nonpositive_budgets_rejected(self, flags, capsys):
+        code = main(self.ARGS + flags)
+        assert code == 2
+        assert "must be a positive" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_rejected(self, capsys):
+        code = main(self.ARGS + ["--resume"])
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_resume_from_missing_checkpoint_rejected(self, tmp_path,
+                                                     capsys):
+        code = main(self.ARGS + ["--checkpoint",
+                                 str(tmp_path / "absent.jsonl"),
+                                 "--resume"])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("spec", ["bogus", "seed=3,warp=1"])
+    def test_bad_chaos_spec_rejected(self, spec, capsys):
+        code = main(self.ARGS + ["--chaos", spec])
+        assert code == 2
+        assert "chaos" in capsys.readouterr().err
+
+    def test_run_rejects_nonpositive_value_cap(self, capsys):
+        code = main(["run", "--library", "mixer", "--value-cap", "0",
+                     "2", "3"])
+        assert code == 2
+        assert "--value-cap" in capsys.readouterr().err
+
+    def test_run_honours_value_cap(self, capsys):
+        code = main(["run", "--library", "mixer", "--value-cap", "2",
+                     "2", "3"])
+        capsys.readouterr()
+        assert code == 2  # ValueCapExceededError is a ReproError
+
+    def test_sweep_value_cap_changes_rows(self, tmp_path, capsys):
+        wide = tmp_path / "wide.json"
+        narrow = tmp_path / "narrow.json"
+        assert main(self.ARGS + ["--results-json", str(wide)]) == 0
+        # A 1-bit cap truncates most of parity's arithmetic into cap
+        # notices, which may flip soundness — exit 1 is legitimate.
+        assert main(self.ARGS + ["--value-cap", "1",
+                                 "--results-json", str(narrow)]) in (0, 1)
+        capsys.readouterr()
+        wide_rows = json.loads(wide.read_text())
+        narrow_rows = json.loads(narrow.read_text())
+        assert [row["policy"] for row in wide_rows] == \
+            [row["policy"] for row in narrow_rows]
+        assert wide_rows != narrow_rows
+
+    def test_checkpointed_sweep_round_trips(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ck.jsonl"
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(self.ARGS + ["--chunk-size", "2",
+                                 "--checkpoint", str(checkpoint),
+                                 "--results-json", str(first)]) == 0
+        assert main(self.ARGS + ["--chunk-size", "2",
+                                 "--checkpoint", str(checkpoint),
+                                 "--resume",
+                                 "--results-json", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_text() == second.read_text()
+        assert main(["metrics", "--validate", str(checkpoint)]) == 0
+
+    def test_chaos_poison_is_quarantined_not_fatal(self, tmp_path,
+                                                   capsys):
+        results = tmp_path / "rows.json"
+        code = main(self.ARGS + ["--chunk-size", "2",
+                                 "--chaos", "seed=3,poison=1",
+                                 "--results-json", str(results)])
+        capsys.readouterr()
+        assert code in (0, 1)  # quarantine may flip a sound verdict
+        assert json.loads(results.read_text())
+
+    def test_deadline_exit_is_124(self, tmp_path, capsys):
+        code = main(["sweep", "--executor", "thread", "--high", "3",
+                     "--chunk-size", "2",
+                     "--checkpoint", str(tmp_path / "ck.jsonl"),
+                     "--deadline", "0.0000001"])
+        err = capsys.readouterr().err
+        assert code == 124
+        assert "deadline" in err
+
+    def test_trace_summarize_reports_recovery(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(self.ARGS + ["--chunk-size", "2",
+                                 "--chaos", "seed=3,poison=1",
+                                 "--trace", str(trace)])
+        assert code in (0, 1)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "recovery:" in out
+        # Poisoned point 1 is evaluated once per policy pair (parity
+        # has two allow policies), so it quarantines twice.
+        assert "2 point(s) quarantined" in out

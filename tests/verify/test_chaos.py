@@ -1,0 +1,120 @@
+"""The seeded fault-plan module: deterministic, picklable, parseable."""
+
+import pickle
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.verify import chaos
+from repro.verify.chaos import FaultDecision, FaultPlan
+
+
+class TestDeterminism:
+    def test_decisions_are_pure_in_the_key(self):
+        first = FaultPlan(seed=7, crash=0.3, delay=0.3, lost=0.1)
+        second = FaultPlan(seed=7, crash=0.3, delay=0.3, lost=0.1)
+        for pair in range(4):
+            for chunk in range(4):
+                for attempt in range(3):
+                    a = first.decide(pair, chunk, attempt)
+                    b = second.decide(pair, chunk, attempt)
+                    assert (a.crash, a.delay) == (b.crash, b.delay)
+
+    def test_seed_changes_the_schedule(self):
+        keys = [(pair, chunk, attempt) for pair in range(6)
+                for chunk in range(6) for attempt in range(2)]
+
+        def schedule(seed):
+            plan = FaultPlan(seed=seed, crash=0.5)
+            return tuple(plan.decide(*key).crash for key in keys)
+
+        assert schedule(1) != schedule(2)
+
+    def test_rates_are_roughly_honoured(self):
+        plan = FaultPlan(seed=11, crash=0.25)
+        crashes = sum(plan.decide(pair, chunk, 0).crash
+                      for pair in range(20) for chunk in range(20))
+        assert 40 <= crashes <= 160  # 0.25 of 400, generously bracketed
+
+
+class TestPriorityAndPoison:
+    def test_crash_beats_lost_beats_delay(self):
+        plan = FaultPlan(seed=0, crash=1.0, delay=1.0, lost=1.0)
+        decision = plan.decide(0, 0, 0)
+        assert decision.crash and decision.delay == 0.0
+
+        plan = FaultPlan(seed=0, delay=1.0, lost=1.0, delay_seconds=0.01,
+                         lost_seconds=9.0)
+        assert plan.decide(0, 0, 0).delay == 9.0
+
+        plan = FaultPlan(seed=0, delay=1.0, delay_seconds=0.01)
+        assert plan.decide(0, 0, 0).delay == 0.01
+
+    def test_poison_matches_by_coordinates(self):
+        plan = FaultPlan(poison_points=[(1, 2)])
+        assert plan.poisons((1, 2))
+        assert plan.poisons([1, 2])
+        assert not plan.poisons((2, 1))
+        assert not FaultPlan().poisons((1, 2))
+
+    def test_no_faults_by_default(self):
+        decision = FaultPlan(seed=3).decide(0, 0, 0)
+        assert not decision.crash and decision.delay == 0.0
+        assert repr(FaultDecision()) == "FaultDecision(crash=False, delay=0.0)"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_out_of_range_rates_rejected(self, rate):
+        with pytest.raises(ReproError):
+            FaultPlan(crash=rate)
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(ReproError):
+            FaultPlan(delay_seconds=-1)
+
+
+class TestParse:
+    def test_full_spec_round_trips(self):
+        plan = FaultPlan.parse(
+            "seed=3,crash=0.2,delay=0.1,lost=0.05,"
+            "delay_s=0.25,lost_s=7,poison=1:2+0:0")
+        assert plan.seed == 3
+        assert plan.crash == 0.2
+        assert plan.delay == 0.1
+        assert plan.lost == 0.05
+        assert plan.delay_seconds == 0.25
+        assert plan.lost_seconds == 7.0
+        assert plan.poison_points == {(1, 2), (0, 0)}
+
+    def test_empty_fields_skipped(self):
+        assert FaultPlan.parse("seed=5,").seed == 5
+
+    @pytest.mark.parametrize("spec", ["bogus", "seed=3,warp=1",
+                                      "crash=often"])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ReproError):
+            FaultPlan.parse(spec)
+
+
+class TestPickleAndInstall:
+    def test_pickle_preserves_the_schedule(self):
+        plan = FaultPlan(seed=9, crash=0.4, delay=0.2,
+                         poison_points=[(2,), (5,)])
+        clone = pickle.loads(pickle.dumps(plan))
+        for pair in range(5):
+            for chunk in range(5):
+                a = plan.decide(pair, chunk, 0)
+                b = clone.decide(pair, chunk, 0)
+                assert (a.crash, a.delay) == (b.crash, b.delay)
+        assert clone.poison_points == plan.poison_points
+
+    def test_install_clear_cycle(self):
+        assert chaos.current_plan() is None
+        plan = FaultPlan(seed=1)
+        chaos.install(plan)
+        try:
+            assert chaos.current_plan() is plan
+        finally:
+            chaos.clear()
+        assert chaos.current_plan() is None

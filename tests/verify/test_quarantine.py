@@ -1,0 +1,132 @@
+"""Poison-point quarantine: crashes become notices, not lost sweeps.
+
+An undeclared exception inside a chunk is bisected down to its crashing
+point(s); each quarantined point contributes the distinguished
+``Λ!crash[Type]`` notice for its policy class.  Because the notice
+encodes only the exception *type*, the quarantined rows are identical
+whether the chunk ran serially, in a thread pool, or in a process pool.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core import ProductDomain, allow
+from repro.robustness.faults import crash_notice
+from repro.verify import (build_mechanism, evaluate_chunk,
+                          parallel_soundness_sweep, quarantine_chunk)
+from repro.verify.chaos import FaultPlan
+from repro.verify import chaos
+from repro.flowchart import library as figure_library
+
+GRID = ProductDomain.integer_grid(0, 3, 1)
+
+
+class CrashingMechanism:
+    """A mechanism that crashes deterministically on chosen points."""
+
+    name = "crashing"
+    arity = 1
+    domain = GRID
+
+    def __init__(self, crash_on, error=MemoryError):
+        self.crash_on = set(crash_on)
+        self.error = error
+
+    def __call__(self, x1):
+        if x1 in self.crash_on:
+            raise self.error(f"boom at {x1}")
+        return x1 % 2
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    yield
+    chaos.clear()
+
+
+class TestBisection:
+    def test_crash_propagates_from_evaluate_chunk(self):
+        mechanism = CrashingMechanism({2})
+        with pytest.raises(MemoryError):
+            evaluate_chunk(mechanism, allow(1, arity=1), list(GRID))
+
+    def test_single_crashing_point_is_isolated(self):
+        policy = allow(1, arity=1)
+        summary = quarantine_chunk(CrashingMechanism({2}), policy,
+                                   list(GRID))
+        # Points 0,1,3 evaluate normally (parity outputs); point 2 is
+        # quarantined under its own policy class.
+        assert summary.classes[policy(2)] == crash_notice(MemoryError())
+        assert summary.accepts == 3
+
+    def test_multiple_crashing_points_all_isolated(self):
+        policy = allow(arity=1)  # allow() — every point in one class
+        summary = quarantine_chunk(CrashingMechanism({0, 3}), policy,
+                                   list(GRID))
+        assert summary.accepts == 2
+        # One shared class: first output seen wins the representative
+        # slot, and a cross-chunk conflict is flagged at merge time.
+        assert len(summary.classes) == 1
+
+    def test_notice_encodes_type_not_message(self):
+        policy = allow(1, arity=1)
+        first = quarantine_chunk(
+            CrashingMechanism({2}, error=OSError), policy, list(GRID))
+        second = quarantine_chunk(
+            CrashingMechanism({2}, error=OSError), policy, list(GRID))
+        assert first.classes[policy(2)] == second.classes[policy(2)]
+        assert "Λ!crash[OSError]" in str(first.classes[policy(2)])
+
+    def test_quarantine_emits_trace_events(self):
+        ring = obs.RingBufferSink()
+        with obs.observed(sinks=[ring], reset=True):
+            quarantine_chunk(CrashingMechanism({1, 2}), allow(1, arity=1),
+                             list(GRID))
+        chunk_events = ring.events("chunk_quarantined")
+        point_events = ring.events("point_quarantined")
+        assert len(chunk_events) == 1
+        assert chunk_events[0]["reason"] == "MemoryError"
+        assert sorted(event["point"] for event in point_events) == [[1], [2]]
+
+
+class TestSweepAgreement:
+    @pytest.fixture(scope="class")
+    def poisoned_rows(self):
+        def rows(executor):
+            chaos.install(FaultPlan(seed=3, poison_points=[(2,)]))
+            try:
+                results = parallel_soundness_sweep(
+                    [figure_library.parity_program()], "surveillance",
+                    grid=lambda arity: GRID, executor=executor,
+                    max_workers=2, chunk_size=2)
+            finally:
+                chaos.clear()
+            return [(r.program_name, r.policy_name, r.sound, r.accepts)
+                    for r in results]
+
+        return rows
+
+    def test_rows_identical_across_executors(self, poisoned_rows):
+        serial = poisoned_rows("serial")
+        assert poisoned_rows("thread") == serial
+        assert poisoned_rows("process") == serial
+
+    def test_poisoned_point_is_not_accepted(self, poisoned_rows):
+        baseline = parallel_soundness_sweep(
+            [figure_library.parity_program()], "surveillance",
+            grid=lambda arity: GRID, executor="serial")
+        poisoned = poisoned_rows("serial")
+        for (_, _, _, accepts), clean in zip(poisoned, baseline):
+            assert accepts <= clean.accepts
+
+    def test_serial_fast_path_also_quarantines(self):
+        # chunk_size unset + serial executor takes the unchunked fast
+        # path, which must still bisect instead of crashing the sweep.
+        chaos.install(FaultPlan(seed=3, poison_points=[(2,)]))
+        try:
+            results = parallel_soundness_sweep(
+                [figure_library.parity_program()], "surveillance",
+                grid=lambda arity: GRID, executor="serial")
+        finally:
+            chaos.clear()
+        assert results  # completed despite the poisoned point
