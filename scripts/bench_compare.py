@@ -10,6 +10,18 @@ or ending in ``_best_s``), pairs the paths they have in common, and
 reports the current/baseline ratio for each.  Exits 1 if any compared
 ratio exceeds ``--threshold``.
 
+The top-level ``claims`` blocks are diffed too: a claim key that was
+``true`` in the baseline and is ``false`` in the current file is a
+hard failure regardless of timings — a PR must not silently demote a
+benchmark claim an earlier PR established.  (New claims appearing, or
+a false claim turning true, are fine.)  ``--allow-demotion KEY``
+waives one named demotion: the flip is still printed, but it no
+longer fails the run.  The flag exists for *documented* historical
+accidents — e.g. BENCH_PR5 records ``..._vs_pr3: false`` because that
+claim's baseline was two PRs stale by the time PR5 measured it, a
+fact PR5's own bench explains — and each use should cite its reason
+where the flag is passed (the CI workflow does).
+
 Noise floor: leaves faster than ``--min-seconds`` in the baseline are
 reported but *not* gated.  Microsecond-scale per-program timings
 bounce by 1.5x between otherwise-identical runs (measured across
@@ -41,6 +53,31 @@ def timing_leaves(node, path: str = "") -> Dict[str, float]:
             else:
                 leaves.update(timing_leaves(value, child_path))
     return leaves
+
+
+def claims_regressions(baseline_doc, current_doc) -> List[Dict]:
+    """Claim keys that were true in the baseline and false now.
+
+    Reads the top-level ``claims`` objects (missing or malformed blocks
+    compare as empty).  Only the true -> false direction fails: a claim
+    the baseline never made, or one it made and the current file keeps,
+    gates nothing.
+    """
+    baseline_claims = (baseline_doc.get("claims", {})
+                       if isinstance(baseline_doc, dict) else {})
+    current_claims = (current_doc.get("claims", {})
+                      if isinstance(current_doc, dict) else {})
+    if not isinstance(baseline_claims, dict):
+        baseline_claims = {}
+    if not isinstance(current_claims, dict):
+        current_claims = {}
+    regressed = []
+    for key in sorted(baseline_claims):
+        if (baseline_claims[key] is True and key in current_claims
+                and current_claims[key] is False):
+            regressed.append({"claim": key, "baseline": True,
+                              "current": False})
+    return regressed
 
 
 def compare(baseline: Dict[str, float], current: Dict[str, float],
@@ -83,15 +120,27 @@ def main(argv=None) -> int:
                              "sub-ms timings are noise)")
     parser.add_argument("--json", action="store_true",
                         help="machine-readable comparison on stdout")
+    parser.add_argument("--allow-demotion", action="append", default=[],
+                        metavar="KEY",
+                        help="claim key whose true -> false flip is "
+                             "reported but does not fail the run; "
+                             "repeatable, for documented historical "
+                             "accidents only")
     args = parser.parse_args(argv)
 
     with open(args.baseline, encoding="utf-8") as handle:
-        baseline = timing_leaves(json.load(handle))
+        baseline_doc = json.load(handle)
     with open(args.current, encoding="utf-8") as handle:
-        current = timing_leaves(json.load(handle))
+        current_doc = json.load(handle)
+    baseline = timing_leaves(baseline_doc)
+    current = timing_leaves(current_doc)
 
     rows, regressions = compare(baseline, current,
                                 args.threshold, args.min_seconds)
+    all_demoted = claims_regressions(baseline_doc, current_doc)
+    waived = [entry for entry in all_demoted
+              if entry["claim"] in args.allow_demotion]
+    demoted = [entry for entry in all_demoted if entry not in waived]
     if not rows:
         print(f"no timing leaves in common between {args.baseline} and "
               f"{args.current}", file=sys.stderr)
@@ -106,6 +155,8 @@ def main(argv=None) -> int:
             "compared": len(rows),
             "gated": sum(1 for row in rows if row["gated"]),
             "regressions": len(regressions),
+            "claim_regressions": demoted,
+            "claim_demotions_waived": waived,
             "rows": rows,
         }, indent=2, sort_keys=True))
     else:
@@ -122,7 +173,16 @@ def main(argv=None) -> int:
         print(f"{len(rows)} common leaves, {gated} gated, "
               f"{len(regressions)} regression(s)")
 
-    return 1 if regressions else 0
+    for entry in waived:
+        print(f"claim demotion waived: {entry['claim']} was true in "
+              f"{args.baseline} and is false in {args.current} "
+              "(--allow-demotion)", file=sys.stderr)
+    for entry in demoted:
+        print(f"CLAIM REGRESSED: {entry['claim']} was true in "
+              f"{args.baseline} but is false in {args.current}",
+              file=sys.stderr)
+
+    return 1 if regressions or demoted else 0
 
 
 if __name__ == "__main__":

@@ -39,7 +39,7 @@ from .core import (ProductDomain, VALUE_AND_TIME, VALUE_ONLY,
                    check_soundness_with_accepts)
 from .core.errors import ReproError
 from .flowchart import library as figure_library
-from .flowchart.fastpath import BACKENDS, run_flowchart
+from .flowchart.fastpath import BACKEND_ALIASES, BACKENDS, run_flowchart
 from .flowchart.interpreter import as_program
 from .flowchart.parser import parse_policy, parse_program
 from .flowchart.program import Flowchart
@@ -96,8 +96,12 @@ def _add_program_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--backend", choices=BACKENDS, default=None,
-                        help="execution engine (default: compiled, or "
+    # Choices come from the tier registry (plus its aliases), so an
+    # unknown backend is rejected by argparse — usage message listing
+    # every registered tier, exit status 2 — before any work starts.
+    choices = tuple(BACKENDS) + tuple(sorted(BACKEND_ALIASES))
+    parser.add_argument("--backend", choices=choices, default=None,
+                        help="execution tier (default: compiled, or "
                              "the REPRO_BACKEND environment variable)")
 
 
@@ -257,7 +261,8 @@ def command_sweep(args) -> int:
 
     from . import obs
     from .core.errors import SweepInterruptedError
-    from .flowchart.fastpath import BACKEND_ENV, export_memo_stats
+    from .flowchart.fastpath import (BACKEND_ENV, export_memo_stats,
+                                     resolve_backend)
     from .verify import FaultPlan, parallel_soundness_sweep, unsound_results
     from .verify import chaos as chaos_module
 
@@ -326,8 +331,13 @@ def command_sweep(args) -> int:
         chaos_module.install(FaultPlan.parse(args.chaos))
 
     saved_backend = _os.environ.get(BACKEND_ENV)
+    backend = resolve_backend(args.backend) if args.backend else None
     if args.backend:
-        _os.environ[BACKEND_ENV] = args.backend
+        # The batch tier applies at chunk granularity inside the sweep;
+        # per-point internals (quarantine bisection, degraded chunks)
+        # run the compiled scalar tier underneath it.
+        _os.environ[BACKEND_ENV] = ("compiled" if backend == "batch"
+                                    else backend)
     interrupted = None
     try:
         started = _time.perf_counter()
@@ -346,7 +356,8 @@ def command_sweep(args) -> int:
                 checkpoint=args.checkpoint,
                 resume=args.resume,
                 stop=stop,
-                deadline=args.deadline)
+                deadline=args.deadline,
+                backend=backend)
         except SweepInterruptedError as error:
             interrupted = error
             results = []
@@ -393,6 +404,10 @@ def command_sweep(args) -> int:
                 "sound": result.sound,
                 "accepts": result.accepts,
                 "domain_size": result.domain_size,
+                # Chunk count per backend that *actually* evaluated the
+                # pair — after any pool degradation or batch fallback —
+                # so a row shows when a batch sweep quietly retreated.
+                "backends": result.backends,
             }
             for result in results
         ]
@@ -406,6 +421,7 @@ def command_sweep(args) -> int:
                 "command": "sweep",
                 "mechanism": args.mechanism,
                 "executor": args.executor,
+                "backend": backend,
                 "fuel": args.fuel,
                 "value_cap": args.value_cap,
                 "programs": names,

@@ -5,7 +5,8 @@ Substrate for the surveillance mechanism: an expression language
 (:mod:`~repro.flowchart.boxes`), wellformed flowchart graphs
 (:mod:`~repro.flowchart.program`), a step-counted interpreter
 (:mod:`~repro.flowchart.interpreter`), a compiled execution engine
-(:mod:`~repro.flowchart.fastpath`), a structured front-end
+(:mod:`~repro.flowchart.fastpath`), a vectorized batch tier
+(:mod:`~repro.flowchart.batchpath`), a structured front-end
 (:mod:`~repro.flowchart.structured`), CFG analyses
 (:mod:`~repro.flowchart.analysis`), the Section 4/5 transforms
 (:mod:`~repro.flowchart.transforms`), and the paper's figure programs
@@ -21,6 +22,8 @@ from .interpreter import (DEFAULT_FUEL, ExecutionResult, as_program,
                           execute, initial_environment, running_time)
 from .fastpath import (BACKENDS, CompiledFlowchart, compile_flowchart,
                        execute_compiled, resolve_backend, run_flowchart)
+from .batchpath import (execute_batch, execute_batch_single,
+                        resolve_lane_engine)
 from .builder import FlowchartBuilder, Label
 from .structured import (Assign, Body, If, Skip, Stmt, StructuredProgram,
                          While, compile_structured, seq)
@@ -48,6 +51,8 @@ __all__ = [
     # compiled backend
     "BACKENDS", "CompiledFlowchart", "compile_flowchart",
     "execute_compiled", "resolve_backend", "run_flowchart",
+    # batch tier
+    "execute_batch", "execute_batch_single", "resolve_lane_engine",
     # building
     "FlowchartBuilder", "Label", "StructuredProgram", "Stmt", "Skip",
     "Assign", "If", "While", "Body", "compile_structured", "seq",

@@ -57,6 +57,7 @@ Caching layers:
 from __future__ import annotations
 
 import os
+import sys
 import threading
 import warnings
 import weakref
@@ -79,20 +80,70 @@ BACKEND_ENV = "REPRO_BACKEND"
 #: Environment variable sizing the (flowchart, inputs) result memo.
 EXEC_CACHE_ENV = "REPRO_EXEC_CACHE"
 
-BACKENDS = ("compiled", "interpreted")
-
 _DEFAULT_BACKEND = "compiled"
 _DEFAULT_MEMO_SIZE = 16384
+
+
+# ---------------------------------------------------------------------------
+# Execution tier registry
+# ---------------------------------------------------------------------------
+
+class Tier:
+    """One registered execution backend: name, runner, description.
+
+    A runner has the :func:`run_flowchart` calling convention:
+    ``runner(flowchart, inputs, fuel, record_trace, capture_env,
+    value_cap) -> ExecutionResult``.
+    """
+
+    __slots__ = ("name", "runner", "description")
+
+    def __init__(self, name: str, runner, description: str) -> None:
+        self.name = name
+        self.runner = runner
+        self.description = description
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tier({self.name!r})"
+
+
+_TIERS: "OrderedDict[str, Tier]" = OrderedDict()
+
+#: Accepted spellings that map onto a registered tier.
+BACKEND_ALIASES: Dict[str, str] = {"interp": "interpreted"}
+
+#: Registered tier names, in registration order (rebound by
+#: :func:`register_tier` so late registrations show up in messages).
+BACKENDS: Tuple[str, ...] = ()
+
+
+def register_tier(name: str, runner, description: str = "",
+                  aliases: Sequence[str] = ()) -> Tier:
+    """Register (or replace) an execution tier under ``name``."""
+    global BACKENDS
+    tier = Tier(name, runner, description)
+    _TIERS[name] = tier
+    for alias in aliases:
+        BACKEND_ALIASES[alias] = name
+    BACKENDS = tuple(_TIERS)
+    return tier
+
+
+def backend_tiers() -> Dict[str, Tier]:
+    """A snapshot of the registry (name -> :class:`Tier`)."""
+    return dict(_TIERS)
 
 
 def resolve_backend(backend: Optional[str] = None) -> str:
     """Resolve an explicit choice, the env override, or the default.
 
     Precedence: explicit argument > ``REPRO_BACKEND`` > ``"compiled"``.
+    Aliases (``interp``) resolve to their canonical tier name.
     """
     choice = backend or os.environ.get(BACKEND_ENV) or _DEFAULT_BACKEND
     choice = choice.strip().lower()
-    if choice not in BACKENDS:
+    choice = BACKEND_ALIASES.get(choice, choice)
+    if choice not in _TIERS:
         raise ReproError(
             f"unknown execution backend {choice!r}; expected one of {BACKENDS}")
     return choice
@@ -531,18 +582,34 @@ _RESULT_MEMO = _LRUMemo(_memo_size())
 def clear_result_memo() -> None:
     """Drop memoised execution results (benchmarks call this per rep)."""
     _RESULT_MEMO.clear()
+    batchpath = sys.modules.get(__package__ + ".batchpath")
+    if batchpath is not None:
+        batchpath.clear_rows_memo()
 
 
 def clear_caches() -> None:
-    """Drop compiled functions *and* memoised results."""
+    """Drop compiled functions *and* memoised results, in every tier."""
     _RESULT_MEMO.clear()
     with _compile_lock:
         _COMPILED.clear()
+    batchpath = sys.modules.get(__package__ + ".batchpath")
+    if batchpath is not None:
+        batchpath.clear_batch_caches()
 
 
 def memo_stats() -> Dict[str, int]:
-    return {"size": len(_RESULT_MEMO), "maxsize": _RESULT_MEMO.maxsize,
-            "hits": _RESULT_MEMO.hits, "misses": _RESULT_MEMO.misses}
+    """Execution-cache counters across tiers.
+
+    The original four keys cover the compiled tier's result memo; the
+    ``batch_*`` keys cover the batch tier's compile cache, rows memo,
+    and lifetime lane-fallback total.
+    """
+    from . import batchpath
+    stats = {"size": len(_RESULT_MEMO), "maxsize": _RESULT_MEMO.maxsize,
+             "hits": _RESULT_MEMO.hits, "misses": _RESULT_MEMO.misses}
+    for key, value in batchpath.batch_stats().items():
+        stats[f"batch_{key}"] = value
+    return stats
 
 
 def export_memo_stats() -> Dict[str, int]:
@@ -551,11 +618,14 @@ def export_memo_stats() -> Dict[str, int]:
     The per-run ``memo.exec.hits``/``misses`` counters only cover runs
     executed while observability was on; these gauges snapshot the
     memo's lifetime totals (the CLI's ``repro metrics`` calls this
-    before rendering).
+    before rendering).  Batch-tier keys export under ``batch.*``.
     """
     stats = memo_stats()
     for key, value in stats.items():
-        _obs.set_gauge(f"memo.exec.{key}", value)
+        if key.startswith("batch_"):
+            _obs.set_gauge("batch." + key[len("batch_"):], value)
+        else:
+            _obs.set_gauge(f"memo.exec.{key}", value)
     return stats
 
 
@@ -633,11 +703,42 @@ def run_flowchart(flowchart: Flowchart, inputs: Sequence[int],
                   capture_env: bool = False,
                   backend: Optional[str] = None,
                   value_cap: Optional[int] = None) -> ExecutionResult:
-    """Execute via whichever backend :func:`resolve_backend` selects."""
-    if resolve_backend(backend) == "compiled":
+    """Execute via whichever tier :func:`resolve_backend` selects."""
+    choice = resolve_backend(backend)
+    if choice == "compiled":  # the hot default skips the registry lookup
         return execute_compiled(flowchart, inputs, fuel=fuel,
                                 record_trace=record_trace,
                                 capture_env=capture_env,
                                 value_cap=value_cap)
+    return _TIERS[choice].runner(flowchart, inputs, fuel, record_trace,
+                                 capture_env, value_cap)
+
+
+def _run_compiled_tier(flowchart, inputs, fuel, record_trace, capture_env,
+                       value_cap) -> ExecutionResult:
+    return execute_compiled(flowchart, inputs, fuel=fuel,
+                            record_trace=record_trace,
+                            capture_env=capture_env, value_cap=value_cap)
+
+
+def _run_interpreted_tier(flowchart, inputs, fuel, record_trace,
+                          capture_env, value_cap) -> ExecutionResult:
     return execute(flowchart, inputs, fuel=fuel, record_trace=record_trace,
                    capture_env=capture_env, value_cap=value_cap)
+
+
+def _run_batch_tier(flowchart, inputs, fuel, record_trace, capture_env,
+                    value_cap) -> ExecutionResult:
+    from .batchpath import execute_batch_single
+    return execute_batch_single(flowchart, inputs, fuel=fuel,
+                                record_trace=record_trace,
+                                capture_env=capture_env,
+                                value_cap=value_cap)
+
+
+register_tier("compiled", _run_compiled_tier,
+              "per-point codegen with an LRU result memo")
+register_tier("interpreted", _run_interpreted_tier,
+              "tree-walking reference interpreter", aliases=("interp",))
+register_tier("batch", _run_batch_tier,
+              "structure-of-arrays evaluator over whole grids")

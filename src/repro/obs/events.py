@@ -49,6 +49,8 @@ EVENT_KINDS: Tuple[str, ...] = (
     "checkpoint_written",  # one chunk summary journalled to the checkpoint
     "sweep_resumed",       # a sweep restored chunk summaries and continued
     "sweep_interrupted",   # a sweep drained and stopped (signal/deadline)
+    "batch_compiled",      # a flowchart compiled for the batch tier
+    "batch_fallback",      # batch lanes retired to the per-lane fallback
 )
 
 #: Envelope + per-kind required payload fields.  ``properties`` gives
@@ -97,6 +99,10 @@ EVENT_SCHEMA: Dict = {
         "checkpoint_written": {"required": ["pair", "chunk", "accepts"]},
         "sweep_resumed": {"required": ["chunks_restored"]},
         "sweep_interrupted": {"required": ["reason", "chunks_done"]},
+        # Batch tier: one compile per (flowchart, lane engine); lanes
+        # that retire to the per-lane compiled fallback, by reason.
+        "batch_compiled": {"required": ["program", "engine", "blocks"]},
+        "batch_fallback": {"required": ["program", "lanes", "reason"]},
     },
 }
 

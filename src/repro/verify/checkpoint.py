@@ -110,7 +110,7 @@ class CheckpointWriter:
         os.fsync(self._file.fileno())
 
     def write_chunk(self, pair: int, chunk: int, summary) -> None:
-        self._write({
+        record = {
             "kind": "checkpoint_written",
             "pair": pair,
             "chunk": chunk,
@@ -118,7 +118,11 @@ class CheckpointWriter:
             "conflict": summary.conflict,
             "classes": [[encode_value(key), encode_value(output)]
                         for key, output in summary.classes.items()],
-        })
+        }
+        backend = getattr(summary, "backend", None)
+        if backend is not None:
+            record["backend"] = backend
+        self._write(record)
 
     def close(self) -> None:
         if not self._file.closed:
@@ -185,5 +189,6 @@ def load_checkpoint(path: str,
         for key, output in record["classes"]:
             classes[decode_value(key)] = decode_value(output)
         summaries[(record["pair"], record["chunk"])] = ChunkSummary(
-            record["accepts"], classes, record["conflict"])
+            record["accepts"], classes, record["conflict"],
+            record.get("backend"))
     return meta, summaries, len(records)

@@ -32,6 +32,11 @@ __all__ = [
 FuelGuardedMechanism = TotalizedMechanism
 
 
+#: Signature introspection is pure in the factory object; a sweep asks
+#: the same question for every (pair, chunk), so memoize per factory.
+_ACCEPTS_MEMO: dict = {}
+
+
 def _accepts_parameter(factory, name: str, positional_rank: int) -> bool:
     """Whether a mechanism factory can receive a given sweep budget.
 
@@ -39,20 +44,35 @@ def _accepts_parameter(factory, name: str, positional_rank: int) -> bool:
     or has at least ``positional_rank`` positional slots.
     """
     try:
+        memo_key = (factory, name, positional_rank)
+        cached = _ACCEPTS_MEMO.get(memo_key)
+    except TypeError:  # unhashable callable
+        memo_key = None
+        cached = None
+    if cached is not None:
+        return cached
+    try:
         signature = inspect.signature(factory)
     except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        if memo_key is not None:
+            _ACCEPTS_MEMO[memo_key] = False
         return False
     parameters = signature.parameters
     if name in parameters:
-        return True
-    if any(parameter.kind is inspect.Parameter.VAR_KEYWORD
-           or parameter.kind is inspect.Parameter.VAR_POSITIONAL
-           for parameter in parameters.values()):
-        return True
-    positional = [parameter for parameter in parameters.values()
-                  if parameter.kind in (inspect.Parameter.POSITIONAL_ONLY,
-                                        inspect.Parameter.POSITIONAL_OR_KEYWORD)]
-    return len(positional) >= positional_rank
+        accepts = True
+    elif any(parameter.kind is inspect.Parameter.VAR_KEYWORD
+             or parameter.kind is inspect.Parameter.VAR_POSITIONAL
+             for parameter in parameters.values()):
+        accepts = True
+    else:
+        positional = [
+            parameter for parameter in parameters.values()
+            if parameter.kind in (inspect.Parameter.POSITIONAL_ONLY,
+                                  inspect.Parameter.POSITIONAL_OR_KEYWORD)]
+        accepts = len(positional) >= positional_rank
+    if memo_key is not None:
+        _ACCEPTS_MEMO[memo_key] = accepts
+    return accepts
 
 
 def _accepts_fuel(factory) -> bool:
@@ -111,13 +131,17 @@ class SweepResult:
 
     def __init__(self, program_name: str, policy_name: str,
                  mechanism_name: str, sound: bool,
-                 accepts: int, domain_size: int) -> None:
+                 accepts: int, domain_size: int,
+                 backends: Optional[Dict[str, int]] = None) -> None:
         self.program_name = program_name
         self.policy_name = policy_name
         self.mechanism_name = mechanism_name
         self.sound = sound
         self.accepts = accepts
         self.domain_size = domain_size
+        #: chunk count per execution backend that actually evaluated
+        #: this pair (parallel sweeps record it; None when untracked).
+        self.backends = backends
 
     def __repr__(self) -> str:
         return (f"SweepResult({self.program_name}, {self.policy_name}: "

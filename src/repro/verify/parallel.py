@@ -94,8 +94,10 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.domains import ProductDomain
 from ..core.errors import (FuelExhaustedError, ReproError,
                            SweepInterruptedError, ValueCapExceededError)
-from ..core.mechanism import is_violation
+from ..core.mechanism import ViolationNotice, is_violation
 from ..core.policy import AllowPolicy
+from ..flowchart.batchpath import K_CAP, K_FUEL, K_OK, execute_batch
+from ..flowchart.fastpath import resolve_backend
 from ..flowchart.interpreter import DEFAULT_FUEL
 from ..flowchart.program import Flowchart
 from ..obs import runtime as _obs
@@ -150,13 +152,17 @@ class _StopRequested(Exception):
 class ChunkSummary:
     """What one worker learned from its slice of the domain."""
 
-    __slots__ = ("accepts", "classes", "conflict")
+    __slots__ = ("accepts", "classes", "conflict", "backend")
 
-    def __init__(self, accepts: int, classes: Dict, conflict: bool) -> None:
+    def __init__(self, accepts: int, classes: Dict, conflict: bool,
+                 backend: Optional[str] = None) -> None:
         self.accepts = accepts
         #: policy_value -> first mechanism output seen in this chunk
         self.classes = classes
         self.conflict = conflict
+        #: execution backend that actually produced this summary
+        #: ("batch", "compiled", ...; None when unrecorded).
+        self.backend = backend
 
 
 def evaluate_chunk(mechanism, policy, points: Iterable[Tuple],
@@ -216,6 +222,230 @@ def evaluate_chunk(mechanism, policy, points: Iterable[Tuple],
     return ChunkSummary(accepts, classes, conflict)
 
 
+#: Factory families the batch tier can evaluate whole-chunk: their
+#: per-point output is a pure function of one flowchart execution.
+_BATCH_FAMILIES = ("program", "surveillance")
+
+_VIOL_KIND = 3  # merged outcome code for a surveillance violation
+
+_CPU_COUNT: Optional[int] = None
+
+
+def _cpu_count() -> Optional[int]:
+    """``os.cpu_count()`` is a syscall on some platforms; ask once."""
+    global _CPU_COUNT
+    if _CPU_COUNT is None:
+        _CPU_COUNT = os.cpu_count()
+    return _CPU_COUNT
+
+
+def _batch_outcome(lane: int, outkind, values, fuel_out, cap_out, viol_out):
+    """Decode one lane's merged outcome code into the mechanism output."""
+    code = int(outkind[lane])
+    if code == K_FUEL:
+        return fuel_out
+    if code == K_CAP:
+        return cap_out
+    if code == _VIOL_KIND:
+        return viol_out
+    return int(values[lane])
+
+
+def _summarize_batch_vector(rows, view, policy: AllowPolicy, points,
+                            flowchart, fuel_out, cap_out, viol_out,
+                            surveillance: bool) -> Optional[ChunkSummary]:
+    """Vectorized ChunkSummary for an AllowPolicy batch (numpy lanes).
+
+    Groups lanes by the policy projection with one ``np.unique`` instead
+    of a Python dict insert per point.  Returns None when the points
+    cannot columnize (callers fall back to the scalar walk).
+    """
+    np_mod, kinds, values = view
+    pts = rows.input_matrix
+    if pts is None:
+        try:
+            pts = np_mod.asarray(points, dtype=np_mod.int64)
+        except (OverflowError, ValueError):  # oversized inputs: be safe
+            return None
+    # (outkind, accepts, vals) depend on the rows alone, never on the
+    # policy; the rows memo serves one BatchResult to all 2^k policies
+    # of a pair, so compute them once and park them on the result.
+    cached = rows.summary_cache
+    if cached is not None:
+        outkind, accepts, vals = cached
+    else:
+        outkind = kinds
+        if surveillance:
+            from ..surveillance.instrument import VIOLATION_FLAG
+            violated = ((kinds == K_OK)
+                        & (rows.env_column(VIOLATION_FLAG) == 1))
+            outkind = np_mod.where(violated, _VIOL_KIND, kinds)
+        ok = outkind == K_OK
+        accepts = int(ok.sum())
+        vals = np_mod.where(ok, values, 0)
+        rows.summary_cache = (outkind, accepts, vals)
+    if surveillance and _obs.active:
+        violations = int((outkind == _VIOL_KIND).sum())
+        for _ in range(violations):
+            _obs.record_violation(flowchart.name, "instrumented",
+                                  timed=False)
+    columns = [index - 1 for index in policy.indices]
+    if not columns:
+        # allow(): a single policy class, represented by the first lane.
+        conflict = bool(((outkind != outkind[0]) | (vals != vals[0])).any())
+        representative = _batch_outcome(0, outkind, values, fuel_out,
+                                        cap_out, viol_out)
+        return ChunkSummary(accepts, {(): representative}, conflict,
+                            backend="batch")
+    projection = pts[:, columns]
+    # Mixed-radix encode the projected columns into one int64 key per
+    # lane: a 1-D np.unique is far cheaper than the axis=0 row path,
+    # and the encoding preserves lexicographic class order.  Falls back
+    # to row-unique if the radix product would overflow the key space.
+    if projection.shape[1] == 1:
+        keys = projection[:, 0]
+    else:
+        shifted = projection - projection.min(axis=0)
+        spans = shifted.max(axis=0) + 1
+        keys = shifted[:, 0]
+        radix = int(spans[0])
+        for j in range(1, shifted.shape[1]):
+            span = int(spans[j])
+            radix *= span
+            if radix > (1 << 62):
+                keys = None
+                break
+            keys = keys * span + shifted[:, j]
+        if keys is None:
+            unique_rows, first, inverse = np_mod.unique(
+                projection, axis=0, return_index=True, return_inverse=True)
+            inverse = inverse.reshape(-1)
+            conflict = bool(((outkind != outkind[first][inverse])
+                             | (vals != vals[first][inverse])).any())
+            classes: Dict = {}
+            for u in np_mod.argsort(first, kind="stable"):
+                lane = int(first[u])
+                key = tuple(int(part) for part in unique_rows[u])
+                classes[key] = _batch_outcome(lane, outkind, values,
+                                              fuel_out, cap_out, viol_out)
+            return ChunkSummary(accepts, classes, conflict,
+                                backend="batch")
+    _, first, inverse = np_mod.unique(keys, return_index=True,
+                                      return_inverse=True)
+    # Conflict detection: singleton classes cannot conflict; a single
+    # class conflicts iff any lane differs from lane 0; the general
+    # case compares each lane to its class representative.
+    if first.size == keys.size:
+        conflict = False
+    elif first.size == 1:
+        lane = int(first[0])
+        conflict = bool(((outkind != outkind[lane])
+                         | (vals != vals[lane])).any())
+    else:
+        conflict = bool(((outkind != outkind[first][inverse])
+                         | (vals != vals[first][inverse])).any())
+    # One bulk .tolist() per array beats a Python int() per element:
+    # class representatives come out in first-seen (domain) order by
+    # sorting the first-occurrence lane indices.
+    order = np_mod.sort(first)
+    key_rows = projection[order].tolist()
+    codes = outkind[order].tolist()
+    reps = values[order].tolist()
+    classes = {}
+    for key_row, code, rep in zip(key_rows, codes, reps):
+        if code == K_FUEL:
+            output = fuel_out
+        elif code == K_CAP:
+            output = cap_out
+        elif code == _VIOL_KIND:
+            output = viol_out
+        else:
+            output = rep
+        classes[tuple(key_row)] = output
+    return ChunkSummary(accepts, classes, conflict, backend="batch")
+
+
+def _evaluate_chunk_batch(flowchart: Flowchart, family: str, policy,
+                          points: List[Tuple], fuel: int,
+                          value_cap: Optional[int], mechanism_name: str,
+                          span: Optional[str] = None,
+                          plan: Optional[chaos.FaultPlan] = None
+                          ) -> ChunkSummary:
+    """Evaluate a whole chunk on the batch tier; summarise for the merge.
+
+    Supports the ``program`` and ``surveillance`` factory families —
+    the two whose per-point output is a pure function of one flowchart
+    execution (surveillance reads the instrumented flowchart's
+    ``_viol`` flag from the final environment).  The summary is
+    row-identical to :func:`evaluate_chunk` over the same points: same
+    accepts, same first-seen class representatives in domain order,
+    same conflict flag, same ``Λ!fuel[N]`` / ``Λ!cap[C]`` notices.
+
+    A chaos poison point raises ``MemoryError`` *before* any lane
+    executes; the caller's quarantine machinery then bisects the chunk
+    per-point exactly as it would a per-point chunk, so quarantined
+    rows agree across backends.  ``span`` is accepted for signature
+    symmetry: the batch tier emits chunk-level events
+    (``batch_compiled`` / ``batch_fallback``), not per-point spans.
+    """
+    del span  # no per-point spans on the batch tier
+    if plan is None:
+        plan = chaos.current_plan()
+    if plan is not None:
+        for point in points:
+            if plan.poisons(point):
+                raise MemoryError(f"chaos poison point {tuple(point)!r}")
+    surveillance = family == "surveillance"
+    if surveillance:
+        from ..surveillance.instrument import VIOLATION_FLAG, instrument
+        target = instrument(flowchart, policy)
+    else:
+        target = flowchart
+    rows = execute_batch(target, points, fuel=fuel, value_cap=value_cap,
+                         need_env=surveillance)
+    fuel_out = fuel_notice(fuel)
+    cap_out = cap_notice(rows.cap) if rows.cap is not None else None
+    viol_out = ViolationNotice("Λ") if surveillance else None
+    if _obs.active:
+        for i in range(len(points)):
+            kind = rows.kind(i)
+            if kind == K_FUEL:
+                _obs.record_fuel_exhausted(mechanism_name, fuel)
+            elif kind == K_CAP:
+                _obs.record_value_cap_exceeded(mechanism_name, rows.cap)
+    view = rows.vector_view()
+    if view is not None and isinstance(policy, AllowPolicy):
+        summary = _summarize_batch_vector(rows, view, policy, points,
+                                          flowchart, fuel_out, cap_out,
+                                          viol_out, surveillance)
+        if summary is not None:
+            return summary
+    classes: Dict = {}
+    accepts = 0
+    conflict = False
+    for i, point in enumerate(points):
+        kind = rows.kind(i)
+        if kind == K_FUEL:
+            output = fuel_out
+        elif kind == K_CAP:
+            output = cap_out
+        elif surveillance and rows.env_value(i, VIOLATION_FLAG) == 1:
+            output = viol_out
+            if _obs.active:
+                _obs.record_violation(flowchart.name, "instrumented",
+                                      timed=False)
+        else:
+            output = rows.value(i)
+        if not is_violation(output):
+            accepts += 1
+        policy_value = policy(*point)
+        if policy_value not in classes:
+            classes[policy_value] = output
+        elif not conflict and classes[policy_value] != output:
+            conflict = True
+    return ChunkSummary(accepts, classes, conflict, backend="batch")
+
+
 def _merge_summaries(parts: Sequence[ChunkSummary]) -> ChunkSummary:
     """Fold sub-summaries (in domain order) into one ChunkSummary.
 
@@ -241,7 +471,9 @@ def _merge_summaries(parts: Sequence[ChunkSummary]) -> ChunkSummary:
 def quarantine_chunk(mechanism, policy, points: List[Tuple],
                      pair_index: int = 0, chunk_index: int = 0,
                      span: Optional[str] = None,
-                     plan: Optional[chaos.FaultPlan] = None) -> ChunkSummary:
+                     plan: Optional[chaos.FaultPlan] = None,
+                     evaluate: Optional[Callable[[], ChunkSummary]] = None
+                     ) -> ChunkSummary:
     """Evaluate a chunk, bisecting deterministic crashes to their points.
 
     The total-function backstop: an undeclared exception (MemoryError,
@@ -253,8 +485,14 @@ def quarantine_chunk(mechanism, policy, points: List[Tuple],
     (and a ``point_quarantined`` trace event) instead of sinking the
     sweep.  Because the notice encodes only the exception type, the
     quarantined row is identical in serial, thread, and process mode.
+
+    ``evaluate`` overrides the whole-chunk attempt (the batch tier
+    rides it); the bisection itself always walks per-point via
+    ``mechanism``, so quarantined rows agree across backends.
     """
     try:
+        if evaluate is not None:
+            return evaluate()
         return evaluate_chunk(mechanism, policy, points, span=span,
                               plan=plan)
     except Exception as error:
@@ -398,8 +636,8 @@ def _run_pair_task(payload: bytes) -> Tuple[int, int, ChunkSummary]:
     :func:`evaluate_chunk` exactly as they would in the parent.
     """
     (pair_index, chunk_index, flowchart, policy, domain, factory_name,
-     points, fuel, value_cap, inject_failure, delay, plan, span_id) = (
-        pickle.loads(payload))
+     points, fuel, value_cap, inject_failure, delay, plan, span_id,
+     batch_family) = pickle.loads(payload)
     _obs._stack().clear()
     if delay:
         time.sleep(delay)
@@ -408,6 +646,10 @@ def _run_pair_task(payload: bytes) -> Tuple[int, int, ChunkSummary]:
             f"injected failure for chunk ({pair_index}, {chunk_index})")
     mechanism = FACTORIES[factory_name](flowchart, policy, domain, fuel,
                                         value_cap=value_cap)
+    if batch_family is not None:
+        return pair_index, chunk_index, _evaluate_chunk_batch(
+            flowchart, batch_family, policy, points, fuel, value_cap,
+            mechanism.name, span=span_id, plan=plan)
     return pair_index, chunk_index, evaluate_chunk(mechanism, policy, points,
                                                    span=span_id, plan=plan)
 
@@ -444,6 +686,7 @@ def parallel_soundness_sweep(
         resume: bool = False,
         stop: Optional[Callable[[], Optional[str]]] = None,
         deadline: Optional[float] = None,
+        backend: Optional[str] = None,
 ) -> List[SweepResult]:
     """The Theorem 3/3′ sweep, chunked across a worker pool.
 
@@ -502,6 +745,16 @@ def parallel_soundness_sweep(
     deadline:
         Wall-clock budget in seconds for the whole sweep; exceeded ⇒
         the same clean interruption with reason ``"deadline"``.
+    backend:
+        Execution tier for chunk evaluation (default: the
+        ``REPRO_BACKEND`` resolution, see
+        :func:`repro.flowchart.fastpath.resolve_backend`).
+        ``"batch"`` dispatches whole chunks into the vectorized batch
+        evaluator for the ``program`` and ``surveillance`` factory
+        families; other families, provenance-enabled runs, and
+        quarantine bisections degrade to per-point evaluation.  Each
+        :class:`~repro.verify.enumerate.SweepResult` reports which
+        backends actually ran its chunks via ``result.backends``.
     """
     if chunk_size is not None and chunk_size <= 0:
         raise ReproError(
@@ -522,11 +775,29 @@ def parallel_soundness_sweep(
     if resume and checkpoint is None:
         raise ReproError("resume=True needs a checkpoint path")
     value_cap = resolve_value_cap(value_cap)
+    backend = resolve_backend(backend)
 
     grid = grid or default_grid
     policies = policies or all_allow_policies
     factory = resolve_factory(mechanism_factory)
-    workers = max_workers or os.cpu_count() or 1
+    workers = max_workers or _cpu_count() or 1
+
+    # Whole-chunk batch evaluation engages only for the factory
+    # families whose outputs the batch tier can reproduce; provenance
+    # (explain) needs the per-point machinery, so it degrades too.
+    batch_family: Optional[str] = None
+    if backend == "batch" and not _obs.explain_active:
+        if isinstance(mechanism_factory, str):
+            family = mechanism_factory
+        else:
+            family = next((name for name, fn in FACTORIES.items()
+                           if fn is factory), None)
+        if family in _BATCH_FAMILIES:
+            batch_family = family
+    # The label for chunks evaluated per-point: under backend="batch"
+    # that work runs on whatever tier run_flowchart resolves from the
+    # environment (the degradation target), not on the batch tier.
+    point_backend = resolve_backend(None) if backend == "batch" else backend
 
     # Materialise the (flowchart, policy) pair list once, in sweep order.
     pairs: List[Tuple[Flowchart, AllowPolicy, ProductDomain]] = []
@@ -572,10 +843,11 @@ def parallel_soundness_sweep(
         return handle
 
     def finish_pair(pair_index: int, sound: bool, accepts: int,
-                    mechanism_name: str, pair_seconds: float) -> None:
+                    mechanism_name: str, pair_seconds: float,
+                    backends: Optional[Dict[str, int]] = None) -> None:
         flowchart, policy, domain = pairs[pair_index]
         result = SweepResult(flowchart.name, policy.name, mechanism_name,
-                             sound, accepts, len(domain))
+                             sound, accepts, len(domain), backends=backends)
         results_by_pair[pair_index] = result
         completed_pairs[0] += 1
         pair_span = pair_spans.pop(pair_index, None)
@@ -608,25 +880,58 @@ def parallel_soundness_sweep(
             and deadline is None):
         if _obs.active:
             _obs.inc("sweep.chunks_scheduled", len(pairs))
+        # Every policy of a flowchart sweeps the same domain object;
+        # materialise its point list once, not once per pair.  The
+        # "program" family's mechanism ignores the policy entirely
+        # (the policy only partitions outputs), so it is likewise
+        # built once per (flowchart, domain) and shared across pairs.
+        points_by_domain: Dict[int, List[Tuple]] = {}
+        mechanism_by_domain: Dict[int, object] = {}
         for pair_index, (flowchart, policy, domain) in enumerate(pairs):
             pair_started = time.perf_counter()
-            mechanism = build_mechanism(factory, flowchart, policy, domain,
-                                        fuel, value_cap=value_cap)
-            points = list(domain)
+            if batch_family == "program":
+                mechanism = mechanism_by_domain.get(id(domain))
+                if mechanism is None:
+                    mechanism = build_mechanism(factory, flowchart, policy,
+                                                domain, fuel,
+                                                value_cap=value_cap)
+                    mechanism_by_domain[id(domain)] = mechanism
+            else:
+                mechanism = build_mechanism(factory, flowchart, policy,
+                                            domain, fuel,
+                                            value_cap=value_cap)
+            points = points_by_domain.get(id(domain))
+            if points is None:
+                points = list(domain)
+                points_by_domain[id(domain)] = points
             pair_span = pair_span_for(pair_index)
             chunk_span = _obs.span_begin(
                 "chunk", parent=pair_span.id if pair_span else None,
                 pair=pair_index, chunk=0, points=len(points))
+            span_id = chunk_span.id if chunk_span else None
+            batch_eval = None
+            if batch_family is not None:
+                batch_eval = (lambda fc=flowchart, po=policy, pt=points,
+                              nm=mechanism.name, sp=span_id:
+                              _evaluate_chunk_batch(fc, batch_family, po, pt,
+                                                    fuel, value_cap, nm,
+                                                    span=sp))
             summary = quarantine_chunk(
                 mechanism, policy, points, pair_index, 0,
-                span=chunk_span.id if chunk_span else None)
+                span=span_id, evaluate=batch_eval)
+            if summary.backend is None:
+                summary.backend = point_backend
             _obs.span_finish(chunk_span, accepts=summary.accepts)
-            sound, accepts = merge_chunks([summary])
+            # One chunk per pair: folding a single summary through
+            # merge_chunks rebuilds its class dict only to rediscover
+            # its own conflict flag.
+            sound, accepts = not summary.conflict, summary.accepts
             if _obs.active:
                 _obs.inc("sweep.chunks_done")
                 _obs.record_chunk_evaluated(len(points), summary.accepts)
             finish_pair(pair_index, sound, accepts, mechanism.name,
-                        time.perf_counter() - pair_started)
+                        time.perf_counter() - pair_started,
+                        backends={summary.backend: 1})
         return finalize()
 
     # Chunked schedule: (pair, chunk) tasks, merged back in order.
@@ -700,6 +1005,15 @@ def parallel_soundness_sweep(
             mechanisms[pair_index] = mechanism
         return mechanism
 
+    def batch_evaluator(pair_index: int, points: List[Tuple],
+                        span_id: Optional[str],
+                        plan: Optional[chaos.FaultPlan] = None):
+        flowchart, policy, _ = pairs[pair_index]
+        return _evaluate_chunk_batch(flowchart, batch_family, policy, points,
+                                     fuel, value_cap,
+                                     mechanism_for(pair_index).name,
+                                     span=span_id, plan=plan)
+
     def run_chunk_inline(pair_index: int, chunk_index: int,
                          points: List[Tuple]) -> ChunkSummary:
         # Inline execution is the last line of defence (the serial rung
@@ -708,9 +1022,23 @@ def parallel_soundness_sweep(
         # unwinding the sweep.
         _, policy, _ = pairs[pair_index]
         handle = chunk_span_for(pair_index, chunk_index, points)
-        return quarantine_chunk(mechanism_for(pair_index), policy, points,
-                                pair_index, chunk_index,
-                                span=handle.id if handle else None)
+        span_id = handle.id if handle else None
+        batch_eval = None
+        if batch_family is not None:
+            batch_eval = lambda: batch_evaluator(pair_index, points, span_id)
+        summary = quarantine_chunk(mechanism_for(pair_index), policy, points,
+                                   pair_index, chunk_index, span=span_id,
+                                   evaluate=batch_eval)
+        if summary.backend is None:
+            summary.backend = point_backend
+        return summary
+
+    def pair_backend_counts(pair_index: int) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for index in range(len(per_pair_chunks[pair_index])):
+            label = summaries[(pair_index, index)].backend or "unknown"
+            counts[label] = counts.get(label, 0) + 1
+        return counts
 
     def on_chunk_done(task, summary: ChunkSummary,
                       elapsed: Optional[float],
@@ -734,13 +1062,16 @@ def parallel_soundness_sweep(
             finish_pair(pair_index, sound, accepts,
                         mechanism_for(pair_index).name,
                         pair_seconds[pair_index] or
-                        (time.perf_counter() - pair_started_wall))
+                        (time.perf_counter() - pair_started_wall),
+                        backends=pair_backend_counts(pair_index))
 
     def record_summary(task, summary: ChunkSummary,
                        elapsed: Optional[float]) -> None:
         key = (task[0], task[1])
         if key in summaries:  # late duplicate from an abandoned future
             return
+        if summary.backend is None:
+            summary.backend = point_backend
         summaries[key] = summary
         if ckpt_writer is not None:
             ckpt_writer.write_chunk(key[0], key[1], summary)
@@ -892,7 +1223,8 @@ def parallel_soundness_sweep(
                                in range(len(per_pair_chunks[pair_index]))]
                     sound, accepts = merge_chunks(ordered)
                     finish_pair(pair_index, sound, accepts,
-                                mechanism_for(pair_index).name, 0.0)
+                                mechanism_for(pair_index).name, 0.0,
+                                backends=pair_backend_counts(pair_index))
             ckpt_writer = CheckpointWriter(checkpoint, descriptor,
                                            fresh=False,
                                            start_seq=record_count)
@@ -946,9 +1278,13 @@ def parallel_soundness_sweep(
                         _, policy, _ = pairs[pair_index]
                         chunk_span = chunk_spans.get(
                             (pair_index, chunk_index))
+                        span_id = chunk_span.id if chunk_span else None
+                        if batch_family is not None:
+                            return pair_index, chunk_index, batch_evaluator(
+                                pair_index, points, span_id)
                         return pair_index, chunk_index, evaluate_chunk(
                             mechanism_for(pair_index), policy, points,
-                            span=chunk_span.id if chunk_span else None)
+                            span=span_id)
 
                     def submit_thread(task, attempt, pool_ref=None):
                         inject, delay = injected_faults(task[0], task[1],
@@ -974,7 +1310,8 @@ def parallel_soundness_sweep(
                             (pair_index, chunk_index, flowchart, policy,
                              domain, factory_name, points, fuel, value_cap,
                              inject, delay, chaos.current_plan(),
-                             chunk_span.id if chunk_span else None))
+                             chunk_span.id if chunk_span else None,
+                             batch_family))
                         return process_pool.submit(_run_pair_task, payload)
 
                     try:

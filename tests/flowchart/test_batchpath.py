@@ -1,0 +1,274 @@
+"""The Gen-2 batch tier: row-identical to the interpreter, per lane.
+
+``execute_batch`` drives a whole vector of grid points through one
+compiled structure-of-arrays evaluator.  Its contract is bit-identity
+with the per-point engines: value/steps/touched on success, the same
+typed fault kind on fuel or cap exhaustion, and per-lane retirement to
+the compiled fallback whenever a lane leaves the vectorizable regime
+(hazardous boxes, oversized inputs, guard-exceeding intermediates).
+"""
+
+import os
+
+import pytest
+
+from repro.core.errors import (ArityMismatchError, FuelExhaustedError,
+                               ReproError, ValueCapExceededError)
+from repro.flowchart import library as figure_library
+from repro.flowchart import batchpath
+from repro.flowchart.batchpath import (K_CAP, K_FUEL, K_OK, LANES_ENV,
+                                       batch_stats, clear_batch_caches,
+                                       execute_batch, execute_batch_single,
+                                       resolve_lane_engine)
+from repro.flowchart.expr import BoolConst, Const, var
+from repro.flowchart.fastpath import (BACKENDS, backend_tiers, memo_stats,
+                                      resolve_backend, run_flowchart)
+from repro.flowchart.interpreter import execute
+from repro.flowchart.structured import Assign, StructuredProgram, While
+
+HAVE_NUMPY = resolve_lane_engine("auto") == "numpy"
+
+ENGINES = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+def grid_points(arity, low=-2, high=3):
+    if arity == 0:
+        return [()]
+    points = [(v,) for v in range(low, high + 1)]
+    for _ in range(arity - 1):
+        points = [p + (v,) for p in points for v in range(low, high + 1)]
+    return points
+
+
+def interpreter_row(flowchart, point, fuel, value_cap):
+    try:
+        result = execute(flowchart, point, fuel=fuel, value_cap=value_cap)
+    except FuelExhaustedError:
+        return ("fuel",)
+    except ValueCapExceededError:
+        return ("cap",)
+    return ("ok", result.value, result.steps, result.touched)
+
+
+def batch_row(rows, i):
+    kind = rows.kind(i)
+    if kind == K_FUEL:
+        return ("fuel",)
+    if kind == K_CAP:
+        return ("cap",)
+    return ("ok", rows.value(i), rows.steps(i), rows.touched(i))
+
+
+def assert_rows_match(flowchart, points, fuel, value_cap, engine):
+    rows = execute_batch(flowchart, points, fuel=fuel,
+                         value_cap=value_cap, engine=engine, memo=False)
+    for i, point in enumerate(points):
+        expected = interpreter_row(flowchart, point, fuel, value_cap)
+        actual = batch_row(rows, i)
+        assert actual == expected, (
+            f"{flowchart.name}{point} fuel={fuel} cap={value_cap} "
+            f"engine={engine}: batch {actual} != interpreter {expected}")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestRowIdentity:
+    def test_library_suite_uncapped(self, engine):
+        for flowchart in figure_library.extended_suite():
+            points = grid_points(flowchart.arity)
+            assert_rows_match(flowchart, points, 100_000, None, engine)
+
+    def test_library_suite_tight_fuel(self, engine):
+        # A tight budget retires different lanes at different boxes —
+        # the mixed OK/fuel partition must match point-for-point.
+        for flowchart in figure_library.extended_suite():
+            points = grid_points(flowchart.arity)
+            for fuel in (1, 3, 7):
+                assert_rows_match(flowchart, points, fuel, None, engine)
+
+    def test_library_suite_tight_cap(self, engine):
+        for flowchart in figure_library.extended_suite():
+            points = grid_points(flowchart.arity)
+            for cap in (1, 4):
+                assert_rows_match(flowchart, points, 100_000, cap, engine)
+
+    def test_all_lanes_fault(self, engine):
+        flowchart = figure_library.gcd_program()
+        points = grid_points(2, 1, 6)
+        rows = execute_batch(flowchart, points, fuel=1, engine=engine,
+                             memo=False)
+        assert all(rows.kind(i) == K_FUEL for i in range(len(points)))
+
+
+class TestLaneFallback:
+    def test_oversized_inputs_retire_to_fallback(self):
+        # 2**200 cannot live in an int64 lane; the batch must detect it
+        # up front and re-run those lanes through the compiled engine.
+        flowchart = figure_library.forgetting_program()
+        points = [(1, 2), (1 << 200, 3), (4, 5)]
+        rows = execute_batch(flowchart, points, memo=False)
+        for i, point in enumerate(points):
+            assert batch_row(rows, i) == interpreter_row(
+                flowchart, point, 100_000, None)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy lanes")
+    def test_value_guard_retires_widening_lanes(self):
+        # y squares to just past 2**48 — statically certifiable for
+        # int64 lanes only under an entry invariant around 2**31, so
+        # the runtime guard must catch the widening lanes mid-flight
+        # and retire them to the compiled fallback.
+        squaring = StructuredProgram(
+            ["x1"],
+            [Assign("y", Const(3)),
+             While(var("y").lt(Const(1 << 48)),
+                   [Assign("y", var("y") * var("y"))])],
+            name="batch-widening").compile()
+        points = [(0,), (1,)]
+        rows = execute_batch(squaring, points, engine="numpy", memo=False)
+        assert rows.compiled.engine == "numpy"
+        assert rows.overrides
+        for i, point in enumerate(points):
+            assert batch_row(rows, i) == interpreter_row(
+                squaring, point, 100_000, None)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy lanes")
+    def test_uncertifiable_widths_land_on_python_lanes(self):
+        # A block the width analysis cannot bound inside int64 at any
+        # entry invariant (a 71-bit literal) demotes the whole
+        # flowchart to python lanes rather than risking overflow.
+        wide = StructuredProgram(
+            ["x1"],
+            [Assign("y", var("x1") + Const(1 << 70))],
+            name="batch-wide-const").compile()
+        rows = execute_batch(wide, [(1,), (2,)], engine="numpy",
+                             memo=False)
+        assert rows.compiled.engine == "python"
+        for i, point in enumerate([(1,), (2,)]):
+            assert batch_row(rows, i) == interpreter_row(
+                wide, point, 100_000, None)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy lanes")
+    def test_fallback_counter_increments(self):
+        # Oversized-input fallback is an int64-lane phenomenon; python
+        # lanes take arbitrary ints natively and never fall back here.
+        clear_batch_caches()
+        flowchart = figure_library.forgetting_program()
+        execute_batch(flowchart, [(1 << 200, 1)], engine="numpy",
+                      memo=False)
+        assert batch_stats()["lane_fallbacks"] >= 1
+
+
+class TestEngineResolution:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_lane_engine("bogus")
+
+    def test_env_variable_selects_engine(self, monkeypatch):
+        monkeypatch.setenv(LANES_ENV, "python")
+        assert resolve_lane_engine() == "python"
+        monkeypatch.setenv(LANES_ENV, "bogus")
+        with pytest.raises(ReproError):
+            resolve_lane_engine()
+
+    def test_explicit_engine_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(LANES_ENV, "python")
+        assert resolve_lane_engine("auto") in ("numpy", "python")
+
+    def test_python_engine_never_vectorizes(self):
+        flowchart = figure_library.parity_program()
+        rows = execute_batch(flowchart, [(1,), (2,)], engine="python",
+                             memo=False)
+        assert rows.vector_view() is None
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy lanes")
+    def test_numpy_engine_exposes_vector_view(self):
+        flowchart = figure_library.parity_program()
+        rows = execute_batch(flowchart, [(1,), (2,)], engine="numpy",
+                             memo=False)
+        view = rows.vector_view()
+        assert view is not None
+        np_mod, kinds, values = view
+        assert list(kinds) == [K_OK, K_OK]
+
+
+class TestCachesAndStats:
+    def test_compile_cache_hits(self):
+        clear_batch_caches()
+        flowchart = figure_library.gcd_program()
+        execute_batch(flowchart, [(6, 4)], memo=False)
+        misses = batch_stats()["compile_misses"]
+        execute_batch(flowchart, [(9, 6)], memo=False)
+        stats = batch_stats()
+        assert stats["compile_misses"] == misses
+        assert stats["compile_hits"] >= 1
+
+    def test_rows_memo_round_trip(self):
+        clear_batch_caches()
+        flowchart = figure_library.gcd_program()
+        points = [(6, 4), (9, 6)]
+        first = execute_batch(flowchart, points)
+        again = execute_batch(flowchart, points)
+        assert again is first
+        assert batch_stats()["rows_hits"] >= 1
+
+    def test_memo_stats_exports_batch_keys(self):
+        stats = memo_stats()
+        for key in ("batch_compile_hits", "batch_compile_misses",
+                    "batch_lane_fallbacks", "batch_rows_hits"):
+            assert key in stats
+
+
+class TestTierRegistry:
+    def test_batch_tier_registered(self):
+        assert "batch" in BACKENDS
+        assert "batch" in dict(backend_tiers())
+
+    def test_alias_resolves(self):
+        assert resolve_backend("interp") == "interpreted"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ReproError):
+            resolve_backend("turbo")
+
+    def test_env_selects_batch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "batch")
+        assert resolve_backend() == "batch"
+
+    def test_run_flowchart_batch_backend_matches_interpreter(self):
+        flowchart = figure_library.gcd_program()
+        batch = run_flowchart(flowchart, (6, 4), backend="batch")
+        plain = execute(flowchart, (6, 4))
+        assert (batch.value, batch.steps) == (plain.value, plain.steps)
+
+
+class TestSingleLaneEntry:
+    def test_declared_faults_reraise_with_interpreter_message(self):
+        flowchart = figure_library.gcd_program()
+        with pytest.raises(FuelExhaustedError) as batch_error:
+            execute_batch_single(flowchart, (6, 4), fuel=2)
+        with pytest.raises(FuelExhaustedError) as interp_error:
+            execute(flowchart, (6, 4), fuel=2)
+        assert str(batch_error.value) == str(interp_error.value)
+
+    def test_cap_fault_matches(self):
+        doubling = StructuredProgram(
+            ["x1"],
+            [Assign("y", var("x1") + Const(1)),
+             While(BoolConst(True), [Assign("y", var("y") + var("y"))])],
+            name="batch-cap-single").compile()
+        with pytest.raises(ValueCapExceededError) as batch_error:
+            execute_batch_single(doubling, (1,), value_cap=8)
+        with pytest.raises(ValueCapExceededError) as interp_error:
+            execute(doubling, (1,), value_cap=8)
+        assert batch_error.value.cap == interp_error.value.cap == 8
+
+    def test_arity_checked(self):
+        with pytest.raises(ArityMismatchError):
+            execute_batch_single(figure_library.gcd_program(), (1,))
+        with pytest.raises(ArityMismatchError):
+            execute_batch(figure_library.gcd_program(), [(1,)])
+
+    def test_need_env_exposes_columns(self):
+        flowchart = figure_library.parity_program()
+        rows = execute_batch(flowchart, [(3,)], need_env=True, memo=False)
+        assert rows.env(0) == execute(
+            flowchart, (3,), capture_env=True).env

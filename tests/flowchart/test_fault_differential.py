@@ -1,12 +1,13 @@
-"""Differential fault testing: both engines, one observable outcome.
+"""Differential fault testing: every engine, one observable outcome.
 
 The Observability Postulate makes the *failure mode* part of a
 program's observable behaviour: which typed fault fires (fuel vs cap),
 with which payload, on which input.  These properties drive the
-interpreter and the compiled fastpath over the whole figure library
-plus adversarial value-blowup programs, under randomly drawn fuel and
-cap budgets, and require bit-identical outcomes — value and step count
-on success, fault type and payload on failure.
+interpreter, the compiled fastpath, and the batch tier (both lane
+engines) over the whole figure library plus adversarial value-blowup
+programs, under randomly drawn fuel and cap budgets, and require
+bit-identical outcomes — value and step count on success, fault type
+and payload on failure.
 """
 
 from hypothesis import given, settings
@@ -14,10 +15,17 @@ from hypothesis import strategies as st
 
 from repro.core.errors import FuelExhaustedError, ValueCapExceededError
 from repro.flowchart import library as figure_library
+from repro.flowchart.batchpath import (K_CAP, K_FUEL, execute_batch,
+                                       execute_batch_single,
+                                       resolve_lane_engine)
 from repro.flowchart.expr import BoolConst, Const, var
 from repro.flowchart.fastpath import execute_compiled
 from repro.flowchart.interpreter import execute
 from repro.flowchart.structured import (Assign, StructuredProgram, While)
+
+LANE_ENGINES = (("python", "numpy")
+                if resolve_lane_engine("auto") == "numpy"
+                else ("python",))
 
 
 def _doubling():
@@ -67,9 +75,48 @@ def test_engines_agree_on_every_outcome(data):
     interpreted = outcome(execute, flowchart, inputs, fuel, value_cap)
     compiled = outcome(execute_compiled, flowchart, inputs, fuel,
                        value_cap)
-    assert interpreted == compiled, (
+    batch = outcome(execute_batch_single, flowchart, inputs, fuel,
+                    value_cap)
+    assert interpreted == compiled == batch, (
         f"{flowchart.name}{inputs} fuel={fuel} cap={value_cap}: "
-        f"interpreter {interpreted} != compiled {compiled}")
+        f"interpreter {interpreted} != compiled {compiled} "
+        f"!= batch {batch}")
+
+
+def batch_lane_outcome(rows, i):
+    kind = rows.kind(i)
+    if kind == K_FUEL:
+        return ("fuel", rows.fuel)
+    if kind == K_CAP:
+        return ("cap", rows.cap)
+    return ("ok", rows.value(i), rows.steps(i))
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_batch_lanes_agree_per_point(data):
+    # One whole vector through execute_batch, every lane against the
+    # interpreter: mixed OK/fuel/cap partitions (including vectors
+    # where every lane faults, and vectors where some lanes retire to
+    # the per-lane fallback mid-sweep) must agree point for point, on
+    # both lane engines.
+    flowchart = data.draw(st.sampled_from(PROGRAMS))
+    points = data.draw(st.lists(
+        st.tuples(*[st.integers(-6, 6)] * flowchart.arity),
+        min_size=1, max_size=12), label="points")
+    fuel = data.draw(st.integers(1, 400), label="fuel")
+    value_cap = data.draw(st.one_of(st.none(), st.integers(1, 16)),
+                          label="value_cap")
+    expected = [outcome(execute, flowchart, point, fuel, value_cap)
+                for point in points]
+    for engine in LANE_ENGINES:
+        rows = execute_batch(flowchart, points, fuel=fuel,
+                             value_cap=value_cap, engine=engine,
+                             memo=False)
+        actual = [batch_lane_outcome(rows, i) for i in range(len(points))]
+        assert actual == expected, (
+            f"{flowchart.name} fuel={fuel} cap={value_cap} "
+            f"engine={engine}: {actual} != {expected}")
 
 
 @settings(max_examples=60, deadline=None)

@@ -106,3 +106,113 @@ class TestMain:
         if not (os.path.exists(pr1) and os.path.exists(pr3)):
             pytest.skip("committed BENCH files not present")
         assert bench_compare.main([pr1, pr3, "--threshold", "1.5"]) == 0
+
+
+def with_claims(claims):
+    payload = dict(BASELINE)
+    payload["claims"] = claims
+    return payload
+
+
+class TestClaimsGate:
+    def test_true_to_false_claim_fails_loudly(self, bench_compare,
+                                              tmp_path, capsys):
+        old = write(tmp_path, "old.json",
+                    with_claims({"speedup_holds": True}))
+        new = write(tmp_path, "new.json",
+                    with_claims({"speedup_holds": False}))
+        assert bench_compare.main([old, new]) == 1
+        err = capsys.readouterr().err
+        assert "CLAIM REGRESSED" in err and "speedup_holds" in err
+
+    def test_stable_new_and_recovered_claims_pass(self, bench_compare,
+                                                  tmp_path):
+        old = write(tmp_path, "old.json",
+                    with_claims({"kept": True, "was_false": False}))
+        new = write(tmp_path, "new.json",
+                    with_claims({"kept": True, "was_false": True,
+                                 "brand_new": False}))
+        assert bench_compare.main([old, new]) == 0
+
+    def test_claim_dropped_from_current_does_not_gate(self, bench_compare,
+                                                      tmp_path):
+        # A claim the new file no longer measures (renamed baseline,
+        # retired section) is not a regression — only an explicit
+        # true -> false flip is.
+        old = write(tmp_path, "old.json", with_claims({"retired": True}))
+        new = write(tmp_path, "new.json", with_claims({}))
+        assert bench_compare.main([old, new]) == 0
+
+    def test_helper_ignores_missing_or_malformed_blocks(self,
+                                                        bench_compare):
+        assert bench_compare.claims_regressions({}, {}) == []
+        assert bench_compare.claims_regressions(
+            {"claims": "oops"}, {"claims": {"a": False}}) == []
+        assert bench_compare.claims_regressions(
+            {"claims": {"a": True}}, {"claims": {"a": False}}) == [
+                {"claim": "a", "baseline": True, "current": False}]
+
+    def test_json_output_lists_claim_regressions(self, bench_compare,
+                                                 tmp_path, capsys):
+        old = write(tmp_path, "old.json", with_claims({"a": True}))
+        new = write(tmp_path, "new.json", with_claims({"a": False}))
+        assert bench_compare.main([old, new, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["claim_regressions"] == [
+            {"claim": "a", "baseline": True, "current": False}]
+
+    def test_allow_demotion_waives_named_flip_only(self, bench_compare,
+                                                   tmp_path, capsys):
+        old = write(tmp_path, "old.json",
+                    with_claims({"waived": True, "real": True}))
+        new = write(tmp_path, "new.json",
+                    with_claims({"waived": False, "real": False}))
+        assert bench_compare.main(
+            [old, new, "--allow-demotion", "waived"]) == 1
+        err = capsys.readouterr().err
+        assert "claim demotion waived: waived" in err
+        assert "CLAIM REGRESSED: real" in err
+
+    def test_allow_demotion_alone_exits_zero(self, bench_compare,
+                                             tmp_path, capsys):
+        old = write(tmp_path, "old.json", with_claims({"waived": True}))
+        new = write(tmp_path, "new.json", with_claims({"waived": False}))
+        assert bench_compare.main(
+            [old, new, "--json", "--allow-demotion", "waived"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["claim_regressions"] == []
+        assert payload["claim_demotions_waived"] == [
+            {"claim": "waived", "baseline": True, "current": False}]
+
+
+class TestCommittedLadder:
+    """The exact bench_compare ladder CI runs must pass from a checkout."""
+
+    ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+    def run_step(self, bench_compare, old, new, extra=()):
+        old = os.path.join(self.ROOT, old)
+        new = os.path.join(self.ROOT, new)
+        if not (os.path.exists(old) and os.path.exists(new)):
+            pytest.skip("committed BENCH files not present")
+        return bench_compare.main([old, new, "--threshold", "1.5", *extra])
+
+    def test_pr3_to_pr4(self, bench_compare, capsys):
+        assert self.run_step(bench_compare, "BENCH_PR3.json",
+                             "BENCH_PR4.json") == 0
+
+    def test_pr4_to_pr5_needs_the_documented_waiver(self, bench_compare,
+                                                    capsys):
+        # PR5 recorded telemetry_..._vs_pr3 as false because its
+        # baseline was two PRs stale (its own notes say so); CI waives
+        # exactly that key and nothing else.
+        assert self.run_step(bench_compare, "BENCH_PR4.json",
+                             "BENCH_PR5.json") == 1
+        assert self.run_step(
+            bench_compare, "BENCH_PR4.json", "BENCH_PR5.json",
+            ["--allow-demotion",
+             "telemetry_noop_overhead_under_3pct_vs_pr3"]) == 0
+
+    def test_pr5_to_pr6(self, bench_compare, capsys):
+        assert self.run_step(bench_compare, "BENCH_PR5.json",
+                             "BENCH_PR6.json") == 0

@@ -585,3 +585,68 @@ class TestSweepRobustness:
         # Poisoned point 1 is evaluated once per policy pair (parity
         # has two allow policies), so it quarantines twice.
         assert "2 point(s) quarantined" in out
+
+
+class TestSweepBatchBackend:
+    """The Gen-2 batch tier from the command line."""
+
+    ARGS = ["sweep", "--programs", "parity,forgetting",
+            "--executor", "serial", "--mechanism", "program"]
+
+    def test_backend_listed_in_choices(self, capsys):
+        code = main(["sweep", "--programs", "parity",
+                     "--backend", "warp"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'warp'" in err
+        assert "batch" in err  # the registry's tiers are listed
+
+    def test_batch_rows_match_default_backend(self, tmp_path, capsys):
+        plain = tmp_path / "plain.json"
+        batch = tmp_path / "batch.json"
+        assert main(self.ARGS + ["--results-json", str(plain)]) == 0
+        assert main(self.ARGS + ["--backend", "batch",
+                                 "--results-json", str(batch)]) == 0
+        capsys.readouterr()
+
+        def strip(rows):
+            return [{key: value for key, value in row.items()
+                     if key != "backends"} for row in rows]
+
+        plain_rows = json.loads(plain.read_text())
+        batch_rows = json.loads(batch.read_text())
+        assert strip(plain_rows) == strip(batch_rows)
+        # The journal of record: which tier actually evaluated each
+        # pair, after any degradation.
+        assert all(set(row["backends"]) == {"batch"}
+                   for row in batch_rows)
+        assert all(set(row["backends"]) == {"compiled"}
+                   for row in plain_rows)
+
+    def test_batch_checkpoint_round_trips(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ck.jsonl"
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(self.ARGS + ["--backend", "batch",
+                                 "--chunk-size", "3",
+                                 "--checkpoint", str(checkpoint),
+                                 "--results-json", str(first)]) == 0
+        assert main(self.ARGS + ["--backend", "batch",
+                                 "--chunk-size", "3",
+                                 "--checkpoint", str(checkpoint),
+                                 "--resume",
+                                 "--results-json", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_text() == second.read_text()
+        assert main(["metrics", "--validate", str(checkpoint)]) == 0
+
+    def test_metrics_snapshot_carries_batch_gauges(self, tmp_path,
+                                                   capsys):
+        snapshot = tmp_path / "metrics.json"
+        assert main(self.ARGS + ["--backend", "batch",
+                                 "--metrics-json", str(snapshot)]) == 0
+        capsys.readouterr()
+        payload = json.loads(snapshot.read_text())
+        assert payload["meta"]["backend"] == "batch"
+        gauges = payload.get("gauges", {})
+        assert any(name.startswith("batch.") for name in gauges)

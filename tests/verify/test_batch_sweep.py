@@ -1,0 +1,172 @@
+"""Sweeps under ``backend="batch"``: same rows, chunk-level dispatch.
+
+The batch tier changes *how* a sweep chunk is evaluated (one
+structure-of-arrays call instead of a per-point loop), never *what* it
+computes: every test here pins the batch sweep's rows to the per-point
+sweep's, across families, budgets, executors, lane engines, chaos
+plans, and checkpoint resume — and checks that the backend that
+actually evaluated each pair is recorded.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core import ProductDomain
+from repro.core.errors import ReproError, SweepInterruptedError
+from repro.flowchart import library as figure_library
+from repro.flowchart.batchpath import LANES_ENV
+from repro.verify import FaultPlan, chaos, parallel_soundness_sweep
+from repro.verify.checkpoint import load_checkpoint
+
+PROGRAMS = [figure_library.forgetting_program(),
+            figure_library.parity_program()]
+
+
+def grid(arity):
+    return ProductDomain.integer_grid(0, 2, arity)
+
+
+def rows(results):
+    return [(r.program_name, r.policy_name, r.sound, r.accepts)
+            for r in results]
+
+
+def sweep(family="program", backend=None, programs=None, **kwargs):
+    kwargs.setdefault("grid", grid)
+    kwargs.setdefault("executor", "serial")
+    return parallel_soundness_sweep(programs or PROGRAMS, family,
+                                    backend=backend, **kwargs)
+
+
+class TestRowParity:
+    @pytest.mark.parametrize("family", ["program", "surveillance"])
+    def test_batch_rows_match_per_point_rows(self, family):
+        assert rows(sweep(family, "batch")) == rows(sweep(family))
+
+    @pytest.mark.parametrize("family", ["program", "surveillance"])
+    def test_all_fault_sweep_matches(self, family):
+        # fuel=1 makes every point fault: the batch summary must carry
+        # the same distinguished fuel notice per class as the per-point
+        # walk does.
+        assert (rows(sweep(family, "batch", fuel=1))
+                == rows(sweep(family, fuel=1)))
+
+    @pytest.mark.parametrize("family", ["program", "surveillance"])
+    def test_capped_sweep_matches(self, family):
+        assert (rows(sweep(family, "batch", value_cap=4))
+                == rows(sweep(family, value_cap=4)))
+
+    def test_python_lanes_match(self, monkeypatch):
+        monkeypatch.setenv(LANES_ENV, "python")
+        assert rows(sweep("program", "batch")) == rows(sweep("program"))
+        assert (rows(sweep("surveillance", "batch"))
+                == rows(sweep("surveillance")))
+
+    def test_chunked_and_pooled_executors_match(self):
+        baseline = rows(sweep("program"))
+        assert rows(sweep("program", "batch", chunk_size=3)) == baseline
+        assert rows(sweep("program", "batch", executor="thread",
+                          max_workers=2, chunk_size=3)) == baseline
+
+    def test_gcd_wide_grid_matches(self):
+        programs = [figure_library.gcd_program()]
+        wide = lambda arity: ProductDomain.integer_grid(1, 6, arity)
+        assert (rows(sweep("program", "batch", programs=programs,
+                           grid=wide))
+                == rows(sweep("program", programs=programs, grid=wide)))
+
+    def test_timed_family_has_no_batch_path_but_still_sweeps(self):
+        # Families outside the batch allowlist quietly stay per-point.
+        result = sweep("timed", "batch")
+        assert rows(result) == rows(sweep("timed"))
+        assert all(set(r.backends) == {"compiled"} for r in result)
+
+
+class TestBackendAccounting:
+    def test_batch_chunks_recorded(self):
+        for result in sweep("program", "batch", chunk_size=3):
+            assert set(result.backends) == {"batch"}
+            assert sum(result.backends.values()) >= 1
+
+    def test_per_point_sweep_records_its_tier(self):
+        for result in sweep("program", "compiled"):
+            assert set(result.backends) == {"compiled"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError):
+            sweep("program", "warp")
+
+
+class TestChaosAndQuarantine:
+    def test_poisoned_point_quarantined_identically(self):
+        # A chaos poison point crashes its chunk; quarantine bisects it
+        # per-point regardless of backend, so the verdicts match the
+        # per-point run and the surviving chunks are labelled with the
+        # tier that actually re-evaluated them.
+        plan = FaultPlan(seed=3, poison_points=((1, 2),))
+        chaos.install(plan)
+        try:
+            batch_results = sweep("program", "batch")
+        finally:
+            chaos.clear()
+        chaos.install(plan)
+        try:
+            plain_results = sweep("program")
+        finally:
+            chaos.clear()
+        assert rows(batch_results) == rows(plain_results)
+        backends = set()
+        for result in batch_results:
+            backends |= set(result.backends)
+        assert "compiled" in backends  # the degraded pair is visible
+
+
+class TestCheckpointResume:
+    def test_interrupt_and_resume_under_batch(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        baseline = rows(sweep("program", chunk_size=3))
+
+        with pytest.raises(SweepInterruptedError):
+            sweep("program", "batch", chunk_size=3, checkpoint=path,
+                  stop=lambda: "signal")
+        resumed = sweep("program", "batch", chunk_size=3,
+                        checkpoint=path, resume=True)
+        assert rows(resumed) == baseline
+
+        _, summaries, _ = load_checkpoint(path)
+        assert summaries  # something was journalled across the two runs
+        assert {summary.backend for summary in summaries.values()} == {
+            "batch"}
+
+    def test_resume_across_backends_is_legitimate(self, tmp_path):
+        # Rows are backend-independent, so a journal written per-point
+        # may finish under batch (and vice versa) with identical rows.
+        path = str(tmp_path / "ck.jsonl")
+        with pytest.raises(SweepInterruptedError):
+            sweep("program", chunk_size=3, checkpoint=path,
+                  stop=lambda: "signal")
+        resumed = sweep("program", "batch", chunk_size=3,
+                        checkpoint=path, resume=True)
+        assert rows(resumed) == rows(sweep("program", chunk_size=3))
+
+
+class TestObservability:
+    def test_batch_events_emitted(self):
+        from repro.flowchart.batchpath import clear_batch_caches
+
+        clear_batch_caches()
+        ring = obs.RingBufferSink()
+        with obs.observed(sinks=[ring], reset=True):
+            sweep("program", "batch")
+        compiled = ring.events("batch_compiled")
+        assert compiled and all(event["engine"] in ("numpy", "python")
+                                for event in compiled)
+
+    def test_explain_mode_degrades_to_per_point(self):
+        # --explain replays per-point provenance; the batch path would
+        # skip the instrumented per-point run, so explain wins.
+        ring = obs.RingBufferSink()
+        with obs.observed(sinks=[ring], reset=True, explain=True):
+            results = sweep("surveillance", "batch")
+        assert rows(results) == rows(sweep("surveillance"))
+        assert ring.events("explanation")
