@@ -7,12 +7,15 @@ figure library × every allow policy × an integer grid, prints the
 ladder table, and writes the machine-readable report.
 
 Exits nonzero if any (program, policy) pair is *statically certified*
-while the exhaustive semantic soundness check rejects it — the harness's
-standing soundness obligation, enforced in CI.
+while its family's semantic soundness reference rejects it — the
+harness's standing soundness obligation, enforced in CI.  With
+``--baseline PRIOR.json`` it additionally fails when any per-family
+accepted-pair count shrinks relative to the prior report (a precision
+regression gate).
 
 Usage:
     PYTHONPATH=src python scripts/precision_report.py \
-        [--low N] [--high N] [--out PATH]
+        [--low N] [--high N] [--out PATH] [--baseline PATH]
 """
 
 from __future__ import annotations
@@ -28,7 +31,32 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis import precision_harness  # noqa: E402
 from repro.core import ProductDomain  # noqa: E402
-from repro.flowchart.library import extended_suite  # noqa: E402
+from repro.flowchart.library import (dynamic_policy_suite,  # noqa: E402
+                                     extended_suite)
+
+
+def compare_with_baseline(current: dict, baseline: dict) -> list:
+    """Regression gate: problems vs a prior PRECISION.json, or []."""
+    problems = []
+    current_totals = current["totals"]
+    baseline_totals = baseline["totals"]
+    if current_totals["unsound_static_accepts"]:
+        problems.append(
+            f"{current_totals['unsound_static_accepts']} unsound static "
+            f"accept(s) (baseline has "
+            f"{baseline_totals['unsound_static_accepts']})")
+    current_families = current_totals.get("families", {})
+    for family, row in baseline_totals.get("families", {}).items():
+        now = current_families.get(family)
+        if now is None:
+            problems.append(f"family {family!r} disappeared from the report")
+            continue
+        for key in ("pairs", "static_certified", "dynamic_accepts"):
+            if now[key] < row[key]:
+                problems.append(
+                    f"family {family!r}: {key} shrank "
+                    f"{row[key]} -> {now[key]}")
+    return problems
 
 
 def main(argv=None) -> int:
@@ -39,11 +67,15 @@ def main(argv=None) -> int:
                         help="grid upper bound (default 2)")
     parser.add_argument("--out", default=str(REPO_ROOT / "PRECISION.json"),
                         help="output path (default: PRECISION.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="prior PRECISION.json to gate against "
+                             "(fail on unsound accepts or shrinking "
+                             "per-family accepted counts)")
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
     report = precision_harness(
-        extended_suite(),
+        list(extended_suite()) + list(dynamic_policy_suite()),
         grid=lambda arity: ProductDomain.integer_grid(
             args.low, args.high, arity))
     elapsed = time.perf_counter() - started
@@ -62,10 +94,20 @@ def main(argv=None) -> int:
     unsound = report.unsound_pairs()
     if unsound:
         print(f"SOUNDNESS VIOLATION: {len(unsound)} statically-certified "
-              f"pair(s) the exhaustive check rejects:", file=sys.stderr)
+              f"pair(s) the semantic reference rejects:", file=sys.stderr)
         for pair in unsound:
             print(f"  {pair!r}", file=sys.stderr)
         return 1
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        problems = compare_with_baseline(payload, baseline)
+        if problems:
+            print("PRECISION REGRESSION vs baseline:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"baseline gate passed ({args.baseline})")
     return 0
 
 

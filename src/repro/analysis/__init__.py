@@ -15,6 +15,8 @@ Surface: ``repro lint`` on the CLI; :func:`lint_flowchart` /
 """
 
 from .diagnostics import Diagnostic, LintReport, Severity
+from .epochs import (DynamicPolicyPass, EpochInfluenceAnalysis,
+                     epoch_influence_analysis, epoch_verdict)
 from .influence import (EMPTY, InfluenceAnalysis, Label, StaticVerdict,
                         influence_analysis, static_verdict)
 from .manager import (AnalysisContext, AnalysisPass, PassManager,
@@ -25,6 +27,8 @@ from .passes import (DeadAssignmentPass, DivisionByZeroPass, InfluencePass,
 from .precision import (PairPrecision, PrecisionReport, pair_precision,
                         precision_harness)
 from .timing import TimingChannelPass, arm_steps
+from .unwinding import (UnwindingPass, UnwindingResult, UnwindingViolation,
+                        unwinding_check)
 
 __all__ = [
     "AnalysisContext",
@@ -32,7 +36,9 @@ __all__ = [
     "DeadAssignmentPass",
     "Diagnostic",
     "DivisionByZeroPass",
+    "DynamicPolicyPass",
     "EMPTY",
+    "EpochInfluenceAnalysis",
     "InfluenceAnalysis",
     "InfluencePass",
     "Label",
@@ -45,8 +51,13 @@ __all__ = [
     "TimingChannelPass",
     "UninitializedReadPass",
     "UnreachableCodePass",
+    "UnwindingPass",
+    "UnwindingResult",
+    "UnwindingViolation",
     "arm_steps",
     "default_passes",
+    "epoch_influence_analysis",
+    "epoch_verdict",
     "influence_analysis",
     "lint_flowchart",
     "pair_precision",

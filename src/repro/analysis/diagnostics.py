@@ -67,8 +67,12 @@ class Diagnostic:
 
 
 def _sort_key(diagnostic: Diagnostic):
+    # pass_name is the final tiebreak: two passes can legitimately emit
+    # the same (code, node) pair, and without it the report order would
+    # depend on pass registration order — nondeterministic across
+    # custom managers.
     return (-int(diagnostic.severity), diagnostic.code,
-            str(diagnostic.node or ""))
+            str(diagnostic.node or ""), diagnostic.pass_name)
 
 
 class LintReport:
@@ -77,11 +81,16 @@ class LintReport:
     def __init__(self, flowchart_name: str,
                  diagnostics: List[Diagnostic],
                  pass_seconds: Dict[str, float],
-                 policy_name: Optional[str] = None) -> None:
+                 policy_name: Optional[str] = None,
+                 pass_stats: Optional[Dict[str, dict]] = None) -> None:
         self.flowchart_name = flowchart_name
         self.diagnostics = sorted(diagnostics, key=_sort_key)
         self.pass_seconds = dict(pass_seconds)
         self.policy_name = policy_name
+        # Canonical (name-sorted) per-pass stats: wall time plus, for
+        # fixpoint passes, iteration counts / explored state counts.
+        self.pass_stats = {name: dict((pass_stats or {})[name])
+                           for name in sorted(pass_stats or {})}
 
     def by_severity(self, severity: Severity) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.severity == severity]
@@ -116,6 +125,7 @@ class LintReport:
             "counts": self.counts(),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "pass_seconds": self.pass_seconds,
+            "pass_stats": self.pass_stats,
         }
 
     def render(self) -> str:

@@ -40,6 +40,8 @@ class AnalysisContext:
         self._control_dependencies = None
         self._influence: Optional[InfluenceAnalysis] = None
         self._predecessors = None
+        self._epoch_influence = None
+        self._unwinding = None
 
     def dominators(self) -> Dict[NodeId, FrozenSet[NodeId]]:
         if self._dominators is None:
@@ -65,6 +67,26 @@ class AnalysisContext:
         if self._predecessors is None:
             self._predecessors = self.flowchart.predecessors()
         return self._predecessors
+
+    def epoch_influence(self):
+        """Epoch-aware influence fixpoint (requires a policy)."""
+        if self._epoch_influence is None:
+            if self.policy is None:
+                raise ValueError(
+                    "epoch influence analysis requires a policy")
+            from .epochs import epoch_influence_analysis
+            self._epoch_influence = epoch_influence_analysis(
+                self.flowchart, self.policy.allowed)
+        return self._epoch_influence
+
+    def unwinding(self):
+        """Exact-state unwinding check (requires a policy)."""
+        if self._unwinding is None:
+            if self.policy is None:
+                raise ValueError("the unwinding check requires a policy")
+            from .unwinding import unwinding_check
+            self._unwinding = unwinding_check(self.flowchart, self.policy)
+        return self._unwinding
 
 
 class AnalysisPass:
@@ -110,6 +132,7 @@ class PassManager:
         context = AnalysisContext(flowchart, policy)
         diagnostics: List[Diagnostic] = []
         pass_seconds: Dict[str, float] = {}
+        pass_stats: Dict[str, Dict[str, object]] = {}
         lint_span = _obs.span_begin("lint", program=flowchart.name,
                                     policy=policy.name if policy else None)
         for analysis_pass in self.passes:
@@ -123,6 +146,17 @@ class PassManager:
             elapsed = time.perf_counter() - started
             diagnostics.extend(found)
             pass_seconds[analysis_pass.name] = elapsed
+            stats: Dict[str, object] = {"seconds": elapsed,
+                                        "diagnostics": len(found)}
+            # Fixpoint passes expose their convergence cost after run();
+            # fold it into the per-pass stats the JSON report carries.
+            iterations = getattr(analysis_pass, "iterations", None)
+            if iterations is not None:
+                stats["iterations"] = iterations
+            states = getattr(analysis_pass, "states_explored", None)
+            if states is not None:
+                stats["states_explored"] = states
+            pass_stats[analysis_pass.name] = stats
             if _obs.active:
                 _obs.inc("lint.passes")
                 _obs.inc("lint.diagnostics", len(found))
@@ -143,7 +177,8 @@ class PassManager:
             _obs.inc("lint.runs")
         _obs.span_finish(lint_span, diagnostics=len(diagnostics))
         return LintReport(flowchart.name, diagnostics, pass_seconds,
-                          policy_name=policy.name if policy else None)
+                          policy_name=policy.name if policy else None,
+                          pass_stats=pass_stats)
 
 
 def lint_flowchart(flowchart: Flowchart,

@@ -8,7 +8,22 @@ code      severity  meaning
 FLOW001   error     static influence verdict: output may depend on a
                     disallowed input (per offending halt box)
 FLOW002   info      static influence verdict: certified (output label
-                    within the policy)
+                    within the policy) — emitted by the plain influence
+                    pass on fixed-policy flowcharts and by the epoch
+                    pass on dynamic-policy ones
+DYN001    error     epoch verdict: a flow completes under an in-force
+                    policy that does not admit its influence (see
+                    :mod:`repro.analysis.epochs`)
+DYN002    warning   a flow licensed at write time is retroactively
+                    disallowed by a later policy change
+DYN003    info      a halt is reachable under several distinct in-force
+                    policies (epoch-ambiguous observation point)
+INT000    info      unwinding conditions verified; data records the
+                    explored state-space size and iteration count
+INT001    error     unwinding: local respect fails at an observation
+                    point (see :mod:`repro.analysis.unwinding`)
+INT002    warning   unwinding: a downgrade occurrence is conditioned on
+                    secrets outside the policy and the admitted edge
 TIME001   warning   decision on disallowed data whose arms have unequal
                     static step counts (Theorem 3's observable-time
                     caveat) — see :mod:`repro.analysis.timing`
@@ -50,8 +65,17 @@ class InfluencePass(AnalysisPass):
     name = "influence"
     requires_policy = True
 
+    def __init__(self) -> None:
+        self.iterations: Optional[int] = None
+
     def run(self, context: AnalysisContext) -> List[Diagnostic]:
+        if context.flowchart.has_dynamic_policy():
+            # A single-policy verdict is unsound once the policy can
+            # change mid-program (a later `policy allow(...)` may
+            # tighten it); the epoch pass owns certification there.
+            return []
         analysis = context.influence()
+        self.iterations = analysis.iterations
         verdict = analysis.verdict(context.policy)
         if verdict.certified:
             return [Diagnostic(
@@ -302,8 +326,13 @@ class DivisionByZeroPass(AnalysisPass):
 
 def default_passes() -> List[AnalysisPass]:
     """The standard flowlint pass set, in execution order."""
+    from .epochs import DynamicPolicyPass
+    from .unwinding import UnwindingPass
+
     return [
         InfluencePass(),
+        DynamicPolicyPass(),
+        UnwindingPass(),
         TimingChannelPass(),
         UninitializedReadPass(),
         UnreachableCodePass(),

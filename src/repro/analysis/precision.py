@@ -26,6 +26,17 @@ verdict must never certify a pair the exhaustive semantic check
 rejects — :meth:`PrecisionReport.unsound_pairs` must be empty.  The
 completeness gap is everything else: pairs where the ladder's lower
 rungs reject inputs the upper rungs accept.
+
+Pair *families*: classic pairs (no dynamic-policy boxes) keep the
+ladder above verbatim.  ``policy-change`` and ``downgrader`` pairs use
+the epoch-aware verdict (:mod:`repro.analysis.epochs`) as their static
+rung and the *dynamic surveillance monitor* as their semantic soundness
+reference — the fixed-policy NI baseline (``exhaustive_sound``) is
+still reported but no longer arbitrates ``unsound_static``, because an
+admitted intransitive downgrade *intentionally* violates NI while being
+exactly the behaviour the dynamic policy licenses.  Downgrader pairs
+additionally record the unwinding checker's explored state-space size
+and iteration count.
 """
 
 from __future__ import annotations
@@ -47,13 +58,18 @@ class PairPrecision:
 
     __slots__ = ("program_name", "policy_name", "domain_size",
                  "static_certified", "cfg_certified", "dynamic_accepts",
-                 "highwater_accepts", "maximal_accepts", "exhaustive_sound")
+                 "highwater_accepts", "maximal_accepts", "exhaustive_sound",
+                 "family", "unwinding_certified", "unwinding_states",
+                 "unwinding_iterations")
 
     def __init__(self, program_name: str, policy_name: str,
                  domain_size: int, static_certified: bool,
                  cfg_certified: bool, dynamic_accepts: int,
                  highwater_accepts: int, maximal_accepts: int,
-                 exhaustive_sound: bool) -> None:
+                 exhaustive_sound: bool, family: str = "classic",
+                 unwinding_certified: Optional[bool] = None,
+                 unwinding_states: Optional[int] = None,
+                 unwinding_iterations: Optional[int] = None) -> None:
         self.program_name = program_name
         self.policy_name = policy_name
         self.domain_size = domain_size
@@ -63,6 +79,10 @@ class PairPrecision:
         self.highwater_accepts = highwater_accepts
         self.maximal_accepts = maximal_accepts
         self.exhaustive_sound = exhaustive_sound
+        self.family = family
+        self.unwinding_certified = unwinding_certified
+        self.unwinding_states = unwinding_states
+        self.unwinding_iterations = unwinding_iterations
 
     @property
     def static_accepts(self) -> int:
@@ -75,9 +95,20 @@ class PairPrecision:
 
     @property
     def unsound_static(self) -> bool:
-        """True would be a soundness bug: static accepted, semantics reject."""
+        """True would be a soundness bug: static accepted, semantics reject.
+
+        Family-dependent semantic reference: classic pairs use the NI
+        baseline (``exhaustive_sound``); dynamic-policy pairs use the
+        surveillance monitor itself, since admitted declassification
+        violates NI by design — there, unsoundness means the static
+        verdict certified a pair whose monitor still fires on some
+        input.
+        """
+        if self.family == "classic":
+            return ((self.static_certified or self.cfg_certified)
+                    and not self.exhaustive_sound)
         return ((self.static_certified or self.cfg_certified)
-                and not self.exhaustive_sound)
+                and self.dynamic_accepts < self.domain_size)
 
     @property
     def static_gap(self) -> int:
@@ -90,9 +121,10 @@ class PairPrecision:
         return self.maximal_accepts - self.dynamic_accepts
 
     def to_dict(self) -> dict:
-        return {
+        row = {
             "program": self.program_name,
             "policy": self.policy_name,
+            "family": self.family,
             "domain_size": self.domain_size,
             "static_certified": self.static_certified,
             "cfg_certified": self.cfg_certified,
@@ -106,9 +138,15 @@ class PairPrecision:
             "static_gap": self.static_gap,
             "dynamic_gap": self.dynamic_gap,
         }
+        if self.unwinding_certified is not None:
+            row["unwinding_certified"] = self.unwinding_certified
+            row["unwinding_states"] = self.unwinding_states
+            row["unwinding_iterations"] = self.unwinding_iterations
+        return row
 
     def __repr__(self) -> str:
-        return (f"PairPrecision({self.program_name}, {self.policy_name}: "
+        return (f"PairPrecision({self.program_name}, {self.policy_name} "
+                f"[{self.family}]: "
                 f"static={self.static_accepts} cfg={self.cfg_accepts} "
                 f"dyn={self.dynamic_accepts} max={self.maximal_accepts}"
                 f"/{self.domain_size})")
@@ -125,13 +163,37 @@ class PrecisionReport:
         return [pair for pair in self.pairs if pair.unsound_static]
 
     def false_positives(self) -> Dict[str, int]:
-        """Pairs each static verdict rejects although Q is sound as-is."""
+        """Pairs each static verdict rejects although Q is sound as-is.
+
+        Classic pairs only: the NI baseline is not the semantic
+        reference for dynamic-policy families, so counting their
+        rejections here would mislabel intentional declassification.
+        """
+        classic = [p for p in self.pairs if p.family == "classic"]
         return {
-            "influence": sum(1 for p in self.pairs
+            "influence": sum(1 for p in classic
                              if p.exhaustive_sound and not p.static_certified),
-            "cfg": sum(1 for p in self.pairs
+            "cfg": sum(1 for p in classic
                        if p.exhaustive_sound and not p.cfg_certified),
         }
+
+    def families(self) -> Dict[str, dict]:
+        """Per-family pair counts and acceptance totals (CI gate input)."""
+        summary: Dict[str, dict] = {}
+        for pair in self.pairs:
+            row = summary.setdefault(pair.family, {
+                "pairs": 0, "static_certified": 0, "dynamic_accepts": 0,
+                "domain_points": 0, "unsound_static": 0,
+                "unwinding_states": 0, "unwinding_iterations": 0,
+            })
+            row["pairs"] += 1
+            row["static_certified"] += int(pair.static_certified)
+            row["dynamic_accepts"] += pair.dynamic_accepts
+            row["domain_points"] += pair.domain_size
+            row["unsound_static"] += int(pair.unsound_static)
+            row["unwinding_states"] += pair.unwinding_states or 0
+            row["unwinding_iterations"] += pair.unwinding_iterations or 0
+        return summary
 
     def per_program(self) -> Dict[str, dict]:
         summary: Dict[str, dict] = {}
@@ -157,6 +219,7 @@ class PrecisionReport:
             "pairs": len(self.pairs),
             "unsound_static_accepts": len(self.unsound_pairs()),
             "false_positives": self.false_positives(),
+            "families": self.families(),
             "static_accepts": sum(p.static_accepts for p in self.pairs),
             "cfg_accepts": sum(p.cfg_accepts for p in self.pairs),
             "dynamic_accepts": sum(p.dynamic_accepts for p in self.pairs),
@@ -178,11 +241,11 @@ class PrecisionReport:
 
         table = Table(
             "precision ladder: accepted inputs per enforcement mechanism",
-            ["program", "policy", "static", "cfg", "dynamic", "highwater",
-             "maximal", "|D|", "Q sound"])
+            ["program", "policy", "family", "static", "cfg", "dynamic",
+             "highwater", "maximal", "|D|", "Q sound"])
         for pair in self.pairs:
             table.add_row(
-                pair.program_name, pair.policy_name,
+                pair.program_name, pair.policy_name, pair.family,
                 str(pair.static_accepts), str(pair.cfg_accepts),
                 str(pair.dynamic_accepts), str(pair.highwater_accepts),
                 str(pair.maximal_accepts), str(pair.domain_size),
@@ -194,6 +257,15 @@ class PrecisionReport:
                  f"static false positives: "
                  f"{totals['false_positives']['influence']} influence / "
                  f"{totals['false_positives']['cfg']} cfg"]
+        for family, row in sorted(self.families().items()):
+            line = (f"  family {family}: {row['pairs']} pairs, "
+                    f"{row['static_certified']} statically certified, "
+                    f"{row['dynamic_accepts']}/{row['domain_points']} "
+                    f"dynamic accepts")
+            if row["unwinding_states"]:
+                line += (f", unwinding {row['unwinding_states']} states / "
+                         f"{row['unwinding_iterations']} iterations")
+            lines.append(line)
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -215,8 +287,28 @@ def pair_precision(flowchart: Flowchart, policy, domain,
                                               fuel=fuel).value
                   for point in domain}
 
-    analysis = influence_analysis(flowchart)
-    static = analysis.verdict(policy).certified
+    if flowchart.downgrade_ids():
+        family = "downgrader"
+    elif flowchart.policy_change_ids():
+        family = "policy-change"
+    else:
+        family = "classic"
+
+    unwinding_certified = unwinding_states = unwinding_iterations = None
+    if family == "classic":
+        analysis = influence_analysis(flowchart)
+        static = analysis.verdict(policy).certified
+    else:
+        # The single-policy influence verdict is unsound under a
+        # mid-program policy change; the epoch verdict owns the static
+        # rung for dynamic families.
+        from .epochs import epoch_verdict
+        from .unwinding import unwinding_check
+        static = epoch_verdict(flowchart, policy).certified
+        unwinding = unwinding_check(flowchart, policy)
+        unwinding_certified = unwinding.certified
+        unwinding_states = unwinding.states_explored
+        unwinding_iterations = unwinding.iterations
     cfg = certify_flowchart(flowchart, policy).certified
 
     dynamic_accepts = 0
@@ -243,17 +335,25 @@ def pair_precision(flowchart: Flowchart, policy, domain,
 
     return PairPrecision(flowchart.name, policy.name, len(domain),
                          static, cfg, dynamic_accepts, highwater_accepts,
-                         maximal_accepts, exhaustive_sound)
+                         maximal_accepts, exhaustive_sound, family=family,
+                         unwinding_certified=unwinding_certified,
+                         unwinding_states=unwinding_states,
+                         unwinding_iterations=unwinding_iterations)
 
 
 def precision_harness(flowcharts: Optional[Sequence[Flowchart]] = None,
                       grid: Optional[Callable[[int], ProductDomain]] = None,
                       fuel: int = DEFAULT_FUEL) -> PrecisionReport:
-    """The full ladder over the figure library × every allow policy."""
-    if flowcharts is None:
-        from ..flowchart.library import extended_suite
+    """The full ladder over the figure library × every allow policy.
 
-        flowcharts = extended_suite()
+    The default program set is the extended figure library plus the
+    dynamic-policy suite (the ``policy-change`` and ``downgrader``
+    families).
+    """
+    if flowcharts is None:
+        from ..flowchart.library import dynamic_policy_suite, extended_suite
+
+        flowcharts = list(extended_suite()) + list(dynamic_policy_suite())
     grid = grid or default_grid
 
     pairs: List[PairPrecision] = []

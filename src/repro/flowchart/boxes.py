@@ -11,7 +11,7 @@ by :class:`repro.flowchart.program.Flowchart`.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet, Iterable, Optional, Tuple
 
 from ..core.errors import FlowchartError
 from .expr import Expr, Pred
@@ -118,3 +118,75 @@ class HaltBox(Box):
 
     def __repr__(self) -> str:
         return "HaltBox()"
+
+
+class PolicyChangeBox(Box):
+    """Installs a new policy mid-program, opening a new policy *epoch*.
+
+    ``allowed`` is the set of 1-based input indices the new policy
+    admits; passing control through this box replaces the policy in
+    force for every subsequent surveillance check (van Delft/Hunt/
+    Sands: a flow is judged by the policy in force when it
+    *completes*, not the one under which it was written).
+    """
+
+    __slots__ = ("allowed", "next")
+
+    def __init__(self, allowed: Iterable[int], next: NodeId) -> None:
+        indices = tuple(sorted(set(int(i) for i in allowed)))
+        if any(i < 1 for i in indices):
+            raise FlowchartError(
+                f"policy change admits non-positive input index: {indices}"
+            )
+        self.allowed: Tuple[int, ...] = indices
+        self.next = next
+
+    def successors(self) -> Tuple[NodeId, ...]:
+        return (self.next,)
+
+    def __repr__(self) -> str:
+        return f"PolicyChangeBox(allow{self.allowed} -> {self.next})"
+
+
+class DowngradeBox(Box):
+    """A designated declassifier: strips surveillance indices from one
+    variable's label along an admitted intransitive edge.
+
+    ``variable`` is relabeled by removing ``indices`` (1-based input
+    positions) from its surveillance label.  The value is untouched —
+    only the label changes, which is exactly what makes the node the
+    locus of the intransitive-noninterference unwinding obligations
+    (Eggert et al.): the *occurrence* of the downgrade must not itself
+    leak (step consistency), and secrets may reach the observer only
+    through such an edge (local respect).
+    """
+
+    __slots__ = ("variable", "indices", "next")
+
+    def __init__(self, variable: str, indices: Iterable[int],
+                 next: NodeId) -> None:
+        if not variable or not isinstance(variable, str):
+            raise FlowchartError(f"bad downgrade variable {variable!r}")
+        cleaned = tuple(sorted(set(int(i) for i in indices)))
+        if not cleaned:
+            raise FlowchartError("downgrade must name at least one index")
+        if any(i < 1 for i in cleaned):
+            raise FlowchartError(
+                f"downgrade names non-positive input index: {cleaned}"
+            )
+        self.variable = variable
+        self.indices: Tuple[int, ...] = cleaned
+        self.next = next
+
+    def successors(self) -> Tuple[NodeId, ...]:
+        return (self.next,)
+
+    def read_variables(self) -> FrozenSet[str]:
+        # The downgraded variable is "read" in the labeling sense: its
+        # label is inspected and rewritten.  Declaring the read also
+        # guarantees the variable exists in every engine's environment.
+        return frozenset((self.variable,))
+
+    def __repr__(self) -> str:
+        return (f"DowngradeBox({self.variable} \\ {self.indices} "
+                f"-> {self.next})")

@@ -23,7 +23,8 @@ import itertools
 from typing import Dict, Iterable, List, Optional
 
 from ..core.errors import FlowchartError
-from .boxes import (AssignBox, Box, DecisionBox, HaltBox, NodeId, StartBox)
+from .boxes import (AssignBox, Box, DecisionBox, DowngradeBox, HaltBox,
+                    NodeId, PolicyChangeBox, StartBox)
 from .expr import Expr, Pred
 from .program import Flowchart
 
@@ -92,6 +93,11 @@ class FlowchartBuilder:
                 self._boxes[node_id] = StartBox(target)
             elif isinstance(box, AssignBox):
                 self._boxes[node_id] = AssignBox(box.target, box.expression, target)
+            elif isinstance(box, PolicyChangeBox):
+                self._boxes[node_id] = PolicyChangeBox(box.allowed, target)
+            elif isinstance(box, DowngradeBox):
+                self._boxes[node_id] = DowngradeBox(box.variable, box.indices,
+                                                    target)
             else:  # pragma: no cover - only single-successor boxes dangle
                 raise FlowchartError(f"cannot wire {box!r}")
         self._dangling.clear()
@@ -110,6 +116,22 @@ class FlowchartBuilder:
         node_id = self._next_id()
         self._wire_dangling(node_id)
         self._append(node_id, AssignBox(target, expression, "__unwired__"))
+        self._dangling.append(node_id)
+        return node_id
+
+    def policy_change(self, allowed: Iterable[int]) -> NodeId:
+        """Append a mid-program policy installation (a new epoch)."""
+        node_id = self._next_id()
+        self._wire_dangling(node_id)
+        self._append(node_id, PolicyChangeBox(allowed, "__unwired__"))
+        self._dangling.append(node_id)
+        return node_id
+
+    def downgrade(self, variable: str, indices: Iterable[int]) -> NodeId:
+        """Append a declassifier relabeling ``variable``."""
+        node_id = self._next_id()
+        self._wire_dangling(node_id)
+        self._append(node_id, DowngradeBox(variable, indices, "__unwired__"))
         self._dangling.append(node_id)
         return node_id
 

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import List
 
-from .boxes import AssignBox, DecisionBox, HaltBox, StartBox
+from .boxes import (AssignBox, DecisionBox, DowngradeBox, HaltBox,
+                    PolicyChangeBox, StartBox)
 from .program import Flowchart
 
 
@@ -47,6 +48,15 @@ def to_dot(flowchart: Flowchart, include_name: bool = True) -> str:
         elif isinstance(box, AssignBox):
             label = _escape(f"{box.target} := {box.expression!r}")
             lines.append(f'    "{safe}" [shape=box, label="{label}"];')
+        elif isinstance(box, PolicyChangeBox):
+            indices = ", ".join(str(i) for i in box.allowed)
+            label = _escape(f"policy allow({indices})")
+            lines.append(f'    "{safe}" [shape=hexagon, label="{label}"];')
+        elif isinstance(box, DowngradeBox):
+            indices = ", ".join(str(i) for i in box.indices)
+            label = _escape(f"downgrade {box.variable}({indices})")
+            lines.append(
+                f'    "{safe}" [shape=parallelogram, label="{label}"];')
 
     for node_id in order:
         box = flowchart.boxes[node_id]

@@ -68,7 +68,8 @@ from ..core.errors import (ArityMismatchError, FuelExhaustedError,
                            ReproError, ValueCapExceededError)
 from ..obs import runtime as _obs
 from ..robustness.faults import default_value_cap, resolve_value_cap
-from .boxes import AssignBox, Box, DecisionBox, HaltBox, NodeId, StartBox
+from .boxes import (AssignBox, Box, DecisionBox, DowngradeBox, HaltBox,
+                    NodeId, PolicyChangeBox, StartBox)
 from .expr import (And, BinOp, BoolConst, Compare, Const, Expr, Ite,
                    LoopExpr, Neg, Not, Or, Pred, Var)
 from .interpreter import DEFAULT_FUEL, ExecutionResult, execute
@@ -282,6 +283,9 @@ def _box_touch_bits(box: Box, flowchart: Flowchart,
     elif isinstance(box, DecisionBox):
         for name in box.predicate.variables():
             mask |= 1 << bit_of[name]
+    elif isinstance(box, DowngradeBox):
+        # Matches the interpreter: the relabel touches its variable.
+        mask |= 1 << bit_of[box.variable]
     return mask
 
 
@@ -432,6 +436,10 @@ def generate_source(flowchart: Flowchart) -> Tuple[str, Dict[str, object],
                 value = gen.local_of[flowchart.output_variable]
                 emit(f"{indent}return ({value}, _steps, _touched, "
                      f"{env_literal} if _capture_env else None)")
+            elif isinstance(box, (PolicyChangeBox, DowngradeBox)):
+                # Label-layer effects only: no value change at this tier.
+                # The step and touch accounting above already covers them.
+                pass
             elif isinstance(box, StartBox):  # pragma: no cover - validation
                 pass  # costs one step, touches nothing, falls through
         if fallthrough is not None:

@@ -25,7 +25,8 @@ from ..core.domains import ProductDomain
 from ..core.program import Program
 from ..obs import runtime as _obs
 from ..robustness.faults import default_value_cap, resolve_value_cap
-from .boxes import AssignBox, DecisionBox, HaltBox, NodeId, StartBox
+from .boxes import (AssignBox, DecisionBox, DowngradeBox, HaltBox, NodeId,
+                    PolicyChangeBox, StartBox)
 from .program import Flowchart
 
 DEFAULT_FUEL = 100_000
@@ -157,6 +158,15 @@ def execute(flowchart: Flowchart, inputs: Sequence[int],
         elif isinstance(box, DecisionBox):
             touched.update(box.predicate.variables())
             current = box.true_next if box.predicate.eval(env) else box.false_next
+        elif isinstance(box, DowngradeBox):
+            # Values are untouched; the label rewrite happens in the
+            # surveillance layers.  The box still costs one step and
+            # touches its variable (the relabel reads it).
+            touched.add(box.variable)
+            current = box.next
+        elif isinstance(box, PolicyChangeBox):
+            # Pure policy effect: no variable access, one step.
+            current = box.next
         elif isinstance(box, StartBox):  # pragma: no cover - validation forbids
             current = box.next
         else:  # pragma: no cover - closed box hierarchy

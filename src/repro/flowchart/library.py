@@ -15,7 +15,8 @@ from typing import List
 
 from .expr import Const, var
 from .program import Flowchart
-from .structured import Assign, If, Skip, StructuredProgram, While
+from .structured import (Assign, Downgrade, If, PolicyChange, Skip,
+                         StructuredProgram, While)
 
 
 def timing_loop() -> Flowchart:
@@ -357,4 +358,172 @@ def extended_suite() -> List[Flowchart]:
         accumulate_program(),
         gcd_program(),
         countdown_pair_program(),
+    ]
+
+
+# -- dynamic-policy programs (van Delft/Hunt/Sands; Eggert et al.) ----------
+
+def policy_tighten_program() -> Flowchart:
+    """The canonical retroactive-revocation case.
+
+        y := x1; policy allow()
+
+    ``y`` was licensed when written (under the initial policy, if it
+    admits 1), but the flow completes — at the halt — under the empty
+    policy, so surveillance rejects whenever x1's label survives.  A
+    fixed-policy static verdict that looks only at the initial J would
+    unsoundly certify this pair; the epoch-aware pass must not.
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            Assign("y", var("x1")),
+            PolicyChange(()),
+        ],
+        name="policy-tighten",
+    ).compile()
+
+
+def policy_loosen_program() -> Flowchart:
+    """Mid-program grant: the final policy admits everything.
+
+        y := x1 + x2; policy allow(1, 2)
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            Assign("y", var("x1") + var("x2")),
+            PolicyChange((1, 2)),
+        ],
+        name="policy-loosen",
+    ).compile()
+
+
+def policy_branch_program() -> Flowchart:
+    """The policy change itself sits under a secret-dependent branch.
+
+        if x2 = 0 then policy allow(1, 2); y := x1
+
+    Which policy is in force at the halt depends on x2 — the epoch
+    fixpoint must track both in-force policies at the halt (DYN003).
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            If(var("x2").eq(0), [PolicyChange((1, 2))]),
+            Assign("y", var("x1")),
+        ],
+        name="policy-branch",
+    ).compile()
+
+
+def policy_loop_program() -> Flowchart:
+    """Epochs inside a loop: one policy change per iteration.
+
+        r := x2; while r != 0 { policy allow(1); r := r - 1 }; y := x1
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            Assign("r", var("x2")),
+            While(var("r").ne(0),
+                  [PolicyChange((1,)), Assign("r", var("r") - 1)]),
+            Assign("y", var("x1")),
+        ],
+        name="policy-loop",
+    ).compile()
+
+
+def downgrade_launder_program() -> Flowchart:
+    """The designated declassifier in its simplest form.
+
+        y := x1; downgrade y(1)
+
+    The output *value* still carries x1, but the label is scrubbed
+    along the admitted edge — dynamic surveillance accepts under every
+    policy, while the noninterference baseline (Theorem 2's maximal
+    mechanism) rejects: exactly the intransitive gap.
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            Assign("y", var("x1")),
+            Downgrade("y", (1,)),
+        ],
+        name="downgrade-launder",
+    ).compile()
+
+
+def downgrade_guarded_program() -> Flowchart:
+    """Declassification whose *occurrence* is secret-dependent.
+
+        y := x1 + x2; if x1 > 0 then downgrade y(1)
+
+    Step consistency (Eggert et al.) fails: whether the downgrade runs
+    depends on x1 itself, so two runs equal up to the secret diverge in
+    declassification behaviour — the unwinding pass flags INT002.
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            Assign("y", var("x1") + var("x2")),
+            If(var("x1").gt(0), [Downgrade("y", (1,))]),
+        ],
+        name="downgrade-guarded",
+    ).compile()
+
+
+def downgrade_partial_program() -> Flowchart:
+    """A downgrade that scrubs only one of two contributing secrets.
+
+        y := x1 + x2; downgrade y(2)
+
+    x1's label survives, so the pair is accepted only under policies
+    admitting 1 — local respect (INT001) fires for the rest.
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            Assign("y", var("x1") + var("x2")),
+            Downgrade("y", (2,)),
+        ],
+        name="downgrade-partial",
+    ).compile()
+
+
+def downgrade_then_tighten_program() -> Flowchart:
+    """Both axes at once: declassify, then revoke the policy.
+
+        y := x1; downgrade y(1); policy allow(2)
+
+    The downgrade scrubs x1 before the halt, so even the empty-ish
+    final policy accepts — completion-time checking composed with an
+    intransitive edge.
+    """
+    return StructuredProgram(
+        ["x1", "x2"],
+        [
+            Assign("y", var("x1")),
+            Downgrade("y", (1,)),
+            PolicyChange((2,)),
+        ],
+        name="downgrade-then-tighten",
+    ).compile()
+
+
+def dynamic_policy_suite() -> List[Flowchart]:
+    """Programs exercising policy epochs and intransitive declassification.
+
+    Two pair families for the precision harness: policy-change programs
+    (epoch semantics) and downgrader programs (intransitive edges).
+    """
+    return [
+        policy_tighten_program(),
+        policy_loosen_program(),
+        policy_branch_program(),
+        policy_loop_program(),
+        downgrade_launder_program(),
+        downgrade_guarded_program(),
+        downgrade_partial_program(),
+        downgrade_then_tighten_program(),
     ]

@@ -21,6 +21,8 @@ Grammar (recursive descent, no ambiguity):
     stmt      ::= IDENT ":=" expr
                 | "if" pred "{" stmts "}" ["else" "{" stmts "}"]
                 | "while" pred "{" stmts "}"
+                | "policy" "allow" "(" [INT ("," INT)*] ")"
+                | "downgrade" IDENT "(" INT ("," INT)* ")"
                 | "skip"
     pred      ::= conj ("or" conj)*
     conj      ::= atom ("and" atom)*
@@ -45,7 +47,8 @@ from ..core.errors import ReproError
 from ..core.policy import AllowPolicy, allow
 from .expr import (And, BoolConst, Compare, Const, Expr, Neg, Not, Or,
                    Pred, Var)
-from .structured import Assign, If, Skip, Stmt, StructuredProgram, While
+from .structured import (Assign, Downgrade, If, PolicyChange, Skip, Stmt,
+                         StructuredProgram, While)
 
 
 class ParseError(ReproError):
@@ -66,7 +69,7 @@ _TOKEN_RE = re.compile(r"""
 """, re.VERBOSE)
 
 _KEYWORDS = frozenset(("program", "if", "else", "while", "skip", "and",
-                       "or", "not", "true", "false"))
+                       "or", "not", "true", "false", "policy", "downgrade"))
 
 
 class _Token:
@@ -183,9 +186,33 @@ class _Parser:
             body = self._parse_stmts()
             self._expect("op", "}")
             return While(predicate, body)
+        if self._accept("kw", "policy"):
+            keyword = self._expect("ident")
+            if keyword.text != "allow":
+                raise ParseError("expected 'allow' after 'policy'",
+                                 keyword.position, self.source)
+            return PolicyChange(self._parse_index_list(allow_empty=True))
+        if self._accept("kw", "downgrade"):
+            variable = self._expect("ident").text
+            return Downgrade(variable,
+                             self._parse_index_list(allow_empty=False))
         target = self._expect("ident").text
         self._expect("op", ":=")
         return Assign(target, self._parse_expr())
+
+    def _parse_index_list(self, allow_empty: bool) -> List[int]:
+        """``( [INT ("," INT)*] )`` — 1-based input indices."""
+        self._expect("op", "(")
+        indices: List[int] = []
+        if not self._check("op", ")"):
+            indices.append(int(self._expect("int").text))
+            while self._accept("op", ","):
+                indices.append(int(self._expect("int").text))
+        closing = self._expect("op", ")")
+        if not indices and not allow_empty:
+            raise ParseError("downgrade needs at least one index",
+                             closing.position, self.source)
+        return indices
 
     def _parse_pred(self) -> Pred:
         left = self._parse_conj()
@@ -350,6 +377,13 @@ def _unparse_stmts(statements, indent: str) -> List[str]:
                          f"{_unparse_pred(statement.predicate)} {{")
             lines.extend(_unparse_stmts(statement.body, indent + "    "))
             lines.append(f"{indent}}};")
+        elif isinstance(statement, PolicyChange):
+            indices = ", ".join(str(i) for i in statement.allowed)
+            lines.append(f"{indent}policy allow({indices});")
+        elif isinstance(statement, Downgrade):
+            indices = ", ".join(str(i) for i in statement.indices)
+            lines.append(f"{indent}downgrade {statement.variable}"
+                         f"({indices});")
         else:
             raise ParseError(
                 f"{type(statement).__name__} has no concrete syntax", 0,

@@ -20,7 +20,8 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..core.errors import FlowchartError
-from .boxes import (AssignBox, Box, DecisionBox, HaltBox, NodeId, StartBox)
+from .boxes import (AssignBox, Box, DecisionBox, DowngradeBox, HaltBox,
+                    NodeId, PolicyChangeBox, StartBox)
 
 
 class Flowchart:
@@ -83,6 +84,20 @@ class Flowchart:
                 raise FlowchartError(
                     f"box {node_id!r} assigns to input variable {box.target!r}"
                 )
+            if isinstance(box, PolicyChangeBox):
+                bad = [i for i in box.allowed if i > len(self.input_variables)]
+                if bad:
+                    raise FlowchartError(
+                        f"box {node_id!r} admits input indices {bad} beyond "
+                        f"arity {len(self.input_variables)}"
+                    )
+            if isinstance(box, DowngradeBox):
+                bad = [i for i in box.indices if i > len(self.input_variables)]
+                if bad:
+                    raise FlowchartError(
+                        f"box {node_id!r} downgrades input indices {bad} "
+                        f"beyond arity {len(self.input_variables)}"
+                    )
 
         unreachable = set(self.boxes) - set(self.reachable_from(start_id))
         if unreachable:
@@ -123,6 +138,19 @@ class Flowchart:
     def assignment_ids(self) -> Tuple[NodeId, ...]:
         return tuple(node_id for node_id, box in self.boxes.items()
                      if isinstance(box, AssignBox))
+
+    def policy_change_ids(self) -> Tuple[NodeId, ...]:
+        return tuple(node_id for node_id, box in self.boxes.items()
+                     if isinstance(box, PolicyChangeBox))
+
+    def downgrade_ids(self) -> Tuple[NodeId, ...]:
+        return tuple(node_id for node_id, box in self.boxes.items()
+                     if isinstance(box, DowngradeBox))
+
+    def has_dynamic_policy(self) -> bool:
+        """True when the flowchart changes policies or downgrades labels."""
+        return any(isinstance(box, (PolicyChangeBox, DowngradeBox))
+                   for box in self.boxes.values())
 
     def program_variables(self) -> Tuple[str, ...]:
         """Assigned variables that are neither inputs nor the output."""

@@ -18,7 +18,8 @@ import itertools
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import FlowchartError
-from .boxes import AssignBox, Box, DecisionBox, HaltBox, NodeId, StartBox
+from .boxes import (AssignBox, Box, DecisionBox, DowngradeBox, HaltBox,
+                    NodeId, PolicyChangeBox, StartBox)
 from .expr import Expr, Pred
 from .program import Flowchart
 
@@ -61,6 +62,31 @@ class If(Stmt):
     def __repr__(self) -> str:
         return (f"If({self.predicate!r}, then={list(self.then_body)}, "
                 f"else={list(self.else_body)})")
+
+
+class PolicyChange(Stmt):
+    """``policy allow(i, ...)`` — installs a new policy, opening an epoch."""
+
+    __slots__ = ("allowed",)
+
+    def __init__(self, allowed: Sequence[int]) -> None:
+        self.allowed = tuple(sorted(set(int(i) for i in allowed)))
+
+    def __repr__(self) -> str:
+        return f"PolicyChange(allow{self.allowed})"
+
+
+class Downgrade(Stmt):
+    """``downgrade v(i, ...)`` — strips indices from ``v``'s label."""
+
+    __slots__ = ("variable", "indices")
+
+    def __init__(self, variable: str, indices: Sequence[int]) -> None:
+        self.variable = variable
+        self.indices = tuple(sorted(set(int(i) for i in indices)))
+
+    def __repr__(self) -> str:
+        return f"Downgrade({self.variable} \\ {self.indices})"
 
 
 class While(Stmt):
@@ -131,6 +157,15 @@ def compile_structured(program: StructuredProgram) -> Flowchart:
             node_id = fresh()
             boxes[node_id] = AssignBox(statement.target, statement.expression,
                                        continuation)
+            return node_id
+        if isinstance(statement, PolicyChange):
+            node_id = fresh()
+            boxes[node_id] = PolicyChangeBox(statement.allowed, continuation)
+            return node_id
+        if isinstance(statement, Downgrade):
+            node_id = fresh()
+            boxes[node_id] = DowngradeBox(statement.variable,
+                                          statement.indices, continuation)
             return node_id
         if isinstance(statement, If):
             then_entry = compile_body(statement.then_body, continuation)

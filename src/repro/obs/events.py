@@ -51,6 +51,9 @@ EVENT_KINDS: Tuple[str, ...] = (
     "sweep_interrupted",   # a sweep drained and stopped (signal/deadline)
     "batch_compiled",      # a flowchart compiled for the batch tier
     "batch_fallback",      # batch lanes retired to the per-lane fallback
+    "policy_changed",      # a policy_change box installed a new epoch
+    "downgrade_applied",   # a downgrade box discharged surveillance indices
+    "epoch_violation",     # a violation under a dynamic policy (Λ@e tag)
 )
 
 #: Envelope + per-kind required payload fields.  ``properties`` gives
@@ -103,6 +106,13 @@ EVENT_SCHEMA: Dict = {
         # that retire to the per-lane compiled fallback, by reason.
         "batch_compiled": {"required": ["program", "engine", "blocks"]},
         "batch_fallback": {"required": ["program", "lanes", "reason"]},
+        # Dynamic policies: each policy_change bumps the epoch counter;
+        # downgrades name the variable and the indices they dropped;
+        # violations under a dynamic policy carry their epoch tag.
+        "policy_changed": {"required": ["program", "epoch", "allowed"]},
+        "downgrade_applied": {"required": ["program", "variable",
+                                           "dropped"]},
+        "epoch_violation": {"required": ["program", "epoch"]},
     },
 }
 

@@ -228,6 +228,15 @@ def explain(flowchart: "Flowchart", policy: "AllowPolicy",
     site_box = flowchart.boxes[site]
     output = flowchart.output_variable
 
+    # Flows are judged by the policy in force when they complete, not
+    # the initial one — after a policy_change the clause must show the
+    # J that actually ran the check (and its epoch), or an epoch
+    # violation reads as "⊆ J" yet VIOLATION.
+    in_force = run.final_allowed
+    j_text = f"J = {_label_text(in_force)}"
+    if in_force != allowed:
+        j_text += f" (in force @e{run.epoch})"
+
     # The offending label and the clause that tested it.
     if isinstance(site_box, DecisionBox) and run.halted_early:
         offending = join(*(site_labels[name]
@@ -235,18 +244,18 @@ def explain(flowchart: "Flowchart", policy: "AllowPolicy",
         interesting: Set[str] = set(site_box.predicate.variables())
         pc_interesting = False
         clause = (f"timed guard: test label {_label_text(offending)} "
-                  f"{'⊆' if offending <= allowed else '⊄'} "
-                  f"J = {_label_text(allowed)}")
+                  f"{'⊆' if offending <= in_force else '⊄'} "
+                  f"{j_text}")
     else:
         offending = join(site_labels[output], site_pc)
         interesting = {output}
         pc_interesting = True
         clause = (f"halt check: ȳ ∪ C̄ = {_label_text(offending)} "
-                  f"{'⊆' if offending <= allowed else '⊄'} "
-                  f"J = {_label_text(allowed)}")
+                  f"{'⊆' if offending <= in_force else '⊄'} "
+                  f"{j_text}")
 
     verdict = "violation" if run.violated else "accepted"
-    disallowed = offending - allowed
+    disallowed = offending - in_force
     # Slice toward what went wrong; for accepted points, toward
     # everything the user legitimately learned.
     focus = disallowed if run.violated else offending
@@ -255,7 +264,7 @@ def explain(flowchart: "Flowchart", policy: "AllowPolicy",
     chain.append(ChainStep(
         len(records), site, "check",
         ("timed test guard" if isinstance(site_box, DecisionBox)
-         else f"halt: ȳ ∪ C̄ vs J = {_label_text(allowed)}"),
+         else f"halt: ȳ ∪ C̄ vs {j_text}"),
         None, offending))
 
     # Backward pass over records[0..-2]: the box at record i produced

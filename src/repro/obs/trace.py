@@ -213,6 +213,10 @@ def summarize(events: Sequence[Dict]) -> Dict:
     quarantined_chunks = 0
     checkpoints_written = 0
     chunks_restored = 0
+    policy_changes = 0
+    downgrades = 0
+    epoch_violations = 0
+    max_epoch = 0
     interruptions: List[str] = []
     for event in events:
         kind = event.get("kind", "?")
@@ -244,6 +248,15 @@ def summarize(events: Sequence[Dict]) -> Dict:
             chunks_restored += event.get("chunks_restored", 0)
         elif kind == "sweep_interrupted":
             interruptions.append(str(event.get("reason", "?")))
+        elif kind == "policy_changed":
+            policy_changes += 1
+            epoch = event.get("epoch")
+            if isinstance(epoch, int):
+                max_epoch = max(max_epoch, epoch)
+        elif kind == "downgrade_applied":
+            downgrades += 1
+        elif kind == "epoch_violation":
+            epoch_violations += 1
     ops = {}
     for op, values in sorted(span_elapsed.items()):
         ops[op] = {
@@ -274,6 +287,12 @@ def summarize(events: Sequence[Dict]) -> Dict:
             "checkpoints_written": checkpoints_written,
             "chunks_restored": chunks_restored,
             "interruptions": interruptions,
+        },
+        "dynamic_policy": {
+            "policy_changes": policy_changes,
+            "downgrades": downgrades,
+            "epoch_violations": epoch_violations,
+            "max_epoch": max_epoch,
         },
     }
 

@@ -117,6 +117,15 @@ def certify_flowchart(flowchart: Flowchart,
             f"policy arity {policy.arity} != flowchart arity "
             f"{flowchart.arity}")
 
+    if flowchart.has_dynamic_policy():
+        # Completion-time policy checks and downgrader relabeling are
+        # outside this certifier's fixed-policy model; certifying here
+        # against the *initial* J would be unsound when a later
+        # policy_change tightens it.  Defer to the epoch-aware verdict
+        # (:mod:`repro.analysis.epochs`) by conservatively rejecting.
+        every = frozenset(range(1, flowchart.arity + 1))
+        return CfgCertificate(False, every, policy.allowed, 0, {})
+
     dependencies = control_dependencies(flowchart)
     order = flowchart.reachable_from(flowchart.start_id)
     predecessors = flowchart.predecessors()

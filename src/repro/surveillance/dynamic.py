@@ -41,7 +41,8 @@ from ..core.mechanism import ProtectionMechanism, ViolationNotice
 from ..core.observability import VALUE_AND_TIME, VALUE_ONLY, OutputModel
 from ..core.policy import AllowPolicy
 from ..core.program import Program
-from ..flowchart.boxes import AssignBox, DecisionBox, HaltBox
+from ..flowchart.boxes import (AssignBox, DecisionBox, DowngradeBox, HaltBox,
+                               PolicyChangeBox)
 from ..flowchart.interpreter import DEFAULT_FUEL, as_program, initial_environment
 from ..flowchart.program import Flowchart
 from ..obs import runtime as _obs
@@ -50,18 +51,27 @@ from .labels import EMPTY, Label, join, permitted, singleton
 
 
 class SurveillanceRun:
-    """One surveilled execution: outcome, timing, and final labels."""
+    """One surveilled execution: outcome, timing, and final labels.
 
-    __slots__ = ("outcome", "steps", "labels", "pc_label", "halted_early")
+    ``epoch`` counts the policy changes executed before termination
+    (0 for classic fixed-policy programs); ``final_allowed`` is the
+    policy in force when the run ended — the one the halt check used.
+    """
+
+    __slots__ = ("outcome", "steps", "labels", "pc_label", "halted_early",
+                 "epoch", "final_allowed")
 
     def __init__(self, outcome: Union[int, ViolationNotice], steps: int,
                  labels: Dict[str, Label], pc_label: Label,
-                 halted_early: bool) -> None:
+                 halted_early: bool, epoch: int = 0,
+                 final_allowed: Optional[Label] = None) -> None:
         self.outcome = outcome
         self.steps = steps
         self.labels = labels
         self.pc_label = pc_label
         self.halted_early = halted_early
+        self.epoch = epoch
+        self.final_allowed = final_allowed
 
     @property
     def violated(self) -> bool:
@@ -74,13 +84,18 @@ class SurveillanceRun:
 
 Observer = Callable[[str, Dict[str, Label], Label], None]
 
+#: Epoch-aware observer: ``(node_id, labels, pc_label, allowed, epoch)``
+#: — also told which policy is in force on arrival.
+PolicyObserver = Callable[[str, Dict[str, Label], Label, Label, int], None]
+
 
 def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
             timed: bool = False, forgetting: bool = True,
             fuel: int = DEFAULT_FUEL,
             observer: Optional[Observer] = None,
             record: bool = True,
-            value_cap: Optional[int] = None) -> SurveillanceRun:
+            value_cap: Optional[int] = None,
+            policy_observer: Optional[PolicyObserver] = None) -> SurveillanceRun:
     """Run ``flowchart`` under surveillance for ``allow(allowed)``.
 
     Parameters
@@ -107,6 +122,19 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
         provenance replay (:mod:`repro.obs.provenance`) re-executes a
         point that the mechanism already recorded; counting the replay
         again would double every surveillance metric.
+    policy_observer:
+        Like ``observer`` but epoch-aware: called as
+        ``policy_observer(node_id, labels, pc_label, allowed, epoch)``
+        with the policy in force on arrival.  The per-epoch static
+        containment property tests use this.
+
+    Dynamic policies (van Delft/Hunt/Sands): a ``policy_change`` box
+    replaces the policy in force for every *later* check — flows are
+    judged by the policy at completion time, not at write time.  A
+    ``downgrade`` box strips its indices from one variable's label (the
+    admitted intransitive edge).  Violation notices on flowcharts that
+    contain policy changes are epoch-tagged (``Λ@e<n>``): a notice
+    issued under a different policy regime is a different output.
     """
     if len(inputs) != flowchart.arity:
         raise ArityMismatchError(
@@ -121,6 +149,14 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
     for position, name in enumerate(flowchart.input_variables, 1):
         labels[name] = singleton(position)
     pc_label: Label = EMPTY
+    active_allowed: Label = allowed
+    epoch = 0
+    # Epoch-tagged notices only where epochs exist: classic programs
+    # keep the paper's plain Λ bit-for-bit.
+    has_epochs = bool(flowchart.policy_change_ids())
+
+    def notice() -> ViolationNotice:
+        return ViolationNotice(f"Λ@e{epoch}" if has_epochs else "Λ")
 
     steps = 0
     current = flowchart.boxes[flowchart.start_id].successors()[0]
@@ -134,25 +170,32 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
         box = flowchart.boxes[current]
         if observer is not None:
             observer(current, labels, pc_label)
+        if policy_observer is not None:
+            policy_observer(current, labels, pc_label, active_allowed, epoch)
         steps += 1
         if isinstance(box, HaltBox):
             # Rule 4: the halt check is ȳ ∪ C̄ ⊆ J.  C̄ must participate:
             # reaching *this* halt (rather than issuing a notice on some
             # other path) is itself information, and Example 4 demands
             # that "any decision made by M to output a violation notice
-            # can depend only on allowed information".
+            # can depend only on allowed information".  J is the policy
+            # *in force now* — the van Delft et al. completion-time rule.
             output_label = join(labels[flowchart.output_variable], pc_label)
-            if permitted(output_label, allowed):
+            if permitted(output_label, active_allowed):
                 outcome: Union[int, ViolationNotice] = env[flowchart.output_variable]
             else:
-                outcome = ViolationNotice("Λ")
+                outcome = notice()
+                if _obs.active and record and has_epochs:
+                    _obs.emit("epoch_violation", program=flowchart.name,
+                              epoch=epoch)
             if _obs.active and record:
                 _obs.record_surveil_run(
                     flowchart.name, steps,
                     violated=isinstance(outcome, ViolationNotice),
                     timed=timed, halted_early=False)
             return SurveillanceRun(outcome, steps, dict(labels), pc_label,
-                                   halted_early=False)
+                                   halted_early=False, epoch=epoch,
+                                   final_allowed=active_allowed)
         if isinstance(box, AssignBox):
             incoming = join(*(labels[name] for name in box.expression.variables()),
                             pc_label)
@@ -171,18 +214,36 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
             current = box.next
         elif isinstance(box, DecisionBox):
             test_label = join(*(labels[name] for name in box.predicate.variables()))
-            if timed and not permitted(test_label, allowed):
+            if timed and not permitted(test_label, active_allowed):
                 # Theorem 3': a disallowed variable is about to be
                 # tested — halt immediately with a violation notice.
                 if _obs.active and record:
+                    if has_epochs:
+                        _obs.emit("epoch_violation", program=flowchart.name,
+                                  epoch=epoch)
                     _obs.record_surveil_run(flowchart.name, steps,
                                             violated=True, timed=True,
                                             halted_early=True)
-                return SurveillanceRun(ViolationNotice("Λ"), steps,
+                return SurveillanceRun(notice(), steps,
                                        dict(labels), pc_label,
-                                       halted_early=True)
+                                       halted_early=True, epoch=epoch,
+                                       final_allowed=active_allowed)
             pc_label = join(pc_label, test_label)
             current = box.true_next if box.predicate.eval(env) else box.false_next
+        elif isinstance(box, PolicyChangeBox):
+            active_allowed = frozenset(box.allowed)
+            epoch += 1
+            if _obs.active and record:
+                _obs.emit("policy_changed", program=flowchart.name,
+                          epoch=epoch, allowed=sorted(box.allowed))
+            current = box.next
+        elif isinstance(box, DowngradeBox):
+            labels[box.variable] = labels[box.variable] - frozenset(box.indices)
+            if _obs.active and record:
+                _obs.emit("downgrade_applied", program=flowchart.name,
+                          variable=box.variable,
+                          dropped=sorted(box.indices))
+            current = box.next
         else:  # pragma: no cover - StartBox is never re-entered
             current = box.successors()[0]
 

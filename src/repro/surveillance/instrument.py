@@ -43,8 +43,8 @@ from ..core.mechanism import ProtectionMechanism, ViolationNotice
 from ..core.observability import VALUE_ONLY, OutputModel
 from ..core.policy import AllowPolicy
 from ..core.program import Program
-from ..flowchart.boxes import (AssignBox, Box, DecisionBox, HaltBox, NodeId,
-                               StartBox)
+from ..flowchart.boxes import (AssignBox, Box, DecisionBox, DowngradeBox,
+                               HaltBox, NodeId, PolicyChangeBox, StartBox)
 from ..flowchart.expr import BinOp, Compare, Const, Var
 from ..flowchart.fastpath import run_flowchart
 from ..flowchart.interpreter import DEFAULT_FUEL, as_program, execute
@@ -55,6 +55,12 @@ from .labels import to_mask
 #: Name of the surveillance variable of ``v``.
 VIOLATION_FLAG = "_viol"
 PC_LABEL = "_s_C"
+#: Dynamic-policy state: the mask of the policy in force, and the epoch
+#: counter (number of policy changes executed).  Only materialised when
+#: the flowchart contains policy_change/downgrade boxes — classic
+#: programs instrument to exactly the same boxes as before.
+POLICY_MASK = "_s_J"
+EPOCH_VAR = "_s_epoch"
 
 _ids = itertools.count()
 
@@ -93,6 +99,21 @@ def _subset_of_mask(expression, allowed_mask: int) -> Compare:
                    Const(allowed_mask))
 
 
+def _subset_of_policy(expression, dynamic: bool,
+                      allowed_mask: int) -> Compare:
+    """Subset test against the policy in force.
+
+    Fixed-policy flowcharts keep the constant-folded ``(e | J) == J``
+    shape (bit-identical codegen to before); dynamic ones test against
+    the ``_s_J`` register so every check honours the policy installed
+    by the most recent ``policy_change``.
+    """
+    if not dynamic:
+        return _subset_of_mask(expression, allowed_mask)
+    return Compare("==", BinOp("|", expression, Var(POLICY_MASK)),
+                   Var(POLICY_MASK))
+
+
 def instrument(flowchart: Flowchart, policy: AllowPolicy,
                timed: bool = False,
                name: Optional[str] = None) -> Flowchart:
@@ -107,6 +128,8 @@ def instrument(flowchart: Flowchart, policy: AllowPolicy,
             f"policy arity {policy.arity} != flowchart arity {flowchart.arity}"
         )
     allowed_mask = to_mask(policy.allowed)
+    dynamic = flowchart.has_dynamic_policy()
+    arity_mask = (1 << flowchart.arity) - 1
 
     memo_key = (allowed_mask, timed) if name is None else None
     if memo_key is not None:
@@ -137,6 +160,9 @@ def instrument(flowchart: Flowchart, policy: AllowPolicy,
                 (surveillance_variable(flowchart.output_variable), Const(0)))
             chain_targets.append((PC_LABEL, Const(0)))
             chain_targets.append((VIOLATION_FLAG, Const(0)))
+            if dynamic:
+                chain_targets.append((POLICY_MASK, Const(allowed_mask)))
+                chain_targets.append((EPOCH_VAR, Const(0)))
 
             current = node_id
             boxes[node_id] = StartBox("__patch__")
@@ -173,7 +199,7 @@ def instrument(flowchart: Flowchart, policy: AllowPolicy,
                 halt_id = _fresh("h")
                 boxes[guard_id] = AssignBox("_s_test", test_union, temp)
                 boxes[temp] = DecisionBox(
-                    _subset_of_mask(Var("_s_test"), allowed_mask),
+                    _subset_of_policy(Var("_s_test"), dynamic, allowed_mask),
                     update_id, viol_id,
                 )
                 boxes[update_id] = AssignBox(
@@ -202,16 +228,34 @@ def instrument(flowchart: Flowchart, policy: AllowPolicy,
             viol_id = _fresh("v")
             halt_id = _fresh("h")
             boxes[check_id] = DecisionBox(
-                _subset_of_mask(
+                _subset_of_policy(
                     BinOp("|",
                           Var(surveillance_variable(flowchart.output_variable)),
                           Var(PC_LABEL)),
-                    allowed_mask),
+                    dynamic, allowed_mask),
                 ok_id, viol_id,
             )
             boxes[ok_id] = HaltBox()
             boxes[viol_id] = AssignBox(VIOLATION_FLAG, Const(1), halt_id)
             boxes[halt_id] = HaltBox()
+
+        elif isinstance(box, PolicyChangeBox):
+            # Dynamic-policy rule: install the new mask, bump the epoch.
+            bump_id = _fresh("p")
+            boxes[node_id] = AssignBox(
+                POLICY_MASK, Const(to_mask(frozenset(box.allowed))), bump_id)
+            boxes[bump_id] = AssignBox(
+                EPOCH_VAR, BinOp("+", Var(EPOCH_VAR), Const(1)), box.next)
+
+        elif isinstance(box, DowngradeBox):
+            # Declassifier rule: clear the dropped bits of v̄.  Labels
+            # only ever hold bits below the arity, so masking with the
+            # arity-wide complement is an exact set difference.
+            keep_mask = arity_mask & ~to_mask(frozenset(box.indices))
+            shadow = surveillance_variable(box.variable)
+            boxes[node_id] = AssignBox(
+                shadow, BinOp("&", Var(shadow), Const(keep_mask)), box.next)
+
         else:  # pragma: no cover - closed box hierarchy
             raise TypeError(f"unknown box type {type(box).__name__}")
 
@@ -257,6 +301,7 @@ def instrumented_mechanism(flowchart: Flowchart, policy: AllowPolicy,
     protected = program if program is not None else as_program(
         flowchart, domain, output_model, fuel=fuel, value_cap=value_cap)
     time_observable = output_model.time_observable
+    has_epochs = bool(flowchart.policy_change_ids())
 
     def mechanism_fn(*inputs):
         result = run_flowchart(instrumented, inputs, fuel=fuel,
@@ -280,6 +325,10 @@ def instrumented_mechanism(flowchart: Flowchart, policy: AllowPolicy,
                 original_steps = _original_steps(flowchart, inputs,
                                                  policy, timed, fuel)
                 return ViolationNotice(f"Λ@{original_steps}")
+            if has_epochs:
+                # Epoch-tagged notice, read from the _s_epoch register —
+                # agrees with the interpreter-level mechanism's Λ@e.
+                return ViolationNotice(f"Λ@e{result.env.get(EPOCH_VAR, 0)}")
             return ViolationNotice("Λ")
         if time_observable:
             original = run_flowchart(flowchart, inputs, fuel=fuel,

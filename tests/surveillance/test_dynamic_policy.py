@@ -1,0 +1,169 @@
+"""Dynamic-policy surveillance: epochs, Λ@e notices, and events.
+
+The monitor-side contract for the policy_change/downgrade boxes:
+
+- a policy_change replaces the policy in force for every later check
+  and bumps the epoch counter; violation notices on such flowcharts
+  are epoch-tagged (``Λ@e<n>``) because a notice issued under a
+  different regime is a different observable;
+- a downgrade strips exactly its indices from one variable's label —
+  the admitted intransitive edge;
+- the interpreter-level mechanism and the compiled instrumented
+  mechanism agree output-for-output, epoch tags included, and the
+  batch tier reproduces the violation/epoch registers lane-for-lane;
+- the monitor emits ``policy_changed`` / ``downgrade_applied`` /
+  ``epoch_violation`` events that validate against EVENT_SCHEMA.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core import ProductDomain
+from repro.core.policy import AllowPolicy
+from repro.flowchart.batchpath import execute_batch
+from repro.flowchart.library import (downgrade_launder_program,
+                                     downgrade_partial_program,
+                                     dynamic_policy_suite,
+                                     forgetting_program,
+                                     policy_loosen_program,
+                                     policy_tighten_program)
+from repro.obs.events import JsonlSink, validate_event, validate_jsonl
+from repro.surveillance.dynamic import (ViolationNotice, surveil,
+                                        surveillance_mechanism)
+from repro.surveillance.instrument import (EPOCH_VAR, VIOLATION_FLAG,
+                                           instrument,
+                                           instrumented_mechanism)
+from repro.verify.enumerate import all_allow_policies
+
+GRID = [(a, b) for a in range(3) for b in range(3)]
+
+
+def grid_domain(arity=2):
+    return ProductDomain.integer_grid(0, 2, arity)
+
+
+class TestEpochSemantics:
+    def test_tighten_rejects_with_epoch_tag(self):
+        # y := x1; policy allow() — the halt check runs under epoch 1.
+        fc = policy_tighten_program()
+        for point in GRID:
+            run = surveil(fc, point, frozenset((1,)))
+            assert run.violated
+            assert str(run.outcome) == "Λ@e1"
+            assert run.epoch == 1
+            assert run.final_allowed == frozenset()
+
+    def test_loosen_accepts_under_the_new_policy(self):
+        fc = policy_loosen_program()
+        for point in GRID:
+            run = surveil(fc, point, frozenset())
+            assert not run.violated
+            assert run.final_allowed == frozenset((1, 2))
+
+    def test_classic_notices_stay_untagged(self):
+        run = surveil(forgetting_program(), (1, 1), frozenset())
+        assert run.violated
+        assert str(run.outcome) == "Λ"
+        assert run.epoch == 0
+
+    def test_downgrade_strips_exactly_its_indices(self):
+        # y := x1 + x2; downgrade y(2): y's label keeps index 1 only.
+        fc = downgrade_partial_program()
+        run = surveil(fc, (1, 2), frozenset((1,)))
+        assert not run.violated
+        assert run.labels["y"] == frozenset((1,))
+
+    def test_launder_accepted_even_under_allow_none(self):
+        fc = downgrade_launder_program()
+        for point in GRID:
+            run = surveil(fc, point, frozenset())
+            assert not run.violated
+            assert run.labels["y"] == frozenset()
+
+
+class TestEngineDifferential:
+    """interp-level mechanism == compiled instrumented mechanism == batch."""
+
+    @pytest.mark.parametrize("flowchart", dynamic_policy_suite(),
+                             ids=lambda fc: fc.name)
+    def test_mechanisms_agree_epoch_tags_included(self, flowchart):
+        domain = grid_domain(flowchart.arity)
+        for policy in all_allow_policies(flowchart.arity):
+            surv = surveillance_mechanism(flowchart, policy, domain)
+            inst = instrumented_mechanism(flowchart, policy, domain)
+            for point in domain:
+                assert surv(*point) == inst(*point), \
+                    (flowchart.name, policy.name, point)
+
+    @pytest.mark.parametrize("flowchart", dynamic_policy_suite(),
+                             ids=lambda fc: fc.name)
+    def test_batch_lanes_reproduce_violation_and_epoch(self, flowchart):
+        for policy in all_allow_policies(flowchart.arity):
+            allowed = frozenset(policy.allowed)
+            instrumented = instrument(flowchart, policy)
+            batch = execute_batch(instrumented, GRID, need_env=True)
+            for index, point in enumerate(GRID):
+                run = surveil(flowchart, point, allowed)
+                env = batch.env(index)
+                assert (env.get(VIOLATION_FLAG, 0) == 1) == run.violated, \
+                    (flowchart.name, policy.name, point)
+                if run.violated and flowchart.policy_change_ids():
+                    tag = f"Λ@e{env.get(EPOCH_VAR, 0)}"
+                    assert str(run.outcome) == tag, \
+                        (flowchart.name, policy.name, point)
+
+    def test_notice_equality_is_by_message(self):
+        assert ViolationNotice("Λ@e1") == ViolationNotice("Λ@e1")
+        assert ViolationNotice("Λ@e1") != ViolationNotice("Λ@e2")
+
+
+class TestEvents:
+    def test_policy_changed_and_epoch_violation_events(self):
+        ring = obs.RingBufferSink()
+        with obs.observed(sinks=[ring], reset=True):
+            surveil(policy_tighten_program(), (1, 0), frozenset((1,)))
+        changed = ring.events("policy_changed")
+        assert len(changed) == 1
+        assert changed[0]["epoch"] == 1
+        assert changed[0]["allowed"] == []
+        violations = ring.events("epoch_violation")
+        assert len(violations) == 1
+        assert violations[0]["epoch"] == 1
+        for event in changed + violations:
+            assert validate_event(event) == []
+
+    def test_downgrade_applied_event(self):
+        ring = obs.RingBufferSink()
+        with obs.observed(sinks=[ring], reset=True):
+            surveil(downgrade_partial_program(), (1, 2), frozenset((1,)))
+        (event,) = ring.events("downgrade_applied")
+        assert event["variable"] == "y"
+        assert event["dropped"] == [2]
+        assert validate_event(event) == []
+
+    def test_no_dynamic_events_on_classic_programs(self):
+        ring = obs.RingBufferSink()
+        with obs.observed(sinks=[ring], reset=True):
+            surveil(forgetting_program(), (1, 1), frozenset())
+        assert ring.events("policy_changed") == []
+        assert ring.events("downgrade_applied") == []
+        assert ring.events("epoch_violation") == []
+
+    def test_jsonl_round_trip_validates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            with obs.observed(sinks=[sink], reset=True):
+                for point in GRID:
+                    surveil(policy_tighten_program(), point,
+                            frozenset((1,)))
+                    surveil(downgrade_partial_program(), point,
+                            frozenset((1,)))
+        lines = path.read_text().splitlines()
+        total, problems = validate_jsonl(lines)
+        assert problems == []
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert {"policy_changed", "downgrade_applied",
+                "epoch_violation"} <= kinds
+        assert total == len(lines)

@@ -650,3 +650,106 @@ class TestSweepBatchBackend:
         assert payload["meta"]["backend"] == "batch"
         gauges = payload.get("gauges", {})
         assert any(name.startswith("batch.") for name in gauges)
+
+
+class TestDynamicLintExitCodes:
+    """The exit-code contract for the dynamic-policy passes.
+
+    0 = clean or warnings/info only (DYN002/DYN003/INT000/INT002),
+    1 = error diagnostics fired (DYN001/INT001),
+    2 = usage errors — unchanged by the new passes.
+    """
+
+    def test_dyn001_and_int001_exit_one(self, capsys):
+        code = main(["lint", "--library", "downgrade-guarded",
+                     "--policy", "allow(2)"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DYN001" in out and "INT001" in out
+
+    def test_completion_time_failure_exits_one(self, capsys):
+        code = main(["lint", "--library", "policy-tighten",
+                     "--policy", "allow(1)"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DYN001" in out and "DYN002" in out
+
+    def test_warning_only_dynamic_lint_exits_zero(self, capsys):
+        # INT002 without INT001: the guarded downgrade's occurrence is
+        # secret-conditioned, but a later loosening clears the halt.
+        code = main(["lint", "--source",
+                     "program p(x1, x2) { y := x1; "
+                     "if x2 > 0 { downgrade y(1) }; "
+                     "policy allow(1, 2) }",
+                     "--policy", "allow(1)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "INT002" in out and "INT001" not in out
+
+    def test_certified_dynamic_program_exits_zero(self, capsys):
+        code = main(["lint", "--library", "downgrade-launder",
+                     "--policy", "allow()"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FLOW002" in out and "INT000" in out
+
+    def test_usage_error_still_exits_two(self, capsys):
+        code = main(["lint", "--all", "--library", "downgrade-launder"])
+        assert code == 2
+
+    def test_json_carries_pass_stats(self, capsys):
+        code = main(["lint", "--library", "downgrade-guarded",
+                     "--policy", "allow(2)", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        (report,) = payload["reports"]
+        stats = report["pass_stats"]
+        assert stats["epochs"]["iterations"] >= 1
+        assert stats["unwinding"]["states_explored"] >= 1
+        for entry in stats.values():
+            assert entry["seconds"] >= 0
+
+
+class TestDynamicSweepAndTrace:
+    def test_default_sweep_excludes_dynamic_programs(self, tmp_path,
+                                                     capsys):
+        results = tmp_path / "results.json"
+        code = main(["sweep", "--executor", "serial",
+                     "--results-json", str(results)])
+        capsys.readouterr()
+        assert code == 0
+        swept = {row["program"]
+                 for row in json.loads(results.read_text())}
+        assert swept
+        assert all(not LIBRARY[name]().has_dynamic_policy()
+                   for name in swept)
+
+    def test_explicit_dynamic_selection_still_allowed(self, capsys):
+        # By request the NI baseline judges the declassifier unsound —
+        # the sweep runs (no usage error) and reports the disagreement.
+        code = main(["sweep", "--programs", "downgrade-launder",
+                     "--executor", "serial"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unsound" in out
+
+    def test_trace_summarize_reports_dynamic_line(self, tmp_path,
+                                                  capsys):
+        from repro import obs
+        from repro.flowchart.library import (downgrade_partial_program,
+                                             policy_tighten_program)
+        from repro.obs.events import JsonlSink
+        from repro.surveillance.dynamic import surveil
+
+        trace = tmp_path / "trace.jsonl"
+        with JsonlSink(str(trace)) as sink:
+            with obs.observed(sinks=[sink], reset=True):
+                surveil(policy_tighten_program(), (1, 0),
+                        frozenset((1,)))
+                surveil(downgrade_partial_program(), (1, 2),
+                        frozenset((1,)))
+        code = main(["trace", "summarize", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert ("dynamic:   1 policy change(s) (max epoch 1), "
+                "1 downgrade(s), 1 epoch violation(s)") in out
