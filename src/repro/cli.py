@@ -263,14 +263,12 @@ def command_transform(args) -> int:
 
 def command_sweep(args) -> int:
     import json
-    import os as _os
     import signal as _signal
     import time as _time
 
     from . import obs
     from .core.errors import SweepInterruptedError
-    from .flowchart.fastpath import (BACKEND_ENV, export_memo_stats,
-                                     resolve_backend)
+    from .flowchart.fastpath import export_memo_stats, resolve_backend
     from .verify import FaultPlan, parallel_soundness_sweep, unsound_results
     from .verify import chaos as chaos_module
 
@@ -346,14 +344,11 @@ def command_sweep(args) -> int:
     if args.chaos:
         chaos_module.install(FaultPlan.parse(args.chaos))
 
-    saved_backend = _os.environ.get(BACKEND_ENV)
+    # The backend travels to the sweep (and its mechanism factories,
+    # across process pools) as an explicit argument; mutating
+    # ``os.environ`` here used to leak one invocation's choice into
+    # everything else sharing the process.
     backend = resolve_backend(args.backend) if args.backend else None
-    if args.backend:
-        # The batch tier applies at chunk granularity inside the sweep;
-        # per-point internals (quarantine bisection, degraded chunks)
-        # run the compiled scalar tier underneath it.
-        _os.environ[BACKEND_ENV] = ("compiled" if backend == "batch"
-                                    else backend)
     interrupted = None
     try:
         started = _time.perf_counter()
@@ -383,11 +378,6 @@ def command_sweep(args) -> int:
             chaos_module.clear()
         for signum, handler in saved_handlers:
             _signal.signal(signum, handler)
-        if args.backend:
-            if saved_backend is None:
-                _os.environ.pop(BACKEND_ENV, None)
-            else:
-                _os.environ[BACKEND_ENV] = saved_backend
         if observing:
             export_memo_stats()
             snapshot = obs.snapshot()
@@ -716,6 +706,80 @@ def command_lint(args) -> int:
     return exit_code
 
 
+def command_serve(args) -> int:
+    """Run the multi-tenant enforcement service (see docs/SERVING.md).
+
+    This is the one place the serving stack reads the environment: the
+    server's startup flushes the four env caches and captures their
+    values as explicit defaults, so handlers never consult
+    ``os.environ`` again.
+    """
+    import asyncio
+    import signal as _signal
+
+    # Lazy: the serve package imports the CLI's LIBRARY (late, for
+    # request validation); importing it lazily here keeps `repro run`
+    # and friends free of asyncio machinery.
+    from .serve import ReproServer, ServerConfig, TenantRegistry
+
+    _check_positive("--value-cap", args.value_cap)
+    _check_positive("--fuel", args.fuel)
+    if args.tenants:
+        try:
+            tenants = TenantRegistry.from_file(args.tenants)
+        except (OSError, ValueError) as error:
+            raise ReproError(
+                f"cannot load tenants config {args.tenants!r}: {error}")
+    else:
+        tenants = None
+
+    trace_sink = None
+    if args.trace:
+        from . import obs
+
+        trace_sink = obs.JsonlSink(args.trace)
+        obs.enable(metrics=True, sinks=[trace_sink], reset=True)
+
+    config = ServerConfig(
+        host=args.host, port=args.port, tenants=tenants,
+        fuel=args.fuel, value_cap=args.value_cap,
+        backend=args.backend or "batch", lane_engine=args.lanes,
+        executor=args.executor, jobs=args.jobs,
+        batch_window_ms=args.batch_window_ms,
+        cache_size=args.cache_size, workers=args.workers)
+
+    async def _run() -> None:
+        server = ReproServer(config)
+        await server.start()
+        # SIGINT/SIGTERM stop the serving loop gracefully: in-flight
+        # requests drain, the root span closes, sinks get the whole
+        # tree (the CI serve trace is validated for exactly this).
+        loop = asyncio.get_running_loop()
+        for signum in (_signal.SIGINT, _signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or exotic platform
+        print(f"repro serve listening on "
+              f"http://{config.host}:{server.port} "
+              f"[backend={server.default_backend} fuel={server.fuel} "
+              f"value_cap={server.default_value_cap}]", flush=True)
+        await server.wait_stopped()
+
+    try:
+        asyncio.run(_run())
+        print("repro serve: shut down cleanly", file=sys.stderr)
+    except KeyboardInterrupt:
+        print("repro serve: interrupted", file=sys.stderr)
+    finally:
+        if trace_sink is not None:
+            from . import obs
+
+            obs.disable()
+            trace_sink.close()
+    return 0
+
+
 def command_dot(args) -> int:
     from .flowchart.dot import to_dot
 
@@ -1008,6 +1072,47 @@ def build_parser() -> argparse.ArgumentParser:
     experiments_parser = commands.add_parser(
         "experiments", help="list the experiment index E01-E27")
     experiments_parser.set_defaults(handler=command_experiments)
+
+    serve_parser = commands.add_parser(
+        "serve", help="run the multi-tenant enforcement service "
+                      "(HTTP/JSON; see docs/SERVING.md)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8080,
+                              help="listen port (0 = ephemeral; the bound "
+                                   "port is printed at startup)")
+    serve_parser.add_argument("--tenants", metavar="PATH",
+                              help="JSON tenant-budget config; omitting it "
+                                   "admits everyone under the defaults")
+    serve_parser.add_argument("--fuel", type=int, default=100_000,
+                              help="server default fuel ceiling")
+    serve_parser.add_argument("--value-cap", type=int, default=None,
+                              help="server default value cap (default: "
+                                   "REPRO_VALUE_CAP, read once at startup)")
+    _add_backend_argument(serve_parser)
+    serve_parser.add_argument("--lanes", choices=("auto", "numpy", "python"),
+                              default=None,
+                              help="batch-tier lane engine (default: "
+                                   "REPRO_BATCH_LANES, read once at "
+                                   "startup)")
+    serve_parser.add_argument("--executor", choices=("auto", "serial",
+                                                     "thread", "process"),
+                              default="thread",
+                              help="sweep executor (default: thread — "
+                                   "pools degrade process→thread→serial "
+                                   "on failure)")
+    serve_parser.add_argument("--jobs", type=int, default=None,
+                              help="sweep worker count")
+    serve_parser.add_argument("--workers", type=int, default=8,
+                              help="request worker threads")
+    serve_parser.add_argument("--batch-window-ms", type=float, default=2.0,
+                              help="coalescing window for /execute "
+                                   "batching")
+    serve_parser.add_argument("--cache-size", type=int, default=4096,
+                              help="shared response-cache entries")
+    serve_parser.add_argument("--trace", metavar="PATH",
+                              help="write the structured JSONL trace-event "
+                                   "stream to PATH")
+    serve_parser.set_defaults(handler=command_serve)
     return parser
 
 

@@ -101,9 +101,37 @@ _NP = None
 _NP_PROBED = False
 
 
+#: Cached ``REPRO_BATCH_LANES`` read: ``(loaded, choice)``.  Same
+#: rationale as ``fastpath._ENV_BACKEND_CACHE`` — lane selection sits
+#: on the batch hot path and must not re-read process-global state per
+#: grid, or one tenant's env mutation retargets another's lanes.
+_ENV_LANES_CACHE: Tuple[bool, Optional[str]] = (False, None)
+
+
+def default_lane_engine() -> str:
+    """The lane engine used when no explicit choice is given.
+
+    ``REPRO_BATCH_LANES`` is read once and cached; call
+    :func:`reset_lane_engine_cache` after changing the env mid-process.
+    """
+    global _ENV_LANES_CACHE
+    loaded, cached = _ENV_LANES_CACHE
+    if not loaded:
+        cached = os.environ.get(LANES_ENV) or None
+        _ENV_LANES_CACHE = (True, cached)
+    return cached or "auto"
+
+
+def reset_lane_engine_cache() -> None:
+    """Forget the cached ``REPRO_BATCH_LANES`` read."""
+    global _ENV_LANES_CACHE
+    _ENV_LANES_CACHE = (False, None)
+
+
 def resolve_lane_engine(engine: Optional[str] = None) -> str:
-    """Resolve the lane engine: explicit > ``REPRO_BATCH_LANES`` > auto."""
-    choice = engine or os.environ.get(LANES_ENV) or "auto"
+    """Resolve the lane engine: explicit > ``REPRO_BATCH_LANES``
+    (cached at first use; see :func:`default_lane_engine`) > auto."""
+    choice = engine or default_lane_engine()
     choice = choice.strip().lower()
     if choice not in LANE_ENGINES:
         raise ReproError(

@@ -135,13 +135,45 @@ def backend_tiers() -> Dict[str, Tier]:
     return dict(_TIERS)
 
 
+#: Cached ``REPRO_BACKEND`` read: ``(loaded, choice)``.  The env var is
+#: a *process startup* default — reading it per call deep inside
+#: ``run_flowchart`` meant one caller's ``os.environ`` mutation leaked
+#: into every other caller sharing the process (the multi-tenant server
+#: made this observable).  Mirrors ``_ENV_CAP_CACHE`` in
+#: ``robustness.faults``.
+_ENV_BACKEND_CACHE: Tuple[bool, Optional[str]] = (False, None)
+
+
+def default_backend() -> str:
+    """The backend used when no explicit choice is given.
+
+    ``REPRO_BACKEND`` is read once and cached; call
+    :func:`reset_backend_cache` after changing the env mid-process
+    (tests, notebooks).  Long-running services should pass ``backend=``
+    explicitly instead of mutating the environment.
+    """
+    global _ENV_BACKEND_CACHE
+    loaded, cached = _ENV_BACKEND_CACHE
+    if not loaded:
+        cached = os.environ.get(BACKEND_ENV) or None
+        _ENV_BACKEND_CACHE = (True, cached)
+    return cached or _DEFAULT_BACKEND
+
+
+def reset_backend_cache() -> None:
+    """Forget the cached ``REPRO_BACKEND`` read (re-read on next use)."""
+    global _ENV_BACKEND_CACHE
+    _ENV_BACKEND_CACHE = (False, None)
+
+
 def resolve_backend(backend: Optional[str] = None) -> str:
     """Resolve an explicit choice, the env override, or the default.
 
-    Precedence: explicit argument > ``REPRO_BACKEND`` > ``"compiled"``.
-    Aliases (``interp``) resolve to their canonical tier name.
+    Precedence: explicit argument > ``REPRO_BACKEND`` (cached at first
+    use; see :func:`default_backend`) > ``"compiled"``.  Aliases
+    (``interp``) resolve to their canonical tier name.
     """
-    choice = backend or os.environ.get(BACKEND_ENV) or _DEFAULT_BACKEND
+    choice = backend or default_backend()
     choice = choice.strip().lower()
     choice = BACKEND_ALIASES.get(choice, choice)
     if choice not in _TIERS:
@@ -550,8 +582,33 @@ class _LRUMemo:
             self.hits = 0
             self.misses = 0
 
+    def resize(self, maxsize: int) -> None:
+        """Change capacity in place, evicting LRU entries that no
+        longer fit.  Hit/miss counters survive a resize; shrinking to
+        ``<= 0`` disables the memo and drops its contents."""
+        with self._lock:
+            self.maxsize = maxsize
+            if maxsize <= 0:
+                self._data.clear()
+            else:
+                while len(self._data) > maxsize:
+                    self._data.popitem(last=False)
+
+    def stats(self) -> Dict[str, int]:
+        """One consistent snapshot of size/maxsize/hits/misses.
+
+        Taken under the memo lock so a concurrent ``put`` mid-trim can
+        never be observed as ``size > maxsize`` (the unlocked reads in
+        the old ``memo_stats()`` could tear exactly that way under the
+        server's thread pool).
+        """
+        with self._lock:
+            return {"size": len(self._data), "maxsize": self.maxsize,
+                    "hits": self.hits, "misses": self.misses}
+
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
 
 def _memo_size() -> int:
@@ -587,6 +644,17 @@ def _memo_size() -> int:
 _RESULT_MEMO = _LRUMemo(_memo_size())
 
 
+def reset_exec_cache() -> None:
+    """Re-read ``REPRO_EXEC_CACHE`` and resize the result memo.
+
+    ``_RESULT_MEMO`` is sized once at import, so setting the env var
+    afterwards (tests, notebooks, server startup) was silently ignored.
+    Mirrors :func:`repro.robustness.faults.reset_value_cap_cache`:
+    call it after any mid-process env change you want honoured.
+    """
+    _RESULT_MEMO.resize(_memo_size())
+
+
 def clear_result_memo() -> None:
     """Drop memoised execution results (benchmarks call this per rep)."""
     _RESULT_MEMO.clear()
@@ -613,8 +681,7 @@ def memo_stats() -> Dict[str, int]:
     and lifetime lane-fallback total.
     """
     from . import batchpath
-    stats = {"size": len(_RESULT_MEMO), "maxsize": _RESULT_MEMO.maxsize,
-             "hits": _RESULT_MEMO.hits, "misses": _RESULT_MEMO.misses}
+    stats = _RESULT_MEMO.stats()
     for key, value in batchpath.batch_stats().items():
         stats[f"batch_{key}"] = value
     return stats

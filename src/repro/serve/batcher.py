@@ -1,0 +1,175 @@
+"""Coalesce concurrent /execute requests into batch-tier grids.
+
+Requests arriving within one flush window that target the same
+``(flowchart, fuel, value_cap, lane_engine)`` become lanes of a single
+:func:`~repro.flowchart.batchpath.execute_batch` call — the Gen-2
+vectorized engine amortizes compilation and the block-dispatch loop
+across the whole set, which is what lets the server sustain hundreds
+of requests per second without hundreds of scalar executions.
+
+Fidelity: lane ``i``'s decoded outcome is bit-identical to a scalar
+``run_flowchart`` of the same point under the same budgets (PR6's
+differential suite pins this per engine), including the distinguished
+``Λ!fuel[N]``/``Λ!cap[C]`` notices.  If a whole batch fails for any
+undeclared reason, every lane is retried individually so one poisoned
+request cannot fail its neighbours.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+from ..flowchart.batchpath import K_CAP, K_FUEL, execute_batch
+from ..flowchart.program import Flowchart
+from ..obs import runtime as _obs
+from ..robustness.faults import cap_notice, fuel_notice
+
+__all__ = ["ExecuteBatcher", "execute_point_outcome"]
+
+
+def execute_point_outcome(flowchart: Flowchart, point: Tuple[int, ...],
+                          fuel: int, value_cap: Optional[int],
+                          backend: str) -> Dict:
+    """One scalar execution, declared faults totalized into notices.
+
+    The non-coalesced path (explicit ``backend`` other than batch) and
+    the batcher's per-lane fallback both land here, so every /execute
+    response is produced by the same decoding.
+    """
+    from ..core.errors import FuelExhaustedError, ValueCapExceededError
+    from ..flowchart.fastpath import run_flowchart
+
+    try:
+        result = run_flowchart(flowchart, point, fuel=fuel,
+                               backend=backend, value_cap=value_cap)
+    except FuelExhaustedError:
+        return {"value": None, "steps": None,
+                "notice": str(fuel_notice(fuel))}
+    except ValueCapExceededError as error:
+        return {"value": None, "steps": None,
+                "notice": str(cap_notice(error.cap))}
+    return {"value": result.value, "steps": result.steps, "notice": None}
+
+
+class _PendingBatch:
+    __slots__ = ("flowchart", "fuel", "value_cap", "lane_engine", "points",
+                 "futures", "request_spans")
+
+    def __init__(self, flowchart: Flowchart, fuel: int,
+                 value_cap: Optional[int],
+                 lane_engine: Optional[str]) -> None:
+        self.flowchart = flowchart
+        self.fuel = fuel
+        self.value_cap = value_cap
+        self.lane_engine = lane_engine
+        self.points: List[Tuple[int, ...]] = []
+        self.futures: List[asyncio.Future] = []
+        self.request_spans: List[str] = []
+
+
+class ExecuteBatcher:
+    """The per-server coalescer.  All methods run on the event loop."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, executor,
+                 window_s: float = 0.002, max_lanes: int = 512,
+                 root_span: Optional[str] = None) -> None:
+        self._loop = loop
+        self._executor = executor
+        self.window_s = window_s
+        self.max_lanes = max_lanes
+        self.root_span = root_span
+        self._pending: Dict[Tuple, _PendingBatch] = {}
+        self.batches_flushed = 0
+        self.lanes_executed = 0
+
+    async def submit(self, key: Tuple, flowchart: Flowchart,
+                     point: Tuple[int, ...], fuel: int,
+                     value_cap: Optional[int],
+                     lane_engine: Optional[str],
+                     request_span: Optional[str] = None) -> Dict:
+        """Queue one point; resolves with its decoded outcome dict."""
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = _PendingBatch(flowchart, fuel, value_cap, lane_engine)
+            self._pending[key] = batch
+            self._loop.call_later(self.window_s, self._flush, key)
+        future: asyncio.Future = self._loop.create_future()
+        batch.points.append(point)
+        batch.futures.append(future)
+        if request_span is not None:
+            batch.request_spans.append(request_span)
+        if len(batch.points) >= self.max_lanes:
+            self._flush(key)
+        return await future
+
+    def _flush(self, key: Tuple) -> None:
+        batch = self._pending.pop(key, None)
+        if batch is None:  # already flushed by the max_lanes trigger
+            return
+        self.batches_flushed += 1
+        self.lanes_executed += len(batch.points)
+        task = self._loop.run_in_executor(self._executor,
+                                          self._run_batch, batch)
+        task.add_done_callback(
+            lambda done, batch=batch: self._deliver(batch, done))
+
+    def _run_batch(self, batch: _PendingBatch) -> List[Dict]:
+        """Worker-thread body: one grid execution, decoded per lane."""
+        span = _obs.span_begin(
+            "batch", parent=self.root_span,
+            program=batch.flowchart.name, lanes=len(batch.points),
+            requests=list(batch.request_spans))
+        try:
+            rows = execute_batch(batch.flowchart, batch.points,
+                                 fuel=batch.fuel, value_cap=batch.value_cap,
+                                 engine=batch.lane_engine)
+            fuel_out = str(fuel_notice(batch.fuel))
+            cap_out = (str(cap_notice(rows.cap))
+                       if rows.cap is not None else None)
+            outcomes: List[Dict] = []
+            for i in range(len(batch.points)):
+                kind = rows.kind(i)
+                if kind == K_FUEL:
+                    outcomes.append({"value": None, "steps": None,
+                                     "notice": fuel_out})
+                elif kind == K_CAP:
+                    outcomes.append({"value": None, "steps": None,
+                                     "notice": cap_out})
+                else:
+                    outcomes.append({"value": rows.value(i),
+                                     "steps": rows.steps(i),
+                                     "notice": None})
+            return outcomes
+        except Exception:
+            # Whole-batch failure: isolate lanes so one bad request
+            # cannot take down its coalesced neighbours.  Scalar
+            # fallback runs on the compiled tier — the same engine the
+            # batch tier itself retires hazardous lanes to.
+            outcomes = []
+            for point in batch.points:
+                try:
+                    outcomes.append(execute_point_outcome(
+                        batch.flowchart, point, batch.fuel,
+                        batch.value_cap, "compiled"))
+                except Exception as error:  # undeclared fault
+                    outcomes.append({"__error__": error})
+            return outcomes
+        finally:
+            _obs.span_finish(span)
+
+    def _deliver(self, batch: _PendingBatch, done) -> None:
+        error = done.exception()
+        for index, future in enumerate(batch.futures):
+            if future.cancelled():
+                continue
+            if error is not None:
+                future.set_exception(error)
+            else:
+                outcome = done.result()[index]
+                lane_error = (outcome.get("__error__")
+                              if isinstance(outcome, dict) else None)
+                if lane_error is not None:
+                    future.set_exception(lane_error)
+                else:
+                    future.set_result(outcome)

@@ -1,0 +1,95 @@
+"""Fingerprinted caches shared across tenants.
+
+Sharing is safe *because of* the key discipline: every response cache
+key embeds the full budget tuple ``(flowchart, policy, fuel, cap,
+backend)``, so two tenants share an entry only when their requests are
+observationally identical — same program, same budgets, same tier.  A
+tenant can never be served a result computed under someone else's
+budget (which would leak that budget's fault behaviour).
+
+Three layers:
+
+- flowchart cache: source fingerprint → compiled :class:`Flowchart`,
+  so repeated submissions of the same source reuse the per-flowchart
+  compile caches in ``fastpath``/``batchpath`` (which are keyed by
+  object identity and die with the graph);
+- response cache: an :class:`~repro.flowchart.fastpath._LRUMemo` over
+  rendered JSON-ready payloads;
+- in-flight map: coalesces concurrent identical sweeps onto one
+  computation (the server awaits the same future).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..flowchart.fastpath import _LRUMemo
+from ..flowchart.program import Flowchart
+
+__all__ = ["ServeCache", "flowchart_fingerprint"]
+
+#: Compiled flowcharts kept per distinct submitted source.
+_FLOWCHART_CACHE_SIZE = 256
+
+
+def flowchart_fingerprint(flowchart: Flowchart) -> str:
+    """A stable content fingerprint for cache keys.
+
+    Library programs are canonical singletons per name; ad-hoc sources
+    hash their structural rendering, so semantically identical
+    resubmissions (same boxes, same wiring) key the same entry even
+    when whitespace differs.
+    """
+    rendering = flowchart.pretty()
+    digest = hashlib.sha256(rendering.encode("utf-8")).hexdigest()[:16]
+    return f"{flowchart.name}:{digest}"
+
+
+class ServeCache:
+    """The server's shared cache plane; every method is thread-safe."""
+
+    def __init__(self, response_size: int = 4096) -> None:
+        self.responses = _LRUMemo(response_size)
+        self._flowcharts = _LRUMemo(_FLOWCHART_CACHE_SIZE)
+        self._fingerprints: Dict[int, str] = {}
+        self._fp_lock = threading.Lock()
+
+    # -- flowchart interning ------------------------------------------------
+
+    def intern_flowchart(self, flowchart: Flowchart) -> Tuple[Flowchart, str]:
+        """Map a parsed flowchart onto its cached twin (and fingerprint).
+
+        Request parsing builds a fresh :class:`Flowchart` per POST;
+        interning returns the first instance seen for that fingerprint
+        so the identity-keyed compile/memo caches underneath stay warm
+        across requests and tenants.
+        """
+        cached_fp = self._fingerprints.get(id(flowchart))
+        if cached_fp is not None:
+            return flowchart, cached_fp
+        fingerprint = flowchart_fingerprint(flowchart)
+        interned = self._flowcharts.get(fingerprint)
+        if interned is None:
+            self._flowcharts.put(fingerprint, flowchart)
+            interned = flowchart
+            with self._fp_lock:
+                self._fingerprints[id(flowchart)] = fingerprint
+                if len(self._fingerprints) > 4 * _FLOWCHART_CACHE_SIZE:
+                    self._fingerprints.clear()
+        return interned, fingerprint
+
+    # -- response cache -----------------------------------------------------
+
+    def get_response(self, key: Tuple) -> Optional[Dict]:
+        return self.responses.get(key)
+
+    def put_response(self, key: Tuple, payload: Dict) -> None:
+        self.responses.put(key, payload)
+
+    def stats(self) -> Dict[str, int]:
+        stats = {f"responses_{k}": v for k, v in self.responses.stats().items()}
+        stats.update({f"flowcharts_{k}": v
+                      for k, v in self._flowcharts.stats().items()})
+        return stats

@@ -1,0 +1,623 @@
+"""The asyncio HTTP/JSON enforcement service behind ``repro serve``.
+
+One process, many tenants: the server fronts the execution tiers, the
+parallel sweep runner, the flowlint passes, and the provenance
+explainer over a deliberately small HTTP/1.1 surface (stdlib asyncio
+streams — no new dependencies):
+
+========  =========  ====================================================
+method    path       what
+========  =========  ====================================================
+GET       /healthz   liveness probe
+GET       /metrics   Prometheus text exposition of the obs registry
+POST      /execute   one point execution (``repro run``)
+POST      /sweep     a soundness sweep (``repro sweep --results-json``)
+POST      /lint      static analysis (``repro lint --json``)
+POST      /explain   violation provenance (``repro explain --json``)
+========  =========  ====================================================
+
+Responses are bit-identical to their CLI twins: same values, same step
+counts, same ``Λ!fuel[N]``/``Λ!cap[C]`` notice strings, same sweep
+rows, same lint/explain dictionaries.  The serve test suite pins this
+against golden CLI output.
+
+Startup is where the environment dies: the four env caches are reset
+and read exactly once into :class:`ServerConfig` effective defaults;
+from there on, every budget and backend travels as an explicit
+parameter.  Handlers never touch ``os.environ`` — that is the whole
+point of the PR8 bugfixes this service sits on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import ReproError
+from ..flowchart.batchpath import (default_lane_engine,
+                                   reset_lane_engine_cache)
+from ..flowchart.fastpath import (default_backend, export_memo_stats,
+                                  reset_backend_cache, reset_exec_cache,
+                                  resolve_backend)
+from ..flowchart.interpreter import DEFAULT_FUEL
+from ..obs import runtime as _obs
+from ..robustness.faults import default_value_cap, reset_value_cap_cache
+from .batcher import ExecuteBatcher, execute_point_outcome
+from .cache import ServeCache
+from .schema import (RequestError, parse_execute, parse_explain, parse_lint,
+                     parse_sweep)
+from .tenants import TenantRegistry
+
+__all__ = ["ReproServer", "ServerConfig", "serve_in_thread"]
+
+_JSON = "application/json; charset=utf-8"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+_REASONS = {200: "OK", 400: "Bad Request", 403: "Forbidden",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error"}
+
+
+class ServerConfig:
+    """Everything the server reads exactly once, before serving.
+
+    ``backend`` defaults to the *batch* tier: coalescing concurrent
+    /execute requests into grid evaluations is the service's reason to
+    exist, and the differential suite guarantees batch lanes are
+    bit-identical to scalar runs.  Pass ``backend="compiled"`` (or any
+    other tier) to opt out.  ``value_cap``/``lane_engine`` left unset
+    inherit the environment defaults — read once at startup through
+    the PR8 reset functions, never again.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 tenants: Optional[TenantRegistry] = None,
+                 fuel: int = DEFAULT_FUEL,
+                 value_cap: Optional[int] = None,
+                 backend: str = "batch",
+                 lane_engine: Optional[str] = None,
+                 executor: str = "thread",
+                 jobs: Optional[int] = None,
+                 batch_window_ms: float = 2.0,
+                 batch_max_lanes: int = 512,
+                 cache_size: int = 4096,
+                 workers: int = 8,
+                 max_body: int = 1 << 20) -> None:
+        self.host = host
+        self.port = port
+        self.tenants = tenants or TenantRegistry()
+        self.fuel = fuel
+        self.value_cap = value_cap
+        self.backend = backend
+        self.lane_engine = lane_engine
+        self.executor = executor
+        self.jobs = jobs
+        self.batch_window_ms = batch_window_ms
+        self.batch_max_lanes = batch_max_lanes
+        self.cache_size = cache_size
+        self.workers = workers
+        self.max_body = max_body
+
+
+class _ThreadSpanParent:
+    """Parent the current worker thread's spans under ``span_id``.
+
+    The sweep runner opens its own span tree on whatever thread runs
+    it; pushing the request span onto that thread's stack makes the
+    sweep a child of the request, keeping each request single-rooted
+    under the server's ``serve`` span (the soak test asserts this).
+    """
+
+    def __init__(self, span_id: Optional[str]) -> None:
+        self._span_id = span_id
+
+    def __enter__(self) -> "_ThreadSpanParent":
+        if self._span_id is not None:
+            _obs._stack().append(self._span_id)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._span_id is not None:
+            stack = _obs._stack()
+            if stack and stack[-1] == self._span_id:
+                stack.pop()
+
+
+class ReproServer:
+    """The serving loop.  Create, ``await start()``, ``await
+    wait_stopped()``; call :meth:`request_stop` (thread-safe) to end."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.cache = ServeCache(config.cache_size)
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._batcher: Optional[ExecuteBatcher] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._inflight_sweeps: Dict[Tuple, asyncio.Future] = {}
+        self._root_span = None
+        # Effective defaults, fixed at start(); placeholders until then.
+        self.fuel = config.fuel
+        self.default_value_cap = config.value_cap
+        self.default_backend = config.backend
+        self.lane_engine = config.lane_engine
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        # The one environment read of the server's lifetime: flush all
+        # four env-derived caches, then capture their values as this
+        # process's explicit defaults.
+        reset_exec_cache()
+        reset_value_cap_cache()
+        reset_backend_cache()
+        reset_lane_engine_cache()
+        self.fuel = self.config.fuel
+        self.default_backend = resolve_backend(self.config.backend)
+        self.default_value_cap = (self.config.value_cap
+                                  if self.config.value_cap is not None
+                                  else default_value_cap())
+        self.lane_engine = (self.config.lane_engine
+                            or default_lane_engine())
+
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve")
+        self._root_span = _obs.span_begin(
+            "serve", host=self.config.host,
+            backend=self.default_backend, fuel=self.fuel)
+        self._batcher = ExecuteBatcher(
+            self._loop, self._executor,
+            window_s=self.config.batch_window_ms / 1000.0,
+            max_lanes=self.config.batch_max_lanes,
+            root_span=self._root_span.id if self._root_span else None)
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port)
+        self.started_at = time.monotonic()
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` ephemeral binds)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    def request_stop(self) -> None:
+        """Thread-safe, idempotent shutdown request."""
+        if self._loop is not None and self._stopped is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stopped.set)
+            except RuntimeError:
+                pass  # loop already closed: nothing left to stop
+
+    async def wait_stopped(self) -> None:
+        """Serve until :meth:`request_stop`, then tear down."""
+        assert self._stopped is not None
+        await self._stopped.wait()
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        _obs.span_finish(self._root_span)
+        self._root_span = None
+
+    # -- HTTP plumbing ------------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except RequestError as error:
+                    writer.write(self._render_response(
+                        error.status, _JSON,
+                        self._json_bytes(error.to_dict()), False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = (headers.get("connection", "").lower()
+                              != "close")
+                status, content_type, payload = await self._dispatch(
+                    method, path, body)
+                writer.write(self._render_response(
+                    status, content_type, payload, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to clean up per-connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass  # shutdown races the close handshake; both fine
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            raise ConnectionError("malformed request line")
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > self.config.max_body:
+            # Answer 413 and drop the connection without draining.
+            raise RequestError(
+                413, "payload_too_large",
+                f"body of {length} bytes exceeds the "
+                f"{self.config.max_body}-byte limit")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path.split("?", 1)[0], headers, body
+
+    @staticmethod
+    def _render_response(status: int, content_type: str, payload: bytes,
+                         keep_alive: bool) -> bytes:
+        reason = _REASONS.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: {connection}\r\n\r\n")
+        return head.encode("latin-1") + payload
+
+    @staticmethod
+    def _json_bytes(payload: Dict) -> bytes:
+        return json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> Tuple[int, str, bytes]:
+        started = time.perf_counter()
+        registry = _obs.registry
+        registry.counter("serve.requests").inc()
+        span = _obs.span_begin(
+            "request",
+            parent=self._root_span.id if self._root_span else None,
+            method=method, path=path)
+        status = 500
+        try:
+            status, content_type, payload = await self._route(
+                method, path, body, span)
+            return status, content_type, payload
+        except RequestError as error:
+            status = error.status
+            registry.counter("serve.errors").inc()
+            registry.counter(f"serve.errors.{error.code}").inc()
+            return status, _JSON, self._json_bytes(error.to_dict())
+        except ReproError as error:
+            # A domain error that slipped past request validation is
+            # still the client's input, not a server fault.
+            status = 400
+            registry.counter("serve.errors").inc()
+            return status, _JSON, self._json_bytes(
+                {"error": {"code": "repro_error", "message": str(error)}})
+        except Exception as error:  # the 500 of last resort
+            registry.counter("serve.errors").inc()
+            registry.counter("serve.errors.internal").inc()
+            return 500, _JSON, self._json_bytes(
+                {"error": {"code": "internal",
+                           "message": f"{type(error).__name__}: {error}"}})
+        finally:
+            elapsed = time.perf_counter() - started
+            registry.histogram("serve.latency_s").observe(elapsed)
+            _obs.span_finish(span, status=status)
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     span) -> Tuple[int, str, bytes]:
+        if path == "/healthz":
+            if method != "GET":
+                raise RequestError(405, "method_not_allowed",
+                                   f"{path} is GET-only")
+            return 200, _JSON, self._json_bytes(self._healthz())
+        if path == "/metrics":
+            if method != "GET":
+                raise RequestError(405, "method_not_allowed",
+                                   f"{path} is GET-only")
+            return 200, _PROM, self._metrics_text().encode("utf-8")
+        handlers = {"/execute": self._handle_execute,
+                    "/sweep": self._handle_sweep,
+                    "/lint": self._handle_lint,
+                    "/explain": self._handle_explain}
+        handler = handlers.get(path)
+        if handler is None:
+            raise RequestError(404, "not_found", f"unknown path {path!r}")
+        if method != "POST":
+            raise RequestError(405, "method_not_allowed",
+                               f"{path} is POST-only")
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestError(400, "bad_json",
+                               f"request body is not JSON: {error}")
+        response = await handler(payload, span)
+        return 200, _JSON, self._json_bytes(response)
+
+    # -- GET endpoints ------------------------------------------------------
+
+    def _healthz(self) -> Dict:
+        uptime = (time.monotonic() - self.started_at
+                  if self.started_at is not None else 0.0)
+        return {"status": "ok", "uptime_s": round(uptime, 3),
+                "backend": self.default_backend, "fuel": self.fuel,
+                "value_cap": self.default_value_cap}
+
+    def _metrics_text(self) -> str:
+        registry = _obs.registry
+        export_memo_stats()
+        for name, value in self.cache.stats().items():
+            registry.gauge(f"serve.cache.{name}").set(value)
+        if self._batcher is not None:
+            registry.gauge("serve.batches_flushed").set(
+                self._batcher.batches_flushed)
+            registry.gauge("serve.lanes_executed").set(
+                self._batcher.lanes_executed)
+        return registry.to_prometheus()
+
+    # -- POST endpoints -----------------------------------------------------
+
+    def _effective_budgets(self, tenant: str, fuel: Optional[int],
+                           value_cap: Optional[int]):
+        registry = self.config.tenants
+        budget = registry.admit(tenant)
+        return (budget,
+                registry.effective_fuel(budget, fuel, self.fuel),
+                registry.effective_value_cap(budget, value_cap,
+                                             self.default_value_cap))
+
+    async def _handle_execute(self, payload, span) -> Dict:
+        request = parse_execute(payload)
+        budget, fuel, value_cap = self._effective_budgets(
+            request.tenant, request.fuel, request.value_cap)
+        backend = resolve_backend(request.backend or budget.backend
+                                  or self.default_backend)
+        lane_engine = budget.lane_engine or self.lane_engine
+        flowchart, fingerprint = self.cache.intern_flowchart(
+            request.flowchart)
+        key = ("execute", fingerprint, request.inputs, fuel, value_cap,
+               backend, lane_engine if backend == "batch" else None)
+        cached = self.cache.get_response(key)
+        if cached is not None:
+            _obs.registry.counter("serve.execute.cache_hits").inc()
+            return cached
+        if backend == "batch":
+            outcome = await self._batcher.submit(
+                key[:2] + key[3:], flowchart, request.inputs, fuel,
+                value_cap, lane_engine,
+                request_span=span.id if span else None)
+        else:
+            outcome = await self._loop.run_in_executor(
+                self._executor, execute_point_outcome, flowchart,
+                request.inputs, fuel, value_cap, backend)
+        response = {
+            "program": flowchart.name,
+            "inputs": list(request.inputs),
+            "value": outcome["value"],
+            "steps": outcome["steps"],
+            "notice": outcome["notice"],
+            "fuel": fuel,
+            "value_cap": value_cap,
+            "backend": backend,
+            "tenant": budget.name if request.tenant == "default"
+            else request.tenant,
+        }
+        self.cache.put_response(key, response)
+        return response
+
+    async def _handle_sweep(self, payload, span) -> Dict:
+        request = parse_sweep(payload)
+        budget, fuel, value_cap = self._effective_budgets(
+            request.tenant, request.fuel, request.value_cap)
+        backend = resolve_backend(request.backend or budget.backend
+                                  or self.default_backend)
+        lane_engine = request.lane_engine or budget.lane_engine \
+            or self.lane_engine
+        key = request.cache_key(fuel, value_cap, backend, lane_engine)
+        cached = self.cache.get_response(key)
+        if cached is not None:
+            _obs.registry.counter("serve.sweep.cache_hits").inc()
+            return cached
+        # Concurrent identical sweeps coalesce onto one computation:
+        # rows are schedule-independent, so every waiter can share it.
+        inflight = self._inflight_sweeps.get(key)
+        if inflight is not None:
+            return await asyncio.shield(inflight)
+        future = self._loop.create_future()
+        self._inflight_sweeps[key] = future
+        try:
+            response = await self._loop.run_in_executor(
+                self._executor, self._run_sweep, request, fuel,
+                value_cap, backend, lane_engine,
+                span.id if span else None)
+            self.cache.put_response(key, response)
+            future.set_result(response)
+            return response
+        except BaseException as error:
+            future.set_exception(error)
+            # A shared failure is still consumed by any waiters above;
+            # mark it retrieved so lone failures don't warn on GC.
+            future.exception()
+            raise
+        finally:
+            self._inflight_sweeps.pop(key, None)
+
+    def _run_sweep(self, request, fuel: int, value_cap: Optional[int],
+                   backend: str, lane_engine: Optional[str],
+                   parent_span: Optional[str]) -> Dict:
+        from ..cli import LIBRARY
+        from ..core import ProductDomain
+        from ..verify import parallel_soundness_sweep, unsound_results
+
+        flowcharts = [LIBRARY[name]() for name in request.programs]
+        executor = request.executor or self.config.executor
+        with _ThreadSpanParent(parent_span):
+            results = parallel_soundness_sweep(
+                flowcharts, request.mechanism,
+                grid=lambda arity: ProductDomain.integer_grid(
+                    request.low, request.high, arity),
+                fuel=fuel,
+                executor=executor,
+                max_workers=request.jobs or self.config.jobs,
+                chunk_size=request.chunk_size,
+                value_cap=value_cap,
+                backend=backend,
+                lane_engine=lane_engine)
+        rows = [
+            {
+                "program": result.program_name,
+                "policy": result.policy_name,
+                "sound": result.sound,
+                "accepts": result.accepts,
+                "domain_size": result.domain_size,
+                "backends": result.backends,
+            }
+            for result in results
+        ]
+        return {
+            "rows": rows,
+            "pairs": len(results),
+            "unsound": len(unsound_results(results)),
+            "mechanism": request.mechanism,
+            "low": request.low,
+            "high": request.high,
+            "fuel": fuel,
+            "value_cap": value_cap,
+            "backend": backend,
+        }
+
+    async def _handle_lint(self, payload, span) -> Dict:
+        request = parse_lint(payload)
+        self.config.tenants.admit(request.tenant)
+        flowchart, fingerprint = self.cache.intern_flowchart(
+            request.flowchart)
+        key = request.cache_key(fingerprint)
+        cached = self.cache.get_response(key)
+        if cached is not None:
+            _obs.registry.counter("serve.lint.cache_hits").inc()
+            return cached
+        response = await self._loop.run_in_executor(
+            self._executor, self._run_lint, flowchart,
+            request.policy_text, span.id if span else None)
+        self.cache.put_response(key, response)
+        return response
+
+    def _run_lint(self, flowchart, policy_text: Optional[str],
+                  parent_span: Optional[str]) -> Dict:
+        from ..analysis import PassManager
+        from ..flowchart.parser import parse_policy
+
+        policy = (parse_policy(policy_text, arity=flowchart.arity)
+                  if policy_text is not None else None)
+        with _ThreadSpanParent(parent_span):
+            report = PassManager.with_default_passes().run(flowchart,
+                                                           policy)
+        exit_code = 1 if report.has_errors else 0
+        # The exact shape of ``repro lint --json`` for one program.
+        return {
+            "programs": 1,
+            "errors": len(report.errors),
+            "exit_code": exit_code,
+            "reports": [report.to_dict()],
+        }
+
+    async def _handle_explain(self, payload, span) -> Dict:
+        request = parse_explain(payload)
+        budget, fuel, _cap = self._effective_budgets(
+            request.tenant, request.fuel, None)
+        flowchart, _fingerprint = self.cache.intern_flowchart(
+            request.flowchart)
+        return await self._loop.run_in_executor(
+            self._executor, self._run_explain, flowchart, request, fuel,
+            span.id if span else None)
+
+    def _run_explain(self, flowchart, request, fuel: int,
+                     parent_span: Optional[str]) -> Dict:
+        from .. import obs
+
+        with _ThreadSpanParent(parent_span):
+            if request.static:
+                explanation = obs.explain_static(flowchart,
+                                                 request.policy)
+            else:
+                explanation = obs.explain(flowchart, request.policy,
+                                          request.inputs,
+                                          timed=request.timed, fuel=fuel)
+        # ``repro explain --json`` prints exactly ``to_dict()``; keep it
+        # verbatim under "explanation" with the exit signal alongside.
+        return {"explanation": explanation.to_dict(),
+                "violated": explanation.violated}
+
+
+class ServerHandle:
+    """A running server on a background thread (tests, benches, CI)."""
+
+    def __init__(self, server: ReproServer, thread: threading.Thread,
+                 port: int) -> None:
+        self.server = server
+        self.thread = thread
+        self.port = port
+        self.host = server.config.host
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.server.request_stop()
+        self.thread.join(timeout)
+
+
+def serve_in_thread(config: Optional[ServerConfig] = None,
+                    timeout: float = 10.0) -> ServerHandle:
+    """Start a server on a daemon thread; returns once it is bound."""
+    config = config or ServerConfig()
+    server = ReproServer(config)
+    started = threading.Event()
+    failure: list = []
+
+    async def _main() -> None:
+        try:
+            await server.start()
+        except Exception as error:  # surface bind errors to the caller
+            failure.append(error)
+            started.set()
+            return
+        started.set()
+        await server.wait_stopped()
+
+    def _run() -> None:
+        asyncio.run(_main())
+
+    thread = threading.Thread(target=_run, daemon=True,
+                              name="repro-serve-loop")
+    thread.start()
+    if not started.wait(timeout):
+        raise RuntimeError("server failed to start within "
+                           f"{timeout}s")
+    if failure:
+        raise failure[0]
+    return ServerHandle(server, thread, server.port)

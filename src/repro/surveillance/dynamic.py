@@ -264,7 +264,8 @@ def surveillance_mechanism(flowchart: Flowchart, policy: AllowPolicy,
                            fuel: int = DEFAULT_FUEL,
                            program: Optional[Program] = None,
                            name: Optional[str] = None,
-                           value_cap: Optional[int] = None) -> ProtectionMechanism:
+                           value_cap: Optional[int] = None,
+                           backend: Optional[str] = None) -> ProtectionMechanism:
     """Build the surveillance protection mechanism for (Q, allow(J)).
 
     ``output_model`` declares what the user observes of the *protected
@@ -275,7 +276,9 @@ def surveillance_mechanism(flowchart: Flowchart, policy: AllowPolicy,
 
     ``program`` may supply an existing Program wrapper for Q (so several
     mechanisms protect the *same* Program object); otherwise one is
-    created from the flowchart.
+    created from the flowchart.  ``backend`` selects Q's execution tier
+    explicitly (the surveillance walk itself is interpreter-level);
+    ``None`` defers to the process-wide default.
     """
     allowed = _allowed_of(policy)
     if policy.arity != flowchart.arity:
@@ -283,7 +286,8 @@ def surveillance_mechanism(flowchart: Flowchart, policy: AllowPolicy,
             f"policy arity {policy.arity} != flowchart arity {flowchart.arity}"
         )
     protected = program if program is not None else as_program(
-        flowchart, domain, output_model, fuel=fuel, value_cap=value_cap)
+        flowchart, domain, output_model, fuel=fuel, value_cap=value_cap,
+        backend=backend)
 
     time_observable = output_model.time_observable
 
@@ -319,9 +323,10 @@ def timed_surveillance_mechanism(flowchart: Flowchart, policy: AllowPolicy,
                                  fuel: int = DEFAULT_FUEL,
                                  program: Optional[Program] = None,
                                  name: Optional[str] = None,
-                                 value_cap: Optional[int] = None) -> ProtectionMechanism:
+                                 value_cap: Optional[int] = None,
+                                 backend: Optional[str] = None) -> ProtectionMechanism:
     """Theorem 3′'s M′ — sound even when running times are observable."""
     return surveillance_mechanism(flowchart, policy, domain,
                                   output_model=output_model, timed=True,
                                   fuel=fuel, program=program, name=name,
-                                  value_cap=value_cap)
+                                  value_cap=value_cap, backend=backend)

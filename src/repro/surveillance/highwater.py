@@ -33,7 +33,8 @@ def highwater_mechanism(flowchart: Flowchart, policy: AllowPolicy,
                         fuel: int = DEFAULT_FUEL,
                         program: Optional[Program] = None,
                         name: Optional[str] = None,
-                        value_cap: Optional[int] = None) -> ProtectionMechanism:
+                        value_cap: Optional[int] = None,
+                        backend: Optional[str] = None) -> ProtectionMechanism:
     """The high-water-mark mechanism Mh for (Q, allow(J)).
 
     Identical to the surveillance mechanism except labels accumulate
@@ -44,5 +45,5 @@ def highwater_mechanism(flowchart: Flowchart, policy: AllowPolicy,
         flowchart, policy, domain, output_model=output_model, timed=timed,
         forgetting=False, fuel=fuel, program=program,
         name=name or f"M-hw({flowchart.name}, {policy.name})",
-        value_cap=value_cap,
+        value_cap=value_cap, backend=backend,
     )

@@ -287,7 +287,8 @@ def instrumented_mechanism(flowchart: Flowchart, policy: AllowPolicy,
                            fuel: int = DEFAULT_FUEL,
                            program: Optional[Program] = None,
                            name: Optional[str] = None,
-                           value_cap: Optional[int] = None) -> ProtectionMechanism:
+                           value_cap: Optional[int] = None,
+                           backend: Optional[str] = None) -> ProtectionMechanism:
     """Wrap the instrumented flowchart as a ProtectionMechanism.
 
     Executes M and reads the violation flag from the final environment.
@@ -299,13 +300,15 @@ def instrumented_mechanism(flowchart: Flowchart, policy: AllowPolicy,
     """
     instrumented = instrument(flowchart, policy, timed=timed)
     protected = program if program is not None else as_program(
-        flowchart, domain, output_model, fuel=fuel, value_cap=value_cap)
+        flowchart, domain, output_model, fuel=fuel, value_cap=value_cap,
+        backend=backend)
     time_observable = output_model.time_observable
     has_epochs = bool(flowchart.policy_change_ids())
 
     def mechanism_fn(*inputs):
         result = run_flowchart(instrumented, inputs, fuel=fuel,
-                               capture_env=True, value_cap=value_cap)
+                               capture_env=True, value_cap=value_cap,
+                               backend=backend)
         violated = result.env.get(VIOLATION_FLAG, 0) == 1
         if violated:
             if _obs.active:
@@ -332,7 +335,7 @@ def instrumented_mechanism(flowchart: Flowchart, policy: AllowPolicy,
             return ViolationNotice("Λ")
         if time_observable:
             original = run_flowchart(flowchart, inputs, fuel=fuel,
-                                     value_cap=value_cap)
+                                     value_cap=value_cap, backend=backend)
             return (result.value, original.steps)
         return result.value
 

@@ -82,14 +82,16 @@ def _accepts_fuel(factory) -> bool:
 
 def build_mechanism(factory, flowchart, policy, domain,
                     fuel: int = DEFAULT_FUEL,
-                    value_cap: Optional[int] = None):
+                    value_cap: Optional[int] = None,
+                    backend: Optional[str] = None):
     """Invoke a mechanism factory, threading the sweep budgets.
 
     Registered :data:`~repro.verify.parallel.FACTORIES` all accept
-    ``(flowchart, policy, domain, fuel, value_cap)``.  Legacy callables
-    are still accepted — but only at the default budgets; silently
-    dropping a caller's explicit fuel or value cap is exactly the bug
-    this helper exists to prevent, so those cases raise instead.
+    ``(flowchart, policy, domain, fuel, value_cap, backend)``.  Legacy
+    callables are still accepted — but only at the default budgets;
+    silently dropping a caller's explicit fuel, value cap, or backend
+    is exactly the bug this helper exists to prevent, so those cases
+    raise instead.
     """
     takes_fuel = _accepts_fuel(factory)
     if not takes_fuel and fuel != DEFAULT_FUEL:
@@ -97,13 +99,23 @@ def build_mechanism(factory, flowchart, policy, domain,
             f"mechanism factory {getattr(factory, '__name__', factory)!r} "
             "takes (flowchart, policy, domain) only and cannot honour "
             f"fuel={fuel}; extend it to accept a fuel argument")
+    kwargs = {}
     if value_cap is not None:
         if not _accepts_parameter(factory, "value_cap", 5):
             raise ReproError(
                 f"mechanism factory {getattr(factory, '__name__', factory)!r} "
                 f"cannot honour value_cap={value_cap}; extend it to accept "
                 "a value_cap argument")
-        return factory(flowchart, policy, domain, fuel, value_cap=value_cap)
+        kwargs["value_cap"] = value_cap
+    if backend is not None:
+        if not _accepts_parameter(factory, "backend", 6):
+            raise ReproError(
+                f"mechanism factory {getattr(factory, '__name__', factory)!r} "
+                f"cannot honour backend={backend!r}; extend it to accept "
+                "a backend argument")
+        kwargs["backend"] = backend
+    if kwargs:
+        return factory(flowchart, policy, domain, fuel, **kwargs)
     if takes_fuel:
         return factory(flowchart, policy, domain, fuel)
     return factory(flowchart, policy, domain)

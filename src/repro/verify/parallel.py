@@ -369,7 +369,8 @@ def _evaluate_chunk_batch(flowchart: Flowchart, family: str, policy,
                           points: List[Tuple], fuel: int,
                           value_cap: Optional[int], mechanism_name: str,
                           span: Optional[str] = None,
-                          plan: Optional[chaos.FaultPlan] = None
+                          plan: Optional[chaos.FaultPlan] = None,
+                          lane_engine: Optional[str] = None
                           ) -> ChunkSummary:
     """Evaluate a whole chunk on the batch tier; summarise for the merge.
 
@@ -402,7 +403,7 @@ def _evaluate_chunk_batch(flowchart: Flowchart, family: str, policy,
     else:
         target = flowchart
     rows = execute_batch(target, points, fuel=fuel, value_cap=value_cap,
-                         need_env=surveillance)
+                         engine=lane_engine, need_env=surveillance)
     fuel_out = fuel_notice(fuel)
     cap_out = cap_notice(rows.cap) if rows.cap is not None else None
     viol_out = ViolationNotice("Λ") if surveillance else None
@@ -554,16 +555,17 @@ def merge_chunks(summaries: Sequence[ChunkSummary]) -> Tuple[bool, int]:
 # ---------------------------------------------------------------------------
 
 def _factory_program(flowchart, policy, domain, fuel=DEFAULT_FUEL,
-                     value_cap=None):
+                     value_cap=None, backend=None):
     from ..core.mechanism import program_as_mechanism
     from ..flowchart.interpreter import as_program
 
     return program_as_mechanism(as_program(flowchart, domain, fuel=fuel,
-                                           value_cap=value_cap))
+                                           value_cap=value_cap,
+                                           backend=backend))
 
 
 def _factory_surveillance(flowchart, policy, domain, fuel=DEFAULT_FUEL,
-                          value_cap=None):
+                          value_cap=None, backend=None):
     # The literal Section 3 construction: instrument Q and execute the
     # instrumented flowchart (compiled backend, instrument+compile
     # caches).  Extensionally equal to the interpreter-level
@@ -572,28 +574,28 @@ def _factory_surveillance(flowchart, policy, domain, fuel=DEFAULT_FUEL,
     from ..surveillance.instrument import instrumented_mechanism
 
     return instrumented_mechanism(flowchart, policy, domain, fuel=fuel,
-                                  value_cap=value_cap)
+                                  value_cap=value_cap, backend=backend)
 
 
 def _factory_timed(flowchart, policy, domain, fuel=DEFAULT_FUEL,
-                   value_cap=None):
+                   value_cap=None, backend=None):
     from ..surveillance import timed_surveillance_mechanism
 
     return timed_surveillance_mechanism(flowchart, policy, domain, fuel=fuel,
-                                        value_cap=value_cap)
+                                        value_cap=value_cap, backend=backend)
 
 
 def _factory_highwater(flowchart, policy, domain, fuel=DEFAULT_FUEL,
-                       value_cap=None):
+                       value_cap=None, backend=None):
     from ..surveillance import highwater_mechanism
 
     return highwater_mechanism(flowchart, policy, domain, fuel=fuel,
-                               value_cap=value_cap)
+                               value_cap=value_cap, backend=backend)
 
 
 #: Mechanism families addressable by name (CLI, process pools, benches).
 #: Every registered factory takes ``(flowchart, policy, domain, fuel,
-#: value_cap)``.
+#: value_cap, backend)``.
 FACTORIES: Dict[str, Callable] = {
     "program": _factory_program,
     "surveillance": _factory_surveillance,
@@ -637,7 +639,7 @@ def _run_pair_task(payload: bytes) -> Tuple[int, int, ChunkSummary]:
     """
     (pair_index, chunk_index, flowchart, policy, domain, factory_name,
      points, fuel, value_cap, inject_failure, delay, plan, span_id,
-     batch_family) = pickle.loads(payload)
+     batch_family, backend, lane_engine) = pickle.loads(payload)
     _obs._stack().clear()
     if delay:
         time.sleep(delay)
@@ -645,11 +647,12 @@ def _run_pair_task(payload: bytes) -> Tuple[int, int, ChunkSummary]:
         raise _InjectedWorkerFailure(
             f"injected failure for chunk ({pair_index}, {chunk_index})")
     mechanism = FACTORIES[factory_name](flowchart, policy, domain, fuel,
-                                        value_cap=value_cap)
+                                        value_cap=value_cap, backend=backend)
     if batch_family is not None:
         return pair_index, chunk_index, _evaluate_chunk_batch(
             flowchart, batch_family, policy, points, fuel, value_cap,
-            mechanism.name, span=span_id, plan=plan)
+            mechanism.name, span=span_id, plan=plan,
+            lane_engine=lane_engine)
     return pair_index, chunk_index, evaluate_chunk(mechanism, policy, points,
                                                    span=span_id, plan=plan)
 
@@ -687,6 +690,7 @@ def parallel_soundness_sweep(
         stop: Optional[Callable[[], Optional[str]]] = None,
         deadline: Optional[float] = None,
         backend: Optional[str] = None,
+        lane_engine: Optional[str] = None,
 ) -> List[SweepResult]:
     """The Theorem 3/3′ sweep, chunked across a worker pool.
 
@@ -755,6 +759,11 @@ def parallel_soundness_sweep(
         quarantine bisections degrade to per-point evaluation.  Each
         :class:`~repro.verify.enumerate.SweepResult` reports which
         backends actually ran its chunks via ``result.backends``.
+    lane_engine:
+        Batch-tier lane engine (``auto``/``numpy``/``python``) for
+        ``backend="batch"`` sweeps; ``None`` defers to the cached
+        ``REPRO_BATCH_LANES`` default.  Threaded explicitly so a
+        long-running service never reads the environment per request.
     """
     if chunk_size is not None and chunk_size <= 0:
         raise ReproError(
@@ -775,6 +784,11 @@ def parallel_soundness_sweep(
     if resume and checkpoint is None:
         raise ReproError("resume=True needs a checkpoint path")
     value_cap = resolve_value_cap(value_cap)
+    # Legacy 3-arg callables are honoured at the *default* backend only
+    # (the fuel contract): an explicitly requested backend must reach
+    # the factory or fail loudly, but the mere existence of a process
+    # default must not break them.
+    backend_requested = backend is not None
     backend = resolve_backend(backend)
 
     grid = grid or default_grid
@@ -794,10 +808,14 @@ def parallel_soundness_sweep(
                            if fn is factory), None)
         if family in _BATCH_FAMILIES:
             batch_family = family
-    # The label for chunks evaluated per-point: under backend="batch"
-    # that work runs on whatever tier run_flowchart resolves from the
-    # environment (the degradation target), not on the batch tier.
-    point_backend = resolve_backend(None) if backend == "batch" else backend
+    # The tier for chunks evaluated per-point: under backend="batch"
+    # that work degrades to the compiled engine — the same target the
+    # batch tier itself retires hazardous lanes to — rather than to
+    # whatever the process-global environment happens to say, so two
+    # callers of the same process cannot retarget each other's
+    # degraded chunks.
+    point_backend = "compiled" if backend == "batch" else backend
+    mech_backend = point_backend if backend_requested else None
 
     # Materialise the (flowchart, policy) pair list once, in sweep order.
     pairs: List[Tuple[Flowchart, AllowPolicy, ProductDomain]] = []
@@ -894,12 +912,14 @@ def parallel_soundness_sweep(
                 if mechanism is None:
                     mechanism = build_mechanism(factory, flowchart, policy,
                                                 domain, fuel,
-                                                value_cap=value_cap)
+                                                value_cap=value_cap,
+                                                backend=mech_backend)
                     mechanism_by_domain[id(domain)] = mechanism
             else:
                 mechanism = build_mechanism(factory, flowchart, policy,
                                             domain, fuel,
-                                            value_cap=value_cap)
+                                            value_cap=value_cap,
+                                            backend=mech_backend)
             points = points_by_domain.get(id(domain))
             if points is None:
                 points = list(domain)
@@ -1001,7 +1021,8 @@ def parallel_soundness_sweep(
         if mechanism is None:
             flowchart, policy, domain = pairs[pair_index]
             mechanism = build_mechanism(factory, flowchart, policy, domain,
-                                        fuel, value_cap=value_cap)
+                                        fuel, value_cap=value_cap,
+                                        backend=mech_backend)
             mechanisms[pair_index] = mechanism
         return mechanism
 
@@ -1012,7 +1033,8 @@ def parallel_soundness_sweep(
         return _evaluate_chunk_batch(flowchart, batch_family, policy, points,
                                      fuel, value_cap,
                                      mechanism_for(pair_index).name,
-                                     span=span_id, plan=plan)
+                                     span=span_id, plan=plan,
+                                     lane_engine=lane_engine)
 
     def run_chunk_inline(pair_index: int, chunk_index: int,
                          points: List[Tuple]) -> ChunkSummary:
@@ -1311,7 +1333,7 @@ def parallel_soundness_sweep(
                              domain, factory_name, points, fuel, value_cap,
                              inject, delay, chaos.current_plan(),
                              chunk_span.id if chunk_span else None,
-                             batch_family))
+                             batch_family, mech_backend, lane_engine))
                         return process_pool.submit(_run_pair_task, payload)
 
                     try:

@@ -15,7 +15,7 @@ import pytest
 from repro.core.errors import (ArityMismatchError, FuelExhaustedError,
                                ReproError, ValueCapExceededError)
 from repro.flowchart import library as figure_library
-from repro.flowchart import batchpath
+from repro.flowchart import batchpath, fastpath
 from repro.flowchart.batchpath import (K_CAP, K_FUEL, K_OK, LANES_ENV,
                                        batch_stats, clear_batch_caches,
                                        execute_batch, execute_batch_single,
@@ -164,14 +164,26 @@ class TestEngineResolution:
 
     def test_env_variable_selects_engine(self, monkeypatch):
         monkeypatch.setenv(LANES_ENV, "python")
-        assert resolve_lane_engine() == "python"
-        monkeypatch.setenv(LANES_ENV, "bogus")
-        with pytest.raises(ReproError):
-            resolve_lane_engine()
+        batchpath.reset_lane_engine_cache()
+        try:
+            assert resolve_lane_engine() == "python"
+            monkeypatch.setenv(LANES_ENV, "bogus")
+            assert resolve_lane_engine() == "python"  # cached until reset
+            batchpath.reset_lane_engine_cache()
+            with pytest.raises(ReproError):
+                resolve_lane_engine()
+        finally:
+            monkeypatch.delenv(LANES_ENV)
+            batchpath.reset_lane_engine_cache()
 
     def test_explicit_engine_overrides_env(self, monkeypatch):
         monkeypatch.setenv(LANES_ENV, "python")
-        assert resolve_lane_engine("auto") in ("numpy", "python")
+        batchpath.reset_lane_engine_cache()
+        try:
+            assert resolve_lane_engine("auto") in ("numpy", "python")
+        finally:
+            monkeypatch.delenv(LANES_ENV)
+            batchpath.reset_lane_engine_cache()
 
     def test_python_engine_never_vectorizes(self):
         flowchart = figure_library.parity_program()
@@ -231,7 +243,12 @@ class TestTierRegistry:
 
     def test_env_selects_batch(self, monkeypatch):
         monkeypatch.setenv("REPRO_BACKEND", "batch")
-        assert resolve_backend() == "batch"
+        fastpath.reset_backend_cache()
+        try:
+            assert resolve_backend() == "batch"
+        finally:
+            monkeypatch.delenv("REPRO_BACKEND")
+            fastpath.reset_backend_cache()
 
     def test_run_flowchart_batch_backend_matches_interpreter(self):
         flowchart = figure_library.gcd_program()

@@ -1,0 +1,75 @@
+"""`REPRO_EXEC_CACHE` honoured mid-process via `reset_exec_cache`.
+
+The result memo is sized once at import, so an env change made
+afterwards (tests, notebooks, server startup) was silently ignored —
+the classic stale-env-cache bug this suite pins down: the first test
+documents the stale behaviour, the rest the documented fix
+(`reset_exec_cache()`, mirroring `reset_value_cap_cache()`).
+"""
+
+import pytest
+
+from repro.flowchart import fastpath
+from repro.flowchart import library
+from repro.flowchart.fastpath import (EXEC_CACHE_ENV, _RESULT_MEMO,
+                                      execute_compiled, reset_exec_cache)
+
+
+@pytest.fixture(autouse=True)
+def restore_memo(monkeypatch):
+    """Every test leaves the memo re-sized from the real environment."""
+    yield
+    monkeypatch.delenv(EXEC_CACHE_ENV, raising=False)
+    reset_exec_cache()
+
+
+class TestStaleRepro:
+    def test_env_set_after_import_is_ignored_until_reset(self, monkeypatch):
+        monkeypatch.setenv(EXEC_CACHE_ENV, "3")
+        # Stale: the import-time size is still in force …
+        assert _RESULT_MEMO.maxsize != 3
+        # … until the documented reset re-reads the environment.
+        reset_exec_cache()
+        assert _RESULT_MEMO.maxsize == 3
+
+    def test_zero_disables_and_drops_entries(self, monkeypatch):
+        flowchart = library.parity_program()
+        execute_compiled(flowchart, (5,))
+        assert len(_RESULT_MEMO) > 0
+        monkeypatch.setenv(EXEC_CACHE_ENV, "0")
+        reset_exec_cache()
+        assert _RESULT_MEMO.maxsize == 0
+        assert len(_RESULT_MEMO) == 0
+        # Disabled memo: repeated runs never accumulate entries.
+        execute_compiled(flowchart, (5,))
+        execute_compiled(flowchart, (5,))
+        assert len(_RESULT_MEMO) == 0
+
+    def test_shrink_evicts_to_new_capacity(self, monkeypatch):
+        monkeypatch.delenv(EXEC_CACHE_ENV, raising=False)
+        reset_exec_cache()
+        flowchart = library.parity_program()
+        for value in range(8):
+            execute_compiled(flowchart, (value,))
+        monkeypatch.setenv(EXEC_CACHE_ENV, "2")
+        reset_exec_cache()
+        stats = _RESULT_MEMO.stats()
+        assert stats["maxsize"] == 2
+        assert stats["size"] <= 2
+
+    def test_counters_survive_resize(self, monkeypatch):
+        flowchart = library.parity_program()
+        execute_compiled(flowchart, (9,))
+        execute_compiled(flowchart, (9,))
+        before = _RESULT_MEMO.stats()
+        monkeypatch.setenv(EXEC_CACHE_ENV, "64")
+        reset_exec_cache()
+        after = _RESULT_MEMO.stats()
+        assert after["hits"] == before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_malformed_env_warns_and_keeps_default(self, monkeypatch):
+        monkeypatch.setenv(EXEC_CACHE_ENV, "lots")
+        with pytest.warns(RuntimeWarning):
+            reset_exec_cache()
+        assert _RESULT_MEMO.maxsize == fastpath._DEFAULT_MEMO_SIZE

@@ -152,12 +152,22 @@ class TestAsProgramBackends:
             assert compiled_q(*point) == interpreted_q(*point)
 
     def test_env_var_override(self, monkeypatch):
+        # The env default is cached at first use; a mid-process change
+        # is honoured only after reset_backend_cache() (the documented
+        # protocol, mirroring reset_value_cap_cache).
         monkeypatch.setenv(fastpath.BACKEND_ENV, "interpreted")
-        assert resolve_backend() == "interpreted"
-        monkeypatch.setenv(fastpath.BACKEND_ENV, "compiled")
-        assert resolve_backend() == "compiled"
-        # Explicit argument beats the environment.
-        assert resolve_backend("interpreted") == "interpreted"
+        fastpath.reset_backend_cache()
+        try:
+            assert resolve_backend() == "interpreted"
+            monkeypatch.setenv(fastpath.BACKEND_ENV, "compiled")
+            assert resolve_backend() == "interpreted"  # cached
+            fastpath.reset_backend_cache()
+            assert resolve_backend() == "compiled"
+            # Explicit argument beats the environment.
+            assert resolve_backend("interpreted") == "interpreted"
+        finally:
+            monkeypatch.delenv(fastpath.BACKEND_ENV)
+            fastpath.reset_backend_cache()
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ReproError):

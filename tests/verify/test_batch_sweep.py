@@ -14,7 +14,6 @@ from repro import obs
 from repro.core import ProductDomain
 from repro.core.errors import ReproError, SweepInterruptedError
 from repro.flowchart import library as figure_library
-from repro.flowchart.batchpath import LANES_ENV
 from repro.verify import FaultPlan, chaos, parallel_soundness_sweep
 from repro.verify.checkpoint import load_checkpoint
 
@@ -56,10 +55,11 @@ class TestRowParity:
         assert (rows(sweep(family, "batch", value_cap=4))
                 == rows(sweep(family, value_cap=4)))
 
-    def test_python_lanes_match(self, monkeypatch):
-        monkeypatch.setenv(LANES_ENV, "python")
-        assert rows(sweep("program", "batch")) == rows(sweep("program"))
-        assert (rows(sweep("surveillance", "batch"))
+    def test_python_lanes_match(self):
+        # Explicit lane selection (the serving path) — no env mutation.
+        assert (rows(sweep("program", "batch", lane_engine="python"))
+                == rows(sweep("program")))
+        assert (rows(sweep("surveillance", "batch", lane_engine="python"))
                 == rows(sweep("surveillance")))
 
     def test_chunked_and_pooled_executors_match(self):
