@@ -22,7 +22,6 @@ Three layers:
 from __future__ import annotations
 
 import hashlib
-import threading
 from typing import Dict, Optional, Tuple
 
 from ..flowchart.fastpath import _LRUMemo
@@ -53,8 +52,6 @@ class ServeCache:
     def __init__(self, response_size: int = 4096) -> None:
         self.responses = _LRUMemo(response_size)
         self._flowcharts = _LRUMemo(_FLOWCHART_CACHE_SIZE)
-        self._fingerprints: Dict[int, str] = {}
-        self._fp_lock = threading.Lock()
 
     # -- flowchart interning ------------------------------------------------
 
@@ -65,19 +62,19 @@ class ServeCache:
         interning returns the first instance seen for that fingerprint
         so the identity-keyed compile/memo caches underneath stay warm
         across requests and tenants.
+
+        The fingerprint memo lives on the instance itself (never keyed
+        by ``id()``, whose values are recycled after GC), so it can
+        never pair a freed flowchart's fingerprint with a new one.
         """
-        cached_fp = self._fingerprints.get(id(flowchart))
-        if cached_fp is not None:
-            return flowchart, cached_fp
-        fingerprint = flowchart_fingerprint(flowchart)
+        fingerprint = getattr(flowchart, "_serve_fingerprint", None)
+        if fingerprint is None:
+            fingerprint = flowchart_fingerprint(flowchart)
+            flowchart._serve_fingerprint = fingerprint
         interned = self._flowcharts.get(fingerprint)
         if interned is None:
             self._flowcharts.put(fingerprint, flowchart)
             interned = flowchart
-            with self._fp_lock:
-                self._fingerprints[id(flowchart)] = fingerprint
-                if len(self._fingerprints) > 4 * _FLOWCHART_CACHE_SIZE:
-                    self._fingerprints.clear()
         return interned, fingerprint
 
     # -- response cache -----------------------------------------------------

@@ -263,7 +263,16 @@ class ReproServer:
                 break
             name, _, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or 0)
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            length = -1
+        if length < 0:
+            raise RequestError(
+                400, "bad_request",
+                f"Content-Length {raw_length!r} is not a "
+                "non-negative integer")
         if length > self.config.max_body:
             # Answer 413 and drop the connection without draining.
             raise RequestError(
@@ -398,12 +407,17 @@ class ReproServer:
         lane_engine = budget.lane_engine or self.lane_engine
         flowchart, fingerprint = self.cache.intern_flowchart(
             request.flowchart)
+        tenant = (budget.name if request.tenant == "default"
+                  else request.tenant)
         key = ("execute", fingerprint, request.inputs, fuel, value_cap,
                backend, lane_engine if backend == "batch" else None)
+        # The shared key is budget-only, so the cached payload must be
+        # tenant-free: the requester's tenant is stamped on after the
+        # lookup, never stored where another tenant could read it.
         cached = self.cache.get_response(key)
         if cached is not None:
             _obs.registry.counter("serve.execute.cache_hits").inc()
-            return cached
+            return dict(cached, tenant=tenant)
         if backend == "batch":
             outcome = await self._batcher.submit(
                 key[:2] + key[3:], flowchart, request.inputs, fuel,
@@ -422,11 +436,9 @@ class ReproServer:
             "fuel": fuel,
             "value_cap": value_cap,
             "backend": backend,
-            "tenant": budget.name if request.tenant == "default"
-            else request.tenant,
         }
         self.cache.put_response(key, response)
-        return response
+        return dict(response, tenant=tenant)
 
     async def _handle_sweep(self, payload, span) -> Dict:
         request = parse_sweep(payload)

@@ -1,0 +1,44 @@
+"""The serve cache plane: fingerprint interning correctness.
+
+The high-severity PR8 review finding: fingerprints were memoized in a
+dict keyed by ``id(flowchart)``.  Once an instance fell out of the
+flowchart LRU and was freed, CPython recycles its ``id`` for a new
+``Flowchart``, so the memo paired a *different* program with the dead
+one's fingerprint — and that fingerprint keys the shared response
+cache, i.e. one tenant's cached results could answer another tenant's
+program.  The memo now lives on the instance itself and dies with it.
+"""
+
+from repro.flowchart.parser import parse_program
+from repro.serve.cache import ServeCache, flowchart_fingerprint
+
+
+def build(i: int):
+    return parse_program(
+        f"program p{i}(x1) {{ y := x1 + {i} }}").compile()
+
+
+class TestInternFlowchart:
+    def test_fingerprint_correct_under_id_reuse(self):
+        """Freeing each flowchart right after interning makes CPython
+        hand its id to the next one — the exact recycling that made the
+        id-keyed memo serve stale fingerprints."""
+        cache = ServeCache()
+        for i in range(600):
+            flowchart = build(i)
+            _, fingerprint = cache.intern_flowchart(flowchart)
+            assert fingerprint == flowchart_fingerprint(flowchart), i
+            del flowchart
+
+    def test_semantic_resubmission_reuses_first_instance(self):
+        cache = ServeCache()
+        first, fp_first = cache.intern_flowchart(build(7))
+        second, fp_second = cache.intern_flowchart(build(7))
+        assert second is first
+        assert fp_second == fp_first
+
+    def test_memo_lives_on_the_instance(self):
+        cache = ServeCache()
+        flowchart = build(3)
+        _, fingerprint = cache.intern_flowchart(flowchart)
+        assert flowchart._serve_fingerprint == fingerprint

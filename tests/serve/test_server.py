@@ -13,6 +13,7 @@ The contract under test is the ISSUE 8 acceptance list:
 
 import http.client
 import json
+import socket
 import threading
 
 import pytest
@@ -197,6 +198,27 @@ class TestHttpSurface:
             assert 400 <= status < 500, (payload, status, body)
             assert "error" in body
 
+    def test_malformed_content_length_is_400(self, server):
+        """A bogus Content-Length must answer the structured 400, not
+        kill the connection with an uncaught ValueError."""
+        handle = server()
+        for bad in (b"abc", b"-5"):
+            with socket.create_connection(("127.0.0.1", handle.port),
+                                          timeout=30) as sock:
+                sock.sendall(b"POST /execute HTTP/1.1\r\n"
+                             b"Host: localhost\r\n"
+                             b"Content-Length: " + bad + b"\r\n\r\n")
+                sock.settimeout(30)
+                data = b""
+                while b"\r\n\r\n" not in data or not data.split(
+                        b"\r\n\r\n", 1)[1]:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    data += chunk
+            assert data.startswith(b"HTTP/1.1 400"), (bad, data[:80])
+            assert b"bad_request" in data
+
     def test_oversized_body_is_413(self, server):
         handle = server(max_body=128)
         status, body = request(
@@ -235,6 +257,8 @@ class TestTenancy:
         "bob": {"value_cap": 12},
         "frugal": {"fuel": 2},
         "chatty": {"qps": 1, "burst": 1},
+        "carol": {},
+        "dave": {},
     }}
 
     def start(self, server):
@@ -252,6 +276,22 @@ class TestTenancy:
                          dict(payload, tenant="bob"))
         assert alice["notice"] == "Λ!cap[6]"
         assert bob["notice"] == "Λ!cap[12]"
+
+    def test_cache_hit_stamps_the_requesters_tenant(self, server):
+        """Regression: the shared /execute cache stored the first
+        requester's tenant name in the payload, so an identical-budget
+        tenant got a hit labeled — and leaking — the other's name."""
+        handle = self.start(server)
+        payload = {"library": "max", "inputs": [8, 9]}
+        _, first = request(handle.port, "POST", "/execute",
+                           dict(payload, tenant="carol"))
+        _, second = request(handle.port, "POST", "/execute",
+                            dict(payload, tenant="dave"))
+        assert first["tenant"] == "carol"
+        assert second["tenant"] == "dave"
+        # Same budgets, same program: everything but the stamp shared.
+        assert ({k: v for k, v in first.items() if k != "tenant"}
+                == {k: v for k, v in second.items() if k != "tenant"})
 
     def test_fuel_ceiling_and_notice(self, server):
         handle = self.start(server)
