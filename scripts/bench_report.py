@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Regenerate ``BENCH_PR8.json`` — the PR's machine-readable benchmark.
+"""Regenerate ``BENCH_PR9.json`` — the PR's machine-readable benchmark.
 
-Nine sections:
+Ten sections:
 
 ``micro_sweep_kernel``
     The sweep's inner kernel (full-domain flowchart evaluation, same
@@ -58,6 +58,12 @@ Nine sections:
     over a keep-alive connection, response cache disabled) and the
     sustained request rate from a concurrent client fleet.  The PR
     claims ≥ 200 req/s.
+
+``audit``
+    The PR9 audit ledger: /execute latency with the hash-chained
+    ledger off vs on (same harness as ``serving``), and a thread-pool
+    sweep wall time with and without ``audit=``.  The PR claims the
+    audit-on serve p50 overhead stays under 3%.
 
 The compiled backend's result memo is cleared before every timed rep,
 so caching never masquerades as execution speed.  ``--smoke`` shrinks
@@ -932,12 +938,143 @@ def bench_serving(smoke: bool) -> dict:
     }
 
 
+def bench_audit(smoke: bool) -> dict:
+    """The audit ledger's cost: serve p50/p99 and sweep wall, off vs on.
+
+    Serve phase: two servers run concurrently — audit off and audit
+    on (full sampling, ledger on disk) — with request bursts
+    interleaved between them, cache disabled on both so every request
+    both executes *and* appends.
+    Sweep phase: a thread-pool sweep with and without ``audit=``
+    (thread mode on both sides so the executor machinery is identical;
+    a serial audit-off sweep would take the one-chunk-per-pair fast
+    path and the comparison would measure scheduling, not ledgering).
+    """
+    import http.client
+    import json as _json
+    import tempfile
+
+    from repro.flowchart.library import paper_figures
+    from repro.obs.audit import load_ledger
+    from repro.serve import ServerConfig, serve_in_thread
+    from repro.verify.parallel import parallel_soundness_sweep
+
+    # Each request costs ~3ms, so samples are cheap — and the effect
+    # under measurement (tens of microseconds on a ~3ms p50) needs a
+    # lot of them before the p50 estimate is tighter than the claim.
+    latency_n = 300 if smoke else 1000
+    burst = 10
+    tmpdir = tempfile.mkdtemp(prefix="bench_audit_")
+
+    # Both servers run concurrently and request bursts alternate
+    # between them: the 3% effect under measurement is smaller than
+    # the drift between two phases benchmarked tens of seconds apart,
+    # but bursts interleaved on a sub-second cadence expose both arms
+    # to the same machine conditions.  Two null experiments (both
+    # arms audit-off) exposed two systematic biases this harness must
+    # cancel: whichever arm is measured second within a burst pair
+    # runs slower (hence the ABBA order), and whichever *server* was
+    # created second runs slower (hence two phases with creation
+    # order swapped, samples pooled per role).
+    def one_request(conn, i: int) -> None:
+        conn.request("POST", "/execute", body=_json.dumps(
+            {"library": "max",
+             "inputs": [i % 50, (i * 7 + 3) % 50]}),
+            headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        payload = _json.loads(response.read())
+        if response.status != 200 or payload["value"] is None:
+            raise RuntimeError(f"request {i} failed: {payload}")
+
+    off, on = [], []
+    per_phase = latency_n // 2
+    for phase in range(2):
+        roles = [(None, off),
+                 (os.path.join(tmpdir, f"serve_audit_{phase}.jsonl"), on)]
+        if phase % 2:
+            roles.reverse()
+        handles = [serve_in_thread(ServerConfig(
+            port=0, cache_size=0, audit_path=audit_path))
+            for audit_path, _ in roles]
+        try:
+            arms = [(http.client.HTTPConnection(
+                "127.0.0.1", handle.port, timeout=60), samples)
+                for handle, (_, samples) in zip(handles, roles)]
+            for conn, _ in arms:
+                for i in range(20):
+                    one_request(conn, i)
+            for pair_index, start in enumerate(range(0, per_phase, burst)):
+                ordered = arms if pair_index % 2 == 0 else arms[::-1]
+                for conn, samples in ordered:
+                    for i in range(start, min(start + burst, per_phase)):
+                        started = time.perf_counter()
+                        one_request(conn, i)
+                        samples.append(time.perf_counter() - started)
+            for conn, _ in arms:
+                conn.close()
+        finally:
+            for handle in handles:
+                handle.stop()
+
+    off_p50 = _serve_percentile(off, 0.50)
+    on_p50 = _serve_percentile(on, 0.50)
+    serve_overhead_pct = (on_p50 - off_p50) / off_p50 * 100.0
+
+    flowcharts = paper_figures()[:2 if smoke else 4]
+
+    def sweep(audit_path):
+        started = time.perf_counter()
+        parallel_soundness_sweep(flowcharts, "surveillance",
+                                 executor="thread", max_workers=2,
+                                 chunk_size=64, audit=audit_path)
+        return time.perf_counter() - started
+
+    sweep_reps = 2 if smoke else 6
+    sweep_path = os.path.join(tmpdir, "sweep_audit.jsonl")
+    sweep_off = min(sweep(None) for _ in range(sweep_reps))
+    sweep_on = min(sweep(sweep_path) for _ in range(sweep_reps))
+    sweep_overhead_pct = (sweep_on - sweep_off) / sweep_off * 100.0
+    # The relative number is dominated by how cheap the sweep itself
+    # is (a couple of ms for the paper figures); the per-record cost
+    # is the durable fact.
+    sweep_records = len(load_ledger(sweep_path))
+    sweep_us_per_record = ((sweep_on - sweep_off) / sweep_records * 1e6
+                          if sweep_records else 0.0)
+
+    return {
+        "latency_requests": latency_n,
+        "serve_off_p50_ms": round(off_p50 * 1e3, 3),
+        "serve_on_p50_ms": round(on_p50 * 1e3, 3),
+        "serve_off_p99_ms": round(_serve_percentile(off, 0.99) * 1e3, 3),
+        "serve_on_p99_ms": round(_serve_percentile(on, 0.99) * 1e3, 3),
+        "serve_overhead_pct": round(serve_overhead_pct, 2),
+        "sweep_off_s": round(sweep_off, 4),
+        "sweep_on_s": round(sweep_on, 4),
+        "sweep_overhead_pct": round(sweep_overhead_pct, 2),
+        "sweep_records": sweep_records,
+        "sweep_us_per_record": round(sweep_us_per_record, 1),
+        "audit_overhead_under_3pct": serve_overhead_pct < 3.0,
+        "notes": (
+            "Audited requests stage their canonically-serialized "
+            "payload in memory; a periodic task chains, hashes, "
+            "writes, and seals off the request path.  The serve "
+            "comparison interleaves ABBA bursts between two "
+            "concurrently running servers and repeats with creation "
+            "order swapped, cancelling the two systematic biases null "
+            "experiments exposed.  The sweep comparison holds "
+            "executor machinery fixed (thread mode both sides) so "
+            "the delta is ledgering, not scheduling; its relative "
+            "overhead is large only because the paper-figure sweep "
+            "itself is a few milliseconds."),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: fewer reps, smaller program set")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR8.json"),
-                        help="output path (default: repo-root BENCH_PR8.json)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR9.json"),
+                        help="output path (default: repo-root BENCH_PR9.json)")
     args = parser.parse_args(argv)
 
     repeats = 2 if args.smoke else 5
@@ -968,6 +1105,7 @@ def main(argv=None) -> int:
     batch = bench_batch(max(repeats, 16))
     provenance = bench_provenance(max(2, repeats - 1))
     serving = bench_serving(args.smoke)
+    audit = bench_audit(args.smoke)
 
     claims = {
         "micro_speedup_at_least_3x": micro["speedup"] >= 3.0,
@@ -977,6 +1115,7 @@ def main(argv=None) -> int:
         "span_tree_single_rooted": provenance["span_roots"] == 1
         and provenance["span_problems"] == 0,
         "serve_sustains_200_rps": serving["sustains_200_rps"],
+        "audit_overhead_under_3pct": audit["audit_overhead_under_3pct"],
     }
     if "noop_overhead_under_3pct" in telemetry:
         claims["telemetry_noop_overhead_under_3pct"] = (
@@ -999,8 +1138,8 @@ def main(argv=None) -> int:
 
     payload = {
         "meta": {
-            "benchmark": ("PR8 serving tier: multi-tenant enforcement "
-                          "service + env-leak bugfixes"),
+            "benchmark": ("PR9 observability: tamper-evident audit "
+                          "ledger + labeled metrics"),
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
@@ -1016,6 +1155,7 @@ def main(argv=None) -> int:
         "batch": batch,
         "provenance": provenance,
         "serving": serving,
+        "audit": audit,
         "claims": claims,
     }
     path = write_json(payload, args.out)
@@ -1066,9 +1206,18 @@ def main(argv=None) -> int:
           f"p99 {serving['latency_p99_ms']}ms; "
           f"{serving['throughput_rps']} req/s sustained across "
           f"{serving['throughput_clients']} clients")
+    print(f"  audit: serve p50 {audit['serve_off_p50_ms']}ms off → "
+          f"{audit['serve_on_p50_ms']}ms on "
+          f"({audit['serve_overhead_pct']}%); sweep "
+          f"{audit['sweep_off_s']}s → {audit['sweep_on_s']}s "
+          f"({audit['sweep_us_per_record']}us per record, "
+          f"{audit['sweep_records']} records)")
     if not serving["sustains_200_rps"]:
         print("WARNING: served /execute throughput below the claimed "
               "200 req/s", file=sys.stderr)
+    if not audit["audit_overhead_under_3pct"]:
+        print("WARNING: audit-on serve p50 overhead above the claimed "
+              "3% (noisy machine?)", file=sys.stderr)
     if telemetry.get("noop_overhead_under_3pct") is False:
         print("WARNING: disabled-hook overhead above the claimed 3% "
               "of the PR1 baseline (noisy machine?)", file=sys.stderr)

@@ -368,7 +368,8 @@ def command_sweep(args) -> int:
                 resume=args.resume,
                 stop=stop,
                 deadline=args.deadline,
-                backend=backend)
+                backend=backend,
+                audit=args.audit)
         except SweepInterruptedError as error:
             interrupted = error
             results = []
@@ -528,6 +529,13 @@ def command_trace(args) -> int:
               f"(max epoch {dynamic['max_epoch']}), "
               f"{dynamic['downgrades']} downgrade(s), "
               f"{dynamic['epoch_violations']} epoch violation(s)")
+        audit = summary["audit"]
+        line = (f"audit:     {audit['appended']} record(s) appended, "
+                f"{audit['rotations']} rotation(s), "
+                f"{audit['rate_spikes']} rate spike(s)")
+        if audit["spiked_tenants"]:
+            line += " — spiked: " + ", ".join(audit["spiked_tenants"])
+        print(line)
         return 0
 
     if args.action == "slow":
@@ -642,6 +650,75 @@ def command_metrics(args) -> int:
     return 0
 
 
+def command_audit(args) -> int:
+    """Inspect and verify the hash-chained enforcement audit ledger."""
+    import json
+
+    from .obs.audit import (NOTICE_KINDS, ledger_stats, load_ledger,
+                            query_records, tail_records, verify_ledger)
+
+    if args.action == "verify":
+        result = verify_ledger(args.ledger)
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        else:
+            for problem in result.problems:
+                print(problem, file=sys.stderr)
+            seal = "sealed" if result.sealed else "no head file"
+            status = "ok" if result.ok else "TAMPERED"
+            print(f"{args.ledger}: {status} — {result.records} record(s), "
+                  f"{seal}")
+        return 0 if result.ok else 1
+
+    if args.action == "tail":
+        records = tail_records(args.ledger, count=args.count)
+    else:
+        records = load_ledger(args.ledger)
+
+    if args.action in ("tail", "query"):
+        if args.action == "query":
+            if args.kind is not None and args.kind not in NOTICE_KINDS:
+                raise ReproError(
+                    f"unknown notice kind {args.kind!r}; "
+                    f"known: {', '.join(sorted(NOTICE_KINDS))}")
+            records = query_records(records, tenant=args.tenant,
+                                    kind=args.kind,
+                                    endpoint=args.endpoint,
+                                    since=args.since, until=args.until)
+        if args.json:
+            print(json.dumps(records, indent=2, sort_keys=True))
+        else:
+            # One canonical JSON object per line — the ledger's own
+            # format, so output pipes straight back into jq/grep.
+            for record in records:
+                print(json.dumps(record, sort_keys=True,
+                                 separators=(",", ":")))
+        return 0
+
+    # stats
+    stats = ledger_stats(records, window=args.window)
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    table = Table(f"per-tenant decisions ({stats['records']} record(s))",
+                  ["tenant", "total", "accepts", "notices", "rate",
+                   f"last-{args.window}", "spike"])
+    for tenant in sorted(stats["tenants"]):
+        row = stats["tenants"][tenant]
+        window = row["window"]
+        table.add_row(tenant, str(row["total"]), str(row["accepts"]),
+                      str(row["notices"]),
+                      f"{row['violation_rate']:.3f}",
+                      f"{window['rate']:.3f}",
+                      "SPIKE" if window["spike"] else "-")
+    print(table.render())
+    spiked = [tenant for tenant in sorted(stats["tenants"])
+              if stats["tenants"][tenant]["window"]["spike"]]
+    if spiked:
+        print(f"violation-rate spike(s): {', '.join(spiked)}")
+    return 0
+
+
 def command_lint(args) -> int:
     import json
 
@@ -724,6 +801,10 @@ def command_serve(args) -> int:
 
     _check_positive("--value-cap", args.value_cap)
     _check_positive("--fuel", args.fuel)
+    if not 0.0 <= args.audit_sample <= 1.0:
+        raise ReproError(
+            f"--audit-sample must be in [0, 1]; got {args.audit_sample}")
+    _check_positive("--audit-max-bytes", args.audit_max_bytes)
     if args.tenants:
         try:
             tenants = TenantRegistry.from_file(args.tenants)
@@ -746,7 +827,9 @@ def command_serve(args) -> int:
         backend=args.backend or "batch", lane_engine=args.lanes,
         executor=args.executor, jobs=args.jobs,
         batch_window_ms=args.batch_window_ms,
-        cache_size=args.cache_size, workers=args.workers)
+        cache_size=args.cache_size, workers=args.workers,
+        audit_path=args.audit, audit_sample=args.audit_sample,
+        audit_max_bytes=args.audit_max_bytes)
 
     async def _run() -> None:
         server = ReproServer(config)
@@ -948,6 +1031,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="attach violation provenance "
                                    "(explanation events) to the trace; "
                                    "requires --trace")
+    sweep_parser.add_argument("--audit", metavar="PATH",
+                              help="append every enforcement decision to "
+                                   "a hash-chained audit ledger at PATH "
+                                   "(bit-identical across executors; see "
+                                   "repro audit)")
     _add_backend_argument(sweep_parser)
     sweep_parser.set_defaults(handler=command_sweep)
 
@@ -1013,6 +1101,36 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="print the snapshot in Prometheus "
                                      "text-exposition format")
     metrics_parser.set_defaults(handler=command_metrics)
+
+    audit_parser = commands.add_parser(
+        "audit", help="inspect and verify the hash-chained enforcement "
+                      "audit ledger (see serve/sweep --audit)")
+    audit_parser.add_argument("action",
+                              choices=("tail", "query", "stats", "verify"),
+                              help="tail | query | stats | verify")
+    audit_parser.add_argument("ledger",
+                              help="path to the audit JSONL ledger")
+    audit_parser.add_argument("--count", type=int, default=10,
+                              help="records to show (tail)")
+    audit_parser.add_argument("--tenant",
+                              help="filter by tenant name (query)")
+    audit_parser.add_argument("--kind",
+                              help="filter by notice kind: accept | fuel | "
+                                   "cap | crash | epoch | violation (query)")
+    audit_parser.add_argument("--endpoint",
+                              help="filter by endpoint, e.g. /execute or "
+                                   "sweep (query)")
+    audit_parser.add_argument("--since", type=float, default=None,
+                              help="unix-time lower bound; records without "
+                                   "a timestamp are excluded (query)")
+    audit_parser.add_argument("--until", type=float, default=None,
+                              help="unix-time upper bound (query)")
+    audit_parser.add_argument("--window", type=int, default=50,
+                              help="rolling window for the spike flag "
+                                   "(stats)")
+    audit_parser.add_argument("--json", action="store_true",
+                              help="machine-readable output")
+    audit_parser.set_defaults(handler=command_audit)
 
     certify_parser = commands.add_parser(
         "certify", help="static certification (structured source only)")
@@ -1112,6 +1230,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--trace", metavar="PATH",
                               help="write the structured JSONL trace-event "
                                    "stream to PATH")
+    serve_parser.add_argument("--audit", metavar="PATH",
+                              help="append every enforcement decision to a "
+                                   "hash-chained audit ledger at PATH "
+                                   "(per-tenant opt-out/sampling via the "
+                                   "tenants config; see repro audit)")
+    serve_parser.add_argument("--audit-sample", type=float, default=1.0,
+                              help="server-wide ledger sampling rate in "
+                                   "[0, 1] (default 1.0; tenants may thin "
+                                   "further, never widen)")
+    serve_parser.add_argument("--audit-max-bytes", type=int, default=None,
+                              help="rotate the ledger when it would exceed "
+                                   "this size (generations keep their own "
+                                   "chains and head seals)")
     serve_parser.set_defaults(handler=command_serve)
     return parser
 

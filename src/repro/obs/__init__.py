@@ -36,10 +36,15 @@ The CLI exposes the same machinery as ``repro sweep --progress
 ``docs/OBSERVABILITY.md`` for the metric names and event schema.
 """
 
+from .audit import (AuditLedger, AuditVerifyResult, SpikeTracker,
+                    budget_fingerprint, classify_notice, decision_payload,
+                    ledger_stats, load_ledger, merge_segments,
+                    query_records, tail_records, verify_ledger)
 from .events import (EVENT_KINDS, EVENT_SCHEMA, JsonlSink, RingBufferSink,
                      validate_event, validate_jsonl)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
-                      DEFAULT_BUCKETS, STEP_BUCKETS, snapshot_to_prometheus)
+                      DEFAULT_BUCKETS, STEP_BUCKETS, labeled_name,
+                      snapshot_to_prometheus, split_labels)
 from .provenance import ChainStep, Explanation, explain, explain_static
 from .runtime import (Span, current_span, disable, emit, enable, observed,
                       registry, snapshot, span, span_begin, span_finish)
@@ -52,7 +57,12 @@ __all__ = [
     "EVENT_KINDS", "EVENT_SCHEMA", "JsonlSink", "RingBufferSink",
     "validate_event", "validate_jsonl",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "DEFAULT_BUCKETS", "STEP_BUCKETS", "snapshot_to_prometheus",
+    "DEFAULT_BUCKETS", "STEP_BUCKETS", "labeled_name",
+    "snapshot_to_prometheus", "split_labels",
+    "AuditLedger", "AuditVerifyResult", "SpikeTracker",
+    "budget_fingerprint", "classify_notice", "decision_payload",
+    "ledger_stats", "load_ledger", "merge_segments", "query_records",
+    "tail_records", "verify_ledger",
     "ChainStep", "Explanation", "explain", "explain_static",
     "enable", "disable", "observed", "emit", "registry", "snapshot",
     "Span", "span", "span_begin", "span_finish", "current_span",

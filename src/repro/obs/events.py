@@ -54,6 +54,9 @@ EVENT_KINDS: Tuple[str, ...] = (
     "policy_changed",      # a policy_change box installed a new epoch
     "downgrade_applied",   # a downgrade box discharged surveillance indices
     "epoch_violation",     # a violation under a dynamic policy (Λ@e tag)
+    "audit_appended",      # one decision sealed into the audit ledger
+    "audit_rotated",       # the audit ledger rotated a full generation
+    "violation_rate_spike",  # a tenant's windowed notice rate spiked
 )
 
 #: Envelope + per-kind required payload fields.  ``properties`` gives
@@ -113,6 +116,12 @@ EVENT_SCHEMA: Dict = {
         "downgrade_applied": {"required": ["program", "variable",
                                            "dropped"]},
         "epoch_violation": {"required": ["program", "epoch"]},
+        # Audit ledger: every sealed decision, generation rotations,
+        # and per-tenant windowed violation-rate spikes (see
+        # repro.obs.audit and docs/OBSERVABILITY.md "Audit ledger").
+        "audit_appended": {"required": ["rec", "decision", "endpoint"]},
+        "audit_rotated": {"required": ["path", "records"]},
+        "violation_rate_spike": {"required": ["tenant", "rate", "window"]},
     },
 }
 

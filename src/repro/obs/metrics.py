@@ -30,6 +30,54 @@ STEP_BUCKETS: Tuple[float, ...] = (
     1, 2, 5, 10, 25, 50, 100, 250, 1000, 10_000, 100_000)
 
 
+# ---------------------------------------------------------------------------
+# Labeled metric names
+# ---------------------------------------------------------------------------
+#
+# A labeled metric is an ordinary registry entry whose *name* carries
+# its label set inline, Prometheus-style: ``serve.latency_s{endpoint=
+# "/execute"}``.  Keeping labels in the name keeps snapshots flat,
+# JSON-ready, and round-trippable through ``repro metrics
+# --from-json``; the exposition layer parses them back out and renders
+# proper label syntax (escapes included).
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _unescape_label_value(value: str) -> str:
+    return re.sub(r'\\(["\\n])',
+                  lambda match: {'"': '"', "\\": "\\", "n": "\n"}
+                  [match.group(1)], value)
+
+
+def labeled_name(name: str, labels: Optional[Dict[str, object]]) -> str:
+    """Fold a label dict into a metric name (sorted keys, escaped).
+
+    Sorting makes the fold canonical: ``{"a": 1, "b": 2}`` and
+    ``{"b": 2, "a": 1}`` address the same registry entry.
+    """
+    if not labels:
+        return name
+    body = ",".join(f'{key}="{_escape_label_value(str(value))}"'
+                    for key, value in sorted(labels.items()))
+    return f"{name}{{{body}}}"
+
+
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def split_labels(name: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`labeled_name`: ``(base name, label dict)``."""
+    if "{" not in name or not name.endswith("}"):
+        return name, {}
+    base, _, rest = name.partition("{")
+    labels = {key: _unescape_label_value(value)
+              for key, value in _LABEL_PAIR.findall(rest[:-1])}
+    return base, labels
+
+
 class Counter:
     """A monotonically increasing integer metric."""
 
@@ -78,8 +126,12 @@ class Histogram:
     """Bucketed distribution with count / sum / min / max summary.
 
     ``bounds`` are inclusive upper bucket edges; one implicit ``+Inf``
-    bucket catches the tail.  Snapshots report cumulative-style bucket
-    counts keyed by their bound (as a string, for JSON stability).
+    bucket catches the tail.  Snapshots report *raw per-bucket* counts
+    keyed by their bound (as a string, for JSON stability); the
+    cumulative ``le`` series Prometheus expects is derived at
+    exposition time by :func:`snapshot_to_prometheus`, which sorts the
+    bounds numerically first — so a snapshot that round-tripped
+    through JSON with reordered keys still renders correctly.
     """
 
     __slots__ = ("name", "bounds", "_bucket_counts", "count", "total",
@@ -142,7 +194,9 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str,
+                labels: Optional[Dict[str, object]] = None) -> Counter:
+        name = labeled_name(name, labels)
         try:
             return self._counters[name]
         except KeyError:
@@ -150,7 +204,9 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.setdefault(name, Counter(name))
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str,
+              labels: Optional[Dict[str, object]] = None) -> Gauge:
+        name = labeled_name(name, labels)
         try:
             return self._gauges[name]
         except KeyError:
@@ -159,7 +215,9 @@ class MetricsRegistry:
             return self._gauges.setdefault(name, Gauge(name))
 
     def histogram(self, name: str,
-                  bounds: Optional[Sequence[float]] = None) -> Histogram:
+                  bounds: Optional[Sequence[float]] = None,
+                  labels: Optional[Dict[str, object]] = None) -> Histogram:
+        name = labeled_name(name, labels)
         try:
             return self._histograms[name]
         except KeyError:
@@ -219,37 +277,76 @@ def _prometheus_number(value) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def _label_block(labels: Dict[str, str], extra=()) -> str:
+    """Render a label dict (plus trailing pairs like ``le``) or ''."""
+    pairs = [f'{key}="{_escape_label_value(str(value))}"'
+             for key, value in sorted(labels.items())]
+    pairs.extend(f'{key}="{_escape_label_value(str(value))}"'
+                 for key, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def sorted_bucket_bounds(buckets: Dict[str, int]) -> List[str]:
+    """Finite bucket bounds in numeric order (``+Inf`` excluded).
+
+    Snapshot buckets are keyed by stringified bound, and nothing
+    guarantees their dict order after a JSON round-trip — cumulating
+    in iteration order would corrupt the ``le`` series, so every
+    consumer sorts numerically first.
+    """
+    return sorted((bound for bound in buckets if bound != "+Inf"), key=float)
+
+
 def snapshot_to_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
     """Render a :meth:`MetricsRegistry.snapshot` dict as Prometheus text.
 
     Counters and gauges become single samples; each histogram becomes
     the conventional ``_bucket{le="..."}`` cumulative series plus
-    ``_sum`` and ``_count``.  Dots in metric names become underscores
-    (``sweep.points_evaluated`` -> ``repro_sweep_points_evaluated``).
-    The output round-trips: parsing the text recovers every counter,
-    gauge, and histogram summary in the snapshot (the test suite does).
+    ``_sum`` and ``_count``, with bucket bounds sorted *numerically*
+    (a snapshot that round-tripped through JSON may present them in
+    any order).  Labeled metric names — ``name{key="value"}``, see
+    :func:`labeled_name` — render as proper Prometheus label syntax
+    with one ``# TYPE`` line per family; ``le`` is merged into a
+    labeled histogram's label set.  Dots in metric names become
+    underscores (``sweep.points_evaluated`` ->
+    ``repro_sweep_points_evaluated``).  The output round-trips:
+    parsing the text recovers every counter, gauge, and histogram
+    summary in the snapshot (the test suite does).
     """
     lines: List[str] = []
-    for name, value in sorted(snapshot.get("counters", {}).items()):
-        exposed = _prometheus_name(name, prefix)
-        lines.append(f"# TYPE {exposed} counter")
-        lines.append(f"{exposed} {_prometheus_number(value)}")
-    for name, value in sorted(snapshot.get("gauges", {}).items()):
-        exposed = _prometheus_name(name, prefix)
-        lines.append(f"# TYPE {exposed} gauge")
-        lines.append(f"{exposed} {_prometheus_number(value)}")
+
+    def type_line(family: str, kind: str, seen: set) -> None:
+        if family not in seen:
+            seen.add(family)
+            lines.append(f"# TYPE {family} {kind}")
+
+    families: set = set()
+    for section, kind in (("counters", "counter"), ("gauges", "gauge")):
+        for name, value in sorted(snapshot.get(section, {}).items()):
+            base, labels = split_labels(name)
+            exposed = _prometheus_name(base, prefix)
+            type_line(exposed, kind, families)
+            lines.append(
+                f"{exposed}{_label_block(labels)} "
+                f"{_prometheus_number(value)}")
     for name, hist in sorted(snapshot.get("histograms", {}).items()):
-        exposed = _prometheus_name(name, prefix)
-        lines.append(f"# TYPE {exposed} histogram")
+        base, labels = split_labels(name)
+        exposed = _prometheus_name(base, prefix)
+        type_line(exposed, "histogram", families)
         buckets = hist.get("buckets", {})
         cumulative = 0
-        for bound, count in buckets.items():
-            if bound == "+Inf":
-                continue
-            cumulative += count
-            lines.append(f'{exposed}_bucket{{le="{bound}"}} {cumulative}')
+        for bound in sorted_bucket_bounds(buckets):
+            cumulative += buckets[bound]
+            lines.append(
+                f"{exposed}_bucket"
+                f"{_label_block(labels, extra=[('le', bound)])} "
+                f"{cumulative}")
         cumulative += buckets.get("+Inf", 0)
-        lines.append(f'{exposed}_bucket{{le="+Inf"}} {cumulative}')
-        lines.append(f"{exposed}_sum {_prometheus_number(hist.get('sum', 0))}")
-        lines.append(f"{exposed}_count {hist.get('count', 0)}")
+        lines.append(
+            f"{exposed}_bucket"
+            f"{_label_block(labels, extra=[('le', '+Inf')])} {cumulative}")
+        lines.append(f"{exposed}_sum{_label_block(labels)} "
+                     f"{_prometheus_number(hist.get('sum', 0))}")
+        lines.append(f"{exposed}_count{_label_block(labels)} "
+                     f"{hist.get('count', 0)}")
     return "\n".join(lines) + ("\n" if lines else "")

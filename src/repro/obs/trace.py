@@ -217,6 +217,10 @@ def summarize(events: Sequence[Dict]) -> Dict:
     downgrades = 0
     epoch_violations = 0
     max_epoch = 0
+    audit_appended = 0
+    audit_rotated = 0
+    rate_spikes = 0
+    spiked_tenants: List[str] = []
     interruptions: List[str] = []
     for event in events:
         kind = event.get("kind", "?")
@@ -257,6 +261,15 @@ def summarize(events: Sequence[Dict]) -> Dict:
             downgrades += 1
         elif kind == "epoch_violation":
             epoch_violations += 1
+        elif kind == "audit_appended":
+            audit_appended += 1
+        elif kind == "audit_rotated":
+            audit_rotated += 1
+        elif kind == "violation_rate_spike":
+            rate_spikes += 1
+            tenant = event.get("tenant")
+            if isinstance(tenant, str) and tenant not in spiked_tenants:
+                spiked_tenants.append(tenant)
     ops = {}
     for op, values in sorted(span_elapsed.items()):
         ops[op] = {
@@ -293,6 +306,12 @@ def summarize(events: Sequence[Dict]) -> Dict:
             "downgrades": downgrades,
             "epoch_violations": epoch_violations,
             "max_epoch": max_epoch,
+        },
+        "audit": {
+            "appended": audit_appended,
+            "rotations": audit_rotated,
+            "rate_spikes": rate_spikes,
+            "spiked_tenants": spiked_tenants,
         },
     }
 

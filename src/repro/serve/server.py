@@ -45,6 +45,8 @@ from ..flowchart.fastpath import (default_backend, export_memo_stats,
                                   resolve_backend)
 from ..flowchart.interpreter import DEFAULT_FUEL
 from ..obs import runtime as _obs
+from ..obs.audit import (AuditLedger, SpikeTracker, budget_fingerprint,
+                         classify_notice, decision_payload, sampled_in)
 from ..robustness.faults import default_value_cap, reset_value_cap_cache
 from .batcher import ExecuteBatcher, execute_point_outcome
 from .cache import ServeCache
@@ -53,6 +55,17 @@ from .schema import (RequestError, parse_execute, parse_explain, parse_lint,
 from .tenants import TenantRegistry
 
 __all__ = ["ReproServer", "ServerConfig", "serve_in_thread"]
+
+#: The served paths — also the closed label set for per-endpoint
+#: latency series (anything else is labeled ``other``).
+_ENDPOINTS = ("/healthz", "/metrics", "/execute", "/sweep", "/lint",
+              "/explain")
+
+#: Write staged audit decisions to the ledger this often, from a pool
+#: thread (never on the request path); an unclean exit loses at most
+#: this window, and the trailing seal it leaves behind is exactly
+#: what ``repro audit verify`` reports.
+_AUDIT_DRAIN_INTERVAL_S = 1.0
 
 _JSON = "application/json; charset=utf-8"
 _PROM = "text/plain; version=0.0.4; charset=utf-8"
@@ -86,7 +99,11 @@ class ServerConfig:
                  batch_max_lanes: int = 512,
                  cache_size: int = 4096,
                  workers: int = 8,
-                 max_body: int = 1 << 20) -> None:
+                 max_body: int = 1 << 20,
+                 audit_path: Optional[str] = None,
+                 audit_sample: float = 1.0,
+                 audit_max_bytes: Optional[int] = None,
+                 audit_keep: int = 3) -> None:
         self.host = host
         self.port = port
         self.tenants = tenants or TenantRegistry()
@@ -101,6 +118,14 @@ class ServerConfig:
         self.cache_size = cache_size
         self.workers = workers
         self.max_body = max_body
+        # Audit plane: a hash-chained decision ledger (off when no
+        # path).  ``audit_sample`` is the server-wide record rate;
+        # tenants can thin (``audit_sample``) or opt out (``audit``)
+        # per budget.  ``audit_max_bytes`` rotates generations.
+        self.audit_path = audit_path
+        self.audit_sample = audit_sample
+        self.audit_max_bytes = audit_max_bytes
+        self.audit_keep = audit_keep
 
 
 class _ThreadSpanParent:
@@ -142,6 +167,12 @@ class ReproServer:
         self._stopped: Optional[asyncio.Event] = None
         self._inflight_sweeps: Dict[Tuple, asyncio.Future] = {}
         self._root_span = None
+        self.audit: Optional[AuditLedger] = None
+        self._budget_fps: Dict[Tuple, str] = {}
+        self._audit_staged: list = []
+        self._audit_staged_lock = threading.Lock()
+        self._seal_task: Optional["asyncio.Task"] = None
+        self._spikes = SpikeTracker()
         # Effective defaults, fixed at start(); placeholders until then.
         self.fuel = config.fuel
         self.default_value_cap = config.value_cap
@@ -166,6 +197,19 @@ class ReproServer:
         self.lane_engine = (self.config.lane_engine
                             or default_lane_engine())
 
+        if self.config.audit_path is not None:
+            # seal_every=0: requests stage decisions in memory and a
+            # periodic pool-thread task drains them via append_batch,
+            # which seals once per drain — neither the write nor the
+            # sidecar seal's atomic replace (which can block for
+            # milliseconds on filesystem journaling) ever runs on the
+            # request path.  Shutdown drains and closes, re-sealing
+            # exactly.
+            self.audit = AuditLedger(
+                self.config.audit_path, sample=self.config.audit_sample,
+                max_bytes=self.config.audit_max_bytes,
+                keep=self.config.audit_keep, seal_every=0)
+
         self._loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
         self._executor = ThreadPoolExecutor(
@@ -179,9 +223,26 @@ class ReproServer:
             window_s=self.config.batch_window_ms / 1000.0,
             max_lanes=self.config.batch_max_lanes,
             root_span=self._root_span.id if self._root_span else None)
+        if self.audit is not None:
+            self._seal_task = asyncio.ensure_future(
+                self._drain_audit_periodically())
         self._server = await asyncio.start_server(
             self._handle_client, self.config.host, self.config.port)
         self.started_at = time.monotonic()
+
+    def _drain_audit(self) -> None:
+        """Chain and write the staged decisions, sealing once."""
+        with self._audit_staged_lock:
+            staged, self._audit_staged = self._audit_staged, []
+        if staged:
+            self.audit.append_batch(staged)
+
+    async def _drain_audit_periodically(self) -> None:
+        """Write staged decisions off the request path, forever."""
+        while True:
+            await asyncio.sleep(_AUDIT_DRAIN_INTERVAL_S)
+            await self._loop.run_in_executor(self._executor,
+                                             self._drain_audit)
 
     @property
     def port(self) -> int:
@@ -205,11 +266,21 @@ class ReproServer:
         await self._shutdown()
 
     async def _shutdown(self) -> None:
+        if self._seal_task is not None:
+            self._seal_task.cancel()
+            try:
+                await self._seal_task
+            except asyncio.CancelledError:
+                pass
+            self._seal_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self.audit is not None:
+            self._drain_audit()
+            self.audit.close()
         _obs.span_finish(self._root_span)
         self._root_span = None
 
@@ -334,6 +405,12 @@ class ReproServer:
         finally:
             elapsed = time.perf_counter() - started
             registry.histogram("serve.latency_s").observe(elapsed)
+            # Per-endpoint latency rides a labeled series; unknown
+            # paths collapse into one label so a probe scan cannot
+            # mint unbounded metric cardinality.
+            endpoint = path if path in _ENDPOINTS else "other"
+            registry.histogram("serve.latency_s",
+                               labels={"endpoint": endpoint}).observe(elapsed)
             _obs.span_finish(span, status=status)
 
     async def _route(self, method: str, path: str, body: bytes,
@@ -385,6 +462,9 @@ class ReproServer:
                 self._batcher.batches_flushed)
             registry.gauge("serve.lanes_executed").set(
                 self._batcher.lanes_executed)
+        if self.audit is not None:
+            registry.gauge("audit.records").set(
+                self.audit.records + len(self._audit_staged))
         return registry.to_prometheus()
 
     # -- POST endpoints -----------------------------------------------------
@@ -397,6 +477,77 @@ class ReproServer:
                 registry.effective_fuel(budget, fuel, self.fuel),
                 registry.effective_value_cap(budget, value_cap,
                                              self.default_value_cap))
+
+    def _record_decision(self, budget, tenant: str, endpoint: str, span,
+                         notice: Optional[str], fuel: Optional[int] = None,
+                         value_cap: Optional[int] = None,
+                         backend: Optional[str] = None,
+                         lane_engine: Optional[str] = None,
+                         provenance: Optional[Dict] = None) -> None:
+        """One enforcement decision: labeled metrics + audit ledger.
+
+        The labeled counters always run (they are how ``/metrics``
+        exposes per-tenant decision analytics); the ledger append runs
+        only when the server has one and the tenant has not opted out.
+        Cache hits record too — a served decision is a decision, no
+        matter which layer produced it.
+        """
+        registry = _obs.registry
+        decision = "notice" if notice is not None else "accept"
+        registry.counter("serve.decisions",
+                         labels={"tenant": tenant,
+                                 "decision": decision}).inc()
+        if notice is not None:
+            registry.counter("serve.notices",
+                             labels={"tenant": tenant,
+                                     "kind": classify_notice(notice)}).inc()
+        rate = self._spikes.update(tenant, notice is not None)
+        if rate is not None:
+            registry.counter("serve.rate_spikes",
+                             labels={"tenant": tenant}).inc()
+            _obs.emit("violation_rate_spike", tenant=tenant,
+                      rate=round(rate, 6), window=self._spikes.window)
+        if self.audit is None or budget.audit is False:
+            return
+        if provenance is not None:
+            provenance = {key: value for key, value in provenance.items()
+                          if value is not None} or None
+        # The request path only *stages* the decision: building the
+        # payload and growing a list costs single-digit microseconds,
+        # while chaining, hashing, writing, and sealing cost tens to
+        # (on a journaling filesystem) thousands — so those run on the
+        # periodic drain task, off every request's critical path.
+        # Shutdown drains before closing, so a clean stop loses
+        # nothing; an unclean exit loses at most the drain interval,
+        # which the trailing seal makes visible to ``verify``.
+        payload = decision_payload(
+            decision, notice=notice, tenant=tenant, endpoint=endpoint,
+            span=span.id if span else None,
+            budget=self._budget_fingerprint(fuel, value_cap, backend,
+                                            lane_engine),
+            provenance=provenance, ts=time.time())
+        if not sampled_in(payload, self.audit.sample
+                          if budget.audit_sample is None
+                          else budget.audit_sample):
+            return
+        with self._audit_staged_lock:
+            self._audit_staged.append(payload)
+
+    def _budget_fingerprint(self, fuel, value_cap, backend,
+                            lane_engine) -> str:
+        """Memoized :func:`budget_fingerprint` — a server sees few
+        distinct budgets, and the canonical-JSON + sha256 round is
+        measurable on the request path.  Bounded against adversarial
+        per-request fuel values."""
+        key = (fuel, value_cap, backend, lane_engine)
+        cached = self._budget_fps.get(key)
+        if cached is None:
+            if len(self._budget_fps) >= 4096:
+                self._budget_fps.clear()
+            cached = self._budget_fps[key] = budget_fingerprint(
+                fuel=fuel, value_cap=value_cap, backend=backend,
+                lane_engine=lane_engine)
+        return cached
 
     async def _handle_execute(self, payload, span) -> Dict:
         request = parse_execute(payload)
@@ -414,9 +565,16 @@ class ReproServer:
         # The shared key is budget-only, so the cached payload must be
         # tenant-free: the requester's tenant is stamped on after the
         # lookup, never stored where another tenant could read it.
+        lane = lane_engine if backend == "batch" else None
+        provenance = {"program": flowchart.name,
+                      "point": list(request.inputs)}
         cached = self.cache.get_response(key)
         if cached is not None:
             _obs.registry.counter("serve.execute.cache_hits").inc()
+            self._record_decision(budget, tenant, "/execute", span,
+                                  cached["notice"], fuel=fuel,
+                                  value_cap=value_cap, backend=backend,
+                                  lane_engine=lane, provenance=provenance)
             return dict(cached, tenant=tenant)
         if backend == "batch":
             outcome = await self._batcher.submit(
@@ -438,6 +596,10 @@ class ReproServer:
             "backend": backend,
         }
         self.cache.put_response(key, response)
+        self._record_decision(budget, tenant, "/execute", span,
+                              outcome["notice"], fuel=fuel,
+                              value_cap=value_cap, backend=backend,
+                              lane_engine=lane, provenance=provenance)
         return dict(response, tenant=tenant)
 
     async def _handle_sweep(self, payload, span) -> Dict:
@@ -449,15 +611,31 @@ class ReproServer:
         lane_engine = request.lane_engine or budget.lane_engine \
             or self.lane_engine
         key = request.cache_key(fuel, value_cap, backend, lane_engine)
+        tenant = (budget.name if request.tenant == "default"
+                  else request.tenant)
+
+        def record(response: Dict) -> Dict:
+            # A sweep request's decision is its verdict: any unsound
+            # pair is a notice for the requester, and the provenance
+            # pointer names the (programs, mechanism) to re-explain.
+            notice = "Λ" if response.get("unsound") else None
+            self._record_decision(
+                budget, tenant, "/sweep", span, notice, fuel=fuel,
+                value_cap=value_cap, backend=backend,
+                lane_engine=lane_engine,
+                provenance={"programs": list(request.programs),
+                            "policy": request.mechanism})
+            return response
+
         cached = self.cache.get_response(key)
         if cached is not None:
             _obs.registry.counter("serve.sweep.cache_hits").inc()
-            return cached
+            return record(cached)
         # Concurrent identical sweeps coalesce onto one computation:
         # rows are schedule-independent, so every waiter can share it.
         inflight = self._inflight_sweeps.get(key)
         if inflight is not None:
-            return await asyncio.shield(inflight)
+            return record(await asyncio.shield(inflight))
         future = self._loop.create_future()
         self._inflight_sweeps[key] = future
         try:
@@ -467,7 +645,7 @@ class ReproServer:
                 span.id if span else None)
             self.cache.put_response(key, response)
             future.set_result(response)
-            return response
+            return record(response)
         except BaseException as error:
             future.set_exception(error)
             # A shared failure is still consumed by any waiters above;
@@ -523,19 +701,30 @@ class ReproServer:
 
     async def _handle_lint(self, payload, span) -> Dict:
         request = parse_lint(payload)
-        self.config.tenants.admit(request.tenant)
+        budget = self.config.tenants.admit(request.tenant)
+        tenant = (budget.name if request.tenant == "default"
+                  else request.tenant)
         flowchart, fingerprint = self.cache.intern_flowchart(
             request.flowchart)
+        provenance = {"program": flowchart.name,
+                      "policy": request.policy_text}
+
+        def record(response: Dict) -> Dict:
+            notice = "Λ" if response.get("errors") else None
+            self._record_decision(budget, tenant, "/lint", span, notice,
+                                  provenance=provenance)
+            return response
+
         key = request.cache_key(fingerprint)
         cached = self.cache.get_response(key)
         if cached is not None:
             _obs.registry.counter("serve.lint.cache_hits").inc()
-            return cached
+            return record(cached)
         response = await self._loop.run_in_executor(
             self._executor, self._run_lint, flowchart,
             request.policy_text, span.id if span else None)
         self.cache.put_response(key, response)
-        return response
+        return record(response)
 
     def _run_lint(self, flowchart, policy_text: Optional[str],
                   parent_span: Optional[str]) -> Dict:
@@ -560,11 +749,21 @@ class ReproServer:
         request = parse_explain(payload)
         budget, fuel, _cap = self._effective_budgets(
             request.tenant, request.fuel, None)
+        tenant = (budget.name if request.tenant == "default"
+                  else request.tenant)
         flowchart, _fingerprint = self.cache.intern_flowchart(
             request.flowchart)
-        return await self._loop.run_in_executor(
+        response = await self._loop.run_in_executor(
             self._executor, self._run_explain, flowchart, request, fuel,
             span.id if span else None)
+        self._record_decision(
+            budget, tenant, "/explain", span,
+            "Λ" if response.get("violated") else None, fuel=fuel,
+            provenance={"program": flowchart.name,
+                        "policy": request.policy.name,
+                        "point": (list(request.inputs)
+                                  if request.inputs is not None else None)})
+        return response
 
     def _run_explain(self, flowchart, request, fuel: int,
                      parent_span: Optional[str]) -> Dict:

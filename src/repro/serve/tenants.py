@@ -30,14 +30,16 @@ class TenantBudget:
     """Per-tenant ceilings.  ``None`` means "server default applies"."""
 
     __slots__ = ("name", "fuel", "value_cap", "qps", "burst", "backend",
-                 "lane_engine")
+                 "lane_engine", "audit", "audit_sample")
 
     def __init__(self, name: str, fuel: Optional[int] = None,
                  value_cap: Optional[int] = None,
                  qps: Optional[float] = None,
                  burst: Optional[int] = None,
                  backend: Optional[str] = None,
-                 lane_engine: Optional[str] = None) -> None:
+                 lane_engine: Optional[str] = None,
+                 audit: Optional[bool] = None,
+                 audit_sample: Optional[float] = None) -> None:
         self.name = name
         self.fuel = fuel
         self.value_cap = value_cap
@@ -45,11 +47,17 @@ class TenantBudget:
         self.burst = burst
         self.backend = backend
         self.lane_engine = lane_engine
+        # Audit opt-in: None inherits the server's setting; False
+        # excludes this tenant from the ledger entirely; True opts in
+        # even when other tenants are excluded.  ``audit_sample``
+        # (0..1) thins this tenant's records below the server rate.
+        self.audit = audit
+        self.audit_sample = audit_sample
 
     @classmethod
     def from_dict(cls, name: str, spec: Dict) -> "TenantBudget":
         known = {"fuel", "value_cap", "qps", "burst", "backend",
-                 "lane_engine"}
+                 "lane_engine", "audit", "audit_sample"}
         unknown = set(spec) - known
         if unknown:
             raise ValueError(
@@ -67,15 +75,26 @@ class TenantBudget:
                                 or not isinstance(qps, (int, float))
                                 or qps <= 0):
             raise ValueError(f"tenant {name!r}: 'qps' must be positive")
+        audit = spec.get("audit")
+        if audit is not None and not isinstance(audit, bool):
+            raise ValueError(f"tenant {name!r}: 'audit' must be a boolean")
+        audit_sample = spec.get("audit_sample")
+        if audit_sample is not None and (
+                isinstance(audit_sample, bool)
+                or not isinstance(audit_sample, (int, float))
+                or not 0.0 <= audit_sample <= 1.0):
+            raise ValueError(
+                f"tenant {name!r}: 'audit_sample' must be in [0, 1]")
         return cls(name, fuel=spec.get("fuel"),
                    value_cap=spec.get("value_cap"), qps=qps,
                    burst=spec.get("burst"), backend=spec.get("backend"),
-                   lane_engine=spec.get("lane_engine"))
+                   lane_engine=spec.get("lane_engine"), audit=audit,
+                   audit_sample=audit_sample)
 
     def to_dict(self) -> Dict:
         return {key: getattr(self, key)
                 for key in ("fuel", "value_cap", "qps", "burst", "backend",
-                            "lane_engine")
+                            "lane_engine", "audit", "audit_sample")
                 if getattr(self, key) is not None}
 
 

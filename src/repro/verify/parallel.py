@@ -101,10 +101,13 @@ from ..flowchart.fastpath import resolve_backend
 from ..flowchart.interpreter import DEFAULT_FUEL
 from ..flowchart.program import Flowchart
 from ..obs import runtime as _obs
+from ..obs.audit import (AuditLedger, budget_fingerprint, decision_payload,
+                         merge_segments)
 from ..robustness.faults import (cap_notice, crash_notice, fuel_notice,
                                  resolve_value_cap)
 from . import chaos
-from .checkpoint import CheckpointWriter, config_fingerprint, load_checkpoint
+from .checkpoint import (CheckpointWriter, config_fingerprint, encode_value,
+                         load_checkpoint)
 from .enumerate import (SweepResult, all_allow_policies, build_mechanism,
                         default_grid)
 
@@ -691,6 +694,7 @@ def parallel_soundness_sweep(
         deadline: Optional[float] = None,
         backend: Optional[str] = None,
         lane_engine: Optional[str] = None,
+        audit: Optional[str] = None,
 ) -> List[SweepResult]:
     """The Theorem 3/3′ sweep, chunked across a worker pool.
 
@@ -764,6 +768,16 @@ def parallel_soundness_sweep(
         ``backend="batch"`` sweeps; ``None`` defers to the cached
         ``REPRO_BATCH_LANES`` default.  Threaded explicitly so a
         long-running service never reads the environment per request.
+    audit:
+        Path of a hash-chained audit ledger (see
+        :mod:`repro.obs.audit`) receiving one record per policy class
+        per chunk — the enforcement decisions the soundness verdict is
+        built from, each with a provenance pointer ``repro explain``
+        can replay.  Chunk segments are derived from the merged
+        summaries *parent-side* and appended in ``(pair, chunk)``
+        order with no wall clock, so the ledger bytes are identical in
+        serial, thread, and process modes (the executor-invariance
+        test diffs them).
     """
     if chunk_size is not None and chunk_size <= 0:
         raise ReproError(
@@ -826,6 +840,43 @@ def parallel_soundness_sweep(
     total_points = sum(len(domain) for _, _, domain in pairs)
 
     mode = _pick_executor(executor, mechanism_factory, workers, total_points)
+
+    # Audit ledger: opened fresh so the file is a pure function of this
+    # sweep's inputs, appended parent-side only (workers never touch
+    # it).  No wall clock in the payloads — timestamps would make the
+    # "bit-identical across executors" guarantee a lie.
+    audit_ledger: Optional[AuditLedger] = None
+    audit_budget: Optional[str] = None
+    if audit is not None:
+        audit_ledger = AuditLedger(audit, fresh=True)
+        audit_budget = budget_fingerprint(fuel=fuel, value_cap=value_cap,
+                                          backend=backend)
+
+    def audit_chunk_payloads(pair_index: int, chunk_index: int,
+                             summary: "ChunkSummary") -> List[Dict]:
+        """One decision payload per policy class of a merged chunk.
+
+        Class insertion order follows the chunk's point order, which is
+        fixed by the grid — deterministic across executors because the
+        summaries themselves are.  The class representative *is* the
+        enforcement decision the soundness verdict inspects, so each
+        record carries the provenance ``repro explain`` needs to replay
+        it: program, policy, encoded class key, and chunk coordinates.
+        """
+        flowchart, policy, _ = pairs[pair_index]
+        payloads = []
+        for policy_value, output in summary.classes.items():
+            violated = is_violation(output)
+            payloads.append(decision_payload(
+                "notice" if violated else "accept",
+                notice=str(output) if violated else None,
+                endpoint="sweep", budget=audit_budget,
+                provenance={"program": flowchart.name,
+                            "policy": policy.name,
+                            "class": encode_value(policy_value),
+                            "pair": pair_index,
+                            "chunk": chunk_index}))
+        return payloads
 
     sweep_started = time.perf_counter()
     # The sweep span roots the whole trace: every pair/chunk/point span
@@ -893,9 +944,12 @@ def parallel_soundness_sweep(
 
     # The one-chunk-per-pair fast path is only safe when nothing needs
     # the chunked schedule: a checkpoint's meaning *is* its chunk
-    # layout, and stop/deadline need chunk boundaries to drain at.
+    # layout, stop/deadline need chunk boundaries to drain at, and an
+    # audit ledger's records are keyed by (pair, chunk) — a serial run
+    # on the fast path would ledger a different chunk layout than the
+    # pooled executors, breaking bit-identical ledgers across modes.
     if (mode == "serial" and checkpoint is None and stop is None
-            and deadline is None):
+            and deadline is None and audit is None):
         if _obs.active:
             _obs.inc("sweep.chunks_scheduled", len(pairs))
         # Every policy of a flowchart sweeps the same domain object;
@@ -952,6 +1006,11 @@ def parallel_soundness_sweep(
             finish_pair(pair_index, sound, accepts, mechanism.name,
                         time.perf_counter() - pair_started,
                         backends={summary.backend: 1})
+            if audit_ledger is not None:
+                merge_segments(audit_ledger,
+                               [audit_chunk_payloads(pair_index, 0, summary)])
+        if audit_ledger is not None:
+            audit_ledger.close()
         return finalize()
 
     # Chunked schedule: (pair, chunk) tasks, merged back in order.
@@ -1358,6 +1417,11 @@ def parallel_soundness_sweep(
     except _StopRequested as stopped:
         if ckpt_writer is not None:
             ckpt_writer.close()
+        if audit_ledger is not None:
+            # An interrupted sweep appends nothing: partial ledgers in
+            # completion order would differ per executor.  The resumed
+            # run re-derives every segment from its merged summaries.
+            audit_ledger.close()
         if _obs.active:
             _obs.inc("sweep.interrupted")
             _obs.emit("sweep_interrupted", reason=stopped.reason,
@@ -1369,4 +1433,16 @@ def parallel_soundness_sweep(
 
     if ckpt_writer is not None:
         ckpt_writer.close()
+    if audit_ledger is not None:
+        # Segments in (pair, chunk) order — the checkpoint journal's
+        # merge discipline — regardless of the completion order the
+        # pool delivered them in.
+        merge_segments(
+            audit_ledger,
+            (audit_chunk_payloads(pair_index, chunk_index,
+                                  summaries[(pair_index, chunk_index)])
+             for pair_index, chunks in enumerate(per_pair_chunks)
+             for chunk_index in range(len(chunks))
+             if (pair_index, chunk_index) in summaries))
+        audit_ledger.close()
     return finalize()

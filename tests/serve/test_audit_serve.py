@@ -1,0 +1,181 @@
+"""Serve-path auditing: per-tenant opt-in, sampling, labeled metrics.
+
+Every served enforcement decision — including cache hits, which *are*
+decisions — lands in the hash-chained ledger unless the tenant opted
+out; ``/metrics`` grows per-tenant decision counters and per-endpoint
+latency histograms in proper Prometheus label syntax.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.obs.audit import load_ledger, verify_ledger
+from repro.serve import ServerConfig, TenantRegistry, serve_in_thread
+
+
+def request(port, method, path, payload=None, timeout=60.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"}
+                     if body else {})
+        response = conn.getresponse()
+        raw = response.read()
+        if response.getheader("Content-Type", "").startswith(
+                "application/json"):
+            return response.status, json.loads(raw)
+        return response.status, raw.decode("utf-8")
+    finally:
+        conn.close()
+
+
+@pytest.fixture
+def server():
+    handles = []
+
+    def start(**config):
+        handle = serve_in_thread(ServerConfig(port=0, **config))
+        handles.append(handle)
+        return handle
+
+    yield start
+    for handle in handles:
+        handle.stop()
+
+
+def tenant_registry():
+    return TenantRegistry.from_dict({
+        "default": {},
+        "tenants": {
+            "alice": {},
+            "bob": {"audit": False},
+            "carol": {"audit_sample": 0.0},
+        },
+        "open_admission": True,
+    })
+
+
+class TestServeAudit:
+    def test_decisions_land_in_a_verifiable_ledger(self, server, tmp_path):
+        ledger_path = str(tmp_path / "audit.jsonl")
+        handle = server(audit_path=ledger_path)
+        for inputs in ([1], [2], [3]):
+            status, _ = request(handle.port, "POST", "/execute",
+                                {"library": "parity", "inputs": inputs})
+            assert status == 200
+        handle.stop()
+        records = load_ledger(ledger_path)
+        assert len(records) == 3
+        assert all(record["endpoint"] == "/execute" for record in records)
+        assert all(record["decision"] == "accept" for record in records)
+        assert all("budget" in record and "ts" in record
+                   for record in records)
+        result = verify_ledger(ledger_path)
+        assert result.ok and result.sealed
+
+    def test_notices_are_ledgered_with_their_kind(self, server, tmp_path):
+        ledger_path = str(tmp_path / "audit.jsonl")
+        handle = server(audit_path=ledger_path)
+        status, body = request(handle.port, "POST", "/execute",
+                               {"library": "gcd", "inputs": [12, 18],
+                                "fuel": 2})
+        assert status == 200 and body["notice"] == "Λ!fuel[2]"
+        handle.stop()
+        records = load_ledger(ledger_path)
+        assert records[-1]["decision"] == "notice"
+        assert records[-1]["kind"] == "fuel"
+        assert records[-1]["notice"] == "Λ!fuel[2]"
+
+    def test_cache_hits_are_decisions_too(self, server, tmp_path):
+        ledger_path = str(tmp_path / "audit.jsonl")
+        handle = server(audit_path=ledger_path)
+        for _ in range(2):  # second request is a cache hit
+            status, _ = request(handle.port, "POST", "/execute",
+                                {"library": "parity", "inputs": [5]})
+            assert status == 200
+        handle.stop()
+        assert len(load_ledger(ledger_path)) == 2
+
+    def test_tenant_opt_out_and_zero_sampling(self, server, tmp_path):
+        ledger_path = str(tmp_path / "audit.jsonl")
+        handle = server(audit_path=ledger_path, tenants=tenant_registry())
+        for tenant in ("alice", "bob", "carol"):
+            for inputs in ([1], [2]):
+                status, _ = request(
+                    handle.port, "POST", "/execute",
+                    {"tenant": tenant, "library": "parity",
+                     "inputs": inputs})
+                assert status == 200
+        handle.stop()
+        tenants_seen = {record.get("tenant")
+                        for record in load_ledger(ledger_path)}
+        assert tenants_seen == {"alice"}
+        assert verify_ledger(ledger_path).ok
+
+    def test_no_ledger_without_audit_path(self, server, tmp_path):
+        handle = server()
+        status, _ = request(handle.port, "POST", "/execute",
+                            {"library": "parity", "inputs": [1]})
+        assert status == 200
+        assert not list(tmp_path.iterdir())
+
+    def test_metrics_expose_labeled_series(self, server, tmp_path):
+        ledger_path = str(tmp_path / "audit.jsonl")
+        handle = server(audit_path=ledger_path, tenants=tenant_registry())
+        status, _ = request(handle.port, "POST", "/execute",
+                            {"tenant": "alice", "library": "parity",
+                             "inputs": [1]})
+        assert status == 200
+        status, body = request(handle.port, "GET", "/metrics")
+        assert status == 200
+        lines = body.splitlines()
+        assert any("repro_serve_decisions{" in line
+                   and 'tenant="alice"' in line
+                   and 'decision="accept"' in line for line in lines)
+        assert any("repro_serve_latency_s_bucket{" in line
+                   and 'endpoint="/execute"' in line
+                   and 'le="+Inf"' in line for line in lines)
+        assert any(line.startswith("repro_audit_records ")
+                   for line in lines)
+        # Unknown paths collapse to the "other" endpoint label, so an
+        # attacker probing random URLs cannot explode series cardinality.
+        request(handle.port, "GET", "/no-such-endpoint")
+        status, body = request(handle.port, "GET", "/metrics")
+        assert 'endpoint="/no-such-endpoint"' not in body
+        assert 'endpoint="other"' in body
+
+    def test_staged_decisions_drain_on_clean_stop(self, server, tmp_path):
+        # Requests stage audit records in memory; the gauge counts
+        # them immediately, and a clean stop drains every one of them
+        # to the sealed ledger.
+        ledger_path = str(tmp_path / "audit.jsonl")
+        handle = server(audit_path=ledger_path)
+        for value in range(3):
+            request(handle.port, "POST", "/execute",
+                    {"library": "parity", "inputs": [value]})
+        _, body = request(handle.port, "GET", "/metrics")
+        gauge = [line for line in body.splitlines()
+                 if line.startswith("repro_audit_records ")]
+        assert gauge and float(gauge[0].split()[1]) == 3.0
+        handle.stop()
+        records = load_ledger(ledger_path)
+        assert len(records) == 3
+        result = verify_ledger(ledger_path)
+        assert result.ok and result.sealed
+
+    def test_ledger_survives_restart_and_keeps_chaining(self, server,
+                                                        tmp_path):
+        ledger_path = str(tmp_path / "audit.jsonl")
+        handle = server(audit_path=ledger_path)
+        request(handle.port, "POST", "/execute",
+                {"library": "parity", "inputs": [1]})
+        handle.stop()
+        handle = server(audit_path=ledger_path)
+        request(handle.port, "POST", "/execute",
+                {"library": "parity", "inputs": [2]})
+        handle.stop()
+        result = verify_ledger(ledger_path)
+        assert result.ok and result.records == 2

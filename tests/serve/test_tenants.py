@@ -41,6 +41,9 @@ class TestBudgetValidation:
         {"fuel": 0}, {"fuel": "lots"}, {"fuel": True},
         {"value_cap": -1}, {"qps": 0}, {"qps": "fast"},
         {"burst": 1.5}, {"turbo": True},
+        {"audit": "yes"}, {"audit": 1},
+        {"audit_sample": -0.1}, {"audit_sample": 1.5},
+        {"audit_sample": True}, {"audit_sample": "all"},
     ])
     def test_bad_specs_rejected(self, spec):
         with pytest.raises(ValueError):
@@ -50,6 +53,16 @@ class TestBudgetValidation:
         budget = TenantBudget.from_dict(
             "alice", {"fuel": 100, "value_cap": 8, "qps": 5})
         assert budget.to_dict() == {"fuel": 100, "value_cap": 8, "qps": 5}
+
+    def test_audit_keys_round_trip(self):
+        budget = TenantBudget.from_dict(
+            "alice", {"audit": False, "audit_sample": 0.25})
+        assert budget.audit is False
+        assert budget.audit_sample == 0.25
+        assert budget.to_dict() == {"audit": False, "audit_sample": 0.25}
+        # Unset keys inherit the server's choice, not a default of
+        # their own.
+        assert TenantBudget.from_dict("bob", {}).audit is None
 
 
 class TestRegistry:

@@ -753,3 +753,77 @@ class TestDynamicSweepAndTrace:
         assert code == 0
         assert ("dynamic:   1 policy change(s) (max epoch 1), "
                 "1 downgrade(s), 1 epoch violation(s)") in out
+
+
+class TestAudit:
+    @staticmethod
+    def sweep_ledger(tmp_path, capsys):
+        path = tmp_path / "audit.jsonl"
+        code = main(["sweep", "--programs", "timing-loop,parity",
+                     "--mechanism", "surveillance", "--executor", "serial",
+                     "--chunk-size", "7", "--audit", str(path)])
+        capsys.readouterr()
+        assert code in (0, 1)  # 1 = unsound pairs found, still a sweep
+        return path
+
+    def test_verify_ok_then_tampered_exit_1(self, tmp_path, capsys):
+        path = self.sweep_ledger(tmp_path, capsys)
+        assert main(["audit", "verify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "sealed" in out
+        data = bytearray(path.read_bytes())
+        data[data.index(b'"accept"') + 1] ^= 0x20
+        path.write_bytes(bytes(data))
+        assert main(["audit", "verify", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "TAMPERED" in captured.out
+        assert "record" in captured.err  # names the offending record
+
+    def test_tail_prints_canonical_jsonl(self, tmp_path, capsys):
+        path = self.sweep_ledger(tmp_path, capsys)
+        assert main(["audit", "tail", str(path), "--count", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert record["endpoint"] == "sweep"
+
+    def test_query_by_kind(self, tmp_path, capsys):
+        path = self.sweep_ledger(tmp_path, capsys)
+        assert main(["audit", "query", str(path),
+                     "--kind", "violation"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        assert all(json.loads(line)["decision"] == "notice"
+                   for line in lines)
+
+    def test_query_rejects_unknown_kind(self, tmp_path, capsys):
+        path = self.sweep_ledger(tmp_path, capsys)
+        assert main(["audit", "query", str(path), "--kind", "bogus"]) == 2
+        assert "unknown notice kind" in capsys.readouterr().err
+
+    def test_stats_table_and_json(self, tmp_path, capsys):
+        path = self.sweep_ledger(tmp_path, capsys)
+        assert main(["audit", "stats", str(path)]) == 0
+        assert "per-tenant decisions" in capsys.readouterr().out
+        assert main(["audit", "stats", str(path), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["records"] > 0
+
+    def test_missing_ledger_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["audit", "tail",
+                     str(tmp_path / "missing.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_summarize_prints_audit_line(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        path = tmp_path / "audit.jsonl"
+        code = main(["sweep", "--programs", "parity",
+                     "--mechanism", "surveillance", "--executor", "serial",
+                     "--chunk-size", "7", "--audit", str(path),
+                     "--trace", str(trace)])
+        capsys.readouterr()
+        assert code in (0, 1)
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "audit:" in out and "record(s) appended" in out
