@@ -48,7 +48,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from ..core.errors import PolicyError
 from ..core.policy import AllowPolicy
 from ..flowchart.boxes import (AssignBox, DecisionBox, DowngradeBox, HaltBox,
-                               NodeId, PolicyChangeBox)
+                               NodeId, PolicyChangeBox, RecvBox, SendBox)
 from ..flowchart.program import Flowchart
 from ..staticflow.cfgcertify import control_dependencies
 from .diagnostics import Diagnostic, Severity
@@ -213,6 +213,18 @@ def epoch_influence_analysis(flowchart: Flowchart,
                 dropped = frozenset(box.indices)
                 state[box.variable] = state.get(box.variable,
                                                 EMPTY) - dropped
+            elif isinstance(box, SendBox):
+                # Channel pseudo-variable transfer, mirroring the plain
+                # influence fixpoint (see repro.analysis.influence).
+                key = f"#chan:{box.channel}"
+                incoming = (read_label(state, (box.variable,))
+                            | pc | implicit_label(node))
+                state[key] = state.get(key, EMPTY) | incoming
+            elif isinstance(box, RecvBox):
+                key = f"#chan:{box.channel}"
+                incoming = state.get(key, EMPTY) | pc | implicit_label(node)
+                state[box.variable] = (state.get(box.variable, EMPTY)
+                                       | incoming)
             results.append((out_policy, state, pc))
         return results
 

@@ -42,7 +42,8 @@ from typing import Dict, FrozenSet, Optional
 
 from ..core.errors import PolicyError
 from ..core.policy import AllowPolicy
-from ..flowchart.boxes import AssignBox, DecisionBox, NodeId
+from ..flowchart.boxes import (AssignBox, DecisionBox, NodeId, RecvBox,
+                               SendBox)
 from ..flowchart.program import Flowchart
 from ..staticflow.cfgcertify import control_dependencies
 
@@ -191,6 +192,20 @@ def influence_analysis(flowchart: Flowchart) -> InfluenceAnalysis:
             state[box.target] = state.get(box.target, EMPTY) | incoming
         elif isinstance(box, DecisionBox):
             pc = pc | read_label(state, box.predicate.variables())
+        elif isinstance(box, SendBox):
+            # Channels are pseudo-variables ("#chan:ch"): a send pours
+            # its envelope label (v̄ ∪ C̄ ∪ implicit) into the channel's
+            # static upper bound.  Any message a recv consumes was sent
+            # on some CFG path reaching it, so path propagation of the
+            # pseudo-variable conservatively covers the queue.
+            key = f"#chan:{box.channel}"
+            incoming = (read_label(state, (box.variable,))
+                        | pc | implicit_label(node))
+            state[key] = state.get(key, EMPTY) | incoming
+        elif isinstance(box, RecvBox):
+            key = f"#chan:{box.channel}"
+            incoming = state.get(key, EMPTY) | pc | implicit_label(node)
+            state[box.variable] = state.get(box.variable, EMPTY) | incoming
         return state, pc
 
     iterations = 0

@@ -937,6 +937,69 @@ def command_library(args) -> int:
     return 0
 
 
+def command_dist(args) -> int:
+    """``repro dist run``: a multi-node enforcement run vs its serial row."""
+    from . import obs
+    from .dist import run_distributed, serial_reference
+    from .verify.chaos import FaultPlan
+
+    _check_positive("--fuel", args.fuel)
+    _check_positive("--value-cap", args.value_cap)
+    _check_positive("--nodes", args.nodes)
+    _check_positive("--timeout", args.timeout, kind="number of seconds")
+    flowchart = _load_flowchart(args)
+    if not flowchart.has_channels():
+        print("note: program has no send/recv boxes; the run is "
+              "distributed anyway (control migrates between nodes)",
+              file=sys.stderr)
+    policy = parse_policy(args.policy, flowchart.arity)
+    inputs = tuple(int(value) for value in args.inputs)
+    plan = FaultPlan.parse(args.chaos) if args.chaos else None
+
+    sinks = []
+    if args.trace:
+        sinks.append(obs.JsonlSink(args.trace))
+    if sinks:
+        obs.enable(metrics=True, sinks=sinks, reset=True)
+    try:
+        reference = serial_reference(flowchart, inputs, policy.allowed,
+                                     fuel=args.fuel,
+                                     value_cap=args.value_cap)
+        result = run_distributed(flowchart, inputs, policy.allowed,
+                                 nodes=args.nodes, plan=plan,
+                                 fuel=args.fuel, value_cap=args.value_cap,
+                                 timeout=args.timeout)
+    finally:
+        if sinks:
+            obs.disable()
+            for sink in sinks:
+                sink.close()
+
+    row = result.row()
+    print(f"program:  {flowchart.name} on {inputs}")
+    print(f"nodes:    {args.nodes}  (crashes={result.crashes}, "
+          f"recoveries={result.recoveries})")
+    print(f"messages: {result.messages_sent} sent, "
+          f"{result.messages_retried} retried")
+    print(f"serial:   outcome={reference['outcome']} "
+          f"steps={reference['steps']}")
+    print(f"dist:     outcome={row['outcome']} steps={row['steps']} "
+          f"({result.elapsed_s}s)")
+    if reference == row:
+        print("rows match: serial == distributed")
+        return 0
+    if (plan is not None and plan.msg_corrupt > 0
+            and row["outcome"].startswith("Λ!msg[corrupt:")):
+        # A corrupting plan is *expected* to diverge — but only into the
+        # totalized notice, never into a silent wrong answer.
+        print("rows differ: corruption totalized as "
+              f"{row['outcome']} (expected under a corrupting plan)")
+        return 0
+    print("rows DIFFER: the distributed run is not the serial run",
+          file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1190,6 +1253,34 @@ def build_parser() -> argparse.ArgumentParser:
     experiments_parser = commands.add_parser(
         "experiments", help="list the experiment index E01-E27")
     experiments_parser.set_defaults(handler=command_experiments)
+
+    dist_parser = commands.add_parser(
+        "dist", help="distributed enforcement across node processes")
+    dist_commands = dist_parser.add_subparsers(dest="dist_command",
+                                               required=True)
+    dist_run = dist_commands.add_parser(
+        "run", help="run a program across N nodes and compare with the "
+                    "serial row")
+    _add_program_arguments(dist_run)
+    dist_run.add_argument("--policy", required=True,
+                          help='the allow policy, e.g. "allow(1, 2)"')
+    dist_run.add_argument("--nodes", type=int, default=2,
+                          help="node process count (default 2)")
+    dist_run.add_argument("--chaos", metavar="SPEC", default=None,
+                          help="seeded fault plan, e.g. "
+                               '"seed=7,drop=0.2,dup=0.1,kill=0.05" '
+                               "(see repro.verify.chaos.FaultPlan.parse)")
+    dist_run.add_argument("--fuel", type=int, default=100_000)
+    dist_run.add_argument("--value-cap", type=int, default=None,
+                          help="bit-length budget per assigned value")
+    dist_run.add_argument("--timeout", type=float, default=60.0,
+                          help="supervision deadline in seconds")
+    dist_run.add_argument("--trace", metavar="PATH", default=None,
+                          help="write a JSONL trace (cross-node span "
+                               "tree; inspect with repro trace spans)")
+    dist_run.add_argument("inputs", nargs="+",
+                          help="integer inputs, in order")
+    dist_run.set_defaults(handler=command_dist)
 
     serve_parser = commands.add_parser(
         "serve", help="run the multi-tenant enforcement service "

@@ -63,6 +63,25 @@ class ValueCapExceededError(ExecutionError):
         self.cap = cap
 
 
+class MessageError(ExecutionError):
+    """A typed-channel message operation failed.
+
+    Raised by the engines when a ``recv ch(v)`` box finds nothing to
+    receive (no matching ``send`` ever executed) and by the distributed
+    runtime when an envelope arrives corrupted.  ``detail`` is a short
+    machine-stable token — ``empty:CH`` or ``corrupt:CH#SEQ`` — because
+    the totalized notice ``Λ!msg[detail]`` must be bit-identical across
+    serial, thread, process, and distributed executions of the same
+    point (the factorization check treats each notice text as its own
+    output class).
+    """
+
+    def __init__(self, detail: str, message: str = "") -> None:
+        text = message or f"channel message fault: {detail}"
+        super().__init__(text)
+        self.detail = detail
+
+
 class SweepInterruptedError(ReproError):
     """A sweep stopped early (signal or deadline) after draining.
 

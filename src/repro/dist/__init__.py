@@ -1,0 +1,29 @@
+"""Distributed enforcement: multi-node flowcharts over faulty channels.
+
+The single-node interpreter and surveillance walk are the reference
+semantics; this package runs the *same* program across several OS
+processes connected by typed channels whose links drop, duplicate,
+reorder, delay, and corrupt messages under a seeded
+:class:`~repro.verify.chaos.FaultPlan` — and still produces the same
+row.  See ``docs/ROBUSTNESS.md`` ("Distributed enforcement & message
+chaos") for the design and the determinism argument.
+
+Public surface:
+
+- :func:`~repro.dist.coordinator.run_distributed` /
+  :class:`~repro.dist.coordinator.DistResult` — run a partitioned
+  flowchart over N nodes and collect the row.
+- :func:`~repro.dist.coordinator.serial_reference` — the single-node
+  row the distributed run is compared against.
+- :func:`~repro.dist.partition.build_partition` — the deterministic
+  box→node assignment (channel homes pinned, start on node 0).
+"""
+
+from .coordinator import (DistResult, run_distributed,  # noqa: F401
+                          serial_reference)
+from .partition import Partition, build_partition, channel_homes  # noqa: F401
+
+__all__ = [
+    "DistResult", "Partition", "build_partition", "channel_homes",
+    "run_distributed", "serial_reference",
+]

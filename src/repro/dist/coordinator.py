@@ -1,0 +1,330 @@
+"""Spawn, monitor, and recover a multi-node enforcement run.
+
+:func:`run_distributed` partitions a flowchart over ``nodes`` OS
+processes, injects the initial control token at node 0, and supervises:
+
+- **liveness** — nodes heartbeat; a process found dead before the run
+  finished is a crash (chaos kill or bug).  The coordinator emits
+  ``node_crashed``, respawns the node at ``incarnation + 1``, and the
+  new process replays its checkpoint journal back to the crash point
+  (emitting ``node_recovered``) — at-least-once links do the rest.
+- **observability** — node processes forward their trace events
+  (spans, ``message_sent``/``message_retried``) to the coordinator,
+  which emits them into its own attached sinks; node spans parent onto
+  the coordinator's ``dist_run`` span, so ``repro trace spans --tree``
+  shows one rooted tree across processes.
+- **totalization** — a node that hits a declared fault (fuel, value
+  cap, empty or corrupted channel) reports it; the coordinator turns it
+  into the same distinguished notice the serial sweep path would
+  (``Λ!fuel[N]``, ``Λ!cap[C]``, ``Λ!msg[detail]``), never a silent
+  wrong answer.
+
+:func:`serial_reference` computes the row the single-node semantics
+produce for the same point — the comparison the headline invariant
+(serial == distributed row-for-row for non-corrupting plans under any
+recoverable fault schedule) is stated against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import shutil
+import tempfile
+import time
+from typing import Dict, Optional, Sequence, Union
+
+from ..core.errors import ArityMismatchError, ReproError
+from ..core.mechanism import ViolationNotice
+from ..flowchart.interpreter import DEFAULT_FUEL, initial_environment
+from ..flowchart.program import Flowchart
+from ..obs import runtime as _obs
+from ..robustness.faults import (DECLARED_FAULTS, cap_notice,
+                                 default_value_cap, fault_notice,
+                                 fuel_notice, message_notice,
+                                 resolve_value_cap)
+from ..surveillance.dynamic import surveil
+from ..surveillance.labels import EMPTY, singleton
+from ..verify.chaos import FaultPlan
+from .envelope import control_envelope
+from .node import NodeSpec, node_main, pack_token
+from .partition import Partition, build_partition
+
+#: A node is respawned at most this many times before the run aborts —
+#: a backstop against a deterministic bug crash-looping forever.
+MAX_INCARNATIONS = 8
+
+
+class DistResult:
+    """One distributed run: the row plus the supervision ledger."""
+
+    __slots__ = ("outcome", "steps", "env", "labels", "pc_label", "epoch",
+                 "halted_early", "nodes", "crashes", "recoveries",
+                 "messages_sent", "messages_retried", "elapsed_s")
+
+    def __init__(self, outcome, steps, env, labels, pc_label, epoch,
+                 halted_early, nodes, crashes, recoveries, messages_sent,
+                 messages_retried, elapsed_s) -> None:
+        self.outcome = outcome
+        self.steps = steps
+        self.env = env
+        self.labels = labels
+        self.pc_label = pc_label
+        self.epoch = epoch
+        self.halted_early = halted_early
+        self.nodes = nodes
+        self.crashes = crashes
+        self.recoveries = recoveries
+        self.messages_sent = messages_sent
+        self.messages_retried = messages_retried
+        self.elapsed_s = elapsed_s
+
+    @property
+    def violated(self) -> bool:
+        return isinstance(self.outcome, ViolationNotice)
+
+    def row(self) -> Dict:
+        """The comparison row: outcome, steps, final store, labels."""
+        return _row(self.outcome, self.steps, self.env, self.labels,
+                    self.pc_label, self.epoch)
+
+    def __repr__(self) -> str:
+        return (f"DistResult(outcome={self.outcome!r}, steps={self.steps}, "
+                f"nodes={self.nodes}, crashes={self.crashes})")
+
+
+def _row(outcome, steps, env, labels, pc_label, epoch) -> Dict:
+    # Totalized fault rows (Λ!…) normalise their machine state away:
+    # the serial path raised out of the interpreter, so the notice text
+    # is the whole observable and both sides must agree on exactly that.
+    faulted = str(outcome).startswith("Λ!")
+    return {
+        "outcome": str(outcome),
+        "steps": None if faulted else steps,
+        "env": dict(env) if env is not None and not faulted else None,
+        "labels": ({name: sorted(label) for name, label in labels.items()}
+                   if labels is not None and not faulted else None),
+        "pc": (sorted(pc_label)
+               if pc_label is not None and not faulted else None),
+        "epoch": None if faulted else epoch,
+    }
+
+
+def serial_reference(flowchart: Flowchart, inputs: Sequence[int], allowed,
+                     timed: bool = False, forgetting: bool = True,
+                     fuel: int = DEFAULT_FUEL,
+                     value_cap: Optional[int] = None) -> Dict:
+    """The single-node row a distributed run must reproduce exactly."""
+    from ..flowchart.interpreter import execute
+
+    try:
+        run = surveil(flowchart, inputs, frozenset(allowed), timed=timed,
+                      forgetting=forgetting, fuel=fuel, value_cap=value_cap)
+    except DECLARED_FAULTS as error:
+        return _row(fault_notice(error), None, None, None, None, None)
+    env = None
+    if not run.violated:
+        # The surveillance walk does not snapshot the store; the plain
+        # interpreter is value-identical, so its final env is the store.
+        env = execute(flowchart, inputs, fuel=fuel, capture_env=True,
+                      value_cap=value_cap).env
+    return _row(run.outcome, run.steps, env, run.labels, run.pc_label,
+                run.epoch)
+
+
+def run_distributed(flowchart: Flowchart, inputs: Sequence[int], allowed,
+                    nodes: int = 2, plan: Optional[FaultPlan] = None,
+                    timed: bool = False, forgetting: bool = True,
+                    fuel: int = DEFAULT_FUEL,
+                    value_cap: Optional[int] = None,
+                    timeout: float = 60.0,
+                    workdir: Optional[str] = None) -> DistResult:
+    """Run ``flowchart`` under surveillance across ``nodes`` processes."""
+    if len(inputs) != flowchart.arity:
+        raise ArityMismatchError(
+            f"flowchart {flowchart.name} takes {flowchart.arity} inputs, "
+            f"got {len(inputs)}")
+    cap = (default_value_cap() if value_cap is None
+           else resolve_value_cap(value_cap))
+    partition = build_partition(flowchart, nodes)
+    owns_workdir = workdir is None
+    if owns_workdir:
+        workdir = tempfile.mkdtemp(prefix="repro-dist-")
+    try:
+        return _supervise(flowchart, inputs, frozenset(allowed), nodes,
+                          partition, plan, timed, forgetting, fuel, cap,
+                          timeout, workdir)
+    finally:
+        if owns_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _initial_token(flowchart: Flowchart, inputs, allowed) -> Dict:
+    env = initial_environment(flowchart, inputs)
+    labels = {name: EMPTY for name in env}
+    for position, name in enumerate(flowchart.input_variables, 1):
+        labels[name] = singleton(position)
+    return {
+        "current": flowchart.boxes[flowchart.start_id].successors()[0],
+        "env": env,
+        "labels": labels,
+        "pc": EMPTY,
+        "allowed": frozenset(allowed),
+        "epoch": 0,
+        "steps": 0,
+        "sent": {},
+        "has_epochs": bool(flowchart.policy_change_ids()),
+    }
+
+
+def _spawn(context, spec: NodeSpec):
+    process = context.Process(target=node_main, args=(spec,), daemon=True)
+    process.start()
+    return process
+
+
+def _supervise(flowchart, inputs, allowed, nodes, partition: Partition,
+               plan, timed, forgetting, fuel, cap, timeout,
+               workdir) -> DistResult:
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = multiprocessing.get_context()
+    queues = [context.Queue() for _ in range(nodes)]
+    coord_queue = context.Queue()
+    trace = _obs.trace_active
+    root = _obs.span_begin("dist_run", program=flowchart.name, nodes=nodes)
+    root_span = root.id if root is not None else None
+
+    def spec_for(node: int, incarnation: int) -> NodeSpec:
+        return NodeSpec(
+            node=node, flowchart=flowchart, partition=partition, plan=plan,
+            fuel=fuel, cap=cap, timed=timed, forgetting=forgetting,
+            journal_path=os.path.join(workdir, f"node{node}.jsonl"),
+            incarnation=incarnation, queues=queues,
+            coord_queue=coord_queue, root_span=root_span, trace=trace)
+
+    started = time.monotonic()
+    incarnations = [0] * nodes
+    spawned = [started] * nodes
+    processes = [_spawn(context, spec_for(node, 0))
+                 for node in range(nodes)]
+    stats = {node: {"sent": 0, "retried": 0} for node in range(nodes)}
+    crashes = 0
+    recoveries = 0
+    terminal: Optional[Dict] = None
+
+    # Inject the token where the first box lives (reliably: the chaos
+    # plan governs inter-node links, not the coordinator's ignition).
+    entry = partition.node_of(
+        flowchart.boxes[flowchart.start_id].successors()[0])
+    token = _initial_token(flowchart, inputs, allowed)
+    queues[entry].put(control_envelope(0, pack_token(token), src=-1,
+                                       dst=entry))
+
+    try:
+        while terminal is None:
+            if time.monotonic() - started > timeout:
+                raise ReproError(
+                    f"distributed run of {flowchart.name} did not finish "
+                    f"within {timeout}s (unrecoverable fault schedule?)")
+            try:
+                message = coord_queue.get(timeout=0.05)
+            except queue_module.Empty:
+                message = None
+            if message is not None:
+                kind = message.get("kind")
+                if kind == "heartbeat":
+                    stats[message["node"]] = {
+                        "sent": message.get("sent", 0),
+                        "retried": message.get("retried", 0)}
+                elif kind == "event":
+                    event = message["event"]
+                    _obs.emit(event.pop("kind"), **event)
+                elif kind in ("result", "fault"):
+                    terminal = message
+                continue
+            # No traffic: check liveness and recover dead nodes.
+            for node in range(nodes):
+                process = processes[node]
+                if process.is_alive():
+                    continue
+                crashes += 1
+                _obs.emit("node_crashed", node=node,
+                          exitcode=process.exitcode)
+                # The dead incarnation can never close its own span;
+                # its id is deterministic (pid + node + incarnation), so
+                # the coordinator closes it — the cross-process tree
+                # stays well formed even through crashes.
+                _obs.emit("span_end",
+                          span=f"{process.pid}-node{node}"
+                               f"i{incarnations[node]}",
+                          op="node",
+                          elapsed_s=round(
+                              time.monotonic() - spawned[node], 6),
+                          crashed=True)
+                incarnations[node] += 1
+                recoveries += 1
+                if incarnations[node] > MAX_INCARNATIONS:
+                    raise ReproError(
+                        f"node {node} of {flowchart.name} crashed more "
+                        f"than {MAX_INCARNATIONS} times; giving up")
+                spawned[node] = time.monotonic()
+                processes[node] = _spawn(
+                    context, spec_for(node, incarnations[node]))
+    finally:
+        for q in queues:
+            q.put({"kind": "shutdown"})
+        deadline = time.monotonic() + 2.0
+        for process in processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():  # pragma: no cover - teardown backstop
+                process.terminate()
+        # Drain forwarded events (surviving nodes' span_ends, final
+        # heartbeats) that raced the shutdown broadcast.
+        while True:
+            try:
+                message = coord_queue.get(timeout=0.05)
+            except queue_module.Empty:
+                break
+            if message.get("kind") == "event":
+                event = message["event"]
+                _obs.emit(event.pop("kind"), **event)
+            elif message.get("kind") == "heartbeat":
+                stats[message["node"]] = {
+                    "sent": message.get("sent", 0),
+                    "retried": message.get("retried", 0)}
+        _obs.span_finish(root, crashes=crashes)
+        for q in queues + [coord_queue]:
+            q.cancel_join_thread()
+            q.close()
+
+    elapsed = round(time.monotonic() - started, 6)
+    messages_sent = sum(entry["sent"] for entry in stats.values())
+    messages_retried = sum(entry["retried"] for entry in stats.values())
+    if terminal["kind"] == "fault":
+        outcome = _totalize(terminal)
+        return DistResult(outcome, terminal.get("steps"), None, None, None,
+                          None, False, nodes, crashes, recoveries,
+                          messages_sent, messages_retried, elapsed)
+    raw = terminal["outcome"]
+    outcome: Union[int, ViolationNotice] = (
+        ViolationNotice(raw["notice"]) if "notice" in raw else raw["value"])
+    env = terminal["env"] if "value" in raw else None
+    return DistResult(
+        outcome, terminal["steps"], env,
+        {name: frozenset(label)
+         for name, label in terminal["labels"].items()},
+        frozenset(terminal["pc"]), terminal["epoch"],
+        terminal["halted_early"], nodes, crashes, recoveries,
+        messages_sent, messages_retried, elapsed)
+
+
+def _totalize(fault: Dict) -> ViolationNotice:
+    kind = fault["fault"]
+    if kind == "fuel":
+        return fuel_notice(fault["arg"])
+    if kind == "cap":
+        return cap_notice(fault["arg"])
+    return message_notice(fault["arg"])

@@ -1,0 +1,81 @@
+"""Deterministic partitioning of a flowchart across nodes.
+
+The distributed runtime moves a single control token between nodes; the
+partition decides which node executes each box.  Two hard rules, then
+balance:
+
+1. **Channel homes.**  Every ``recv`` of a channel lives on that
+   channel's *home node* — the node that owns the channel's mailbox.
+   Without this, two nodes could race to consume the same message and
+   the seq-ordered mailbox discipline (which defeats duplication and
+   reordering) would fall apart.  The home is a pure function of the
+   channel's rank among the flowchart's channels, so every process
+   derives the same map with no coordination.
+2. **Start on node 0.**  The run begins where the coordinator injects
+   the token.
+
+Everything else is round-robin over box ids in sorted order —
+deterministic, and on real programs it scatters assignments and
+decisions across nodes so control actually migrates (the point of the
+exercise: exercising the faulty links, not minimising hops).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.errors import ReproError
+from ..flowchart.boxes import NodeId, RecvBox, StartBox
+from ..flowchart.program import Flowchart
+
+
+def channel_homes(flowchart: Flowchart, nodes: int) -> Dict[str, int]:
+    """Map each channel to its home node (rank modulo node count)."""
+    return {channel: rank % nodes
+            for rank, channel in enumerate(flowchart.channels())}
+
+
+class Partition:
+    """A box→node assignment for one flowchart over ``nodes`` nodes."""
+
+    __slots__ = ("nodes", "assignment", "homes")
+
+    def __init__(self, nodes: int, assignment: Dict[NodeId, int],
+                 homes: Dict[str, int]) -> None:
+        self.nodes = nodes
+        self.assignment = dict(assignment)
+        self.homes = dict(homes)
+
+    def node_of(self, box_id: NodeId) -> int:
+        return self.assignment[box_id]
+
+    def boxes_on(self, node: int) -> List[NodeId]:
+        return sorted(box_id for box_id, owner in self.assignment.items()
+                      if owner == node)
+
+    def __repr__(self) -> str:
+        return f"Partition(nodes={self.nodes}, boxes={len(self.assignment)})"
+
+
+def build_partition(flowchart: Flowchart, nodes: int) -> Partition:
+    """Assign every box of ``flowchart`` to one of ``nodes`` nodes."""
+    if nodes < 1:
+        raise ReproError(f"a distributed run needs >= 1 node; got {nodes}")
+    homes = channel_homes(flowchart, nodes)
+    assignment: Dict[NodeId, int] = {}
+    rank = 0
+    for box_id in sorted(flowchart.boxes):
+        box = flowchart.boxes[box_id]
+        if isinstance(box, StartBox):
+            assignment[box_id] = 0
+        elif isinstance(box, RecvBox):
+            assignment[box_id] = homes[box.channel]
+        else:
+            assignment[box_id] = rank % nodes
+            rank += 1
+    # The first executed box is the start box's successor; pin it to
+    # node 0 with the start so every run begins where the token enters.
+    first = flowchart.boxes[flowchart.start_id].successors()[0]
+    if not isinstance(flowchart.boxes[first], RecvBox):
+        assignment[first] = 0
+    return Partition(nodes, assignment, homes)

@@ -1,0 +1,150 @@
+"""The faulty link layer: chaos at send, at-least-once by retransmit.
+
+One :class:`Transport` lives in each node process.  Sends go through
+the installed :class:`~repro.verify.chaos.FaultPlan` — every
+drop/dup/corrupt/delay decision a pure function of ``(seed, channel,
+seq, attempt)`` — and every data/control envelope is kept on a
+retransmit timer until the receiver acknowledges ``(channel, seq)``.
+Acks travel unfaulted: that keeps the fate of attempt *k* deterministic
+(attempt *k* happens iff attempts ``0..k-1`` were all dropped or
+their acks have not yet arrived), which is what makes a chaosed run
+replayable.
+
+Retransmission backs off exponentially with deterministic seed-keyed
+jitter (the same :func:`repro.verify.chaos.jitter` the sweep retry
+ladder uses), bounded so a dropped-heavy schedule recovers in bounded
+expected time without hammering the queues.
+
+The transport never blocks: :meth:`pump` is called from the node's
+event loop and delivers due delayed envelopes / fires due retransmits.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..verify.chaos import FaultPlan, jitter
+from .envelope import corrupt_in_flight
+
+#: Retransmission timer: first timeout ~RTO_BASE, doubling per attempt,
+#: bounded by RTO_CAP; jittered into [0.5x, 1x].
+RTO_BASE_S = 0.08
+RTO_CAP_S = 1.0
+
+
+def retransmit_timeout(seed: int, channel: str, seq: int,
+                       attempt: int) -> float:
+    """The per-message timeout before attempt ``attempt + 1``."""
+    base = min(RTO_CAP_S, RTO_BASE_S * (2 ** attempt))
+    return base * (0.5 + 0.5 * jitter(seed, "rto", channel, seq, attempt))
+
+
+class Transport:
+    """Chaos-faulted, acknowledged delivery between node processes.
+
+    ``queues`` maps node index to that node's inbox queue; ``emit`` is
+    the node's event forwarder (``message_sent``/``message_retried``
+    events ride it to the coordinator's sinks).
+    """
+
+    def __init__(self, node: int, queues: List, plan: Optional[FaultPlan],
+                 emit: Callable[..., None],
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.node = node
+        self._queues = queues
+        self._plan = plan
+        self._emit = emit
+        self._clock = clock
+        #: (dst, channel, seq) -> [envelope, attempts_made, next_due]
+        self._pending: Dict[Tuple[int, str, int], List] = {}
+        #: (due_time, dst, payload) for delay-faulted deliveries
+        self._delayed: List[Tuple[float, int, Dict]] = []
+        self.sent = 0
+        self.retried = 0
+
+    # -- outbound ---------------------------------------------------------
+
+    def send(self, envelope: Dict) -> None:
+        """Send (and keep retransmitting until acked) one envelope."""
+        key = (envelope["dst"], envelope["channel"], envelope["seq"])
+        if key in self._pending:
+            return
+        self.sent += 1
+        self._emit("message_sent", channel=envelope["channel"],
+                   seq=envelope["seq"], src=self.node, dst=envelope["dst"])
+        self._attempt(envelope, 0)
+        due = self._clock() + retransmit_timeout(
+            self._seed(), envelope["channel"], envelope["seq"], 0)
+        self._pending[key] = [envelope, 0, due]
+
+    def ack(self, envelope: Dict) -> None:
+        """Acknowledge a received envelope back to its sender, unfaulted."""
+        src = envelope["src"]
+        if src < 0:
+            return  # coordinator injections are fire-and-forget
+        from .envelope import ack_envelope
+        self._queues[src].put(ack_envelope(envelope["channel"],
+                                           envelope["seq"],
+                                           src=self.node, dst=src))
+
+    def on_ack(self, channel: str, seq: int, src: int) -> None:
+        """The receiver confirmed ``(channel, seq)`` — stop retransmitting."""
+        self._pending.pop((src, channel, seq), None)
+
+    # -- the event-loop hook ----------------------------------------------
+
+    def pump(self) -> None:
+        """Deliver due delayed envelopes and fire due retransmits."""
+        now = self._clock()
+        if self._delayed:
+            still: List[Tuple[float, int, Dict]] = []
+            for due, dst, payload in self._delayed:
+                if due <= now:
+                    self._queues[dst].put(payload)
+                else:
+                    still.append((due, dst, payload))
+            self._delayed = still
+        for key, entry in list(self._pending.items()):
+            envelope, attempts, due = entry
+            if due > now:
+                continue
+            attempt = attempts + 1
+            entry[1] = attempt
+            self.retried += 1
+            self._emit("message_retried", channel=envelope["channel"],
+                       seq=envelope["seq"], attempt=attempt)
+            self._attempt(envelope, attempt)
+            entry[2] = now + retransmit_timeout(
+                self._seed(), envelope["channel"], envelope["seq"], attempt)
+
+    @property
+    def idle(self) -> bool:
+        return not self._pending and not self._delayed
+
+    # -- internals --------------------------------------------------------
+
+    def _seed(self) -> int:
+        return self._plan.seed if self._plan is not None else 0
+
+    def _attempt(self, envelope: Dict, attempt: int) -> None:
+        dst = envelope["dst"]
+        if self._plan is None:
+            self._queues[dst].put(envelope)
+            return
+        fault = self._plan.decide_message(envelope["channel"],
+                                          envelope["seq"], attempt)
+        if fault.corrupt:
+            self._queues[dst].put(corrupt_in_flight(envelope))
+        elif fault.drop:
+            pass  # the retransmit timer recovers it
+        elif fault.duplicate:
+            self._queues[dst].put(envelope)
+            self._queues[dst].put(dict(envelope))
+        elif fault.delay > 0.0:
+            # Delivered late — possibly behind later traffic, which is
+            # exactly the reordering the seq-ordered mailboxes absorb.
+            self._delayed.append((self._clock() + fault.delay, dst,
+                                  envelope))
+        else:
+            self._queues[dst].put(envelope)

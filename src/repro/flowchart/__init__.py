@@ -17,7 +17,7 @@ from .expr import (And, BinOp, BoolConst, Compare, Const, Expr, Ite,
                    LoopExpr, Neg, Not, Or, Pred, Var, const,
                    structurally_equal, substitute, var, variables_of)
 from .boxes import (AssignBox, Box, DecisionBox, DowngradeBox, HaltBox,
-                    PolicyChangeBox, StartBox)
+                    PolicyChangeBox, RecvBox, SendBox, StartBox)
 from .program import Flowchart
 from .interpreter import (DEFAULT_FUEL, ExecutionResult, as_program,
                           execute, initial_environment, running_time)
@@ -26,9 +26,9 @@ from .fastpath import (BACKENDS, CompiledFlowchart, compile_flowchart,
 from .batchpath import (execute_batch, execute_batch_single,
                         resolve_lane_engine)
 from .builder import FlowchartBuilder, Label
-from .structured import (Assign, Body, Downgrade, If, PolicyChange, Skip,
-                         Stmt, StructuredProgram, While, compile_structured,
-                         seq)
+from .structured import (Assign, Body, Downgrade, If, PolicyChange, Recv,
+                         Send, Skip, Stmt, StructuredProgram, While,
+                         compile_structured, seq)
 from .analysis import (IteRegion, WhileRegion, dominators,
                        find_ite_regions, find_while_regions,
                        immediate_postdominator, is_straight_line,
@@ -47,7 +47,7 @@ __all__ = [
     "variables_of", "substitute", "structurally_equal",
     # boxes / graphs
     "Box", "StartBox", "DecisionBox", "AssignBox", "HaltBox",
-    "PolicyChangeBox", "DowngradeBox", "Flowchart",
+    "PolicyChangeBox", "DowngradeBox", "SendBox", "RecvBox", "Flowchart",
     # execution
     "execute", "ExecutionResult", "as_program", "running_time",
     "initial_environment", "DEFAULT_FUEL",
@@ -58,8 +58,8 @@ __all__ = [
     "execute_batch", "execute_batch_single", "resolve_lane_engine",
     # building
     "FlowchartBuilder", "Label", "StructuredProgram", "Stmt", "Skip",
-    "Assign", "If", "While", "PolicyChange", "Downgrade", "Body",
-    "compile_structured", "seq",
+    "Assign", "If", "While", "PolicyChange", "Downgrade", "Send", "Recv",
+    "Body", "compile_structured", "seq",
     # analysis
     "dominators", "postdominators", "immediate_postdominator",
     "IteRegion", "WhileRegion", "find_ite_regions", "find_while_regions",

@@ -1060,10 +1060,14 @@ def execute_batch_single(flowchart: Flowchart, inputs: Sequence[int],
 
     A one-lane batch; declared faults re-raise with the interpreter's
     exact message.  Tracing falls back to the interpreter just like the
-    compiled backend does.
+    compiled backend does, and so do channel programs (send/recv boxes
+    are hazardous — every lane would retire to the fallback anyway).
     """
     if record_trace:
         return execute(flowchart, inputs, fuel=fuel, record_trace=True,
+                       capture_env=capture_env, value_cap=value_cap)
+    if flowchart.has_channels():
+        return execute(flowchart, inputs, fuel=fuel,
                        capture_env=capture_env, value_cap=value_cap)
     if len(inputs) != flowchart.arity:
         raise ArityMismatchError(

@@ -190,3 +190,74 @@ class DowngradeBox(Box):
     def __repr__(self) -> str:
         return (f"DowngradeBox({self.variable} \\ {self.indices} "
                 f"-> {self.next})")
+
+
+def _check_channel(channel: str, what: str) -> None:
+    if not channel or not isinstance(channel, str):
+        raise FlowchartError(f"bad {what} channel {channel!r}")
+    if not (channel[0].isalpha() or channel[0] == "_") or not all(
+            ch.isalnum() or ch == "_" for ch in channel):
+        raise FlowchartError(
+            f"{what} channel must be an identifier, got {channel!r}")
+
+
+class SendBox(Box):
+    """``send ch(v)``: enqueue ``v``'s value onto typed channel ``ch``.
+
+    Channels are unbounded FIFO queues distinct from the variable
+    namespace.  Under surveillance the enqueued message carries the
+    *joined* label ``v̄ ∪ C̄`` — labels migrate inside the envelope, the
+    soundness requirement of the distributed setting (Almeida Matos &
+    Cederquist): a receive on another node learns everything the send
+    site knew, including its control context.
+    """
+
+    __slots__ = ("channel", "variable", "next")
+
+    def __init__(self, channel: str, variable: str, next: NodeId) -> None:
+        _check_channel(channel, "send")
+        if not variable or not isinstance(variable, str):
+            raise FlowchartError(f"bad send variable {variable!r}")
+        self.channel = channel
+        self.variable = variable
+        self.next = next
+
+    def successors(self) -> Tuple[NodeId, ...]:
+        return (self.next,)
+
+    def read_variables(self) -> FrozenSet[str]:
+        return frozenset((self.variable,))
+
+    def __repr__(self) -> str:
+        return f"SendBox({self.channel}({self.variable}) -> {self.next})"
+
+
+class RecvBox(Box):
+    """``recv ch(v)``: dequeue the oldest message on ``ch`` into ``v``.
+
+    Receiving from a channel with no pending message is the declared
+    fault ``MessageError(empty:ch)`` — totalized as ``Λ!msg[empty:ch]``
+    — *except* in a distributed run where matching sends are still in
+    flight, in which case the node parks until the message arrives (the
+    send count travels with the control token, so "in flight" versus
+    "never sent" is decided deterministically).
+    """
+
+    __slots__ = ("channel", "variable", "next")
+
+    def __init__(self, channel: str, variable: str, next: NodeId) -> None:
+        _check_channel(channel, "recv")
+        if not variable or not isinstance(variable, str):
+            raise FlowchartError(f"bad recv variable {variable!r}")
+        self.channel = channel
+        self.variable = variable
+        self.next = next
+
+    def successors(self) -> Tuple[NodeId, ...]:
+        return (self.next,)
+
+    def written_variable(self) -> Optional[str]:
+        return self.variable
+
+    def __repr__(self) -> str:
+        return f"RecvBox({self.channel}({self.variable}) -> {self.next})"

@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List, Optional
 
 from ..core.errors import FlowchartError
 from .boxes import (AssignBox, Box, DecisionBox, DowngradeBox, HaltBox,
-                    NodeId, PolicyChangeBox, StartBox)
+                    NodeId, PolicyChangeBox, RecvBox, SendBox, StartBox)
 from .expr import Expr, Pred
 from .program import Flowchart
 
@@ -98,6 +98,12 @@ class FlowchartBuilder:
             elif isinstance(box, DowngradeBox):
                 self._boxes[node_id] = DowngradeBox(box.variable, box.indices,
                                                     target)
+            elif isinstance(box, SendBox):
+                self._boxes[node_id] = SendBox(box.channel, box.variable,
+                                               target)
+            elif isinstance(box, RecvBox):
+                self._boxes[node_id] = RecvBox(box.channel, box.variable,
+                                               target)
             else:  # pragma: no cover - only single-successor boxes dangle
                 raise FlowchartError(f"cannot wire {box!r}")
         self._dangling.clear()
@@ -132,6 +138,22 @@ class FlowchartBuilder:
         node_id = self._next_id()
         self._wire_dangling(node_id)
         self._append(node_id, DowngradeBox(variable, indices, "__unwired__"))
+        self._dangling.append(node_id)
+        return node_id
+
+    def send(self, channel: str, variable: str) -> NodeId:
+        """Append a ``send channel(variable)`` box."""
+        node_id = self._next_id()
+        self._wire_dangling(node_id)
+        self._append(node_id, SendBox(channel, variable, "__unwired__"))
+        self._dangling.append(node_id)
+        return node_id
+
+    def recv(self, channel: str, variable: str) -> NodeId:
+        """Append a ``recv channel(variable)`` box."""
+        node_id = self._next_id()
+        self._wire_dangling(node_id)
+        self._append(node_id, RecvBox(channel, variable, "__unwired__"))
         self._dangling.append(node_id)
         return node_id
 

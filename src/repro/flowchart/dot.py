@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import List
 
 from .boxes import (AssignBox, DecisionBox, DowngradeBox, HaltBox,
-                    PolicyChangeBox, StartBox)
+                    PolicyChangeBox, RecvBox, SendBox, StartBox)
 from .program import Flowchart
 
 
@@ -57,6 +57,12 @@ def to_dot(flowchart: Flowchart, include_name: bool = True) -> str:
             label = _escape(f"downgrade {box.variable}({indices})")
             lines.append(
                 f'    "{safe}" [shape=parallelogram, label="{label}"];')
+        elif isinstance(box, SendBox):
+            label = _escape(f"send {box.channel}({box.variable})")
+            lines.append(f'    "{safe}" [shape=cds, label="{label}"];')
+        elif isinstance(box, RecvBox):
+            label = _escape(f"recv {box.channel}({box.variable})")
+            lines.append(f'    "{safe}" [shape=cds, label="{label}"];')
 
     for node_id in order:
         box = flowchart.boxes[node_id]

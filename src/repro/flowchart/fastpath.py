@@ -69,7 +69,7 @@ from ..core.errors import (ArityMismatchError, FuelExhaustedError,
 from ..obs import runtime as _obs
 from ..robustness.faults import default_value_cap, resolve_value_cap
 from .boxes import (AssignBox, Box, DecisionBox, DowngradeBox, HaltBox,
-                    NodeId, PolicyChangeBox, StartBox)
+                    NodeId, PolicyChangeBox, RecvBox, SendBox, StartBox)
 from .expr import (And, BinOp, BoolConst, Compare, Const, Expr, Ite,
                    LoopExpr, Neg, Not, Or, Pred, Var)
 from .interpreter import DEFAULT_FUEL, ExecutionResult, execute
@@ -299,6 +299,11 @@ def _box_hazardous(box: Box) -> bool:
         return _contains_loop_expr(box.expression)
     if isinstance(box, DecisionBox):
         return _contains_loop_expr(box.predicate)
+    if isinstance(box, (SendBox, RecvBox)):
+        # Channel boxes mutate queue state the generated code does not
+        # model; the batch tier retires lanes reaching them to the
+        # per-lane fallback, which defers to the interpreter.
+        return True
     return False
 
 
@@ -722,6 +727,13 @@ def execute_compiled(flowchart: Flowchart, inputs: Sequence[int],
     """
     if record_trace:
         return execute(flowchart, inputs, fuel=fuel, record_trace=True,
+                       capture_env=capture_env, value_cap=value_cap)
+    if flowchart.has_channels():
+        # Channel queues are runtime state the generated straight-line
+        # code does not model; the interpreter is the reference
+        # semantics for send/recv, so single-node runs stay
+        # bit-identical across every tier by construction.
+        return execute(flowchart, inputs, fuel=fuel,
                        capture_env=capture_env, value_cap=value_cap)
     if len(inputs) != flowchart.arity:
         raise ArityMismatchError(

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import (ArityMismatchError, FuelExhaustedError,
-                           ValueCapExceededError)
+                           MessageError, ValueCapExceededError)
 from ..core.observability import (VALUE_AND_TIME, VALUE_ONLY, Observation,
                                   OutputModel)
 from ..core.domains import ProductDomain
@@ -26,7 +26,7 @@ from ..core.program import Program
 from ..obs import runtime as _obs
 from ..robustness.faults import default_value_cap, resolve_value_cap
 from .boxes import (AssignBox, DecisionBox, DowngradeBox, HaltBox, NodeId,
-                    PolicyChangeBox, StartBox)
+                    PolicyChangeBox, RecvBox, SendBox, StartBox)
 from .program import Flowchart
 
 DEFAULT_FUEL = 100_000
@@ -113,6 +113,10 @@ def execute(flowchart: Flowchart, inputs: Sequence[int],
     env = initial_environment(flowchart, inputs)
     trace: List[NodeId] = []
     touched: set = set()
+    # Typed channels: unbounded FIFO queues, one per channel name,
+    # starting empty.  A single-node run is the reference semantics the
+    # distributed runtime must reproduce row-for-row.
+    channels: Dict[str, List[int]] = {}
     steps = 0
     current: NodeId = flowchart.boxes[flowchart.start_id].successors()[0]
     # Sampling rate is latched per run; 0 (the default) keeps the loop
@@ -166,6 +170,20 @@ def execute(flowchart: Flowchart, inputs: Sequence[int],
             current = box.next
         elif isinstance(box, PolicyChangeBox):
             # Pure policy effect: no variable access, one step.
+            current = box.next
+        elif isinstance(box, SendBox):
+            touched.add(box.variable)
+            channels.setdefault(box.channel, []).append(env[box.variable])
+            current = box.next
+        elif isinstance(box, RecvBox):
+            queue = channels.get(box.channel)
+            if not queue:
+                raise MessageError(
+                    f"empty:{box.channel}",
+                    f"flowchart {flowchart.name} received on empty channel "
+                    f"{box.channel!r} on input {tuple(inputs)!r}")
+            touched.add(box.variable)
+            env[box.variable] = queue.pop(0)
             current = box.next
         elif isinstance(box, StartBox):  # pragma: no cover - validation forbids
             current = box.next

@@ -23,6 +23,8 @@ Grammar (recursive descent, no ambiguity):
                 | "while" pred "{" stmts "}"
                 | "policy" "allow" "(" [INT ("," INT)*] ")"
                 | "downgrade" IDENT "(" INT ("," INT)* ")"
+                | "send" IDENT "(" IDENT ")"
+                | "recv" IDENT "(" IDENT ")"
                 | "skip"
     pred      ::= conj ("or" conj)*
     conj      ::= atom ("and" atom)*
@@ -47,8 +49,8 @@ from ..core.errors import ReproError
 from ..core.policy import AllowPolicy, allow
 from .expr import (And, BoolConst, Compare, Const, Expr, Neg, Not, Or,
                    Pred, Var)
-from .structured import (Assign, Downgrade, If, PolicyChange, Skip, Stmt,
-                         StructuredProgram, While)
+from .structured import (Assign, Downgrade, If, PolicyChange, Recv, Send,
+                         Skip, Stmt, StructuredProgram, While)
 
 
 class ParseError(ReproError):
@@ -69,7 +71,8 @@ _TOKEN_RE = re.compile(r"""
 """, re.VERBOSE)
 
 _KEYWORDS = frozenset(("program", "if", "else", "while", "skip", "and",
-                       "or", "not", "true", "false", "policy", "downgrade"))
+                       "or", "not", "true", "false", "policy", "downgrade",
+                       "send", "recv"))
 
 
 class _Token:
@@ -196,9 +199,23 @@ class _Parser:
             variable = self._expect("ident").text
             return Downgrade(variable,
                              self._parse_index_list(allow_empty=False))
+        if self._accept("kw", "send"):
+            channel, variable = self._parse_channel_op()
+            return Send(channel, variable)
+        if self._accept("kw", "recv"):
+            channel, variable = self._parse_channel_op()
+            return Recv(channel, variable)
         target = self._expect("ident").text
         self._expect("op", ":=")
         return Assign(target, self._parse_expr())
+
+    def _parse_channel_op(self) -> Tuple[str, str]:
+        """``IDENT "(" IDENT ")"`` — the channel and variable of send/recv."""
+        channel = self._expect("ident").text
+        self._expect("op", "(")
+        variable = self._expect("ident").text
+        self._expect("op", ")")
+        return channel, variable
 
     def _parse_index_list(self, allow_empty: bool) -> List[int]:
         """``( [INT ("," INT)*] )`` — 1-based input indices."""
@@ -384,6 +401,12 @@ def _unparse_stmts(statements, indent: str) -> List[str]:
             indices = ", ".join(str(i) for i in statement.indices)
             lines.append(f"{indent}downgrade {statement.variable}"
                          f"({indices});")
+        elif isinstance(statement, Send):
+            lines.append(f"{indent}send {statement.channel}"
+                         f"({statement.variable});")
+        elif isinstance(statement, Recv):
+            lines.append(f"{indent}recv {statement.channel}"
+                         f"({statement.variable});")
         else:
             raise ParseError(
                 f"{type(statement).__name__} has no concrete syntax", 0,

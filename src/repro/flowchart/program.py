@@ -21,7 +21,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..core.errors import FlowchartError
 from .boxes import (AssignBox, Box, DecisionBox, DowngradeBox, HaltBox,
-                    NodeId, PolicyChangeBox, StartBox)
+                    NodeId, PolicyChangeBox, RecvBox, SendBox, StartBox)
 
 
 class Flowchart:
@@ -98,6 +98,13 @@ class Flowchart:
                         f"box {node_id!r} downgrades input indices {bad} "
                         f"beyond arity {len(self.input_variables)}"
                     )
+            if isinstance(box, RecvBox) and box.variable in self.input_variables:
+                # Same rule as assignment: inputs are never re-bound, and
+                # a receive is a write in every engine.
+                raise FlowchartError(
+                    f"box {node_id!r} receives into input variable "
+                    f"{box.variable!r}"
+                )
 
         unreachable = set(self.boxes) - set(self.reachable_from(start_id))
         if unreachable:
@@ -107,6 +114,11 @@ class Flowchart:
             )
         if not any(isinstance(box, HaltBox) for box in self.boxes.values()):
             raise FlowchartError(f"flowchart {self.name!r} has no halt box")
+        # Channel presence is consulted on every execution entry (the
+        # compiled and batch tiers defer channel programs to the
+        # interpreter), so cache it once at validation time.
+        self._has_channels = any(isinstance(box, (SendBox, RecvBox))
+                                 for box in self.boxes.values())
         return start_id
 
     # -- structural queries ---------------------------------------------
@@ -146,6 +158,26 @@ class Flowchart:
     def downgrade_ids(self) -> Tuple[NodeId, ...]:
         return tuple(node_id for node_id, box in self.boxes.items()
                      if isinstance(box, DowngradeBox))
+
+    def send_ids(self) -> Tuple[NodeId, ...]:
+        return tuple(node_id for node_id, box in self.boxes.items()
+                     if isinstance(box, SendBox))
+
+    def recv_ids(self) -> Tuple[NodeId, ...]:
+        return tuple(node_id for node_id, box in self.boxes.items()
+                     if isinstance(box, RecvBox))
+
+    def channels(self) -> Tuple[str, ...]:
+        """Sorted names of every channel a send or recv box mentions."""
+        names = set()
+        for box in self.boxes.values():
+            if isinstance(box, (SendBox, RecvBox)):
+                names.add(box.channel)
+        return tuple(sorted(names))
+
+    def has_channels(self) -> bool:
+        """True when the flowchart contains send or recv boxes (cached)."""
+        return self._has_channels
 
     def has_dynamic_policy(self) -> bool:
         """True when the flowchart changes policies or downgrades labels."""

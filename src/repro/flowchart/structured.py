@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import FlowchartError
 from .boxes import (AssignBox, Box, DecisionBox, DowngradeBox, HaltBox,
-                    NodeId, PolicyChangeBox, StartBox)
+                    NodeId, PolicyChangeBox, RecvBox, SendBox, StartBox)
 from .expr import Expr, Pred
 from .program import Flowchart
 
@@ -87,6 +87,32 @@ class Downgrade(Stmt):
 
     def __repr__(self) -> str:
         return f"Downgrade({self.variable} \\ {self.indices})"
+
+
+class Send(Stmt):
+    """``send ch(v)`` — enqueue ``v``'s value (and label) on channel ``ch``."""
+
+    __slots__ = ("channel", "variable")
+
+    def __init__(self, channel: str, variable: str) -> None:
+        self.channel = channel
+        self.variable = variable
+
+    def __repr__(self) -> str:
+        return f"Send({self.channel}({self.variable}))"
+
+
+class Recv(Stmt):
+    """``recv ch(v)`` — dequeue the oldest message on ``ch`` into ``v``."""
+
+    __slots__ = ("channel", "variable")
+
+    def __init__(self, channel: str, variable: str) -> None:
+        self.channel = channel
+        self.variable = variable
+
+    def __repr__(self) -> str:
+        return f"Recv({self.channel}({self.variable}))"
 
 
 class While(Stmt):
@@ -166,6 +192,16 @@ def compile_structured(program: StructuredProgram) -> Flowchart:
             node_id = fresh()
             boxes[node_id] = DowngradeBox(statement.variable,
                                           statement.indices, continuation)
+            return node_id
+        if isinstance(statement, Send):
+            node_id = fresh()
+            boxes[node_id] = SendBox(statement.channel, statement.variable,
+                                     continuation)
+            return node_id
+        if isinstance(statement, Recv):
+            node_id = fresh()
+            boxes[node_id] = RecvBox(statement.channel, statement.variable,
+                                     continuation)
             return node_id
         if isinstance(statement, If):
             then_entry = compile_body(statement.then_body, continuation)

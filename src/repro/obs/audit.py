@@ -23,7 +23,11 @@ which every record is hash-chained to its predecessor:
   stages decisions and drains them through :meth:`append_batch` from
   a periodic task, keeping both the write and the seal off the
   request path) — rotation, batch appends, flush, and close always
-  re-seal, so any cleanly quiesced ledger seals exactly.
+  re-seal, so any cleanly quiesced ledger seals exactly.  Every seal
+  fsyncs the data file before the sidecar's atomic replace (and the
+  sidecar before the replace), so a sealed prefix is durable against
+  power loss; ``durable=False`` opts a hot path back down to
+  flush-only crash consistency.
 
 Tamper detection is total: flipping any single byte of any line either
 breaks that line's JSON, changes its parsed content (so the next
@@ -192,31 +196,59 @@ class AuditLedger:
     blocks for milliseconds on filesystem journaling).  Either way a
     crash can leave the seal behind the file — verify reports it, and
     a torn ledger *should* fail.
+
+    ``durable`` (default on) fsyncs the data file and the sidecar at
+    every seal boundary — per-append seals, batch seals, rotation,
+    flush, close — so a sealed prefix survives power loss, not just
+    process death.  Hot paths that already amortise sealing can pass
+    ``durable=False`` to keep seals flush-only.
     """
 
     def __init__(self, path: str, sample: float = 1.0,
                  max_bytes: Optional[int] = None, keep: int = 3,
-                 fresh: bool = False, seal_every: int = 1) -> None:
+                 fresh: bool = False, seal_every: int = 1,
+                 durable: bool = True) -> None:
         self.path = path
         self.sample = float(sample)
         self.max_bytes = max_bytes
         self.keep = max(1, int(keep))
         self.seal_every = max(0, int(seal_every))
+        self.durable = bool(durable)
         self._lock = threading.Lock()
         self._records = 0
         self._head = GENESIS
         self._size = 0
         self._unsealed = 0
+        torn = False
         if not fresh and os.path.exists(path):
-            self._records, self._head = self._resume(path)
+            torn = self._truncate_torn_tail(path)
+            self._records, self._head = (self._rescan(path) if torn
+                                         else self._resume(path))
             self._size = os.path.getsize(path)
         self._file = open(path, "a" if not fresh else "w", encoding="utf-8")
-        if fresh:
+        if fresh or torn:
             self._write_head()
 
     @staticmethod
     def head_path(path: str) -> str:
         return path + ".head"
+
+    @staticmethod
+    def _truncate_torn_tail(path: str) -> bool:
+        """Drop an unterminated final line (a torn mid-write crash tail).
+
+        A record exists only once its newline does — every seal runs
+        after the full line was written — so truncating back to the
+        last newline restores the longest well-formed prefix and lets
+        the chain resume cleanly instead of gluing the next record
+        onto half-written bytes.
+        """
+        with open(path, "rb+") as handle:
+            data = handle.read()
+            if not data or data.endswith(b"\n"):
+                return False
+            handle.truncate(data.rfind(b"\n") + 1)
+        return True
 
     @staticmethod
     def _resume(path: str) -> Tuple[int, str]:
@@ -228,6 +260,10 @@ class AuditLedger:
                 return int(head["records"]), str(head["head"])
             except (ValueError, KeyError, OSError):
                 pass  # fall through to a rescan
+        return AuditLedger._rescan(path)
+
+    @staticmethod
+    def _rescan(path: str) -> Tuple[int, str]:
         records, head = 0, GENESIS
         with open(path, encoding="utf-8") as handle:
             for line in handle:
@@ -341,11 +377,25 @@ class AuditLedger:
         return appended
 
     def _write_head(self) -> None:
+        # Seal boundary: the seal asserts "these N records exist with
+        # this head hash", so the data must reach the disk *before* the
+        # sidecar claims it does — else a power cut can leave a seal
+        # pointing past the file's durable tail, which verify reports
+        # as truncation of a ledger that never held those records.
+        # ``durable=False`` (hot-path opt-out) keeps the old
+        # flush-only behaviour: crash-consistent against process
+        # death, not against power loss.
+        if self.durable and not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
         head_path = self.head_path(self.path)
         tmp = head_path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(_canonical({"records": self._records,
                                      "head": self._head}) + "\n")
+            if self.durable:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp, head_path)
         self._unsealed = 0
 

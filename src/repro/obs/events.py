@@ -57,6 +57,10 @@ EVENT_KINDS: Tuple[str, ...] = (
     "audit_appended",      # one decision sealed into the audit ledger
     "audit_rotated",       # the audit ledger rotated a full generation
     "violation_rate_spike",  # a tenant's windowed notice rate spiked
+    "message_sent",    # a distributed envelope left its sending node
+    "message_retried",  # an unacked envelope was retransmitted
+    "node_crashed",    # a distributed node died (chaos kill or fault)
+    "node_recovered",  # a crashed node replayed its journal and rejoined
 )
 
 #: Envelope + per-kind required payload fields.  ``properties`` gives
@@ -122,6 +126,13 @@ EVENT_SCHEMA: Dict = {
         "audit_appended": {"required": ["rec", "decision", "endpoint"]},
         "audit_rotated": {"required": ["path", "records"]},
         "violation_rate_spike": {"required": ["tenant", "rate", "window"]},
+        # Distributed enforcement: envelope traffic between nodes and
+        # the crash/recovery lifecycle (see repro.dist and
+        # docs/ROBUSTNESS.md "Distributed enforcement").
+        "message_sent": {"required": ["channel", "seq", "src", "dst"]},
+        "message_retried": {"required": ["channel", "seq", "attempt"]},
+        "node_crashed": {"required": ["node"]},
+        "node_recovered": {"required": ["node", "incarnation"]},
     },
 }
 

@@ -7,12 +7,13 @@ fault                raised as                   totalized notice
 ===================  ==========================  =====================
 fuel exhaustion      ``FuelExhaustedError``      ``Λ!fuel[N]``
 value-magnitude      ``ValueCapExceededError``   ``Λ!cap[C]``
+message fault        ``MessageError``            ``Λ!msg[detail]``
 undeclared crash     any other ``Exception``     ``Λ!crash[Type]``
 ===================  ==========================  =====================
 
-The first two are *declared* faults: the engines raise them by design
+The first three are *declared* faults: the engines raise them by design
 and every sweep layer (serial, thread, process) catches them inline.
-The third is the quarantine class — a deterministic crash (MemoryError,
+The last is the quarantine class — a deterministic crash (MemoryError,
 a worker segfault, an injected fault) that the poison-point bisection
 in :mod:`repro.verify.parallel` isolates to individual grid points.
 
@@ -28,8 +29,8 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-from ..core.errors import (ExecutionError, FuelExhaustedError, ReproError,
-                           ValueCapExceededError)
+from ..core.errors import (ExecutionError, FuelExhaustedError, MessageError,
+                           ReproError, ValueCapExceededError)
 from ..core.mechanism import ViolationNotice
 
 #: Environment variable supplying the default value-magnitude cap
@@ -37,7 +38,7 @@ from ..core.mechanism import ViolationNotice
 VALUE_CAP_ENV = "REPRO_VALUE_CAP"
 
 #: The declared fault types every sweep layer totalizes inline.
-DECLARED_FAULTS = (FuelExhaustedError, ValueCapExceededError)
+DECLARED_FAULTS = (FuelExhaustedError, ValueCapExceededError, MessageError)
 
 
 def fuel_notice(fuel: int) -> ViolationNotice:
@@ -52,6 +53,18 @@ def fuel_notice(fuel: int) -> ViolationNotice:
 def cap_notice(cap: int) -> ViolationNotice:
     """The distinguished outcome of a run that exceeded the value cap."""
     return ViolationNotice(f"Λ!cap[{cap}]")
+
+
+def message_notice(detail: str) -> ViolationNotice:
+    """The distinguished outcome of a run hitting a channel fault.
+
+    ``detail`` is the machine-stable token carried by
+    :class:`~repro.core.errors.MessageError` — ``empty:CH`` for a
+    receive with no matching send, ``corrupt:CH#SEQ`` for an envelope
+    whose checksum failed in transit.  A corrupted message totalizes,
+    never silently yields a wrong answer.
+    """
+    return ViolationNotice(f"Λ!msg[{detail}]")
 
 
 def crash_notice(error: BaseException) -> ViolationNotice:
@@ -75,6 +88,8 @@ def fault_notice(error: BaseException) -> Optional[ViolationNotice]:
         return fuel_notice(error.fuel)
     if isinstance(error, ValueCapExceededError):
         return cap_notice(error.cap)
+    if isinstance(error, MessageError):
+        return message_notice(error.detail)
     return None
 
 
@@ -165,7 +180,8 @@ class TotalizedMechanism:
 # from here alongside the concrete fault types.
 __all__ = [
     "DECLARED_FAULTS", "VALUE_CAP_ENV", "ExecutionError",
-    "FuelExhaustedError", "ValueCapExceededError", "TotalizedMechanism",
-    "cap_notice", "crash_notice", "default_value_cap", "fault_notice",
-    "fuel_notice", "reset_value_cap_cache", "resolve_value_cap",
+    "FuelExhaustedError", "MessageError", "ValueCapExceededError",
+    "TotalizedMechanism", "cap_notice", "crash_notice",
+    "default_value_cap", "fault_notice", "fuel_notice", "message_notice",
+    "reset_value_cap_cache", "resolve_value_cap",
 ]

@@ -8,7 +8,7 @@ streams — no new dependencies):
 ========  =========  ====================================================
 method    path       what
 ========  =========  ====================================================
-GET       /healthz   liveness probe
+GET       /healthz   liveness probe (503 once graceful drain begins)
 GET       /metrics   Prometheus text exposition of the obs registry
 POST      /execute   one point execution (``repro run``)
 POST      /sweep     a soundness sweep (``repro sweep --results-json``)
@@ -72,7 +72,7 @@ _PROM = "text/plain; version=0.0.4; charset=utf-8"
 _REASONS = {200: "OK", 400: "Bad Request", 403: "Forbidden",
             404: "Not Found", 405: "Method Not Allowed",
             413: "Payload Too Large", 429: "Too Many Requests",
-            500: "Internal Server Error"}
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 
 class ServerConfig:
@@ -103,7 +103,10 @@ class ServerConfig:
                  audit_path: Optional[str] = None,
                  audit_sample: float = 1.0,
                  audit_max_bytes: Optional[int] = None,
-                 audit_keep: int = 3) -> None:
+                 audit_keep: int = 3,
+                 audit_durable: bool = True,
+                 drain_grace_s: float = 0.0,
+                 drain_deadline_s: float = 10.0) -> None:
         self.host = host
         self.port = port
         self.tenants = tenants or TenantRegistry()
@@ -126,6 +129,14 @@ class ServerConfig:
         self.audit_sample = audit_sample
         self.audit_max_bytes = audit_max_bytes
         self.audit_keep = audit_keep
+        self.audit_durable = audit_durable
+        # Graceful drain: once stop is requested /healthz answers 503
+        # so load balancers stop routing here; ``drain_grace_s`` keeps
+        # the listener open that long for probes to notice, and
+        # ``drain_deadline_s`` bounds how long in-flight requests get
+        # to finish before teardown proceeds anyway.
+        self.drain_grace_s = drain_grace_s
+        self.drain_deadline_s = drain_deadline_s
 
 
 class _ThreadSpanParent:
@@ -165,6 +176,8 @@ class ReproServer:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._batcher: Optional[ExecuteBatcher] = None
         self._stopped: Optional[asyncio.Event] = None
+        self._draining = False
+        self._inflight = 0
         self._inflight_sweeps: Dict[Tuple, asyncio.Future] = {}
         self._root_span = None
         self.audit: Optional[AuditLedger] = None
@@ -208,7 +221,8 @@ class ReproServer:
             self.audit = AuditLedger(
                 self.config.audit_path, sample=self.config.audit_sample,
                 max_bytes=self.config.audit_max_bytes,
-                keep=self.config.audit_keep, seal_every=0)
+                keep=self.config.audit_keep, seal_every=0,
+                durable=self.config.audit_durable)
 
         self._loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
@@ -252,7 +266,14 @@ class ReproServer:
         return self._server.sockets[0].getsockname()[1]
 
     def request_stop(self) -> None:
-        """Thread-safe, idempotent shutdown request."""
+        """Thread-safe, idempotent shutdown request.
+
+        Flips the drain flag immediately — the very next /healthz
+        answers 503 even before the event loop processes the stop —
+        so a probing load balancer never routes to a server that has
+        decided to go away.
+        """
+        self._draining = True
         if self._loop is not None and self._stopped is not None:
             try:
                 self._loop.call_soon_threadsafe(self._stopped.set)
@@ -266,6 +287,18 @@ class ReproServer:
         await self._shutdown()
 
     async def _shutdown(self) -> None:
+        self._draining = True
+        if self.config.drain_grace_s > 0:
+            # Keep the listener open while probes observe the 503 —
+            # in-flight and newly arriving requests complete normally
+            # during the grace window; only /healthz changes answer.
+            await asyncio.sleep(self.config.drain_grace_s)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.drain_deadline_s
+        while self._inflight and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
         if self._seal_task is not None:
             self._seal_task.cancel()
             try:
@@ -273,9 +306,6 @@ class ReproServer:
             except asyncio.CancelledError:
                 pass
             self._seal_task = None
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
         if self.audit is not None:
@@ -373,6 +403,7 @@ class ReproServer:
     async def _dispatch(self, method: str, path: str,
                         body: bytes) -> Tuple[int, str, bytes]:
         started = time.perf_counter()
+        self._inflight += 1
         registry = _obs.registry
         registry.counter("serve.requests").inc()
         span = _obs.span_begin(
@@ -403,6 +434,7 @@ class ReproServer:
                 {"error": {"code": "internal",
                            "message": f"{type(error).__name__}: {error}"}})
         finally:
+            self._inflight -= 1
             elapsed = time.perf_counter() - started
             registry.histogram("serve.latency_s").observe(elapsed)
             # Per-endpoint latency rides a labeled series; unknown
@@ -419,7 +451,8 @@ class ReproServer:
             if method != "GET":
                 raise RequestError(405, "method_not_allowed",
                                    f"{path} is GET-only")
-            return 200, _JSON, self._json_bytes(self._healthz())
+            status = 503 if self._draining else 200
+            return status, _JSON, self._json_bytes(self._healthz())
         if path == "/metrics":
             if method != "GET":
                 raise RequestError(405, "method_not_allowed",
@@ -448,7 +481,8 @@ class ReproServer:
     def _healthz(self) -> Dict:
         uptime = (time.monotonic() - self.started_at
                   if self.started_at is not None else 0.0)
-        return {"status": "ok", "uptime_s": round(uptime, 3),
+        return {"status": "draining" if self._draining else "ok",
+                "uptime_s": round(uptime, 3),
                 "backend": self.default_backend, "fuel": self.fuel,
                 "value_cap": self.default_value_cap}
 

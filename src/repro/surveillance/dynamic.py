@@ -32,17 +32,17 @@ makes the untimed mechanism demonstrably unsound under observable time
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.domains import ProductDomain
 from ..core.errors import (ArityMismatchError, FuelExhaustedError,
-                           ValueCapExceededError)
+                           MessageError, ValueCapExceededError)
 from ..core.mechanism import ProtectionMechanism, ViolationNotice
 from ..core.observability import VALUE_AND_TIME, VALUE_ONLY, OutputModel
 from ..core.policy import AllowPolicy
 from ..core.program import Program
 from ..flowchart.boxes import (AssignBox, DecisionBox, DowngradeBox, HaltBox,
-                               PolicyChangeBox)
+                               PolicyChangeBox, RecvBox, SendBox)
 from ..flowchart.interpreter import DEFAULT_FUEL, as_program, initial_environment
 from ..flowchart.program import Flowchart
 from ..obs import runtime as _obs
@@ -151,6 +151,10 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
     pc_label: Label = EMPTY
     active_allowed: Label = allowed
     epoch = 0
+    # Typed channels under surveillance: each message carries its label
+    # (v̄ ∪ C̄ at the send site) inside the envelope — the distributed-
+    # setting soundness requirement (Almeida Matos & Cederquist).
+    channels: Dict[str, List[Tuple[int, Label]]] = {}
     # Epoch-tagged notices only where epochs exist: classic programs
     # keep the paper's plain Λ bit-for-bit.
     has_epochs = bool(flowchart.policy_change_ids())
@@ -243,6 +247,27 @@ def surveil(flowchart: Flowchart, inputs: Sequence[int], allowed: Label,
                 _obs.emit("downgrade_applied", program=flowchart.name,
                           variable=box.variable,
                           dropped=sorted(box.indices))
+            current = box.next
+        elif isinstance(box, SendBox):
+            # The envelope label is v̄ ∪ C̄: a receive learns both the
+            # sent value and the control context that reached the send.
+            channels.setdefault(box.channel, []).append(
+                (env[box.variable], join(labels[box.variable], pc_label)))
+            current = box.next
+        elif isinstance(box, RecvBox):
+            queue = channels.get(box.channel)
+            if not queue:
+                raise MessageError(
+                    f"empty:{box.channel}",
+                    f"surveilled {flowchart.name} received on empty channel "
+                    f"{box.channel!r} on {tuple(inputs)!r}")
+            value, message_label = queue.pop(0)
+            env[box.variable] = value
+            incoming = join(message_label, pc_label)
+            if forgetting:
+                labels[box.variable] = incoming
+            else:
+                labels[box.variable] = join(labels[box.variable], incoming)
             current = box.next
         else:  # pragma: no cover - StartBox is never re-entered
             current = box.successors()[0]

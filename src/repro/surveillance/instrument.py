@@ -38,7 +38,7 @@ from typing import Dict, Optional
 from weakref import WeakKeyDictionary
 
 from ..core.domains import ProductDomain
-from ..core.errors import ArityMismatchError
+from ..core.errors import ArityMismatchError, FlowchartError
 from ..core.mechanism import ProtectionMechanism, ViolationNotice
 from ..core.observability import VALUE_ONLY, OutputModel
 from ..core.policy import AllowPolicy
@@ -127,6 +127,16 @@ def instrument(flowchart: Flowchart, policy: AllowPolicy,
         raise ArityMismatchError(
             f"policy arity {policy.arity} != flowchart arity {flowchart.arity}"
         )
+    if flowchart.has_channels():
+        # Literal instrumentation encodes labels as integer variables of
+        # the instrumented flowchart; channel messages carry labels
+        # inside their envelopes, which the integer environment cannot
+        # model.  Channel programs are surveilled interpreter-level
+        # (repro.surveillance.dynamic.surveil) only.
+        raise FlowchartError(
+            f"flowchart {flowchart.name!r} has channel boxes; literal "
+            "instrumentation does not support send/recv — use the "
+            "interpreter-level surveillance mechanism")
     allowed_mask = to_mask(policy.allowed)
     dynamic = flowchart.has_dynamic_policy()
     arity_mask = (1 << flowchart.arity) - 1

@@ -32,6 +32,30 @@ Fault kinds
     Named grid points raise :class:`MemoryError` when evaluated —
     deterministic OOM-style crashes the quarantine bisection must
     totalize into ``Λ!crash[MemoryError]`` notices.
+
+Message faults (the distributed runtime)
+----------------------------------------
+:mod:`repro.dist` consults the same plan per message *attempt* via
+:meth:`FaultPlan.decide_message` — pure in ``(seed, channel, seq,
+attempt)``, so a retransmitted envelope redraws its fate but a replayed
+run redraws identically.  Priority: corrupt beats drop beats dup beats
+delay (one fault per attempt).
+
+``corrupt``
+    The envelope's payload checksum is damaged in flight; the receiver
+    must totalize it as a ``Λ!msg[corrupt:CH#SEQ]`` notice, never a
+    silent wrong answer.
+``drop``
+    The envelope vanishes; at-least-once retransmission recovers it.
+``dup``
+    The envelope is delivered twice; ``(node, seq)`` dedup absorbs it.
+``delay`` (``mdelay``)
+    Delivery is postponed ``msg_delay_seconds`` — enough to reorder it
+    behind later traffic, which seq-ordered consumption absorbs.
+``kill``
+    :meth:`FaultPlan.decide_kill` schedules a node crash after it
+    accepts its *seq*-th envelope — fired only on incarnation 0 so
+    checkpoint recovery always progresses.
 """
 
 from __future__ import annotations
@@ -41,7 +65,8 @@ from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from ..core.errors import ReproError
 
-__all__ = ["FaultDecision", "FaultPlan", "clear", "current_plan", "install"]
+__all__ = ["FaultDecision", "FaultPlan", "MessageFault", "clear",
+           "current_plan", "install", "jitter"]
 
 
 def _roll(seed: int, *key) -> float:
@@ -50,6 +75,16 @@ def _roll(seed: int, *key) -> float:
         ":".join([str(seed)] + [str(part) for part in key]).encode()
     ).digest()
     return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def jitter(seed: int, *key) -> float:
+    """Public deterministic uniform draw in [0, 1), keyed by (seed, *key).
+
+    Backoff schedules (sweep retries, transport retransmits) use this to
+    jitter their waits without losing replayability: same seed and key,
+    same jitter, in any process.
+    """
+    return _roll(seed, *key)
 
 
 class FaultDecision:
@@ -65,6 +100,27 @@ class FaultDecision:
         return f"FaultDecision(crash={self.crash}, delay={self.delay})"
 
 
+class MessageFault:
+    """What a fault plan injects into one message delivery attempt."""
+
+    __slots__ = ("corrupt", "drop", "duplicate", "delay")
+
+    def __init__(self, corrupt: bool = False, drop: bool = False,
+                 duplicate: bool = False, delay: float = 0.0) -> None:
+        self.corrupt = corrupt
+        self.drop = drop
+        self.duplicate = duplicate
+        self.delay = delay
+
+    def __bool__(self) -> bool:
+        return (self.corrupt or self.drop or self.duplicate
+                or self.delay > 0.0)
+
+    def __repr__(self) -> str:
+        return (f"MessageFault(corrupt={self.corrupt}, drop={self.drop}, "
+                f"duplicate={self.duplicate}, delay={self.delay})")
+
+
 class FaultPlan:
     """A seeded, deterministic schedule of injected sweep faults.
 
@@ -76,18 +132,25 @@ class FaultPlan:
     """
 
     __slots__ = ("seed", "crash", "delay", "lost", "delay_seconds",
-                 "lost_seconds", "poison_points")
+                 "lost_seconds", "poison_points", "msg_drop", "msg_dup",
+                 "msg_corrupt", "msg_delay", "msg_delay_seconds", "kill")
 
     def __init__(self, seed: int = 0, crash: float = 0.0, delay: float = 0.0,
                  lost: float = 0.0, delay_seconds: float = 0.05,
                  lost_seconds: float = 5.0,
-                 poison_points: Sequence[Tuple] = ()) -> None:
+                 poison_points: Sequence[Tuple] = (),
+                 msg_drop: float = 0.0, msg_dup: float = 0.0,
+                 msg_corrupt: float = 0.0, msg_delay: float = 0.0,
+                 msg_delay_seconds: float = 0.05,
+                 kill: float = 0.0) -> None:
         for name, rate in (("crash", crash), ("delay", delay),
-                           ("lost", lost)):
+                           ("lost", lost), ("msg_drop", msg_drop),
+                           ("msg_dup", msg_dup), ("msg_corrupt", msg_corrupt),
+                           ("msg_delay", msg_delay), ("kill", kill)):
             if not 0.0 <= rate <= 1.0:
                 raise ReproError(
                     f"chaos {name} rate must be in [0, 1]; got {rate}")
-        if delay_seconds < 0 or lost_seconds < 0:
+        if delay_seconds < 0 or lost_seconds < 0 or msg_delay_seconds < 0:
             raise ReproError("chaos delay/lost durations must be >= 0")
         self.seed = int(seed)
         self.crash = float(crash)
@@ -95,6 +158,12 @@ class FaultPlan:
         self.lost = float(lost)
         self.delay_seconds = float(delay_seconds)
         self.lost_seconds = float(lost_seconds)
+        self.msg_drop = float(msg_drop)
+        self.msg_dup = float(msg_dup)
+        self.msg_corrupt = float(msg_corrupt)
+        self.msg_delay = float(msg_delay)
+        self.msg_delay_seconds = float(msg_delay_seconds)
+        self.kill = float(kill)
         self.poison_points: FrozenSet[Tuple] = frozenset(
             tuple(int(part) for part in point) for point in poison_points)
 
@@ -120,27 +189,69 @@ class FaultPlan:
         """Whether a grid point is scheduled to crash when evaluated."""
         return bool(self.poison_points) and tuple(point) in self.poison_points
 
+    def decide_message(self, channel: str, seq: int,
+                       attempt: int) -> MessageFault:
+        """The injected fault (if any) for one message delivery attempt.
+
+        Pure in ``(seed, channel, seq, attempt)``: the same envelope
+        retransmitted from any incarnation of any node suffers the same
+        fate.  Priority: corrupt beats drop beats dup beats delay (one
+        fault per attempt).
+        """
+        if self.msg_corrupt and _roll(self.seed, "msg-corrupt", channel, seq,
+                                      attempt) < self.msg_corrupt:
+            return MessageFault(corrupt=True)
+        if self.msg_drop and _roll(self.seed, "msg-drop", channel, seq,
+                                   attempt) < self.msg_drop:
+            return MessageFault(drop=True)
+        if self.msg_dup and _roll(self.seed, "msg-dup", channel, seq,
+                                  attempt) < self.msg_dup:
+            return MessageFault(duplicate=True)
+        if self.msg_delay and _roll(self.seed, "msg-delay", channel, seq,
+                                    attempt) < self.msg_delay:
+            return MessageFault(delay=self.msg_delay_seconds)
+        return MessageFault()
+
+    def decide_kill(self, node: int, seq: int) -> bool:
+        """Whether node ``node`` crashes after accepting envelope ``seq``.
+
+        Pure in ``(seed, node, seq)``.  The runtime consults this only on
+        a node's first incarnation, so every scheduled crash is followed
+        by a recovery that runs the schedule *off* — progress guaranteed.
+        """
+        return bool(self.kill) and _roll(self.seed, "kill", node,
+                                         seq) < self.kill
+
     def __reduce__(self):
         return (_rebuild_plan, (self.seed, self.crash, self.delay, self.lost,
                                 self.delay_seconds, self.lost_seconds,
-                                tuple(sorted(self.poison_points))))
+                                tuple(sorted(self.poison_points)),
+                                self.msg_drop, self.msg_dup,
+                                self.msg_corrupt, self.msg_delay,
+                                self.msg_delay_seconds, self.kill))
 
     def __repr__(self) -> str:
         return (f"FaultPlan(seed={self.seed}, crash={self.crash}, "
                 f"delay={self.delay}, lost={self.lost}, "
-                f"poison={sorted(self.poison_points)})")
+                f"drop={self.msg_drop}, dup={self.msg_dup}, "
+                f"corrupt={self.msg_corrupt}, mdelay={self.msg_delay}, "
+                f"kill={self.kill}, poison={sorted(self.poison_points)})")
 
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
         """Build a plan from a CLI spec string.
 
         Comma-separated ``key=value`` fields: ``seed``, ``crash``,
-        ``delay``, ``lost`` (rates), ``delay_s``/``lost_s`` (seconds),
-        and ``poison`` — grid points joined by ``+`` with coordinates
-        joined by ``:``, e.g. ``poison=1:2+0:0``.
+        ``delay``, ``lost`` (sweep-side rates), ``delay_s``/``lost_s``
+        (seconds), message-side rates ``drop``/``dup``/``corrupt``/
+        ``mdelay`` plus ``mdelay_s`` (seconds) and ``kill`` (node crash
+        rate), and ``poison`` — grid points joined by ``+`` with
+        coordinates joined by ``:``, e.g. ``poison=1:2+0:0``.
 
         >>> FaultPlan.parse("seed=3,crash=0.2,poison=1:2").crash
         0.2
+        >>> FaultPlan.parse("seed=7,drop=0.3,dup=0.1").msg_drop
+        0.3
         """
         fields: Dict[str, str] = {}
         for part in spec.split(","):
@@ -153,7 +264,8 @@ class FaultPlan:
             key, _, value = part.partition("=")
             fields[key.strip()] = value.strip()
         known = {"seed", "crash", "delay", "lost", "delay_s", "lost_s",
-                 "poison"}
+                 "poison", "drop", "dup", "corrupt", "mdelay", "mdelay_s",
+                 "kill"}
         unknown = set(fields) - known
         if unknown:
             raise ReproError(
@@ -171,16 +283,26 @@ class FaultPlan:
                 delay_seconds=float(fields.get("delay_s", "0.05")),
                 lost_seconds=float(fields.get("lost_s", "5.0")),
                 poison_points=poison,
+                msg_drop=float(fields.get("drop", "0")),
+                msg_dup=float(fields.get("dup", "0")),
+                msg_corrupt=float(fields.get("corrupt", "0")),
+                msg_delay=float(fields.get("mdelay", "0")),
+                msg_delay_seconds=float(fields.get("mdelay_s", "0.05")),
+                kill=float(fields.get("kill", "0")),
             )
         except ValueError as error:
             raise ReproError(f"bad chaos spec {spec!r}: {error}") from None
 
 
 def _rebuild_plan(seed, crash, delay, lost, delay_seconds, lost_seconds,
-                  poison_points):
+                  poison_points, msg_drop=0.0, msg_dup=0.0, msg_corrupt=0.0,
+                  msg_delay=0.0, msg_delay_seconds=0.05, kill=0.0):
     return FaultPlan(seed=seed, crash=crash, delay=delay, lost=lost,
                      delay_seconds=delay_seconds, lost_seconds=lost_seconds,
-                     poison_points=poison_points)
+                     poison_points=poison_points, msg_drop=msg_drop,
+                     msg_dup=msg_dup, msg_corrupt=msg_corrupt,
+                     msg_delay=msg_delay,
+                     msg_delay_seconds=msg_delay_seconds, kill=kill)
 
 
 #: The process-wide installed plan (None = no chaos).

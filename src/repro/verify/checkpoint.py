@@ -36,8 +36,9 @@ from typing import Dict, List, Optional, Tuple
 from ..core.errors import ReproError
 from ..core.mechanism import ViolationNotice
 
-__all__ = ["CheckpointWriter", "config_fingerprint", "encode_value",
-           "decode_value", "load_checkpoint"]
+__all__ = ["CheckpointWriter", "JournalWriter", "config_fingerprint",
+           "encode_value", "decode_value", "load_checkpoint",
+           "load_journal"]
 
 
 def encode_value(value):
@@ -78,24 +79,26 @@ def config_fingerprint(descriptor: Dict) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-class CheckpointWriter:
-    """Appends one flushed JSONL record per completed chunk.
+class JournalWriter:
+    """A crash-safe append-only JSONL journal: fsync per record.
 
-    ``fresh`` truncates and writes the ``checkpoint_meta`` header;
-    resume passes ``fresh=False`` (and ``start_seq`` past the restored
-    records) to append to the existing journal.
+    The durability contract every journal in the repo shares (sweep
+    checkpoints here, node-state journals in :mod:`repro.dist`): each
+    record gains a monotone ``seq`` and relative timestamp ``t``, is
+    written as one line, and is flushed *and* fsynced before the write
+    returns — a SIGKILL leaves at worst one torn final line, which
+    :func:`load_journal` tolerates.
+
+    ``fresh`` truncates; resume passes ``fresh=False`` (and
+    ``start_seq`` past the restored records) to append.
     """
 
-    def __init__(self, path: str, descriptor: Dict, fresh: bool = True,
+    def __init__(self, path: str, fresh: bool = True,
                  start_seq: int = 0) -> None:
         self.path = path
         self._seq = start_seq
         self._t0 = time.monotonic()
         self._file = open(path, "w" if fresh else "a", encoding="utf-8")
-        if fresh:
-            self._write({"kind": "checkpoint_meta",
-                         "config": config_fingerprint(descriptor),
-                         "sweep": descriptor})
 
     def _write(self, record: Dict) -> None:
         record = dict(record)
@@ -108,6 +111,38 @@ class CheckpointWriter:
         # worst a torn final line (the resume test exercises this).
         self._file.flush()
         os.fsync(self._file.fileno())
+
+    def write(self, record: Dict) -> None:
+        """Append one record durably (seq and timestamp added here)."""
+        self._write(record)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CheckpointWriter(JournalWriter):
+    """Appends one flushed JSONL record per completed chunk.
+
+    ``fresh`` truncates and writes the ``checkpoint_meta`` header;
+    resume passes ``fresh=False`` (and ``start_seq`` past the restored
+    records) to append to the existing journal.
+    """
+
+    def __init__(self, path: str, descriptor: Dict, fresh: bool = True,
+                 start_seq: int = 0) -> None:
+        super().__init__(path, fresh=fresh, start_seq=start_seq)
+        if fresh:
+            self._write({"kind": "checkpoint_meta",
+                         "config": config_fingerprint(descriptor),
+                         "sweep": descriptor})
 
     def write_chunk(self, pair: int, chunk: int, summary) -> None:
         record = {
@@ -124,16 +159,32 @@ class CheckpointWriter:
             record["backend"] = backend
         self._write(record)
 
-    def close(self) -> None:
-        if not self._file.closed:
-            self._file.flush()
-            self._file.close()
 
-    def __enter__(self) -> "CheckpointWriter":
-        return self
+def load_journal(path: str) -> List[Dict]:
+    """Read a JSONL journal, tolerating one torn final line.
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    The load half of the :class:`JournalWriter` durability contract: a
+    journal whose writer was SIGKILLed mid-record parses up to the torn
+    tail; corruption anywhere *else* raises, because a mid-file tear
+    means the file is not the journal we wrote.
+    """
+    if not os.path.exists(path):
+        raise ReproError(f"journal {path!r} does not exist")
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    records: List[Dict] = []
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if index == len(lines) - 1:
+                break  # torn tail from a mid-write kill — expected
+            raise ReproError(
+                f"journal {path!r} is corrupt at line {index + 1}")
+    return records
 
 
 def load_checkpoint(path: str,
@@ -153,22 +204,7 @@ def load_checkpoint(path: str,
     """
     from .parallel import ChunkSummary
 
-    if not os.path.exists(path):
-        raise ReproError(f"checkpoint {path!r} does not exist")
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = handle.readlines()
-    records: List[Dict] = []
-    for index, line in enumerate(lines):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            records.append(json.loads(line))
-        except ValueError:
-            if index == len(lines) - 1:
-                break  # torn tail from a mid-write kill — expected
-            raise ReproError(
-                f"checkpoint {path!r} is corrupt at line {index + 1}")
+    records = load_journal(path)
     if not records or records[0].get("kind") != "checkpoint_meta":
         raise ReproError(
             f"checkpoint {path!r} has no checkpoint_meta header")

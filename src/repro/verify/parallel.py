@@ -92,7 +92,7 @@ from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.domains import ProductDomain
-from ..core.errors import (FuelExhaustedError, ReproError,
+from ..core.errors import (FuelExhaustedError, MessageError, ReproError,
                            SweepInterruptedError, ValueCapExceededError)
 from ..core.mechanism import ViolationNotice, is_violation
 from ..core.policy import AllowPolicy
@@ -104,7 +104,7 @@ from ..obs import runtime as _obs
 from ..obs.audit import (AuditLedger, budget_fingerprint, decision_payload,
                          merge_segments)
 from ..robustness.faults import (cap_notice, crash_notice, fuel_notice,
-                                 resolve_value_cap)
+                                 message_notice, resolve_value_cap)
 from . import chaos
 from .checkpoint import (CheckpointWriter, config_fingerprint, encode_value,
                          load_checkpoint)
@@ -134,6 +134,31 @@ _FAIL_INJECTOR: Optional[Callable[[int, int, int], bool]] = None
 #: artificial delay before a *thread-pool* chunk runs (for exercising
 #: ``chunk_timeout``).  ``None`` or 0 means no delay.
 _DELAY_INJECTOR: Optional[Callable[[int, int, int], float]] = None
+
+#: Retry backoff ladder: first retry waits ~BASE, doubling per attempt,
+#: bounded by CAP so a degraded pool is never hammered by an immediate
+#: resubmit storm yet recovery latency stays sub-second.
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 1.0
+
+
+def retry_backoff(pair_index: int, chunk_index: int, attempt: int,
+                  seed: int = 0) -> float:
+    """Seconds a retried chunk waits before re-running (0 for attempt 0).
+
+    Bounded exponential backoff with *deterministic* jitter: the jitter
+    factor (0.5x–1x of the exponential base) is a pure function of
+    ``(seed, pair, chunk, attempt)`` via the chaos hash, so a replayed
+    sweep backs off identically.  The wait is a worker-side sleep and
+    never touches chunk results — serial == thread == process rows hold
+    with or without retries.
+    """
+    if attempt <= 0:
+        return 0.0
+    base = min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * (2 ** (attempt - 1)))
+    jitter = chaos.jitter(seed, "retry-backoff", pair_index, chunk_index,
+                          attempt)
+    return base * (0.5 + 0.5 * jitter)
 
 
 class _InjectedWorkerFailure(RuntimeError):
@@ -212,6 +237,8 @@ def evaluate_chunk(mechanism, policy, points: Iterable[Tuple],
                 if _obs.active:
                     _obs.record_value_cap_exceeded(
                         getattr(mechanism, "name", "?"), error.cap)
+            except MessageError as error:
+                output = message_notice(error.detail)
             accepted = not is_violation(output)
         finally:
             _obs.span_finish(point_span)
@@ -820,7 +847,11 @@ def parallel_soundness_sweep(
         else:
             family = next((name for name, fn in FACTORIES.items()
                            if fn is factory), None)
-        if family in _BATCH_FAMILIES:
+        if family in _BATCH_FAMILIES and not any(
+                flowchart.has_channels() for flowchart in flowcharts):
+            # Channel programs stay per-point: the surveillance batch
+            # family runs *instrumented* flowcharts, and literal
+            # instrumentation cannot model labelled channel queues.
             batch_family = family
     # The tier for chunks evaluated per-point: under backend="batch"
     # that work degrades to the compiled engine — the same target the
@@ -1325,6 +1356,10 @@ def parallel_soundness_sweep(
             decision = plan.decide(pair_index, chunk_index, attempt)
             inject = inject or decision.crash
             delay = max(delay, decision.delay)
+        # Retry backoff rides the same worker-side sleep the injectors
+        # use, so the parent supervision loop never blocks on it.
+        delay += retry_backoff(pair_index, chunk_index, attempt,
+                               seed=plan.seed if plan is not None else 0)
         return inject, delay
 
     if _obs.active:

@@ -1,0 +1,78 @@
+"""Deterministic box→node assignment: homes pinned, start on node 0."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.flowchart.boxes import RecvBox, StartBox
+from repro.flowchart.parser import parse_program
+from repro.dist import build_partition, channel_homes
+
+RELAY3 = """
+program relay3(x1, x2) {
+    s := x1 + x2;
+    send a(s);
+    recv a(u);
+    t := u * 2;
+    send b(t);
+    recv b(v);
+    y := v + x1
+}
+"""
+
+
+def compile_source(source):
+    return parse_program(source).compile()
+
+
+class TestChannelHomes:
+    def test_homes_cover_every_channel(self):
+        flowchart = compile_source(RELAY3)
+        homes = channel_homes(flowchart, 3)
+        assert sorted(homes) == ["a", "b"]
+        assert all(0 <= node < 3 for node in homes.values())
+
+    def test_homes_are_rank_round_robin(self):
+        flowchart = compile_source(RELAY3)
+        assert channel_homes(flowchart, 2) == {"a": 0, "b": 1}
+        assert channel_homes(flowchart, 1) == {"a": 0, "b": 0}
+
+
+class TestBuildPartition:
+    def test_every_box_is_assigned(self):
+        flowchart = compile_source(RELAY3)
+        partition = build_partition(flowchart, 3)
+        assert set(partition.assignment) == set(flowchart.boxes)
+        assert all(0 <= node < 3 for node in partition.assignment.values())
+
+    def test_start_and_entry_on_node_zero(self):
+        flowchart = compile_source(RELAY3)
+        partition = build_partition(flowchart, 3)
+        for box_id, box in flowchart.boxes.items():
+            if isinstance(box, StartBox):
+                assert partition.node_of(box_id) == 0
+        entry = flowchart.boxes[flowchart.start_id].successors()[0]
+        assert partition.node_of(entry) == 0
+
+    def test_recv_boxes_live_at_their_channel_home(self):
+        flowchart = compile_source(RELAY3)
+        partition = build_partition(flowchart, 3)
+        for box_id, box in flowchart.boxes.items():
+            if isinstance(box, RecvBox):
+                assert partition.node_of(box_id) == \
+                    partition.homes[box.channel]
+
+    def test_deterministic(self):
+        flowchart = compile_source(RELAY3)
+        first = build_partition(flowchart, 3)
+        second = build_partition(flowchart, 3)
+        assert first.assignment == second.assignment
+        assert first.homes == second.homes
+
+    def test_single_node_degenerates_to_all_zero(self):
+        flowchart = compile_source(RELAY3)
+        partition = build_partition(flowchart, 1)
+        assert set(partition.assignment.values()) == {0}
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ReproError, match=">= 1 node"):
+            build_partition(compile_source(RELAY3), 0)

@@ -1,0 +1,86 @@
+"""Cross-node observability: one rooted span tree, message events.
+
+Every node process emits its span under the coordinator's ``dist_run``
+root via deterministic ids (``{pid}-node{n}i{incarnation}``), and the
+coordinator closes the spans of crashed incarnations itself — so even
+a chaosed run with kills renders as a single clean tree with zero
+problems.
+"""
+
+from repro import obs
+from repro.dist import run_distributed, serial_reference
+from repro.flowchart.parser import parse_program
+from repro.verify.chaos import FaultPlan
+
+RELAY = """
+program relay(x1, x2) {
+    s := x1 + x2;
+    send ch(s);
+    recv ch(u);
+    y := u * 2
+}
+"""
+
+
+def run_traced(plan=None, nodes=2):
+    flowchart = parse_program(RELAY).compile()
+    ring = obs.RingBufferSink(capacity=65536)
+    with obs.observed(sinks=[ring], reset=True):
+        result = run_distributed(flowchart, (3, 4), (1, 2), nodes=nodes,
+                                 plan=plan)
+    return result, ring
+
+
+class TestSpanTree:
+    def test_clean_run_is_single_rooted_and_closed(self):
+        result, ring = run_traced()
+        assert result.outcome == 14
+        forest = obs.build_span_tree(ring.events())
+        assert forest.problems == []
+        assert forest.single_rooted
+        root = forest.roots[0]
+        assert root.op == "dist_run"
+        node_spans = [node for _, node in root.walk() if node.op == "node"]
+        assert len(node_spans) == 2
+        for _, node in root.walk():
+            assert node.closed
+
+    def test_crashed_incarnations_still_close(self):
+        result, ring = run_traced(plan=FaultPlan(seed=0, kill=1.0))
+        assert result.crashes >= 1
+        forest = obs.build_span_tree(ring.events())
+        assert forest.problems == []
+        assert forest.single_rooted
+        node_spans = [node for _, node in forest.roots[0].walk()
+                      if node.op == "node"]
+        # One span per incarnation: N original + one per recovery.
+        assert len(node_spans) == result.nodes + result.recoveries
+        assert all(node.closed for node in node_spans)
+
+
+class TestMessageEvents:
+    def test_message_sent_events_cover_the_traffic(self):
+        result, ring = run_traced()
+        sent = ring.events("message_sent")
+        assert len(sent) == result.messages_sent
+        assert sent
+        for event in sent:
+            assert {"channel", "seq", "src", "dst"} <= set(event)
+
+    def test_crash_and_recovery_events(self):
+        result, ring = run_traced(plan=FaultPlan(seed=0, kill=1.0))
+        crashed = ring.events("node_crashed")
+        recovered = ring.events("node_recovered")
+        assert len(crashed) == result.crashes
+        assert len(recovered) == result.recoveries
+        assert all(event["incarnation"] >= 1 for event in recovered)
+
+    def test_retries_under_drop_schedule(self):
+        result, ring = run_traced(
+            plan=FaultPlan(seed=2, msg_drop=0.5), nodes=2)
+        flowchart = parse_program(RELAY).compile()
+        assert result.row() == serial_reference(flowchart, (3, 4), (1, 2))
+        retried = ring.events("message_retried")
+        assert len(retried) == result.messages_retried
+        assert retried, "a 50% drop schedule must force retransmission"
+        assert all(event["attempt"] >= 1 for event in retried)

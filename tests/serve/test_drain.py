@@ -1,0 +1,90 @@
+"""Graceful drain: /healthz flips to 503, in-flight work completes.
+
+The drain contract: the moment stop is requested, /healthz answers 503
+(``status: draining``) so load balancers route away; the listener then
+stays open for ``drain_grace_s`` and requests already on the wire —
+including one whose body is still being read — complete normally
+before teardown proceeds.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServerConfig, serve_in_thread
+
+from .test_server import request
+
+
+@pytest.fixture
+def server():
+    handles = []
+
+    def start(**config):
+        handle = serve_in_thread(ServerConfig(port=0, **config))
+        handles.append(handle)
+        return handle
+
+    yield start
+    for handle in handles:
+        handle.stop(timeout=15.0)
+
+
+class TestHealthzDrain:
+    def test_healthz_flips_to_503_once_drain_begins(self, server):
+        handle = server(drain_grace_s=1.5)
+        status, body = request(handle.port, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        handle.server.request_stop()
+        status, body = request(handle.port, "GET", "/healthz")
+        assert status == 503
+        assert body["status"] == "draining"
+        # Diagnostic fields survive the flip — probes still see them.
+        assert "uptime_s" in body and "backend" in body
+
+    def test_requests_during_grace_window_complete(self, server):
+        handle = server(drain_grace_s=1.5)
+        handle.server.request_stop()
+        status, body = request(handle.port, "POST", "/execute",
+                               {"source": "program p(x1) { y := x1 * 2 }",
+                                "inputs": [21]})
+        assert status == 200
+        assert body["value"] == 42
+
+    def test_inflight_request_mid_read_completes(self, server):
+        # The hardest in-flight shape: the request line and half the
+        # body are on the wire when drain begins; the rest arrives
+        # after.  It must still get its 200.
+        handle = server(drain_grace_s=1.5)
+        payload = json.dumps({"source": "program p(x1) { y := x1 * 2 }",
+                              "inputs": [21]}).encode("utf-8")
+        with socket.create_connection(("127.0.0.1", handle.port),
+                                      timeout=10.0) as sock:
+            head = ("POST /execute HTTP/1.1\r\n"
+                    "Host: localhost\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n")
+            sock.sendall(head.encode("latin-1") + payload[:5])
+            handle.server.request_stop()
+            time.sleep(0.2)  # drain is now underway, request mid-read
+            sock.sendall(payload[5:])
+            response = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+        assert b"200 OK" in response
+        assert b'"value": 42' in response
+
+    def test_stop_is_idempotent_and_terminates(self, server):
+        handle = server(drain_grace_s=0.0)
+        handle.server.request_stop()
+        handle.server.request_stop()
+        handle.thread.join(timeout=10.0)
+        assert not handle.thread.is_alive()

@@ -827,3 +827,57 @@ class TestAudit:
         assert main(["trace", "summarize", str(trace)]) == 0
         out = capsys.readouterr().out
         assert "audit:" in out and "record(s) appended" in out
+
+
+class TestDistCommand:
+    SOURCE = ("program relay(x1, x2) { s := x1 + x2; send ch(s); "
+              "recv ch(u); y := u * 2 }")
+
+    def test_clean_run_matches_serial(self, capsys):
+        code = main(["dist", "run", "--source", self.SOURCE,
+                     "--policy", "allow(1, 2)", "--nodes", "2", "3", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rows match: serial == distributed" in out
+        assert "outcome=14" in out
+
+    def test_chaosed_run_matches_serial(self, capsys):
+        code = main(["dist", "run", "--source", self.SOURCE,
+                     "--policy", "allow(1, 2)", "--nodes", "3",
+                     "--chaos", "seed=1,drop=0.3,dup=0.2,kill=0.1",
+                     "3", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rows match: serial == distributed" in out
+
+    def test_corrupting_plan_totalizes(self, capsys):
+        code = main(["dist", "run", "--source", self.SOURCE,
+                     "--policy", "allow(1, 2)", "--nodes", "2",
+                     "--chaos", "seed=1,corrupt=1.0", "3", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "corruption totalized" in out
+        assert "Λ!msg[corrupt:" in out
+
+    def test_trace_writes_single_rooted_tree(self, tmp_path, capsys):
+        from repro.obs import build_span_tree, validate_jsonl
+        trace = tmp_path / "dist.jsonl"
+        code = main(["dist", "run", "--source", self.SOURCE,
+                     "--policy", "allow(1, 2)", "--nodes", "2",
+                     "--trace", str(trace), "3", "4"])
+        assert code == 0
+        capsys.readouterr()
+        lines = trace.read_text(encoding="utf-8").splitlines()
+        count, problems = validate_jsonl(lines)
+        assert problems == []
+        events = [json.loads(line) for line in lines]
+        forest = build_span_tree(events)
+        assert forest.problems == []
+        assert forest.single_rooted
+        assert forest.roots[0].op == "dist_run"
+        assert any(event["kind"] == "message_sent" for event in events)
+
+    def test_bad_nodes_rejected(self, capsys):
+        code = main(["dist", "run", "--source", self.SOURCE,
+                     "--policy", "allow(1, 2)", "--nodes", "0", "3", "4"])
+        assert code != 0

@@ -118,3 +118,108 @@ class TestPickleAndInstall:
         finally:
             chaos.clear()
         assert chaos.current_plan() is None
+
+
+class TestMessageFaults:
+    def test_decisions_are_pure_in_the_key(self):
+        first = FaultPlan(seed=7, msg_drop=0.3, msg_dup=0.2,
+                          msg_corrupt=0.1, msg_delay=0.2)
+        second = FaultPlan(seed=7, msg_drop=0.3, msg_dup=0.2,
+                           msg_corrupt=0.1, msg_delay=0.2)
+        for channel in ("ch", "#ctl"):
+            for seq in range(6):
+                for attempt in range(3):
+                    a = first.decide_message(channel, seq, attempt)
+                    b = second.decide_message(channel, seq, attempt)
+                    assert (a.corrupt, a.drop, a.duplicate, a.delay) == \
+                        (b.corrupt, b.drop, b.duplicate, b.delay)
+
+    def test_seed_changes_the_schedule(self):
+        keys = [("ch", seq, attempt) for seq in range(20)
+                for attempt in range(2)]
+
+        def schedule(seed):
+            plan = FaultPlan(seed=seed, msg_drop=0.5)
+            return tuple(plan.decide_message(*key).drop for key in keys)
+
+        assert schedule(1) != schedule(2)
+
+    def test_priority_corrupt_drop_dup_delay(self):
+        everything = FaultPlan(seed=0, msg_corrupt=1.0, msg_drop=1.0,
+                               msg_dup=1.0, msg_delay=1.0)
+        fault = everything.decide_message("ch", 0, 0)
+        assert fault.corrupt and not fault.drop and not fault.duplicate
+
+        no_corrupt = FaultPlan(seed=0, msg_drop=1.0, msg_dup=1.0,
+                               msg_delay=1.0)
+        assert no_corrupt.decide_message("ch", 0, 0).drop
+
+        dup_only = FaultPlan(seed=0, msg_dup=1.0, msg_delay=1.0,
+                             msg_delay_seconds=0.5)
+        fault = dup_only.decide_message("ch", 0, 0)
+        assert fault.duplicate and fault.delay == 0.0
+
+        delay_only = FaultPlan(seed=0, msg_delay=1.0,
+                               msg_delay_seconds=0.5)
+        assert delay_only.decide_message("ch", 0, 0).delay == 0.5
+
+    def test_no_message_faults_by_default(self):
+        fault = FaultPlan(seed=3).decide_message("ch", 0, 0)
+        assert not fault
+        assert not fault.corrupt and not fault.drop
+
+    def test_kill_is_pure_and_rate_gated(self):
+        plan = FaultPlan(seed=5, kill=0.5)
+        schedule = [plan.decide_kill(node, seq)
+                    for node in range(3) for seq in range(10)]
+        again = [FaultPlan(seed=5, kill=0.5).decide_kill(node, seq)
+                 for node in range(3) for seq in range(10)]
+        assert schedule == again
+        assert any(schedule) and not all(schedule)
+        assert not any(FaultPlan(seed=5).decide_kill(node, seq)
+                       for node in range(3) for seq in range(10))
+
+    def test_parse_message_fields(self):
+        plan = FaultPlan.parse(
+            "seed=4,drop=0.3,dup=0.1,corrupt=0.05,mdelay=0.2,"
+            "mdelay_s=0.02,kill=0.08")
+        assert plan.msg_drop == 0.3
+        assert plan.msg_dup == 0.1
+        assert plan.msg_corrupt == 0.05
+        assert plan.msg_delay == 0.2
+        assert plan.msg_delay_seconds == 0.02
+        assert plan.kill == 0.08
+
+    def test_out_of_range_message_rates_rejected(self):
+        with pytest.raises(ReproError):
+            FaultPlan(msg_drop=1.5)
+        with pytest.raises(ReproError):
+            FaultPlan(kill=-0.1)
+
+    def test_pickle_preserves_message_schedule(self):
+        plan = FaultPlan(seed=11, msg_drop=0.4, msg_dup=0.2, kill=0.1)
+        clone = pickle.loads(pickle.dumps(plan))
+        for seq in range(10):
+            for attempt in range(3):
+                a = plan.decide_message("ch", seq, attempt)
+                b = clone.decide_message("ch", seq, attempt)
+                assert (a.corrupt, a.drop, a.duplicate, a.delay) == \
+                    (b.corrupt, b.drop, b.duplicate, b.delay)
+            assert plan.decide_kill(0, seq) == clone.decide_kill(0, seq)
+
+
+class TestJitter:
+    def test_jitter_is_pure_and_in_range(self):
+        values = [chaos.jitter(3, "rto", "ch", seq, attempt)
+                  for seq in range(10) for attempt in range(3)]
+        again = [chaos.jitter(3, "rto", "ch", seq, attempt)
+                 for seq in range(10) for attempt in range(3)]
+        assert values == again
+        assert all(0.0 <= value < 1.0 for value in values)
+        assert len(set(values)) > 1
+
+    def test_jitter_varies_with_seed_and_key(self):
+        assert chaos.jitter(1, "rto", "ch", 0, 0) != \
+            chaos.jitter(2, "rto", "ch", 0, 0)
+        assert chaos.jitter(1, "rto", "ch", 0, 0) != \
+            chaos.jitter(1, "retry-backoff", "ch", 0, 0)

@@ -168,3 +168,59 @@ class TestSweepResume:
     def test_nonpositive_deadline_rejected(self):
         with pytest.raises(ReproError):
             sweep(deadline=0)
+
+
+class TestJournalWriter:
+    """The journal base class the dist node runtime shares with
+    checkpoints: fsync per record, torn-tail tolerant load."""
+
+    def test_records_gain_seq_and_timestamp(self, tmp_path):
+        from repro.verify.checkpoint import JournalWriter, load_journal
+        path = str(tmp_path / "journal.jsonl")
+        with JournalWriter(path) as journal:
+            journal.write({"kind": "a"})
+            journal.write({"kind": "b"})
+        records = load_journal(path)
+        assert [r["seq"] for r in records] == [0, 1]
+        assert all(r["t"] >= 0.0 for r in records)
+        assert [r["kind"] for r in records] == ["a", "b"]
+
+    def test_resume_appends_past_start_seq(self, tmp_path):
+        from repro.verify.checkpoint import JournalWriter, load_journal
+        path = str(tmp_path / "journal.jsonl")
+        with JournalWriter(path) as journal:
+            journal.write({"kind": "a"})
+        with JournalWriter(path, fresh=False, start_seq=1) as journal:
+            journal.write({"kind": "b"})
+        assert [r["seq"] for r in load_journal(path)] == [0, 1]
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        from repro.verify.checkpoint import JournalWriter, load_journal
+        path = str(tmp_path / "journal.jsonl")
+        with JournalWriter(path) as journal:
+            journal.write({"kind": "a"})
+            journal.write({"kind": "b"})
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "torn')  # SIGKILL mid-write
+        records = load_journal(path)
+        assert [r["kind"] for r in records] == ["a", "b"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        from repro.core.errors import ReproError
+        from repro.verify.checkpoint import JournalWriter, load_journal
+        path = str(tmp_path / "journal.jsonl")
+        with JournalWriter(path) as journal:
+            journal.write({"kind": "a"})
+            journal.write({"kind": "b"})
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        with open(path, "wb") as handle:
+            handle.write(b"garbage\n")
+            handle.writelines(lines[1:])
+        with pytest.raises(ReproError, match="corrupt at line 1"):
+            load_journal(path)
+
+    def test_missing_journal_raises(self, tmp_path):
+        from repro.core.errors import ReproError
+        from repro.verify.checkpoint import load_journal
+        with pytest.raises(ReproError, match="does not exist"):
+            load_journal(str(tmp_path / "absent.jsonl"))

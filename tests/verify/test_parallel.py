@@ -317,3 +317,51 @@ class TestFaultTolerance:
         assert len(seen) == len(results)
         assert seen[-1][0] == len(results)
         assert all(total == len(results) for _, total, _ in seen)
+
+
+class TestRetryBackoff:
+    def test_attempt_zero_is_free(self):
+        from repro.verify.parallel import retry_backoff
+        assert retry_backoff(0, 0, 0) == 0.0
+        assert retry_backoff(3, 7, 0, seed=9) == 0.0
+
+    def test_deterministic_in_seed_and_coordinates(self):
+        from repro.verify.parallel import retry_backoff
+        first = [retry_backoff(pair, chunk, attempt, seed=5)
+                 for pair in range(3) for chunk in range(3)
+                 for attempt in range(1, 5)]
+        second = [retry_backoff(pair, chunk, attempt, seed=5)
+                  for pair in range(3) for chunk in range(3)
+                  for attempt in range(1, 5)]
+        assert first == second
+        assert len(set(first)) > 1  # jitter actually varies
+        assert first != [retry_backoff(pair, chunk, attempt, seed=6)
+                         for pair in range(3) for chunk in range(3)
+                         for attempt in range(1, 5)]
+
+    def test_exponential_base_with_bounded_jitter(self):
+        from repro.verify.parallel import (_BACKOFF_BASE_S, _BACKOFF_CAP_S,
+                                           retry_backoff)
+        for attempt in range(1, 12):
+            base = min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * 2 ** (attempt - 1))
+            value = retry_backoff(0, 0, attempt, seed=1)
+            assert 0.5 * base <= value <= base
+        # The ladder is capped: deep attempts never exceed the cap.
+        assert retry_backoff(0, 0, 50, seed=1) <= _BACKOFF_CAP_S
+
+    def test_retried_sweep_rows_stay_identical(self, serial_baseline):
+        # The backoff sleeps ride the worker-side delay channel; rows
+        # must stay bit-identical however many retries fire.
+        from repro.verify import parallel as parallel_module
+
+        failures = {(0, 0, 0), (0, 0, 1), (1, 0, 0)}
+        original = parallel_module._FAIL_INJECTOR
+        parallel_module._FAIL_INJECTOR = (
+            lambda pair, chunk, attempt: (pair, chunk, attempt) in failures)
+        try:
+            results = parallel_soundness_sweep(
+                FLOWCHARTS, "surveillance", executor="thread",
+                max_workers=2, chunk_size=5, max_chunk_retries=3)
+        finally:
+            parallel_module._FAIL_INJECTOR = original
+        assert rows(results) == rows(serial_baseline)
